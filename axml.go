@@ -1,0 +1,169 @@
+// Package axml is the public API of the adaptive XML store — a Go
+// reproduction of "Adaptive XML Storage or The Importance of Being Lazy"
+// (Duda & Kossmann, ETH Zurich).
+//
+// The store keeps an XML instance as a flat token sequence partitioned into
+// Ranges (variable-sized units created by the application's insert pattern),
+// indexes ranges coarsely, and learns exact node positions lazily through a
+// bounded partial index. See DESIGN.md for the architecture and the package
+// documentation of repro/internal/core for the mechanics.
+//
+// Quick start:
+//
+//	st, _ := axml.Open(axml.Config{Mode: axml.RangePartial})
+//	defer st.Close()
+//	root, _ := axml.LoadXMLString(st, `<orders/>`)
+//	frag, _ := axml.ParseFragment(`<order id="1"/>`)
+//	st.InsertIntoLast(root, frag)
+//	ids, _ := axml.Query(st, `//order[@id="1"]`)
+//	xml, _ := st.NodeXMLString(ids[0])
+package axml
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pagestore"
+	"repro/internal/token"
+	"repro/internal/xmltok"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+)
+
+// Core re-exports: the store and its configuration.
+type (
+	// Store is an adaptive XML store instance.
+	Store = core.Store
+	// Config selects the index mode, storage geometry and policies.
+	Config = core.Config
+	// Stats is a snapshot of store counters.
+	Stats = core.Stats
+	// NodeID identifies a stored node.
+	NodeID = core.NodeID
+	// IndexMode selects the indexing configuration.
+	IndexMode = core.IndexMode
+	// Token is one enriched SAX event of the flat XML representation.
+	Token = core.Token
+	// Item is a token paired with the id of the node it starts.
+	Item = core.Item
+)
+
+// Index modes (the experimental axis of the paper's Table 5).
+const (
+	// RangeOnly maintains only the coarse range index.
+	RangeOnly = core.RangeOnly
+	// RangePartial adds the lazy partial index (the paper's proposal).
+	RangePartial = core.RangePartial
+	// FullIndex eagerly indexes every node (the baseline).
+	FullIndex = core.FullIndex
+)
+
+// Store errors, re-exported for errors.Is checks.
+var (
+	ErrNoSuchNode  = core.ErrNoSuchNode
+	ErrNotElement  = core.ErrNotElement
+	ErrBadFragment = core.ErrBadFragment
+	ErrClosed      = core.ErrClosed
+)
+
+// Open creates a fresh store.
+func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+
+// OpenFile creates a store backed by a page file at path. Call Store.Close
+// (or Flush) to persist, and ReopenFile to load it again.
+func OpenFile(path string, cfg Config) (*Store, error) {
+	pager, err := pagestore.OpenFilePager(path, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Pager = pager
+	return core.Open(cfg)
+}
+
+// ReopenFile reloads a store previously written with OpenFile. The meta page
+// of a store created by OpenFile on a fresh file is page 1.
+func ReopenFile(path string, cfg Config) (*Store, error) {
+	pager, err := pagestore.OpenFilePager(path, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return core.Reopen(cfg, pager, 1)
+}
+
+// LoadXML parses a complete XML document from r and appends it to the
+// store, returning the id of the root element.
+func LoadXML(s *Store, r io.Reader) (NodeID, error) {
+	toks, err := xmltok.Parse(r, xmltok.ParseOptions{StripWhitespace: true})
+	if err != nil {
+		return 0, err
+	}
+	return s.Append(toks)
+}
+
+// LoadXMLString is LoadXML over a string.
+func LoadXMLString(s *Store, src string) (NodeID, error) {
+	return LoadXML(s, strings.NewReader(src))
+}
+
+// LoadXMLStream parses and loads a document with constant memory: tokens
+// flow from the scanner straight into ranges without materializing the
+// whole document. Whitespace-only text nodes are dropped, matching LoadXML;
+// use Store.AppendStream with a raw scanner for full fidelity.
+func LoadXMLStream(s *Store, r io.Reader) (NodeID, error) {
+	sc := xmltok.NewScanner(r)
+	next := func() (Token, error) {
+		for {
+			t, err := sc.Next()
+			if err != nil {
+				return Token{}, err
+			}
+			if t.Kind == token.Text && strings.TrimSpace(t.Value) == "" {
+				continue
+			}
+			return t, nil
+		}
+	}
+	return s.AppendStream(next)
+}
+
+// ParseFragment parses an XML fragment into tokens suitable for the store's
+// insert operations.
+func ParseFragment(src string) ([]Token, error) {
+	return xmltok.ParseFragmentString(src, xmltok.ParseOptions{StripWhitespace: true})
+}
+
+// Query evaluates an XPath expression against the store and returns the
+// matching node ids in document order. The ids are valid targets for the
+// store's XUpdate operations.
+func Query(s *Store, expr string) ([]NodeID, error) {
+	return xpath.QueryIDs(s, expr)
+}
+
+// QueryValue evaluates an XPath expression and returns its string value
+// (e.g. for count(...) or string(...) expressions).
+func QueryValue(s *Store, expr string) (string, error) {
+	d, err := xpath.FromStore(s)
+	if err != nil {
+		return "", err
+	}
+	c, err := xpath.Parse(expr)
+	if err != nil {
+		return "", err
+	}
+	return c.EvalValue(d)
+}
+
+// XQuery evaluates an XQuery FLWOR expression against the store and returns
+// the result sequence as a token fragment, insertable back into a store.
+//
+//	toks, _ := axml.XQuery(st, `for $b in //book where $b/price < 50
+//	                            return <cheap>{$b/title}</cheap>`)
+func XQuery(s *Store, query string) ([]Token, error) {
+	return xquery.EvalStore(s, query)
+}
+
+// XQueryString evaluates an XQuery expression and serializes the result.
+func XQueryString(s *Store, query string) (string, error) {
+	return xquery.EvalString(s, query)
+}

@@ -1,0 +1,318 @@
+// Benchmarks regenerating the paper's evaluation with testing.B, one bench
+// family per table/figure (see DESIGN.md's experiment index). The axmlbench
+// command runs the same experiments as calibrated throughput tables; these
+// targets give per-op numbers with -benchmem.
+package axml_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	axml "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/idscheme"
+	"repro/internal/pagestore"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// table5Configs mirrors the paper's four indexing configurations.
+func table5Configs() []bench.Configuration {
+	return bench.Table5Configs(bench.Options{})
+}
+
+// loadStore builds a purchase-order store with n orders under cfg.
+func loadStore(b *testing.B, cfg core.Config, orders int) *core.Store {
+	b.Helper()
+	s, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(2005)
+	const batch = 50
+	for done := 0; done < orders; done += batch {
+		var frag []core.Token
+		for j := 0; j < batch; j++ {
+			frag = append(frag, gen.PurchaseOrder(done+j)...)
+		}
+		if _, err := s.Append(frag); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkTable5Insert measures XUpdate-style appends per configuration —
+// the Insert column of Table 5.
+func BenchmarkTable5Insert(b *testing.B) {
+	for _, cfg := range table5Configs() {
+		b.Run(slug(cfg.Name), func(b *testing.B) {
+			s, err := core.Open(cfg.Cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			gen := workload.New(2005)
+			frags := make([][]core.Token, 64)
+			var bytes int64
+			for i := range frags {
+				var f []core.Token
+				for j := 0; j < 50; j++ {
+					f = append(f, gen.PurchaseOrder(i*50+j)...)
+				}
+				frags[i] = f
+				bytes += int64(workload.EncodedBytes(f))
+			}
+			b.SetBytes(bytes / int64(len(frags)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Append(frags[i%len(frags)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5SeqScan measures full-store sequential token scans — the
+// Seq.scan column of Table 5.
+func BenchmarkTable5SeqScan(b *testing.B) {
+	for _, cfg := range table5Configs() {
+		b.Run(slug(cfg.Name), func(b *testing.B) {
+			s := loadStore(b, cfg.Cfg, 2000)
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := s.Scan(func(core.Item) bool { n++; return true }); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("empty scan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5RandomRead measures point subtree reads with a hot-set
+// access pattern — the Random reads column of Table 5.
+func BenchmarkTable5RandomRead(b *testing.B) {
+	for _, cfg := range table5Configs() {
+		b.Run(slug(cfg.Name), func(b *testing.B) {
+			s := loadStore(b, cfg.Cfg, 2000)
+			defer s.Close()
+			gen := workload.New(99)
+			maxID := s.Stats().Nodes
+			perm := gen.Perm(int(maxID))
+			sample := gen.Zipf(maxID, 1.8)
+			keys := make([]core.NodeID, 4096)
+			for i := range keys {
+				keys[i] = core.NodeID(perm[sample()-1] + 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := s.ScanNode(keys[i%len(keys)], func(core.Item) bool { return true })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRangeSweep is experiment E2: random reads across range
+// granularities (figure-style series from the paper's parameter
+// discussion).
+func BenchmarkRangeSweep(b *testing.B) {
+	for _, g := range []int{8, 64, 512, 0} {
+		name := fmt.Sprintf("maxRangeTokens=%d", g)
+		if g == 0 {
+			name = "maxRangeTokens=unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := loadStore(b, core.Config{Mode: core.RangeOnly, MaxRangeTokens: g}, 2000)
+			defer s.Close()
+			gen := workload.New(99)
+			maxID := s.Stats().Nodes
+			sample := gen.Uniform(maxID)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ScanNode(core.NodeID(sample()), func(core.Item) bool { return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartialWarmup is experiment E3: the cost of a warm (memorized)
+// read versus a cold one on a coarse store.
+func BenchmarkPartialWarmup(b *testing.B) {
+	s := loadStore(b, core.Config{Mode: core.RangePartial, PartialCapacity: 1 << 16}, 2000)
+	defer s.Close()
+	maxID := s.Stats().Nodes
+	hot := core.NodeID(maxID / 2)
+	b.Run("warm", func(b *testing.B) {
+		// One warming read, then measure repeats.
+		if err := s.ScanNode(hot, func(core.Item) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.ScanNode(hot, func(core.Item) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		// Spread reads over distinct ids so the cache never helps.
+		gen := workload.New(4)
+		sample := gen.Uniform(maxID)
+		cold, err := core.Open(core.Config{Mode: core.RangeOnly})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cold.Close()
+		gen2 := workload.New(2005)
+		var frag []core.Token
+		for j := 0; j < 2000; j++ {
+			frag = append(frag, gen2.PurchaseOrder(j)...)
+		}
+		if _, err := cold.Append(frag); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cold.ScanNode(core.NodeID(sample()), func(core.Item) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMixedWorkload is experiment E4: one update op (insertIntoLast of
+// a purchase order) under each index mode.
+func BenchmarkMixedWorkload(b *testing.B) {
+	for _, cfg := range []bench.Configuration{
+		{Name: "full", Cfg: core.Config{Mode: core.FullIndex}},
+		{Name: "range", Cfg: core.Config{Mode: core.RangeOnly}},
+		{Name: "range+partial", Cfg: core.Config{Mode: core.RangePartial}},
+	} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			s, err := core.Open(cfg.Cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			gen := workload.New(2005)
+			root, err := s.Append(gen.PurchaseOrdersDoc(200))
+			if err != nil {
+				b.Fatal(err)
+			}
+			frag := gen.PurchaseOrder(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InsertIntoLast(root, frag); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIDSchemes is experiment E6: label generation per scheme.
+func BenchmarkIDSchemes(b *testing.B) {
+	doc := workload.New(1).PurchaseOrdersDoc(50)
+	for _, sc := range []idscheme.Scheme{idscheme.Sequential{}, idscheme.Dewey{}, idscheme.OrdPath{}} {
+		b.Run(sc.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := sc.NewFactory(sc.Initial())
+				for _, t := range doc {
+					f.Next(t)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkXPathQuery measures querying through the public API.
+func BenchmarkXPathQuery(b *testing.B) {
+	s, err := axml.Open(axml.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append(workload.New(1).PurchaseOrdersDoc(200)); err != nil {
+		b.Fatal(err)
+	}
+	d, err := xpath.FromStore(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := xpath.Parse(`//purchase-order[@status="open"]/line/item`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Eval(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReopen measures index reconstruction: one sequential scan of the
+// self-describing range records rebuilds the range index (and, in full
+// mode, every per-node entry) — the store's recovery path.
+func BenchmarkReopen(b *testing.B) {
+	for _, cfg := range []bench.Configuration{
+		{Name: "range", Cfg: core.Config{Mode: core.RangeOnly, MaxRangeTokens: 64}},
+		{Name: "full", Cfg: core.Config{Mode: core.FullIndex, MaxRangeTokens: 64}},
+	} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			pager := pagestore.NewMemPager(cfg.Cfg.PageSize)
+			c := cfg.Cfg
+			c.Pager = pager
+			s, err := core.Open(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Append(workload.New(1).PurchaseOrdersDoc(2000)); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			meta := s.MetaPage()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := core.Reopen(cfg.Cfg, pager, meta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s2.Stats().Nodes == 0 {
+					b.Fatal("empty reopen")
+				}
+			}
+		})
+	}
+}
+
+func slug(name string) string {
+	s := strings.ToLower(name)
+	s = strings.NewReplacer(" ", "_", "(", "", ")", "", ",", "", ".", "", "+", "plus").Replace(s)
+	return s
+}

@@ -1,0 +1,104 @@
+// Command axmlbench regenerates the paper's evaluation tables and the
+// additional figure-style series from DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	axmlbench [-exp all|table5|sweep|warmup|mixed|storage|coalesce|idschemes] [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table5, sweep, warmup, mixed, storage, coalesce, idschemes")
+		batches = flag.Int("batches", 0, "insert batches (0 = default)")
+		orders  = flag.Int("orders", 0, "purchase orders per batch (0 = default)")
+		reads   = flag.Int("reads", 0, "random reads (0 = default)")
+		zipf    = flag.Float64("zipf", 0, "read-key skew exponent (0 = default 1.8, <0 = uniform)")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+	)
+	flag.Parse()
+	o := bench.Options{
+		InsertBatches:  *batches,
+		OrdersPerBatch: *orders,
+		RandomReads:    *reads,
+		Zipf:           *zipf,
+		Seed:           *seed,
+	}
+	if err := run(*exp, o); err != nil {
+		fmt.Fprintln(os.Stderr, "axmlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, o bench.Options) error {
+	all := exp == "all"
+	if all || exp == "table5" {
+		fmt.Println("=== E1: Table 5 — lazy indexing in XML storage ===")
+		rows, err := bench.RunTable5(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable5(rows))
+		fmt.Println(bench.FormatStats(rows))
+	}
+	if all || exp == "sweep" {
+		fmt.Println("=== E2: range-granularity sweep ===")
+		points, err := bench.RunRangeSweep(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatSweep(points))
+	}
+	if all || exp == "warmup" {
+		fmt.Println("=== E3: partial-index warm-up ===")
+		ws, err := bench.RunPartialWarmup(o, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatWarmup(ws))
+	}
+	if all || exp == "mixed" {
+		fmt.Println("=== E4: mixed read/update workloads ===")
+		points, err := bench.RunMixedWorkload(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatMixed(points))
+	}
+	if all || exp == "storage" {
+		fmt.Println("=== E5: storage overhead ===")
+		rows, err := bench.RunStorageOverhead(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatStorage(rows))
+	}
+	if all || exp == "coalesce" {
+		fmt.Println("=== E7: adaptive coalescing under churn ===")
+		rows, err := bench.RunCoalesceAblation(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatCoalesce(rows))
+	}
+	if all || exp == "idschemes" {
+		fmt.Println("=== E6: ID-scheme orthogonality ===")
+		rows, err := bench.RunIDSchemes(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatIDSchemes(rows))
+	}
+	switch exp {
+	case "all", "table5", "sweep", "warmup", "mixed", "storage", "coalesce", "idschemes":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

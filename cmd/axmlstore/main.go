@@ -1,0 +1,266 @@
+// Command axmlstore is a small shell around the adaptive XML store: load an
+// XML document into a store file, query it with XPath, apply XUpdate
+// operations, and inspect store statistics.
+//
+// Usage:
+//
+//	axmlstore -db store.db load doc.xml
+//	axmlstore -db store.db query '//order[@id="7"]'
+//	axmlstore -db store.db value 'count(//order)'
+//	axmlstore -db store.db insert-last <nodeID> '<line><item>bolt</item></line>'
+//	axmlstore -db store.db insert-before <nodeID> '<note/>'
+//	axmlstore -db store.db delete <nodeID>
+//	axmlstore -db store.db read <nodeID>
+//	axmlstore -db store.db dump
+//	axmlstore -db store.db stats
+//
+// The -mode flag selects the indexing configuration (range, partial, full)
+// when creating a new store file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	axml "repro"
+)
+
+func main() {
+	var (
+		db   = flag.String("db", "axml.db", "store file")
+		mode = flag.String("mode", "partial", "index mode for new stores: range, partial, full")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(*db, *mode, args); err != nil {
+		fmt.Fprintln(os.Stderr, "axmlstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: axmlstore [-db file] [-mode range|partial|full] <command> [args]
+
+commands:
+  load <file.xml>              load a document into a fresh store
+  query <xpath>                print matching node ids and their XML
+  value <xpath>                print the expression's string value
+  xquery <flwor>               evaluate an XQuery FLWOR expression
+  read <id>                    print one node's subtree as XML
+  insert-last <id> <xml>       insert fragment as last content of element
+  insert-first <id> <xml>      insert fragment as first content of element
+  insert-before <id> <xml>     insert fragment before node
+  insert-after <id> <xml>      insert fragment after node
+  replace <id> <xml>           replace node with fragment
+  delete <id>                  delete node (and subtree)
+  compact                      merge fragmented ranges (offline coalescing)
+  dump                         print the whole store as XML
+  stats                        print store statistics
+`)
+}
+
+func parseMode(s string) (axml.IndexMode, error) {
+	switch s {
+	case "range":
+		return axml.RangeOnly, nil
+	case "partial":
+		return axml.RangePartial, nil
+	case "full":
+		return axml.FullIndex, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func run(db, modeName string, args []string) error {
+	mode, err := parseMode(modeName)
+	if err != nil {
+		return err
+	}
+	cfg := axml.Config{Mode: mode}
+
+	cmd := args[0]
+	if cmd == "load" {
+		if len(args) != 2 {
+			return fmt.Errorf("load needs an XML file")
+		}
+		if st, err := os.Stat(db); err == nil && st.Size() > 0 {
+			return fmt.Errorf("store %s already exists; remove it first", db)
+		}
+		s, err := axml.OpenFile(db, cfg)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		f, err := os.Open(args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		root, err := axml.LoadXMLStream(s, f)
+		if err != nil {
+			return err
+		}
+		st := s.Stats()
+		fmt.Printf("loaded %s: root id %d, %d nodes, %d tokens, %d ranges\n",
+			args[1], root, st.Nodes, st.Tokens, st.Ranges)
+		return nil
+	}
+
+	s, err := axml.ReopenFile(db, cfg)
+	if err != nil {
+		return fmt.Errorf("open %s: %w (run 'load' first?)", db, err)
+	}
+	defer s.Close()
+
+	nodeArg := func(i int) (axml.NodeID, error) {
+		if len(args) <= i {
+			return 0, fmt.Errorf("%s needs a node id", cmd)
+		}
+		n, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad node id %q", args[i])
+		}
+		return axml.NodeID(n), nil
+	}
+	fragArg := func(i int) ([]axml.Token, error) {
+		if len(args) <= i {
+			return nil, fmt.Errorf("%s needs an XML fragment", cmd)
+		}
+		return axml.ParseFragment(args[i])
+	}
+
+	switch cmd {
+	case "query":
+		if len(args) != 2 {
+			return fmt.Errorf("query needs an XPath expression")
+		}
+		ids, err := axml.Query(s, args[1])
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			xml, err := s.NodeXMLString(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d\t%s\n", id, xml)
+		}
+		fmt.Fprintf(os.Stderr, "%d node(s)\n", len(ids))
+		return nil
+	case "value":
+		if len(args) != 2 {
+			return fmt.Errorf("value needs an XPath expression")
+		}
+		v, err := axml.QueryValue(s, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+		return nil
+	case "xquery":
+		if len(args) != 2 {
+			return fmt.Errorf("xquery needs a FLWOR expression")
+		}
+		out, err := axml.XQueryString(s, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	case "read":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		xml, err := s.NodeXMLString(id)
+		if err != nil {
+			return err
+		}
+		fmt.Println(xml)
+		return nil
+	case "insert-last", "insert-first", "insert-before", "insert-after", "replace":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		frag, err := fragArg(2)
+		if err != nil {
+			return err
+		}
+		var newID axml.NodeID
+		switch cmd {
+		case "insert-last":
+			newID, err = s.InsertIntoLast(id, frag)
+		case "insert-first":
+			newID, err = s.InsertIntoFirst(id, frag)
+		case "insert-before":
+			newID, err = s.InsertBefore(id, frag)
+		case "insert-after":
+			newID, err = s.InsertAfter(id, frag)
+		case "replace":
+			newID, err = s.ReplaceNode(id, frag)
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("ok: new content starts at id %d\n", newID)
+		return nil
+	case "delete":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		if err := s.DeleteNode(id); err != nil {
+			return err
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "compact":
+		merged, err := s.Compact(0)
+		if err != nil {
+			return err
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+		st := s.Stats()
+		fmt.Printf("merged %d range pairs; %d ranges remain\n", merged, st.Ranges)
+		return nil
+	case "dump":
+		return s.WriteXML(os.Stdout)
+	case "stats":
+		st := s.Stats()
+		fmt.Printf("mode:                %s\n", s.Mode())
+		fmt.Printf("nodes:               %d\n", st.Nodes)
+		fmt.Printf("tokens:              %d\n", st.Tokens)
+		fmt.Printf("encoded bytes:       %d\n", st.Bytes)
+		fmt.Printf("ranges:              %d\n", st.Ranges)
+		fmt.Printf("range index entries: %d\n", st.RangeIndexEntries)
+		fmt.Printf("full index entries:  %d\n", st.FullIndexEntries)
+		fmt.Printf("partial entries:     %d (hits %d, misses %d, evictions %d, invalidations %d)\n",
+			st.PartialEntries, st.PartialHits, st.PartialMisses,
+			st.PartialEvictions, st.PartialInvalidations)
+		fmt.Printf("inserts/deletes:     %d/%d\n", st.Inserts, st.Deletes)
+		fmt.Printf("splits/merges:       %d/%d\n", st.Splits, st.Merges)
+		fmt.Printf("tokens scanned:      %d\n", st.TokensScanned)
+		fmt.Printf("pool: hits %d, misses %d, evictions %d, flushes %d\n",
+			st.Pool.Hits, st.Pool.Misses, st.Pool.Evictions, st.Pool.Flushes)
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T) (db, xmlPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	xmlPath = filepath.Join(dir, "doc.xml")
+	err := os.WriteFile(xmlPath, []byte(
+		`<orders><order id="1"><item>bolt</item></order><order id="2"><item>nut</item></order></orders>`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "t.db"), xmlPath
+}
+
+func TestCLILifecycle(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	steps := [][]string{
+		{"load", xmlPath},
+		{"query", `//order[@id="2"]`},
+		{"value", `count(//order)`},
+		{"xquery", `for $o in //order return <i>{$o/item/text()}</i>`},
+		{"read", "2"},
+		{"insert-last", "1", `<order id="3"><item>washer</item></order>`},
+		{"insert-first", "1", `<note/>`},
+		{"insert-before", "2", `<sep/>`},
+		{"insert-after", "2", `<sep2/>`},
+		{"replace", "6", `<order id="2b"/>`},
+		{"delete", "2"},
+		{"dump"},
+		{"stats"},
+	}
+	for _, step := range steps {
+		if err := run(db, "partial", step); err != nil {
+			t.Fatalf("%v: %v", step, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "bogus", []string{"load", xmlPath}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run(db, "range", []string{"query", "//x"}); err == nil {
+		t.Error("query before load should fail")
+	}
+	if err := run(db, "range", []string{"load"}); err == nil {
+		t.Error("load without file should fail")
+	}
+	if err := run(db, "range", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(db, "range", []string{"load", xmlPath}); err == nil ||
+		!strings.Contains(err.Error(), "exists") {
+		t.Errorf("double load: %v", err)
+	}
+	cases := [][]string{
+		{"unknown-cmd"},
+		{"query"},                      // missing expr
+		{"query", "///"},               // bad expr
+		{"value"},                      // missing expr
+		{"xquery"},                     // missing expr
+		{"read"},                       // missing id
+		{"read", "abc"},                // bad id
+		{"read", "999"},                // dead id
+		{"delete"},                     // missing id
+		{"delete", "999"},              // dead id
+		{"insert-last", "1"},           // missing fragment
+		{"insert-last", "1", "<bad"},   // bad fragment
+		{"insert-last", "999", "<a/>"}, // dead target
+	}
+	for _, c := range cases {
+		if err := run(db, "range", c); err == nil {
+			t.Errorf("%v: expected error", c)
+		}
+	}
+}
+
+func TestCLIModes(t *testing.T) {
+	for _, mode := range []string{"range", "partial", "full"} {
+		db, xmlPath := writeDoc(t)
+		if err := run(db, mode, []string{"load", xmlPath}); err != nil {
+			t.Fatalf("%s load: %v", mode, err)
+		}
+		if err := run(db, mode, []string{"value", "count(//order)"}); err != nil {
+			t.Fatalf("%s value: %v", mode, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package axml_test
+
+import (
+	"fmt"
+	"log"
+
+	axml "repro"
+)
+
+// The basic lifecycle: open, load, query, update, serialize.
+func Example() {
+	store, err := axml.Open(axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	root, _ := axml.LoadXMLString(store, `<ticket><hour>15</hour><name>Paul</name></ticket>`)
+	frag, _ := axml.ParseFragment(`<seat>12A</seat>`)
+	store.InsertIntoLast(root, frag)
+
+	xml, _ := store.XMLString()
+	fmt.Println(xml)
+	// Output: <ticket><hour>15</hour><name>Paul</name><seat>12A</seat></ticket>
+}
+
+// XPath results are node ids — valid targets for the XUpdate operations.
+func ExampleQuery() {
+	store, _ := axml.Open(axml.Config{})
+	defer store.Close()
+	axml.LoadXMLString(store, `<orders><order id="1"/><order id="2"/></orders>`)
+
+	ids, _ := axml.Query(store, `//order[@id="2"]`)
+	frag, _ := axml.ParseFragment(`<item>bolt</item>`)
+	store.InsertIntoLast(ids[0], frag)
+
+	xml, _ := store.NodeXMLString(ids[0])
+	fmt.Println(xml)
+	// Output: <order id="2"><item>bolt</item></order>
+}
+
+// XQuery FLWOR expressions produce token fragments.
+func ExampleXQueryString() {
+	store, _ := axml.Open(axml.Config{})
+	defer store.Close()
+	axml.LoadXMLString(store, `<inv><it p="3">a</it><it p="1">b</it></inv>`)
+
+	out, _ := axml.XQueryString(store, `
+	  for $i in //it
+	  order by $i/@p
+	  return <v>{$i/text()}</v>`)
+	fmt.Println(out)
+	// Output: <v>b</v><v>a</v>
+}
+
+// Structural navigation is computed from the flat token sequence and
+// memorized lazily by the partial index.
+func ExampleStore_Parent() {
+	store, _ := axml.Open(axml.Config{Mode: axml.RangePartial})
+	defer store.Close()
+	root, _ := axml.LoadXMLString(store, `<a><b><c/></b></a>`)
+
+	ids, _ := axml.Query(store, `//c`)
+	parent, _, _ := store.Parent(ids[0])
+	grand, _, _ := store.Parent(parent)
+	fmt.Println(grand == root)
+	// Output: true
+}

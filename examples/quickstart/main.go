@@ -1,0 +1,64 @@
+// Quickstart: open a store, load a document, query it, update it, read it
+// back — the whole public API surface in one minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axml "repro"
+)
+
+func main() {
+	// An adaptive store: coarse range index plus the lazy partial index.
+	store, err := axml.Open(axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Load the paper's Figure 1 document. Tokens 1..5 get node ids:
+	// <ticket>=1, <hour>=2, "15"=3, <name>=4, "Paul"=5.
+	root, err := axml.LoadXMLString(store,
+		`<ticket><hour>15</hour><name>Paul</name></ticket>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("root element id:", root)
+
+	// Query with XPath; results are node ids usable as update targets.
+	ids, err := axml.Query(store, "//name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	xml, _ := store.NodeXMLString(ids[0])
+	fmt.Println("query //name   :", xml)
+
+	// XUpdate: insert a seat as the last child of the ticket.
+	frag, err := axml.ParseFragment(`<seat>12A</seat>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.InsertIntoLast(root, frag); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replace the hour.
+	hour, _ := axml.Query(store, "//hour")
+	newHour, _ := axml.ParseFragment(`<hour>16</hour>`)
+	if _, err := store.ReplaceNode(hour[0], newHour); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read the whole instance back.
+	out, err := store.XMLString()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after updates  :", out)
+
+	// The store adapted: the insert split the load range lazily.
+	st := store.Stats()
+	fmt.Printf("stats          : %d nodes, %d ranges, %d splits, partial entries %d\n",
+		st.Nodes, st.Ranges, st.Splits, st.PartialEntries)
+}

@@ -1,0 +1,83 @@
+// Crash recovery with the write-ahead-logged pager: flushed state survives a
+// crash bit-for-bit; unflushed work is cleanly lost; torn log batches are
+// detected and discarded. The store's indexes are derived state, rebuilt by
+// one scan of the self-describing range records on reopen.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/wal"
+	"repro/internal/xmltok"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "axml-recovery")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "store.db")
+
+	// Phase 1: build, flush (durable point), then keep working and crash.
+	jp, err := wal.Open(path, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := core.Open(core.Config{Mode: core.RangeOnly, PageSize: 4096, Pager: jp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, _ := store.Append(xmltok.MustParse(`<ledger/>`))
+	for i := 0; i < 100; i++ {
+		frag := xmltok.MustParseFragment(fmt.Sprintf(`<entry n="%d"/>`, i))
+		if _, err := store.InsertIntoLast(root, frag); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil { // WAL commit: durable
+		log.Fatal(err)
+	}
+	fmt.Println("flushed 100 entries (durable point)")
+
+	for i := 100; i < 150; i++ {
+		frag := xmltok.MustParseFragment(fmt.Sprintf(`<entry n="%d"/>`, i))
+		store.InsertIntoLast(root, frag)
+	}
+	fmt.Println("added 50 more entries, then... crash (no flush, no commit)")
+	jp.CloseWithoutCommit() // simulated power cut
+
+	// Phase 2: recover. The WAL replays complete batches; the incomplete
+	// tail is discarded; indexes rebuild from the record scan.
+	jp2, err := wal.Open(path, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store2, err := core.Reopen(core.Config{Mode: core.RangePartial, PageSize: 4096}, jp2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store2.Close()
+
+	n, err := axml.QueryValue(store2, "count(//entry)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery: %s entries (the flushed state, exactly)\n", n)
+	if err := store2.CheckInvariants(); err != nil {
+		log.Fatal("invariants: ", err)
+	}
+	// The recovered store is fully writable again.
+	if _, err := store2.InsertIntoLast(1, xmltok.MustParseFragment(`<entry n="new"/>`)); err != nil {
+		log.Fatal(err)
+	}
+	if err := store2.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered store accepts and persists new work")
+}

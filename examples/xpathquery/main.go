@@ -1,0 +1,110 @@
+// Querying a stored document with the XPath engine, including schema
+// validation with PSVI type annotations on the way in (store desideratum 7).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axml "repro"
+	"repro/internal/schema"
+	"repro/internal/xmltok"
+)
+
+const catalog = `<catalog>
+  <book id="b1" year="2003">
+    <title>TCP/IP Illustrated</title>
+    <author>Stevens</author>
+    <price>65.95</price>
+  </book>
+  <book id="b2" year="1998">
+    <title>Advanced Programming</title>
+    <author>Stevens</author>
+    <price>65.95</price>
+  </book>
+  <book id="b3" year="2000">
+    <title>Data on the Web</title>
+    <author>Abiteboul</author>
+    <author>Buneman</author>
+    <price>39.95</price>
+  </book>
+</catalog>`
+
+const catalogSchema = `<schema>
+  <element name="catalog" type="catalogType"/>
+  <complexType name="catalogType">
+    <element name="book" type="bookType" minOccurs="0" maxOccurs="unbounded"/>
+  </complexType>
+  <complexType name="bookType">
+    <element name="title" type="xs:string"/>
+    <element name="author" type="xs:string" maxOccurs="unbounded"/>
+    <element name="price" type="xs:decimal"/>
+    <attribute name="id" type="xs:string" required="true"/>
+    <attribute name="year" type="xs:int"/>
+  </complexType>
+</schema>`
+
+func main() {
+	// Validate once; the type annotations travel with the tokens into the
+	// store and never need recomputation.
+	sch := schema.MustParse(catalogSchema)
+	doc, err := xmltok.ParseString(catalog, xmltok.ParseOptions{StripWhitespace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	annotated, err := sch.Validate(doc)
+	if err != nil {
+		log.Fatal("validation:", err)
+	}
+
+	store, err := axml.Open(axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := store.Append(annotated); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		`//book[@id="b2"]/title`,
+		`//book[price<50]`,
+		`//book[author="Stevens"]/@year`,
+		`//book[count(author)=2]/title`,
+		`//book[contains(title,"Web")]/author`,
+	}
+	for _, q := range queries {
+		ids, err := axml.Query(store, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s ->", q)
+		for _, id := range ids {
+			xml, _ := store.NodeXMLString(id)
+			fmt.Printf(" %s", xml)
+		}
+		fmt.Println()
+	}
+
+	for _, v := range []string{
+		`count(//book)`,
+		`string(//book[1]/title)`,
+		`count(//book[@year>1999])`,
+	} {
+		val, err := axml.QueryValue(store, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s -> %s\n", v, val)
+	}
+
+	// PSVI survives the round trip: show the annotation on a price element.
+	items, _ := store.ReadAll()
+	for _, it := range items {
+		if it.Tok.Name == "price" && it.Tok.Kind.IsBegin() {
+			fmt.Printf("\nPSVI: <price> carries type %q straight from storage\n",
+				sch.TypeName(it.Tok.Type))
+			break
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (Section 7): the four-configuration micro-benchmark of Table 5
+// (inserts, sequential scans, random reads, in kb/s) plus the figure-style
+// series the paper's text discusses — the range-granularity sweep, the
+// partial-index warm-up, mixed-workload ablations, storage overhead, and the
+// orthogonal ID-scheme comparison. The same harness backs the root
+// bench_test.go targets and the axmlbench CLI.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Options sizes the experiments. The zero value is replaced by defaults
+// sized to run the full suite in a few seconds.
+type Options struct {
+	// InsertBatches is the number of append operations in the insert
+	// benchmark; each batch carries OrdersPerBatch purchase orders.
+	InsertBatches  int
+	OrdersPerBatch int
+	// RandomReads is the number of point subtree reads per configuration.
+	RandomReads int
+	// Zipf skews the random-read key distribution (hot nodes repeat, as in
+	// the paper's "repeated search for the same logical position"). 0
+	// selects the default skew of 1.8; negative values select a uniform
+	// distribution.
+	Zipf float64
+	// PartialCapacity bounds the partial index in partial configurations.
+	PartialCapacity int
+	// GranularRangeTokens is the chop size of the "many, granular entries"
+	// configuration.
+	GranularRangeTokens int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.InsertBatches <= 0 {
+		o.InsertBatches = 200
+	}
+	if o.OrdersPerBatch <= 0 {
+		o.OrdersPerBatch = 50
+	}
+	if o.RandomReads <= 0 {
+		o.RandomReads = 4000
+	}
+	if o.Zipf == 0 {
+		o.Zipf = 1.8
+	}
+	if o.PartialCapacity <= 0 {
+		o.PartialCapacity = 8192
+	}
+	if o.GranularRangeTokens <= 0 {
+		o.GranularRangeTokens = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 2005
+	}
+	return o
+}
+
+// Metric is one measured throughput figure.
+type Metric struct {
+	Ops     int
+	Bytes   int64
+	Seconds float64
+}
+
+// KBps returns the paper's metric: kilobytes of XML data per second.
+func (m Metric) KBps() float64 {
+	if m.Seconds <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / 1024 / m.Seconds
+}
+
+func (m Metric) String() string {
+	return fmt.Sprintf("%10.1f kb/s (%d ops, %.1f KB, %.3fs)",
+		m.KBps(), m.Ops, float64(m.Bytes)/1024, m.Seconds)
+}
+
+// Configuration names one indexing setup of Table 5.
+type Configuration struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Table5Configs returns the paper's four configurations.
+func Table5Configs(o Options) []Configuration {
+	o = o.withDefaults()
+	return []Configuration{
+		{
+			// "max. granularity": one index entry per node over finely
+			// chopped ranges, exactly as the paper's row label says.
+			Name: "Full Index (max. granularity)",
+			Cfg:  core.Config{Mode: core.FullIndex, MaxRangeTokens: o.GranularRangeTokens},
+		},
+		{
+			Name: "Range Index (many, granular entries)",
+			Cfg:  core.Config{Mode: core.RangeOnly, MaxRangeTokens: o.GranularRangeTokens},
+		},
+		{
+			Name: "Range Index (few, coarse, large entries)",
+			Cfg:  core.Config{Mode: core.RangeOnly},
+		},
+		{
+			Name: "Range Index (coarse) + Partial Index",
+			Cfg:  core.Config{Mode: core.RangePartial, PartialCapacity: o.PartialCapacity},
+		},
+	}
+}
+
+// Row is one line of the Table 5 reproduction.
+type Row struct {
+	Config     string
+	Insert     Metric
+	SeqScan    Metric
+	RandomRead Metric
+	Stats      core.Stats
+}
+
+// RunTable5 reproduces the paper's Table 5: for each configuration, build a
+// purchase-order document by repeated appends (insert speed), scan it end to
+// end (sequential read speed), then perform random subtree reads (random
+// read speed).
+func RunTable5(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	var rows []Row
+	for _, cfg := range Table5Configs(o) {
+		row, err := runOne(cfg, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runOne(c Configuration, o Options) (Row, error) {
+	s, err := core.Open(c.Cfg)
+	if err != nil {
+		return Row{}, err
+	}
+	defer s.Close()
+	gen := workload.New(o.Seed)
+
+	// Insert: append batches of purchase orders.
+	var insertBytes int64
+	batches := make([][]core.Token, o.InsertBatches)
+	for i := range batches {
+		batch := make([]core.Token, 0, o.OrdersPerBatch*32)
+		for j := 0; j < o.OrdersPerBatch; j++ {
+			batch = append(batch, gen.PurchaseOrder(i*o.OrdersPerBatch+j)...)
+		}
+		batches[i] = batch
+		insertBytes += int64(workload.EncodedBytes(batch))
+	}
+	start := time.Now()
+	for _, batch := range batches {
+		if _, err := s.Append(batch); err != nil {
+			return Row{}, err
+		}
+	}
+	insert := Metric{Ops: o.InsertBatches, Bytes: insertBytes, Seconds: time.Since(start).Seconds()}
+
+	// Sequential scan: read every token back.
+	start = time.Now()
+	var scanBytes int64
+	err = s.Scan(func(it core.Item) bool {
+		scanBytes += int64(tokenBytes(it.Tok))
+		return true
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	seq := Metric{Ops: 1, Bytes: scanBytes, Seconds: time.Since(start).Seconds()}
+
+	// Random reads: point subtree reads over a (possibly skewed) key set.
+	// The hot keys are scattered across the document (a permutation breaks
+	// any correlation between popularity and storage position).
+	st := s.Stats()
+	maxID := st.Nodes
+	keys := sampleKeys(gen, maxID, o.Zipf, o.RandomReads)
+	var readBytes int64
+	start = time.Now()
+	for _, id := range keys {
+		err := s.ScanNode(id, func(it core.Item) bool {
+			readBytes += int64(tokenBytes(it.Tok))
+			return true
+		})
+		if err != nil {
+			return Row{}, err
+		}
+	}
+	random := Metric{Ops: o.RandomReads, Bytes: readBytes, Seconds: time.Since(start).Seconds()}
+
+	return Row{
+		Config:     c.Name,
+		Insert:     insert,
+		SeqScan:    seq,
+		RandomRead: random,
+		Stats:      s.Stats(),
+	}, nil
+}
+
+// tokenBytes approximates the XML data volume of one token (the kb in kb/s).
+func tokenBytes(t core.Token) int {
+	return 1 + len(t.Name) + len(t.Value)
+}
+
+// sampleKeys draws n node ids from [1, maxID]: Zipf-skewed popularity
+// (zipf >= 0; 0 was replaced by the default earlier) scattered over the id
+// space by a seeded permutation, or uniform for zipf < 0.
+func sampleKeys(gen *workload.Gen, maxID uint64, zipf float64, n int) []core.NodeID {
+	keys := make([]core.NodeID, n)
+	if zipf < 0 {
+		sample := gen.Uniform(maxID)
+		for i := range keys {
+			keys[i] = core.NodeID(sample())
+		}
+		return keys
+	}
+	perm := gen.Perm(int(maxID))
+	sample := gen.Zipf(maxID, zipf)
+	for i := range keys {
+		keys[i] = core.NodeID(perm[sample()-1] + 1)
+	}
+	return keys
+}
+
+// FormatTable5 renders rows like the paper's Table 5.
+func FormatTable5(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-42s %14s %14s %14s\n", "Indexing approach", "Insert (kb/s)", "Seq.scan (kb/s)", "Random (kb/s)")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 42+3*15))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-42s %14.2f %14.2f %14.2f\n",
+			r.Config, r.Insert.KBps(), r.SeqScan.KBps(), r.RandomRead.KBps())
+	}
+	return sb.String()
+}
+
+// FormatStats renders the per-configuration store counters that explain the
+// throughput differences (index entries, scans, splits).
+func FormatStats(rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-42s %8s %10s %10s %12s %10s\n",
+		"Indexing approach", "ranges", "idx entries", "full idx", "toks scanned", "partial hit%")
+	for _, r := range rows {
+		hitPct := 0.0
+		if h := r.Stats.PartialHits + r.Stats.PartialMisses; h > 0 {
+			hitPct = 100 * float64(r.Stats.PartialHits) / float64(h)
+		}
+		fmt.Fprintf(&sb, "%-42s %8d %10d %10d %12d %9.1f%%\n",
+			r.Config, r.Stats.Ranges, r.Stats.RangeIndexEntries,
+			r.Stats.FullIndexEntries, r.Stats.TokensScanned, hitPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,357 @@
+// Package btree implements an in-memory B+tree with uint64 keys, used as the
+// index substrate for both the coarse Range Index and the eager Full Index
+// baseline. Keys are node identifiers; values are generic.
+//
+// The tree supports the operations the paper's indexes need: exact lookup,
+// floor search (largest key <= k, how an ID interval is located from an
+// arbitrary node id), ordered ascent over a key range, insert, delete and
+// in-place value update. It is not safe for concurrent use; the store
+// serializes access.
+package btree
+
+import "fmt"
+
+// degree is the maximum number of keys per node. 64 keeps nodes within a few
+// cache lines while staying shallow for millions of entries.
+const degree = 64
+
+type node[V any] struct {
+	keys     []uint64
+	vals     []V        // leaf only
+	children []*node[V] // interior only
+	next     *node[V]   // leaf chain for range scans
+	prev     *node[V]
+}
+
+func (n *node[V]) leaf() bool { return n.children == nil }
+
+// Tree is a B+tree from uint64 keys to V values.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{}}
+}
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+// search returns the index of the first key >= k in n.keys.
+func search(keys []uint64, k uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child to descend into for key k. Interior nodes
+// hold separator keys: child i covers keys < keys[i]; the last child covers
+// the rest.
+func childIndex(keys []uint64, k uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k >= keys[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value for k.
+func (t *Tree[V]) Get(k uint64) (V, bool) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, k)]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Floor returns the largest entry with key <= k.
+func (t *Tree[V]) Floor(k uint64) (uint64, V, bool) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, k)]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.keys[i], n.vals[i], true
+	}
+	if i > 0 {
+		return n.keys[i-1], n.vals[i-1], true
+	}
+	// The floor may live in the previous leaf.
+	if n.prev != nil && len(n.prev.keys) > 0 {
+		p := n.prev
+		return p.keys[len(p.keys)-1], p.vals[len(p.vals)-1], true
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// Ceiling returns the smallest entry with key >= k.
+func (t *Tree[V]) Ceiling(k uint64) (uint64, V, bool) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, k)]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) {
+		return n.keys[i], n.vals[i], true
+	}
+	if n.next != nil && len(n.next.keys) > 0 {
+		nx := n.next
+		return nx.keys[0], nx.vals[0], true
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// Min returns the smallest entry.
+func (t *Tree[V]) Min() (uint64, V, bool) { return t.Ceiling(0) }
+
+// Max returns the largest entry.
+func (t *Tree[V]) Max() (uint64, V, bool) { return t.Floor(^uint64(0)) }
+
+// Set inserts or replaces the value for k.
+func (t *Tree[V]) Set(k uint64, v V) {
+	nk, nc := t.insert(t.root, k, v)
+	if nc != nil {
+		t.root = &node[V]{
+			keys:     []uint64{nk},
+			children: []*node[V]{t.root, nc},
+		}
+	}
+}
+
+// insert adds k:v under n. If n splits, it returns the separator key and the
+// new right sibling.
+func (t *Tree[V]) insert(n *node[V], k uint64, v V) (uint64, *node[V]) {
+	if n.leaf() {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = v
+			return 0, nil
+		}
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, v)
+		t.size++
+		if len(n.keys) <= degree {
+			return 0, nil
+		}
+		return t.splitLeaf(n)
+	}
+	ci := childIndex(n.keys, k)
+	nk, nc := t.insert(n.children[ci], k, v)
+	if nc == nil {
+		return 0, nil
+	}
+	n.keys = insertAt(n.keys, ci, nk)
+	n.children = insertAt(n.children, ci+1, nc)
+	if len(n.keys) <= degree {
+		return 0, nil
+	}
+	return t.splitInterior(n)
+}
+
+func (t *Tree[V]) splitLeaf(n *node[V]) (uint64, *node[V]) {
+	mid := len(n.keys) / 2
+	right := &node[V]{
+		keys: append([]uint64(nil), n.keys[mid:]...),
+		vals: append([]V(nil), n.vals[mid:]...),
+		next: n.next,
+		prev: n,
+	}
+	if n.next != nil {
+		n.next.prev = right
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *Tree[V]) splitInterior(n *node[V]) (uint64, *node[V]) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node[V]{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*node[V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+func insertAt[E any](s []E, i int, e E) []E {
+	s = append(s, e)
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// Delete removes k, reporting whether it was present.
+//
+// Deletion uses lazy rebalancing: underfull leaves are tolerated (they never
+// become empty except the root), which keeps the code simple at a small
+// space cost — appropriate for index workloads where deletes are rarer than
+// inserts.
+func (t *Tree[V]) Delete(k uint64) bool {
+	n := t.root
+	var parents []*node[V]
+	var idx []int
+	for !n.leaf() {
+		ci := childIndex(n.keys, k)
+		parents = append(parents, n)
+		idx = append(idx, ci)
+		n = n.children[ci]
+	}
+	i := search(n.keys, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return false
+	}
+	n.keys = removeAt(n.keys, i)
+	n.vals = removeAt(n.vals, i)
+	t.size--
+	// Unlink empty leaves so scans stay O(live nodes).
+	if len(n.keys) == 0 && len(parents) > 0 {
+		if n.prev != nil {
+			n.prev.next = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		}
+		for level := len(parents) - 1; level >= 0; level-- {
+			p, ci := parents[level], idx[level]
+			p.children = removeAt(p.children, ci)
+			if ci > 0 {
+				p.keys = removeAt(p.keys, ci-1)
+			} else if len(p.keys) > 0 {
+				p.keys = removeAt(p.keys, 0)
+			}
+			if len(p.children) > 0 {
+				break
+			}
+		}
+		// Collapse trivial roots.
+		for !t.root.leaf() && len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		}
+	}
+	return true
+}
+
+func removeAt[E any](s []E, i int) []E {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// Ascend calls fn for each entry with key in [from, to] in ascending order.
+// fn returning false stops the scan.
+func (t *Tree[V]) Ascend(from, to uint64, fn func(k uint64, v V) bool) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, from)]
+	}
+	i := search(n.keys, from)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > to {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// AscendAll visits every entry in ascending key order.
+func (t *Tree[V]) AscendAll(fn func(k uint64, v V) bool) {
+	t.Ascend(0, ^uint64(0), fn)
+}
+
+// Height returns the tree height (1 for a lone leaf); used in tests and
+// stats.
+func (t *Tree[V]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// CheckInvariants verifies structural invariants for tests.
+func (t *Tree[V]) CheckInvariants() error {
+	count := 0
+	var last *uint64
+	err := t.check(t.root, nil, nil, &count, &last)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d, counted %d", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree[V]) check(n *node[V], lo, hi *uint64, count *int, last **uint64) error {
+	if n.leaf() {
+		if len(n.vals) != len(n.keys) {
+			return fmt.Errorf("btree: leaf keys/vals mismatch")
+		}
+		for i := range n.keys {
+			k := n.keys[i]
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("btree: unsorted leaf keys")
+			}
+			if lo != nil && k < *lo {
+				return fmt.Errorf("btree: key %d below bound %d", k, *lo)
+			}
+			if hi != nil && k >= *hi {
+				return fmt.Errorf("btree: key %d above bound %d", k, *hi)
+			}
+			if *last != nil && **last >= k {
+				return fmt.Errorf("btree: leaf chain out of order")
+			}
+			kk := k
+			*last = &kk
+			*count++
+		}
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("btree: interior fanout mismatch")
+	}
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = &n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			chi = &n.keys[i]
+		}
+		if err := t.check(c, clo, chi, count, last); err != nil {
+			return err
+		}
+	}
+	return nil
+}

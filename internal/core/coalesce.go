@@ -1,0 +1,95 @@
+package core
+
+// Adaptive range coalescing (an extension from the paper's future-work
+// discussion). Repeated updates fragment the token sequence into many tiny
+// ranges, which bloats the range index and slows later inserts — the "many,
+// granular entries" row of Table 5. When Config.CoalesceBytes > 0, the store
+// merges a range with its document-order neighbours after a delete while
+//
+//   - the combined encoded size stays at or below CoalesceBytes, and
+//   - the merged range still covers one contiguous id interval: either one
+//     side has no ids at all, or the right side's interval starts exactly
+//     where the left side's ends.
+//
+// The second condition is what keeps id regeneration correct: replaying the
+// id factory over the merged token sequence must assign exactly the old ids.
+
+// maybeCoalesce tries to merge ri with its neighbours.
+func (s *Store) maybeCoalesce(ri *rangeInfo) {
+	if s.cfg.CoalesceBytes <= 0 || ri == nil || s.byRange[ri.id] == nil {
+		return
+	}
+	// Merge leftward first (prev absorbs ri), then rightward.
+	if prev, ok, err := s.prevRangeInfo(ri); err == nil && ok {
+		if merged, err := s.coalescePair(prev, ri); err == nil && merged {
+			ri = prev
+		}
+	}
+	if next, ok, err := s.nextRangeInfo(ri); err == nil && ok {
+		s.coalescePair(ri, next)
+	}
+}
+
+// coalescePair merges b (the document-order successor) into a when the
+// policy allows. Reports whether a merge happened.
+func (s *Store) coalescePair(a, b *rangeInfo) (bool, error) {
+	if a.bytes+b.bytes > s.cfg.CoalesceBytes {
+		return false, nil
+	}
+	if a.nodes > 0 && b.nodes > 0 && b.start != a.end()+1 {
+		return false, nil // ids would not regenerate contiguously
+	}
+	aBytes, err := s.readRange(a)
+	if err != nil {
+		return false, err
+	}
+	bBytes, err := s.readRange(b)
+	if err != nil {
+		return false, err
+	}
+
+	oldABytes, oldAToks := a.bytes, a.toks
+
+	// Merged identity: keep a's range id; the start id comes from whichever
+	// side has ids (a wins when both do).
+	newStart := a.start
+	if a.nodes == 0 {
+		newStart = b.start
+	}
+	// Index maintenance before mutating the descriptors.
+	if a.nodes > 0 {
+		s.rindex.Delete(uint64(a.start))
+	}
+	if b.nodes > 0 {
+		s.rindex.Delete(uint64(b.start))
+	}
+	if s.full != nil && b.nodes > 0 {
+		if err := s.full.rebase(b.start, b.nodes, a.id, int32(-oldABytes), int32(-oldAToks)); err != nil {
+			return false, err
+		}
+	}
+
+	// Drop b's record and descriptor (counters adjusted manually: the
+	// content moves rather than disappears).
+	delete(s.byRange, b.id)
+	delete(s.byLoc, b.loc)
+	if err := s.recs.Delete(b.loc); err != nil {
+		return false, err
+	}
+
+	merged := make([]byte, 0, len(aBytes)+len(bBytes))
+	merged = append(merged, aBytes...)
+	merged = append(merged, bBytes...)
+	a.start = newStart
+	a.nodes += b.nodes
+	a.toks += b.toks
+	a.bytes = len(merged)
+	if err := s.writeRangeRecord(a, merged); err != nil {
+		return false, err
+	}
+	if a.nodes > 0 {
+		s.rindex.Set(uint64(a.start), a)
+	}
+	s.merges++
+	return true, nil
+}

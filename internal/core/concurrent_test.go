@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xmltok"
+)
+
+// TestConcurrentReadersAndWriter exercises the store's internal locking:
+// full scans, point reads, navigation and XUpdate ops from many goroutines
+// must be race-free and never observe a torn document.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial, PartialCapacity: 256})
+	if _, err := s.Append(buildFlatDoc(30)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: appends and deletes at the tail.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			id, err := s.Append(xmltok.MustParseFragment(`<w><x>1</x></w>`))
+			if err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				if err := s.DeleteNode(id); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}
+		close(stop)
+	}()
+
+	// Scanners: the token nesting must always balance mid-flight.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				depth := 0
+				err := s.Scan(func(it Item) bool {
+					if it.Tok.IsBegin() {
+						depth++
+					} else if it.Tok.IsEnd() {
+						depth--
+					}
+					return true
+				})
+				if err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				if depth != 0 {
+					t.Errorf("torn scan: depth %d", depth)
+					return
+				}
+			}
+		}()
+	}
+
+	// Point readers over the stable prefix.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			id := NodeID(2 + seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.ReadNode(id); err != nil {
+					t.Errorf("read %d: %v", id, err)
+					return
+				}
+				if _, _, err := s.Parent(id); err != nil {
+					t.Errorf("parent %d: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmltok"
+)
+
+// TestCompareDocOrder checks document-order comparison against the
+// positions ReadAll reports, on a store whose ids are deliberately out of
+// document order (mid-document inserts).
+func TestCompareDocOrder(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial})
+	if _, err := s.Append(xmltok.MustParse(`<r><a/><b/><c/></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	// Insert in the middle: new ids are larger but come earlier in document
+	// order than <c>.
+	if _, err := s.InsertAfter(2, xmltok.MustParseFragment(`<after-a/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertIntoFirst(1, xmltok.MustParseFragment(`<front/>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	items, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docPos := map[NodeID]int{}
+	for i, it := range items {
+		if it.ID != InvalidNode {
+			docPos[it.ID] = i
+		}
+	}
+	var ids []NodeID
+	for id := range docPos {
+		ids = append(ids, id)
+	}
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a := ids[r.Intn(len(ids))]
+		b := ids[r.Intn(len(ids))]
+		got, err := s.CompareDocOrder(a, b)
+		if err != nil {
+			t.Fatalf("CompareDocOrder(%d,%d): %v", a, b, err)
+		}
+		want := 0
+		if docPos[a] < docPos[b] {
+			want = -1
+		} else if docPos[a] > docPos[b] {
+			want = 1
+		}
+		if got != want {
+			t.Fatalf("CompareDocOrder(%d,%d) = %d, want %d (pos %d vs %d)",
+				a, b, got, want, docPos[a], docPos[b])
+		}
+	}
+	// Errors for dead ids.
+	if _, err := s.CompareDocOrder(1, 999); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("missing id: %v", err)
+	}
+	if _, err := s.CompareDocOrder(999, 999); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("missing self-compare: %v", err)
+	}
+}
+
+func TestCompareDocOrderAcrossManyRanges(t *testing.T) {
+	s := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 4})
+	if _, err := s.Append(buildFlatDoc(30)); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential load: ids are in document order; spot-check transitivity
+	// across range boundaries.
+	st := s.Stats()
+	if st.Ranges < 10 {
+		t.Fatalf("want many ranges, got %d", st.Ranges)
+	}
+	for a := NodeID(1); a+7 <= NodeID(st.Nodes); a += 7 {
+		got, err := s.CompareDocOrder(a, a+7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != -1 {
+			t.Fatalf("CompareDocOrder(%d,%d) = %d", a, a+7, got)
+		}
+		rev, _ := s.CompareDocOrder(a+7, a)
+		if rev != 1 {
+			t.Fatalf("reverse = %d", rev)
+		}
+	}
+	if c, err := s.CompareDocOrder(5, 5); err != nil || c != 0 {
+		t.Errorf("self compare: %d %v", c, err)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+// Edge cases around range boundaries: attribute blocks split across ranges,
+// huge text values (overflow records), zero-node ranges, and deep splits.
+
+func TestAttributeBlockSplitAcrossRanges(t *testing.T) {
+	// Tiny MaxRangeTokens forces the element's attribute block across
+	// several ranges; insertIntoFirst must still land after the last
+	// attribute, and Attributes must cross range boundaries.
+	var sb strings.Builder
+	sb.WriteString(`<e`)
+	for i := 0; i < 10; i++ {
+		sb.WriteString(` a` + string(rune('0'+i)) + `="v"`)
+	}
+	sb.WriteString(`><c/></e>`)
+	s := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 3})
+	ref := newRefStore()
+	doc := xmltok.MustParse(sb.String())
+	if _, err := s.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	ref.append(doc)
+	if s.Stats().Ranges < 5 {
+		t.Fatalf("want many ranges, got %d", s.Stats().Ranges)
+	}
+	frag := xmltok.MustParseFragment(`first-content`)
+	if _, err := s.InsertIntoFirst(1, frag); err != nil {
+		t.Fatal(err)
+	}
+	ref.insertIntoFirst(1, frag)
+	compareStores(t, s, ref, "intoFirst across split attr block")
+
+	attrs, err := s.Attributes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 10 {
+		t.Errorf("attributes across ranges: %d", len(attrs))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHugeTextValuesOverflow(t *testing.T) {
+	// A text node far larger than the page size exercises overflow chains
+	// end to end, including splits of the containing range.
+	big := strings.Repeat("The quick brown fox. ", 2000) // ~42 KB
+	s := openStore(t, Config{Mode: RangePartial, PageSize: 1024, PoolPages: 16})
+	doc := []Token{token.Elem("r"), token.TextTok(big), token.Elem("tail"), token.EndElem(), token.EndElem()}
+	if _, err := s.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	// Read the huge node back.
+	items, err := s.ReadNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Tok.Value != big {
+		t.Fatal("huge text corrupted")
+	}
+	// Split the range around the huge token.
+	if _, err := s.InsertIntoLast(3, xmltok.MustParseFragment(`<x/>`)); err != nil {
+		t.Fatal(err)
+	}
+	items, err = s.ReadNode(2)
+	if err != nil || items[0].Tok.Value != big {
+		t.Fatal("huge text corrupted after split")
+	}
+	// Warm read through the exact-span fast path.
+	if _, err := s.ReadNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroNodeRanges(t *testing.T) {
+	// insertIntoLast of the only node splits its range into a head with
+	// all ids and a tail holding only the end token (zero nodes).
+	s := openStore(t, Config{Mode: RangeOnly})
+	if _, err := s.Append(xmltok.MustParse(`<only/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertIntoLast(1, xmltok.MustParseFragment(`<child/>`)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ranges <= st.RangeIndexEntries {
+		t.Errorf("expected an id-less range: ranges=%d indexed=%d", st.Ranges, st.RangeIndexEntries)
+	}
+	xml, _ := s.XMLString()
+	if xml != `<only><child/></only>` {
+		t.Errorf("got %s", xml)
+	}
+	// Further inserts into the zero-node range region.
+	if _, err := s.InsertIntoLast(1, xmltok.MustParseFragment(`<child2/>`)); err != nil {
+		t.Fatal(err)
+	}
+	xml, _ = s.XMLString()
+	if xml != `<only><child/><child2/></only>` {
+		t.Errorf("got %s", xml)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeeplyNestedSplits(t *testing.T) {
+	// Repeated insertIntoLast at increasing depth creates a begin-token
+	// prefix and an end-token tail spread over many ranges.
+	s := openStore(t, Config{Mode: RangePartial})
+	id, err := s.Append(xmltok.MustParse(`<d0/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := id
+	for i := 1; i <= 40; i++ {
+		next, err := s.InsertIntoLast(cur, xmltok.MustParseFragment(`<d/>`))
+		if err != nil {
+			t.Fatalf("depth %d: %v", i, err)
+		}
+		cur = next
+	}
+	// The deepest node's ancestors chain back to the root.
+	count := 0
+	for n := cur; ; {
+		p, ok, err := s.Parent(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+		n = p
+	}
+	if count != 40 {
+		t.Errorf("ancestor chain length %d, want 40", count)
+	}
+	// Reads and subtree of the root are intact.
+	xml, err := s.NodeXMLString(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(xml, "<d>") != 39 || !strings.Contains(xml, "<d/>") {
+		t.Errorf("nesting lost: %d d-elements", strings.Count(xml, "<d>"))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoakLargeRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// A heavier differential run with a larger document and page churn.
+	s := openStore(t, Config{Mode: RangePartial, MaxRangeTokens: 64, PageSize: 2048, PoolPages: 32, CoalesceBytes: 4096})
+	ref := newRefStore()
+	doc := buildFlatDoc(500)
+	if _, err := s.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	ref.append(doc)
+	r := rand.New(rand.NewSource(77))
+	for step := 0; step < 300; step++ {
+		ids := ref.nodeIDs()
+		elems := ref.elementIDs()
+		switch step % 5 {
+		case 0:
+			id := elems[r.Intn(len(elems))]
+			frag := randomFrag(r)
+			if _, err := s.InsertIntoLast(id, frag); err != nil {
+				t.Fatal(err)
+			}
+			ref.insertIntoLast(id, frag)
+		case 1:
+			id := ids[r.Intn(len(ids))]
+			if err := s.DeleteNode(id); err != nil {
+				t.Fatal(err)
+			}
+			ref.deleteNode(id)
+		case 2:
+			id := ids[r.Intn(len(ids))]
+			items, err := s.ReadNode(id)
+			if err != nil || len(items) == 0 {
+				t.Fatalf("read %d: %v", id, err)
+			}
+		case 3:
+			id := elems[r.Intn(len(elems))]
+			frag := randomFrag(r)
+			if _, err := s.ReplaceContent(id, frag); err != nil {
+				t.Fatal(err)
+			}
+			ref.replaceContent(id, frag)
+		case 4:
+			id := ids[r.Intn(len(ids))]
+			if ref.items[indexOf(t, ref, id)].Tok.Kind == token.BeginAttribute {
+				continue // attributes are not sibling-insert targets
+			}
+			frag := randomFrag(r)
+			if _, err := s.InsertBefore(id, frag); err != nil {
+				t.Fatal(err)
+			}
+			ref.insertBefore(id, frag)
+		}
+		if step%50 == 0 {
+			compareStores(t, s, ref, "soak")
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	compareStores(t, s, ref, "soak end")
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

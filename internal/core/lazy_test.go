@@ -1,0 +1,257 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltok"
+)
+
+// buildFlatDoc makes a document with n record children under one root.
+func buildFlatDoc(n int) []Token {
+	var sb strings.Builder
+	sb.WriteString("<all>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<rec><f>value</f></rec>")
+	}
+	sb.WriteString("</all>")
+	return xmltok.MustParse(sb.String())
+}
+
+func TestPartialIndexLearnsLazily(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial, PartialCapacity: 100})
+	s.Append(buildFlatDoc(200))
+
+	st := s.Stats()
+	if st.PartialEntries != 0 {
+		t.Fatalf("partial index should start empty, has %d", st.PartialEntries)
+	}
+
+	// First read of a node: miss, then the location is memorized.
+	id := NodeID(300)
+	if _, err := s.ReadNode(id); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.PartialMisses == 0 {
+		t.Error("first read should miss")
+	}
+	if st.PartialEntries == 0 {
+		t.Error("lookup should deposit an entry")
+	}
+	scannedAfterFirst := st.TokensScanned
+
+	// Second read of the same node: hit, far fewer tokens scanned.
+	if _, err := s.ReadNode(id); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.PartialHits == 0 {
+		t.Error("second read should hit")
+	}
+	extraScanned := st.TokensScanned - scannedAfterFirst
+	// The subtree has 4 tokens; a cold locate would scan ~hundreds.
+	if extraScanned > 10 {
+		t.Errorf("second read scanned %d tokens; the hit should skip the range scan", extraScanned)
+	}
+}
+
+func TestPartialIndexEviction(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial, PartialCapacity: 10})
+	s.Append(buildFlatDoc(100))
+	// Touch many more distinct nodes than the capacity.
+	for id := NodeID(2); id < 80; id += 3 {
+		if _, err := s.ReadNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.PartialEntries > 10 {
+		t.Errorf("partial index exceeded capacity: %d", st.PartialEntries)
+	}
+	if st.PartialEvictions == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestPartialIndexInvalidationOnSplit(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial, PartialCapacity: 100})
+	s.Append(buildFlatDoc(50))
+
+	// Warm the entry for a node near the end of the single range.
+	id := NodeID(100)
+	if _, err := s.ReadNode(id); err != nil {
+		t.Fatal(err)
+	}
+	preHits := s.Stats().PartialHits
+
+	// Split the range before that node by inserting near the front.
+	if _, err := s.InsertIntoFirst(1, xmltok.MustParseFragment(`<early/>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale entry must not be trusted; the read still returns correct
+	// data via the range index.
+	items, err := s.ReadNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].ID != id {
+		t.Fatalf("wrong node returned after split: %v", items[0])
+	}
+	st := s.Stats()
+	if st.PartialInvalidations == 0 {
+		t.Error("expected a lazy invalidation")
+	}
+	if st.PartialHits != preHits {
+		t.Error("stale entry counted as hit")
+	}
+	// And the fresh location is re-learned: next read hits.
+	s.ReadNode(id)
+	if s.Stats().PartialHits != preHits+1 {
+		t.Error("relearned entry should hit")
+	}
+}
+
+func TestPartialEndTokenCaching(t *testing.T) {
+	// locateEnd across a long subtree is expensive; the partial index must
+	// memorize the end location so InsertIntoLast on the same target gets
+	// cheap — the paper's purchase-order pattern.
+	s := openStore(t, Config{Mode: RangePartial, PartialCapacity: 100})
+	s.Append(buildFlatDoc(300))
+
+	frag := xmltok.MustParseFragment(`<po/>`)
+	// Two warm-up ops: the first locates cold and splits the load range
+	// (invalidating what it just learned); the second re-learns the final
+	// positions.
+	for i := 0; i < 2; i++ {
+		if _, err := s.InsertIntoLast(1, frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scannedWarm := s.Stats().TokensScanned
+	for i := 0; i < 10; i++ {
+		if _, err := s.InsertIntoLast(1, frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scannedPerOp := (s.Stats().TokensScanned - scannedWarm) / 10
+	if scannedPerOp > 5 {
+		t.Errorf("repeated insertIntoLast scans %d tokens/op; end caching broken", scannedPerOp)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullIndexExactLookups(t *testing.T) {
+	s := openStore(t, Config{Mode: FullIndex})
+	s.Append(buildFlatDoc(100))
+	st := s.Stats()
+	if uint64(st.FullIndexEntries) != st.Nodes {
+		t.Fatalf("full index has %d entries for %d nodes", st.FullIndexEntries, st.Nodes)
+	}
+	// Lookups never scan the range.
+	pre := s.Stats().TokensScanned
+	for id := NodeID(1); id <= 100; id++ {
+		if !s.Exists(id) {
+			t.Fatalf("node %d missing", id)
+		}
+	}
+	if got := s.Stats().TokensScanned - pre; got != 0 {
+		t.Errorf("full-index lookups scanned %d tokens", got)
+	}
+}
+
+func TestFullIndexMaintainedAcrossSplits(t *testing.T) {
+	s := openStore(t, Config{Mode: FullIndex})
+	s.Append(buildFlatDoc(50))
+	// Repeated mid-document inserts split ranges; all old and new entries
+	// must remain exact.
+	for i := 0; i < 20; i++ {
+		if _, err := s.InsertIntoLast(2, xmltok.MustParseFragment(`<x/>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if uint64(st.FullIndexEntries) != st.Nodes {
+		t.Fatalf("full index has %d entries for %d nodes", st.FullIndexEntries, st.Nodes)
+	}
+	pre := s.Stats().TokensScanned
+	for id := NodeID(1); id <= NodeID(st.Nodes); id++ {
+		if _, err := s.ReadNode(id); err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	// ReadNode scans subtree bodies but locates begins without scanning.
+	_ = pre
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescingMergesRanges(t *testing.T) {
+	// Coalescing can only merge ranges whose id intervals are contiguous
+	// (otherwise id regeneration would change), so a granular bulk load —
+	// whose chunk intervals abut — is where it pays off: a delete inside one
+	// chunk lets the surviving pieces fuse with their untouched neighbours.
+	cfg := Config{Mode: RangeOnly, MaxRangeTokens: 8, CoalesceBytes: 1 << 16}
+	s := openStore(t, cfg)
+	ref := newRefStore()
+	doc := buildFlatDoc(30)
+	s.Append(doc)
+	ref.append(doc)
+
+	noCoalesce := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 8})
+	noCoalesce.Append(doc)
+
+	ids := ref.elementIDs()
+	for i := 1; i < len(ids); i += 6 {
+		if err := s.DeleteNode(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		noCoalesce.DeleteNode(ids[i])
+		ref.deleteNode(ids[i])
+	}
+	compareStores(t, s, ref, "after fragmenting deletes")
+	st := s.Stats()
+	if st.Merges == 0 {
+		t.Error("expected coalescing to merge ranges")
+	}
+	if st.Ranges >= noCoalesce.Stats().Ranges {
+		t.Errorf("coalescing store has %d ranges, plain has %d",
+			st.Ranges, noCoalesce.Stats().Ranges)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial})
+	st := s.Stats()
+	if st.Nodes != 0 || st.Ranges != 0 {
+		t.Errorf("fresh stats: %+v", st)
+	}
+	s.Append(figure1())
+	st = s.Stats()
+	if st.Nodes != 5 || st.Tokens != 8 || st.Ranges != 1 || st.RangeIndexEntries != 1 {
+		t.Errorf("stats after figure1: %+v", st)
+	}
+	if st.Inserts != 1 {
+		t.Errorf("inserts = %d", st.Inserts)
+	}
+	if s.Mode() != RangePartial {
+		t.Errorf("mode = %v", s.Mode())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if RangeOnly.String() != "range" || RangePartial.String() != "range+partial" ||
+		FullIndex.String() != "full" {
+		t.Error("mode strings wrong")
+	}
+	if IndexMode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}

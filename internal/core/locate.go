@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// tokenPos addresses one token (or the end-of-range position) inside a
+// range: the token at index tokIdx, starting at byte byteOff of the range's
+// encoded tokens. nodesBefore counts the node-starting tokens strictly
+// before tokIdx — the quantity a split needs to partition the range's ID
+// interval.
+type tokenPos struct {
+	ri          *rangeInfo
+	tokIdx      int
+	byteOff     int
+	nodesBefore int
+}
+
+func (p tokenPos) atRangeEnd() bool { return p.byteOff >= p.ri.bytes }
+
+// locateBegin finds the begin token of node id, consulting the indexes in
+// the paper's priority order: full index (if configured), then partial
+// index, then the coarse range index plus a scan. It returns the position,
+// the decoded begin token, and the encoded token bytes of the containing
+// range (for reuse by callers that keep scanning).
+func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
+	s.nodeLookups++
+
+	// Full index: exact entry per node.
+	if s.full != nil {
+		e, ok, err := s.full.get(id)
+		if err != nil {
+			return tokenPos{}, Token{}, nil, err
+		}
+		if ok {
+			ri := s.byRange[e.rng]
+			if ri == nil {
+				return tokenPos{}, Token{}, nil, fmt.Errorf("core: full index names dead range %d", e.rng)
+			}
+			tokenBytes, err := s.readRange(ri)
+			if err != nil {
+				return tokenPos{}, Token{}, nil, err
+			}
+			tok, _, err := token.Decode(tokenBytes[e.byteOff:])
+			if err != nil {
+				return tokenPos{}, Token{}, nil, err
+			}
+			pos := tokenPos{ri: ri, tokIdx: int(e.tokIdx), byteOff: int(e.byteOff), nodesBefore: int(id - ri.start)}
+			return pos, tok, tokenBytes, nil
+		}
+		return tokenPos{}, Token{}, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, id)
+	}
+
+	// Partial index: lazily learned exact positions.
+	if s.partial != nil {
+		if e := s.partial.lookup(id); e != nil {
+			ri := s.byRange[e.beginRange]
+			if ri != nil && ri.version == e.beginVer {
+				s.partial.stats.hits++
+				tokenBytes, err := s.readRange(ri)
+				if err != nil {
+					return tokenPos{}, Token{}, nil, err
+				}
+				tok, _, err := token.Decode(tokenBytes[e.beginByte:])
+				if err != nil {
+					return tokenPos{}, Token{}, nil, err
+				}
+				pos := tokenPos{ri: ri, tokIdx: int(e.beginTok), byteOff: int(e.beginByte), nodesBefore: int(id - ri.start)}
+				return pos, tok, tokenBytes, nil
+			}
+			// Stale: the range was mutated or removed. Lazy invalidation.
+			s.partial.drop(e)
+		}
+		s.partial.stats.misses++
+	}
+
+	// Coarse range index: floor search on interval start, then scan. The
+	// scan classifies tokens by their kind byte and skips decoding names
+	// and values until the target is found.
+	_, ri, ok := s.rindex.Floor(uint64(id))
+	if !ok || !ri.contains(id) {
+		return tokenPos{}, Token{}, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, id)
+	}
+	tokenBytes, err := s.readRange(ri)
+	if err != nil {
+		return tokenPos{}, Token{}, nil, err
+	}
+	r := newTokenReader(tokenBytes)
+	cur := ri.start
+	tokIdx := 0
+	for r.More() {
+		off := r.Offset()
+		if token.Kind(tokenBytes[off]).StartsNode() {
+			if cur == id {
+				tok, _, err := token.Decode(tokenBytes[off:])
+				if err != nil {
+					return tokenPos{}, Token{}, nil, err
+				}
+				pos := tokenPos{ri: ri, tokIdx: tokIdx, byteOff: off, nodesBefore: int(id - ri.start)}
+				if s.partial != nil {
+					s.partial.recordBegin(id, ri.id, ri.version, off, tokIdx)
+				}
+				return pos, tok, tokenBytes, nil
+			}
+			cur++
+		}
+		if _, err := r.Skip(); err != nil {
+			return tokenPos{}, Token{}, nil, err
+		}
+		s.tokensScanned++
+		tokIdx++
+	}
+	return tokenPos{}, Token{}, nil, fmt.Errorf("core: range %v claims id %d but scan missed it", ri, id)
+}
+
+// locateEnd finds the end token of the node whose begin token is at `begin`
+// (with the given decoded token). For leaf tokens the end is the begin
+// itself. The returned token bytes belong to the range containing the end
+// position.
+//
+// beginBytes are the encoded tokens of begin.ri, passed through to avoid a
+// re-read when the scan starts in the same range.
+func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes []byte) (tokenPos, []byte, error) {
+	if !beginTok.IsBegin() {
+		return begin, beginBytes, nil
+	}
+
+	// The partial index may know the end position already.
+	if s.partial != nil {
+		if e := s.partial.lookup(id); e != nil && e.hasEnd {
+			ri := s.byRange[e.endRange]
+			if ri != nil && ri.version == e.endVer {
+				s.partial.stats.hits++
+				var tokenBytes []byte
+				var err error
+				if ri == begin.ri {
+					tokenBytes = beginBytes
+				} else if tokenBytes, err = s.readRange(ri); err != nil {
+					return tokenPos{}, nil, err
+				}
+				// endNodesBefore was stored in endTok's companion field via
+				// nodesBefore packing; recompute cheaply when in the begin
+				// range, otherwise scan-free value is stored.
+				pos := tokenPos{ri: ri, tokIdx: int(e.endTok), byteOff: int(e.endByte), nodesBefore: int(e.endNodesBefore)}
+				return pos, tokenBytes, nil
+			}
+		}
+	}
+
+	// Scan forward from the begin token, counting depth, crossing ranges in
+	// document order as needed. Only token kinds are examined.
+	ri := begin.ri
+	tokenBytes := beginBytes
+	r := newTokenReader(tokenBytes)
+	r.SetOffset(begin.byteOff)
+	tokIdx := begin.tokIdx
+	nodesSeen := begin.nodesBefore
+	depth := 0
+	for {
+		for r.More() {
+			off := r.Offset()
+			k, err := r.Skip()
+			if err != nil {
+				return tokenPos{}, nil, err
+			}
+			s.tokensScanned++
+			if k.StartsNode() {
+				nodesSeen++
+			}
+			if k.IsBegin() {
+				depth++
+			} else if k.IsEnd() {
+				depth--
+				if depth == 0 {
+					pos := tokenPos{ri: ri, tokIdx: tokIdx, byteOff: off, nodesBefore: nodesSeen}
+					if s.partial != nil {
+						e := s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx)
+						e.endNodesBefore = int32(nodesSeen)
+						e.endLen = int32(r.Offset() - off)
+					}
+					return pos, tokenBytes, nil
+				}
+			}
+			tokIdx++
+		}
+		// Continue into the next range.
+		nri, ok, err := s.nextRangeInfo(ri)
+		if err != nil {
+			return tokenPos{}, nil, err
+		}
+		if !ok {
+			return tokenPos{}, nil, fmt.Errorf("core: unbalanced store: no end token for node %d", id)
+		}
+		ri = nri
+		tokenBytes, err = s.readRange(ri)
+		if err != nil {
+			return tokenPos{}, nil, err
+		}
+		r = newTokenReader(tokenBytes)
+		tokIdx = 0
+		nodesSeen = 0
+	}
+}
+
+// advance returns the position immediately after the token at pos (given the
+// token bytes of pos.ri). The result may be the end-of-range position; it is
+// never advanced into the next range (record-level inserts handle that
+// boundary directly).
+func advance(pos tokenPos, tokenBytes []byte) (tokenPos, error) {
+	t, n, err := token.Decode(tokenBytes[pos.byteOff:])
+	if err != nil {
+		return tokenPos{}, err
+	}
+	nb := pos.nodesBefore
+	if t.StartsNode() {
+		nb++
+	}
+	return tokenPos{ri: pos.ri, tokIdx: pos.tokIdx + 1, byteOff: pos.byteOff + n, nodesBefore: nb}, nil
+}
+
+// skipAttributes advances pos (which must sit just after an element's begin
+// token) past the element's attribute block, returning the position of the
+// first content token (or the element's end token) plus the token bytes of
+// the range it lies in. The scan crosses range boundaries, since a split may
+// have cut through the attribute block.
+func (s *Store) skipAttributes(pos tokenPos, tokenBytes []byte) (tokenPos, []byte, error) {
+	depth := 0
+	for {
+		r := newTokenReader(tokenBytes)
+		r.SetOffset(pos.byteOff)
+		for !pos.atRangeEnd() {
+			k := token.Kind(tokenBytes[pos.byteOff])
+			if depth == 0 && k != token.BeginAttribute {
+				return pos, tokenBytes, nil
+			}
+			if _, err := r.Skip(); err != nil {
+				return tokenPos{}, nil, err
+			}
+			if k.IsBegin() {
+				depth++
+			} else if k.IsEnd() {
+				depth--
+			}
+			if k.StartsNode() {
+				pos.nodesBefore++
+			}
+			s.tokensScanned++
+			pos.tokIdx++
+			pos.byteOff = r.Offset()
+		}
+		nri, ok, err := s.nextRangeInfo(pos.ri)
+		if err != nil {
+			return tokenPos{}, nil, err
+		}
+		if !ok {
+			// End of the sequence: valid boundary position.
+			return pos, tokenBytes, nil
+		}
+		pos = tokenPos{ri: nri}
+		tokenBytes, err = s.readRange(nri)
+		if err != nil {
+			return tokenPos{}, nil, err
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// Structural navigation — the extension sketched in the paper's future-work
+// section: "Structural properties of the actual elements of the XQuery
+// DataModel, such as hierarchical or sibling relationships can also be
+// maintained by the Partial Index."
+//
+// All relations are computed from the flat token sequence (no parent
+// pointers are stored), and the partial index memorizes what the
+// computation discovers: sibling navigation reuses the cached end-token
+// positions, and parent links — stable for the lifetime of a node — are
+// cached unversioned.
+
+// Parent returns the parent node of id (ok=false for top-level nodes).
+// Attributes' parent is their owner element.
+func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, false, ErrClosed
+	}
+	// Cached parent links survive all mutations that keep the child alive:
+	// deleting or replacing the parent removes the whole subtree, so a live
+	// child's parent id can never be stale. The cache is gated on the
+	// entry's begin-token validity, which any mutation that removes the
+	// child necessarily invalidates.
+	if s.partial != nil {
+		if e := s.partial.lookup(id); e != nil && e.hasParent {
+			ri := s.byRange[e.beginRange]
+			if ri != nil && ri.version == e.beginVer {
+				s.partial.stats.hits++
+				if e.parentID == InvalidNode {
+					return InvalidNode, false, nil
+				}
+				return e.parentID, true, nil
+			}
+		}
+	}
+	begin, _, _, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	parent, ok, err := s.findEnclosing(begin)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	if s.partial != nil {
+		e := s.partial.ensure(id)
+		e.hasParent = true
+		if ok {
+			e.parentID = parent
+		} else {
+			e.parentID = InvalidNode
+		}
+	}
+	return parent, ok, nil
+}
+
+// findEnclosing locates the node whose begin token is still open at pos
+// (the parent): scan the prefix of pos's range tracking a begin stack, then
+// walk earlier ranges leftward. Unmatched end tokens in a later range close
+// begins in earlier ranges, so a deficit is carried: an earlier range's top
+// `deficit` unmatched begins are already closed and must be skipped.
+func (s *Store) findEnclosing(pos tokenPos) (NodeID, bool, error) {
+	ri := pos.ri
+	limit := pos.byteOff
+	deficit := 0
+	for {
+		stack, rangeDeficit, err := s.scanOpenBegins(ri, limit)
+		if err != nil {
+			return InvalidNode, false, err
+		}
+		if len(stack) > deficit {
+			return stack[len(stack)-1-deficit], true, nil
+		}
+		deficit += rangeDeficit - len(stack)
+		prev, ok, err := s.prevRangeInfo(ri)
+		if err != nil {
+			return InvalidNode, false, err
+		}
+		if !ok {
+			return InvalidNode, false, nil // top level
+		}
+		ri = prev
+		limit = ri.bytes
+	}
+}
+
+// scanOpenBegins scans the first `limit` bytes of ri and returns the node
+// ids of the begins left unmatched within the window (bottom-up) and the
+// number of end tokens that had no matching begin inside the window.
+func (s *Store) scanOpenBegins(ri *rangeInfo, limit int) ([]NodeID, int, error) {
+	tokenBytes, err := s.readRange(ri)
+	if err != nil {
+		return nil, 0, err
+	}
+	var stack []NodeID
+	unmatchedEnds := 0
+	cur := ri.start
+	r := newTokenReader(tokenBytes[:limit])
+	for r.More() {
+		k, err := r.Skip()
+		if err != nil {
+			return nil, 0, err
+		}
+		s.tokensScanned++
+		var nodeID NodeID
+		if k.StartsNode() {
+			nodeID = cur
+			cur++
+		}
+		if k.IsBegin() {
+			stack = append(stack, nodeID)
+		} else if k.IsEnd() {
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			} else {
+				unmatchedEnds++
+			}
+		}
+	}
+	return stack, unmatchedEnds, nil
+}
+
+// FirstChild returns the first child node of element id (attributes are not
+// children; use Attributes). ok=false when the element is empty.
+func (s *Store) FirstChild(id NodeID) (NodeID, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, false, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	if !tok.IsBegin() {
+		return InvalidNode, false, nil // leaves have no children
+	}
+	if tok.Kind == token.BeginAttribute {
+		return InvalidNode, false, nil
+	}
+	pos, err := advance(begin, tokenBytes)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	pos, tokenBytes, err = s.skipAttributes(pos, tokenBytes)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	pos, tokenBytes, ok, err := s.normalizeForward(pos, tokenBytes)
+	if err != nil || !ok {
+		return InvalidNode, false, err
+	}
+	k := token.Kind(tokenBytes[pos.byteOff])
+	if k.IsEnd() {
+		return InvalidNode, false, nil // empty element
+	}
+	return pos.ri.start + NodeID(pos.nodesBefore), true, nil
+}
+
+// NextSibling returns the node following id under the same parent
+// (attributes have no siblings in this API).
+func (s *Store) NextSibling(id NodeID) (NodeID, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, false, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	if tok.Kind == token.BeginAttribute {
+		return InvalidNode, false, nil
+	}
+	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	pos, err := advance(end, endBytes)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	pos, endBytes, ok, err := s.normalizeForward(pos, endBytes)
+	if err != nil || !ok {
+		return InvalidNode, false, err
+	}
+	k := token.Kind(endBytes[pos.byteOff])
+	if k.IsEnd() {
+		return InvalidNode, false, nil // parent closes here
+	}
+	return pos.ri.start + NodeID(pos.nodesBefore), true, nil
+}
+
+// PrevSibling returns the node preceding id under the same parent.
+func (s *Store) PrevSibling(id NodeID) (NodeID, bool, error) {
+	// Computed via the parent: walk its children until id.
+	parent, ok, err := s.Parent(id)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	var cur NodeID
+	if ok {
+		cur, ok, err = s.FirstChild(parent)
+	} else {
+		cur, ok, err = s.FirstNodeID()
+	}
+	if err != nil || !ok || cur == id {
+		return InvalidNode, false, err
+	}
+	for {
+		next, ok, err := s.NextSibling(cur)
+		if err != nil {
+			return InvalidNode, false, err
+		}
+		if !ok {
+			return InvalidNode, false, fmt.Errorf("core: sibling walk missed node %d", id)
+		}
+		if next == id {
+			return cur, true, nil
+		}
+		cur = next
+	}
+}
+
+// Attributes returns the attribute node ids of element id in order.
+func (s *Store) Attributes(id NodeID) ([]NodeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != token.BeginElement {
+		return nil, nil
+	}
+	pos, err := advance(begin, tokenBytes)
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeID
+	depth := 0
+	for {
+		var ok bool
+		pos, tokenBytes, ok, err = s.normalizeForward(pos, tokenBytes)
+		if err != nil || !ok {
+			return out, err
+		}
+		k := token.Kind(tokenBytes[pos.byteOff])
+		if depth == 0 {
+			if k != token.BeginAttribute {
+				return out, nil
+			}
+			out = append(out, pos.ri.start+NodeID(pos.nodesBefore))
+		}
+		// Step one token, tracking attribute nesting across ranges.
+		r := newTokenReader(tokenBytes)
+		r.SetOffset(pos.byteOff)
+		if _, err := r.Skip(); err != nil {
+			return nil, err
+		}
+		if k.StartsNode() {
+			pos.nodesBefore++
+		}
+		if k.IsBegin() {
+			depth++
+		} else if k.IsEnd() {
+			depth--
+		}
+		pos.tokIdx++
+		pos.byteOff = r.Offset()
+	}
+}
+
+// Children returns all child node ids of element id, in document order.
+func (s *Store) Children(id NodeID) ([]NodeID, error) {
+	var out []NodeID
+	cur, ok, err := s.FirstChild(id)
+	if err != nil {
+		return nil, err
+	}
+	for ok {
+		out = append(out, cur)
+		cur, ok, err = s.NextSibling(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CompareDocOrder orders two live node ids by document position (-1, 0, 1)
+// — the paper's §6.2: sequential ids are only insert-ordered, but the
+// combination of range order in storage and id order inside ranges
+// reconstructs document order at read time.
+func (s *Store) CompareDocOrder(a, b NodeID) (int, error) {
+	if a == b {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return 0, ErrClosed
+		}
+		if _, _, _, err := s.locateBegin(a); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	posA, _, _, err := s.locateBegin(a)
+	if err != nil {
+		return 0, err
+	}
+	posB, _, _, err := s.locateBegin(b)
+	if err != nil {
+		return 0, err
+	}
+	if posA.ri == posB.ri {
+		if posA.byteOff < posB.byteOff {
+			return -1, nil
+		}
+		return 1, nil
+	}
+	// Walk the range chain in document order; the range seen first wins.
+	ri, ok, err := s.firstRange()
+	if err != nil {
+		return 0, err
+	}
+	for ok {
+		switch ri {
+		case posA.ri:
+			return -1, nil
+		case posB.ri:
+			return 1, nil
+		}
+		ri, ok, err = s.nextRangeInfo(ri)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("core: ranges of %d and %d not found in chain", a, b)
+}
+
+// normalizeForward moves a boundary position (at range end) forward to the
+// first token of the next non-empty range, returning ok=false at the end of
+// the sequence. Positions already on a token are returned unchanged.
+func (s *Store) normalizeForward(pos tokenPos, tokenBytes []byte) (tokenPos, []byte, bool, error) {
+	for pos.atRangeEnd() {
+		nri, ok, err := s.nextRangeInfo(pos.ri)
+		if err != nil || !ok {
+			return pos, tokenBytes, false, err
+		}
+		pos = tokenPos{ri: nri}
+		tokenBytes, err = s.readRange(nri)
+		if err != nil {
+			return pos, nil, false, err
+		}
+	}
+	return pos, tokenBytes, true, nil
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xmltok"
+)
+
+// navDoc: ids are
+// 1=root 2=@r 3=a 4=b 5="x" 6=c 7=d 8=@k 9="y" 10=e
+const navSrc = `<root r="1"><a><b>x</b><c/></a><d k="v">y</d><e/></root>`
+
+func navStore(t *testing.T, mode IndexMode) *Store {
+	t.Helper()
+	s := openStore(t, Config{Mode: mode})
+	if _, err := s.Append(xmltok.MustParse(navSrc)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNavigationBasics(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := navStore(t, mode)
+
+			// Parent relations.
+			parentCases := []struct {
+				id     NodeID
+				parent NodeID
+				ok     bool
+			}{
+				{1, 0, false}, // root has no parent
+				{2, 1, true},  // attribute's parent is its element
+				{3, 1, true},
+				{4, 3, true},
+				{5, 4, true},
+				{6, 3, true},
+				{7, 1, true},
+				{9, 7, true},
+				{10, 1, true},
+			}
+			for _, c := range parentCases {
+				p, ok, err := s.Parent(c.id)
+				if err != nil {
+					t.Fatalf("Parent(%d): %v", c.id, err)
+				}
+				if ok != c.ok || (ok && p != c.parent) {
+					t.Errorf("Parent(%d) = %d,%v; want %d,%v", c.id, p, ok, c.parent, c.ok)
+				}
+			}
+
+			// FirstChild skips attributes.
+			fc, ok, err := s.FirstChild(1)
+			if err != nil || !ok || fc != 3 {
+				t.Errorf("FirstChild(root) = %d,%v,%v; want 3", fc, ok, err)
+			}
+			fc, ok, _ = s.FirstChild(7) // <d k="v">y</d> -> text y
+			if !ok || fc != 9 {
+				t.Errorf("FirstChild(d) = %d,%v; want 9", fc, ok)
+			}
+			if _, ok, _ := s.FirstChild(10); ok {
+				t.Error("empty element has a child")
+			}
+			if _, ok, _ := s.FirstChild(5); ok {
+				t.Error("text node has a child")
+			}
+
+			// Sibling chain under root: a(3) -> d(7) -> e(10).
+			next, ok, _ := s.NextSibling(3)
+			if !ok || next != 7 {
+				t.Errorf("NextSibling(3) = %d,%v", next, ok)
+			}
+			next, ok, _ = s.NextSibling(7)
+			if !ok || next != 10 {
+				t.Errorf("NextSibling(7) = %d,%v", next, ok)
+			}
+			if _, ok, _ := s.NextSibling(10); ok {
+				t.Error("last child has a next sibling")
+			}
+			if _, ok, _ := s.NextSibling(1); ok {
+				t.Error("lone root has a next sibling")
+			}
+
+			prev, ok, _ := s.PrevSibling(7)
+			if !ok || prev != 3 {
+				t.Errorf("PrevSibling(7) = %d,%v", prev, ok)
+			}
+			if _, ok, _ := s.PrevSibling(3); ok {
+				t.Error("first child has a prev sibling")
+			}
+
+			// Attributes.
+			attrs, err := s.Attributes(1)
+			if err != nil || len(attrs) != 1 || attrs[0] != 2 {
+				t.Errorf("Attributes(root) = %v, %v", attrs, err)
+			}
+			attrs, _ = s.Attributes(3)
+			if len(attrs) != 0 {
+				t.Errorf("Attributes(a) = %v", attrs)
+			}
+
+			// Children.
+			kids, err := s.Children(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []NodeID{3, 7, 10}
+			if len(kids) != len(want) {
+				t.Fatalf("Children(root) = %v", kids)
+			}
+			for i := range want {
+				if kids[i] != want[i] {
+					t.Fatalf("Children(root) = %v, want %v", kids, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNavigationAcrossSplits(t *testing.T) {
+	// Splitting ranges with inserts must not break structural relations,
+	// and navigation over multi-range subtrees must cross boundaries.
+	s := navStore(t, RangePartial)
+	// Split inside <a>: new node under b.
+	newID, err := s.InsertIntoLast(4, xmltok.MustParseFragment(`<w/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := s.Parent(newID)
+	if err != nil || !ok || p != 4 {
+		t.Errorf("Parent(new) = %d,%v,%v; want 4", p, ok, err)
+	}
+	// b's children now: "x"(5), w(new).
+	kids, _ := s.Children(4)
+	if len(kids) != 2 || kids[0] != 5 || kids[1] != newID {
+		t.Errorf("Children(b) = %v", kids)
+	}
+	// Old relations intact after the splits.
+	if p, ok, _ := s.Parent(6); !ok || p != 3 {
+		t.Errorf("Parent(c) = %d,%v", p, ok)
+	}
+	if next, ok, _ := s.NextSibling(3); !ok || next != 7 {
+		t.Errorf("NextSibling(a) = %d,%v", next, ok)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNavigationTopLevelSiblings(t *testing.T) {
+	s := openStore(t, Config{})
+	s.Append(xmltok.MustParseFragment(`<a/><b/><c/>`))
+	// a=1 b=2 c=3 at top level.
+	if next, ok, _ := s.NextSibling(1); !ok || next != 2 {
+		t.Errorf("NextSibling(1) = %d,%v", next, ok)
+	}
+	if prev, ok, _ := s.PrevSibling(3); !ok || prev != 2 {
+		t.Errorf("PrevSibling(3) = %d,%v", prev, ok)
+	}
+	if _, ok, _ := s.Parent(2); ok {
+		t.Error("top-level node has a parent")
+	}
+}
+
+func TestParentCaching(t *testing.T) {
+	s := navStore(t, RangePartial)
+	// Deep node: parent lookup scans; second lookup must hit the cache.
+	if _, _, err := s.Parent(5); err != nil {
+		t.Fatal(err)
+	}
+	scanned := s.Stats().TokensScanned
+	hits := s.Stats().PartialHits
+	if _, _, err := s.Parent(5); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TokensScanned != scanned {
+		t.Errorf("cached parent lookup scanned %d tokens", st.TokensScanned-scanned)
+	}
+	if st.PartialHits <= hits {
+		t.Error("cached parent lookup did not count as a hit")
+	}
+	// Deleting the subtree invalidates: Parent on the dead node errors.
+	if err := s.DeleteNode(4); err != nil { // <b> and its text child 5
+		t.Fatal(err)
+	}
+	if _, _, err := s.Parent(5); err == nil {
+		t.Error("Parent of deleted node should fail")
+	}
+}
+
+func TestNavigationDeepDocument(t *testing.T) {
+	// Parent search across many ranges, including carried end-token
+	// deficits: build <d1><d2>...<dN/>...</d2></d1> chopped into tiny
+	// ranges, then ask for parents from the bottom.
+	var src string
+	const depth = 30
+	for i := 0; i < depth; i++ {
+		src += "<d>"
+	}
+	src += "<leaf/>"
+	for i := 0; i < depth; i++ {
+		src += "</d>"
+	}
+	s := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 4})
+	if _, err := s.Append(xmltok.MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+	// leaf id = depth+1; its parent chain is depth, depth-1, ..., 1.
+	id := NodeID(depth + 1)
+	for want := NodeID(depth); want >= 1; want-- {
+		p, ok, err := s.Parent(id)
+		if err != nil || !ok {
+			t.Fatalf("Parent(%d): %v %v", id, ok, err)
+		}
+		if p != want {
+			t.Fatalf("Parent(%d) = %d, want %d", id, p, want)
+		}
+		id = p
+	}
+	if _, ok, _ := s.Parent(1); ok {
+		t.Error("outermost element has a parent")
+	}
+}
+
+func TestNavigationErrors(t *testing.T) {
+	s := navStore(t, RangeOnly)
+	if _, _, err := s.Parent(99); err == nil {
+		t.Error("Parent of missing node")
+	}
+	if _, _, err := s.FirstChild(99); err == nil {
+		t.Error("FirstChild of missing node")
+	}
+	if _, _, err := s.NextSibling(99); err == nil {
+		t.Error("NextSibling of missing node")
+	}
+	if _, err := s.Attributes(99); err == nil {
+		t.Error("Attributes of missing node")
+	}
+	// Attribute nodes: no children/siblings, but a parent.
+	if _, ok, _ := s.FirstChild(2); ok {
+		t.Error("attribute has a child")
+	}
+	if _, ok, _ := s.NextSibling(2); ok {
+		t.Error("attribute has a sibling")
+	}
+	// Attributes of non-elements are empty.
+	attrs, err := s.Attributes(5)
+	if err != nil || len(attrs) != 0 {
+		t.Errorf("Attributes(text) = %v, %v", attrs, err)
+	}
+	s.Close()
+	if _, _, err := s.Parent(1); err == nil {
+		t.Error("Parent on closed store")
+	}
+}
+
+// Differential test: navigation answers must agree with a reference tree
+// built from ReadAll, across random stores.
+func TestNavigationDifferential(t *testing.T) {
+	s := openStore(t, Config{Mode: RangePartial, MaxRangeTokens: 8, PageSize: 1024})
+	doc := buildFlatDoc(40)
+	if _, err := s.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	// Shake the structure with a few updates.
+	s.InsertIntoLast(2, xmltok.MustParseFragment(`<extra><deep/></extra>`))
+	s.DeleteNode(10)
+	s.InsertAfter(5, xmltok.MustParseFragment(`sibling-text`))
+
+	items, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: compute parent and sibling maps from the flat items.
+	type rel struct {
+		parent, next NodeID
+		kids         []NodeID
+		attrs        []NodeID
+	}
+	rels := map[NodeID]*rel{}
+	get := func(id NodeID) *rel {
+		if rels[id] == nil {
+			rels[id] = &rel{}
+		}
+		return rels[id]
+	}
+	var stack []NodeID
+	var lastSibling = map[NodeID]NodeID{} // parent -> previous child seen
+	for _, it := range items {
+		switch {
+		case it.Tok.Kind.IsBegin() || it.Tok.StartsNode():
+			if it.ID != InvalidNode {
+				var parent NodeID
+				if len(stack) > 0 {
+					parent = stack[len(stack)-1]
+				}
+				get(it.ID).parent = parent
+				isAttr := it.Tok.Kind.String() == "BEGIN_ATTRIBUTE"
+				if isAttr {
+					get(parent).attrs = append(get(parent).attrs, it.ID)
+				} else {
+					if prev, ok := lastSibling[parent]; ok {
+						get(prev).next = it.ID
+					}
+					lastSibling[parent] = it.ID
+					get(parent).kids = append(get(parent).kids, it.ID)
+				}
+			}
+			if it.Tok.Kind.IsBegin() {
+				stack = append(stack, it.ID)
+			}
+		case it.Tok.Kind.IsEnd():
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for id, want := range rels {
+		if id == InvalidNode {
+			continue
+		}
+		p, ok, err := s.Parent(id)
+		if err != nil {
+			t.Fatalf("Parent(%d): %v", id, err)
+		}
+		if want.parent == InvalidNode {
+			if ok {
+				t.Errorf("Parent(%d) = %d, want none", id, p)
+			}
+		} else if !ok || p != want.parent {
+			t.Errorf("Parent(%d) = %d,%v; want %d", id, p, ok, want.parent)
+		}
+		if want.next != InvalidNode {
+			n, ok, err := s.NextSibling(id)
+			if err != nil {
+				t.Fatalf("NextSibling(%d): %v", id, err)
+			}
+			if !ok || n != want.next {
+				t.Errorf("NextSibling(%d) = %d,%v; want %d", id, n, ok, want.next)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import "container/list"
+
+// The partial (lazy) index — Section 5 of the paper.
+//
+// It is "a combination between a real index and a cache": every successful
+// locate of a node's begin or end token deposits the exact (range, byte
+// offset, token index) here, so a repeated lookup of the same logical
+// position skips the range scan entirely. Capacity is bounded with LRU
+// eviction, and entries invalidate lazily: each entry remembers the version
+// of the range it points into, and a version mismatch (the range was split,
+// merged, rewritten or deleted) makes the entry a miss. Nothing is updated
+// eagerly — laziness all the way down.
+
+// partialEntry caches the location of a node's begin token and, when known,
+// its matching end token.
+type partialEntry struct {
+	id NodeID
+
+	beginRange RangeID
+	beginVer   uint32
+	beginByte  int32
+	beginTok   int32
+
+	hasEnd         bool
+	endRange       RangeID
+	endVer         uint32
+	endByte        int32
+	endTok         int32
+	endNodesBefore int32 // node-start tokens before the end token in its range
+	endLen         int32 // encoded length of the end token
+
+	// Structural extension (paper §9): parent links are stable for the
+	// lifetime of a node, so no version stamp is needed.
+	hasParent bool
+	parentID  NodeID
+
+	elem *list.Element
+}
+
+type partialStats struct {
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+}
+
+type partialIndex struct {
+	capacity int
+	entries  map[NodeID]*partialEntry
+	lru      *list.List // front = least recently used
+	stats    partialStats
+}
+
+func newPartialIndex(capacity int) *partialIndex {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &partialIndex{
+		capacity: capacity,
+		entries:  make(map[NodeID]*partialEntry, capacity),
+		lru:      list.New(),
+	}
+}
+
+func (px *partialIndex) len() int { return len(px.entries) }
+
+// touch moves e to the most-recently-used position.
+func (px *partialIndex) touch(e *partialEntry) {
+	px.lru.MoveToBack(e.elem)
+}
+
+// lookup returns the entry for id if present (without validity checking —
+// the store validates versions since it owns the range table).
+func (px *partialIndex) lookup(id NodeID) *partialEntry {
+	e, ok := px.entries[id]
+	if !ok {
+		return nil
+	}
+	px.touch(e)
+	return e
+}
+
+// drop removes a (stale) entry.
+func (px *partialIndex) drop(e *partialEntry) {
+	px.lru.Remove(e.elem)
+	delete(px.entries, e.id)
+	px.stats.invalidations++
+}
+
+// recordBegin memorizes the begin-token location of id.
+func (px *partialIndex) recordBegin(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int) *partialEntry {
+	e := px.ensure(id)
+	e.beginRange, e.beginVer = rng, ver
+	e.beginByte, e.beginTok = int32(byteOff), int32(tokIdx)
+	return e
+}
+
+// recordEnd memorizes the end-token location of id.
+func (px *partialIndex) recordEnd(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int) *partialEntry {
+	e := px.ensure(id)
+	e.hasEnd = true
+	e.endRange, e.endVer = rng, ver
+	e.endByte, e.endTok = int32(byteOff), int32(tokIdx)
+	return e
+}
+
+func (px *partialIndex) ensure(id NodeID) *partialEntry {
+	if e, ok := px.entries[id]; ok {
+		px.touch(e)
+		return e
+	}
+	if len(px.entries) >= px.capacity {
+		victim := px.lru.Front()
+		if victim != nil {
+			v := victim.Value.(*partialEntry)
+			px.lru.Remove(victim)
+			delete(px.entries, v.id)
+			px.stats.evictions++
+		}
+	}
+	e := &partialEntry{id: id}
+	e.elem = px.lru.PushBack(e)
+	px.entries[id] = e
+	return e
+}
+
+// removeNode forgets id entirely (used when the node is deleted).
+func (px *partialIndex) removeNode(id NodeID) {
+	if e, ok := px.entries[id]; ok {
+		px.lru.Remove(e.elem)
+		delete(px.entries, id)
+	}
+}
+
+// reset clears all entries (bulk operations).
+func (px *partialIndex) reset() {
+	px.entries = make(map[NodeID]*partialEntry, px.capacity)
+	px.lru.Init()
+}

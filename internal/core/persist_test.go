@@ -1,0 +1,139 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/xmltok"
+)
+
+func TestReopenRebuildsIndexes(t *testing.T) {
+	pager := pagestore.NewMemPager(1024)
+	s, err := Open(Config{Mode: RangeOnly, PageSize: 1024, Pager: pager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := buildFlatDoc(50)
+	if _, err := s.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate so the store has interesting structure (splits, new ids).
+	if _, err := s.InsertIntoLast(2, xmltok.MustParseFragment(`<inserted/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteNode(5); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := s.Stats()
+	meta := s.MetaPage()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen over the same pager in a different mode (indexes are derived
+	// state, so the mode is free to change between sessions).
+	s2, err := Reopen(Config{Mode: FullIndex, PageSize: 1024}, pager, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened store has %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	st := s2.Stats()
+	if st.Nodes != wantStats.Nodes || st.Tokens != wantStats.Tokens || st.Ranges != wantStats.Ranges {
+		t.Errorf("reopened stats %+v, want %+v", st, wantStats)
+	}
+	if uint64(st.FullIndexEntries) != st.Nodes {
+		t.Errorf("full index not rebuilt: %d entries for %d nodes", st.FullIndexEntries, st.Nodes)
+	}
+	if err := s2.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+
+	// New ids must not collide with pre-reopen ids.
+	preMax := NodeID(0)
+	for _, it := range want {
+		if it.ID > preMax {
+			preMax = it.ID
+		}
+	}
+	newID, err := s2.Append(xmltok.MustParse(`<post-reopen/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= preMax {
+		t.Errorf("id %d reused (max existing %d)", newID, preMax)
+	}
+}
+
+func TestFilePagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.db")
+	pager, err := pagestore.OpenFilePager(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{Mode: RangeOnly, PageSize: 2048, Pager: pager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(figure1()); err != nil {
+		t.Fatal(err)
+	}
+	meta := s.MetaPage()
+	wantXML, _ := s.XMLString()
+	if err := s.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+
+	pager2, err := pagestore.OpenFilePager(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Reopen(Config{Mode: RangePartial, PageSize: 2048}, pager2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	gotXML, err := s2.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotXML != wantXML {
+		t.Errorf("persisted %q, got %q", wantXML, gotXML)
+	}
+	// The reopened store accepts updates.
+	if _, err := s2.InsertIntoLast(1, xmltok.MustParseFragment(`<minute>30</minute>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	// Stable identifiers (desideratum 5): once assigned, an id is never
+	// given to another node, even after deletion.
+	s := openStore(t, Config{})
+	id1, _ := s.Append(figure1())
+	if err := s.DeleteNode(id1); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s.Append(figure1())
+	if id2 <= id1 {
+		t.Errorf("id %d reused after delete (previous %d)", id2, id1)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+)
+
+// fragValue wraps a generated well-formed fragment for testing/quick.
+type fragValue struct{ toks []Token }
+
+// Generate implements quick.Generator: always a well-formed fragment.
+func (fragValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(fragValue{toks: randomFrag(r)})
+}
+
+// Property: appending any well-formed fragment stores it losslessly, with
+// sequential ids assigned to node-starting tokens in document order — the
+// idFactory regeneration invariant the whole design rests on.
+func TestQuickAppendRegeneratesIDs(t *testing.T) {
+	f := func(fv fragValue, granular bool) bool {
+		cfg := Config{Mode: RangeOnly}
+		if granular {
+			cfg.MaxRangeTokens = 3
+		}
+		s, err := Open(cfg)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		if _, err := s.Append(fv.toks); err != nil {
+			return false
+		}
+		items, err := s.ReadAll()
+		if err != nil || len(items) != len(fv.toks) {
+			return false
+		}
+		next := NodeID(1)
+		for i, it := range items {
+			if it.Tok != fv.toks[i] {
+				return false
+			}
+			if it.Tok.StartsNode() {
+				if it.ID != next {
+					return false
+				}
+				next++
+			} else if it.ID != InvalidNode {
+				return false
+			}
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting via an insert at any node position, then deleting the
+// inserted node, restores the original content (ids of survivors included).
+func TestQuickInsertDeleteRoundTrip(t *testing.T) {
+	f := func(fv fragValue, target uint8, intoLast bool) bool {
+		s, err := Open(Config{Mode: RangePartial, PartialCapacity: 16})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		if _, err := s.Append(fv.toks); err != nil {
+			return false
+		}
+		before, err := s.ReadAll()
+		if err != nil {
+			return false
+		}
+		nodes := token.NodeCount(fv.toks)
+		id := NodeID(int(target)%nodes + 1)
+		frag := []Token{token.Elem("probe"), token.EndElem()}
+		var newID NodeID
+		if intoLast {
+			newID, err = s.InsertAfter(id, frag)
+		} else {
+			newID, err = s.InsertBefore(id, frag)
+		}
+		if err != nil {
+			// Attribute targets legitimately reject sibling inserts.
+			return err != nil && s.CheckInvariants() == nil
+		}
+		if err := s.DeleteNode(newID); err != nil {
+			return false
+		}
+		after, err := s.ReadAll()
+		if err != nil || len(after) != len(before) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

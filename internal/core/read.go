@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+// Read operations of the Table 1 interface: read() streams the entire data
+// source in document order; read(id) returns one node's subtree. Node
+// identifiers are regenerated during the scan by replaying the ID factory
+// from each range's start id — they are never read from storage.
+
+// Scan streams every token of the store in document order, with regenerated
+// node ids. fn returning false stops the scan.
+func (s *Store) Scan(fn func(Item) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	ri, ok, err := s.firstRange()
+	if err != nil || !ok {
+		return err
+	}
+	for {
+		tokenBytes, err := s.readRange(ri)
+		if err != nil {
+			return err
+		}
+		r := newTokenReader(tokenBytes)
+		cur := ri.start
+		for r.More() {
+			t, err := r.Next()
+			if err != nil {
+				return err
+			}
+			it := Item{Tok: t}
+			if t.StartsNode() {
+				it.ID = cur
+				cur++
+			}
+			if !fn(it) {
+				return nil
+			}
+		}
+		nri, ok, err := s.nextRangeInfo(ri)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ri = nri
+	}
+}
+
+// ReadAll materializes the full token sequence with ids.
+func (s *Store) ReadAll() ([]Item, error) {
+	var out []Item
+	err := s.Scan(func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out, err
+}
+
+// Tokens returns the full token sequence without ids.
+func (s *Store) Tokens() ([]Token, error) {
+	var out []Token
+	err := s.Scan(func(it Item) bool {
+		out = append(out, it.Tok)
+		return true
+	})
+	return out, err
+}
+
+// ScanNode streams the subtree of node id (begin through matching end) with
+// regenerated ids. fn returning false stops early.
+func (s *Store) ScanNode(id NodeID, fn func(Item) bool) error {
+	s.mu.Lock() // locate may write to the partial index
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.scanNodeLocked(id, fn)
+}
+
+func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
+	// Warm fast path: when the partial index knows both the begin and end
+	// token positions within one range, read exactly that byte span — the
+	// paper's "jump to the end of the given node" behaviour, with no range
+	// scan and no whole-record copy.
+	if s.partial != nil {
+		if e := s.partial.lookup(id); e != nil && e.hasEnd && e.endLen > 0 &&
+			e.beginRange == e.endRange {
+			ri := s.byRange[e.beginRange]
+			if ri != nil && ri.version == e.beginVer && ri.version == e.endVer {
+				s.nodeLookups++
+				s.partial.stats.hits++
+				span := int(e.endByte + e.endLen - e.beginByte)
+				buf, err := s.recs.ReadSlice(ri.loc, rangeHeaderSize+int(e.beginByte), span)
+				if err != nil {
+					return err
+				}
+				r := newTokenReader(buf)
+				cur := id
+				depth := 0
+				for r.More() {
+					t, err := r.Next()
+					if err != nil {
+						return err
+					}
+					it := Item{Tok: t}
+					if t.StartsNode() {
+						it.ID = cur
+						cur++
+					}
+					if t.IsBegin() {
+						depth++
+					} else if t.IsEnd() {
+						depth--
+					}
+					if !fn(it) {
+						return nil
+					}
+					if depth == 0 && t.IsEnd() {
+						return nil
+					}
+				}
+				return nil
+			}
+		}
+	}
+	begin, beginTok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return err
+	}
+	if !fn(Item{ID: id, Tok: beginTok}) {
+		return nil
+	}
+	if !beginTok.IsBegin() {
+		// Leaf node: the begin token is the whole subtree. Memorize it as
+		// its own end so repeated reads take the warm fast path.
+		if s.partial != nil {
+			e := s.partial.recordEnd(id, begin.ri.id, begin.ri.version, begin.byteOff, begin.tokIdx)
+			e.endNodesBefore = int32(begin.nodesBefore)
+			e.endLen = int32(token.EncodedSize(beginTok))
+		}
+		return nil
+	}
+	ri := begin.ri
+	r := newTokenReader(tokenBytes)
+	r.SetOffset(begin.byteOff)
+	if _, err := r.Skip(); err != nil { // past the begin token
+		return err
+	}
+	cur := id + 1
+	depth := 1
+	tokIdx := begin.tokIdx + 1
+	nodesSeen := begin.nodesBefore + 1 // the begin token started a node
+	for {
+		for r.More() {
+			off := r.Offset()
+			t, err := r.Next()
+			if err != nil {
+				return err
+			}
+			s.tokensScanned++
+			it := Item{Tok: t}
+			if t.StartsNode() {
+				it.ID = cur
+				cur++
+				nodesSeen++
+			}
+			if t.IsBegin() {
+				depth++
+			} else if t.IsEnd() {
+				depth--
+			}
+			if !fn(it) {
+				return nil
+			}
+			if depth == 0 {
+				// The subtree's end token: memorize its position so the
+				// next read of this node takes the warm fast path.
+				if s.partial != nil {
+					e := s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx)
+					e.endNodesBefore = int32(nodesSeen)
+					e.endLen = int32(r.Offset() - off)
+				}
+				return nil
+			}
+			tokIdx++
+		}
+		nri, ok, err := s.nextRangeInfo(ri)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: unbalanced store: node %d has no end token", id)
+		}
+		ri = nri
+		tokenBytes, err = s.readRange(ri)
+		if err != nil {
+			return err
+		}
+		r = newTokenReader(tokenBytes)
+		cur = ri.start
+		tokIdx = 0
+		nodesSeen = 0
+	}
+}
+
+// ReadNode returns the subtree of node id as items with regenerated ids.
+func (s *Store) ReadNode(id NodeID) ([]Item, error) {
+	var out []Item
+	err := s.ScanNode(id, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NodeTokens returns the subtree of node id as a plain token slice.
+func (s *Store) NodeTokens(id NodeID) ([]Token, error) {
+	items, err := s.ReadNode(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Token, len(items))
+	for i, it := range items {
+		out[i] = it.Tok
+	}
+	return out, nil
+}
+
+// Exists reports whether node id is present.
+func (s *Store) Exists(id NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	_, _, _, err := s.locateBegin(id)
+	return err == nil
+}
+
+// FirstNodeID returns the id of the first node in document order.
+func (s *Store) FirstNodeID() (NodeID, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return InvalidNode, false, ErrClosed
+	}
+	ri, ok, err := s.firstRange()
+	if err != nil || !ok {
+		return InvalidNode, false, err
+	}
+	for {
+		if ri.nodes > 0 {
+			return ri.start, true, nil
+		}
+		nri, ok, err := s.nextRangeInfo(ri)
+		if err != nil || !ok {
+			return InvalidNode, false, err
+		}
+		ri = nri
+	}
+}
+
+// WriteXML serializes the whole store as XML text.
+func (s *Store) WriteXML(w io.Writer) error {
+	ser := xmltok.NewSerializer(w)
+	err := s.Scan(func(it Item) bool {
+		return ser.Write(it.Tok) == nil
+	})
+	if err != nil {
+		return err
+	}
+	return ser.Flush()
+}
+
+// XMLString renders the whole store as an XML string.
+func (s *Store) XMLString() (string, error) {
+	toks, err := s.Tokens()
+	if err != nil {
+		return "", err
+	}
+	return xmltok.ToString(toks)
+}
+
+// NodeXMLString renders one node's subtree as an XML string. Attribute
+// nodes, which have no standalone XML form, render as name="value".
+func (s *Store) NodeXMLString(id NodeID) (string, error) {
+	toks, err := s.NodeTokens(id)
+	if err != nil {
+		return "", err
+	}
+	if len(toks) > 0 && toks[0].Kind == token.BeginAttribute {
+		return fmt.Sprintf("%s=%q", toks[0].Name, toks[0].Value), nil
+	}
+	return xmltok.ToString(toks)
+}
+
+// CheckInvariants validates cross-structure consistency: every range record
+// agrees with its descriptor, id intervals are disjoint, document order is
+// well-formed, and the aggregate counters add up. Tests lean on this.
+func (s *Store) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var nodes, toks, bytes uint64
+	ranges := 0
+	seen := map[RangeID]bool{}
+	var stack []token.Kind
+
+	ri, ok, err := s.firstRange()
+	if err != nil {
+		return err
+	}
+	for ok {
+		ranges++
+		if seen[ri.id] {
+			return fmt.Errorf("core: range %d appears twice in chain", ri.id)
+		}
+		seen[ri.id] = true
+		if s.byRange[ri.id] != ri {
+			return fmt.Errorf("core: byRange[%d] does not match chain entry", ri.id)
+		}
+		if s.byLoc[ri.loc] != ri {
+			return fmt.Errorf("core: byLoc[%v] does not match chain entry", ri.loc)
+		}
+		tokenBytes, err := s.readRange(ri)
+		if err != nil {
+			return err
+		}
+		if len(tokenBytes) != ri.bytes {
+			return fmt.Errorf("core: %v: record has %d bytes, descriptor %d", ri, len(tokenBytes), ri.bytes)
+		}
+		n, tk, err := countNodesInPrefix(tokenBytes, len(tokenBytes))
+		if err != nil {
+			return err
+		}
+		if n != ri.nodes || tk != ri.toks {
+			return fmt.Errorf("core: %v: record has %d nodes/%d toks, descriptor %d/%d", ri, n, tk, ri.nodes, ri.toks)
+		}
+		if ri.nodes > 0 {
+			got, ok := s.rindex.Get(uint64(ri.start))
+			if !ok || got != ri {
+				return fmt.Errorf("core: %v missing from range index", ri)
+			}
+		}
+		// Token nesting across the whole sequence must balance.
+		r := newTokenReader(tokenBytes)
+		for r.More() {
+			t, err := r.Next()
+			if err != nil {
+				return err
+			}
+			if t.IsBegin() {
+				stack = append(stack, t.MatchingEnd())
+			} else if t.IsEnd() {
+				if len(stack) == 0 || stack[len(stack)-1] != t.Kind {
+					return fmt.Errorf("core: %v: unbalanced token %s", ri, t.Kind)
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+		nodes += uint64(ri.nodes)
+		toks += uint64(ri.toks)
+		bytes += uint64(ri.bytes)
+		ri, ok, err = func() (*rangeInfo, bool, error) { return s.nextRangeInfo(ri) }()
+		if err != nil {
+			return err
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("core: %d unclosed begin tokens at end of sequence", len(stack))
+	}
+	if ranges != len(s.byRange) {
+		return fmt.Errorf("core: chain has %d ranges, byRange has %d", ranges, len(s.byRange))
+	}
+	if nodes != s.nodes || toks != s.tokens || bytes != s.bytes {
+		return fmt.Errorf("core: counters nodes/toks/bytes %d/%d/%d, actual %d/%d/%d",
+			s.nodes, s.tokens, s.bytes, nodes, toks, bytes)
+	}
+	// Interval disjointness: ascend the range index and check ordering by
+	// start id with no overlap.
+	var lastEnd uint64
+	var bad error
+	first := true
+	s.rindex.AscendAll(func(k uint64, ri *rangeInfo) bool {
+		if ri.nodes <= 0 {
+			bad = fmt.Errorf("core: id-less range %v in range index", ri)
+			return false
+		}
+		if uint64(ri.start) != k {
+			bad = fmt.Errorf("core: range index key %d for %v", k, ri)
+			return false
+		}
+		if !first && k <= lastEnd {
+			bad = fmt.Errorf("core: overlapping intervals at %v", ri)
+			return false
+		}
+		lastEnd = uint64(ri.end())
+		first = false
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if err := s.recs.CheckInvariants(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// Range record layout inside the page store.
+//
+// Each range is one record:
+//
+//	rangeID   uint32
+//	startID   uint64
+//	nodes     uint32
+//	tokens    uint32
+//	tokenBytes...
+//
+// Node identifiers are not stored with tokens; startID plus the ID factory
+// replay over tokenBytes regenerates them. The header makes records
+// self-describing, so the full set of indexes can be rebuilt by a single
+// sequential scan (crash recovery / reopen).
+const rangeHeaderSize = 4 + 8 + 4 + 4
+
+func encodeRangeRecord(id RangeID, start NodeID, nodes, toks int, tokenBytes []byte) []byte {
+	out := make([]byte, rangeHeaderSize+len(tokenBytes))
+	binary.LittleEndian.PutUint32(out[0:], uint32(id))
+	binary.LittleEndian.PutUint64(out[4:], uint64(start))
+	binary.LittleEndian.PutUint32(out[12:], uint32(nodes))
+	binary.LittleEndian.PutUint32(out[16:], uint32(toks))
+	copy(out[rangeHeaderSize:], tokenBytes)
+	return out
+}
+
+// decodeRangeHeader splits a record payload into its header fields and the
+// token bytes (aliasing payload).
+func decodeRangeHeader(payload []byte) (id RangeID, start NodeID, nodes, toks int, tokenBytes []byte, err error) {
+	if len(payload) < rangeHeaderSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("core: truncated range record (%d bytes)", len(payload))
+	}
+	id = RangeID(binary.LittleEndian.Uint32(payload[0:]))
+	start = NodeID(binary.LittleEndian.Uint64(payload[4:]))
+	nodes = int(binary.LittleEndian.Uint32(payload[12:]))
+	toks = int(binary.LittleEndian.Uint32(payload[16:]))
+	tokenBytes = payload[rangeHeaderSize:]
+	return id, start, nodes, toks, tokenBytes, nil
+}
+
+// countNodesInPrefix returns how many node-starting tokens occur in the
+// first `limit` bytes of encoded tokens, along with the token count.
+func countNodesInPrefix(tokenBytes []byte, limit int) (nodes, toks int, err error) {
+	r := token.NewReader(tokenBytes[:limit])
+	for r.More() {
+		t, err := r.Next()
+		if err != nil {
+			return 0, 0, err
+		}
+		if t.StartsNode() {
+			nodes++
+		}
+		toks++
+	}
+	return nodes, toks, nil
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/pagestore"
+	"repro/internal/token"
+)
+
+// newTokenReader is a local alias so files in this package read naturally.
+func newTokenReader(b []byte) *token.Reader { return token.NewReader(b) }
+
+// Config selects the store's indexing configuration and storage geometry.
+// The zero value is usable: RangeOnly mode with default page geometry.
+type Config struct {
+	// Mode selects the indexing configuration (Table 5 axis).
+	Mode IndexMode
+	// MaxRangeTokens chops bulk loads (Append) into ranges of at most this
+	// many tokens. 0 keeps each Append as a single range (the "few, coarse"
+	// configuration); small values produce the "many, granular" one.
+	MaxRangeTokens int
+	// PartialCapacity bounds the partial index entry count (RangePartial
+	// mode). Defaults to 4096.
+	PartialCapacity int
+	// PageSize is the storage block size in bytes (default 8192).
+	PageSize int
+	// PoolPages bounds the buffer pool (default 256 pages).
+	PoolPages int
+	// CoalesceBytes, when > 0, merges an adjacent pair of ranges after
+	// deletions and splits while their combined encoded size stays at or
+	// under this many bytes and their ID intervals remain contiguous (the
+	// adaptive "anti-fragmentation" extension from the paper's future work).
+	CoalesceBytes int
+	// Pager supplies custom page storage (e.g. a file pager). Defaults to
+	// an in-memory pager.
+	Pager pagestore.Pager
+}
+
+func (c Config) withDefaults() Config {
+	if c.PartialCapacity <= 0 {
+		c.PartialCapacity = 4096
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = pagestore.DefaultPageSize
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 256
+	}
+	return c
+}
+
+// Store is an adaptive XML store holding one XQuery Data Model sequence.
+// All methods are safe for concurrent use (single writer, many readers).
+type Store struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	pool *pagestore.BufferPool
+	recs *pagestore.RecordStore
+
+	rindex  *btree.Tree[*rangeInfo]      // startID -> range (nodes > 0 only)
+	byRange map[RangeID]*rangeInfo       // all live ranges
+	byLoc   map[pagestore.Loc]*rangeInfo // record address -> range
+
+	partial *partialIndex // nil unless RangePartial
+	full    *fullIndex    // nil unless FullIndex
+
+	nextID    NodeID
+	nextRange RangeID
+
+	nodes  uint64
+	tokens uint64
+	bytes  uint64
+
+	inserts, deletes, splits, merges uint64
+	tokensScanned, nodeLookups       uint64
+
+	closed bool
+}
+
+// Open creates a fresh store with the given configuration.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	pager := cfg.Pager
+	if pager == nil {
+		pager = pagestore.NewMemPager(cfg.PageSize)
+	}
+	pool := pagestore.NewBufferPool(pager, cfg.PoolPages)
+	recs, err := pagestore.CreateRecordStore(pool)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:       cfg,
+		pool:      pool,
+		recs:      recs,
+		rindex:    btree.New[*rangeInfo](),
+		byRange:   make(map[RangeID]*rangeInfo),
+		byLoc:     make(map[pagestore.Loc]*rangeInfo),
+		nextID:    1,
+		nextRange: 1,
+	}
+	if err := s.initIndexes(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reopen rebuilds a store from an existing pager (written by a previous
+// store using the same page size). The indexes are reconstructed with one
+// sequential scan of the range records; the ID allocator state is restored
+// from the meta page.
+func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Store, error) {
+	cfg = cfg.withDefaults()
+	cfg.Pager = pager
+	pool := pagestore.NewBufferPool(pager, cfg.PoolPages)
+	recs, err := pagestore.OpenRecordStore(pool, metaPage)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:       cfg,
+		pool:      pool,
+		recs:      recs,
+		rindex:    btree.New[*rangeInfo](),
+		byRange:   make(map[RangeID]*rangeInfo),
+		byLoc:     make(map[pagestore.Loc]*rangeInfo),
+		nextID:    1,
+		nextRange: 1,
+	}
+	if err := s.initIndexes(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) initIndexes() error {
+	switch s.cfg.Mode {
+	case RangePartial:
+		s.partial = newPartialIndex(s.cfg.PartialCapacity)
+	case FullIndex:
+		fx, err := newFullIndex(s.pool)
+		if err != nil {
+			return err
+		}
+		s.full = fx
+	}
+	return nil
+}
+
+// rebuild reconstructs all in-memory state from the record store.
+func (s *Store) rebuild() error {
+	var scanErr error
+	err := s.recs.Scan(func(loc pagestore.Loc, payload []byte) bool {
+		id, start, nodes, toks, tokenBytes, err := decodeRangeHeader(payload)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		ri := &rangeInfo{
+			id: id, start: start, nodes: nodes,
+			loc: loc, toks: toks, bytes: len(tokenBytes),
+		}
+		s.register(ri)
+		if s.full != nil {
+			if err := s.full.addFragment(ri, tokenBytes); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		if id >= s.nextRange {
+			s.nextRange = id + 1
+		}
+		if nodes > 0 && start+NodeID(nodes) > s.nextID {
+			s.nextID = start + NodeID(nodes)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	// Restore allocator high-water marks (they may exceed what live ranges
+	// imply, because deleted ids are never reused).
+	meta, err := s.recs.UserMeta()
+	if err != nil {
+		return err
+	}
+	if len(meta) >= 12 {
+		id := NodeID(binary.LittleEndian.Uint64(meta[0:]))
+		rng := RangeID(binary.LittleEndian.Uint32(meta[8:]))
+		if id > s.nextID {
+			s.nextID = id
+		}
+		if rng > s.nextRange {
+			s.nextRange = rng
+		}
+	}
+	return nil
+}
+
+// MetaPage returns the page id needed to Reopen this store later.
+func (s *Store) MetaPage() pagestore.PageID { return s.recs.MetaPage() }
+
+// Flush writes all dirty pages and the allocator state back to the pager.
+// Pagers with atomic batch commit (write-ahead logged) are committed, so
+// the flushed state is crash-consistent.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.saveAllocState(); err != nil {
+		return err
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	if c, ok := s.pool.Pager().(interface{ Commit() error }); ok {
+		return c.Commit()
+	}
+	return nil
+}
+
+func (s *Store) saveAllocState() error {
+	meta := make([]byte, 12)
+	binary.LittleEndian.PutUint64(meta[0:], uint64(s.nextID))
+	binary.LittleEndian.PutUint32(meta[8:], uint32(s.nextRange))
+	return s.recs.SetUserMeta(meta)
+}
+
+// Close flushes and shuts down the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.saveAllocState(); err != nil {
+		return err
+	}
+	return s.pool.Close()
+}
+
+// Mode returns the active index mode.
+func (s *Store) Mode() IndexMode { return s.cfg.Mode }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Ranges:            len(s.byRange),
+		RangeIndexEntries: s.rindex.Len(),
+		Nodes:             s.nodes,
+		Tokens:            s.tokens,
+		Bytes:             s.bytes,
+		Inserts:           s.inserts,
+		Deletes:           s.deletes,
+		Splits:            s.splits,
+		Merges:            s.merges,
+		TokensScanned:     s.tokensScanned,
+		NodeLookups:       s.nodeLookups,
+		Pool:              s.pool.Stats(),
+	}
+	if s.full != nil {
+		st.FullIndexEntries = s.full.len()
+	}
+	if s.partial != nil {
+		st.PartialEntries = s.partial.len()
+		st.PartialHits = s.partial.stats.hits
+		st.PartialMisses = s.partial.stats.misses
+		st.PartialEvictions = s.partial.stats.evictions
+		st.PartialInvalidations = s.partial.stats.invalidations
+	}
+	return st
+}
+
+// allocIDs reserves n contiguous node ids and returns the first.
+func (s *Store) allocIDs(n int) NodeID {
+	start := s.nextID
+	s.nextID += NodeID(n)
+	return start
+}
+
+func (s *Store) allocRangeID() RangeID {
+	id := s.nextRange
+	s.nextRange++
+	return id
+}
+
+// register installs a rangeInfo into the lookup structures and counters.
+func (s *Store) register(ri *rangeInfo) {
+	s.byRange[ri.id] = ri
+	s.byLoc[ri.loc] = ri
+	if ri.nodes > 0 {
+		s.rindex.Set(uint64(ri.start), ri)
+	}
+	s.nodes += uint64(ri.nodes)
+	s.tokens += uint64(ri.toks)
+	s.bytes += uint64(ri.bytes)
+}
+
+// unregister removes a rangeInfo from the lookup structures and counters.
+// The record itself is deleted by the caller.
+func (s *Store) unregister(ri *rangeInfo) {
+	delete(s.byRange, ri.id)
+	delete(s.byLoc, ri.loc)
+	if ri.nodes > 0 {
+		s.rindex.Delete(uint64(ri.start))
+	}
+	s.nodes -= uint64(ri.nodes)
+	s.tokens -= uint64(ri.toks)
+	s.bytes -= uint64(ri.bytes)
+}
+
+// applyMoves repairs byLoc and rangeInfo locations after page splits.
+func (s *Store) applyMoves(moves []pagestore.Move) {
+	for _, m := range moves {
+		ri, ok := s.byLoc[m.From]
+		if !ok {
+			continue
+		}
+		delete(s.byLoc, m.From)
+		ri.loc = m.To
+		s.byLoc[m.To] = ri
+	}
+}
+
+// readRange returns the encoded token bytes of ri (a fresh copy).
+func (s *Store) readRange(ri *rangeInfo) ([]byte, error) {
+	payload, err := s.recs.Read(ri.loc)
+	if err != nil {
+		return nil, err
+	}
+	id, _, _, _, tokenBytes, err := decodeRangeHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if id != ri.id {
+		return nil, fmt.Errorf("core: record at %v is range %d, expected %d", ri.loc, id, ri.id)
+	}
+	return tokenBytes, nil
+}
+
+// nextRangeInfo returns the range following ri in document order.
+func (s *Store) nextRangeInfo(ri *rangeInfo) (*rangeInfo, bool, error) {
+	loc, ok, err := s.recs.Next(ri.loc)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	nri, ok := s.byLoc[loc]
+	if !ok {
+		return nil, false, fmt.Errorf("core: record at %v has no range info", loc)
+	}
+	return nri, true, nil
+}
+
+// prevRangeInfo returns the range preceding ri in document order.
+func (s *Store) prevRangeInfo(ri *rangeInfo) (*rangeInfo, bool, error) {
+	loc, ok, err := s.recs.Prev(ri.loc)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	pri, ok := s.byLoc[loc]
+	if !ok {
+		return nil, false, fmt.Errorf("core: record at %v has no range info", loc)
+	}
+	return pri, true, nil
+}
+
+// firstRange returns the first range in document order.
+func (s *Store) firstRange() (*rangeInfo, bool, error) {
+	loc, ok, err := s.recs.First()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ri, ok := s.byLoc[loc]
+	if !ok {
+		return nil, false, fmt.Errorf("core: record at %v has no range info", loc)
+	}
+	return ri, true, nil
+}
+
+// writeRangeRecord rewrites ri's record after its content changed, fixing
+// location maps for any relocations, and bumps the range version.
+func (s *Store) writeRangeRecord(ri *rangeInfo, tokenBytes []byte) error {
+	rec := encodeRangeRecord(ri.id, ri.start, ri.nodes, ri.toks, tokenBytes)
+	oldLoc := ri.loc
+	newLoc, moves, err := s.recs.Update(ri.loc, rec)
+	if err != nil {
+		return err
+	}
+	s.applyMoves(moves)
+	if newLoc != oldLoc {
+		// ri may have been moved by applyMoves already (it cannot: its From
+		// would be oldLoc which is being replaced) — fix explicitly.
+		delete(s.byLoc, ri.loc)
+		ri.loc = newLoc
+		s.byLoc[newLoc] = ri
+	}
+	ri.version++
+	return nil
+}

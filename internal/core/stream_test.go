@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+func sliceSource(toks []Token) func() (Token, error) {
+	i := 0
+	return func() (Token, error) {
+		if i >= len(toks) {
+			return Token{}, io.EOF
+		}
+		t := toks[i]
+		i++
+		return t, nil
+	}
+}
+
+func TestAppendStreamMatchesAppend(t *testing.T) {
+	doc := buildFlatDoc(200)
+
+	a := openStore(t, Config{Mode: RangeOnly})
+	if _, err := a.Append(doc); err != nil {
+		t.Fatal(err)
+	}
+	b := openStore(t, Config{Mode: RangeOnly})
+	first, err := b.AppendStream(sliceSource(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Errorf("first id = %d", first)
+	}
+	ia, _ := a.ReadAll()
+	ib, _ := b.ReadAll()
+	if len(ia) != len(ib) {
+		t.Fatalf("lengths differ: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("item %d differs", i)
+		}
+	}
+	// Streamed loads are chunked into ranges (default 1024 tokens).
+	if b.Stats().Ranges < 1 {
+		t.Error("no ranges")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendStreamChunking(t *testing.T) {
+	s := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 16})
+	doc := buildFlatDoc(100)
+	if _, err := s.AppendStream(sliceSource(doc)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ranges < 10 {
+		t.Errorf("chunking produced only %d ranges", st.Ranges)
+	}
+	// Every node addressable.
+	for id := NodeID(1); id <= NodeID(st.Nodes); id += 13 {
+		if !s.Exists(id) {
+			t.Errorf("node %d missing", id)
+		}
+	}
+}
+
+func TestAppendStreamFromScanner(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<big>")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("<rec><v>x</v></rec>")
+	}
+	sb.WriteString("</big>")
+
+	s := openStore(t, Config{Mode: RangePartial})
+	sc := xmltok.NewScanner(strings.NewReader(sb.String()))
+	if _, err := s.AppendStream(sc.Next); err != nil {
+		t.Fatal(err)
+	}
+	xml, err := s.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml != sb.String() {
+		t.Error("streamed round trip mismatch")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendStreamErrors(t *testing.T) {
+	s := openStore(t, Config{})
+	// Unbalanced stream.
+	if _, err := s.AppendStream(sliceSource([]Token{token.Elem("a")})); !errors.Is(err, ErrBadFragment) {
+		t.Errorf("unclosed: %v", err)
+	}
+	// Stray end token.
+	if _, err := s.AppendStream(sliceSource([]Token{token.EndElem()})); !errors.Is(err, ErrBadFragment) {
+		t.Errorf("stray end: %v", err)
+	}
+	// Empty stream.
+	if _, err := s.AppendStream(sliceSource(nil)); !errors.Is(err, ErrBadFragment) {
+		t.Errorf("empty: %v", err)
+	}
+	// Source error propagates.
+	boom := errors.New("boom")
+	if _, err := s.AppendStream(func() (Token, error) { return Token{}, boom }); !errors.Is(err, boom) {
+		t.Errorf("source error: %v", err)
+	}
+	// The store remains consistent after failed streams.
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactMergesFragmentation(t *testing.T) {
+	s := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 8})
+	ref := newRefStore()
+	doc := buildFlatDoc(60)
+	s.Append(doc)
+	ref.append(doc)
+	before := s.Stats().Ranges
+	if before < 20 {
+		t.Fatalf("setup: only %d ranges", before)
+	}
+	merged, err := s.Compact(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 {
+		t.Fatal("compact merged nothing")
+	}
+	after := s.Stats().Ranges
+	if after != 1 {
+		t.Errorf("contiguous load should compact to 1 range, got %d", after)
+	}
+	compareStores(t, s, ref, "after compact")
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+
+	// With update-driven gaps, compaction merges only what id regeneration
+	// allows.
+	if err := s.DeleteNode(5); err != nil {
+		t.Fatal(err)
+	}
+	ref.deleteNode(5)
+	if _, err := s.InsertIntoLast(2, xmltok.MustParseFragment(`<n/>`)); err != nil {
+		t.Fatal(err)
+	}
+	ref.insertIntoLast(2, xmltok.MustParseFragment(`<n/>`))
+	if _, err := s.Compact(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	compareStores(t, s, ref, "after compact with gaps")
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactRespectsSizeBound(t *testing.T) {
+	s := openStore(t, Config{Mode: RangeOnly, MaxRangeTokens: 8})
+	s.Append(buildFlatDoc(60))
+	// A tiny bound prevents most merges.
+	merged, err := s.Compact(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ranges < 5 {
+		t.Errorf("tiny bound over-merged: %d ranges (merged %d)", st.Ranges, merged)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

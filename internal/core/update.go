@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/token"
+)
+
+// XUpdate operations — the store interface of the paper's Table 1.
+//
+// Every insert allocates a fresh contiguous batch of node ids and creates
+// exactly one new range; when the insertion point falls strictly inside an
+// existing range, that range is split in two. This is the example walked
+// through in Section 4.5 of the paper.
+
+func checkFragment(frag []Token) error {
+	if err := token.ValidateFragment(frag); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFragment, err)
+	}
+	return nil
+}
+
+// Append adds a fragment at the end of the stored sequence (bulk load path).
+// When Config.MaxRangeTokens > 0 the fragment is chopped into ranges of at
+// most that many tokens — the granularity knob of Table 5. It returns the id
+// of the fragment's first node.
+func (s *Store) Append(frag []Token) (NodeID, error) {
+	if err := checkFragment(frag); err != nil {
+		return InvalidNode, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	chunk := s.cfg.MaxRangeTokens
+	if chunk <= 0 {
+		chunk = len(frag)
+	}
+	firstID := s.nextID
+	for off := 0; off < len(frag); off += chunk {
+		end := off + chunk
+		if end > len(frag) {
+			end = len(frag)
+		}
+		part := frag[off:end]
+		n := token.NodeCount(part)
+		start := s.allocIDs(n)
+		tokenBytes := token.EncodeAll(part)
+		ri := &rangeInfo{
+			id:    s.allocRangeID(),
+			start: start,
+			nodes: n,
+			toks:  len(part),
+			bytes: len(tokenBytes),
+		}
+		rec := encodeRangeRecord(ri.id, ri.start, ri.nodes, ri.toks, tokenBytes)
+		loc, moves, err := s.recs.InsertLast(rec)
+		if err != nil {
+			return InvalidNode, err
+		}
+		s.applyMoves(moves)
+		ri.loc = loc
+		s.register(ri)
+		if s.full != nil {
+			if err := s.full.addFragment(ri, tokenBytes); err != nil {
+				return InvalidNode, err
+			}
+		}
+	}
+	s.inserts++
+	return firstID, nil
+}
+
+// AppendStream bulk-loads tokens from a pull source with constant memory:
+// tokens are buffered only up to the range granularity (Config.
+// MaxRangeTokens, default 1024 for streams) and flushed range by range. The
+// source returns io.EOF after the last token. The stream must form a
+// well-formed fragment; violations are detected incrementally and abort the
+// load mid-way (ranges already appended remain — callers wanting atomicity
+// should stage into a fresh store).
+func (s *Store) AppendStream(next func() (Token, error)) (NodeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	chunk := s.cfg.MaxRangeTokens
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	firstID := s.nextID
+	var buf []Token
+	depth := 0
+	sawAny := false
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		n := token.NodeCount(buf)
+		start := s.allocIDs(n)
+		tokenBytes := token.EncodeAll(buf)
+		ri := &rangeInfo{
+			id:    s.allocRangeID(),
+			start: start,
+			nodes: n,
+			toks:  len(buf),
+			bytes: len(tokenBytes),
+		}
+		rec := encodeRangeRecord(ri.id, ri.start, ri.nodes, ri.toks, tokenBytes)
+		loc, moves, err := s.recs.InsertLast(rec)
+		if err != nil {
+			return err
+		}
+		s.applyMoves(moves)
+		ri.loc = loc
+		s.register(ri)
+		if s.full != nil {
+			if err := s.full.addFragment(ri, tokenBytes); err != nil {
+				return err
+			}
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		t, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return InvalidNode, err
+		}
+		// Incremental well-formedness: balance only (the full fragment
+		// rules are enforced by the token source, typically xmltok).
+		if t.IsBegin() {
+			depth++
+		} else if t.IsEnd() {
+			depth--
+			if depth < 0 {
+				return InvalidNode, fmt.Errorf("%w: end token without begin", ErrBadFragment)
+			}
+		} else if !t.StartsNode() {
+			return InvalidNode, fmt.Errorf("%w: invalid token kind %s", ErrBadFragment, t.Kind)
+		}
+		sawAny = true
+		buf = append(buf, t)
+		if len(buf) >= chunk {
+			if err := flush(); err != nil {
+				return InvalidNode, err
+			}
+		}
+	}
+	if depth != 0 {
+		return InvalidNode, fmt.Errorf("%w: %d unclosed begin token(s)", ErrBadFragment, depth)
+	}
+	if !sawAny {
+		return InvalidNode, fmt.Errorf("%w: empty stream", ErrBadFragment)
+	}
+	if err := flush(); err != nil {
+		return InvalidNode, err
+	}
+	s.inserts++
+	return firstID, nil
+}
+
+// Compact is a maintenance operation: one pass over the range chain merging
+// every adjacent pair whose id intervals are contiguous (or where one side
+// has no ids), up to maxRangeBytes per merged range (0 = a page's worth).
+// It undoes update-driven fragmentation — the offline counterpart of the
+// adaptive CoalesceBytes policy.
+func (s *Store) Compact(maxRangeBytes int) (merged int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if maxRangeBytes <= 0 {
+		maxRangeBytes = s.cfg.PageSize
+	}
+	saved := s.cfg.CoalesceBytes
+	s.cfg.CoalesceBytes = maxRangeBytes
+	defer func() { s.cfg.CoalesceBytes = saved }()
+
+	ri, ok, err := s.firstRange()
+	if err != nil {
+		return 0, err
+	}
+	for ok {
+		did, err := func() (bool, error) {
+			nxt, ok2, err := s.nextRangeInfo(ri)
+			if err != nil || !ok2 {
+				return false, err
+			}
+			return s.coalescePair(ri, nxt)
+		}()
+		if err != nil {
+			return merged, err
+		}
+		if did {
+			merged++
+			continue // ri absorbed its successor; try again from ri
+		}
+		nxt, ok2, err := s.nextRangeInfo(ri)
+		if err != nil {
+			return merged, err
+		}
+		ri, ok = nxt, ok2
+	}
+	return merged, nil
+}
+
+// insertFragment splices frag in immediately before pos, as one new range
+// with fresh contiguous ids. Returns the first new id.
+func (s *Store) insertFragment(pos tokenPos, frag []Token) (NodeID, error) {
+	n := token.NodeCount(frag)
+	start := s.allocIDs(n)
+	tokenBytes := token.EncodeAll(frag)
+	if _, err := s.insertNewRange(pos, start, n, len(frag), tokenBytes); err != nil {
+		return InvalidNode, err
+	}
+	s.inserts++
+	return start, nil
+}
+
+// InsertBefore inserts frag as the preceding sibling(s) of node id.
+func (s *Store) InsertBefore(id NodeID, frag []Token) (NodeID, error) {
+	if err := checkFragment(frag); err != nil {
+		return InvalidNode, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	pos, tok, _, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, err
+	}
+	if tok.Kind == token.BeginAttribute {
+		return InvalidNode, ErrAttrContext
+	}
+	return s.insertFragment(pos, frag)
+}
+
+// InsertAfter inserts frag as the following sibling(s) of node id.
+func (s *Store) InsertAfter(id NodeID, frag []Token) (NodeID, error) {
+	if err := checkFragment(frag); err != nil {
+		return InvalidNode, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, err
+	}
+	if tok.Kind == token.BeginAttribute {
+		return InvalidNode, ErrAttrContext
+	}
+	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	after, err := advance(end, endBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	return s.insertFragment(after, frag)
+}
+
+// InsertIntoFirst inserts frag as the first content of element id (after its
+// attribute block).
+func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (NodeID, error) {
+	if err := checkFragment(frag); err != nil {
+		return InvalidNode, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, err
+	}
+	if err := requireElement(tok); err != nil {
+		return InvalidNode, err
+	}
+	pos, err := advance(begin, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	pos, _, err = s.skipAttributes(pos, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	return s.insertFragment(pos, frag)
+}
+
+// InsertIntoLast inserts frag as the last content of element id — the
+// paper's running example (insert a <purchase-order> as the last child of
+// the root).
+func (s *Store) InsertIntoLast(id NodeID, frag []Token) (NodeID, error) {
+	if err := checkFragment(frag); err != nil {
+		return InvalidNode, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, err
+	}
+	if err := requireElement(tok); err != nil {
+		return InvalidNode, err
+	}
+	end, _, err := s.locateEnd(id, begin, tok, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	return s.insertFragment(end, frag)
+}
+
+func requireElement(tok Token) error {
+	switch tok.Kind {
+	case token.BeginElement:
+		return nil
+	case token.BeginAttribute:
+		return ErrIntoAttribute
+	default:
+		return fmt.Errorf("%w (found %s)", ErrNotElement, tok.Kind)
+	}
+}
+
+// DeleteNode removes node id and its entire subtree.
+func (s *Store) DeleteNode(id NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return err
+	}
+	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	if err != nil {
+		return err
+	}
+	after, err := advance(end, endBytes)
+	if err != nil {
+		return err
+	}
+	pos, err := s.deleteSpan(begin, after)
+	if err != nil {
+		return err
+	}
+	if s.partial != nil {
+		s.partial.removeNode(id)
+	}
+	s.deletes++
+	s.maybeCoalesce(pos.ri)
+	return nil
+}
+
+// ReplaceNode replaces node id (and subtree) with frag, returning the first
+// new id.
+func (s *Store) ReplaceNode(id NodeID, frag []Token) (NodeID, error) {
+	if err := checkFragment(frag); err != nil {
+		return InvalidNode, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, err
+	}
+	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	after, err := advance(end, endBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	pos, err := s.deleteSpan(begin, after)
+	if err != nil {
+		return InvalidNode, err
+	}
+	if s.partial != nil {
+		s.partial.removeNode(id)
+	}
+	s.deletes++
+	if pos.ri == nil {
+		// The store became empty: plain append.
+		n := token.NodeCount(frag)
+		start := s.allocIDs(n)
+		tokenBytes := token.EncodeAll(frag)
+		ri := &rangeInfo{
+			id: s.allocRangeID(), start: start, nodes: n,
+			toks: len(frag), bytes: len(tokenBytes),
+		}
+		rec := encodeRangeRecord(ri.id, ri.start, ri.nodes, ri.toks, tokenBytes)
+		loc, moves, err := s.recs.InsertLast(rec)
+		if err != nil {
+			return InvalidNode, err
+		}
+		s.applyMoves(moves)
+		ri.loc = loc
+		s.register(ri)
+		if s.full != nil {
+			if err := s.full.addFragment(ri, tokenBytes); err != nil {
+				return InvalidNode, err
+			}
+		}
+		s.inserts++
+		return start, nil
+	}
+	return s.insertFragment(pos, frag)
+}
+
+// ReplaceContent replaces the content of element id (children; the attribute
+// block is preserved) with frag. A nil/empty frag empties the element.
+func (s *Store) ReplaceContent(id NodeID, frag []Token) (NodeID, error) {
+	if len(frag) > 0 {
+		if err := checkFragment(frag); err != nil {
+			return InvalidNode, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidNode, ErrClosed
+	}
+	begin, tok, tokenBytes, err := s.locateBegin(id)
+	if err != nil {
+		return InvalidNode, err
+	}
+	if err := requireElement(tok); err != nil {
+		return InvalidNode, err
+	}
+	end, _, err := s.locateEnd(id, begin, tok, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	contentStart, err := advance(begin, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	contentStart, _, err = s.skipAttributes(contentStart, tokenBytes)
+	if err != nil {
+		return InvalidNode, err
+	}
+	pos := end
+	hasContent := !(contentStart.ri == end.ri && contentStart.tokIdx == end.tokIdx)
+	if hasContent {
+		pos, err = s.deleteSpan(contentStart, end)
+		if err != nil {
+			return InvalidNode, err
+		}
+		s.deletes++
+	}
+	if len(frag) == 0 {
+		s.maybeCoalesce(pos.ri)
+		return InvalidNode, nil
+	}
+	return s.insertFragment(pos, frag)
+}

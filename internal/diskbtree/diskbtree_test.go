@@ -1,0 +1,283 @@
+package diskbtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pagestore"
+)
+
+func newTree(t *testing.T, pageSize, poolPages, valSize int) *Tree {
+	t.Helper()
+	pool := pagestore.NewBufferPool(pagestore.NewMemPager(pageSize), poolPages)
+	tr, err := New(pool, valSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func val(v uint64, size int) []byte {
+	out := make([]byte, size)
+	binary.LittleEndian.PutUint64(out, v)
+	return out
+}
+
+func TestEmpty(t *testing.T) {
+	tr := newTree(t, 512, 16, 12)
+	if tr.Len() != 0 {
+		t.Fatal("len != 0")
+	}
+	if _, ok, err := tr.Get(5); ok || err != nil {
+		t.Fatalf("Get on empty: %v %v", ok, err)
+	}
+	if ok, err := tr.Delete(5); ok || err != nil {
+		t.Fatalf("Delete on empty: %v %v", ok, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetGetAcrossSplits(t *testing.T) {
+	tr := newTree(t, 512, 64, 12)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := tr.Set(uint64(i*3), val(uint64(i), 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tr.Get(uint64(i * 3))
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): %v %v", i*3, ok, err)
+		}
+		if binary.LittleEndian.Uint64(v) != uint64(i) {
+			t.Fatalf("Get(%d) value mismatch", i*3)
+		}
+	}
+	if _, ok, _ := tr.Get(1); ok {
+		t.Error("absent key found")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := newTree(t, 512, 16, 12)
+	tr.Set(7, val(1, 12))
+	tr.Set(7, val(2, 12))
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	v, _, _ := tr.Get(7)
+	if binary.LittleEndian.Uint64(v) != 2 {
+		t.Error("overwrite failed")
+	}
+}
+
+func TestWrongValueSize(t *testing.T) {
+	tr := newTree(t, 512, 16, 12)
+	if err := tr.Set(1, make([]byte, 5)); err != ErrValueSize {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 512, 64, 12)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(uint64(i), val(uint64(i), 12))
+	}
+	for i := 0; i < n; i += 2 {
+		ok, err := tr.Delete(uint64(i))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d): %v %v", i, ok, err)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok, _ := tr.Get(uint64(i))
+		if (i%2 == 0) == ok {
+			t.Fatalf("Get(%d) = %v after deletes", i, ok)
+		}
+	}
+	if ok, _ := tr.Delete(0); ok {
+		t.Error("double delete")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAscend(t *testing.T) {
+	tr := newTree(t, 512, 64, 12)
+	for i := 0; i < 1000; i++ {
+		tr.Set(uint64(i*2), val(uint64(i), 12))
+	}
+	var keys []uint64
+	err := tr.Ascend(100, 200, func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 51 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != uint64(100+i*2) {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+	// Early stop.
+	cnt := 0
+	tr.Ascend(0, ^uint64(0), func(uint64, []byte) bool { cnt++; return cnt < 5 })
+	if cnt != 5 {
+		t.Errorf("early stop visited %d", cnt)
+	}
+	// Empty range.
+	cnt = 0
+	tr.Ascend(5000, 6000, func(uint64, []byte) bool { cnt++; return true })
+	if cnt != 0 {
+		t.Errorf("empty range visited %d", cnt)
+	}
+}
+
+func TestAscendSkipsEmptiedLeaves(t *testing.T) {
+	tr := newTree(t, 512, 64, 12)
+	for i := 0; i < 500; i++ {
+		tr.Set(uint64(i), val(uint64(i), 12))
+	}
+	// Empty a whole stretch in the middle.
+	for i := 100; i < 300; i++ {
+		tr.Delete(uint64(i))
+	}
+	var keys []uint64
+	tr.Ascend(0, ^uint64(0), func(k uint64, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 300 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("out of order")
+		}
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	tr := newTree(t, 512, 128, 12)
+	ref := map[uint64][]byte{}
+	r := rand.New(rand.NewSource(3))
+	for step := 0; step < 10000; step++ {
+		k := uint64(r.Intn(3000))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := val(uint64(r.Int63()), 12)
+			if err := tr.Set(k, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			_, want := ref[k]
+			got, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, tr.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		got, ok, err := tr.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) mismatch: %v %v", k, ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallPoolStillWorks(t *testing.T) {
+	// The tree must work when far larger than the buffer pool (that is the
+	// whole point: the full index does not fit in memory).
+	pool := pagestore.NewBufferPool(pagestore.NewMemPager(512), 8)
+	tr, err := New(pool, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := tr.Set(uint64(i), val(uint64(i), 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions with a tiny pool")
+	}
+	for i := 0; i < n; i += 97 {
+		if _, ok, err := tr.Get(uint64(i)); !ok || err != nil {
+			t.Fatalf("Get(%d): %v %v", i, ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	pool := pagestore.NewBufferPool(pagestore.NewMemPager(512), 8)
+	if _, err := New(pool, 0); err == nil {
+		t.Error("valSize 0 should fail")
+	}
+	if _, err := New(pool, 400); err == nil {
+		t.Error("huge valSize should fail")
+	}
+}
+
+func BenchmarkDiskSet(b *testing.B) {
+	pool := pagestore.NewBufferPool(pagestore.NewMemPager(8192), 256)
+	tr, _ := New(pool, 12)
+	v := make([]byte, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Set(uint64(i), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskGet(b *testing.B) {
+	pool := pagestore.NewBufferPool(pagestore.NewMemPager(8192), 256)
+	tr, _ := New(pool, 12)
+	v := make([]byte, 12)
+	for i := 0; i < 1<<17; i++ {
+		tr.Set(uint64(i), v)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.Get(uint64(i & (1<<17 - 1))); !ok || err != nil {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package idscheme
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Dewey labels: the node's path of sibling ordinals from the root
+// (1.3.2 = second child of the third child of the first root node). Totally
+// ordered in document order and self-describing (the label encodes the
+// ancestor path), but inserting between two adjacent siblings requires
+// relabeling the right sibling's subtree — which is why the paper's
+// update-oriented store does not use them raw.
+
+// Dewey implements Scheme with path-of-ordinals labels.
+type Dewey struct{}
+
+// Name implements Scheme.
+func (Dewey) Name() string { return "dewey" }
+
+// Initial implements Scheme.
+func (Dewey) Initial() Label { return encodeComponents([]int64{1}) }
+
+// NewFactory implements Scheme.
+func (Dewey) NewFactory(first Label) Factory {
+	comps, _ := decodeComponents(first)
+	if len(comps) == 0 {
+		comps = []int64{1}
+	}
+	return &deweyFactory{path: comps, fresh: true}
+}
+
+type deweyFactory struct {
+	path  []int64
+	fresh bool // true before the first node token is consumed
+}
+
+func (f *deweyFactory) Next(t token.Token) (Label, bool) {
+	switch {
+	case t.StartsNode():
+		if f.fresh {
+			f.fresh = false
+		} else {
+			f.path[len(f.path)-1]++
+		}
+		l := encodeComponents(f.path)
+		if t.IsBegin() {
+			// Descend: children start at ordinal 1... the next node token
+			// will bump it to 1 via the ++ path, so push 0.
+			f.path = append(f.path, 0)
+		}
+		return l, true
+	case t.IsEnd():
+		if len(f.path) > 1 {
+			f.path = f.path[:len(f.path)-1]
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// Compare implements Scheme: lexicographic on components; a prefix precedes
+// its extensions (ancestors come first in document order).
+func (Dewey) Compare(a, b Label) int { return compareComponents(a, b) }
+
+// Between implements Scheme. Dewey cannot label between two adjacent
+// sibling ordinals without fractional components; we follow the classic
+// definition and report the relabeling requirement.
+func (Dewey) Between(a, b Label) (Label, error) {
+	ac, err := decodeComponents(a)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := decodeComponents(b)
+	if err != nil {
+		return nil, err
+	}
+	// A gap exists only if the final ordinals differ by more than one at
+	// the same depth under the same parent.
+	if len(ac) == len(bc) && len(ac) > 0 {
+		same := true
+		for i := 0; i < len(ac)-1; i++ {
+			if ac[i] != bc[i] {
+				same = false
+				break
+			}
+		}
+		if same && bc[len(bc)-1]-ac[len(ac)-1] > 1 {
+			mid := append(append([]int64{}, ac[:len(ac)-1]...), (ac[len(ac)-1]+bc[len(bc)-1])/2)
+			return encodeComponents(mid), nil
+		}
+	}
+	return nil, ErrNoBetween
+}
+
+// String implements Scheme.
+func (Dewey) String(l Label) string {
+	comps, err := decodeComponents(l)
+	if err != nil {
+		return fmt.Sprintf("bad(% x)", []byte(l))
+	}
+	parts := make([]string, len(comps))
+	for i, c := range comps {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Component codec shared by Dewey and ORDPATH: signed varints.
+
+func encodeComponents(comps []int64) Label {
+	var out Label
+	for _, c := range comps {
+		out = binary.AppendVarint(out, c)
+	}
+	return out
+}
+
+func decodeComponents(l Label) ([]int64, error) {
+	var out []int64
+	b := []byte(l)
+	for len(b) > 0 {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("idscheme: corrupt label component")
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func compareComponents(a, b Label) int {
+	ac, errA := decodeComponents(a)
+	bc, errB := decodeComponents(b)
+	if errA != nil || errB != nil {
+		return strings.Compare(string(a), string(b))
+	}
+	for i := 0; i < len(ac) && i < len(bc); i++ {
+		switch {
+		case ac[i] < bc[i]:
+			return -1
+		case ac[i] > bc[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(ac) < len(bc):
+		return -1
+	case len(ac) > len(bc):
+		return 1
+	}
+	return 0
+}

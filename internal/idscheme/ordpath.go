@@ -1,0 +1,140 @@
+package idscheme
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// ORDPATH labels (O'Neil, O'Neil, Pal, Cseri, Schaller, Westbury: "ORDPATHs:
+// Insert-Friendly XML Node Labels", SIGMOD 2004) — the scheme the paper
+// cites for ids that are both stable and fully comparable in document order.
+//
+// A label is a sequence of integer components. Freshly assigned ordinals are
+// odd (1, 3, 5, ...); even components are "carets" that do not open a tree
+// level but create room between two adjacent odd ordinals, so a node can be
+// inserted between any two existing labels without relabeling anything:
+// between 1.3 and 1.5 comes 1.4.1 (4 is a caret), between 1.4.1 and 1.5
+// comes 1.4.3, and so on.
+
+// OrdPath implements Scheme with insert-friendly hierarchical labels.
+type OrdPath struct{}
+
+// Name implements Scheme.
+func (OrdPath) Name() string { return "ordpath" }
+
+// Initial implements Scheme.
+func (OrdPath) Initial() Label { return encodeComponents([]int64{1}) }
+
+// NewFactory implements Scheme. Fresh assignment uses odd ordinals only;
+// carets appear solely through Between.
+func (OrdPath) NewFactory(first Label) Factory {
+	comps, _ := decodeComponents(first)
+	if len(comps) == 0 {
+		comps = []int64{1}
+	}
+	return &ordFactory{path: comps, fresh: true}
+}
+
+type ordFactory struct {
+	path  []int64
+	fresh bool
+}
+
+func (f *ordFactory) Next(t token.Token) (Label, bool) {
+	switch {
+	case t.StartsNode():
+		if f.fresh {
+			f.fresh = false
+		} else {
+			f.path[len(f.path)-1] += 2 // next odd sibling ordinal
+		}
+		l := encodeComponents(f.path)
+		if t.IsBegin() {
+			f.path = append(f.path, -1) // first child will bump to 1
+		}
+		return l, true
+	case t.IsEnd():
+		if len(f.path) > 1 {
+			f.path = f.path[:len(f.path)-1]
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// Compare implements Scheme: component-wise, prefix-first — document order.
+func (OrdPath) Compare(a, b Label) int { return compareComponents(a, b) }
+
+// Between implements Scheme: a fresh label strictly between a and b (in
+// document order) that leaves both unchanged — the ORDPATH careting rule.
+func (OrdPath) Between(a, b Label) (Label, error) {
+	ac, err := decodeComponents(a)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := decodeComponents(b)
+	if err != nil {
+		return nil, err
+	}
+	if compareComponents(a, b) >= 0 {
+		return nil, fmt.Errorf("idscheme: Between requires a < b")
+	}
+	return encodeComponents(ordBetween(ac, bc)), nil
+}
+
+func ordBetween(ac, bc []int64) []int64 {
+	// First differing component index.
+	i := 0
+	for i < len(ac) && i < len(bc) && ac[i] == bc[i] {
+		i++
+	}
+	prefix := append([]int64{}, ac[:i]...)
+
+	if i == len(ac) {
+		// a is a strict prefix (ancestor, order-wise) of b. Any extension of
+		// the prefix whose next component precedes bc[i] sorts between.
+		y := bc[i]
+		v := y - 1
+		if v&1 == 0 {
+			v = y - 2
+		}
+		return append(prefix, v) // odd component strictly below y
+	}
+
+	x, y := ac[i], bc[i]
+	switch {
+	case y-x >= 2:
+		// Room at this level.
+		v := x + 1
+		if v&1 != 0 {
+			return append(prefix, v)
+		}
+		if v+1 < y {
+			return append(prefix, v+1) // prefer a plain odd ordinal
+		}
+		return append(prefix, v, 1) // caret in: even component + odd 1
+	default: // y == x+1
+		// No room: extend under a's component, past a's remaining suffix.
+		out := append(prefix, x)
+		if i+1 == len(ac) {
+			return append(out, 1)
+		}
+		return append(out, ac[i+1]+2)
+	}
+}
+
+// String implements Scheme.
+func (OrdPath) String(l Label) string {
+	comps, err := decodeComponents(l)
+	if err != nil {
+		return fmt.Sprintf("bad(% x)", []byte(l))
+	}
+	parts := make([]string, len(comps))
+	for i, c := range comps {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ".")
+}

@@ -1,0 +1,308 @@
+package idscheme
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+func figure1() []token.Token {
+	return xmltok.MustParse(`<ticket><hour>15</hour><name>Paul</name></ticket>`)
+}
+
+// run assigns labels to every node of a token walk.
+func run(s Scheme, toks []token.Token) []Label {
+	f := s.NewFactory(s.Initial())
+	var out []Label
+	for _, t := range toks {
+		if l, ok := f.Next(t); ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func labelsToStrings(s Scheme, ls []Label) []string {
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = s.String(l)
+	}
+	return out
+}
+
+func TestSequentialFactory(t *testing.T) {
+	s := Sequential{}
+	labels := run(s, figure1())
+	want := []string{"#1", "#2", "#3", "#4", "#5"}
+	got := labelsToStrings(s, labels)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+	if s.Compare(labels[0], labels[4]) >= 0 {
+		t.Error("sequential order broken")
+	}
+	if _, err := s.Between(labels[0], labels[1]); err != ErrNoBetween {
+		t.Errorf("sequential Between: %v", err)
+	}
+}
+
+func TestDeweyFactory(t *testing.T) {
+	s := Dewey{}
+	got := labelsToStrings(s, run(s, figure1()))
+	want := []string{"1", "1.1", "1.1.1", "1.2", "1.2.1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrdPathFactory(t *testing.T) {
+	s := OrdPath{}
+	got := labelsToStrings(s, run(s, figure1()))
+	want := []string{"1", "1.1", "1.1.1", "1.3", "1.3.1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+}
+
+// Document-order comparability: labels assigned by one factory walk must be
+// strictly increasing for hierarchical schemes.
+func TestDocumentOrderComparable(t *testing.T) {
+	doc := xmltok.MustParse(
+		`<a x="1"><b><c/>text<d k="v">t2</d></b><e/><!--c--><f><g><h/></g></f></a>`)
+	for _, s := range []Scheme{Dewey{}, OrdPath{}} {
+		t.Run(s.Name(), func(t *testing.T) {
+			labels := run(s, doc)
+			for i := 1; i < len(labels); i++ {
+				if s.Compare(labels[i-1], labels[i]) >= 0 {
+					t.Fatalf("labels %d,%d out of order: %s >= %s",
+						i-1, i, s.String(labels[i-1]), s.String(labels[i]))
+				}
+			}
+			// Self-comparison.
+			if s.Compare(labels[0], labels[0]) != 0 {
+				t.Error("self compare != 0")
+			}
+		})
+	}
+}
+
+func TestOrdPathBetweenBasics(t *testing.T) {
+	s := OrdPath{}
+	mk := func(comps ...int64) Label { return encodeComponents(comps) }
+	cases := []struct {
+		a, b []int64
+		want string // expected rendering, "" = just check order
+	}{
+		{[]int64{1, 1}, []int64{1, 3}, "1.2.1"}, // caret in
+		{[]int64{1, 1}, []int64{1, 5}, "1.3"},   // room: plain odd
+		{[]int64{1, 1}, []int64{1, 7}, "1.3"},   // prefer odd
+		{[]int64{1}, []int64{3}, "2.1"},         // top-level caret
+		{[]int64{1}, []int64{1, 1}, ""},         // ancestor/descendant
+		{[]int64{1, 2, 1}, []int64{1, 3}, ""},   // after a caret chain
+		{[]int64{1, 1, 5}, []int64{1, 3}, ""},   // deep left edge
+	}
+	for _, c := range cases {
+		a, b := mk(c.a...), mk(c.b...)
+		z, err := s.Between(a, b)
+		if err != nil {
+			t.Fatalf("Between(%s, %s): %v", s.String(a), s.String(b), err)
+		}
+		if s.Compare(a, z) >= 0 || s.Compare(z, b) >= 0 {
+			t.Fatalf("Between(%s, %s) = %s not strictly between",
+				s.String(a), s.String(b), s.String(z))
+		}
+		if c.want != "" && s.String(z) != c.want {
+			t.Errorf("Between(%s, %s) = %s, want %s",
+				s.String(a), s.String(b), s.String(z), c.want)
+		}
+	}
+	// Degenerate input.
+	if _, err := s.Between(mk(3), mk(1)); err == nil {
+		t.Error("Between(a >= b) should fail")
+	}
+	if _, err := s.Between(mk(1), mk(1)); err == nil {
+		t.Error("Between(a, a) should fail")
+	}
+}
+
+// The headline ORDPATH property: unbounded repeated insertion between two
+// fixed labels, with no relabeling, preserving strict order throughout.
+func TestOrdPathRepeatedCareting(t *testing.T) {
+	s := OrdPath{}
+	lo := encodeComponents([]int64{1, 1})
+	hi := encodeComponents([]int64{1, 3})
+	labels := []Label{lo, hi}
+	// Insert 200 labels, alternating position, as a worst case.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		j := r.Intn(len(labels) - 1)
+		z, err := s.Between(labels[j], labels[j+1])
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		labels = append(labels[:j+1], append([]Label{z}, labels[j+1:]...)...)
+	}
+	for i := 1; i < len(labels); i++ {
+		if s.Compare(labels[i-1], labels[i]) >= 0 {
+			t.Fatalf("order violated at %d: %s >= %s",
+				i, s.String(labels[i-1]), s.String(labels[i]))
+		}
+	}
+	if !sort.SliceIsSorted(labels, func(i, j int) bool {
+		return s.Compare(labels[i], labels[j]) < 0
+	}) {
+		t.Fatal("labels not sorted")
+	}
+}
+
+func TestDeweyBetween(t *testing.T) {
+	s := Dewey{}
+	// Gap: ok.
+	a := encodeComponents([]int64{1, 1})
+	b := encodeComponents([]int64{1, 5})
+	z, err := s.Between(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String(z) != "1.3" {
+		t.Errorf("Between = %s", s.String(z))
+	}
+	// Adjacent ordinals: relabeling required.
+	b2 := encodeComponents([]int64{1, 2})
+	if _, err := s.Between(a, b2); err != ErrNoBetween {
+		t.Errorf("adjacent Dewey Between: %v", err)
+	}
+	// Different parents: no shortcut.
+	c := encodeComponents([]int64{2, 5})
+	if _, err := s.Between(a, c); err != ErrNoBetween {
+		t.Errorf("cross-parent Dewey Between: %v", err)
+	}
+}
+
+// Label regeneration property (the paper's idFactory requirement): running
+// the factory twice over the same tokens yields identical labels — labels
+// need not be stored.
+func TestFactoryDeterminism(t *testing.T) {
+	doc := xmltok.MustParse(`<r><a b="c"><d/>t</a><e/></r>`)
+	for _, s := range []Scheme{Sequential{}, Dewey{}, OrdPath{}} {
+		l1 := run(s, doc)
+		l2 := run(s, doc)
+		if len(l1) != len(l2) {
+			t.Fatalf("%s: lengths differ", s.Name())
+		}
+		for i := range l1 {
+			if s.Compare(l1[i], l2[i]) != 0 {
+				t.Fatalf("%s: label %d differs", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestLabelSizes(t *testing.T) {
+	// Sequential labels are fixed 8 bytes; hierarchical labels grow with
+	// depth — the storage-overhead tradeoff of Section 6.1.
+	deepDoc := func(depth int) []token.Token {
+		var toks []token.Token
+		for i := 0; i < depth; i++ {
+			toks = append(toks, token.Elem("d"))
+		}
+		for i := 0; i < depth; i++ {
+			toks = append(toks, token.EndElem())
+		}
+		return toks
+	}
+	seq := run(Sequential{}, deepDoc(20))
+	dew := run(Dewey{}, deepDoc(20))
+	if len(seq[19]) != 8 {
+		t.Errorf("sequential label size %d", len(seq[19]))
+	}
+	if len(dew[19]) <= len(dew[0]) {
+		t.Error("dewey labels should grow with depth")
+	}
+}
+
+func TestBadLabels(t *testing.T) {
+	if _, err := decodeUint(Label{1, 2}); err == nil {
+		t.Error("short sequential label should fail")
+	}
+	if _, err := decodeComponents(Label{0x80}); err == nil {
+		t.Error("truncated varint should fail")
+	}
+	s := Sequential{}
+	if s.String(Label{1}) == "" {
+		t.Error("bad label should still render")
+	}
+	if (OrdPath{}).String(Label{0x80}) == "" {
+		t.Error("bad ordpath label should still render")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	names := []string{Sequential{}.Name(), Dewey{}.Name(), OrdPath{}.Name()}
+	want := []string{"sequential", "dewey", "ordpath"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("scheme name %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func BenchmarkFactory(b *testing.B) {
+	doc := xmltok.MustParse(`<r><a b="c"><d/>text</a><e><f/><g/></e></r>`)
+	for _, s := range []Scheme{Sequential{}, Dewey{}, OrdPath{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := s.NewFactory(s.Initial())
+				for _, t := range doc {
+					f.Next(t)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	for _, s := range []Scheme{Sequential{}, Dewey{}, OrdPath{}} {
+		labels := run(s, xmltok.MustParse(`<r><a><b><c><d/></c></b></a></r>`))
+		x, y := labels[1], labels[len(labels)-1]
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Compare(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkOrdPathBetween(b *testing.B) {
+	s := OrdPath{}
+	lo := encodeComponents([]int64{1, 1})
+	hi := encodeComponents([]int64{1, 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z, err := s.Between(lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hi = z // keep careting deeper: worst case growth
+		if i%64 == 0 {
+			hi = encodeComponents([]int64{1, 3})
+		}
+	}
+}

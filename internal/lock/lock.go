@@ -1,0 +1,319 @@
+// Package lock implements multi-granularity (hierarchical) locking over the
+// store's three layers — document, range, node — the concurrency design the
+// paper sketches in its future-work section ("the flat model proposed in
+// this paper allows the definition of these concepts on a three-layer
+// architecture: blocks, ranges and tokens").
+//
+// The manager provides the classic intention-lock protocol: a transaction
+// takes IS/IX on an ancestor before S/X on a descendant, so that readers of
+// whole ranges coexist with writers of disjoint nodes. Conflicts block;
+// deadlocks are detected with a waits-for graph and broken by aborting the
+// requester.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes in increasing strength: intention-shared, intention-exclusive,
+// shared, shared+intention-exclusive, exclusive.
+const (
+	IS Mode = iota
+	IX
+	S
+	SIX
+	X
+	numModes
+)
+
+var modeNames = [...]string{"IS", "IX", "S", "SIX", "X"}
+
+func (m Mode) String() string {
+	if m >= 0 && int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// compatible is the standard multi-granularity compatibility matrix.
+var compatible = [numModes][numModes]bool{
+	IS:  {IS: true, IX: true, S: true, SIX: true, X: false},
+	IX:  {IS: true, IX: true, S: false, SIX: false, X: false},
+	S:   {IS: true, IX: false, S: true, SIX: false, X: false},
+	SIX: {IS: true, IX: false, S: false, SIX: false, X: false},
+	X:   {IS: false, IX: false, S: false, SIX: false, X: false},
+}
+
+// Compatible reports whether a lock in mode a coexists with one in mode b.
+func Compatible(a, b Mode) bool { return compatible[a][b] }
+
+// supremum[a][b] is the weakest mode at least as strong as both (for lock
+// upgrades).
+var supremum = [numModes][numModes]Mode{
+	IS:  {IS: IS, IX: IX, S: S, SIX: SIX, X: X},
+	IX:  {IS: IX, IX: IX, S: SIX, SIX: SIX, X: X},
+	S:   {IS: S, IX: SIX, S: S, SIX: SIX, X: X},
+	SIX: {IS: SIX, IX: SIX, S: SIX, SIX: SIX, X: X},
+	X:   {IS: X, IX: X, S: X, SIX: X, X: X},
+}
+
+// Level is the granularity layer of a resource.
+type Level int
+
+// The three layers of the store.
+const (
+	LevelDocument Level = iota
+	LevelRange
+	LevelNode
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDocument:
+		return "document"
+	case LevelRange:
+		return "range"
+	case LevelNode:
+		return "node"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Resource identifies a lockable object.
+type Resource struct {
+	Level Level
+	ID    uint64
+}
+
+func (r Resource) String() string { return fmt.Sprintf("%s:%d", r.Level, r.ID) }
+
+// TxID identifies a transaction.
+type TxID uint64
+
+// Manager errors.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected, requester aborted")
+	ErrNotHeld  = errors.New("lock: transaction does not hold this lock")
+	ErrClosed   = errors.New("lock: manager closed")
+)
+
+type lockState struct {
+	holders map[TxID]Mode
+	waiters int
+	cond    *sync.Cond
+}
+
+// Manager is a blocking lock manager with deadlock detection.
+type Manager struct {
+	mu       sync.Mutex
+	locks    map[Resource]*lockState
+	waitsFor map[TxID]map[TxID]bool // edges requester -> holders blocking it
+	held     map[TxID]map[Resource]Mode
+	closed   bool
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:    make(map[Resource]*lockState),
+		waitsFor: make(map[TxID]map[TxID]bool),
+		held:     make(map[TxID]map[Resource]Mode),
+	}
+}
+
+// Lock acquires (or upgrades to) mode on res for tx, blocking while
+// incompatible locks are held by other transactions. Returns ErrDeadlock if
+// waiting would close a cycle; the caller should release everything and
+// retry.
+func (m *Manager) Lock(tx TxID, res Resource, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	ls, ok := m.locks[res]
+	if !ok {
+		ls = &lockState{holders: make(map[TxID]Mode)}
+		ls.cond = sync.NewCond(&m.mu)
+		m.locks[res] = ls
+	}
+	// Upgrades combine with the currently held mode.
+	want := mode
+	if cur, ok := ls.holders[tx]; ok {
+		want = supremum[cur][mode]
+		if want == cur {
+			return nil // already strong enough
+		}
+	}
+	for {
+		if m.closed {
+			return ErrClosed
+		}
+		blockers := m.conflicts(ls, tx, want)
+		if len(blockers) == 0 {
+			break
+		}
+		// Record waits-for edges and check for a cycle before sleeping.
+		edges := m.waitsFor[tx]
+		if edges == nil {
+			edges = make(map[TxID]bool)
+			m.waitsFor[tx] = edges
+		}
+		for _, b := range blockers {
+			edges[b] = true
+		}
+		if m.cycleFrom(tx) {
+			delete(m.waitsFor, tx)
+			ls.cond.Broadcast()
+			return ErrDeadlock
+		}
+		ls.waiters++
+		ls.cond.Wait()
+		ls.waiters--
+		delete(m.waitsFor, tx)
+	}
+	ls.holders[tx] = want
+	h := m.held[tx]
+	if h == nil {
+		h = make(map[Resource]Mode)
+		m.held[tx] = h
+	}
+	h[res] = want
+	return nil
+}
+
+// conflicts lists the transactions holding res in a mode incompatible with
+// want (excluding tx itself).
+func (m *Manager) conflicts(ls *lockState, tx TxID, want Mode) []TxID {
+	var out []TxID
+	for otherTx, otherMode := range ls.holders {
+		if otherTx == tx {
+			continue
+		}
+		if !Compatible(want, otherMode) {
+			out = append(out, otherTx)
+		}
+	}
+	return out
+}
+
+// cycleFrom reports whether tx participates in a waits-for cycle: tx is
+// reachable from one of the transactions it waits for.
+func (m *Manager) cycleFrom(tx TxID) bool {
+	for next := range m.waitsFor[tx] {
+		if next == tx || m.reaches(next, tx, map[TxID]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) reaches(cur, target TxID, seen map[TxID]bool) bool {
+	if cur == target {
+		return true
+	}
+	if seen[cur] {
+		return false
+	}
+	seen[cur] = true
+	for next := range m.waitsFor[cur] {
+		if m.reaches(next, target, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unlock releases tx's lock on res.
+func (m *Manager) Unlock(tx TxID, res Resource) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unlockLocked(tx, res)
+}
+
+func (m *Manager) unlockLocked(tx TxID, res Resource) error {
+	ls, ok := m.locks[res]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, res)
+	}
+	if _, ok := ls.holders[tx]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, res)
+	}
+	delete(ls.holders, tx)
+	if h := m.held[tx]; h != nil {
+		delete(h, res)
+	}
+	if len(ls.holders) == 0 && ls.waiters == 0 {
+		delete(m.locks, res)
+	} else {
+		ls.cond.Broadcast()
+	}
+	return nil
+}
+
+// ReleaseAll drops every lock tx holds (transaction end or abort).
+func (m *Manager) ReleaseAll(tx TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res := range m.held[tx] {
+		m.unlockLocked(tx, res)
+	}
+	delete(m.held, tx)
+	delete(m.waitsFor, tx)
+}
+
+// Held returns the modes tx currently holds (for tests and introspection).
+func (m *Manager) Held(tx TxID) map[Resource]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Resource]Mode, len(m.held[tx]))
+	for r, mo := range m.held[tx] {
+		out[r] = mo
+	}
+	return out
+}
+
+// Close wakes all waiters with ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, ls := range m.locks {
+		ls.cond.Broadcast()
+	}
+}
+
+// Hierarchical convenience API: acquire intention locks top-down, exactly as
+// the protocol prescribes.
+
+// LockNode takes IS/IX on the document and range, then mode on the node.
+func (m *Manager) LockNode(tx TxID, doc, rng, node uint64, mode Mode) error {
+	intent := IS
+	if mode == X || mode == IX || mode == SIX {
+		intent = IX
+	}
+	if err := m.Lock(tx, Resource{LevelDocument, doc}, intent); err != nil {
+		return err
+	}
+	if err := m.Lock(tx, Resource{LevelRange, rng}, intent); err != nil {
+		return err
+	}
+	return m.Lock(tx, Resource{LevelNode, node}, mode)
+}
+
+// LockRange takes an intention lock on the document, then mode on the range.
+func (m *Manager) LockRange(tx TxID, doc, rng uint64, mode Mode) error {
+	intent := IS
+	if mode == X || mode == IX || mode == SIX {
+		intent = IX
+	}
+	if err := m.Lock(tx, Resource{LevelDocument, doc}, intent); err != nil {
+		return err
+	}
+	return m.Lock(tx, Resource{LevelRange, rng}, mode)
+}

@@ -1,0 +1,257 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Spot-check the canonical entries.
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, SIX, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, SIX, false}, {IX, X, false},
+		{S, S, true}, {S, SIX, false}, {S, X, false},
+		{SIX, SIX, false}, {SIX, IS, true},
+		{X, X, false}, {X, IS, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// The matrix is symmetric.
+		if Compatible(c.a, c.b) != Compatible(c.b, c.a) {
+			t.Errorf("matrix asymmetric at (%s, %s)", c.a, c.b)
+		}
+	}
+}
+
+func TestBasicLockUnlock(t *testing.T) {
+	m := NewManager()
+	res := Resource{LevelNode, 42}
+	if err := m.Lock(1, res, S); err != nil {
+		t.Fatal(err)
+	}
+	// Shared with another reader.
+	if err := m.Lock(2, res, S); err != nil {
+		t.Fatal(err)
+	}
+	held := m.Held(1)
+	if held[res] != S {
+		t.Errorf("held = %v", held)
+	}
+	if err := m.Unlock(1, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(1, res); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("double unlock: %v", err)
+	}
+	if err := m.Unlock(3, res); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("stranger unlock: %v", err)
+	}
+	m.ReleaseAll(2)
+	if len(m.Held(2)) != 0 {
+		t.Error("ReleaseAll left locks")
+	}
+}
+
+func TestExclusiveBlocks(t *testing.T) {
+	m := NewManager()
+	res := Resource{LevelRange, 7}
+	if err := m.Lock(1, res, X); err != nil {
+		t.Fatal(err)
+	}
+	var acquired atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		if err := m.Lock(2, res, S); err != nil {
+			t.Errorf("reader: %v", err)
+		}
+		acquired.Store(true)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if acquired.Load() {
+		t.Fatal("reader acquired while writer held X")
+	}
+	m.Unlock(1, res)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewManager()
+	res := Resource{LevelNode, 1}
+	if err := m.Lock(1, res, S); err != nil {
+		t.Fatal(err)
+	}
+	// S + IX = SIX.
+	if err := m.Lock(1, res, IX); err != nil {
+		t.Fatal(err)
+	}
+	if m.Held(1)[res] != SIX {
+		t.Errorf("upgraded mode = %v", m.Held(1)[res])
+	}
+	// Re-request of a weaker mode is a no-op.
+	if err := m.Lock(1, res, IS); err != nil {
+		t.Fatal(err)
+	}
+	if m.Held(1)[res] != SIX {
+		t.Error("weaker re-request changed the mode")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := NewManager()
+	a := Resource{LevelNode, 1}
+	b := Resource{LevelNode, 2}
+	if err := m.Lock(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	// Tx 1 waits for b (held by 2).
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Lock(1, b, X) }()
+	time.Sleep(20 * time.Millisecond)
+	// Tx 2 requests a: closes the cycle, must get ErrDeadlock immediately.
+	err := m.Lock(2, a, X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	// Victim releases; tx 1 proceeds.
+	m.ReleaseAll(2)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("tx1 after victim released: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tx1 never acquired after deadlock resolution")
+	}
+}
+
+func TestHierarchicalProtocol(t *testing.T) {
+	m := NewManager()
+	// Reader locks a node: IS on document and range, S on node.
+	if err := m.LockNode(1, 1, 10, 100, S); err != nil {
+		t.Fatal(err)
+	}
+	held := m.Held(1)
+	if held[Resource{LevelDocument, 1}] != IS || held[Resource{LevelRange, 10}] != IS ||
+		held[Resource{LevelNode, 100}] != S {
+		t.Errorf("reader locks: %v", held)
+	}
+	// Writer on a different node of the same range coexists.
+	if err := m.LockNode(2, 1, 10, 200, X); err != nil {
+		t.Fatal(err)
+	}
+	// But a whole-range S lock must wait for the node writer.
+	done := make(chan error, 1)
+	go func() { done <- m.LockRange(3, 1, 10, S) }()
+	select {
+	case err := <-done:
+		t.Fatalf("range reader should block on IX, got %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntentionModeSelection(t *testing.T) {
+	m := NewManager()
+	if err := m.LockNode(1, 1, 10, 100, X); err != nil {
+		t.Fatal(err)
+	}
+	held := m.Held(1)
+	if held[Resource{LevelDocument, 1}] != IX || held[Resource{LevelRange, 10}] != IX {
+		t.Errorf("writer intention locks: %v", held)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Many goroutines take node locks under the hierarchy; a counter
+	// protected only by the X lock must never race.
+	m := NewManager()
+	counters := make([]int, 8)
+	var wg sync.WaitGroup
+	var deadlocks atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(tx TxID) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				node := uint64(i % len(counters))
+				for {
+					err := m.LockNode(tx, 1, node%4, node, X)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrDeadlock) {
+						deadlocks.Add(1)
+						m.ReleaseAll(tx)
+						continue
+					}
+					t.Errorf("lock: %v", err)
+					return
+				}
+				counters[node]++
+				m.ReleaseAll(tx)
+			}
+		}(TxID(g + 1))
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != 16*200 {
+		t.Errorf("lost updates: total = %d, want %d (deadlock aborts retried: %d)",
+			total, 16*200, deadlocks.Load())
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	m := NewManager()
+	res := Resource{LevelNode, 1}
+	m.Lock(1, res, X)
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(2, res, X) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("waiter got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by Close")
+	}
+	if err := m.Lock(3, res, S); !errors.Is(err, ErrClosed) {
+		t.Errorf("lock after close: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if X.String() != "X" || IS.String() != "IS" || Mode(99).String() == "" {
+		t.Error("mode strings")
+	}
+	if LevelRange.String() != "range" || Level(9).String() == "" {
+		t.Error("level strings")
+	}
+	r := Resource{LevelNode, 5}
+	if r.String() != "node:5" {
+		t.Errorf("resource string = %q", r.String())
+	}
+}

@@ -1,0 +1,225 @@
+package pagestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Buffer pool errors.
+var (
+	ErrPoolFull   = errors.New("pagestore: buffer pool full of pinned pages")
+	ErrNotPinned  = errors.New("pagestore: unpin of page that is not pinned")
+	ErrDoubleFree = errors.New("pagestore: freeing page with pins")
+)
+
+// Frame is a page resident in the buffer pool. The Data slice is valid while
+// the frame is pinned; callers must not retain it past Unpin.
+type Frame struct {
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// PoolStats counts buffer pool traffic. Reads of XML data flow through the
+// pool, so these numbers drive the experiments' I/O accounting.
+type PoolStats struct {
+	Hits      uint64 // Fetch satisfied from memory
+	Misses    uint64 // Fetch required pager read
+	Evictions uint64 // clean or flushed frames dropped for space
+	Flushes   uint64 // dirty pages written back
+}
+
+// BufferPool caches pages with pin-count-aware LRU eviction.
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+	stats    PoolStats
+}
+
+// NewBufferPool wraps pager with a pool of at most capacity resident pages
+// (minimum 4).
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// Pager returns the underlying pager.
+func (bp *BufferPool) Pager() Pager { return bp.pager }
+
+// PageSize returns the page size of the underlying pager.
+func (bp *BufferPool) PageSize() int { return bp.pager.PageSize() }
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// Fetch pins the page in memory and returns its frame.
+func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pin(f)
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.pager.ReadPage(id, f.Data); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page and returns it pinned and dirty.
+func (bp *BufferPool) NewPage() (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	f, err := bp.newFrameLocked(id)
+	if err != nil {
+		bp.pager.Free(id)
+		return nil, err
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// newFrameLocked makes room and installs a pinned frame for id.
+func (bp *BufferPool) newFrameLocked(id PageID) (*Frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{ID: id, Data: make([]byte, bp.pager.PageSize()), pins: 1}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	e := bp.lru.Front()
+	if e == nil {
+		return ErrPoolFull
+	}
+	f := e.Value.(*Frame)
+	if f.dirty {
+		if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+			return err
+		}
+		bp.stats.Flushes++
+	}
+	bp.lru.Remove(e)
+	delete(bp.frames, f.ID)
+	bp.stats.Evictions++
+	return nil
+}
+
+func (bp *BufferPool) pin(f *Frame) {
+	if f.pins == 0 && f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.pins++
+}
+
+// Unpin releases one pin. If dirty is true the frame is marked for
+// write-back before eviction.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins <= 0 {
+		return fmt.Errorf("%w: page %d", ErrNotPinned, f.ID)
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = bp.lru.PushBack(f)
+	}
+	return nil
+}
+
+// FreePage removes the page from the pool and returns it to the pager. The
+// page must not be pinned (beyond the caller's single pin, which is
+// consumed).
+func (bp *BufferPool) FreePage(f *Frame) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins != 1 {
+		return fmt.Errorf("%w: page %d has %d pins", ErrDoubleFree, f.ID, f.pins)
+	}
+	f.pins = 0
+	delete(bp.frames, f.ID)
+	return bp.pager.Free(f.ID)
+}
+
+// FlushAll writes back every dirty frame. Pinned frames are flushed too
+// (their contents at this instant).
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+			bp.stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// PinnedCount returns the number of currently pinned frames (for tests and
+// leak checks).
+func (bp *BufferPool) PinnedCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Close flushes and releases the pool and the underlying pager.
+func (bp *BufferPool) Close() error {
+	if err := bp.FlushAll(); err != nil {
+		return err
+	}
+	return bp.pager.Close()
+}

@@ -1,0 +1,205 @@
+package pagestore
+
+import (
+	"testing"
+)
+
+func newPool(t *testing.T, capacity int) *BufferPool {
+	t.Helper()
+	return NewBufferPool(NewMemPager(1024), capacity)
+}
+
+func TestPoolFetchNewPage(t *testing.T) {
+	bp := newPool(t, 8)
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data[0] = 0xAB
+	if err := bp.Unpin(f, true); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bp.Fetch(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data[0] != 0xAB {
+		t.Error("data lost")
+	}
+	bp.Unpin(g, false)
+	st := bp.Stats()
+	if st.Hits != 1 {
+		t.Errorf("hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestPoolEvictionWritesBack(t *testing.T) {
+	bp := newPool(t, 4)
+	var ids []PageID
+	// Create more pages than capacity, writing a signature in each.
+	for i := 0; i < 10; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data[0] = byte(i + 1)
+		ids = append(ids, f.ID)
+		bp.Unpin(f, true)
+	}
+	// All pages must read back correctly even though most were evicted.
+	for i, id := range ids {
+		f, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i+1) {
+			t.Errorf("page %d: data = %d, want %d", id, f.Data[0], i+1)
+		}
+		bp.Unpin(f, false)
+	}
+	st := bp.Stats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions")
+	}
+	if st.Flushes == 0 {
+		t.Error("expected flushes of dirty pages")
+	}
+	if st.Misses == 0 {
+		t.Error("expected misses on re-fetch")
+	}
+}
+
+func TestPoolPinnedPagesNotEvicted(t *testing.T) {
+	bp := newPool(t, 4)
+	var pinned []*Frame
+	for i := 0; i < 4; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, f)
+	}
+	// Pool is full of pinned pages: next allocation must fail.
+	if _, err := bp.NewPage(); err == nil {
+		t.Fatal("expected ErrPoolFull")
+	}
+	// Releasing one pin makes room.
+	bp.Unpin(pinned[0], false)
+	if _, err := bp.NewPage(); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestPoolDoublePin(t *testing.T) {
+	bp := newPool(t, 4)
+	f, _ := bp.NewPage()
+	bp.Unpin(f, true)
+	a, _ := bp.Fetch(f.ID)
+	b, _ := bp.Fetch(f.ID)
+	if a != b {
+		t.Fatal("same page should share a frame")
+	}
+	if bp.PinnedCount() != 1 {
+		t.Fatalf("pinned count = %d", bp.PinnedCount())
+	}
+	bp.Unpin(a, false)
+	if bp.PinnedCount() != 1 {
+		t.Fatal("still one pin outstanding")
+	}
+	bp.Unpin(b, false)
+	if bp.PinnedCount() != 0 {
+		t.Fatal("all pins released")
+	}
+	if err := bp.Unpin(b, false); err == nil {
+		t.Error("unpin below zero should fail")
+	}
+}
+
+func TestPoolFlushAll(t *testing.T) {
+	pager := NewMemPager(1024)
+	bp := NewBufferPool(pager, 8)
+	f, _ := bp.NewPage()
+	f.Data[5] = 0x77
+	bp.Unpin(f, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify directly via the pager.
+	buf := make([]byte, 1024)
+	if err := pager.ReadPage(f.ID, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[5] != 0x77 {
+		t.Error("flush did not reach pager")
+	}
+}
+
+func TestPoolFreePage(t *testing.T) {
+	bp := newPool(t, 8)
+	f, _ := bp.NewPage()
+	id := f.ID
+	if err := bp.FreePage(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Fetch(id); err == nil {
+		t.Error("fetch of freed page should fail")
+	}
+	// Freeing a page with extra pins fails.
+	g, _ := bp.NewPage()
+	bp.Unpin(g, false)
+	g1, _ := bp.Fetch(g.ID)
+	g2, _ := bp.Fetch(g.ID)
+	_ = g2
+	if err := bp.FreePage(g1); err == nil {
+		t.Error("free with multiple pins should fail")
+	}
+}
+
+func TestPoolResetStats(t *testing.T) {
+	bp := newPool(t, 4)
+	f, _ := bp.NewPage()
+	bp.Unpin(f, false)
+	bp.Fetch(f.ID)
+	if bp.Stats().Hits == 0 {
+		t.Fatal("expected a hit")
+	}
+	bp.ResetStats()
+	if s := bp.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Error("stats not reset")
+	}
+}
+
+func TestPoolMinimumCapacity(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(1024), 1)
+	if bp.capacity < 4 {
+		t.Errorf("capacity = %d, want >= 4", bp.capacity)
+	}
+}
+
+func TestPoolLRUOrder(t *testing.T) {
+	bp := newPool(t, 4)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		f, _ := bp.NewPage()
+		ids = append(ids, f.ID)
+		bp.Unpin(f, false)
+	}
+	// Touch page 0 so it becomes most recently used.
+	f, _ := bp.Fetch(ids[0])
+	bp.Unpin(f, false)
+	// Adding a new page must evict ids[1] (the LRU), not ids[0].
+	g, _ := bp.NewPage()
+	bp.Unpin(g, false)
+	bp.ResetStats()
+	h, _ := bp.Fetch(ids[0])
+	bp.Unpin(h, false)
+	if bp.Stats().Hits != 1 {
+		t.Error("recently used page was evicted")
+	}
+	bp.ResetStats()
+	k, _ := bp.Fetch(ids[1])
+	bp.Unpin(k, false)
+	if bp.Stats().Misses != 1 {
+		t.Error("LRU page should have been evicted")
+	}
+}

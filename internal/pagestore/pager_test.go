@@ -1,0 +1,181 @@
+package pagestore
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testPagers(t *testing.T) map[string]Pager {
+	t.Helper()
+	fp, err := OpenFilePager(filepath.Join(t.TempDir(), "pages.db"), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Pager{
+		"mem":  NewMemPager(1024),
+		"file": fp,
+	}
+}
+
+func TestPagerBasics(t *testing.T) {
+	for name, p := range testPagers(t) {
+		t.Run(name, func(t *testing.T) {
+			defer p.Close()
+			if p.PageSize() != 1024 {
+				t.Fatalf("page size = %d", p.PageSize())
+			}
+			id1, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id2, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id1 == InvalidPage || id2 == InvalidPage || id1 == id2 {
+				t.Fatalf("bad ids: %d %d", id1, id2)
+			}
+			if p.PageCount() != 2 {
+				t.Fatalf("count = %d", p.PageCount())
+			}
+			buf := make([]byte, 1024)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			if err := p.WritePage(id1, buf); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 1024)
+			if err := p.ReadPage(id1, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, buf) {
+				t.Fatal("read != write")
+			}
+			// Fresh page reads as zeros.
+			if err := p.ReadPage(id2, got); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range got {
+				if b != 0 {
+					t.Fatal("fresh page not zeroed")
+				}
+			}
+		})
+	}
+}
+
+func TestPagerFreeAndReuse(t *testing.T) {
+	for name, p := range testPagers(t) {
+		t.Run(name, func(t *testing.T) {
+			defer p.Close()
+			id1, _ := p.Allocate()
+			id2, _ := p.Allocate()
+			if err := p.Free(id1); err != nil {
+				t.Fatal(err)
+			}
+			if p.PageCount() != 1 {
+				t.Fatalf("count after free = %d", p.PageCount())
+			}
+			buf := make([]byte, 1024)
+			if err := p.ReadPage(id1, buf); err == nil {
+				t.Error("read of freed page should fail")
+			}
+			if err := p.WritePage(id1, buf); err == nil {
+				t.Error("write of freed page should fail")
+			}
+			if err := p.Free(id1); err == nil {
+				t.Error("double free should fail")
+			}
+			// Freed id is reused.
+			id3, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id3 != id1 {
+				t.Errorf("expected reuse of %d, got %d", id1, id3)
+			}
+			_ = id2
+		})
+	}
+}
+
+func TestPagerInvalidIDs(t *testing.T) {
+	fp, err := OpenFilePager(filepath.Join(t.TempDir(), "p.db"), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp.Close()
+	buf := make([]byte, 1024)
+	if err := fp.ReadPage(InvalidPage, buf); err == nil {
+		t.Error("read page 0 should fail")
+	}
+	if err := fp.ReadPage(999, buf); err == nil {
+		t.Error("read unallocated page should fail")
+	}
+}
+
+func TestPagerClosed(t *testing.T) {
+	for name, p := range testPagers(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := p.Allocate()
+			p.Close()
+			buf := make([]byte, 1024)
+			if _, err := p.Allocate(); err == nil {
+				t.Error("allocate after close should fail")
+			}
+			if err := p.ReadPage(id, buf); err == nil {
+				t.Error("read after close should fail")
+			}
+			if err := p.WritePage(id, buf); err == nil {
+				t.Error("write after close should fail")
+			}
+			if err := p.Free(id); err == nil {
+				t.Error("free after close should fail")
+			}
+		})
+	}
+}
+
+func TestFilePagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	fp, err := OpenFilePager(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := fp.Allocate()
+	buf := make([]byte, 1024)
+	copy(buf, "hello persistent world")
+	if err := fp.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fp.Close()
+
+	fp2, err := OpenFilePager(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp2.Close()
+	got := make([]byte, 1024)
+	if err := fp2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("hello persistent world")) {
+		t.Errorf("persisted data lost: %q", got[:30])
+	}
+}
+
+func TestPagerMinimumPageSize(t *testing.T) {
+	p := NewMemPager(10)
+	if p.PageSize() < MinPageSize {
+		t.Errorf("page size %d below minimum", p.PageSize())
+	}
+	p2 := NewMemPager(0)
+	if p2.PageSize() != DefaultPageSize {
+		t.Errorf("default page size = %d", p2.PageSize())
+	}
+}

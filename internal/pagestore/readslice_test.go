@@ -1,0 +1,107 @@
+package pagestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadSliceInline(t *testing.T) {
+	rs := newRecordStore(t, 1024, 8)
+	data := []byte("0123456789abcdef")
+	loc, _, err := rs.InsertLast(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ off, length int }{
+		{0, 16}, {0, 0}, {5, 5}, {15, 1}, {16, 0},
+	}
+	for _, c := range cases {
+		got, err := rs.ReadSlice(loc, c.off, c.length)
+		if err != nil {
+			t.Fatalf("ReadSlice(%d,%d): %v", c.off, c.length, err)
+		}
+		if !bytes.Equal(got, data[c.off:c.off+c.length]) {
+			t.Errorf("ReadSlice(%d,%d) = %q", c.off, c.length, got)
+		}
+	}
+	// Out of bounds.
+	if _, err := rs.ReadSlice(loc, 10, 10); err == nil {
+		t.Error("over-read should fail")
+	}
+	if _, err := rs.ReadSlice(loc, -1, 2); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := rs.ReadSlice(loc, 0, -2); err == nil {
+		t.Error("negative length should fail")
+	}
+	if _, err := rs.ReadSlice(Loc{Page: 99, Slot: 0}, 0, 1); err == nil {
+		t.Error("bad loc should fail")
+	}
+}
+
+func TestReadSliceOverflow(t *testing.T) {
+	rs := newRecordStore(t, 512, 32)
+	// Spans ~8 overflow pages.
+	data := make([]byte, 4000)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	loc, _, err := rs.InsertLast(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ off, length int }{
+		{0, 4000},    // whole record
+		{0, 100},     // first chunk only
+		{450, 200},   // crosses a chunk boundary
+		{3900, 100},  // tail
+		{1000, 2500}, // many chunks
+		{3999, 1},
+	}
+	for _, c := range cases {
+		got, err := rs.ReadSlice(loc, c.off, c.length)
+		if err != nil {
+			t.Fatalf("ReadSlice(%d,%d): %v", c.off, c.length, err)
+		}
+		if !bytes.Equal(got, data[c.off:c.off+c.length]) {
+			t.Errorf("ReadSlice(%d,%d) mismatch", c.off, c.length)
+		}
+	}
+	if _, err := rs.ReadSlice(loc, 3999, 2); err == nil {
+		t.Error("overflow over-read should fail")
+	}
+}
+
+func TestReadSliceAgainstFullRead(t *testing.T) {
+	// Property: every slice agrees with the full Read.
+	rs := newRecordStore(t, 512, 32)
+	sizes := []int{1, 100, 490, 491, 5000}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*7 + n)
+		}
+		loc, _, err := rs.InsertLast(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := rs.Read(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < n; off += 1 + n/7 {
+			for _, l := range []int{0, 1, n / 3, n - off} {
+				if l < 0 || off+l > n {
+					continue
+				}
+				got, err := rs.ReadSlice(loc, off, l)
+				if err != nil {
+					t.Fatalf("size %d ReadSlice(%d,%d): %v", n, off, l, err)
+				}
+				if !bytes.Equal(got, full[off:off+l]) {
+					t.Fatalf("size %d slice (%d,%d) mismatch", n, off, l)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RecordStore maintains an ordered sequence of variable-length records on a
+// doubly-chained list of slotted pages. The store's Ranges are records; the
+// page chain order is document order. Records have stable addresses (page,
+// slot) that change only on page splits; every split reports the relocations
+// so the caller can repair its indexes.
+//
+// Records larger than a page are transparently spilled to overflow chains; a
+// small stub remains in the slotted page so ordering and addressing are
+// uniform.
+
+// Loc addresses a record.
+type Loc struct {
+	Page PageID
+	Slot uint16
+}
+
+// NilLoc is the zero, invalid location.
+var NilLoc = Loc{}
+
+// IsNil reports whether the location is unset.
+func (l Loc) IsNil() bool { return l.Page == InvalidPage }
+
+func (l Loc) String() string { return fmt.Sprintf("(%d.%d)", l.Page, l.Slot) }
+
+// Move records a relocation of a record during a page split.
+type Move struct {
+	From, To Loc
+}
+
+// Record store errors.
+var (
+	ErrNoRecord  = errors.New("pagestore: no record at location")
+	ErrTooLarge  = errors.New("pagestore: record exceeds maximum size")
+	ErrBadMeta   = errors.New("pagestore: malformed meta page")
+	ErrBadHandle = errors.New("pagestore: operation on empty store")
+)
+
+// Payload stubs: first byte distinguishes inline from overflowed records.
+const (
+	recInline   = 0
+	recOverflow = 1
+	stubSize    = 1 + 4 + 4 // flag + total length + first overflow page
+)
+
+// Overflow page header: type, flags, used(2), next(4).
+const ovflHeader = 8
+
+// MaxRecordSize bounds a record's total payload.
+const MaxRecordSize = 1 << 30
+
+// RecordStore is not safe for concurrent use; the owning store serializes
+// access.
+type RecordStore struct {
+	pool *BufferPool
+	meta PageID // meta page id
+	head PageID // first data page
+	tail PageID // last data page
+}
+
+// CreateRecordStore formats a new store on the pool: a meta page plus one
+// empty data page.
+func CreateRecordStore(pool *BufferPool) (*RecordStore, error) {
+	mf, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(mf, true)
+	df, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(df, true)
+	initDataPage(df.Data)
+
+	rs := &RecordStore{pool: pool, meta: mf.ID, head: df.ID, tail: df.ID}
+	rs.writeMeta(mf.Data, nil)
+	return rs, nil
+}
+
+// OpenRecordStore reopens a store whose meta page id is known (by
+// convention, the first allocated page).
+func OpenRecordStore(pool *BufferPool, meta PageID) (*RecordStore, error) {
+	mf, err := pool.Fetch(meta)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(mf, false)
+	p := slotPage(mf.Data)
+	if p.typ() != pageMeta {
+		return nil, ErrBadMeta
+	}
+	rs := &RecordStore{
+		pool: pool,
+		meta: meta,
+		head: PageID(binary.LittleEndian.Uint32(mf.Data[2:])),
+		tail: PageID(binary.LittleEndian.Uint32(mf.Data[6:])),
+	}
+	return rs, nil
+}
+
+// MetaPage returns the meta page id (persist it to reopen the store).
+func (rs *RecordStore) MetaPage() PageID { return rs.meta }
+
+// Pool returns the underlying buffer pool.
+func (rs *RecordStore) Pool() *BufferPool { return rs.pool }
+
+// writeMeta lays out the meta page: type byte, flags, head, tail, user blob.
+func (rs *RecordStore) writeMeta(b []byte, user []byte) {
+	b[0] = pageMeta
+	b[1] = 0
+	binary.LittleEndian.PutUint32(b[2:], uint32(rs.head))
+	binary.LittleEndian.PutUint32(b[6:], uint32(rs.tail))
+	binary.LittleEndian.PutUint16(b[10:], uint16(len(user)))
+	copy(b[12:], user)
+}
+
+func (rs *RecordStore) syncMeta() error {
+	mf, err := rs.pool.Fetch(rs.meta)
+	if err != nil {
+		return err
+	}
+	defer rs.pool.Unpin(mf, true)
+	// Preserve the user blob.
+	ul := binary.LittleEndian.Uint16(mf.Data[10:])
+	user := make([]byte, ul)
+	copy(user, mf.Data[12:12+int(ul)])
+	rs.writeMeta(mf.Data, user)
+	return nil
+}
+
+// SetUserMeta stores an application blob (up to page size - 12 bytes) in the
+// meta page. The core store persists its ID allocator state here.
+func (rs *RecordStore) SetUserMeta(user []byte) error {
+	if len(user) > rs.pool.PageSize()-12 {
+		return ErrTooLarge
+	}
+	mf, err := rs.pool.Fetch(rs.meta)
+	if err != nil {
+		return err
+	}
+	defer rs.pool.Unpin(mf, true)
+	rs.writeMeta(mf.Data, user)
+	return nil
+}
+
+// UserMeta returns the application blob from the meta page.
+func (rs *RecordStore) UserMeta() ([]byte, error) {
+	mf, err := rs.pool.Fetch(rs.meta)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.pool.Unpin(mf, false)
+	ul := int(binary.LittleEndian.Uint16(mf.Data[10:]))
+	out := make([]byte, ul)
+	copy(out, mf.Data[12:12+ul])
+	return out, nil
+}
+
+// inlineMax is the largest payload stored directly in a data page.
+func (rs *RecordStore) inlineMax() int {
+	return rs.pool.PageSize() - headerSize - slotSize
+}
+
+// Read returns a copy of the record payload at loc.
+func (rs *RecordStore) Read(loc Loc) ([]byte, error) {
+	f, err := rs.pool.Fetch(loc.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.pool.Unpin(f, false)
+	p := slotPage(f.Data)
+	if p.typ() != pageData || !p.live(loc.Slot) {
+		return nil, fmt.Errorf("%w: %v", ErrNoRecord, loc)
+	}
+	return rs.resolve(p.payload(loc.Slot))
+}
+
+// ReadSlice returns payload[off : off+length] of the record at loc without
+// materializing the rest of the record — the cheap path for indexed point
+// reads into large records.
+func (rs *RecordStore) ReadSlice(loc Loc, off, length int) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("pagestore: negative slice bounds")
+	}
+	f, err := rs.pool.Fetch(loc.Page)
+	if err != nil {
+		return nil, err
+	}
+	p := slotPage(f.Data)
+	if p.typ() != pageData || !p.live(loc.Slot) {
+		rs.pool.Unpin(f, false)
+		return nil, fmt.Errorf("%w: %v", ErrNoRecord, loc)
+	}
+	stored := p.payload(loc.Slot)
+	if len(stored) == 0 {
+		rs.pool.Unpin(f, false)
+		return nil, fmt.Errorf("pagestore: empty stored payload")
+	}
+	if stored[0] == recInline {
+		body := stored[1:]
+		if off+length > len(body) {
+			rs.pool.Unpin(f, false)
+			return nil, fmt.Errorf("pagestore: slice [%d:%d] beyond record of %d bytes", off, off+length, len(body))
+		}
+		out := make([]byte, length)
+		copy(out, body[off:off+length])
+		rs.pool.Unpin(f, false)
+		return out, nil
+	}
+	// Overflowed record: walk the chain, skipping chunks before off.
+	if len(stored) < stubSize {
+		rs.pool.Unpin(f, false)
+		return nil, fmt.Errorf("pagestore: truncated overflow stub")
+	}
+	total := int(binary.LittleEndian.Uint32(stored[1:]))
+	next := PageID(binary.LittleEndian.Uint32(stored[5:]))
+	rs.pool.Unpin(f, false)
+	if off+length > total {
+		return nil, fmt.Errorf("pagestore: slice [%d:%d] beyond record of %d bytes", off, off+length, total)
+	}
+	out := make([]byte, 0, length)
+	pos := 0
+	for next != InvalidPage && len(out) < length {
+		of, err := rs.pool.Fetch(next)
+		if err != nil {
+			return nil, err
+		}
+		used := int(binary.LittleEndian.Uint16(of.Data[2:]))
+		chunk := of.Data[ovflHeader : ovflHeader+used]
+		if pos+used > off {
+			lo := 0
+			if off > pos {
+				lo = off - pos
+			}
+			hi := used
+			if pos+hi > off+length {
+				hi = off + length - pos
+			}
+			out = append(out, chunk[lo:hi]...)
+		}
+		pos += used
+		next = PageID(binary.LittleEndian.Uint32(of.Data[4:]))
+		rs.pool.Unpin(of, false)
+	}
+	if len(out) != length {
+		return nil, fmt.Errorf("pagestore: overflow chain ended early (%d of %d bytes)", len(out), length)
+	}
+	return out, nil
+}
+
+// resolve expands a stored payload, following overflow chains.
+func (rs *RecordStore) resolve(stored []byte) ([]byte, error) {
+	if len(stored) == 0 {
+		return nil, fmt.Errorf("pagestore: empty stored payload")
+	}
+	if stored[0] == recInline {
+		out := make([]byte, len(stored)-1)
+		copy(out, stored[1:])
+		return out, nil
+	}
+	if len(stored) < stubSize {
+		return nil, fmt.Errorf("pagestore: truncated overflow stub")
+	}
+	total := int(binary.LittleEndian.Uint32(stored[1:]))
+	next := PageID(binary.LittleEndian.Uint32(stored[5:]))
+	out := make([]byte, 0, total)
+	for next != InvalidPage {
+		f, err := rs.pool.Fetch(next)
+		if err != nil {
+			return nil, err
+		}
+		used := int(binary.LittleEndian.Uint16(f.Data[2:]))
+		out = append(out, f.Data[ovflHeader:ovflHeader+used]...)
+		next = PageID(binary.LittleEndian.Uint32(f.Data[4:]))
+		rs.pool.Unpin(f, false)
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("pagestore: overflow chain length %d, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+// encode prepares the stored form of data, spilling to overflow if needed.
+func (rs *RecordStore) encode(data []byte) ([]byte, error) {
+	if len(data) > MaxRecordSize {
+		return nil, ErrTooLarge
+	}
+	if len(data)+1 <= rs.inlineMax() {
+		out := make([]byte, len(data)+1)
+		out[0] = recInline
+		copy(out[1:], data)
+		return out, nil
+	}
+	first, err := rs.writeOverflow(data)
+	if err != nil {
+		return nil, err
+	}
+	stub := make([]byte, stubSize)
+	stub[0] = recOverflow
+	binary.LittleEndian.PutUint32(stub[1:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(stub[5:], uint32(first))
+	return stub, nil
+}
+
+func (rs *RecordStore) writeOverflow(data []byte) (PageID, error) {
+	chunk := rs.pool.PageSize() - ovflHeader
+	var first, prev PageID
+	var prevFrame *Frame
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		f, err := rs.pool.NewPage()
+		if err != nil {
+			return InvalidPage, err
+		}
+		f.Data[0] = pageOverflow
+		f.Data[1] = 0
+		binary.LittleEndian.PutUint16(f.Data[2:], uint16(end-off))
+		binary.LittleEndian.PutUint32(f.Data[4:], 0)
+		copy(f.Data[ovflHeader:], data[off:end])
+		if prev == InvalidPage {
+			first = f.ID
+		} else {
+			binary.LittleEndian.PutUint32(prevFrame.Data[4:], uint32(f.ID))
+			rs.pool.Unpin(prevFrame, true)
+		}
+		prev, prevFrame = f.ID, f
+	}
+	if prevFrame != nil {
+		rs.pool.Unpin(prevFrame, true)
+	}
+	return first, nil
+}
+
+// freeOverflow releases an overflow chain referenced by a stored payload.
+func (rs *RecordStore) freeOverflow(stored []byte) error {
+	if len(stored) == 0 || stored[0] != recOverflow {
+		return nil
+	}
+	next := PageID(binary.LittleEndian.Uint32(stored[5:]))
+	for next != InvalidPage {
+		f, err := rs.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+		nn := PageID(binary.LittleEndian.Uint32(f.Data[4:]))
+		if err := rs.pool.FreePage(f); err != nil {
+			return err
+		}
+		next = nn
+	}
+	return nil
+}

@@ -1,0 +1,598 @@
+package pagestore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newRecordStore(t *testing.T, pageSize, poolPages int) *RecordStore {
+	t.Helper()
+	pool := NewBufferPool(NewMemPager(pageSize), poolPages)
+	rs, err := CreateRecordStore(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// collect returns all record payloads in order.
+func collect(t *testing.T, rs *RecordStore) [][]byte {
+	t.Helper()
+	var out [][]byte
+	err := rs.Scan(func(loc Loc, payload []byte) bool {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		out = append(out, cp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRecordStoreAppendRead(t *testing.T) {
+	rs := newRecordStore(t, 1024, 16)
+	var locs []Loc
+	for i := 0; i < 10; i++ {
+		loc, moves, err := rs.InsertLast([]byte(fmt.Sprintf("record-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 0 {
+			// Moves can legally happen, but remap our locs if so.
+			for _, m := range moves {
+				for j := range locs {
+					if locs[j] == m.From {
+						locs[j] = m.To
+					}
+				}
+			}
+		}
+		locs = append(locs, loc)
+	}
+	for i, loc := range locs {
+		data, err := rs.Read(loc)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(data) != fmt.Sprintf("record-%02d", i) {
+			t.Errorf("record %d = %q", i, data)
+		}
+	}
+	if n, _ := rs.Len(); n != 10 {
+		t.Errorf("len = %d", n)
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordStoreOrdering(t *testing.T) {
+	rs := newRecordStore(t, 1024, 16)
+	b, _, err := rs.InsertLast([]byte("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.InsertBefore(b, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.InsertAfter(b, []byte("D")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.InsertAfter(b, []byte("C")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.InsertFirst([]byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, rs)
+	want := []string{"0", "A", "B", "C", "D"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordStoreIteration(t *testing.T) {
+	rs := newRecordStore(t, 512, 16)
+	// Force multiple pages with chunky records.
+	n := 20
+	for i := 0; i < n; i++ {
+		if _, _, err := rs.InsertLast(bytes.Repeat([]byte{byte('a' + i%26)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pages, _ := rs.DataPages(); pages < 2 {
+		t.Fatalf("expected multiple pages, got %d", pages)
+	}
+	// Forward iteration.
+	loc, ok, err := rs.First()
+	if err != nil || !ok {
+		t.Fatal("First failed")
+	}
+	count := 1
+	for {
+		next, ok, err := rs.Next(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		loc = next
+		count++
+	}
+	if count != n {
+		t.Errorf("forward count = %d, want %d", count, n)
+	}
+	// Backward iteration.
+	loc, ok, err = rs.Last()
+	if err != nil || !ok {
+		t.Fatal("Last failed")
+	}
+	count = 1
+	for {
+		prev, ok, err := rs.Prev(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		loc = prev
+		count++
+	}
+	if count != n {
+		t.Errorf("backward count = %d, want %d", count, n)
+	}
+}
+
+func TestRecordStoreEmpty(t *testing.T) {
+	rs := newRecordStore(t, 1024, 8)
+	if _, ok, _ := rs.First(); ok {
+		t.Error("First on empty store")
+	}
+	if _, ok, _ := rs.Last(); ok {
+		t.Error("Last on empty store")
+	}
+	if n, _ := rs.Len(); n != 0 {
+		t.Errorf("len = %d", n)
+	}
+	if _, err := rs.Read(Loc{Page: 2, Slot: 0}); err == nil {
+		t.Error("read of nonexistent record should fail")
+	}
+}
+
+func TestRecordStoreDelete(t *testing.T) {
+	rs := newRecordStore(t, 512, 16)
+	var locs []Loc
+	remap := func(moves []Move) {
+		for _, m := range moves {
+			for j := range locs {
+				if locs[j] == m.From {
+					locs[j] = m.To
+				}
+			}
+		}
+	}
+	for i := 0; i < 15; i++ {
+		loc, moves, err := rs.InsertLast(bytes.Repeat([]byte{byte('0' + i%10)}, 80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		remap(moves)
+		locs = append(locs, loc)
+	}
+	pagesBefore, _ := rs.DataPages()
+	// Delete the middle third.
+	for i := 5; i < 10; i++ {
+		if err := rs.Delete(locs[i]); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if n, _ := rs.Len(); n != 10 {
+		t.Errorf("len = %d", n)
+	}
+	// Double delete fails.
+	if err := rs.Delete(locs[5]); err == nil {
+		t.Error("double delete should fail")
+	}
+	// Delete everything; empty pages get reclaimed.
+	for i := 0; i < 5; i++ {
+		if err := rs.Delete(locs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 15; i++ {
+		if err := rs.Delete(locs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := rs.Len(); n != 0 {
+		t.Errorf("len = %d", n)
+	}
+	pagesAfter, _ := rs.DataPages()
+	if pagesAfter >= pagesBefore {
+		t.Errorf("pages not reclaimed: %d -> %d", pagesBefore, pagesAfter)
+	}
+	if pagesAfter != 1 {
+		t.Errorf("empty store should keep one page, has %d", pagesAfter)
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordStoreSplitReportsMoves(t *testing.T) {
+	rs := newRecordStore(t, 512, 32)
+	// Fill one page.
+	first, _, err := rs.InsertLast(bytes.Repeat([]byte("a"), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := rs.InsertLast(bytes.Repeat([]byte("b"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert after the first record; the tail must move to a new page.
+	var sawMoves bool
+	for i := 0; i < 5; i++ {
+		_, moves, err := rs.InsertAfter(first, bytes.Repeat([]byte("c"), 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) > 0 {
+			sawMoves = true
+			for _, m := range moves {
+				if m.From == m.To {
+					t.Error("no-op move reported")
+				}
+				// Moved record must be readable at its new location.
+				if _, err := rs.Read(m.To); err != nil {
+					t.Errorf("moved record unreadable: %v", err)
+				}
+				if first == m.From {
+					first = m.To
+				}
+			}
+		}
+	}
+	if !sawMoves {
+		t.Error("expected at least one split with moves")
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordStoreOverflow(t *testing.T) {
+	rs := newRecordStore(t, 512, 32)
+	big := make([]byte, 5000)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	loc, _, err := rs.InsertLast(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Read(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("overflow round trip corrupted")
+	}
+	pagesWithOvfl := rs.pool.Pager().PageCount()
+	// Delete must reclaim the overflow chain.
+	if err := rs.Delete(loc); err != nil {
+		t.Fatal(err)
+	}
+	if after := rs.pool.Pager().PageCount(); after >= pagesWithOvfl {
+		t.Errorf("overflow pages not reclaimed: %d -> %d", pagesWithOvfl, after)
+	}
+}
+
+func TestRecordStoreOverflowMixedWithSmall(t *testing.T) {
+	rs := newRecordStore(t, 512, 32)
+	small1, _, _ := rs.InsertLast([]byte("small-1"))
+	big := bytes.Repeat([]byte("B"), 3000)
+	bigLoc, _, err := rs.InsertLast(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small2, _, _ := rs.InsertLast([]byte("small-2"))
+	recs := collect(t, rs)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if string(recs[0]) != "small-1" || !bytes.Equal(recs[1], big) || string(recs[2]) != "small-2" {
+		t.Error("order or content wrong with overflow record")
+	}
+	_ = small1
+	_ = small2
+	_ = bigLoc
+}
+
+func TestRecordStoreUpdate(t *testing.T) {
+	rs := newRecordStore(t, 512, 32)
+	loc, _, err := rs.InsertLast([]byte("initial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-place (shrink).
+	nl, moves, err := rs.Update(loc, []byte("tiny"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl != loc || len(moves) != 0 {
+		t.Error("shrink should stay in place")
+	}
+	if data, _ := rs.Read(nl); string(data) != "tiny" {
+		t.Errorf("data = %q", data)
+	}
+	// Grow to overflow size.
+	big := bytes.Repeat([]byte("G"), 4000)
+	nl, _, err = rs.Update(nl, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := rs.Read(nl); !bytes.Equal(data, big) {
+		t.Error("grown data mismatch")
+	}
+	// Shrink back from overflow; chain must be reclaimed.
+	pages := rs.pool.Pager().PageCount()
+	nl, _, err = rs.Update(nl, []byte("small again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := rs.pool.Pager().PageCount(); after >= pages {
+		t.Errorf("overflow not reclaimed on shrink: %d -> %d", pages, after)
+	}
+	if data, _ := rs.Read(nl); string(data) != "small again" {
+		t.Errorf("data = %q", data)
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordStoreUpdatePreservesOrder(t *testing.T) {
+	rs := newRecordStore(t, 512, 32)
+	var locs []Loc
+	for i := 0; i < 4; i++ {
+		loc, _, err := rs.InsertLast([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+	}
+	// Grow r1 so large it must relocate (page split).
+	big := append([]byte("r1-"), bytes.Repeat([]byte("x"), 300)...)
+	if _, _, err := rs.Update(locs[1], big); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, rs)
+	if string(recs[0]) != "r0" || !bytes.HasPrefix(recs[1], []byte("r1-")) ||
+		string(recs[2]) != "r2" || string(recs[3]) != "r3" {
+		t.Errorf("order broken after relocating update: %q", recs)
+	}
+}
+
+func TestRecordStoreUserMeta(t *testing.T) {
+	rs := newRecordStore(t, 512, 8)
+	if err := rs.SetUserMeta([]byte("allocator-state-42")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.UserMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "allocator-state-42" {
+		t.Errorf("user meta = %q", got)
+	}
+	// Meta survives record operations that touch head/tail.
+	for i := 0; i < 30; i++ {
+		if _, _, err := rs.InsertLast(bytes.Repeat([]byte("m"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ = rs.UserMeta()
+	if string(got) != "allocator-state-42" {
+		t.Errorf("user meta lost after inserts: %q", got)
+	}
+	// Oversize meta rejected.
+	if err := rs.SetUserMeta(make([]byte, 600)); err == nil {
+		t.Error("oversize meta should fail")
+	}
+}
+
+func TestRecordStoreReopen(t *testing.T) {
+	pool := NewBufferPool(NewMemPager(512), 16)
+	rs, err := CreateRecordStore(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := rs.InsertLast([]byte(fmt.Sprintf("persist-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs.SetUserMeta([]byte("meta"))
+	meta := rs.MetaPage()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through a fresh pool over the same pager.
+	pool2 := NewBufferPool(pool.Pager(), 16)
+	rs2, err := OpenRecordStore(pool2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	rs2.Scan(func(_ Loc, p []byte) bool { got = append(got, string(p)); return true })
+	if len(got) != 10 || got[0] != "persist-0" || got[9] != "persist-9" {
+		t.Errorf("reopened records: %v", got)
+	}
+	um, _ := rs2.UserMeta()
+	if string(um) != "meta" {
+		t.Errorf("user meta after reopen: %q", um)
+	}
+	// Opening a non-meta page fails.
+	if _, err := OpenRecordStore(pool2, rs2.head); err == nil {
+		t.Error("open of data page as meta should fail")
+	}
+}
+
+func TestRecordStoreRandomized(t *testing.T) {
+	// Property test: random ordered inserts/deletes/updates mirrored
+	// against a reference slice. Locations are remapped on every move.
+	r := rand.New(rand.NewSource(99))
+	rs := newRecordStore(t, 512, 64)
+	type rec struct {
+		loc  Loc
+		data []byte
+	}
+	var ref []rec
+	remap := func(moves []Move) {
+		for _, m := range moves {
+			for j := range ref {
+				if ref[j].loc == m.From {
+					ref[j].loc = m.To
+				}
+			}
+		}
+	}
+	for step := 0; step < 1500; step++ {
+		op := r.Intn(10)
+		switch {
+		case op < 5 || len(ref) == 0: // insert
+			data := make([]byte, 1+r.Intn(200))
+			r.Read(data)
+			pos := r.Intn(len(ref) + 1)
+			var loc Loc
+			var moves []Move
+			var err error
+			if pos == len(ref) {
+				loc, moves, err = rs.InsertLast(data)
+			} else {
+				loc, moves, err = rs.InsertBefore(ref[pos].loc, data)
+			}
+			if err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			remap(moves)
+			ref = append(ref[:pos], append([]rec{{loc, data}}, ref[pos:]...)...)
+		case op < 7: // delete
+			i := r.Intn(len(ref))
+			if err := rs.Delete(ref[i].loc); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		default: // update
+			i := r.Intn(len(ref))
+			data := make([]byte, 1+r.Intn(400))
+			r.Read(data)
+			loc, moves, err := rs.Update(ref[i].loc, data)
+			if err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			remap(moves)
+			ref[i].loc = loc
+			ref[i].data = data
+		}
+		if step%100 == 0 {
+			if err := rs.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// Final verification: order and content.
+	var got []rec
+	rs.Scan(func(loc Loc, p []byte) bool {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		got = append(got, rec{loc, cp})
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("got %d records, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].loc != ref[i].loc {
+			t.Fatalf("record %d: loc %v, want %v", i, got[i].loc, ref[i].loc)
+		}
+		if !bytes.Equal(got[i].data, ref[i].data) {
+			t.Fatalf("record %d: content mismatch", i)
+		}
+		// Point reads agree.
+		data, err := rs.Read(ref[i].loc)
+		if err != nil || !bytes.Equal(data, ref[i].data) {
+			t.Fatalf("record %d: point read mismatch: %v", i, err)
+		}
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if rs.pool.PinnedCount() != 0 {
+		t.Errorf("pin leak: %d frames pinned", rs.pool.PinnedCount())
+	}
+}
+
+func TestRecordStoreScanEarlyStop(t *testing.T) {
+	rs := newRecordStore(t, 1024, 8)
+	for i := 0; i < 5; i++ {
+		rs.InsertLast([]byte{byte(i)})
+	}
+	n := 0
+	rs.Scan(func(Loc, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("scan visited %d, want 3", n)
+	}
+}
+
+func TestRecordStoreTooLarge(t *testing.T) {
+	rs := newRecordStore(t, 512, 8)
+	if _, _, err := rs.InsertLast(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversize record should fail")
+	}
+}
+
+func BenchmarkRecordAppend(b *testing.B) {
+	pool := NewBufferPool(NewMemPager(8192), 256)
+	rs, _ := CreateRecordStore(pool)
+	payload := bytes.Repeat([]byte("x"), 200)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rs.InsertLast(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordScan(b *testing.B) {
+	pool := NewBufferPool(NewMemPager(8192), 256)
+	rs, _ := CreateRecordStore(pool)
+	payload := bytes.Repeat([]byte("x"), 200)
+	for i := 0; i < 1000; i++ {
+		rs.InsertLast(payload)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		rs.Scan(func(Loc, []byte) bool { n++; return true })
+		if n != 1000 {
+			b.Fatal("bad scan")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package schema
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+// Schema documents are themselves XML, in a compact XSD-like dialect:
+//
+//	<schema>
+//	  <element name="ticket" type="ticketType"/>
+//	  <complexType name="ticketType" mixed="false">
+//	    <element name="hour" type="xs:int" minOccurs="1" maxOccurs="1"/>
+//	    <element name="name" type="xs:string"/>
+//	    <attribute name="id" type="xs:int" required="true"/>
+//	  </complexType>
+//	</schema>
+//
+// Complex types may reference each other and themselves (recursion is
+// resolved after all declarations are read).
+
+// Parse reads a schema document.
+func Parse(r io.Reader) (*Schema, error) {
+	toks, err := xmltok.Parse(r, xmltok.ParseOptions{
+		StripWhitespace: true, DropComments: true, DropPIs: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	return fromTokens(toks)
+}
+
+// ParseString reads a schema document from a string.
+func ParseString(src string) (*Schema, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// MustParse parses a trusted schema literal, panicking on error.
+func MustParse(src string) *Schema {
+	s, err := ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// rawDecl defers type resolution until all complex types are known.
+type rawDecl struct {
+	name, typ            string
+	minOccurs, maxOccurs int
+	required             bool
+}
+
+func fromTokens(toks []token.Token) (*Schema, error) {
+	s := New()
+	type rawComplex struct {
+		name  string
+		mixed bool
+		elems []rawDecl
+		attrs []rawDecl
+	}
+	var rawGlobals []rawDecl
+	var rawTypes []*rawComplex
+
+	i := 0
+	next := func() (token.Token, bool) {
+		if i >= len(toks) {
+			return token.Token{}, false
+		}
+		t := toks[i]
+		i++
+		return t, true
+	}
+	root, ok := next()
+	if !ok || root.Kind != token.BeginElement || root.Name != "schema" {
+		return nil, fmt.Errorf("schema: document must start with <schema>")
+	}
+	// Walk the schema document.
+	var curType *rawComplex
+	depth := 1
+	for depth > 0 {
+		t, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("schema: truncated document")
+		}
+		switch t.Kind {
+		case token.BeginElement:
+			depth++
+			attrs, err := collectAttrs(toks, &i)
+			if err != nil {
+				return nil, err
+			}
+			switch t.Name {
+			case "element":
+				d, err := elementDecl(attrs)
+				if err != nil {
+					return nil, err
+				}
+				if curType != nil {
+					curType.elems = append(curType.elems, d)
+				} else {
+					rawGlobals = append(rawGlobals, d)
+				}
+			case "attribute":
+				if curType == nil {
+					return nil, fmt.Errorf("schema: <attribute> outside <complexType>")
+				}
+				d, err := attributeDecl(attrs)
+				if err != nil {
+					return nil, err
+				}
+				curType.attrs = append(curType.attrs, d)
+			case "complexType":
+				if curType != nil {
+					return nil, fmt.Errorf("schema: nested <complexType> not supported")
+				}
+				name := attrs["name"]
+				if name == "" {
+					return nil, fmt.Errorf("schema: <complexType> needs a name")
+				}
+				curType = &rawComplex{name: name, mixed: attrs["mixed"] == "true"}
+				rawTypes = append(rawTypes, curType)
+			default:
+				return nil, fmt.Errorf("schema: unexpected element <%s>", t.Name)
+			}
+		case token.EndElement:
+			depth--
+			if depth == 1 && curType != nil {
+				// Leaving... only close the complexType when its own end tag
+				// arrives; elements inside close at depth 2.
+			}
+			if depth == 1 {
+				curType = nil
+			}
+		case token.Text:
+			return nil, fmt.Errorf("schema: unexpected text %q", t.Value)
+		}
+	}
+
+	// Register complex types first so references resolve.
+	for _, rt := range rawTypes {
+		s.AddComplexType(&ComplexType{Name: rt.name, Mixed: rt.mixed})
+	}
+	for _, rt := range rawTypes {
+		ct := s.complex[rt.name]
+		for _, d := range rt.elems {
+			t, err := s.resolveType(d.typ)
+			if err != nil {
+				return nil, err
+			}
+			ct.Sequence = append(ct.Sequence, ElementDecl{
+				Name: d.name, Type: t, MinOccurs: d.minOccurs, MaxOccurs: d.maxOccurs,
+			})
+		}
+		for _, d := range rt.attrs {
+			t, err := s.resolveType(d.typ)
+			if err != nil {
+				return nil, err
+			}
+			if !IsSimple(t) && t != TypeUntyped {
+				return nil, fmt.Errorf("schema: attribute %q must have a simple type", d.name)
+			}
+			ct.Attrs = append(ct.Attrs, AttributeDecl{Name: d.name, Type: t, Required: d.required})
+		}
+	}
+	for _, d := range rawGlobals {
+		t, err := s.resolveType(d.typ)
+		if err != nil {
+			return nil, err
+		}
+		s.Globals[d.name] = ElementDecl{
+			Name: d.name, Type: t, MinOccurs: d.minOccurs, MaxOccurs: d.maxOccurs,
+		}
+	}
+	if len(s.Globals) == 0 {
+		return nil, fmt.Errorf("schema: no global element declarations")
+	}
+	return s, nil
+}
+
+// collectAttrs consumes the attribute token pairs following a begin-element.
+func collectAttrs(toks []token.Token, i *int) (map[string]string, error) {
+	attrs := map[string]string{}
+	for *i < len(toks) && toks[*i].Kind == token.BeginAttribute {
+		attrs[toks[*i].Name] = toks[*i].Value
+		*i++
+		if *i >= len(toks) || toks[*i].Kind != token.EndAttribute {
+			return nil, fmt.Errorf("schema: malformed attribute tokens")
+		}
+		*i++
+	}
+	return attrs, nil
+}
+
+func elementDecl(attrs map[string]string) (rawDecl, error) {
+	d := rawDecl{name: attrs["name"], typ: attrs["type"], minOccurs: 1, maxOccurs: 1}
+	if d.name == "" {
+		return d, fmt.Errorf("schema: <element> needs a name")
+	}
+	if d.typ == "" {
+		d.typ = "xs:anyType"
+	}
+	if v, ok := attrs["minOccurs"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return d, fmt.Errorf("schema: bad minOccurs %q", v)
+		}
+		d.minOccurs = n
+	}
+	if v, ok := attrs["maxOccurs"]; ok {
+		if v == "unbounded" {
+			d.maxOccurs = -1
+		} else {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return d, fmt.Errorf("schema: bad maxOccurs %q", v)
+			}
+			d.maxOccurs = n
+		}
+	}
+	return d, nil
+}
+
+func attributeDecl(attrs map[string]string) (rawDecl, error) {
+	d := rawDecl{name: attrs["name"], typ: attrs["type"], required: attrs["required"] == "true"}
+	if d.name == "" {
+		return d, fmt.Errorf("schema: <attribute> needs a name")
+	}
+	if d.typ == "" {
+		d.typ = "xs:string"
+	}
+	return d, nil
+}

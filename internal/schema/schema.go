@@ -1,0 +1,181 @@
+// Package schema implements a compact XML Schema subset and the PSVI
+// (post-schema-validation infoset) support the paper lists as store
+// desideratum 7: validating a token stream once and attaching type
+// annotations to the tokens, so that schema evaluation is never repeated on
+// reads.
+//
+// The subset covers what the store's experiments and examples need: global
+// element declarations, named complex types with sequence content
+// (minOccurs/maxOccurs), attribute declarations with required/optional, and
+// the common built-in simple types with lexical validation.
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/token"
+)
+
+// Built-in simple types. Their token.Type annotation values are fixed so
+// annotated documents remain readable across schema reloads.
+const (
+	TypeUntyped token.Type = iota
+	TypeString
+	TypeInt
+	TypeDecimal
+	TypeBoolean
+	TypeDate
+	TypeAnyType
+
+	// firstComplexType is the first annotation value assigned to
+	// schema-defined complex types.
+	firstComplexType token.Type = 100
+)
+
+var builtinNames = map[string]token.Type{
+	"xs:string":  TypeString,
+	"xs:int":     TypeInt,
+	"xs:integer": TypeInt,
+	"xs:decimal": TypeDecimal,
+	"xs:boolean": TypeBoolean,
+	"xs:date":    TypeDate,
+	"xs:anyType": TypeAnyType,
+	"string":     TypeString,
+	"int":        TypeInt,
+	"integer":    TypeInt,
+	"decimal":    TypeDecimal,
+	"boolean":    TypeBoolean,
+	"date":       TypeDate,
+	"anyType":    TypeAnyType,
+}
+
+var builtinByType = map[token.Type]string{
+	TypeUntyped: "untyped",
+	TypeString:  "xs:string",
+	TypeInt:     "xs:int",
+	TypeDecimal: "xs:decimal",
+	TypeBoolean: "xs:boolean",
+	TypeDate:    "xs:date",
+	TypeAnyType: "xs:anyType",
+}
+
+// checkSimple validates a lexical value against a built-in simple type.
+func checkSimple(t token.Type, value string) error {
+	v := strings.TrimSpace(value)
+	switch t {
+	case TypeString, TypeAnyType, TypeUntyped:
+		return nil
+	case TypeInt:
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			return fmt.Errorf("%q is not a valid xs:int", value)
+		}
+	case TypeDecimal:
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return fmt.Errorf("%q is not a valid xs:decimal", value)
+		}
+	case TypeBoolean:
+		switch v {
+		case "true", "false", "0", "1":
+		default:
+			return fmt.Errorf("%q is not a valid xs:boolean", value)
+		}
+	case TypeDate:
+		if _, err := time.Parse("2006-01-02", v); err != nil {
+			return fmt.Errorf("%q is not a valid xs:date", value)
+		}
+	}
+	return nil
+}
+
+// ElementDecl declares an element: either a simple-typed leaf or a reference
+// to a complex type, with sequence occurrence bounds.
+type ElementDecl struct {
+	Name      string
+	Type      token.Type // simple type or complex type annotation
+	MinOccurs int
+	MaxOccurs int // -1 = unbounded
+}
+
+// AttributeDecl declares one attribute of a complex type.
+type AttributeDecl struct {
+	Name     string
+	Type     token.Type // simple types only
+	Required bool
+}
+
+// ComplexType is a named type with sequence content and attributes.
+type ComplexType struct {
+	Name     string
+	Anno     token.Type
+	Sequence []ElementDecl
+	Attrs    []AttributeDecl
+	Mixed    bool // character data allowed between children
+}
+
+// Schema is a compiled schema: global element declarations plus named
+// complex types.
+type Schema struct {
+	Globals  map[string]ElementDecl
+	complex  map[string]*ComplexType // by name
+	byAnno   map[token.Type]*ComplexType
+	nextAnno token.Type
+}
+
+// New returns an empty schema (useful for building programmatically).
+func New() *Schema {
+	return &Schema{
+		Globals:  make(map[string]ElementDecl),
+		complex:  make(map[string]*ComplexType),
+		byAnno:   make(map[token.Type]*ComplexType),
+		nextAnno: firstComplexType,
+	}
+}
+
+// AddComplexType registers a complex type and assigns its annotation.
+func (s *Schema) AddComplexType(ct *ComplexType) token.Type {
+	ct.Anno = s.nextAnno
+	s.nextAnno++
+	s.complex[ct.Name] = ct
+	s.byAnno[ct.Anno] = ct
+	return ct.Anno
+}
+
+// TypeName renders an annotation for humans ("xs:int", "ticketType",
+// "untyped").
+func (s *Schema) TypeName(t token.Type) string {
+	if n, ok := builtinByType[t]; ok {
+		return n
+	}
+	if s != nil {
+		if ct, ok := s.byAnno[t]; ok {
+			return ct.Name
+		}
+	}
+	return fmt.Sprintf("type#%d", uint32(t))
+}
+
+// resolveType maps a type name in a schema document to an annotation.
+func (s *Schema) resolveType(name string) (token.Type, error) {
+	if t, ok := builtinNames[name]; ok {
+		return t, nil
+	}
+	if ct, ok := s.complex[name]; ok {
+		return ct.Anno, nil
+	}
+	return TypeUntyped, fmt.Errorf("schema: unknown type %q", name)
+}
+
+// complexFor returns the complex type for an annotation, if any.
+func (s *Schema) complexFor(t token.Type) (*ComplexType, bool) {
+	ct, ok := s.byAnno[t]
+	return ct, ok
+}
+
+// IsSimple reports whether the annotation names a built-in simple type.
+func IsSimple(t token.Type) bool {
+	_, ok := builtinByType[t]
+	return ok && t != TypeUntyped
+}

@@ -1,0 +1,289 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+const ticketSchema = `<schema>
+  <element name="ticket" type="ticketType"/>
+  <complexType name="ticketType">
+    <element name="hour" type="xs:int"/>
+    <element name="name" type="xs:string"/>
+    <attribute name="id" type="xs:int" required="true"/>
+  </complexType>
+</schema>`
+
+func TestParseSchema(t *testing.T) {
+	s := MustParse(ticketSchema)
+	decl, ok := s.Globals["ticket"]
+	if !ok {
+		t.Fatal("no global ticket declaration")
+	}
+	ct, ok := s.complexFor(decl.Type)
+	if !ok {
+		t.Fatal("ticket type is not complex")
+	}
+	if ct.Name != "ticketType" || len(ct.Sequence) != 2 || len(ct.Attrs) != 1 {
+		t.Errorf("complex type: %+v", ct)
+	}
+	if ct.Sequence[0].Type != TypeInt || ct.Sequence[1].Type != TypeString {
+		t.Error("sequence types wrong")
+	}
+	if !ct.Attrs[0].Required {
+		t.Error("id should be required")
+	}
+}
+
+func TestValidateAnnotates(t *testing.T) {
+	s := MustParse(ticketSchema)
+	doc := xmltok.MustParse(`<ticket id="7"><hour>15</hour><name>Paul</name></ticket>`)
+	annotated, err := s.Validate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if doc[0].Type != TypeUntyped {
+		t.Error("input modified")
+	}
+	// ticket carries its complex type, hour xs:int, name xs:string.
+	if annotated[0].Type < firstComplexType {
+		t.Errorf("ticket type = %d", annotated[0].Type)
+	}
+	if s.TypeName(annotated[0].Type) != "ticketType" {
+		t.Errorf("type name = %s", s.TypeName(annotated[0].Type))
+	}
+	var hourType, nameType, idType token.Type
+	for _, tok := range annotated {
+		switch {
+		case tok.Kind == token.BeginElement && tok.Name == "hour":
+			hourType = tok.Type
+		case tok.Kind == token.BeginElement && tok.Name == "name":
+			nameType = tok.Type
+		case tok.Kind == token.BeginAttribute && tok.Name == "id":
+			idType = tok.Type
+		}
+	}
+	if hourType != TypeInt || nameType != TypeString || idType != TypeInt {
+		t.Errorf("types: hour=%d name=%d id=%d", hourType, nameType, idType)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := MustParse(ticketSchema)
+	cases := []struct{ name, doc, wantMsg string }{
+		{"bad int", `<ticket id="7"><hour>late</hour><name>P</name></ticket>`, "xs:int"},
+		{"bad attr int", `<ticket id="x"><hour>1</hour><name>P</name></ticket>`, "xs:int"},
+		{"missing required attr", `<ticket><hour>1</hour><name>P</name></ticket>`, "required"},
+		{"undeclared attr", `<ticket id="1" extra="x"><hour>1</hour><name>P</name></ticket>`, "undeclared"},
+		{"unknown root", `<order/>`, "no global declaration"},
+		{"wrong order", `<ticket id="1"><name>P</name><hour>1</hour></ticket>`, "expected"},
+		{"missing element", `<ticket id="1"><hour>1</hour></ticket>`, "expected <name>"},
+		{"extra element", `<ticket id="1"><hour>1</hour><name>P</name><x/></ticket>`, "unexpected element"},
+		{"text in element-only", `<ticket id="1">stray<hour>1</hour><name>P</name></ticket>`, "character data"},
+		{"element in simple", `<ticket id="1"><hour><x/></hour><name>P</name></ticket>`, "element content"},
+	}
+	for _, c := range cases {
+		doc := xmltok.MustParse(c.doc)
+		_, err := s.Validate(doc)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantMsg)
+		}
+	}
+}
+
+func TestOccurrenceBounds(t *testing.T) {
+	s := MustParse(`<schema>
+	  <element name="orders" type="ordersType"/>
+	  <complexType name="ordersType">
+	    <element name="order" type="xs:string" minOccurs="1" maxOccurs="3"/>
+	  </complexType>
+	</schema>`)
+	ok := []string{
+		`<orders><order>a</order></orders>`,
+		`<orders><order>a</order><order>b</order><order>c</order></orders>`,
+	}
+	for _, doc := range ok {
+		if _, err := s.Validate(xmltok.MustParse(doc)); err != nil {
+			t.Errorf("%s: %v", doc, err)
+		}
+	}
+	bad := []string{
+		`<orders/>`,
+		`<orders><order>a</order><order>b</order><order>c</order><order>d</order></orders>`,
+	}
+	for _, doc := range bad {
+		if _, err := s.Validate(xmltok.MustParse(doc)); err == nil {
+			t.Errorf("%s: expected error", doc)
+		}
+	}
+}
+
+func TestUnboundedAndOptional(t *testing.T) {
+	s := MustParse(`<schema>
+	  <element name="list" type="listType"/>
+	  <complexType name="listType">
+	    <element name="opt" type="xs:string" minOccurs="0"/>
+	    <element name="item" type="xs:decimal" minOccurs="0" maxOccurs="unbounded"/>
+	  </complexType>
+	</schema>`)
+	ok := []string{
+		`<list/>`,
+		`<list><opt>x</opt></list>`,
+		`<list><item>1.5</item><item>2</item><item>3</item><item>4</item></list>`,
+		`<list><opt>x</opt><item>1</item></list>`,
+	}
+	for _, doc := range ok {
+		if _, err := s.Validate(xmltok.MustParse(doc)); err != nil {
+			t.Errorf("%s: %v", doc, err)
+		}
+	}
+}
+
+func TestNestedComplexTypes(t *testing.T) {
+	s := MustParse(`<schema>
+	  <element name="po" type="poType"/>
+	  <complexType name="poType">
+	    <element name="line" type="lineType" minOccurs="0" maxOccurs="unbounded"/>
+	  </complexType>
+	  <complexType name="lineType">
+	    <element name="sku" type="xs:string"/>
+	    <element name="qty" type="xs:int"/>
+	  </complexType>
+	</schema>`)
+	doc := xmltok.MustParse(`<po><line><sku>W-1</sku><qty>3</qty></line><line><sku>W-2</sku><qty>1</qty></line></po>`)
+	annotated, err := s.Validate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineType := annotated[1].Type
+	if s.TypeName(lineType) != "lineType" {
+		t.Errorf("line type = %s", s.TypeName(lineType))
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	s := MustParse(`<schema>
+	  <element name="p" type="pType"/>
+	  <complexType name="pType" mixed="true">
+	    <element name="b" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+	  </complexType>
+	</schema>`)
+	if _, err := s.Validate(xmltok.MustParse(`<p>one <b>two</b> three</p>`)); err != nil {
+		t.Errorf("mixed content rejected: %v", err)
+	}
+}
+
+func TestSimpleTypeChecks(t *testing.T) {
+	cases := []struct {
+		typ token.Type
+		ok  []string
+		bad []string
+	}{
+		{TypeInt, []string{"0", "-5", " 42 "}, []string{"", "4.5", "abc"}},
+		{TypeDecimal, []string{"1.5", "-0.01", "3"}, []string{"x", ""}},
+		{TypeBoolean, []string{"true", "false", "0", "1"}, []string{"yes", "TRUE"}},
+		{TypeDate, []string{"2005-06-14"}, []string{"14/06/2005", "2005-13-01"}},
+		{TypeString, []string{"", "anything"}, nil},
+	}
+	for _, c := range cases {
+		for _, v := range c.ok {
+			if err := checkSimple(c.typ, v); err != nil {
+				t.Errorf("%s should accept %q: %v", builtinByType[c.typ], v, err)
+			}
+		}
+		for _, v := range c.bad {
+			if err := checkSimple(c.typ, v); err == nil {
+				t.Errorf("%s should reject %q", builtinByType[c.typ], v)
+			}
+		}
+	}
+}
+
+func TestSchemaParseErrors(t *testing.T) {
+	bad := []string{
+		`<notschema/>`,
+		`<schema/>`, // no globals
+		`<schema><element type="xs:int"/></schema>`,                         // element without name
+		`<schema><element name="a" type="nosuch"/></schema>`,                // unknown type
+		`<schema><attribute name="a"/></schema>`,                            // attribute outside complexType
+		`<schema><complexType/></schema>`,                                   // nameless type
+		`<schema><element name="a" type="xs:int" minOccurs="-1"/></schema>`, // bad occurs
+		`<schema><element name="a" type="xs:int" maxOccurs="x"/></schema>`,  // bad occurs
+		`<schema><bogus/></schema>`,                                         // unknown construct
+		`<schema>text<element name="a"/></schema>`,                          // stray text
+		`<schema><complexType name="t"><attribute name="a" type="t"/></complexType><element name="e" type="t"/></schema>`, // complex-typed attribute
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("expected parse error for %s", src)
+		}
+	}
+	if _, err := ParseString(`<schema><element`); err == nil {
+		t.Error("malformed XML should fail")
+	}
+}
+
+func TestTypeNameFallbacks(t *testing.T) {
+	s := New()
+	if s.TypeName(TypeInt) != "xs:int" {
+		t.Error("builtin name")
+	}
+	if !strings.Contains(s.TypeName(9999), "9999") {
+		t.Error("unknown type should render its number")
+	}
+	var nilSchema *Schema
+	if nilSchema.TypeName(TypeString) != "xs:string" {
+		t.Error("nil schema should still name builtins")
+	}
+}
+
+// PSVI end-to-end: annotations survive a round trip through the store —
+// desideratum 7 (validate once, never re-evaluate the schema).
+func TestPSVIThroughStore(t *testing.T) {
+	s := MustParse(ticketSchema)
+	doc := xmltok.MustParse(`<ticket id="9"><hour>8</hour><name>Ann</name></ticket>`)
+	annotated, err := s.Validate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Append(annotated); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !token.Equal(back, annotated) {
+		t.Fatal("PSVI annotations lost in the store")
+	}
+	for _, tok := range back {
+		if tok.Kind == token.BeginElement && tok.Name == "hour" && tok.Type != TypeInt {
+			t.Error("hour annotation lost")
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	s := MustParse(ticketSchema)
+	doc := xmltok.MustParse(`<ticket id="7"><hour>15</hour><name>Paul</name></ticket>`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Validate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// ValidationError locates a violation by element path.
+type ValidationError struct {
+	Path string
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("schema: %s: %s", e.Path, e.Msg)
+}
+
+// Validate checks a token fragment against the schema and returns a copy
+// whose node-starting tokens carry PSVI type annotations. The original slice
+// is not modified. Top-level elements must match global declarations.
+func (s *Schema) Validate(frag []token.Token) ([]token.Token, error) {
+	if err := token.ValidateFragment(frag); err != nil {
+		return nil, err
+	}
+	out := make([]token.Token, len(frag))
+	copy(out, frag)
+	i := 0
+	for i < len(out) {
+		t := out[i]
+		switch t.Kind {
+		case token.BeginElement:
+			decl, ok := s.Globals[t.Name]
+			if !ok {
+				return nil, &ValidationError{Path: "/" + t.Name, Msg: "no global declaration"}
+			}
+			n, err := s.validateElement(out, i, decl.Type, "/"+t.Name)
+			if err != nil {
+				return nil, err
+			}
+			i = n
+		case token.Comment, token.PI:
+			i++
+		case token.Text:
+			if strings.TrimSpace(t.Value) != "" {
+				return nil, &ValidationError{Path: "/", Msg: "character data at top level"}
+			}
+			i++
+		default:
+			return nil, &ValidationError{Path: "/", Msg: fmt.Sprintf("unexpected %s at top level", t.Kind)}
+		}
+	}
+	return out, nil
+}
+
+// validateElement annotates the element beginning at index i with typ and
+// validates its attributes and content. Returns the index just past the
+// element's end token.
+func (s *Schema) validateElement(out []token.Token, i int, typ token.Type, path string) (int, error) {
+	out[i].Type = typ
+	i++
+
+	ct, isComplex := s.complexFor(typ)
+
+	// Attribute block.
+	seenAttrs := map[string]bool{}
+	for i < len(out) && out[i].Kind == token.BeginAttribute {
+		a := out[i]
+		var decl *AttributeDecl
+		if isComplex {
+			for k := range ct.Attrs {
+				if ct.Attrs[k].Name == a.Name {
+					decl = &ct.Attrs[k]
+					break
+				}
+			}
+			if decl == nil {
+				return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("undeclared attribute %q", a.Name)}
+			}
+			if err := checkSimple(decl.Type, a.Value); err != nil {
+				return 0, &ValidationError{Path: path + "/@" + a.Name, Msg: err.Error()}
+			}
+			out[i].Type = decl.Type
+		}
+		seenAttrs[a.Name] = true
+		i++ // begin attribute
+		i++ // end attribute
+	}
+	if isComplex {
+		for _, ad := range ct.Attrs {
+			if ad.Required && !seenAttrs[ad.Name] {
+				return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("missing required attribute %q", ad.Name)}
+			}
+		}
+	}
+
+	if !isComplex {
+		// Simple (or anyType/untyped) content: text only for true simple
+		// types; anything for anyType.
+		var text strings.Builder
+		for i < len(out) && out[i].Kind != token.EndElement {
+			switch out[i].Kind {
+			case token.Text:
+				text.WriteString(out[i].Value)
+				if IsSimple(typ) {
+					out[i].Type = typ
+				}
+				i++
+			case token.Comment, token.PI:
+				i++
+			case token.BeginElement:
+				if IsSimple(typ) {
+					return 0, &ValidationError{Path: path, Msg: "element content in simple-typed element"}
+				}
+				// anyType: recurse untyped.
+				n, err := s.validateElement(out, i, TypeAnyType, path+"/"+out[i].Name)
+				if err != nil {
+					return 0, err
+				}
+				i = n
+			default:
+				return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("unexpected %s", out[i].Kind)}
+			}
+		}
+		if IsSimple(typ) {
+			if err := checkSimple(typ, text.String()); err != nil {
+				return 0, &ValidationError{Path: path, Msg: err.Error()}
+			}
+		}
+		return i + 1, nil // past EndElement
+	}
+
+	// Complex content: sequence with occurrence bounds.
+	seqIdx := 0
+	count := 0
+	for i < len(out) && out[i].Kind != token.EndElement {
+		switch out[i].Kind {
+		case token.Text:
+			if !ct.Mixed && strings.TrimSpace(out[i].Value) != "" {
+				return 0, &ValidationError{Path: path, Msg: "character data in element-only content"}
+			}
+			i++
+		case token.Comment, token.PI:
+			i++
+		case token.BeginElement:
+			name := out[i].Name
+			// Advance through the sequence to find the declaration.
+			for {
+				if seqIdx >= len(ct.Sequence) {
+					return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("unexpected element <%s>", name)}
+				}
+				d := ct.Sequence[seqIdx]
+				if d.Name == name {
+					if d.MaxOccurs >= 0 && count >= d.MaxOccurs {
+						return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("too many <%s> (max %d)", name, d.MaxOccurs)}
+					}
+					count++
+					n, err := s.validateElement(out, i, d.Type, path+"/"+name)
+					if err != nil {
+						return 0, err
+					}
+					i = n
+					break
+				}
+				// Move past d: check its minimum was met.
+				if count < d.MinOccurs {
+					return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("expected <%s> (min %d, got %d)", d.Name, d.MinOccurs, count)}
+				}
+				seqIdx++
+				count = 0
+			}
+		default:
+			return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("unexpected %s", out[i].Kind)}
+		}
+	}
+	// Remaining declarations must be satisfied.
+	for seqIdx < len(ct.Sequence) {
+		d := ct.Sequence[seqIdx]
+		if count < d.MinOccurs {
+			return 0, &ValidationError{Path: path, Msg: fmt.Sprintf("expected <%s> (min %d, got %d)", d.Name, d.MinOccurs, count)}
+		}
+		seqIdx++
+		count = 0
+	}
+	return i + 1, nil
+}

@@ -1,0 +1,244 @@
+package token
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary token encoding.
+//
+// Tokens are stored as a compact, self-delimiting byte sequence so that a
+// Range (a token subsequence) can be serialized into block storage and
+// decoded token by token. The layout of one token is
+//
+//	kind    1 byte
+//	type    uvarint  (PSVI annotation; omitted encoding value 0 is common)
+//	nameLen uvarint, name bytes   (only for kinds that carry a name)
+//	valLen  uvarint, value bytes  (only for kinds that carry a value)
+//
+// Kinds without name/value (end tokens, document brackets) occupy two bytes.
+// Node identifiers are not encoded; they are regenerated on decode by the
+// caller.
+
+// Encoding errors.
+var (
+	ErrShortBuffer = errors.New("token: short buffer")
+	ErrBadKind     = errors.New("token: invalid kind byte")
+)
+
+func kindHasName(k Kind) bool {
+	switch k {
+	case BeginElement, BeginAttribute, PI:
+		return true
+	}
+	return false
+}
+
+func kindHasValue(k Kind) bool {
+	switch k {
+	case BeginAttribute, Text, Comment, PI:
+		return true
+	}
+	return false
+}
+
+// EncodedSize returns the number of bytes Append will write for t.
+func EncodedSize(t Token) int {
+	n := 1 + uvarintLen(uint64(t.Type))
+	if kindHasName(t.Kind) {
+		n += uvarintLen(uint64(len(t.Name))) + len(t.Name)
+	}
+	if kindHasValue(t.Kind) {
+		n += uvarintLen(uint64(len(t.Value))) + len(t.Value)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Append encodes t and appends the bytes to dst, returning the extended
+// slice.
+func Append(dst []byte, t Token) []byte {
+	dst = append(dst, byte(t.Kind))
+	dst = binary.AppendUvarint(dst, uint64(t.Type))
+	if kindHasName(t.Kind) {
+		dst = binary.AppendUvarint(dst, uint64(len(t.Name)))
+		dst = append(dst, t.Name...)
+	}
+	if kindHasValue(t.Kind) {
+		dst = binary.AppendUvarint(dst, uint64(len(t.Value)))
+		dst = append(dst, t.Value...)
+	}
+	return dst
+}
+
+// AppendAll encodes every token of seq, appending to dst.
+func AppendAll(dst []byte, seq []Token) []byte {
+	for _, t := range seq {
+		dst = Append(dst, t)
+	}
+	return dst
+}
+
+// EncodeAll returns the binary encoding of seq.
+func EncodeAll(seq []Token) []byte {
+	n := 0
+	for _, t := range seq {
+		n += EncodedSize(t)
+	}
+	return AppendAll(make([]byte, 0, n), seq)
+}
+
+// Decode decodes one token from the front of b, returning the token and the
+// number of bytes consumed.
+func Decode(b []byte) (Token, int, error) {
+	if len(b) == 0 {
+		return Token{}, 0, ErrShortBuffer
+	}
+	k := Kind(b[0])
+	if !k.Valid() {
+		return Token{}, 0, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+	}
+	pos := 1
+	typ, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return Token{}, 0, ErrShortBuffer
+	}
+	pos += n
+	t := Token{Kind: k, Type: Type(typ)}
+	if kindHasName(k) {
+		s, n, err := decodeString(b[pos:])
+		if err != nil {
+			return Token{}, 0, err
+		}
+		t.Name, pos = s, pos+n
+	}
+	if kindHasValue(k) {
+		s, n, err := decodeString(b[pos:])
+		if err != nil {
+			return Token{}, 0, err
+		}
+		t.Value, pos = s, pos+n
+	}
+	return t, pos, nil
+}
+
+func decodeString(b []byte) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", 0, ErrShortBuffer
+	}
+	end := n + int(l)
+	if end > len(b) || int(l) < 0 {
+		return "", 0, ErrShortBuffer
+	}
+	return string(b[n:end]), end, nil
+}
+
+// DecodeAll decodes the entire buffer into a token slice.
+func DecodeAll(b []byte) ([]Token, error) {
+	var out []Token
+	for len(b) > 0 {
+		t, n, err := Decode(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// Reader decodes tokens one at a time from a byte buffer, tracking the byte
+// offset of each token. It is the decoding half of the store's range scans.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader over the encoded token bytes in buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Offset returns the byte offset of the next token to be decoded.
+func (r *Reader) Offset() int { return r.off }
+
+// SetOffset repositions the reader at the given byte offset. The offset must
+// be a token boundary previously returned by Offset.
+func (r *Reader) SetOffset(off int) { r.off = off }
+
+// More reports whether any tokens remain.
+func (r *Reader) More() bool { return r.off < len(r.buf) }
+
+// Next decodes and returns the next token.
+func (r *Reader) Next() (Token, error) {
+	t, n, err := Decode(r.buf[r.off:])
+	if err != nil {
+		return Token{}, err
+	}
+	r.off += n
+	return t, nil
+}
+
+// Skip decodes past the next token without materializing strings where
+// possible, returning its kind.
+func (r *Reader) Skip() (Kind, error) {
+	b := r.buf[r.off:]
+	if len(b) == 0 {
+		return Invalid, ErrShortBuffer
+	}
+	k := Kind(b[0])
+	if !k.Valid() {
+		return Invalid, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+	}
+	pos := 1
+	if n := skipUvarint(b[pos:]); n < 0 {
+		return Invalid, ErrShortBuffer
+	} else {
+		pos += n
+	}
+	if kindHasName(k) {
+		n, err := skipString(b[pos:])
+		if err != nil {
+			return Invalid, err
+		}
+		pos += n
+	}
+	if kindHasValue(k) {
+		n, err := skipString(b[pos:])
+		if err != nil {
+			return Invalid, err
+		}
+		pos += n
+	}
+	r.off += pos
+	return k, nil
+}
+
+func skipUvarint(b []byte) int {
+	for i := 0; i < len(b); i++ {
+		if b[i] < 0x80 {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+func skipString(b []byte) (int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, ErrShortBuffer
+	}
+	end := n + int(l)
+	if end > len(b) {
+		return 0, ErrShortBuffer
+	}
+	return end, nil
+}

@@ -1,0 +1,267 @@
+package token
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSingle(t *testing.T) {
+	cases := []Token{
+		Elem("ticket"),
+		EndElem(),
+		Attr("id", "12345"),
+		EndAttr(),
+		TextTok("hello world"),
+		CommentTok("a comment"),
+		PITok("target", "some data"),
+		{Kind: BeginDocument},
+		{Kind: EndDocument},
+		{Kind: BeginElement, Name: "typed", Type: 42},
+		{Kind: Text, Value: "", Type: 7},
+		TextTok(""), // empty value
+		Elem(""),    // empty name (degenerate but encodable)
+	}
+	for _, in := range cases {
+		b := Append(nil, in)
+		if len(b) != EncodedSize(in) {
+			t.Errorf("%s: EncodedSize = %d, len = %d", in, EncodedSize(in), len(b))
+		}
+		out, n, err := Decode(b)
+		if err != nil {
+			t.Errorf("%s: decode error %v", in, err)
+			continue
+		}
+		if n != len(b) {
+			t.Errorf("%s: consumed %d of %d bytes", in, n, len(b))
+		}
+		if out != in {
+			t.Errorf("round trip: got %s, want %s", out, in)
+		}
+	}
+}
+
+func TestRoundTripSequence(t *testing.T) {
+	seq := []Token{
+		Elem("ticket"),
+		Elem("hour"), TextTok("15"), EndElem(),
+		Elem("name"), TextTok("Paul"), EndElem(),
+		EndElem(),
+	}
+	b := EncodeAll(seq)
+	got, err := DecodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, seq) {
+		t.Fatalf("got %v, want %v", got, seq)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("empty buffer should error")
+	}
+	if _, _, err := Decode([]byte{0}); err == nil {
+		t.Error("invalid kind should error")
+	}
+	if _, _, err := Decode([]byte{99, 0}); err == nil {
+		t.Error("out-of-range kind should error")
+	}
+	// Begin element with truncated name length.
+	if _, _, err := Decode([]byte{byte(BeginElement), 0}); err == nil {
+		t.Error("truncated name should error")
+	}
+	// Name length longer than buffer.
+	if _, _, err := Decode([]byte{byte(BeginElement), 0, 10, 'a'}); err == nil {
+		t.Error("short name should error")
+	}
+	// Truncated uvarint (continuation bit set, no more bytes).
+	if _, _, err := Decode([]byte{byte(Text), 0x80}); err == nil {
+		t.Error("truncated type varint should error")
+	}
+	if _, err := DecodeAll([]byte{byte(Text), 0, 0x80}); err == nil {
+		t.Error("DecodeAll on corrupt tail should error")
+	}
+}
+
+func randomToken(r *rand.Rand) Token {
+	kinds := []Kind{
+		BeginDocument, EndDocument, BeginElement, EndElement,
+		BeginAttribute, EndAttribute, Text, Comment, PI,
+	}
+	k := kinds[r.Intn(len(kinds))]
+	tok := Token{Kind: k, Type: Type(r.Intn(1 << 16))}
+	rs := func(n int) string {
+		b := make([]byte, r.Intn(n))
+		r.Read(b)
+		return string(b)
+	}
+	if kindHasName(k) {
+		tok.Name = rs(40)
+	}
+	if kindHasValue(k) {
+		tok.Value = rs(200)
+	}
+	return tok
+}
+
+// Generate implements quick.Generator so sequences only contain encodable
+// field combinations.
+func (Token) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomToken(r))
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seq []Token) bool {
+		b := EncodeAll(seq)
+		got, err := DecodeAll(b)
+		if err != nil {
+			return false
+		}
+		if len(got) == 0 && len(seq) == 0 {
+			return true
+		}
+		return Equal(got, seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodedSizeMatches(t *testing.T) {
+	f := func(tok Token) bool {
+		return len(Append(nil, tok)) == EncodedSize(tok)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderWalk(t *testing.T) {
+	seq := []Token{
+		Elem("a"), Attr("k", "v"), EndAttr(), TextTok("body"), EndElem(),
+	}
+	buf := EncodeAll(seq)
+	r := NewReader(buf)
+	var got []Token
+	var offsets []int
+	for r.More() {
+		offsets = append(offsets, r.Offset())
+		tok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tok)
+	}
+	if !Equal(got, seq) {
+		t.Fatalf("walk mismatch: %v", got)
+	}
+	// Re-read the third token via SetOffset.
+	r.SetOffset(offsets[2])
+	tok, err := r.Next()
+	if err != nil || tok.Kind != EndAttribute {
+		t.Fatalf("SetOffset reread: %v %v", tok, err)
+	}
+}
+
+func TestReaderSkip(t *testing.T) {
+	seq := []Token{Elem("abc"), TextTok("hello"), EndElem()}
+	buf := EncodeAll(seq)
+	r := NewReader(buf)
+	for i, want := range []Kind{BeginElement, Text, EndElement} {
+		k, err := r.Skip()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != want {
+			t.Fatalf("skip %d: got %s, want %s", i, k, want)
+		}
+	}
+	if r.More() {
+		t.Error("reader should be exhausted")
+	}
+	if _, err := r.Skip(); err == nil {
+		t.Error("skip past end should error")
+	}
+	// Skip must consume exactly the same bytes as Next.
+	r1, r2 := NewReader(buf), NewReader(buf)
+	for r1.More() {
+		if _, err := r1.Skip(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r2.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if r1.Offset() != r2.Offset() {
+			t.Fatalf("offset divergence: %d vs %d", r1.Offset(), r2.Offset())
+		}
+	}
+}
+
+func TestSkipErrors(t *testing.T) {
+	bad := [][]byte{
+		{0},                        // invalid kind
+		{byte(BeginElement), 0x80}, // truncated type varint
+		{byte(BeginElement), 0, 5}, // name shorter than declared
+		{byte(Text), 0, 0x80},      // truncated value length
+	}
+	for i, b := range bad {
+		r := NewReader(b)
+		if _, err := r.Skip(); err == nil {
+			t.Errorf("case %d: expected skip error", i)
+		}
+	}
+}
+
+func TestAppendAllGrowsBuffer(t *testing.T) {
+	seq := make([]Token, 100)
+	for i := range seq {
+		seq[i] = TextTok(string(bytes.Repeat([]byte{'x'}, 100)))
+	}
+	b := AppendAll(make([]byte, 0, 8), seq)
+	got, err := DecodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d tokens", len(got))
+	}
+}
+
+func BenchmarkEncodeToken(b *testing.B) {
+	tok := Elem("purchase-order")
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Append(buf[:0], tok)
+	}
+}
+
+func BenchmarkDecodeToken(b *testing.B) {
+	buf := Append(nil, Attr("status", "shipped"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaderSkip(b *testing.B) {
+	seq := []Token{
+		Elem("order"), Attr("id", "99"), EndAttr(), TextTok("some text content"), EndElem(),
+	}
+	buf := EncodeAll(seq)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for r.More() {
+			if _, err := r.Skip(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package token defines the flat token representation of the XQuery Data
+// Model used throughout the store.
+//
+// A Token is a materialized, enriched SAX event in the style of the BEA/XQRL
+// streaming processor: elements produce begin/end token pairs, attributes are
+// separated from their owner element and produce their own begin/end pairs,
+// and text, comments and processing instructions are single tokens. The token
+// is the most granular unit of XML data in the system; any contiguous token
+// subsequence can act as a coarser unit (a Range, in the store's terms).
+//
+// Node identifiers are deliberately NOT part of a Token. The store assigns an
+// identifier to every node-starting token at insert time and regenerates the
+// identifiers on read by replaying an ID factory over the token sequence (see
+// NodeCount and the idscheme package). Keeping identifiers out of the stored
+// representation is what gives the store its low storage overhead.
+package token
+
+import "fmt"
+
+// Kind identifies the kind of a token.
+type Kind uint8
+
+// Token kinds. BeginDocument/EndDocument bracket a document node;
+// BeginElement/EndElement bracket an element and its content;
+// BeginAttribute/EndAttribute bracket one attribute of the most recently
+// begun element (attribute tokens appear immediately after their element's
+// begin token, before any content). Text, Comment and PI are leaf tokens that
+// are complete nodes by themselves.
+const (
+	Invalid Kind = iota
+	BeginDocument
+	EndDocument
+	BeginElement
+	EndElement
+	BeginAttribute
+	EndAttribute
+	Text
+	Comment
+	PI
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	Invalid:        "INVALID",
+	BeginDocument:  "BEGIN_DOCUMENT",
+	EndDocument:    "END_DOCUMENT",
+	BeginElement:   "BEGIN_ELEMENT",
+	EndElement:     "END_ELEMENT",
+	BeginAttribute: "BEGIN_ATTRIBUTE",
+	EndAttribute:   "END_ATTRIBUTE",
+	Text:           "TEXT_TOKEN",
+	Comment:        "COMMENT_TOKEN",
+	PI:             "PI_TOKEN",
+}
+
+// String returns the conventional upper-case name of the kind, matching the
+// notation used in the paper's Figure 1 (e.g. "BEGIN_ELEMENT", "TEXT_TOKEN").
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined token kinds.
+func (k Kind) Valid() bool { return k > Invalid && k < numKinds }
+
+// StartsNode reports whether tokens of this kind start a node (and thus
+// receive an identifier). Kind-level predicates let scans classify tokens
+// from their first encoded byte without decoding names and values.
+func (k Kind) StartsNode() bool {
+	switch k {
+	case BeginDocument, BeginElement, BeginAttribute, Text, Comment, PI:
+		return true
+	}
+	return false
+}
+
+// IsBegin reports whether the kind opens a nested region.
+func (k Kind) IsBegin() bool {
+	switch k {
+	case BeginDocument, BeginElement, BeginAttribute:
+		return true
+	}
+	return false
+}
+
+// IsEnd reports whether the kind closes a nested region.
+func (k Kind) IsEnd() bool {
+	switch k {
+	case EndDocument, EndElement, EndAttribute:
+		return true
+	}
+	return false
+}
+
+// Type is a PSVI (post-schema-validation infoset) type annotation attached to
+// a token after schema validation. TypeUntyped means no schema validation has
+// taken place. The schema package maps Type values to named schema types.
+type Type uint32
+
+// TypeUntyped is the annotation of tokens that have not been validated.
+const TypeUntyped Type = 0
+
+// Token is one enriched SAX event.
+//
+// Field usage by kind:
+//
+//	BeginElement    Name = element QName
+//	BeginAttribute  Name = attribute QName, Value = attribute value
+//	Text            Value = character data
+//	Comment         Value = comment text
+//	PI              Name = target, Value = data
+//
+// All other kinds carry no name or value. Type holds the PSVI annotation on
+// node-starting tokens and is TypeUntyped otherwise.
+type Token struct {
+	Kind  Kind
+	Name  string
+	Value string
+	Type  Type
+}
+
+// StartsNode reports whether this token is the first (or only) token of a
+// node in the XQuery Data Model and therefore receives a node identifier
+// from the store's ID factory.
+func (t Token) StartsNode() bool { return t.Kind.StartsNode() }
+
+// IsBegin reports whether the token opens a nested region that is closed by a
+// matching end token.
+func (t Token) IsBegin() bool { return t.Kind.IsBegin() }
+
+// IsEnd reports whether the token closes a region opened by a begin token.
+func (t Token) IsEnd() bool { return t.Kind.IsEnd() }
+
+// MatchingEnd returns the end kind that closes this begin token.
+// It panics if the token is not a begin token.
+func (t Token) MatchingEnd() Kind {
+	switch t.Kind {
+	case BeginDocument:
+		return EndDocument
+	case BeginElement:
+		return EndElement
+	case BeginAttribute:
+		return EndAttribute
+	}
+	panic("token: MatchingEnd on non-begin token " + t.Kind.String())
+}
+
+// String renders the token in the paper's Figure 1 notation, for debugging
+// and tests.
+func (t Token) String() string {
+	switch t.Kind {
+	case BeginElement, BeginAttribute:
+		if t.Value != "" {
+			return fmt.Sprintf("[%s %q=%q]", t.Kind, t.Name, t.Value)
+		}
+		return fmt.Sprintf("[%s %q]", t.Kind, t.Name)
+	case Text, Comment:
+		return fmt.Sprintf("[%s %q]", t.Kind, t.Value)
+	case PI:
+		return fmt.Sprintf("[%s %q %q]", t.Kind, t.Name, t.Value)
+	default:
+		return fmt.Sprintf("[%s]", t.Kind)
+	}
+}
+
+// Equal reports whether two tokens are identical, including their PSVI
+// annotation.
+func (t Token) Equal(o Token) bool { return t == o }
+
+// Convenience constructors. They keep test and workload code terse.
+
+// Elem returns a BeginElement token for the given name.
+func Elem(name string) Token { return Token{Kind: BeginElement, Name: name} }
+
+// EndElem returns an EndElement token.
+func EndElem() Token { return Token{Kind: EndElement} }
+
+// Attr returns a BeginAttribute token carrying the attribute value.
+func Attr(name, value string) Token {
+	return Token{Kind: BeginAttribute, Name: name, Value: value}
+}
+
+// EndAttr returns an EndAttribute token.
+func EndAttr() Token { return Token{Kind: EndAttribute} }
+
+// TextTok returns a Text token.
+func TextTok(value string) Token { return Token{Kind: Text, Value: value} }
+
+// CommentTok returns a Comment token.
+func CommentTok(value string) Token { return Token{Kind: Comment, Value: value} }
+
+// PITok returns a processing-instruction token.
+func PITok(target, data string) Token {
+	return Token{Kind: PI, Name: target, Value: data}
+}

@@ -1,0 +1,284 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		BeginElement:   "BEGIN_ELEMENT",
+		EndElement:     "END_ELEMENT",
+		Text:           "TEXT_TOKEN",
+		BeginAttribute: "BEGIN_ATTRIBUTE",
+		EndAttribute:   "END_ATTRIBUTE",
+		BeginDocument:  "BEGIN_DOCUMENT",
+		EndDocument:    "END_DOCUMENT",
+		Comment:        "COMMENT_TOKEN",
+		PI:             "PI_TOKEN",
+		Invalid:        "INVALID",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("out-of-range kind: %q", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := BeginDocument; k < numKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("kind %s should be valid", k)
+		}
+	}
+	if Invalid.Valid() {
+		t.Error("Invalid should not be Valid")
+	}
+	if Kind(99).Valid() {
+		t.Error("Kind(99) should not be Valid")
+	}
+}
+
+func TestStartsNode(t *testing.T) {
+	starts := []Token{
+		{Kind: BeginDocument}, Elem("a"), Attr("x", "1"), TextTok("t"),
+		CommentTok("c"), PITok("p", "d"),
+	}
+	for _, tok := range starts {
+		if !tok.StartsNode() {
+			t.Errorf("%s should start a node", tok)
+		}
+	}
+	nonStarts := []Token{{Kind: EndDocument}, EndElem(), EndAttr()}
+	for _, tok := range nonStarts {
+		if tok.StartsNode() {
+			t.Errorf("%s should not start a node", tok)
+		}
+	}
+}
+
+func TestBeginEndMatching(t *testing.T) {
+	pairs := map[Kind]Kind{
+		BeginDocument:  EndDocument,
+		BeginElement:   EndElement,
+		BeginAttribute: EndAttribute,
+	}
+	for b, e := range pairs {
+		tok := Token{Kind: b}
+		if !tok.IsBegin() {
+			t.Errorf("%s should be begin", b)
+		}
+		if got := tok.MatchingEnd(); got != e {
+			t.Errorf("MatchingEnd(%s) = %s, want %s", b, got, e)
+		}
+		if !(Token{Kind: e}).IsEnd() {
+			t.Errorf("%s should be end", e)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MatchingEnd on Text should panic")
+		}
+	}()
+	TextTok("x").MatchingEnd()
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Elem("ticket"), `[BEGIN_ELEMENT "ticket"]`},
+		{Attr("id", "7"), `[BEGIN_ATTRIBUTE "id"="7"]`},
+		{TextTok("15"), `[TEXT_TOKEN "15"]`},
+		{EndElem(), `[END_ELEMENT]`},
+		{PITok("xml-stylesheet", "href=a"), `[PI_TOKEN "xml-stylesheet" "href=a"]`},
+		{CommentTok("note"), `[COMMENT_TOKEN "note"]`},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// figure1Tokens is the exact token sequence from the paper's Figure 1.
+func figure1Tokens() []Token {
+	return []Token{
+		Elem("ticket"),
+		Elem("hour"), TextTok("15"), EndElem(),
+		Elem("name"), TextTok("Paul"), EndElem(),
+		EndElem(),
+	}
+}
+
+func TestFigure1NodeCount(t *testing.T) {
+	// Figure 1 assigns IDs 1..5: ticket, hour, "15", name, "Paul".
+	if got := NodeCount(figure1Tokens()); got != 5 {
+		t.Errorf("NodeCount = %d, want 5", got)
+	}
+}
+
+func TestValidateFragment(t *testing.T) {
+	valid := [][]Token{
+		figure1Tokens(),
+		{TextTok("lonely")},
+		{Elem("a"), EndElem(), Elem("b"), EndElem()}, // sibling roots
+		{Elem("a"), Attr("x", "1"), EndAttr(), TextTok("v"), EndElem()},
+		{CommentTok("c"), PITok("t", "d")},
+		{Elem("a"), Attr("x", "1"), EndAttr(), Attr("y", "2"), EndAttr(), EndElem()},
+	}
+	for i, seq := range valid {
+		if err := ValidateFragment(seq); err != nil {
+			t.Errorf("fragment %d should be valid: %v", i, err)
+		}
+	}
+	invalid := []struct {
+		name string
+		seq  []Token
+	}{
+		{"empty", nil},
+		{"unbalanced", []Token{Elem("a")}},
+		{"stray end", []Token{EndElem()}},
+		{"wrong end", []Token{Elem("a"), EndAttr()}},
+		{"doc token", []Token{{Kind: BeginDocument}, {Kind: EndDocument}}},
+		{"attr at top", []Token{Attr("x", "1"), EndAttr()}},
+		{"attr after content", []Token{Elem("a"), TextTok("t"), Attr("x", "1"), EndAttr(), EndElem()}},
+		{"text in attr", []Token{Elem("a"), Attr("x", "1"), TextTok("bad"), EndAttr(), EndElem()}},
+		{"invalid token", []Token{{Kind: Invalid}}},
+	}
+	for _, c := range invalid {
+		if err := ValidateFragment(c.seq); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSubtreeEnd(t *testing.T) {
+	seq := figure1Tokens()
+	end, err := SubtreeEnd(seq, 0)
+	if err != nil || end != len(seq) {
+		t.Fatalf("SubtreeEnd(0) = %d, %v; want %d", end, err, len(seq))
+	}
+	end, err = SubtreeEnd(seq, 1) // <hour>
+	if err != nil || end != 4 {
+		t.Fatalf("SubtreeEnd(1) = %d, %v; want 4", end, err)
+	}
+	end, err = SubtreeEnd(seq, 2) // text "15"
+	if err != nil || end != 3 {
+		t.Fatalf("SubtreeEnd(2) = %d, %v; want 3", end, err)
+	}
+	if _, err := SubtreeEnd(seq, 3); err == nil {
+		t.Error("SubtreeEnd on END_ELEMENT should fail")
+	}
+	if _, err := SubtreeEnd(seq, -1); err == nil {
+		t.Error("SubtreeEnd(-1) should fail")
+	}
+	if _, err := SubtreeEnd(seq, 99); err == nil {
+		t.Error("SubtreeEnd(99) should fail")
+	}
+	if _, err := SubtreeEnd([]Token{Elem("a")}, 0); err == nil {
+		t.Error("unbalanced subtree should fail")
+	}
+}
+
+func TestTopLevelNodes(t *testing.T) {
+	seq := []Token{
+		Elem("a"), TextTok("1"), EndElem(),
+		CommentTok("c"),
+		Elem("b"), EndElem(),
+	}
+	starts, err := TopLevelNodes(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 4}
+	if len(starts) != len(want) {
+		t.Fatalf("starts = %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", starts, want)
+		}
+	}
+	if _, err := TopLevelNodes([]Token{EndElem()}); err == nil {
+		t.Error("expected error for stray end at top level")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := figure1Tokens()
+	b := Clone(a)
+	if !Equal(a, b) {
+		t.Error("clone should be equal")
+	}
+	b[0].Name = "other"
+	if Equal(a, b) {
+		t.Error("modified clone should differ")
+	}
+	if Equal(a, a[:3]) {
+		t.Error("different lengths should differ")
+	}
+}
+
+func TestTokenEqual(t *testing.T) {
+	if !Elem("a").Equal(Elem("a")) {
+		t.Error("identical tokens should be equal")
+	}
+	if Elem("a").Equal(Elem("b")) {
+		t.Error("different names should differ")
+	}
+	x := Elem("a")
+	x.Type = 7
+	if Elem("a").Equal(x) {
+		t.Error("different PSVI types should differ")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if tok := Attr("k", "v"); tok.Kind != BeginAttribute || tok.Name != "k" || tok.Value != "v" {
+		t.Errorf("Attr: %+v", tok)
+	}
+	if tok := PITok("t", "d"); tok.Kind != PI || tok.Name != "t" || tok.Value != "d" {
+		t.Errorf("PITok: %+v", tok)
+	}
+	if tok := CommentTok("c"); tok.Kind != Comment || tok.Value != "c" {
+		t.Errorf("CommentTok: %+v", tok)
+	}
+	if tok := EndAttr(); tok.Kind != EndAttribute {
+		t.Errorf("EndAttr: %+v", tok)
+	}
+}
+
+func TestNodeCountLargeNesting(t *testing.T) {
+	var seq []Token
+	const depth = 1000
+	for i := 0; i < depth; i++ {
+		seq = append(seq, Elem("d"))
+	}
+	seq = append(seq, TextTok("leaf"))
+	for i := 0; i < depth; i++ {
+		seq = append(seq, EndElem())
+	}
+	if err := ValidateFragment(seq); err != nil {
+		t.Fatal(err)
+	}
+	if got := NodeCount(seq); got != depth+1 {
+		t.Errorf("NodeCount = %d, want %d", got, depth+1)
+	}
+	end, err := SubtreeEnd(seq, 0)
+	if err != nil || end != len(seq) {
+		t.Errorf("SubtreeEnd = %d, %v", end, err)
+	}
+}
+
+func TestStringContainsNoControl(t *testing.T) {
+	tok := TextTok("line1\nline2")
+	s := tok.String()
+	if !strings.Contains(s, `\n`) {
+		t.Errorf("String should quote newlines: %q", s)
+	}
+}

@@ -1,0 +1,395 @@
+// Package txn adds transactions on top of the store, realizing the
+// concurrency design of the paper's future-work section on the real node
+// hierarchy: strict two-phase locking with intention locks along the
+// ancestor path (document → ancestors → node), deadlock detection, and
+// logical undo so aborts roll the store back.
+//
+// Writers take IX on the document and every ancestor of the target node and
+// X on the node itself; readers take IS/S. Two writers under disjoint
+// subtrees proceed in parallel; a reader of a whole subtree blocks writers
+// anywhere inside it — exactly the multi-granularity protocol, driven by
+// the store's structural navigation.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+)
+
+// Transaction errors.
+var (
+	// ErrDeadlock is returned when waiting would deadlock; the caller must
+	// Abort and may retry.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrTxDone is returned by operations on a committed or aborted
+	// transaction.
+	ErrTxDone = errors.New("txn: transaction already finished")
+)
+
+// documentResource is the single document-level lock target.
+const documentResource = 1
+
+// Manager coordinates transactions over one store.
+type Manager struct {
+	store *core.Store
+	locks *lock.Manager
+
+	mu     sync.Mutex
+	nextTx lock.TxID
+}
+
+// NewManager wraps a store.
+func NewManager(s *core.Store) *Manager {
+	return &Manager{store: s, locks: lock.NewManager(), nextTx: 1}
+}
+
+// Store returns the underlying store (for non-transactional reads such as
+// statistics).
+func (m *Manager) Store() *core.Store { return m.store }
+
+// Close shuts down the lock manager, waking any waiters.
+func (m *Manager) Close() { m.locks.Close() }
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	id := m.nextTx
+	m.nextTx++
+	m.mu.Unlock()
+	return &Tx{m: m, id: id}
+}
+
+// undoRecord is the logical inverse of one applied operation.
+type undoRecord struct {
+	// insertedTop: delete these (top-level) node ids to undo an insert.
+	insertedTop []core.NodeID
+	// deleted: re-insert these items (tokens with their original ids, for
+	// the rollback remap) at the anchored position to undo a delete. At
+	// most one of insertedTop/deleted is set per record.
+	deleted []core.Item
+	// Position anchors captured before the delete: the next sibling if one
+	// existed, else the parent, else append at the end of the sequence.
+	anchorNext   core.NodeID
+	anchorParent core.NodeID
+}
+
+// Tx is one transaction. Not safe for concurrent use by multiple
+// goroutines.
+type Tx struct {
+	m    *Manager
+	id   lock.TxID
+	undo []undoRecord
+	done bool
+}
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// lockHierarchy takes `intent` on the document and every ancestor of id,
+// then `mode` on id itself.
+func (tx *Tx) lockHierarchy(id core.NodeID, mode lock.Mode) error {
+	intent := lock.IS
+	if mode == lock.X || mode == lock.IX {
+		intent = lock.IX
+	}
+	if err := tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelDocument, ID: documentResource}, intent); err != nil {
+		return err
+	}
+	// Collect the ancestor path root-first.
+	var path []core.NodeID
+	cur := id
+	for {
+		p, ok, err := tx.m.store.Parent(cur)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		path = append(path, p)
+		cur = p
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		if err := tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelNode, ID: uint64(path[i])}, intent); err != nil {
+			return err
+		}
+	}
+	return tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelNode, ID: uint64(id)}, mode)
+}
+
+// lockDocument takes a document-level lock (whole-sequence operations).
+func (tx *Tx) lockDocument(mode lock.Mode) error {
+	return tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelDocument, ID: documentResource}, mode)
+}
+
+// ReadNode returns the subtree of id under a shared lock.
+func (tx *Tx) ReadNode(id core.NodeID) ([]core.Item, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	if err := tx.lockHierarchy(id, lock.S); err != nil {
+		return nil, err
+	}
+	return tx.m.store.ReadNode(id)
+}
+
+// ReadAll returns the whole sequence under a document-level shared lock.
+func (tx *Tx) ReadAll() ([]core.Item, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	if err := tx.lockDocument(lock.S); err != nil {
+		return nil, err
+	}
+	return tx.m.store.ReadAll()
+}
+
+// fragment top-level ids: the ids the store will assign to the fragment's
+// top-level nodes, given the first assigned id.
+func topLevelIDs(frag []core.Token, first core.NodeID) []core.NodeID {
+	var out []core.NodeID
+	cur := first
+	depth := 0
+	for _, t := range frag {
+		if t.StartsNode() {
+			if depth == 0 {
+				out = append(out, cur)
+			}
+			cur++
+		}
+		if t.IsBegin() {
+			depth++
+		} else if t.IsEnd() {
+			depth--
+		}
+	}
+	return out
+}
+
+func (tx *Tx) recordInsert(frag []core.Token, first core.NodeID, err error) (core.NodeID, error) {
+	if err != nil {
+		return core.InvalidNode, err
+	}
+	tx.undo = append(tx.undo, undoRecord{insertedTop: topLevelIDs(frag, first)})
+	return first, nil
+}
+
+// Append adds a fragment at the end of the sequence (document X lock: it
+// changes the top level).
+func (tx *Tx) Append(frag []core.Token) (core.NodeID, error) {
+	if err := tx.check(); err != nil {
+		return core.InvalidNode, err
+	}
+	if err := tx.lockDocument(lock.X); err != nil {
+		return core.InvalidNode, err
+	}
+	first, err := tx.m.store.Append(frag)
+	return tx.recordInsert(frag, first, err)
+}
+
+// InsertIntoLast inserts frag as last content of element id.
+func (tx *Tx) InsertIntoLast(id core.NodeID, frag []core.Token) (core.NodeID, error) {
+	if err := tx.check(); err != nil {
+		return core.InvalidNode, err
+	}
+	if err := tx.lockHierarchy(id, lock.X); err != nil {
+		return core.InvalidNode, err
+	}
+	first, err := tx.m.store.InsertIntoLast(id, frag)
+	return tx.recordInsert(frag, first, err)
+}
+
+// InsertIntoFirst inserts frag as first content of element id.
+func (tx *Tx) InsertIntoFirst(id core.NodeID, frag []core.Token) (core.NodeID, error) {
+	if err := tx.check(); err != nil {
+		return core.InvalidNode, err
+	}
+	if err := tx.lockHierarchy(id, lock.X); err != nil {
+		return core.InvalidNode, err
+	}
+	first, err := tx.m.store.InsertIntoFirst(id, frag)
+	return tx.recordInsert(frag, first, err)
+}
+
+// InsertBefore inserts frag as preceding sibling(s) of id. The lock covers
+// the parent (sibling lists are parent state).
+func (tx *Tx) InsertBefore(id core.NodeID, frag []core.Token) (core.NodeID, error) {
+	return tx.insertSibling(id, frag, func() (core.NodeID, error) {
+		return tx.m.store.InsertBefore(id, frag)
+	})
+}
+
+// InsertAfter inserts frag as following sibling(s) of id.
+func (tx *Tx) InsertAfter(id core.NodeID, frag []core.Token) (core.NodeID, error) {
+	return tx.insertSibling(id, frag, func() (core.NodeID, error) {
+		return tx.m.store.InsertAfter(id, frag)
+	})
+}
+
+func (tx *Tx) insertSibling(id core.NodeID, frag []core.Token, op func() (core.NodeID, error)) (core.NodeID, error) {
+	if err := tx.check(); err != nil {
+		return core.InvalidNode, err
+	}
+	parent, ok, err := tx.m.store.Parent(id)
+	if err != nil {
+		return core.InvalidNode, err
+	}
+	if ok {
+		err = tx.lockHierarchy(parent, lock.X)
+	} else {
+		err = tx.lockDocument(lock.X) // top-level sibling change
+	}
+	if err != nil {
+		return core.InvalidNode, err
+	}
+	first, err := op()
+	return tx.recordInsert(frag, first, err)
+}
+
+// DeleteNode removes id and its subtree, capturing what is needed to undo.
+func (tx *Tx) DeleteNode(id core.NodeID) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if err := tx.lockHierarchy(id, lock.X); err != nil {
+		return err
+	}
+	rec, err := tx.captureDelete(id)
+	if err != nil {
+		return err
+	}
+	if err := tx.m.store.DeleteNode(id); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, rec)
+	return nil
+}
+
+// captureDelete snapshots the subtree (with ids) and its position anchors.
+func (tx *Tx) captureDelete(id core.NodeID) (undoRecord, error) {
+	items, err := tx.m.store.ReadNode(id)
+	if err != nil {
+		return undoRecord{}, err
+	}
+	rec := undoRecord{deleted: items}
+	if next, ok, err := tx.m.store.NextSibling(id); err != nil {
+		return undoRecord{}, err
+	} else if ok {
+		rec.anchorNext = next
+		return rec, nil
+	}
+	if parent, ok, err := tx.m.store.Parent(id); err != nil {
+		return undoRecord{}, err
+	} else if ok {
+		rec.anchorParent = parent
+	}
+	return rec, nil
+}
+
+// ReplaceNode replaces id with frag (recorded as delete + insert).
+func (tx *Tx) ReplaceNode(id core.NodeID, frag []core.Token) (core.NodeID, error) {
+	if err := tx.check(); err != nil {
+		return core.InvalidNode, err
+	}
+	if err := tx.lockHierarchy(id, lock.X); err != nil {
+		return core.InvalidNode, err
+	}
+	rec, err := tx.captureDelete(id)
+	if err != nil {
+		return core.InvalidNode, err
+	}
+	first, err := tx.m.store.ReplaceNode(id, frag)
+	if err != nil {
+		return core.InvalidNode, err
+	}
+	tx.undo = append(tx.undo, rec)
+	return tx.recordInsert(frag, first, nil)
+}
+
+// Commit finishes the transaction, releasing all locks. Changes are already
+// in the store (strict 2PL: nothing was visible to conflicting transactions
+// before this point).
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.m.locks.ReleaseAll(tx.id)
+	return nil
+}
+
+// Abort rolls back the transaction by applying logical inverses in reverse
+// order, then releases all locks. Node ids created by the rollback replace
+// the ids the transaction deleted; references between undo records are
+// remapped accordingly.
+func (tx *Tx) Abort() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	defer tx.m.locks.ReleaseAll(tx.id)
+
+	// Ids re-created during rollback get fresh values; remap chains old ids
+	// to their live replacements for earlier undo records.
+	remap := map[core.NodeID]core.NodeID{}
+	resolve := func(id core.NodeID) core.NodeID {
+		for {
+			n, ok := remap[id]
+			if !ok {
+				return id
+			}
+			id = n
+		}
+	}
+
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		rec := tx.undo[i]
+		switch {
+		case rec.insertedTop != nil:
+			for _, id := range rec.insertedTop {
+				if err := tx.m.store.DeleteNode(resolve(id)); err != nil {
+					return fmt.Errorf("txn: rollback delete of %d: %w", id, err)
+				}
+			}
+		case rec.deleted != nil:
+			toks := make([]core.Token, len(rec.deleted))
+			for j, it := range rec.deleted {
+				toks[j] = it.Tok
+			}
+			var first core.NodeID
+			var err error
+			switch {
+			case rec.anchorNext != core.InvalidNode:
+				first, err = tx.m.store.InsertBefore(resolve(rec.anchorNext), toks)
+			case rec.anchorParent != core.InvalidNode:
+				first, err = tx.m.store.InsertIntoLast(resolve(rec.anchorParent), toks)
+			default:
+				first, err = tx.m.store.Append(toks)
+			}
+			if err != nil {
+				return fmt.Errorf("txn: rollback re-insert: %w", err)
+			}
+			// The restored subtree has fresh ids, assigned in the same
+			// token order as the originals: remap old id -> new id so that
+			// earlier undo records resolve through the replacement.
+			cur := first
+			for _, it := range rec.deleted {
+				if it.ID != core.InvalidNode {
+					remap[it.ID] = cur
+					cur++
+				}
+			}
+		}
+	}
+	tx.undo = nil
+	return nil
+}

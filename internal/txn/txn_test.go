@@ -1,0 +1,490 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmltok"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	m := NewManager(s)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func xmlOf(t *testing.T, s *core.Store) string {
+	t.Helper()
+	x, err := s.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestCommitMakesChangesDurable(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	root, err := tx.Append(xmltok.MustParse(`<doc><a/></doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertIntoLast(root, xmltok.MustParseFragment(`<b/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != `<doc><a/><b/></doc>` {
+		t.Errorf("after commit: %s", got)
+	}
+	// Finished transactions reject further work.
+	if _, err := tx.Append(nil); !errors.Is(err, ErrTxDone) {
+		t.Errorf("op after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+}
+
+func TestAbortRollsBackInserts(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	root, _ := setup.Append(xmltok.MustParse(`<doc><keep/></doc>`))
+	setup.Commit()
+	before := xmlOf(t, m.Store())
+
+	tx := m.Begin()
+	if _, err := tx.InsertIntoLast(root, xmltok.MustParseFragment(`<added1/><added2>x</added2>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertIntoFirst(root, xmltok.MustParseFragment(`front`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != before {
+		t.Errorf("abort did not restore:\n got %s\nwant %s", got, before)
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbortRollsBackDeletes(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a>1</a><b>2</b><c>3</c></doc>`))
+	setup.Commit()
+	before := xmlOf(t, m.Store())
+	// doc=1 a=2 "1"=3 b=4 "2"=5 c=6 "3"=7
+
+	cases := []core.NodeID{2, 4, 6} // first, middle, last child
+	for _, victim := range cases {
+		tx := m.Begin()
+		if err := tx.DeleteNode(victim); err != nil {
+			t.Fatalf("delete %d: %v", victim, err)
+		}
+		if err := tx.Abort(); err != nil {
+			t.Fatalf("abort after delete %d: %v", victim, err)
+		}
+		if got := xmlOf(t, m.Store()); got != before {
+			t.Errorf("delete %d rollback:\n got %s\nwant %s", victim, got, before)
+		}
+	}
+}
+
+func TestAbortMixedOpsWithRemap(t *testing.T) {
+	// Delete a node, then delete its restored anchor's sibling, insert near
+	// it, and abort: the remap chain must hold the rollback together.
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/><b/><c/></doc>`))
+	setup.Commit()
+	before := xmlOf(t, m.Store())
+	// doc=1 a=2 b=3 c=4
+
+	tx := m.Begin()
+	if err := tx.DeleteNode(3); err != nil { // delete b (anchor: next=c)
+		t.Fatal(err)
+	}
+	if err := tx.DeleteNode(4); err != nil { // delete c (anchor: parent doc)
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertIntoLast(1, xmltok.MustParseFragment(`<d/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != before {
+		t.Errorf("mixed rollback:\n got %s\nwant %s", got, before)
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbortReplaceNode(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><old>payload</old><tail/></doc>`))
+	setup.Commit()
+	before := xmlOf(t, m.Store())
+
+	tx := m.Begin()
+	if _, err := tx.ReplaceNode(2, xmltok.MustParseFragment(`<new/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != `<doc><new/><tail/></doc>` {
+		t.Fatalf("replace applied: %s", got)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != before {
+		t.Errorf("replace rollback:\n got %s\nwant %s", got, before)
+	}
+}
+
+func TestDisjointSubtreeWritersRunConcurrently(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><left/><right/></doc>`))
+	setup.Commit()
+	// doc=1 left=2 right=3
+
+	tx1 := m.Begin()
+	tx2 := m.Begin()
+	if _, err := tx1.InsertIntoLast(2, xmltok.MustParseFragment(`<x/>`)); err != nil {
+		t.Fatal(err)
+	}
+	// tx2 writes under the sibling subtree: must NOT block.
+	done := make(chan error, 1)
+	go func() {
+		_, err := tx2.InsertIntoLast(3, xmltok.MustParseFragment(`<y/>`))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("disjoint writers blocked each other")
+	}
+	tx1.Commit()
+	tx2.Commit()
+	if got := xmlOf(t, m.Store()); got != `<doc><left><x/></left><right><y/></right></doc>` {
+		t.Errorf("result: %s", got)
+	}
+}
+
+func TestSubtreeReaderBlocksInnerWriter(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><sub><leaf/></sub></doc>`))
+	setup.Commit()
+	// doc=1 sub=2 leaf=3
+
+	reader := m.Begin()
+	if _, err := reader.ReadNode(2); err != nil { // S on sub
+		t.Fatal(err)
+	}
+	writer := m.Begin()
+	done := make(chan error, 1)
+	go func() {
+		_, err := writer.InsertIntoLast(3, xmltok.MustParseFragment(`<w/>`))
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer inside a read-locked subtree did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	reader.Commit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	writer.Commit()
+}
+
+func TestDeadlockDetectedAndRetried(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/><b/></doc>`))
+	setup.Commit()
+	// a=2, b=3
+
+	tx1 := m.Begin()
+	tx2 := m.Begin()
+	if _, err := tx1.ReadNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.ReadNode(3); err != nil {
+		t.Fatal(err)
+	}
+	// tx1 wants X on b (held S by tx2); tx2 wants X on a (held S by tx1).
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tx1.InsertIntoLast(3, xmltok.MustParseFragment(`<x/>`))
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	_, err := tx2.InsertIntoLast(2, xmltok.MustParseFragment(`<y/>`))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	tx1.Commit()
+}
+
+func TestConcurrentTransferInvariant(t *testing.T) {
+	// Bank-transfer-style test: concurrent transactions move <coin/>
+	// elements between two purses; the total must be conserved, under
+	// -race, with deadlock retries.
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<bank><a/><b/></bank>`))
+	setup.Commit()
+	// bank=1 a=2 b=3
+	const initial = 20
+	seed := m.Begin()
+	for i := 0; i < initial; i++ {
+		if _, err := seed.InsertIntoLast(2, xmltok.MustParseFragment(`<coin/>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Commit()
+
+	var wg sync.WaitGroup
+	transfer := func(from, to core.NodeID) {
+		defer wg.Done()
+		for n := 0; n < 10; n++ {
+			for {
+				tx := m.Begin()
+				ok, err := tryTransfer(tx, from, to)
+				if err == nil {
+					tx.Commit()
+					if ok {
+						break
+					}
+					break // nothing to move
+				}
+				if errors.Is(err, ErrDeadlock) {
+					tx.Abort()
+					continue
+				}
+				t.Errorf("transfer: %v", err)
+				tx.Abort()
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go transfer(2, 3)
+	go transfer(3, 2)
+	go transfer(2, 3)
+	go transfer(3, 2)
+	wg.Wait()
+
+	v, err := countCoins(m.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != initial {
+		t.Errorf("coins = %d, want %d", v, initial)
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func tryTransfer(tx *Tx, from, to core.NodeID) (bool, error) {
+	items, err := tx.ReadNode(from)
+	if err != nil {
+		return false, err
+	}
+	// Find a coin child to move.
+	var coin core.NodeID
+	depth := 0
+	for _, it := range items {
+		if it.Tok.IsBegin() {
+			depth++
+			if depth == 2 && it.Tok.Name == "coin" {
+				coin = it.ID
+				break
+			}
+		} else if it.Tok.IsEnd() {
+			depth--
+		}
+	}
+	if coin == core.InvalidNode {
+		return false, nil
+	}
+	if err := tx.DeleteNode(coin); err != nil {
+		return false, err
+	}
+	if _, err := tx.InsertIntoLast(to, xmltok.MustParseFragment(`<coin/>`)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func countCoins(s *core.Store) (int, error) {
+	n := 0
+	err := s.Scan(func(it core.Item) bool {
+		if it.Tok.IsBegin() && it.Tok.Name == "coin" {
+			n++
+		}
+		return true
+	})
+	return n, err
+}
+
+func TestAbortOfNothing(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double abort: %v", err)
+	}
+}
+
+func TestSiblingInsertLocksParent(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/><b/></doc>`))
+	setup.Commit()
+
+	tx := m.Begin()
+	if _, err := tx.InsertAfter(2, xmltok.MustParseFragment(`<mid/>`)); err != nil {
+		t.Fatal(err)
+	}
+	// A reader of the parent must block until commit.
+	r := m.Begin()
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.ReadNode(1)
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("parent reader did not block on sibling insert")
+	case <-time.After(50 * time.Millisecond):
+	}
+	tx.Commit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	r.Commit()
+	if got := xmlOf(t, m.Store()); got != `<doc><a/><mid/><b/></doc>` {
+		t.Errorf("result: %s", got)
+	}
+}
+
+func TestManyTxIDsUnique(t *testing.T) {
+	m := newManager(t)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		tx := m.Begin()
+		k := fmt.Sprint(tx.id)
+		if seen[k] {
+			t.Fatal("duplicate tx id")
+		}
+		seen[k] = true
+		tx.Commit()
+	}
+}
+
+func TestTxReadAllAndTopLevelSiblings(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	if _, err := tx.Append(xmltok.MustParseFragment(`<a/><b/>`)); err != nil {
+		t.Fatal(err)
+	}
+	items, err := tx.ReadAll()
+	if err != nil || len(items) != 4 {
+		t.Fatalf("ReadAll: %d items, %v", len(items), err)
+	}
+	// Top-level sibling insert takes the document X lock path.
+	if _, err := tx.InsertBefore(1, xmltok.MustParseFragment(`<zero/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertAfter(2, xmltok.MustParseFragment(`<last/>`)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if got := xmlOf(t, m.Store()); got != `<zero/><a/><b/><last/>` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestTxAbortTopLevelDelete(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParseFragment(`<a/><b/>`))
+	setup.Commit()
+	before := xmlOf(t, m.Store())
+	tx := m.Begin()
+	// Delete the LAST top-level node: undo must append (no anchors).
+	if err := tx.DeleteNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != before {
+		t.Errorf("got %s, want %s", got, before)
+	}
+}
+
+func TestTxOpErrorsPropagate(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParseFragment(`<a/>`))
+	setup.Commit()
+	tx := m.Begin()
+	defer tx.Abort()
+	if _, err := tx.InsertIntoLast(99, xmltok.MustParseFragment(`<x/>`)); err == nil {
+		t.Error("missing target should fail")
+	}
+	if err := tx.DeleteNode(99); err == nil {
+		t.Error("missing delete target should fail")
+	}
+	if _, err := tx.ReadNode(99); err == nil {
+		t.Error("missing read target should fail")
+	}
+	if _, err := tx.ReplaceNode(99, xmltok.MustParseFragment(`<x/>`)); err == nil {
+		t.Error("missing replace target should fail")
+	}
+	// The transaction is still usable after op errors.
+	if _, err := tx.InsertIntoLast(1, xmltok.MustParseFragment(`<ok/>`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxStoreAccessor(t *testing.T) {
+	m := newManager(t)
+	if m.Store() == nil {
+		t.Fatal("no store")
+	}
+}

@@ -1,0 +1,308 @@
+// Package wal adds write-ahead logging to the page store, making flushes
+// atomic: a batch of page writes either reaches the page file completely or
+// not at all, no matter where a crash lands.
+//
+// The protocol is physical page-image logging with batch commit:
+//
+//  1. WritePage appends the page image to the log buffer and holds the page
+//     in a pending set (reads see pending pages);
+//  2. Commit writes a terminator, fsyncs the log, applies the pending pages
+//     to the page file, fsyncs it, and truncates the log;
+//  3. recovery on open replays every *complete* batch found in the log (a
+//     crash mid-apply re-applies; a crash mid-log discards the incomplete
+//     batch) and truncates it.
+//
+// Every record carries a CRC so torn log writes are detected, and the
+// terminator carries the batch page count so a torn batch is never
+// replayed.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/pagestore"
+)
+
+// Log record types.
+const (
+	recPage   = 1
+	recCommit = 2
+)
+
+// record layout: type(1) pageID(4) length(4) payload crc32(4)
+// commit records have pageID = batch page count and empty payload.
+const recHeader = 1 + 4 + 4
+
+// Journal errors.
+var (
+	ErrClosed = errors.New("wal: journaled pager is closed")
+)
+
+// Pager wraps a FilePager with write-ahead logging. It implements
+// pagestore.Pager; page writes are buffered until Commit.
+type Pager struct {
+	inner   *pagestore.FilePager
+	walPath string
+	wal     *os.File
+	pending map[pagestore.PageID][]byte
+	order   []pagestore.PageID
+	buf     []byte
+	closed  bool
+}
+
+// Open opens (creating if needed) a journaled page file. Any complete
+// batches left in the sidecar log <path>.wal are replayed first.
+func Open(path string, pageSize int) (*Pager, error) {
+	walPath := path + ".wal"
+	if err := recover_(path, walPath, pageSize); err != nil {
+		return nil, err
+	}
+	inner, err := pagestore.OpenFilePager(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	return &Pager{
+		inner:   inner,
+		walPath: walPath,
+		wal:     wal,
+		pending: make(map[pagestore.PageID][]byte),
+	}, nil
+}
+
+// recover_ replays complete batches from the log into the page file.
+func recover_(path, walPath string, pageSize int) error {
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	type pageImage struct {
+		id  pagestore.PageID
+		img []byte
+	}
+	var batch []pageImage
+	applied := false
+	pos := 0
+	for pos < len(data) {
+		typ, id, payload, next, ok := readRecord(data, pos)
+		if !ok {
+			break // torn tail: discard the rest
+		}
+		pos = next
+		switch typ {
+		case recPage:
+			if len(payload) != pageSize {
+				return fmt.Errorf("wal: page image of %d bytes, page size %d", len(payload), pageSize)
+			}
+			batch = append(batch, pageImage{id: pagestore.PageID(id), img: payload})
+		case recCommit:
+			if int(id) != len(batch) {
+				return fmt.Errorf("wal: commit names %d pages, batch has %d", id, len(batch))
+			}
+			for _, p := range batch {
+				off := int64(p.id) * int64(pageSize)
+				if _, err := f.WriteAt(p.img, off); err != nil {
+					return err
+				}
+			}
+			applied = true
+			batch = batch[:0]
+		default:
+			return fmt.Errorf("wal: unknown record type %d", typ)
+		}
+	}
+	if applied {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return os.Remove(walPath)
+}
+
+// readRecord parses one record at pos. ok=false on truncation or CRC
+// mismatch (a torn write).
+func readRecord(data []byte, pos int) (typ byte, id uint32, payload []byte, next int, ok bool) {
+	if pos+recHeader > len(data) {
+		return 0, 0, nil, 0, false
+	}
+	typ = data[pos]
+	id = binary.LittleEndian.Uint32(data[pos+1:])
+	length := int(binary.LittleEndian.Uint32(data[pos+5:]))
+	end := pos + recHeader + length + 4
+	if length < 0 || end > len(data) {
+		return 0, 0, nil, 0, false
+	}
+	payload = data[pos+recHeader : pos+recHeader+length]
+	want := binary.LittleEndian.Uint32(data[end-4:])
+	if crc32.ChecksumIEEE(data[pos:end-4]) != want {
+		return 0, 0, nil, 0, false
+	}
+	return typ, id, payload, end, true
+}
+
+func (p *Pager) appendRecord(typ byte, id uint32, payload []byte) {
+	start := len(p.buf)
+	p.buf = append(p.buf, typ)
+	p.buf = binary.LittleEndian.AppendUint32(p.buf, id)
+	p.buf = binary.LittleEndian.AppendUint32(p.buf, uint32(len(payload)))
+	p.buf = append(p.buf, payload...)
+	crc := crc32.ChecksumIEEE(p.buf[start:])
+	p.buf = binary.LittleEndian.AppendUint32(p.buf, crc)
+}
+
+// PageSize implements pagestore.Pager.
+func (p *Pager) PageSize() int { return p.inner.PageSize() }
+
+// Allocate implements pagestore.Pager. Allocations go straight to the inner
+// pager: an allocated-but-uncommitted page is harmless after a crash.
+func (p *Pager) Allocate() (pagestore.PageID, error) {
+	if p.closed {
+		return pagestore.InvalidPage, ErrClosed
+	}
+	return p.inner.Allocate()
+}
+
+// ReadPage implements pagestore.Pager, seeing pending (uncommitted) writes.
+func (p *Pager) ReadPage(id pagestore.PageID, buf []byte) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if img, ok := p.pending[id]; ok {
+		copy(buf, img)
+		return nil
+	}
+	return p.inner.ReadPage(id, buf)
+}
+
+// WritePage implements pagestore.Pager: the write is logged and held
+// pending until Commit.
+func (p *Pager) WritePage(id pagestore.PageID, buf []byte) error {
+	if p.closed {
+		return ErrClosed
+	}
+	img, ok := p.pending[id]
+	if !ok {
+		img = make([]byte, p.inner.PageSize())
+		p.pending[id] = img
+		p.order = append(p.order, id)
+	}
+	copy(img, buf)
+	return nil
+}
+
+// Free implements pagestore.Pager.
+func (p *Pager) Free(id pagestore.PageID) error {
+	if p.closed {
+		return ErrClosed
+	}
+	delete(p.pending, id)
+	return p.inner.Free(id)
+}
+
+// PageCount implements pagestore.Pager.
+func (p *Pager) PageCount() int { return p.inner.PageCount() }
+
+// Commit makes all pending page writes durable atomically: log, fsync,
+// apply, fsync, truncate.
+func (p *Pager) Commit() error {
+	if p.closed {
+		return ErrClosed
+	}
+	if len(p.pending) == 0 {
+		return nil
+	}
+	p.buf = p.buf[:0]
+	n := 0
+	for _, id := range p.order {
+		img, ok := p.pending[id]
+		if !ok {
+			continue // freed while pending
+		}
+		p.appendRecord(recPage, uint32(id), img)
+		n++
+	}
+	p.appendRecord(recCommit, uint32(n), nil)
+	if _, err := p.wal.WriteAt(p.buf, 0); err != nil {
+		return err
+	}
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	// Apply to the page file.
+	for _, id := range p.order {
+		img, ok := p.pending[id]
+		if !ok {
+			continue
+		}
+		if err := p.inner.WritePage(id, img); err != nil {
+			return err
+		}
+	}
+	if err := p.inner.Sync(); err != nil {
+		return err
+	}
+	// The batch is durable in the main file: drop the log.
+	if err := p.wal.Truncate(0); err != nil {
+		return err
+	}
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	p.pending = make(map[pagestore.PageID][]byte)
+	p.order = p.order[:0]
+	return nil
+}
+
+// Pending returns the number of uncommitted page writes (tests, stats).
+func (p *Pager) Pending() int { return len(p.pending) }
+
+// Close commits outstanding writes and closes both files.
+func (p *Pager) Close() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.Commit(); err != nil {
+		return err
+	}
+	p.closed = true
+	if err := p.wal.Close(); err != nil {
+		return err
+	}
+	return p.inner.Close()
+}
+
+// CloseWithoutCommit abandons pending writes (crash simulation in tests).
+func (p *Pager) CloseWithoutCommit() error {
+	p.closed = true
+	p.wal.Close()
+	return p.inner.Close()
+}
+
+// DumpWAL returns the raw log contents (tests).
+func (p *Pager) DumpWAL() ([]byte, error) {
+	if _, err := p.wal.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(p.wal)
+}

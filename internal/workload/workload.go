@@ -1,0 +1,180 @@
+// Package workload generates the synthetic documents and access patterns
+// used by the examples and the benchmark harness: the paper's purchase-order
+// append workload (Section 4.1), the Figure 1 ticket documents, seeded
+// random trees, and auction-style catalogs, plus skewed (Zipf) access
+// distributions for the partial-index experiments.
+//
+// All generators are deterministic for a given seed, so experiment runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/token"
+)
+
+// Gen is a seeded workload generator.
+type Gen struct {
+	r *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed))}
+}
+
+var itemNames = []string{
+	"widget", "sprocket", "gear", "flange", "bracket", "valve", "gasket",
+	"bearing", "coupling", "fitting",
+}
+
+var customerNames = []string{
+	"Acme Corp", "Globex", "Initech", "Umbrella", "Stark Industries",
+	"Wayne Enterprises", "Tyrell", "Cyberdyne",
+}
+
+// PurchaseOrder builds one <purchase-order> fragment — the unit the paper's
+// motivating workload appends as the last child of the root.
+func (g *Gen) PurchaseOrder(seq int) []token.Token {
+	lines := 1 + g.r.Intn(4)
+	toks := []token.Token{
+		token.Elem("purchase-order"),
+		token.Attr("id", fmt.Sprintf("PO-%06d", seq)), token.EndAttr(),
+		token.Attr("status", pick(g.r, "open", "shipped", "billed")), token.EndAttr(),
+		token.Elem("customer"), token.TextTok(pick(g.r, customerNames...)), token.EndElem(),
+		token.Elem("date"), token.TextTok(fmt.Sprintf("2005-%02d-%02d", 1+g.r.Intn(12), 1+g.r.Intn(28))), token.EndElem(),
+	}
+	for i := 0; i < lines; i++ {
+		toks = append(toks,
+			token.Elem("line"),
+			token.Attr("no", fmt.Sprintf("%d", i+1)), token.EndAttr(),
+			token.Elem("item"), token.TextTok(pick(g.r, itemNames...)), token.EndElem(),
+			token.Elem("qty"), token.TextTok(fmt.Sprintf("%d", 1+g.r.Intn(100))), token.EndElem(),
+			token.Elem("price"), token.TextTok(fmt.Sprintf("%d.%02d", 1+g.r.Intn(500), g.r.Intn(100))), token.EndElem(),
+			token.EndElem(),
+		)
+	}
+	return append(toks, token.EndElem())
+}
+
+// PurchaseOrdersDoc builds a <purchase-orders> document with n orders.
+func (g *Gen) PurchaseOrdersDoc(n int) []token.Token {
+	toks := []token.Token{token.Elem("purchase-orders")}
+	for i := 0; i < n; i++ {
+		toks = append(toks, g.PurchaseOrder(i)...)
+	}
+	return append(toks, token.EndElem())
+}
+
+// Ticket builds one ticket document in the shape of the paper's Figure 1.
+func (g *Gen) Ticket(seq int) []token.Token {
+	return []token.Token{
+		token.Elem("ticket"),
+		token.Elem("hour"), token.TextTok(fmt.Sprintf("%d", g.r.Intn(24))), token.EndElem(),
+		token.Elem("name"), token.TextTok(pick(g.r, "Paul", "Anna", "Maria", "Jonas", "Petra")), token.EndElem(),
+		token.EndElem(),
+	}
+}
+
+// RandomDoc builds a random well-formed document with roughly the requested
+// number of nodes, mixed depth, attributes and text.
+func (g *Gen) RandomDoc(nodes int) []token.Token {
+	toks := []token.Token{token.Elem("root")}
+	count := 1
+	var build func(depth int)
+	build = func(depth int) {
+		if count >= nodes {
+			return
+		}
+		switch g.r.Intn(6) {
+		case 0, 1, 2: // element
+			toks = append(toks, token.Elem(pick(g.r, "a", "b", "section", "entry", "data")))
+			count++
+			if g.r.Intn(3) == 0 {
+				toks = append(toks, token.Attr("k", fmt.Sprintf("v%d", g.r.Intn(1000))), token.EndAttr())
+				count++
+			}
+			if depth < 8 {
+				for c := 0; c < g.r.Intn(4) && count < nodes; c++ {
+					build(depth + 1)
+				}
+			}
+			toks = append(toks, token.EndElem())
+		case 3, 4: // text
+			toks = append(toks, token.TextTok(fmt.Sprintf("text-%d", g.r.Intn(10000))))
+			count++
+		case 5: // comment
+			toks = append(toks, token.CommentTok("c"))
+			count++
+		}
+	}
+	for count < nodes {
+		build(0)
+	}
+	return append(toks, token.EndElem())
+}
+
+// AuctionDoc builds an auction-site catalog (categories, sellers, open
+// auctions) reminiscent of the XMark benchmark's structure, scaled by items.
+func (g *Gen) AuctionDoc(items int) []token.Token {
+	toks := []token.Token{token.Elem("site")}
+	toks = append(toks, token.Elem("categories"))
+	ncat := 1 + items/10
+	for c := 0; c < ncat; c++ {
+		toks = append(toks,
+			token.Elem("category"),
+			token.Attr("id", fmt.Sprintf("c%d", c)), token.EndAttr(),
+			token.Elem("name"), token.TextTok(fmt.Sprintf("category-%d", c)), token.EndElem(),
+			token.EndElem())
+	}
+	toks = append(toks, token.EndElem())
+	toks = append(toks, token.Elem("open_auctions"))
+	for i := 0; i < items; i++ {
+		toks = append(toks,
+			token.Elem("open_auction"),
+			token.Attr("id", fmt.Sprintf("a%d", i)), token.EndAttr(),
+			token.Elem("itemref"), token.TextTok(pick(g.r, itemNames...)), token.EndElem(),
+			token.Elem("category"), token.TextTok(fmt.Sprintf("c%d", g.r.Intn(ncat))), token.EndElem(),
+			token.Elem("initial"), token.TextTok(fmt.Sprintf("%d.%02d", g.r.Intn(1000), g.r.Intn(100))), token.EndElem(),
+			token.Elem("bids"), token.TextTok(fmt.Sprintf("%d", g.r.Intn(50))), token.EndElem(),
+			token.EndElem())
+	}
+	toks = append(toks, token.EndElem())
+	return append(toks, token.EndElem())
+}
+
+// Zipf returns a skewed sampler over [1, max] with exponent s (> 1 skews
+// harder toward small values). Used to model hot-node access patterns for
+// the partial-index warm-up experiment.
+func (g *Gen) Zipf(max uint64, s float64) func() uint64 {
+	if s <= 1 {
+		s = 1.1
+	}
+	z := rand.NewZipf(g.r, s, 1, max-1)
+	return func() uint64 { return z.Uint64() + 1 }
+}
+
+// Uniform returns a uniform sampler over [1, max].
+func (g *Gen) Uniform(max uint64) func() uint64 {
+	return func() uint64 { return uint64(g.r.Int63n(int64(max))) + 1 }
+}
+
+// Perm returns a seeded permutation of [0, n), used to scatter skewed key
+// popularity across the id space.
+func (g *Gen) Perm(n int) []int { return g.r.Perm(n) }
+
+// EncodedBytes returns the encoded size of a fragment — the data-volume
+// basis of the paper's kb/s metrics.
+func EncodedBytes(frag []token.Token) int {
+	n := 0
+	for _, t := range frag {
+		n += token.EncodedSize(t)
+	}
+	return n
+}
+
+func pick[T any](r *rand.Rand, choices ...T) T {
+	return choices[r.Intn(len(choices))]
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+	"repro/internal/xpath"
+)
+
+func TestGeneratorsWellFormed(t *testing.T) {
+	g := New(1)
+	frags := map[string][]token.Token{
+		"purchase-order":  g.PurchaseOrder(7),
+		"purchase-orders": g.PurchaseOrdersDoc(20),
+		"ticket":          g.Ticket(1),
+		"random":          g.RandomDoc(500),
+		"auction":         g.AuctionDoc(50),
+	}
+	for name, frag := range frags {
+		if err := token.ValidateFragment(frag); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if token.NodeCount(frag) == 0 {
+			t.Errorf("%s: empty fragment", name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).PurchaseOrdersDoc(10)
+	b := New(42).PurchaseOrdersDoc(10)
+	if !token.Equal(a, b) {
+		t.Error("same seed must generate identical documents")
+	}
+	c := New(43).PurchaseOrdersDoc(10)
+	if token.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomDocNodeCount(t *testing.T) {
+	for _, want := range []int{10, 100, 2000} {
+		doc := New(7).RandomDoc(want)
+		got := token.NodeCount(doc)
+		if got < want || got > want+20 {
+			t.Errorf("RandomDoc(%d) has %d nodes", want, got)
+		}
+	}
+}
+
+func TestDocsLoadIntoStore(t *testing.T) {
+	g := New(3)
+	docs := [][]token.Token{
+		g.PurchaseOrdersDoc(30),
+		g.RandomDoc(300),
+		g.AuctionDoc(40),
+	}
+	for i, doc := range docs {
+		s, err := core.Open(core.Config{Mode: core.RangePartial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(doc); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Errorf("doc %d: %v", i, err)
+		}
+		s.Close()
+	}
+}
+
+func TestPurchaseOrdersQueryable(t *testing.T) {
+	s, _ := core.Open(core.Config{})
+	defer s.Close()
+	s.Append(New(9).PurchaseOrdersDoc(25))
+	ids, err := xpath.QueryIDs(s, `//purchase-order`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 25 {
+		t.Errorf("found %d purchase orders", len(ids))
+	}
+	ids, err = xpath.QueryIDs(s, `//purchase-order[@status="open"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || len(ids) == 25 {
+		t.Errorf("status filter looks degenerate: %d", len(ids))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(11)
+	sample := g.Zipf(1000, 1.5)
+	counts := map[uint64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := sample()
+		if v < 1 || v > 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The head must be much hotter than the tail.
+	if counts[1] < 100*max(counts[900], 1)/10 {
+		t.Errorf("zipf not skewed: head=%d tail=%d", counts[1], counts[900])
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(13)
+	sample := g.Uniform(50)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		v := sample()
+		if v < 1 || v > 50 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 45 {
+		t.Errorf("uniform covered only %d of 50 values", len(seen))
+	}
+}
+
+func TestEncodedBytes(t *testing.T) {
+	frag := New(1).Ticket(0)
+	n := EncodedBytes(frag)
+	if n != len(token.EncodeAll(frag)) {
+		t.Errorf("EncodedBytes = %d, encoding = %d", n, len(token.EncodeAll(frag)))
+	}
+}

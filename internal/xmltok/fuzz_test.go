@@ -1,0 +1,76 @@
+package xmltok
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+// FuzzParse feeds arbitrary bytes to the scanner: it must never panic, and
+// anything it accepts must be a well-formed token sequence that survives a
+// serialize→reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<ticket><hour>15</hour><name>Paul</name></ticket>`,
+		`<a x="1" y='2'>text &amp; more</a>`,
+		`<a><![CDATA[raw]]><!--c--><?pi d?></a>`,
+		`<?xml version="1.0"?><!DOCTYPE a []><a>&#65;</a>`,
+		`<日本語 名="値">テキスト</日本語>`,
+		`<a`, `</a>`, `<a>&bogus;</a>`, `<<>>`, "",
+		`<a b="&#x10FFFF;"/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := ParseString(src, ParseOptions{})
+		if err != nil {
+			return // rejected input is fine
+		}
+		if err := token.ValidateFragment(toks); err != nil {
+			t.Fatalf("accepted %q but tokens invalid: %v", src, err)
+		}
+		xml, err := ToString(toks)
+		if err != nil {
+			t.Fatalf("accepted %q but cannot serialize: %v", src, err)
+		}
+		back, err := ParseFragmentString(xml, ParseOptions{})
+		if err != nil {
+			t.Fatalf("own output %q does not reparse: %v", xml, err)
+		}
+		// Adjacent text runs merge in the reparse; normalize both sides.
+		if !token.Equal(mergeAdjacentText(back), mergeAdjacentText(toks)) {
+			t.Fatalf("round trip changed %q -> %q", src, xml)
+		}
+	})
+}
+
+// FuzzTokenCodec feeds arbitrary bytes to the binary token decoder: it must
+// never panic or over-read, and every decoded prefix must re-encode to the
+// same bytes.
+func FuzzTokenCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(token.EncodeAll([]token.Token{
+		token.Elem("a"), token.Attr("k", "v"), token.EndAttr(),
+		token.TextTok("x"), token.EndElem(),
+	}))
+	f.Add([]byte{0xFF, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		for pos < len(data) {
+			tok, n, err := token.Decode(data[pos:])
+			if err != nil {
+				return
+			}
+			if n <= 0 || pos+n > len(data) {
+				t.Fatalf("decode consumed %d of %d remaining", n, len(data)-pos)
+			}
+			re := token.Append(nil, tok)
+			if string(re) != string(data[pos:pos+n]) {
+				t.Fatalf("re-encode mismatch at %d", pos)
+			}
+			pos += n
+		}
+	})
+}

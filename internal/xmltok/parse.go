@@ -1,0 +1,92 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// ParseOptions controls materializing parses.
+type ParseOptions struct {
+	// StripWhitespace drops text tokens that consist entirely of XML
+	// whitespace (typical pretty-printing indentation).
+	StripWhitespace bool
+	// DropComments drops comment tokens.
+	DropComments bool
+	// DropPIs drops processing-instruction tokens.
+	DropPIs bool
+}
+
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isSpace(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func collect(s *Scanner, opts ParseOptions) ([]token.Token, error) {
+	var out []token.Token
+	for {
+		t, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case opts.StripWhitespace && t.Kind == token.Text && isAllSpace(t.Value):
+			continue
+		case opts.DropComments && t.Kind == token.Comment:
+			continue
+		case opts.DropPIs && t.Kind == token.PI:
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+// Parse tokenizes a complete XML document from r. The result is the token
+// sequence of the root element and any surrounding comments/PIs; document
+// bracket tokens are not emitted (the store holds XQuery Data Model
+// sequences, not document nodes).
+func Parse(r io.Reader, opts ParseOptions) ([]token.Token, error) {
+	return collect(NewScanner(r), opts)
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, opts ParseOptions) ([]token.Token, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// ParseFragment tokenizes an XML fragment (any sequence of top-level nodes).
+func ParseFragment(r io.Reader, opts ParseOptions) ([]token.Token, error) {
+	return collect(NewFragmentScanner(r), opts)
+}
+
+// ParseFragmentString is ParseFragment over a string.
+func ParseFragmentString(s string, opts ParseOptions) ([]token.Token, error) {
+	return ParseFragment(strings.NewReader(s), opts)
+}
+
+// MustParse parses a trusted document literal, panicking on error. Intended
+// for tests and examples.
+func MustParse(s string) []token.Token {
+	toks, err := ParseString(s, ParseOptions{StripWhitespace: true})
+	if err != nil {
+		panic(err)
+	}
+	return toks
+}
+
+// MustParseFragment parses a trusted fragment literal, panicking on error.
+func MustParseFragment(s string) []token.Token {
+	toks, err := ParseFragmentString(s, ParseOptions{StripWhitespace: true})
+	if err != nil {
+		panic(err)
+	}
+	return toks
+}

@@ -1,0 +1,339 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+)
+
+func scanAll(t *testing.T, src string) []token.Token {
+	t.Helper()
+	toks, err := ParseString(src, ParseOptions{})
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return toks
+}
+
+func assertTokens(t *testing.T, got, want []token.Token) {
+	t.Helper()
+	if !token.Equal(got, want) {
+		t.Errorf("token mismatch\n got: %v\nwant: %v", got, want)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	// The paper's Figure 1 document.
+	src := `<ticket><hour>15</hour><name>Paul</name></ticket>`
+	got := scanAll(t, src)
+	want := []token.Token{
+		token.Elem("ticket"),
+		token.Elem("hour"), token.TextTok("15"), token.EndElem(),
+		token.Elem("name"), token.TextTok("Paul"), token.EndElem(),
+		token.EndElem(),
+	}
+	assertTokens(t, got, want)
+	if token.NodeCount(got) != 5 {
+		t.Errorf("expected 5 nodes as in Figure 1, got %d", token.NodeCount(got))
+	}
+}
+
+func TestAttributesBecomeTokens(t *testing.T) {
+	got := scanAll(t, `<a x="1" y='2'/>`)
+	want := []token.Token{
+		token.Elem("a"),
+		token.Attr("x", "1"), token.EndAttr(),
+		token.Attr("y", "2"), token.EndAttr(),
+		token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestSelfClosingNested(t *testing.T) {
+	got := scanAll(t, `<a><b/><c/></a>`)
+	want := []token.Token{
+		token.Elem("a"),
+		token.Elem("b"), token.EndElem(),
+		token.Elem("c"), token.EndElem(),
+		token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestEntities(t *testing.T) {
+	got := scanAll(t, `<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>`)
+	want := []token.Token{
+		token.Elem("a"), token.TextTok(`<x> & "y" 'z'`), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestCharRefs(t *testing.T) {
+	got := scanAll(t, `<a>&#65;&#x42;&#x1F600;</a>`)
+	want := []token.Token{
+		token.Elem("a"), token.TextTok("AB\U0001F600"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestEntityInAttribute(t *testing.T) {
+	got := scanAll(t, `<a k="&amp;&lt;&#48;"/>`)
+	want := []token.Token{
+		token.Elem("a"), token.Attr("k", "&<0"), token.EndAttr(), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestCDATA(t *testing.T) {
+	got := scanAll(t, `<a><![CDATA[<not> & markup]]></a>`)
+	want := []token.Token{
+		token.Elem("a"), token.TextTok("<not> & markup"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestCDATAFoldedIntoText(t *testing.T) {
+	got := scanAll(t, `<a>pre<![CDATA[mid]]>post</a>`)
+	// The leading text run absorbs the CDATA and following text.
+	want := []token.Token{
+		token.Elem("a"), token.TextTok("premidpost"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestComments(t *testing.T) {
+	got := scanAll(t, `<!-- head --><a><!--inner--></a><!-- tail -->`)
+	want := []token.Token{
+		token.CommentTok(" head "),
+		token.Elem("a"), token.CommentTok("inner"), token.EndElem(),
+		token.CommentTok(" tail "),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestProcessingInstruction(t *testing.T) {
+	got := scanAll(t, `<?xml version="1.0"?><?style href="a.css"?><a/>`)
+	want := []token.Token{
+		token.PITok("style", `href="a.css"`),
+		token.Elem("a"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestDoctypeSkipped(t *testing.T) {
+	got := scanAll(t, `<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>t</a>`)
+	want := []token.Token{
+		token.Elem("a"), token.TextTok("t"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestMixedContent(t *testing.T) {
+	got := scanAll(t, `<p>one <b>two</b> three</p>`)
+	want := []token.Token{
+		token.Elem("p"), token.TextTok("one "),
+		token.Elem("b"), token.TextTok("two"), token.EndElem(),
+		token.TextTok(" three"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestNamespacePrefixesPreserved(t *testing.T) {
+	got := scanAll(t, `<ns:a xmlns:ns="http://x" ns:k="v"/>`)
+	want := []token.Token{
+		token.Elem("ns:a"),
+		token.Attr("xmlns:ns", "http://x"), token.EndAttr(),
+		token.Attr("ns:k", "v"), token.EndAttr(),
+		token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestUnicodeNamesAndText(t *testing.T) {
+	got := scanAll(t, `<日本語 名="値">テキスト</日本語>`)
+	want := []token.Token{
+		token.Elem("日本語"),
+		token.Attr("名", "値"), token.EndAttr(),
+		token.TextTok("テキスト"),
+		token.EndElem(),
+	}
+	assertTokens(t, got, want)
+}
+
+func TestFragmentMultipleRoots(t *testing.T) {
+	toks, err := ParseFragmentString(`<a/><b/>text`, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Token{
+		token.Elem("a"), token.EndElem(),
+		token.Elem("b"), token.EndElem(),
+		token.TextTok("text"),
+	}
+	assertTokens(t, toks, want)
+}
+
+func TestParseOptionsFiltering(t *testing.T) {
+	src := `<a> <!--c--> <?p d?> <b/> </a>`
+	toks, err := ParseString(src, ParseOptions{
+		StripWhitespace: true, DropComments: true, DropPIs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Token{
+		token.Elem("a"), token.Elem("b"), token.EndElem(), token.EndElem(),
+	}
+	assertTokens(t, toks, want)
+}
+
+func TestWellFormednessErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"mismatched", `<a></b>`},
+		{"unclosed", `<a>`},
+		{"stray end", `</a>`},
+		{"two roots", `<a/><b/>`},
+		{"text outside root", `hello`},
+		{"dup attr", `<a x="1" x="2"/>`},
+		{"unquoted attr", `<a x=1/>`},
+		{"lt in attr", `<a x="<"/>`},
+		{"bad entity", `<a>&bogus;</a>`},
+		{"bad charref", `<a>&#xZZ;</a>`},
+		{"eof in comment", `<a><!-- never ends`},
+		{"double dash comment", `<a><!-- x -- y --></a>`},
+		{"eof in cdata", `<a><![CDATA[never`},
+		{"eof in pi", `<a><?pi never`},
+		{"bad name start", `<1a/>`},
+		{"eof in tag", `<a x="v"`},
+		{"content after root", `<a/>junk`},
+		{"eof in attr value", `<a x="unterminated`},
+		{"missing eq", `<a x "v"/>`},
+		{"empty", ``},
+		{"eof in doctype", `<!DOCTYPE a [`},
+		{"bad bang", `<a><!WHAT></a>`},
+		{"slash not close", `<a/x>`},
+		{"entity too long", `<a>&aaaaaaaaaaaaaaaaaaaaaaaaaa;</a>`},
+	}
+	for _, c := range bad {
+		if _, err := ParseString(c.src, ParseOptions{}); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestSyntaxErrorHasOffset(t *testing.T) {
+	_, err := ParseString(`<a></b>`, ParseOptions{})
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Offset <= 0 {
+		t.Errorf("offset should be positive: %d", se.Offset)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Errorf("error text: %q", se.Error())
+	}
+}
+
+func TestScannerPullInterface(t *testing.T) {
+	s := NewScanner(strings.NewReader(`<a k="v">x</a>`))
+	var kinds []token.Kind
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []token.Kind{
+		token.BeginElement, token.BeginAttribute, token.EndAttribute,
+		token.Text, token.EndElement,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// Error after EOF is sticky EOF.
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("after EOF: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(`<a>`)
+}
+
+func TestMustParseFragment(t *testing.T) {
+	toks := MustParseFragment(`<a/><b/>`)
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseFragment should panic on bad input")
+		}
+	}()
+	MustParseFragment(`<a>`)
+}
+
+func TestDeepNesting(t *testing.T) {
+	var sb strings.Builder
+	const depth = 2000
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<d>")
+	}
+	sb.WriteString("x")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	toks := scanAll(t, sb.String())
+	if token.NodeCount(toks) != depth+1 {
+		t.Errorf("node count = %d", token.NodeCount(toks))
+	}
+	if err := token.ValidateFragment(toks); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	// Whitespace inside elements is significant.
+	got := scanAll(t, "<a>  \n\t</a>")
+	want := []token.Token{
+		token.Elem("a"), token.TextTok("  \n\t"), token.EndElem(),
+	}
+	assertTokens(t, got, want)
+	// Whitespace around the root is not.
+	got = scanAll(t, "  <a/>  ")
+	assertTokens(t, got, []token.Token{token.Elem("a"), token.EndElem()})
+}
+
+func BenchmarkScan(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<orders>")
+	for i := 0; i < 200; i++ {
+		sb.WriteString(`<order id="7" status="open"><item>widget</item><qty>3</qty></order>`)
+	}
+	sb.WriteString("</orders>")
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src, ParseOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package xmltok
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Serializer writes a token stream back out as XML text. It is the inverse
+// of the Scanner for well-formed streams and is used by the store's Read
+// interface to hand XML back to applications.
+type Serializer struct {
+	w       *bufio.Writer
+	stack   []string
+	openTag bool // begin element written, '>' not yet emitted
+	err     error
+}
+
+// NewSerializer returns a Serializer writing to w.
+func NewSerializer(w io.Writer) *Serializer {
+	return &Serializer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one token.
+func (s *Serializer) Write(t token.Token) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.write(t)
+	return s.err
+}
+
+func (s *Serializer) write(t token.Token) error {
+	switch t.Kind {
+	case token.BeginDocument, token.EndDocument:
+		return nil // document brackets have no textual form
+	case token.BeginElement:
+		s.closeOpenTag()
+		fmt.Fprintf(s.w, "<%s", t.Name)
+		s.openTag = true
+		s.stack = append(s.stack, t.Name)
+	case token.BeginAttribute:
+		if !s.openTag {
+			return fmt.Errorf("xmltok: attribute %q outside element start", t.Name)
+		}
+		fmt.Fprintf(s.w, ` %s="%s"`, t.Name, EscapeAttr(t.Value))
+	case token.EndAttribute:
+		if !s.openTag {
+			return fmt.Errorf("xmltok: end-attribute outside element start")
+		}
+	case token.EndElement:
+		if len(s.stack) == 0 {
+			return fmt.Errorf("xmltok: end element without open element")
+		}
+		name := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		if s.openTag {
+			s.w.WriteString("/>")
+			s.openTag = false
+		} else {
+			fmt.Fprintf(s.w, "</%s>", name)
+		}
+	case token.Text:
+		s.closeOpenTag()
+		s.w.WriteString(EscapeText(t.Value))
+	case token.Comment:
+		s.closeOpenTag()
+		fmt.Fprintf(s.w, "<!--%s-->", t.Value)
+	case token.PI:
+		s.closeOpenTag()
+		fmt.Fprintf(s.w, "<?%s %s?>", t.Name, t.Value)
+	default:
+		return fmt.Errorf("xmltok: cannot serialize %s", t.Kind)
+	}
+	return nil
+}
+
+func (s *Serializer) closeOpenTag() {
+	if s.openTag {
+		s.w.WriteByte('>')
+		s.openTag = false
+	}
+}
+
+// Flush completes serialization and flushes buffered output. It reports an
+// error if elements remain open.
+func (s *Serializer) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.stack) > 0 {
+		return fmt.Errorf("xmltok: %d unclosed element(s) at flush", len(s.stack))
+	}
+	s.closeOpenTag()
+	return s.w.Flush()
+}
+
+// Serialize writes the whole token sequence to w as XML.
+func Serialize(w io.Writer, seq []token.Token) error {
+	s := NewSerializer(w)
+	for _, t := range seq {
+		if err := s.Write(t); err != nil {
+			return err
+		}
+	}
+	return s.Flush()
+}
+
+// ToString renders a token sequence as an XML string, for tests, examples
+// and the CLI.
+func ToString(seq []token.Token) (string, error) {
+	var sb strings.Builder
+	if err := Serialize(&sb, seq); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string { return textEscaper.Replace(s) }
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string { return attrEscaper.Replace(s) }

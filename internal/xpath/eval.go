@@ -1,0 +1,593 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Evaluation. XPath 1.0 Value model: node-set, string, number, boolean.
+
+type Value struct {
+	nodes []*Node // nil unless node-set
+	isSet bool
+	s     string
+	n     float64
+	b     bool
+	kind  valueKind
+}
+
+type valueKind int
+
+const (
+	vNodeSet valueKind = iota
+	vString
+	vNumber
+	vBool
+)
+
+func nodeSet(ns []*Node) Value { return Value{kind: vNodeSet, isSet: true, nodes: ns} }
+func str(s string) Value       { return Value{kind: vString, s: s} }
+func num(n float64) Value      { return Value{kind: vNumber, n: n} }
+func boolean(b bool) Value     { return Value{kind: vBool, b: b} }
+
+func (v Value) toBool() bool {
+	switch v.kind {
+	case vNodeSet:
+		return len(v.nodes) > 0
+	case vString:
+		return v.s != ""
+	case vNumber:
+		return v.n != 0
+	default:
+		return v.b
+	}
+}
+
+func (v Value) toString() string {
+	switch v.kind {
+	case vNodeSet:
+		if len(v.nodes) == 0 {
+			return ""
+		}
+		return v.nodes[0].StringValue()
+	case vNumber:
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	case vBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return v.s
+	}
+}
+
+func (v Value) toNumber() float64 {
+	switch v.kind {
+	case vNodeSet, vString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.toString()), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case vBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return v.n
+	}
+}
+
+type evalCtx struct {
+	doc  *Doc
+	node *Node
+	pos  int // 1-based position within the current predicate's node list
+	size int
+	vars Vars
+}
+
+// Eval evaluates the compiled expression against the document and returns
+// the resulting node set in document order. Non-node-set results are
+// reported as an error (use EvalValue for those).
+func (c *Compiled) Eval(d *Doc) ([]*Node, error) {
+	v, err := evalExpr(c.root, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1})
+	if err != nil {
+		return nil, err
+	}
+	if v.kind != vNodeSet {
+		return nil, fmt.Errorf("xpath: %q evaluates to a %s, not a node set", c.src, kindName(v.kind))
+	}
+	return v.nodes, nil
+}
+
+// EvalValue evaluates the expression and returns the result as a string.
+func (c *Compiled) EvalValue(d *Doc) (string, error) {
+	v, err := evalExpr(c.root, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1})
+	if err != nil {
+		return "", err
+	}
+	return v.toString(), nil
+}
+
+// Query parses and evaluates in one call.
+func Query(d *Doc, src string) ([]*Node, error) {
+	c, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Eval(d)
+}
+
+// QueryIDs evaluates against a store and returns matching node ids in
+// document order — the bridge from queries to XUpdate targets.
+func QueryIDs(s *core.Store, src string) ([]core.NodeID, error) {
+	d, err := FromStore(s)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := Query(d, src)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]core.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Kind != Root {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids, nil
+}
+
+func kindName(k valueKind) string {
+	switch k {
+	case vNodeSet:
+		return "node-set"
+	case vString:
+		return "string"
+	case vNumber:
+		return "number"
+	default:
+		return "boolean"
+	}
+}
+
+func evalExpr(e expr, ctx evalCtx) (Value, error) {
+	switch e := e.(type) {
+	case *literalExpr:
+		return str(e.s), nil
+	case *numberExpr:
+		return num(e.v), nil
+	case *negExpr:
+		v, err := evalExpr(e.e, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return num(-v.toNumber()), nil
+	case *binaryExpr:
+		return evalBinary(e, ctx)
+	case *funcExpr:
+		return evalFunc(e, ctx)
+	case *pathExpr:
+		ns, err := evalPath(e, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return nodeSet(ns), nil
+	case *varExpr:
+		return evalVar(e, ctx)
+	default:
+		return Value{}, fmt.Errorf("xpath: unknown expression %T", e)
+	}
+}
+
+func evalBinary(e *binaryExpr, ctx evalCtx) (Value, error) {
+	l, err := evalExpr(e.l, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.op {
+	case "or":
+		if l.toBool() {
+			return boolean(true), nil
+		}
+		r, err := evalExpr(e.r, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(r.toBool()), nil
+	case "and":
+		if !l.toBool() {
+			return boolean(false), nil
+		}
+		r, err := evalExpr(e.r, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(r.toBool()), nil
+	}
+	r, err := evalExpr(e.r, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.op {
+	case "+":
+		return num(l.toNumber() + r.toNumber()), nil
+	case "-":
+		return num(l.toNumber() - r.toNumber()), nil
+	case "|":
+		if l.kind != vNodeSet || r.kind != vNodeSet {
+			return Value{}, fmt.Errorf("xpath: '|' needs node sets on both sides")
+		}
+		seen := map[*Node]bool{}
+		var merged []*Node
+		for _, n := range append(append([]*Node{}, l.nodes...), r.nodes...) {
+			if !seen[n] {
+				seen[n] = true
+				merged = append(merged, n)
+			}
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].order < merged[j].order })
+		return nodeSet(merged), nil
+	}
+	return boolean(compare(l, r, e.op)), nil
+}
+
+// compare implements XPath comparison semantics: node-sets compare
+// existentially against the other operand.
+func compare(l, r Value, op string) bool {
+	if l.kind == vNodeSet {
+		for _, n := range l.nodes {
+			if compare(str(n.StringValue()), r, op) {
+				return true
+			}
+		}
+		return false
+	}
+	if r.kind == vNodeSet {
+		for _, n := range r.nodes {
+			if compare(l, str(n.StringValue()), op) {
+				return true
+			}
+		}
+		return false
+	}
+	switch op {
+	case "=", "!=":
+		var eq bool
+		if l.kind == vNumber || r.kind == vNumber {
+			eq = l.toNumber() == r.toNumber()
+		} else if l.kind == vBool || r.kind == vBool {
+			eq = l.toBool() == r.toBool()
+		} else {
+			eq = l.toString() == r.toString()
+		}
+		if op == "=" {
+			return eq
+		}
+		return !eq
+	default:
+		a, b := l.toNumber(), r.toNumber()
+		switch op {
+		case "<":
+			return a < b
+		case "<=":
+			return a <= b
+		case ">":
+			return a > b
+		case ">=":
+			return a >= b
+		}
+	}
+	return false
+}
+
+func evalFunc(e *funcExpr, ctx evalCtx) (Value, error) {
+	arg := func(i int) (Value, error) {
+		if i >= len(e.args) {
+			return Value{}, fmt.Errorf("xpath: %s() missing argument %d", e.name, i+1)
+		}
+		return evalExpr(e.args[i], ctx)
+	}
+	switch e.name {
+	case "position":
+		return num(float64(ctx.pos)), nil
+	case "last":
+		return num(float64(ctx.size)), nil
+	case "true":
+		return boolean(true), nil
+	case "false":
+		return boolean(false), nil
+	case "count":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.kind != vNodeSet {
+			return Value{}, fmt.Errorf("xpath: count() needs a node set")
+		}
+		return num(float64(len(v.nodes))), nil
+	case "not":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(!v.toBool()), nil
+	case "name":
+		if len(e.args) == 0 {
+			return str(ctx.node.Name), nil
+		}
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.kind == vNodeSet && len(v.nodes) > 0 {
+			return str(v.nodes[0].Name), nil
+		}
+		return str(""), nil
+	case "string":
+		if len(e.args) == 0 {
+			return str(ctx.node.StringValue()), nil
+		}
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return str(v.toString()), nil
+	case "number":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return num(v.toNumber()), nil
+	case "contains":
+		a, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(strings.Contains(a.toString(), b.toString())), nil
+	case "starts-with":
+		a, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(strings.HasPrefix(a.toString(), b.toString())), nil
+	case "string-length":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return num(float64(len(v.toString()))), nil
+	case "distinct-values":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.kind != vNodeSet {
+			return Value{}, fmt.Errorf("xpath: distinct-values() needs a node set")
+		}
+		seen := map[string]bool{}
+		var out []*Node
+		for _, n := range v.nodes {
+			sv := n.StringValue()
+			if !seen[sv] {
+				seen[sv] = true
+				out = append(out, n)
+			}
+		}
+		return nodeSet(out), nil
+	case "sum":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.kind != vNodeSet {
+			return Value{}, fmt.Errorf("xpath: sum() needs a node set")
+		}
+		total := 0.0
+		for _, n := range v.nodes {
+			total += str(n.StringValue()).toNumber()
+		}
+		return num(total), nil
+	case "floor":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return num(math.Floor(v.toNumber())), nil
+	case "ceiling":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return num(math.Ceil(v.toNumber())), nil
+	case "round":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		// XPath rounds halves toward positive infinity: round(-2.5) = -2.
+		return num(math.Floor(v.toNumber() + 0.5)), nil
+	case "concat":
+		if len(e.args) < 2 {
+			return Value{}, fmt.Errorf("xpath: concat() needs at least two arguments")
+		}
+		var sb strings.Builder
+		for i := range e.args {
+			v, err := arg(i)
+			if err != nil {
+				return Value{}, err
+			}
+			sb.WriteString(v.toString())
+		}
+		return str(sb.String()), nil
+	case "substring":
+		v, err := arg(0)
+		if err != nil {
+			return Value{}, err
+		}
+		startV, err := arg(1)
+		if err != nil {
+			return Value{}, err
+		}
+		s := v.toString()
+		// XPath substring is 1-based with rounding semantics.
+		start := int(math.Round(startV.toNumber()))
+		end := len(s) + 1
+		if len(e.args) > 2 {
+			lenV, err := arg(2)
+			if err != nil {
+				return Value{}, err
+			}
+			end = start + int(math.Round(lenV.toNumber()))
+		}
+		if start < 1 {
+			start = 1
+		}
+		if end > len(s)+1 {
+			end = len(s) + 1
+		}
+		if start >= end || start > len(s) {
+			return str(""), nil
+		}
+		return str(s[start-1 : end-1]), nil
+	case "normalize-space":
+		var s string
+		if len(e.args) == 0 {
+			s = ctx.node.StringValue()
+		} else {
+			v, err := arg(0)
+			if err != nil {
+				return Value{}, err
+			}
+			s = v.toString()
+		}
+		return str(strings.Join(strings.Fields(s), " ")), nil
+	default:
+		return Value{}, fmt.Errorf("xpath: unknown function %s()", e.name)
+	}
+}
+
+func evalPath(e *pathExpr, ctx evalCtx) ([]*Node, error) {
+	var cur []*Node
+	switch {
+	case e.base != nil:
+		v, err := evalExpr(e.base, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNodeSet() {
+			return nil, fmt.Errorf("xpath: path step applied to a non-node value")
+		}
+		cur = v.nodes
+	case e.absolute:
+		cur = []*Node{ctx.doc.RootNode}
+	default:
+		cur = []*Node{ctx.node}
+	}
+	for _, st := range e.steps {
+		next, err := evalStep(st, cur, ctx.doc, ctx.vars)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func evalStep(st step, input []*Node, doc *Doc, vars Vars) ([]*Node, error) {
+	var out []*Node
+	seen := map[*Node]bool{}
+	for _, n := range input {
+		cands := axisNodes(st.axis, n)
+		cands = filterTest(cands, st.test)
+		// Predicates apply per input node with positional context.
+		for _, pred := range st.preds {
+			var kept []*Node
+			for i, c := range cands {
+				v, err := evalExpr(pred, evalCtx{doc: doc, node: c, pos: i + 1, size: len(cands), vars: vars})
+				if err != nil {
+					return nil, err
+				}
+				// A bare number predicate means position()=N.
+				if v.kind == vNumber {
+					if int(v.n) == i+1 {
+						kept = append(kept, c)
+					}
+				} else if v.toBool() {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		for _, c := range cands {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out, nil
+}
+
+func axisNodes(ax axisKind, n *Node) []*Node {
+	switch ax {
+	case axChild:
+		return childAxis(n)
+	case axDescendant:
+		return descendantAxis(n)
+	case axDescendantOrSelf:
+		return append([]*Node{n}, descendantAxis(n)...)
+	case axParent:
+		return parentAxis(n)
+	case axAncestor:
+		return ancestorAxis(n)
+	case axAncestorOrSelf:
+		return append([]*Node{n}, ancestorAxis(n)...)
+	case axSelf:
+		return []*Node{n}
+	case axFollowingSibling:
+		return followingSiblingAxis(n)
+	case axPrecedingSibling:
+		return precedingSiblingAxis(n)
+	case axAttribute:
+		return attributeAxis(n)
+	}
+	return nil
+}
+
+func filterTest(ns []*Node, t nodeTest) []*Node {
+	var out []*Node
+	for _, n := range ns {
+		if t.any {
+			// node() matches everything, including the virtual root — the
+			// expansion of // relies on descendant-or-self::node() keeping
+			// the root as a context for the following child step.
+			out = append(out, n)
+			continue
+		}
+		if n.Kind != t.kind {
+			continue
+		}
+		if t.name != "" && t.name != "*" && n.Name != t.name {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

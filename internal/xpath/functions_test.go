@@ -1,0 +1,108 @@
+package xpath
+
+import "testing"
+
+func TestNumericAndStringFunctions(t *testing.T) {
+	d := testDoc(t)
+	cases := []struct{ q, want string }{
+		{`floor(sum(//book/price))`, "171"},
+		{`sum(//book[@year>1999]/price)`, "105.9"},
+		{`floor(2.7)`, "2"},
+		{`ceiling(2.1)`, "3"},
+		{`round(2.5)`, "3"},
+		{`round(-2.5)`, "-2"},
+		{`concat("a", "b", "c")`, "abc"},
+		{`concat(//book[1]/@id, "-", //book[1]/@year)`, "b1-2003"},
+		{`substring("12345", 2)`, "2345"},
+		{`substring("12345", 2, 3)`, "234"},
+		{`substring("12345", 0, 3)`, "12"},
+		{`substring("12345", 6)`, ""},
+		{`substring("12345", 1.5, 2.6)`, "234"},
+	}
+	for _, c := range cases {
+		comp, err := Parse(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		got, err := comp.EvalValue(d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestFunctionErrors(t *testing.T) {
+	d := testDoc(t)
+	bad := []string{
+		`sum(5)`,          // not a node set
+		`concat("a")`,     // too few args
+		`substring("ab")`, // missing start
+		`floor()`,         // missing arg
+	}
+	for _, q := range bad {
+		c, err := Parse(q)
+		if err != nil {
+			continue
+		}
+		if _, err := c.EvalValue(d); err == nil {
+			t.Errorf("%s: expected error", q)
+		}
+	}
+}
+
+func TestUnionOperator(t *testing.T) {
+	d := testDoc(t)
+	ns := mustQuery(t, d, `//title | //author`)
+	if len(ns) != 8 {
+		t.Fatalf("union size = %d", len(ns))
+	}
+	// Document order and dedup.
+	prev := -1
+	for _, n := range ns {
+		if n.order <= prev {
+			t.Fatal("union out of document order")
+		}
+		prev = n.order
+	}
+	ns = mustQuery(t, d, `//book[1]/* | //book[1]/title`)
+	if len(ns) != 3 {
+		t.Errorf("overlapping union = %d", len(ns))
+	}
+	ns = mustQuery(t, d, `//magazine | //book/@id | //nothing`)
+	if len(ns) != 4 {
+		t.Errorf("three-way union = %d", len(ns))
+	}
+	// Non-node-set operand.
+	c, err := Parse(`//book | 5`)
+	if err == nil {
+		if _, err := c.Eval(d); err == nil {
+			t.Error("union with number should fail")
+		}
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	d := testDoc(t)
+	ns := mustQuery(t, d, `distinct-values(//author)`)
+	if len(ns) != 3 { // Stevens, Abiteboul, Buneman (Stevens deduped)
+		t.Fatalf("distinct authors = %d", len(ns))
+	}
+	if ns[0].StringValue() != "Stevens" {
+		t.Errorf("first distinct = %q", ns[0].StringValue())
+	}
+	v, err := Parse(`count(distinct-values(//price))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.EvalValue(d)
+	if err != nil || got != "2" {
+		t.Errorf("distinct prices = %s, %v", got, err)
+	}
+	c, _ := Parse(`distinct-values(5)`)
+	if _, err := c.Eval(d); err == nil {
+		t.Error("distinct-values on scalar should fail")
+	}
+}

@@ -1,0 +1,211 @@
+// Package xpath implements an XPath 1.0 subset evaluator over the store's
+// token streams, covering the query-side requirements of the paper's store
+// desiderata (Section 2): location paths with the main axes, node tests,
+// predicates with positions, comparisons and a core function library.
+//
+// The evaluator works on a lightweight navigational view (Doc) built from a
+// token stream with node identifiers — exactly what the store's Scan
+// produces — so query results can be mapped back to store node ids for
+// subsequent XUpdate operations.
+package xpath
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// NodeKind classifies nodes in the navigational view.
+type NodeKind uint8
+
+// Node kinds. Root is the virtual document root that parents the top-level
+// nodes of the stored sequence.
+const (
+	Root NodeKind = iota
+	Element
+	Attribute
+	TextNode
+	Comment
+	PI
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Root:
+		return "root"
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case TextNode:
+		return "text"
+	case Comment:
+		return "comment"
+	case PI:
+		return "processing-instruction"
+	}
+	return "unknown"
+}
+
+// Node is one node of the navigational view.
+type Node struct {
+	Kind     NodeKind
+	Name     string
+	Value    string // text content, attribute value, comment text, PI data
+	ID       core.NodeID
+	Parent   *Node
+	Children []*Node // element content (attributes excluded)
+	Attrs    []*Node
+	order    int // document-order position, for sorting node sets
+}
+
+// StringValue returns the XPath string-value: concatenated descendant text
+// for elements/root, the value itself for leaves.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case Element, Root:
+		var sb strings.Builder
+		var walk func(*Node)
+		walk = func(c *Node) {
+			if c.Kind == TextNode {
+				sb.WriteString(c.Value)
+			}
+			for _, ch := range c.Children {
+				walk(ch)
+			}
+		}
+		walk(n)
+		return sb.String()
+	default:
+		return n.Value
+	}
+}
+
+// Doc is a parsed navigational view of a stored sequence.
+type Doc struct {
+	RootNode *Node
+	byID     map[core.NodeID]*Node
+}
+
+// NodeByID resolves a store node id to its view node.
+func (d *Doc) NodeByID(id core.NodeID) (*Node, bool) {
+	n, ok := d.byID[id]
+	return n, ok
+}
+
+// BuildDoc constructs the navigational view from items (token + id pairs in
+// document order), as produced by core.Store.ReadAll.
+func BuildDoc(items []core.Item) (*Doc, error) {
+	root := &Node{Kind: Root}
+	d := &Doc{RootNode: root, byID: make(map[core.NodeID]*Node)}
+	cur := root
+	order := 0
+	var attr *Node
+	for _, it := range items {
+		order++
+		switch it.Tok.Kind {
+		case token.BeginElement:
+			n := &Node{Kind: Element, Name: it.Tok.Name, ID: it.ID, Parent: cur, order: order}
+			cur.Children = append(cur.Children, n)
+			d.byID[it.ID] = n
+			cur = n
+		case token.EndElement:
+			cur = cur.Parent
+		case token.BeginAttribute:
+			attr = &Node{Kind: Attribute, Name: it.Tok.Name, Value: it.Tok.Value, ID: it.ID, Parent: cur, order: order}
+			cur.Attrs = append(cur.Attrs, attr)
+			d.byID[it.ID] = attr
+		case token.EndAttribute:
+			attr = nil
+		case token.Text:
+			n := &Node{Kind: TextNode, Value: it.Tok.Value, ID: it.ID, Parent: cur, order: order}
+			cur.Children = append(cur.Children, n)
+			d.byID[it.ID] = n
+		case token.Comment:
+			n := &Node{Kind: Comment, Value: it.Tok.Value, ID: it.ID, Parent: cur, order: order}
+			cur.Children = append(cur.Children, n)
+			d.byID[it.ID] = n
+		case token.PI:
+			n := &Node{Kind: PI, Name: it.Tok.Name, Value: it.Tok.Value, ID: it.ID, Parent: cur, order: order}
+			cur.Children = append(cur.Children, n)
+			d.byID[it.ID] = n
+		}
+	}
+	return d, nil
+}
+
+// FromStore builds the navigational view of a whole store.
+func FromStore(s *core.Store) (*Doc, error) {
+	items, err := s.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return BuildDoc(items)
+}
+
+// Axis navigation primitives used by the evaluator.
+
+func childAxis(n *Node) []*Node { return n.Children }
+
+func descendantAxis(n *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(c *Node) {
+		for _, ch := range c.Children {
+			out = append(out, ch)
+			walk(ch)
+		}
+	}
+	walk(n)
+	return out
+}
+
+func parentAxis(n *Node) []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	return []*Node{n.Parent}
+}
+
+func ancestorAxis(n *Node) []*Node {
+	var out []*Node
+	for p := n.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+func followingSiblingAxis(n *Node) []*Node {
+	p := n.Parent
+	if p == nil || n.Kind == Attribute {
+		return nil
+	}
+	for i, c := range p.Children {
+		if c == n {
+			return p.Children[i+1:]
+		}
+	}
+	return nil
+}
+
+func precedingSiblingAxis(n *Node) []*Node {
+	p := n.Parent
+	if p == nil || n.Kind == Attribute {
+		return nil
+	}
+	var out []*Node
+	for _, c := range p.Children {
+		if c == n {
+			break
+		}
+		out = append(out, c)
+	}
+	// preceding-sibling is a reverse axis: nearest sibling first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func attributeAxis(n *Node) []*Node { return n.Attrs }

@@ -1,0 +1,136 @@
+package xpath
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestVariableBindings(t *testing.T) {
+	d := testDoc(t)
+	books := mustQuery(t, d, "//book")
+
+	// $b/title from a bound node.
+	c, err := Parse(`$b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.EvalWith(d, Vars{"b": NodeSetValue(books[1:2])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsNodeSet() || len(v.Nodes()) != 1 || v.String() != "Advanced Programming" {
+		t.Errorf("$b/title = %v %q", v.Nodes(), v.String())
+	}
+
+	// Scalar variables in comparisons.
+	c, err = Parse(`count(//book[price > $limit])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = c.EvalWith(d, Vars{"limit": NumberValue(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number() != 2 {
+		t.Errorf("count with $limit = %v", v.Number())
+	}
+
+	// String variable.
+	c, _ = Parse(`//book[@id = $want]/title`)
+	v, err = c.EvalWith(d, Vars{"want": StringValue("b3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "Data on the Web" {
+		t.Errorf("string var: %q", v.String())
+	}
+
+	// Bool variable.
+	c, _ = Parse(`$flag`)
+	v, _ = c.EvalWith(d, Vars{"flag": BoolValue(true)})
+	if !v.Bool() {
+		t.Error("bool var lost")
+	}
+}
+
+func TestVariableDescendantPath(t *testing.T) {
+	d := testDoc(t)
+	cat := mustQuery(t, d, "/catalog")
+	c, err := Parse(`$c//author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.EvalWith(d, Vars{"c": NodeSetValue(cat)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Nodes()) != 4 {
+		t.Errorf("$c//author = %d nodes", len(v.Nodes()))
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	d := testDoc(t)
+	c, err := Parse(`$missing/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EvalWith(d, nil); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("unbound var: %v", err)
+	}
+}
+
+func TestPathOnScalarVariable(t *testing.T) {
+	d := testDoc(t)
+	c, _ := Parse(`$n/title`)
+	if _, err := c.EvalWith(d, Vars{"n": NumberValue(3)}); err == nil {
+		t.Error("path on scalar should fail")
+	}
+}
+
+func TestVarLexErrors(t *testing.T) {
+	if _, err := Parse(`$`); err == nil {
+		t.Error("bare $ should fail")
+	}
+	if _, err := Parse(`$ x`); err == nil {
+		t.Error("$ with space should fail")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if NumberValue(2.5).Number() != 2.5 {
+		t.Error("NumberValue")
+	}
+	if StringValue("x").String() != "x" {
+		t.Error("StringValue")
+	}
+	if !math.IsNaN(StringValue("notnum").Number()) {
+		t.Error("non-numeric string should be NaN")
+	}
+	if BoolValue(false).Bool() {
+		t.Error("BoolValue")
+	}
+	if NodeSetValue(nil).Bool() {
+		t.Error("empty node set is false")
+	}
+	if !NodeSetValue(make([]*Node, 1)).IsNodeSet() {
+		t.Error("IsNodeSet")
+	}
+	if StringValue("x").Nodes() != nil {
+		t.Error("scalar has no nodes")
+	}
+}
+
+func TestEvalWithContext(t *testing.T) {
+	d := testDoc(t)
+	books := mustQuery(t, d, "//book")
+	c, _ := Parse(`title`)
+	v, err := c.EvalWithContext(d, books[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "Data on the Web" {
+		t.Errorf("relative path from context: %q", v.String())
+	}
+}

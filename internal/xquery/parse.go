@@ -1,0 +1,602 @@
+// Package xquery implements an XQuery subset — FLWOR expressions with
+// direct element constructors — over the store's XPath engine, covering the
+// query-language requirement of the paper's store desiderata ("Store and
+// access any instances of the XQuery DataModel", "support for XQuery itself
+// is a must").
+//
+// Supported:
+//
+//	for $x in <path>, $y in <path> ...
+//	let $v := <expr> ...
+//	where <expr>
+//	order by <expr> [ascending|descending]
+//	return <constructor or expr>
+//
+// Constructors are direct element constructors with attribute value
+// templates and enclosed expressions, which may nest further constructors
+// or FLWOR expressions:
+//
+//	for $b in //book[price < 50]
+//	order by $b/title
+//	return <cheap title="{$b/title}">{$b/price}</cheap>
+//
+// A query's result is an XQuery Data Model sequence, materialized as a
+// token fragment — directly insertable back into a store.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/xpath"
+)
+
+// SyntaxError reports an XQuery parse failure.
+type SyntaxError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xquery: %s at offset %d in %q", e.Msg, e.Pos, e.Query)
+}
+
+// Query is a parsed, reusable XQuery expression.
+type Query struct {
+	src  string
+	root node
+}
+
+// String returns the source text.
+func (q *Query) String() string { return q.src }
+
+// AST.
+
+type node interface{}
+
+type flwor struct {
+	clauses   []clause
+	where     *xpath.Compiled
+	orderBy   *xpath.Compiled
+	orderDesc bool
+	ret       node
+}
+
+type clause struct {
+	isLet   bool
+	varName string
+	expr    *xpath.Compiled
+}
+
+type exprNode struct{ expr *xpath.Compiled }
+
+// elem is a direct element constructor.
+type elem struct {
+	name    string
+	attrs   []attrTemplate
+	content []node // *elem, *exprNode (enclosed), *flwor, or textNode
+}
+
+type attrTemplate struct {
+	name  string
+	parts []node // textNode or *exprNode
+}
+
+type textNode struct{ text string }
+
+// Parse compiles an XQuery expression.
+func Parse(src string) (*Query, error) {
+	p := &qparser{src: src}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return &Query{src: src, root: n}, nil
+}
+
+// MustParse parses a trusted query literal, panicking on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return &SyntaxError{Query: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *qparser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		p.pos++
+	}
+}
+
+// peekKeyword reports whether the next token is the given keyword.
+func (p *qparser) peekKeyword(kw string) bool {
+	p.skipWS()
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	if after < len(p.src) {
+		r := rune(p.src[after])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *qparser) consumeKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.skipWS()
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+// parseExpr parses a FLWOR, a conditional, a constructor, or a bare XPath
+// expression.
+func (p *qparser) parseExpr() (node, error) {
+	p.skipWS()
+	switch {
+	case p.peekKeyword("for") || p.peekKeyword("let"):
+		return p.parseFLWOR()
+	case p.peekKeyword("if"):
+		return p.parseIf()
+	case p.pos < len(p.src) && p.src[p.pos] == '<':
+		return p.parseConstructor()
+	default:
+		return p.parsePathTail(topLevelStops)
+	}
+}
+
+// condNode is if (cond) then a else b.
+type condNode struct {
+	cond       *xpath.Compiled
+	thenBranch node
+	elseBranch node
+}
+
+// parseIf parses `if (expr) then Expr else Expr`.
+func (p *qparser) parseIf() (node, error) {
+	p.consumeKeyword("if")
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, p.errf("expected '(' after if")
+	}
+	p.pos++
+	cond, err := p.extractXPath(nil)
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return nil, p.errf("expected ')' after if condition")
+	}
+	p.pos++
+	if !p.consumeKeyword("then") {
+		return nil, p.errf("expected 'then'")
+	}
+	thenB, err := p.parseBranch([]string{"else"})
+	if err != nil {
+		return nil, err
+	}
+	if !p.consumeKeyword("else") {
+		return nil, p.errf("expected 'else'")
+	}
+	elseB, err := p.parseBranch(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &condNode{cond: cond, thenBranch: thenB, elseBranch: elseB}, nil
+}
+
+// parseBranch parses a then/else branch: constructor, nested FLWOR/if, or
+// an XPath expression stopping at the given keywords.
+func (p *qparser) parseBranch(stops []string) (node, error) {
+	p.skipWS()
+	switch {
+	case p.pos < len(p.src) && p.src[p.pos] == '<':
+		return p.parseConstructor()
+	case p.peekKeyword("for") || p.peekKeyword("let"):
+		return p.parseFLWOR()
+	case p.peekKeyword("if"):
+		return p.parseIf()
+	default:
+		return p.extractXPathNode(stops)
+	}
+}
+
+var topLevelStops = []string{}
+
+var clauseStops = []string{"for", "let", "where", "order", "return", ","}
+
+func (p *qparser) parseFLWOR() (node, error) {
+	f := &flwor{}
+	for {
+		switch {
+		case p.consumeKeyword("for"):
+			for {
+				c, err := p.parseBinding(false)
+				if err != nil {
+					return nil, err
+				}
+				f.clauses = append(f.clauses, c)
+				p.skipWS()
+				if p.pos < len(p.src) && p.src[p.pos] == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+		case p.consumeKeyword("let"):
+			for {
+				c, err := p.parseBinding(true)
+				if err != nil {
+					return nil, err
+				}
+				f.clauses = append(f.clauses, c)
+				p.skipWS()
+				if p.pos < len(p.src) && p.src[p.pos] == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+		default:
+			goto tail
+		}
+	}
+tail:
+	if len(f.clauses) == 0 {
+		return nil, p.errf("FLWOR needs at least one for/let clause")
+	}
+	if p.consumeKeyword("where") {
+		e, err := p.extractXPath(clauseStops)
+		if err != nil {
+			return nil, err
+		}
+		f.where = e
+	}
+	if p.consumeKeyword("order") {
+		if !p.consumeKeyword("by") {
+			return nil, p.errf("expected 'by' after 'order'")
+		}
+		e, err := p.extractXPath(append([]string{"ascending", "descending"}, clauseStops...))
+		if err != nil {
+			return nil, err
+		}
+		f.orderBy = e
+		if p.consumeKeyword("descending") {
+			f.orderDesc = true
+		} else {
+			p.consumeKeyword("ascending")
+		}
+	}
+	if !p.consumeKeyword("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	ret, err := p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	f.ret = ret
+	return f, nil
+}
+
+// parseBinding parses `$var in expr` (for) or `$var := expr` (let).
+func (p *qparser) parseBinding(isLet bool) (clause, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '$' {
+		return clause{}, p.errf("expected $variable")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return clause{}, p.errf("empty variable name")
+	}
+	name := p.src[start:p.pos]
+	if isLet {
+		p.skipWS()
+		if !strings.HasPrefix(p.src[p.pos:], ":=") {
+			return clause{}, p.errf("expected ':=' in let clause")
+		}
+		p.pos += 2
+	} else if !p.consumeKeyword("in") {
+		return clause{}, p.errf("expected 'in' in for clause")
+	}
+	e, err := p.extractXPath(clauseStops)
+	if err != nil {
+		return clause{}, err
+	}
+	return clause{isLet: isLet, varName: name, expr: e}, nil
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// parseReturn parses the return expression: a constructor, nested FLWOR, or
+// an XPath expression running to the end of the current region.
+func (p *qparser) parseReturn() (node, error) {
+	return p.parseBranch(nil)
+}
+
+// parsePathTail parses an XPath expression from here to the end of input
+// (no stop keywords).
+func (p *qparser) parsePathTail(stops []string) (node, error) {
+	return p.extractXPathNode(stops)
+}
+
+// extractXPath carves out the longest substring that belongs to the
+// embedded XPath expression: it stops at a top-level (outside parens,
+// brackets and quotes) occurrence of a stop keyword or ','.
+func (p *qparser) extractXPath(stops []string) (*xpath.Compiled, error) {
+	n, err := p.extractXPathNode(stops)
+	if err != nil {
+		return nil, err
+	}
+	return n.(*exprNode).expr, nil
+}
+
+func (p *qparser) extractXPathNode(stops []string) (node, error) {
+	p.skipWS()
+	start := p.pos
+	depth := 0
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '(', '[':
+			depth++
+			p.pos++
+		case ')', ']':
+			if depth == 0 {
+				goto done // closing a region owned by an outer construct
+			}
+			depth--
+			p.pos++
+		case '}':
+			if depth == 0 {
+				goto done
+			}
+			p.pos++
+		case '\'', '"':
+			q := c
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != q {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return nil, p.errf("unterminated string literal")
+			}
+			p.pos++
+		case ',':
+			if depth == 0 {
+				goto done
+			}
+			p.pos++
+		default:
+			if depth == 0 {
+				stopped := false
+				for _, kw := range stops {
+					if kw == "," {
+						continue
+					}
+					if p.atKeywordBoundary(kw) {
+						stopped = true
+						break
+					}
+				}
+				if stopped {
+					goto done
+				}
+			}
+			p.pos++
+		}
+	}
+done:
+	src := strings.TrimSpace(p.src[start:p.pos])
+	if src == "" {
+		return nil, p.errf("empty expression")
+	}
+	c, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &exprNode{expr: c}, nil
+}
+
+// atKeywordBoundary reports whether a stop keyword begins at the current
+// position on a word boundary.
+func (p *qparser) atKeywordBoundary(kw string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	if p.pos > 0 {
+		r := rune(p.src[p.pos-1])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' ||
+			r == '$' || r == '/' || r == '@' || r == ':' {
+			return false
+		}
+	}
+	after := p.pos + len(kw)
+	if after < len(p.src) {
+		r := rune(p.src[after])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == ':' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseConstructor parses <name attr="..{expr}..">content</name>.
+func (p *qparser) parseConstructor() (node, error) {
+	if p.src[p.pos] != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected element name")
+	}
+	el := &elem{name: p.src[start:p.pos]}
+	// Attributes.
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated constructor <%s>", el.name)
+		}
+		if p.src[p.pos] == '>' {
+			p.pos++
+			break
+		}
+		if strings.HasPrefix(p.src[p.pos:], "/>") {
+			p.pos += 2
+			return el, nil
+		}
+		at, err := p.parseAttrTemplate()
+		if err != nil {
+			return nil, err
+		}
+		el.attrs = append(el.attrs, at)
+	}
+	// Content until </name>.
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated content of <%s>", el.name)
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "</"):
+			p.pos += 2
+			nstart := p.pos
+			for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+				p.pos++
+			}
+			if p.src[nstart:p.pos] != el.name {
+				return nil, p.errf("end tag </%s> does not match <%s>", p.src[nstart:p.pos], el.name)
+			}
+			p.skipWS()
+			if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+				return nil, p.errf("expected '>' in end tag")
+			}
+			p.pos++
+			return el, nil
+		case p.src[p.pos] == '<':
+			child, err := p.parseConstructor()
+			if err != nil {
+				return nil, err
+			}
+			el.content = append(el.content, child)
+		case p.src[p.pos] == '{':
+			enc, err := p.parseEnclosed()
+			if err != nil {
+				return nil, err
+			}
+			el.content = append(el.content, enc)
+		default:
+			tstart := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != '<' && p.src[p.pos] != '{' {
+				p.pos++
+			}
+			text := p.src[tstart:p.pos]
+			// XQuery boundary-whitespace stripping: drop whitespace-only
+			// literals between constructs.
+			if strings.TrimSpace(text) != "" {
+				el.content = append(el.content, &textNode{text: text})
+			}
+		}
+	}
+}
+
+// parseEnclosed parses a { ... } expression in constructor content: an
+// XPath expression or a nested FLWOR.
+func (p *qparser) parseEnclosed() (node, error) {
+	p.pos++ // '{'
+	p.skipWS()
+	n, err := p.parseBranch(nil)
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '}' {
+		return nil, p.errf("expected '}'")
+	}
+	p.pos++
+	return n, nil
+}
+
+// parseAttrTemplate parses name="literal{expr}literal...".
+func (p *qparser) parseAttrTemplate() (attrTemplate, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return attrTemplate{}, p.errf("expected attribute name")
+	}
+	at := attrTemplate{name: p.src[start:p.pos]}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+		return attrTemplate{}, p.errf("expected '=' after attribute name")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return attrTemplate{}, p.errf("attribute value must be quoted")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	lit := strings.Builder{}
+	for {
+		if p.pos >= len(p.src) {
+			return attrTemplate{}, p.errf("unterminated attribute value")
+		}
+		c := p.src[p.pos]
+		switch c {
+		case q:
+			p.pos++
+			if lit.Len() > 0 {
+				at.parts = append(at.parts, &textNode{text: lit.String()})
+			}
+			return at, nil
+		case '{':
+			if lit.Len() > 0 {
+				at.parts = append(at.parts, &textNode{text: lit.String()})
+				lit.Reset()
+			}
+			enc, err := p.parseEnclosed()
+			if err != nil {
+				return attrTemplate{}, err
+			}
+			at.parts = append(at.parts, enc)
+		default:
+			lit.WriteByte(c)
+			p.pos++
+		}
+	}
+}
