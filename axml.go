@@ -20,6 +20,8 @@
 package axml
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"strings"
 
@@ -65,6 +67,12 @@ var (
 	ErrNotElement  = core.ErrNotElement
 	ErrBadFragment = core.ErrBadFragment
 	ErrClosed      = core.ErrClosed
+	// ErrReadOnly is returned by mutating operations after the store has
+	// degraded to read-only because corruption was detected.
+	ErrReadOnly = core.ErrReadOnly
+	// ErrCorruptPage is wrapped by any read that hits a page whose checksum
+	// does not match its contents.
+	ErrCorruptPage = pagestore.ErrCorruptPage
 )
 
 // Open creates a fresh store.
@@ -89,6 +97,32 @@ func ReopenFile(path string, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	return core.Reopen(cfg, pager, 1)
+}
+
+// VerifyFile scrubs the store file at path: first every page checksum, raw,
+// without opening the store — so corruption is reported page by page even
+// when it would prevent the store from opening at all — then, if the scrub
+// is clean, the store is opened and Store.Verify checks record chains and
+// cross-structure invariants.
+func VerifyFile(path string, cfg Config) error {
+	pager, err := pagestore.OpenFilePager(path, cfg.PageSize)
+	if err != nil {
+		return err
+	}
+	pool := pagestore.NewBufferPool(pager, 64)
+	if errs := pool.Scrub(); len(errs) > 0 {
+		pager.Close()
+		return errors.Join(errs...)
+	}
+	if err := pager.Close(); err != nil {
+		return err
+	}
+	s, err := ReopenFile(path, cfg)
+	if err != nil {
+		return fmt.Errorf("open for verify: %w", err)
+	}
+	defer s.Close()
+	return s.Verify()
 }
 
 // LoadXML parses a complete XML document from r and appends it to the

@@ -83,6 +83,40 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCLIVerify(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(db, "partial", []string{"verify"}); err != nil {
+		t.Fatalf("verify of clean store: %v", err)
+	}
+	// Flip one byte inside a data page (page 2: the first record page) and
+	// verify must report that page as corrupt.
+	f, err := os.OpenFile(db, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pageSize = 8192 // default geometry used by the CLI
+	buf := []byte{0}
+	off := int64(2*pageSize + 100)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x20
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	err = run(db, "partial", []string{"verify"})
+	if err == nil {
+		t.Fatal("verify accepted a corrupted store")
+	}
+	if !strings.Contains(err.Error(), "page 2") {
+		t.Fatalf("verify does not name the corrupt page: %v", err)
+	}
+}
+
 func TestCLIModes(t *testing.T) {
 	for _, mode := range []string{"range", "partial", "full"} {
 		db, xmlPath := writeDoc(t)

@@ -14,10 +14,12 @@ import (
 // from each range's start id — they are never read from storage.
 
 // Scan streams every token of the store in document order, with regenerated
-// node ids. fn returning false stops the scan.
-func (s *Store) Scan(fn func(Item) bool) error {
+// node ids. fn returning false stops the scan. A checksum failure surfaced
+// by the scan degrades the store to read-only.
+func (s *Store) Scan(fn func(Item) bool) (err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	defer s.latchCorrupt(&err)
 	if s.closed {
 		return ErrClosed
 	}
@@ -79,9 +81,10 @@ func (s *Store) Tokens() ([]Token, error) {
 
 // ScanNode streams the subtree of node id (begin through matching end) with
 // regenerated ids. fn returning false stops early.
-func (s *Store) ScanNode(id NodeID, fn func(Item) bool) error {
+func (s *Store) ScanNode(id NodeID, fn func(Item) bool) (err error) {
 	s.mu.Lock() // locate may write to the partial index
 	defer s.mu.Unlock()
+	defer s.latchCorrupt(&err)
 	if s.closed {
 		return ErrClosed
 	}
@@ -314,6 +317,10 @@ func (s *Store) NodeXMLString(id NodeID) (string, error) {
 func (s *Store) CheckInvariants() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.checkInvariantsLocked()
+}
+
+func (s *Store) checkInvariantsLocked() error {
 	var nodes, toks, bytes uint64
 	ranges := 0
 	seen := map[RangeID]bool{}

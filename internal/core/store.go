@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -78,7 +79,57 @@ type Store struct {
 	inserts, deletes, splits, merges uint64
 	tokensScanned, nodeLookups       uint64
 
+	// corrupt, once set, latches the store read-only: continuing to write
+	// after a checksum mismatch or a failed WAL commit can only spread the
+	// damage. Guarded by degradeMu, not mu, so read paths (holding mu.RLock)
+	// can latch it too.
+	degradeMu sync.Mutex
+	corrupt   error
+
 	closed bool
+}
+
+// degrade latches the store read-only. The first cause wins.
+func (s *Store) degrade(cause error) {
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	if s.corrupt == nil {
+		s.corrupt = cause
+	}
+}
+
+// ReadOnly reports whether the store has degraded to read-only, and the
+// error that caused it.
+func (s *Store) ReadOnly() (bool, error) {
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	return s.corrupt != nil, s.corrupt
+}
+
+// writableLocked gates mutating entry points (s.mu held): closed stores and
+// degraded stores reject writes, the latter with ErrReadOnly wrapping the
+// original corruption error.
+func (s *Store) writableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	if s.corrupt != nil {
+		return fmt.Errorf("%w: %v", ErrReadOnly, s.corrupt)
+	}
+	return nil
+}
+
+// latchCorrupt, deferred with a named return, degrades the store whenever
+// an operation surfaces a page checksum failure.
+func (s *Store) latchCorrupt(errp *error) {
+	if errp == nil || *errp == nil {
+		return
+	}
+	if errors.Is(*errp, pagestore.ErrCorruptPage) {
+		s.degrade(*errp)
+	}
 }
 
 // Open creates a fresh store with the given configuration.
@@ -212,21 +263,27 @@ func (s *Store) MetaPage() pagestore.PageID { return s.recs.MetaPage() }
 
 // Flush writes all dirty pages and the allocator state back to the pager.
 // Pagers with atomic batch commit (write-ahead logged) are committed, so
-// the flushed state is crash-consistent.
-func (s *Store) Flush() error {
+// the flushed state is crash-consistent. A failed flush or commit degrades
+// the store to read-only: the on-disk state is no longer known-good, and
+// further writes could compound the damage (recovery on reopen repairs it).
+func (s *Store) Flush() (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if err := s.saveAllocState(); err != nil {
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
 		return err
 	}
-	if err := s.pool.FlushAll(); err != nil {
+	if err = s.saveAllocState(); err != nil {
+		return err
+	}
+	if err = s.pool.FlushAll(); err != nil {
 		return err
 	}
 	if c, ok := s.pool.Pager().(interface{ Commit() error }); ok {
-		return c.Commit()
+		if err = c.Commit(); err != nil {
+			s.degrade(fmt.Errorf("wal commit failed: %w", err))
+			return err
+		}
 	}
 	return nil
 }
@@ -238,7 +295,9 @@ func (s *Store) saveAllocState() error {
 	return s.recs.SetUserMeta(meta)
 }
 
-// Close flushes and shuts down the store.
+// Close flushes and shuts down the store. A degraded (read-only) store
+// closes without writing anything: its dirty pages are suspect, and the
+// on-disk state plus WAL recovery are the source of truth.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,6 +305,11 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if ro, _ := s.ReadOnly(); ro {
+		// The operation that degraded the store already reported the
+		// corruption; closing the file handles is all that is safe to do.
+		return s.pool.Pager().Close()
+	}
 	if err := s.saveAllocState(); err != nil {
 		return err
 	}

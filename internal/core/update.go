@@ -25,14 +25,15 @@ func checkFragment(frag []Token) error {
 // When Config.MaxRangeTokens > 0 the fragment is chopped into ranges of at
 // most that many tokens — the granularity knob of Table 5. It returns the id
 // of the fragment's first node.
-func (s *Store) Append(frag []Token) (NodeID, error) {
+func (s *Store) Append(frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	chunk := s.cfg.MaxRangeTokens
 	if chunk <= 0 {
@@ -80,11 +81,12 @@ func (s *Store) Append(frag []Token) (NodeID, error) {
 // well-formed fragment; violations are detected incrementally and abort the
 // load mid-way (ranges already appended remain — callers wanting atomicity
 // should stage into a fresh store).
-func (s *Store) AppendStream(next func() (Token, error)) (NodeID, error) {
+func (s *Store) AppendStream(next func() (Token, error)) (_ NodeID, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	chunk := s.cfg.MaxRangeTokens
 	if chunk <= 0 {
@@ -173,8 +175,9 @@ func (s *Store) AppendStream(next func() (Token, error)) (NodeID, error) {
 func (s *Store) Compact(maxRangeBytes int) (merged int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return 0, err
 	}
 	if maxRangeBytes <= 0 {
 		maxRangeBytes = s.cfg.PageSize
@@ -225,14 +228,15 @@ func (s *Store) insertFragment(pos tokenPos, frag []Token) (NodeID, error) {
 }
 
 // InsertBefore inserts frag as the preceding sibling(s) of node id.
-func (s *Store) InsertBefore(id NodeID, frag []Token) (NodeID, error) {
+func (s *Store) InsertBefore(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	pos, tok, _, err := s.locateBegin(id)
 	if err != nil {
@@ -245,14 +249,15 @@ func (s *Store) InsertBefore(id NodeID, frag []Token) (NodeID, error) {
 }
 
 // InsertAfter inserts frag as the following sibling(s) of node id.
-func (s *Store) InsertAfter(id NodeID, frag []Token) (NodeID, error) {
+func (s *Store) InsertAfter(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	begin, tok, tokenBytes, err := s.locateBegin(id)
 	if err != nil {
@@ -274,14 +279,15 @@ func (s *Store) InsertAfter(id NodeID, frag []Token) (NodeID, error) {
 
 // InsertIntoFirst inserts frag as the first content of element id (after its
 // attribute block).
-func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (NodeID, error) {
+func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	begin, tok, tokenBytes, err := s.locateBegin(id)
 	if err != nil {
@@ -304,14 +310,15 @@ func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (NodeID, error) {
 // InsertIntoLast inserts frag as the last content of element id — the
 // paper's running example (insert a <purchase-order> as the last child of
 // the root).
-func (s *Store) InsertIntoLast(id NodeID, frag []Token) (NodeID, error) {
+func (s *Store) InsertIntoLast(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	begin, tok, tokenBytes, err := s.locateBegin(id)
 	if err != nil {
@@ -339,11 +346,12 @@ func requireElement(tok Token) error {
 }
 
 // DeleteNode removes node id and its entire subtree.
-func (s *Store) DeleteNode(id NodeID) error {
+func (s *Store) DeleteNode(id NodeID) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	begin, tok, tokenBytes, err := s.locateBegin(id)
 	if err != nil {
@@ -371,14 +379,15 @@ func (s *Store) DeleteNode(id NodeID) error {
 
 // ReplaceNode replaces node id (and subtree) with frag, returning the first
 // new id.
-func (s *Store) ReplaceNode(id NodeID, frag []Token) (NodeID, error) {
+func (s *Store) ReplaceNode(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	begin, tok, tokenBytes, err := s.locateBegin(id)
 	if err != nil {
@@ -430,7 +439,7 @@ func (s *Store) ReplaceNode(id NodeID, frag []Token) (NodeID, error) {
 
 // ReplaceContent replaces the content of element id (children; the attribute
 // block is preserved) with frag. A nil/empty frag empties the element.
-func (s *Store) ReplaceContent(id NodeID, frag []Token) (NodeID, error) {
+func (s *Store) ReplaceContent(id NodeID, frag []Token) (_ NodeID, err error) {
 	if len(frag) > 0 {
 		if err := checkFragment(frag); err != nil {
 			return InvalidNode, err
@@ -438,8 +447,9 @@ func (s *Store) ReplaceContent(id NodeID, frag []Token) (NodeID, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return InvalidNode, ErrClosed
+	defer s.latchCorrupt(&err)
+	if err := s.writableLocked(); err != nil {
+		return InvalidNode, err
 	}
 	begin, tok, tokenBytes, err := s.locateBegin(id)
 	if err != nil {

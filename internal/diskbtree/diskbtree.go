@@ -56,14 +56,15 @@ type Tree struct {
 
 // New creates an empty tree in the pool with fixed-size values.
 func New(pool *pagestore.BufferPool, valSize int) (*Tree, error) {
-	if valSize <= 0 || valSize > pool.PageSize()/4 {
+	if valSize <= 0 || valSize > pool.UsablePageSize()/4 {
 		return nil, fmt.Errorf("diskbtree: bad value size %d", valSize)
 	}
 	t := &Tree{pool: pool, valSize: valSize}
 	// Caps leave room for one transient extra entry: insertion happens
-	// first, the overfull node splits right after.
-	t.leafCap = (pool.PageSize()-headerSize)/(8+valSize) - 1
-	t.intCap = (pool.PageSize()-headerSize-4)/12 - 1
+	// first, the overfull node splits right after. UsablePageSize keeps the
+	// node layout clear of the page checksum trailer.
+	t.leafCap = (pool.UsablePageSize()-headerSize)/(8+valSize) - 1
+	t.intCap = (pool.UsablePageSize()-headerSize-4)/12 - 1
 	if t.leafCap < 4 || t.intCap < 4 {
 		return nil, fmt.Errorf("diskbtree: page size %d too small", pool.PageSize())
 	}

@@ -1,0 +1,335 @@
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pagestore"
+	"repro/internal/wal"
+)
+
+// The crash matrix: run one WAL commit under an op-counting fault injector
+// to discover how many I/O boundaries it has, then re-run the identical
+// workload once per boundary with a simulated crash at exactly that
+// operation. After every crash the store is reopened (running WAL
+// recovery) and must (a) pass a full Verify scrub and (b) contain either
+// exactly the pre-mutation document or exactly the post-mutation one —
+// never a hybrid.
+
+const cmPageSize = 512
+
+func seedDoc() string {
+	var b strings.Builder
+	b.WriteString("<orders>")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, `<order id="%d"><item>part-%d</item></order>`, i, i)
+	}
+	b.WriteString("</orders>")
+	return b.String()
+}
+
+const mutationFrag = `<order id="new"><item>widget</item></order>`
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	in, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if _, err := io.Copy(out, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildBase creates a committed store file holding the seed document and
+// returns its serialized form before and after the test mutation.
+func buildBase(t *testing.T, db string) (oldXML, newXML string) {
+	t.Helper()
+	wp, err := wal.Open(db, cmPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Open(core.Config{Pager: wp, PageSize: cmPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := axml.LoadXMLString(s, seedDoc()); err != nil {
+		t.Fatal(err)
+	}
+	oldXML, err = s.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Apply the mutation to a throwaway copy to learn the target state.
+	scratch := db + ".scratch"
+	copyFile(t, db, scratch)
+	wp2, err := wal.Open(scratch, cmPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.Reopen(core.Config{PageSize: cmPageSize}, wp2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mutate(s2); err != nil {
+		t.Fatal(err)
+	}
+	newXML, err = s2.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	os.Remove(scratch)
+	os.Remove(scratch + ".wal")
+	if oldXML == newXML {
+		t.Fatal("mutation must change the document")
+	}
+	return oldXML, newXML
+}
+
+// mutate applies the standard test mutation: insert a fragment as last
+// content of the root element.
+func mutate(s *core.Store) error {
+	root, ok, err := s.FirstNodeID()
+	if err != nil || !ok {
+		return fmt.Errorf("no root: %v", err)
+	}
+	frag, err := axml.ParseFragment(mutationFrag)
+	if err != nil {
+		return err
+	}
+	_, err = s.InsertIntoLast(root, frag)
+	return err
+}
+
+// runFaulty reopens db behind a fault-injected WAL, applies the mutation
+// and flushes. It returns the injector (for op counts) and the first error
+// from the mutate+flush sequence.
+func runFaulty(t *testing.T, db string, cfg fault.Config) (*fault.Injector, int, error) {
+	t.Helper()
+	inj := fault.NewInjector(cfg)
+	wp, err := wal.OpenWithOptions(db, cmPageSize, wal.Options{
+		WrapPager: func(ip wal.InnerPager) wal.InnerPager { return fault.NewPager(inj, ip) },
+		WrapLog:   func(f wal.File) wal.File { return fault.NewFile(inj, f) },
+		Retries:   -1, // crash errors are permanent; don't slow the sweep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Reopen(core.Config{PageSize: cmPageSize}, wp, 1)
+	if err != nil {
+		t.Fatal(err) // reopen only reads; no faults can fire here
+	}
+	runErr := mutate(s)
+	if ferr := s.Flush(); runErr == nil {
+		runErr = ferr
+	}
+	opsAfterFlush := inj.Ops()
+	s.Close() // after a crash this fails too; the files still close
+	return inj, opsAfterFlush, runErr
+}
+
+// validate reopens db cleanly (recovery runs), scrubs it, and returns the
+// recovered document.
+func validate(t *testing.T, db string) string {
+	t.Helper()
+	wp, err := wal.Open(db, cmPageSize)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	s, err := core.Reopen(core.Config{PageSize: cmPageSize}, wp, 1)
+	if err != nil {
+		t.Fatalf("recovery reopen: %v", err)
+	}
+	defer s.Close()
+	if err := s.Verify(); err != nil {
+		t.Fatalf("post-recovery verify: %v", err)
+	}
+	xml, err := s.XMLString()
+	if err != nil {
+		t.Fatalf("post-recovery read: %v", err)
+	}
+	return xml
+}
+
+func runCrashMatrix(t *testing.T, torn bool) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.db")
+	oldXML, newXML := buildBase(t, base)
+
+	// Counting run: no faults, discover N — the number of I/O boundaries
+	// in the mutate+flush sequence — at runtime.
+	countDB := filepath.Join(dir, "count.db")
+	copyFile(t, base, countDB)
+	_, n, err := runFaulty(t, countDB, fault.Config{})
+	if err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	if n < 6 {
+		// At minimum: log write, log sync, one page write, page sync,
+		// truncate, sync. Fewer means the op accounting broke.
+		t.Fatalf("counting run saw only %d ops", n)
+	}
+	t.Logf("crash matrix: %d I/O boundaries (torn=%v)", n, torn)
+
+	sawOld, sawNew := false, false
+	for k := 1; k <= n; k++ {
+		db := filepath.Join(dir, fmt.Sprintf("crash-%03d.db", k))
+		copyFile(t, base, db)
+		inj, _, err := runFaulty(t, db, fault.Config{
+			Seed:      int64(k),
+			CrashAtOp: k,
+			TornWrite: torn,
+		})
+		if err == nil {
+			t.Fatalf("crash at op %d: workload succeeded, crash never fired", k)
+		}
+		if !inj.Crashed() {
+			t.Fatalf("crash at op %d: failed with %v but injector not crashed", k, err)
+		}
+		switch xml := validate(t, db); xml {
+		case oldXML:
+			sawOld = true
+		case newXML:
+			sawNew = true
+		default:
+			t.Fatalf("crash at op %d: recovered document is neither old nor new state:\n%s", k, xml)
+		}
+		os.Remove(db)
+		os.Remove(db + ".wal")
+	}
+	if !sawOld {
+		t.Error("no crash point preserved the old state (early crashes should)")
+	}
+	if !sawNew {
+		t.Error("no crash point reached the new state (late crashes should)")
+	}
+}
+
+func TestCrashMatrix(t *testing.T) {
+	runCrashMatrix(t, false)
+}
+
+func TestCrashMatrixTornWrites(t *testing.T) {
+	runCrashMatrix(t, true)
+}
+
+// TestTransientCommitRetry: a transient injected failure inside the WAL
+// commit path is absorbed by the bounded retry — the flush succeeds.
+func TestTransientCommitRetry(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		transient bool
+		wantOK    bool
+	}{
+		{"transient-retried", true, true},
+		{"permanent-fails", false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db := filepath.Join(t.TempDir(), "t.db")
+			inj := fault.NewInjector(fault.Config{FailWrite: 1, Transient: tc.transient})
+			wp, err := wal.OpenWithOptions(db, cmPageSize, wal.Options{
+				WrapPager: func(ip wal.InnerPager) wal.InnerPager { return fault.NewPager(inj, ip) },
+				WrapLog:   func(f wal.File) wal.File { return fault.NewFile(inj, f) },
+				Backoff:   time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.Open(core.Config{Pager: wp, PageSize: cmPageSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := axml.LoadXMLString(s, seedDoc()); err != nil {
+				t.Fatal(err)
+			}
+			err = s.Flush()
+			if tc.wantOK {
+				if err != nil {
+					t.Fatalf("transient fault not retried: %v", err)
+				}
+				if err := s.Verify(); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("flush: got %v, want ErrInjected", err)
+				}
+				// A failed commit degrades the store to read-only.
+				frag, _ := axml.ParseFragment(`<x/>`)
+				if _, err := s.Append(frag); !errors.Is(err, core.ErrReadOnly) {
+					t.Fatalf("append after failed commit: got %v, want ErrReadOnly", err)
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// TestBitFlipDegradesToReadOnly: a silent single-bit flip on a page write
+// is caught by the checksum on the next uncached read; the store reports
+// ErrCorruptPage, latches read-only, and Verify pinpoints the damage.
+func TestBitFlipDegradesToReadOnly(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "b.db")
+	fp, err := pagestore.OpenFilePager(db, cmPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(fault.Config{Seed: 11, FlipBitPage: 5})
+	p := fault.NewPager(inj, fp)
+	// A 4-frame pool over a multi-page document forces page 5 (an overflow
+	// page of the single bulk-loaded range) to be written once, evicted,
+	// and re-read from the corrupted file image.
+	s, err := core.Open(core.Config{Pager: p, PageSize: cmPageSize, PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := axml.LoadXMLString(s, seedDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.XMLString()
+	if !errors.Is(err, pagestore.ErrCorruptPage) {
+		t.Fatalf("read over flipped page: got %v, want ErrCorruptPage", err)
+	}
+	if ro, cause := s.ReadOnly(); !ro {
+		t.Fatal("store did not degrade to read-only")
+	} else if !errors.Is(cause, pagestore.ErrCorruptPage) {
+		t.Fatalf("degrade cause: %v", cause)
+	}
+	frag, _ := axml.ParseFragment(`<x/>`)
+	if _, err := s.Append(frag); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("append on degraded store: got %v, want ErrReadOnly", err)
+	}
+	err = s.Verify()
+	if !errors.Is(err, pagestore.ErrCorruptPage) {
+		t.Fatalf("verify: got %v, want ErrCorruptPage", err)
+	}
+	if !strings.Contains(err.Error(), "page 5") {
+		t.Fatalf("verify does not name the corrupt page: %v", err)
+	}
+	s.Close()
+}

@@ -1,0 +1,196 @@
+// Package fault provides deterministic I/O fault injection for the storage
+// stack. An Injector, shared by pager and log-file wrappers, counts
+// operations and fails them on schedule: the Nth read/write/sync can error
+// (transiently or permanently), page writes can be torn (only a prefix
+// reaches "disk") or silently bit-flipped, and a crash point can be armed
+// after which every operation fails — simulating power loss at an exact
+// I/O boundary.
+//
+// Everything is seeded: the same Config produces the same fault sequence,
+// so crash-matrix sweeps and torn-write tests are reproducible.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/pagestore"
+)
+
+// Sentinel errors. Injected errors wrap ErrInjected and report
+// Temporary() == true when Config.Transient is set; crash errors wrap
+// ErrCrashed and are never temporary.
+var (
+	ErrInjected = errors.New("fault: injected error")
+	ErrCrashed  = errors.New("fault: simulated crash")
+)
+
+// opError carries the op kind and count for diagnostics and implements the
+// Temporary() idiom checked by retry loops.
+type opError struct {
+	sentinel  error
+	op        string
+	n         int
+	transient bool
+}
+
+func (e *opError) Error() string {
+	return fmt.Sprintf("%v (%s op #%d)", e.sentinel, e.op, e.n)
+}
+
+func (e *opError) Unwrap() error   { return e.sentinel }
+func (e *opError) Temporary() bool { return e.transient }
+
+// Config schedules faults. All counts are 1-based; zero disables that
+// fault. Reads, writes and syncs are counted in separate streams; CrashAtOp
+// counts mutating operations only (page writes, syncs, allocates, frees,
+// log writes and truncates), which makes the crash schedule independent of
+// how often the workload reads.
+type Config struct {
+	// Seed drives torn-write lengths and bit-flip positions.
+	Seed int64
+	// FailRead fails the Nth page/log read.
+	FailRead int
+	// FailWrite fails the Nth write (page writes and log writes share the
+	// stream, in issue order).
+	FailWrite int
+	// FailSync fails the Nth sync.
+	FailSync int
+	// Transient makes injected (non-crash) errors report Temporary() ==
+	// true, so bounded-retry paths will retry them. The fault does not
+	// repeat: the retried operation succeeds.
+	Transient bool
+	// TornWrite makes a failing or crashing write tear: a seeded prefix of
+	// the buffer reaches the underlying store before the error returns.
+	TornWrite bool
+	// FlipBitPage, when non-zero, silently flips one seeded bit in the next
+	// write of that page — the write succeeds, the stored image is corrupt.
+	FlipBitPage pagestore.PageID
+	// CrashAtOp arms a crash at the Nth mutating operation: that operation
+	// and every operation after it fail with ErrCrashed. Zero disables.
+	CrashAtOp int
+}
+
+// Injector counts operations and decides, per operation, whether to inject
+// a fault. One Injector is shared across all wrappers of one store so the
+// op streams are global. It is safe for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	reads   int
+	writes  int
+	syncs   int
+	ops     int // mutating ops
+	crashed bool
+	flipped bool
+}
+
+// NewInjector returns an injector following cfg's schedule.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Ops returns the number of mutating operations attempted so far. A
+// fault-free run measures how many crash points a workload has; the
+// crash matrix then sweeps CrashAtOp over 1..Ops().
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether the armed crash point has been reached.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// ArmCrash sets the crash point relative to the current op count: the Nth
+// mutating operation from now fails, and everything after it.
+func (in *Injector) ArmCrash(atOp int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cfg.CrashAtOp = in.ops + atOp
+}
+
+// err builds the injected error for an op.
+func (in *Injector) err(sentinel error, op string, n int) error {
+	transient := in.cfg.Transient && sentinel == ErrInjected
+	return &opError{sentinel: sentinel, op: op, n: n, transient: transient}
+}
+
+// tornLen picks how many bytes of an n-byte buffer a torn write persists:
+// at least 1, at most n-1 (seeded). Zero when tearing is off or the buffer
+// is too small to tear.
+func (in *Injector) tornLen(n int) int {
+	if !in.cfg.TornWrite || n < 2 {
+		return 0
+	}
+	return 1 + in.rng.Intn(n-1)
+}
+
+// beforeRead is consulted before a read. Reads are not mutating ops.
+func (in *Injector) beforeRead(op string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return in.err(ErrCrashed, op, in.reads)
+	}
+	in.reads++
+	if in.cfg.FailRead != 0 && in.reads == in.cfg.FailRead {
+		return in.err(ErrInjected, op, in.reads)
+	}
+	return nil
+}
+
+// beforeMutate counts a mutating op and decides its fate. It returns the
+// error to inject (nil for a clean op) and, for writes, the torn prefix
+// length to persist before failing (0 = persist nothing).
+func (in *Injector) beforeMutate(op string, isWrite bool, bufLen int) (error, int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return in.err(ErrCrashed, op, in.ops), 0
+	}
+	in.ops++
+	if isWrite {
+		in.writes++
+	} else if op == "sync" {
+		in.syncs++
+	}
+	if in.cfg.CrashAtOp != 0 && in.ops >= in.cfg.CrashAtOp {
+		in.crashed = true
+		torn := 0
+		if isWrite {
+			torn = in.tornLen(bufLen)
+		}
+		return in.err(ErrCrashed, op, in.ops), torn
+	}
+	if isWrite && in.cfg.FailWrite != 0 && in.writes == in.cfg.FailWrite {
+		return in.err(ErrInjected, op, in.writes), in.tornLen(bufLen)
+	}
+	if op == "sync" && in.cfg.FailSync != 0 && in.syncs == in.cfg.FailSync {
+		return in.err(ErrInjected, op, in.syncs), 0
+	}
+	return nil, 0
+}
+
+// flip returns a copy of buf with one seeded bit flipped if id is the
+// armed bit-flip target (one-shot); otherwise buf unchanged.
+func (in *Injector) flip(id pagestore.PageID, buf []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.flipped || in.cfg.FlipBitPage == 0 || id != in.cfg.FlipBitPage || len(buf) == 0 {
+		return buf
+	}
+	in.flipped = true
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	bit := in.rng.Intn(len(out) * 8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}

@@ -1,0 +1,201 @@
+package fault_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/pagestore"
+)
+
+func openFilePager(t *testing.T) *pagestore.FilePager {
+	t.Helper()
+	fp, err := pagestore.OpenFilePager(filepath.Join(t.TempDir(), "p.db"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestNthWriteFails(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{FailWrite: 2})
+	p := fault.NewPager(inj, openFilePager(t))
+	defer p.Close()
+	a, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := p.WritePage(a, buf); err != nil { // write #1
+		t.Fatalf("write 1: %v", err)
+	}
+	err = p.WritePage(a, buf) // write #2: injected
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("write 2: got %v, want ErrInjected", err)
+	}
+	var te interface{ Temporary() bool }
+	if !errors.As(err, &te) || te.Temporary() {
+		t.Fatalf("non-transient config produced a temporary error: %v", err)
+	}
+	if err := p.WritePage(a, buf); err != nil { // write #3: past the fault
+		t.Fatalf("write 3: %v", err)
+	}
+}
+
+func TestTransientErrorsReportTemporary(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{FailWrite: 1, Transient: true})
+	p := fault.NewPager(inj, openFilePager(t))
+	defer p.Close()
+	a, _ := p.Allocate()
+	err := p.WritePage(a, make([]byte, 512))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	var te interface{ Temporary() bool }
+	if !errors.As(err, &te) || !te.Temporary() {
+		t.Fatalf("transient config produced a permanent error: %v", err)
+	}
+}
+
+func TestNthReadFails(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{FailRead: 1})
+	p := fault.NewPager(inj, openFilePager(t))
+	defer p.Close()
+	a, _ := p.Allocate()
+	buf := make([]byte, 512)
+	if err := p.ReadPage(a, buf); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("read 1: got %v, want ErrInjected", err)
+	}
+	if err := p.ReadPage(a, buf); err != nil {
+		t.Fatalf("read 2: %v", err)
+	}
+}
+
+func TestCrashCutoff(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{CrashAtOp: 3})
+	p := fault.NewPager(inj, openFilePager(t))
+	defer p.Close()
+	a, err := p.Allocate() // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := p.WritePage(a, buf); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := p.Sync(); !errors.Is(err, fault.ErrCrashed) { // op 3: crash
+		t.Fatalf("op 3: got %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector does not report crashed")
+	}
+	// Everything after the crash fails, reads included.
+	if err := p.WritePage(a, buf); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := p.ReadPage(a, buf); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if _, err := p.Allocate(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("post-crash allocate: %v", err)
+	}
+	// A crash error is permanent: retry loops must not spin on it.
+	err = p.Sync()
+	var te interface{ Temporary() bool }
+	if errors.As(err, &te) && te.Temporary() {
+		t.Fatal("crash error claims to be temporary")
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{Seed: 42, FailWrite: 2, TornWrite: true})
+	p := fault.NewPager(inj, openFilePager(t))
+	defer p.Close()
+	a, _ := p.Allocate()
+	oldImg := bytes.Repeat([]byte{0xAA}, 512)
+	if err := p.WritePage(a, oldImg); err != nil { // write #1: clean
+		t.Fatal(err)
+	}
+	newImg := bytes.Repeat([]byte{0xBB}, 512)
+	if err := p.WritePage(a, newImg); !errors.Is(err, fault.ErrInjected) { // write #2: torn
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	got := make([]byte, 512)
+	if err := p.ReadPage(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, oldImg) {
+		t.Fatal("torn write left no trace of the new image")
+	}
+	if bytes.Equal(got, newImg) {
+		t.Fatal("torn write persisted the full new image")
+	}
+	// The stored page must be prefix-of-new + suffix-of-old.
+	k := 0
+	for k < 512 && got[k] == 0xBB {
+		k++
+	}
+	if k == 0 || !bytes.Equal(got[k:], oldImg[k:]) {
+		t.Fatalf("stored page is not a torn overlay (prefix %d)", k)
+	}
+}
+
+func TestBitFlip(t *testing.T) {
+	fp := openFilePager(t)
+	inj := fault.NewInjector(fault.Config{Seed: 7, FlipBitPage: 1})
+	p := fault.NewPager(inj, fp)
+	defer p.Close()
+	a, _ := p.Allocate()
+	img := bytes.Repeat([]byte{0x5C}, 512)
+	if err := p.WritePage(a, img); err != nil {
+		t.Fatalf("bit-flipped write must succeed silently: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := p.ReadPage(a, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^img[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("stored image differs in %d bits, want exactly 1", diff)
+	}
+	// One-shot: the next write of the same page is clean.
+	if err := p.WritePage(a, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReadPage(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("second write still corrupted")
+	}
+}
+
+func TestOpsCountingAndArmCrash(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{})
+	p := fault.NewPager(inj, openFilePager(t))
+	defer p.Close()
+	a, _ := p.Allocate()     // op 1
+	buf := make([]byte, 512) // reads don't count
+	p.ReadPage(a, buf)
+	p.WritePage(a, buf) // op 2
+	p.Sync()            // op 3
+	if got := inj.Ops(); got != 3 {
+		t.Fatalf("ops = %d, want 3", got)
+	}
+	inj.ArmCrash(2) // second op from now
+	if err := p.WritePage(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sync(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("armed crash did not fire: %v", err)
+	}
+}

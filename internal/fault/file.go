@@ -1,0 +1,72 @@
+package fault
+
+import "io"
+
+// LogFile is the wrapped log-file contract, matching what the WAL performs
+// on its sidecar log.
+type LogFile interface {
+	io.WriterAt
+	io.Reader
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// File wraps a WAL log file, injecting faults per the shared Injector. Log
+// writes share the write stream with page writes; log syncs share the sync
+// stream; truncates count as mutating ops.
+type File struct {
+	inner LogFile
+	inj   *Injector
+}
+
+// NewFile wraps inner with fault injection driven by inj.
+func NewFile(inj *Injector, inner LogFile) *File {
+	return &File{inner: inner, inj: inj}
+}
+
+// WriteAt implements io.WriterAt. A torn write persists only a seeded
+// prefix of p before failing.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	err, torn := f.inj.beforeMutate("log-write", true, len(p))
+	if err == nil {
+		return f.inner.WriteAt(p, off)
+	}
+	if torn > 0 {
+		f.inner.WriteAt(p[:torn], off)
+	}
+	return 0, err
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	if err := f.inj.beforeRead("log-read"); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+// Seek implements io.Seeker. Seeks are bookkeeping, never faulted.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+// Sync flushes the log unless a fault is due.
+func (f *File) Sync() error {
+	if err, _ := f.inj.beforeMutate("sync", false, 0); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Truncate implements the log truncation step of commit.
+func (f *File) Truncate(size int64) error {
+	if err, _ := f.inj.beforeMutate("truncate", false, 0); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+// Close always passes through, as with Pager.Close.
+func (f *File) Close() error { return f.inner.Close() }

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"repro/internal/pagestore"
+)
+
+// InnerPager is the wrapped pager contract: raw paged I/O plus durable
+// flushing. *pagestore.FilePager and wal inner pagers satisfy it.
+type InnerPager interface {
+	pagestore.Pager
+	Sync() error
+}
+
+// Pager wraps an InnerPager, injecting faults per the shared Injector. It
+// implements pagestore.Pager plus Sync and (forwarded) MaxPageID, so it can
+// slot in anywhere in the stack below the buffer pool or the WAL.
+type Pager struct {
+	inner InnerPager
+	inj   *Injector
+}
+
+// NewPager wraps inner with fault injection driven by inj.
+func NewPager(inj *Injector, inner InnerPager) *Pager {
+	return &Pager{inner: inner, inj: inj}
+}
+
+// PageSize implements pagestore.Pager.
+func (p *Pager) PageSize() int { return p.inner.PageSize() }
+
+// Allocate implements pagestore.Pager. Allocation is a mutating op (it
+// extends the file) but never torn.
+func (p *Pager) Allocate() (pagestore.PageID, error) {
+	if err, _ := p.inj.beforeMutate("allocate", false, 0); err != nil {
+		return pagestore.InvalidPage, err
+	}
+	return p.inner.Allocate()
+}
+
+// ReadPage implements pagestore.Pager.
+func (p *Pager) ReadPage(id pagestore.PageID, buf []byte) error {
+	if err := p.inj.beforeRead("read-page"); err != nil {
+		return err
+	}
+	return p.inner.ReadPage(id, buf)
+}
+
+// WritePage implements pagestore.Pager. A torn write persists the first K
+// bytes of the new image over the old page contents before failing —
+// exactly what a power cut mid-sector-write leaves behind.
+func (p *Pager) WritePage(id pagestore.PageID, buf []byte) error {
+	err, torn := p.inj.beforeMutate("write-page", true, len(buf))
+	if err == nil {
+		return p.inner.WritePage(id, p.inj.flip(id, buf))
+	}
+	if torn > 0 {
+		old := make([]byte, p.inner.PageSize())
+		if rerr := p.inner.ReadPage(id, old); rerr == nil {
+			copy(old, buf[:torn])
+			p.inner.WritePage(id, old)
+		}
+	}
+	return err
+}
+
+// Free implements pagestore.Pager.
+func (p *Pager) Free(id pagestore.PageID) error {
+	if err, _ := p.inj.beforeMutate("free", false, 0); err != nil {
+		return err
+	}
+	return p.inner.Free(id)
+}
+
+// PageCount implements pagestore.Pager.
+func (p *Pager) PageCount() int { return p.inner.PageCount() }
+
+// MaxPageID forwards the inner pager's scrub extent.
+func (p *Pager) MaxPageID() pagestore.PageID {
+	if m, ok := p.inner.(interface{ MaxPageID() pagestore.PageID }); ok {
+		return m.MaxPageID()
+	}
+	return pagestore.InvalidPage
+}
+
+// Sync flushes the inner pager unless a fault is due.
+func (p *Pager) Sync() error {
+	if err, _ := p.inj.beforeMutate("sync", false, 0); err != nil {
+		return err
+	}
+	return p.inner.Sync()
+}
+
+// Close always passes through: a "crashed" store can still release its file
+// handles, and tests reopen the real file afterwards.
+func (p *Pager) Close() error { return p.inner.Close() }

@@ -63,6 +63,12 @@ func (bp *BufferPool) Pager() Pager { return bp.pager }
 // PageSize returns the page size of the underlying pager.
 func (bp *BufferPool) PageSize() int { return bp.pager.PageSize() }
 
+// UsablePageSize returns the page bytes available to layouts built on the
+// pool: the page size minus the reserved checksum trailer.
+func (bp *BufferPool) UsablePageSize() int {
+	return bp.pager.PageSize() - PageTrailerSize
+}
+
 // Stats returns a snapshot of the pool counters.
 func (bp *BufferPool) Stats() PoolStats {
 	bp.mu.Lock()
@@ -92,6 +98,10 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	if err := bp.pager.ReadPage(id, f.Data); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	if err := VerifyChecksum(id, f.Data); err != nil {
 		delete(bp.frames, id)
 		return nil, err
 	}
@@ -134,6 +144,7 @@ func (bp *BufferPool) evictLocked() error {
 	}
 	f := e.Value.(*Frame)
 	if f.dirty {
+		StampChecksum(f.Data)
 		if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
 			return err
 		}
@@ -192,6 +203,7 @@ func (bp *BufferPool) FlushAll() error {
 	defer bp.mu.Unlock()
 	for _, f := range bp.frames {
 		if f.dirty {
+			StampChecksum(f.Data)
 			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
 				return err
 			}
@@ -200,6 +212,42 @@ func (bp *BufferPool) FlushAll() error {
 		}
 	}
 	return nil
+}
+
+// Scrub verifies the checksum of every page the pager holds, reading the
+// pager's copy directly (cache bypassed). Pages resident and dirty in the
+// pool are skipped — their pager copy is legitimately stale until the next
+// flush — as are freed and out-of-bounds ids. One error per corrupt page is
+// returned, each wrapping ErrCorruptPage.
+func (bp *BufferPool) Scrub() []error {
+	type extenter interface{ MaxPageID() PageID }
+	ext, ok := bp.pager.(extenter)
+	if !ok {
+		return nil
+	}
+	max := ext.MaxPageID()
+	buf := make([]byte, bp.pager.PageSize())
+	var errs []error
+	for id := PageID(1); id <= max; id++ {
+		bp.mu.Lock()
+		f, resident := bp.frames[id]
+		skip := resident && f.dirty
+		bp.mu.Unlock()
+		if skip {
+			continue
+		}
+		if err := bp.pager.ReadPage(id, buf); err != nil {
+			if errors.Is(err, ErrFreedPage) || errors.Is(err, ErrPageBounds) {
+				continue
+			}
+			errs = append(errs, err)
+			continue
+		}
+		if err := VerifyChecksum(id, buf); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
 }
 
 // PinnedCount returns the number of currently pinned frames (for tests and

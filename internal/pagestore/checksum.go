@@ -1,0 +1,66 @@
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Per-page checksums.
+//
+// The last PageTrailerSize bytes of every page are reserved for a CRC32
+// (IEEE) of the rest of the page. The trailer is stamped by the buffer pool
+// when a page is written back to the pager and verified when a page is
+// fetched from the pager, so corruption introduced below the pool — torn
+// writes, bit rot, faulty media — is detected at the first read instead of
+// propagating into the store's structures.
+//
+// A trailer of zero means "no checksum": freshly allocated pages read back
+// as all zeros and are accepted, which also keeps page files written before
+// checksumming existed readable. A computed CRC of zero is mapped to 1 so
+// that zero stays unambiguous.
+
+// PageTrailerSize is the number of bytes at the end of every page reserved
+// for the page checksum. Page layouts (slotted pages, overflow pages, index
+// nodes) must not place data there.
+const PageTrailerSize = 4
+
+// ErrCorruptPage reports a page whose contents do not match its checksum.
+var ErrCorruptPage = errors.New("pagestore: page checksum mismatch")
+
+// pageCRC computes the checksum of a page image (excluding the trailer),
+// mapping 0 to 1 so that a zero trailer always means "unchecksummed".
+func pageCRC(body []byte) uint32 {
+	c := crc32.ChecksumIEEE(body)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// StampChecksum writes the checksum trailer of a full page image in place.
+func StampChecksum(page []byte) {
+	n := len(page)
+	c := pageCRC(page[:n-PageTrailerSize])
+	page[n-4] = byte(c)
+	page[n-3] = byte(c >> 8)
+	page[n-2] = byte(c >> 16)
+	page[n-1] = byte(c >> 24)
+}
+
+// VerifyChecksum checks a full page image against its trailer. A zero
+// trailer (never-stamped page) passes. The returned error wraps
+// ErrCorruptPage.
+func VerifyChecksum(id PageID, page []byte) error {
+	n := len(page)
+	stored := uint32(page[n-4]) | uint32(page[n-3])<<8 |
+		uint32(page[n-2])<<16 | uint32(page[n-1])<<24
+	if stored == 0 {
+		return nil
+	}
+	if got := pageCRC(page[:n-PageTrailerSize]); got != stored {
+		return fmt.Errorf("%w: page %d (stored %08x, computed %08x)",
+			ErrCorruptPage, id, stored, got)
+	}
+	return nil
+}

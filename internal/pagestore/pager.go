@@ -104,18 +104,30 @@ func (p *MemPager) Allocate() (PageID, error) {
 	return id, nil
 }
 
+// check validates id for access: distinguishing never-allocated ids
+// (ErrPageBounds) from freed ones (ErrFreedPage) keeps both pager
+// implementations reporting the same error for the same misuse.
+func (p *MemPager) check(id PageID) error {
+	if p.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || id >= p.next {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	if _, ok := p.pages[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrFreedPage, id)
+	}
+	return nil
+}
+
 // ReadPage implements Pager.
 func (p *MemPager) ReadPage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		return ErrClosed
+	if err := p.check(id); err != nil {
+		return err
 	}
-	pg, ok := p.pages[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrFreedPage, id)
-	}
-	copy(buf, pg)
+	copy(buf, p.pages[id])
 	return nil
 }
 
@@ -123,14 +135,10 @@ func (p *MemPager) ReadPage(id PageID, buf []byte) error {
 func (p *MemPager) WritePage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		return ErrClosed
+	if err := p.check(id); err != nil {
+		return err
 	}
-	pg, ok := p.pages[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrFreedPage, id)
-	}
-	copy(pg, buf)
+	copy(p.pages[id], buf)
 	return nil
 }
 
@@ -138,11 +146,8 @@ func (p *MemPager) WritePage(id PageID, buf []byte) error {
 func (p *MemPager) Free(id PageID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
-		return ErrClosed
-	}
-	if _, ok := p.pages[id]; !ok {
-		return fmt.Errorf("%w: %d", ErrFreedPage, id)
+	if err := p.check(id); err != nil {
+		return err
 	}
 	delete(p.pages, id)
 	p.free = append(p.free, id)
@@ -154,6 +159,13 @@ func (p *MemPager) PageCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.pages)
+}
+
+// MaxPageID returns the highest page id ever allocated (scrub extent).
+func (p *MemPager) MaxPageID() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next - 1
 }
 
 // Close implements Pager.
@@ -297,6 +309,13 @@ func (p *FilePager) PageCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.npages
+}
+
+// MaxPageID returns the highest page id ever allocated (scrub extent).
+func (p *FilePager) MaxPageID() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.highest
 }
 
 // Sync flushes the underlying file to stable storage.

@@ -1,0 +1,86 @@
+package pagestore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// Both pager implementations must report the same typed error for the same
+// misuse: ErrFreedPage for any access to a freed-but-once-valid page
+// (double free, read-after-free, write-after-free), ErrPageBounds for ids
+// that were never allocated at all.
+func TestPagerFreedAndBoundsErrors(t *testing.T) {
+	impls := []struct {
+		name string
+		open func(t *testing.T) Pager
+	}{
+		{"mem", func(t *testing.T) Pager { return NewMemPager(512) }},
+		{"file", func(t *testing.T) Pager {
+			p, err := OpenFilePager(filepath.Join(t.TempDir(), "p.db"), 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			p := impl.open(t)
+			defer p.Close()
+			a, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, p.PageSize())
+			if err := p.Free(a); err != nil {
+				t.Fatalf("first free: %v", err)
+			}
+
+			if err := p.Free(a); !errors.Is(err, ErrFreedPage) {
+				t.Errorf("double free: got %v, want ErrFreedPage", err)
+			}
+			if err := p.ReadPage(a, buf); !errors.Is(err, ErrFreedPage) {
+				t.Errorf("read after free: got %v, want ErrFreedPage", err)
+			}
+			if err := p.WritePage(a, buf); !errors.Is(err, ErrFreedPage) {
+				t.Errorf("write after free: got %v, want ErrFreedPage", err)
+			}
+
+			// The untouched page keeps working.
+			if err := p.WritePage(b, buf); err != nil {
+				t.Errorf("write to live page: %v", err)
+			}
+			if err := p.ReadPage(b, buf); err != nil {
+				t.Errorf("read of live page: %v", err)
+			}
+
+			// Never-allocated ids are a bounds error, not a freed error.
+			if err := p.ReadPage(InvalidPage, buf); !errors.Is(err, ErrPageBounds) {
+				t.Errorf("read of page 0: got %v, want ErrPageBounds", err)
+			}
+			if err := p.ReadPage(b+1000, buf); !errors.Is(err, ErrPageBounds) {
+				t.Errorf("read past extent: got %v, want ErrPageBounds", err)
+			}
+			if err := p.Free(b + 1000); !errors.Is(err, ErrPageBounds) {
+				t.Errorf("free past extent: got %v, want ErrPageBounds", err)
+			}
+
+			// A freed page can be reallocated and is valid again.
+			c, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != a {
+				t.Fatalf("allocator did not reuse freed page (got %d, want %d)", c, a)
+			}
+			if err := p.ReadPage(c, buf); err != nil {
+				t.Errorf("read of reallocated page: %v", err)
+			}
+		})
+	}
+}

@@ -139,7 +139,7 @@ func (rs *RecordStore) syncMeta() error {
 // SetUserMeta stores an application blob (up to page size - 12 bytes) in the
 // meta page. The core store persists its ID allocator state here.
 func (rs *RecordStore) SetUserMeta(user []byte) error {
-	if len(user) > rs.pool.PageSize()-12 {
+	if len(user) > rs.pool.UsablePageSize()-12 {
 		return ErrTooLarge
 	}
 	mf, err := rs.pool.Fetch(rs.meta)
@@ -166,7 +166,7 @@ func (rs *RecordStore) UserMeta() ([]byte, error) {
 
 // inlineMax is the largest payload stored directly in a data page.
 func (rs *RecordStore) inlineMax() int {
-	return rs.pool.PageSize() - headerSize - slotSize
+	return rs.pool.UsablePageSize() - headerSize - slotSize
 }
 
 // Read returns a copy of the record payload at loc.
@@ -311,7 +311,7 @@ func (rs *RecordStore) encode(data []byte) ([]byte, error) {
 }
 
 func (rs *RecordStore) writeOverflow(data []byte) (PageID, error) {
-	chunk := rs.pool.PageSize() - ovflHeader
+	chunk := rs.pool.UsablePageSize() - ovflHeader
 	var first, prev PageID
 	var prevFrame *Frame
 	for off := 0; off < len(data); off += chunk {

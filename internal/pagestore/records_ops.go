@@ -102,7 +102,7 @@ func (rs *RecordStore) wouldFitAfterCompact(p slotPage, n int) bool {
 	if p.freeSlot() == nilSlot {
 		slotCost = slotSize
 	}
-	free := len(p) - headerSize - p.nslots()*slotSize - p.usedBytes() - slotCost
+	free := p.usable() - headerSize - p.nslots()*slotSize - p.usedBytes() - slotCost
 	return free >= n
 }
 
@@ -490,7 +490,7 @@ func (rs *RecordStore) CheckInvariants() error {
 				return fmt.Errorf("page %d slot %d: dead slot in order list", page, s)
 			}
 			off := int(p.slotPayloadOff(s))
-			if off < p.heapStart() || off+int(p.slotLen(s)) > len(p) {
+			if off < p.heapStart() || off+int(p.slotLen(s)) > p.usable() {
 				rs.pool.Unpin(f, false)
 				return fmt.Errorf("page %d slot %d: payload out of heap", page, s)
 			}

@@ -113,6 +113,10 @@ func (p slotPage) setSlotPrev(s, v uint16) {
 	binary.LittleEndian.PutUint16(p[slotOff(s)+6:], v)
 }
 
+// usable returns the page bytes available to the slotted layout: the heap
+// grows down from here, leaving the checksum trailer untouched.
+func (p slotPage) usable() int { return len(p) - PageTrailerSize }
+
 // initDataPage formats b as an empty data page.
 func initDataPage(b []byte) {
 	for i := range b[:headerSize] {
@@ -120,7 +124,7 @@ func initDataPage(b []byte) {
 	}
 	p := slotPage(b)
 	p.setTyp(pageData)
-	p.setHeapStart(len(b))
+	p.setHeapStart(p.usable())
 	p.setFirstSlot(nilSlot)
 	p.setLastSlot(nilSlot)
 	p.setFreeSlot(nilSlot)
@@ -248,7 +252,7 @@ func (p slotPage) compact() {
 		copy(data, p.payload(s))
 		recs = append(recs, rec{s, data})
 	}
-	p.setHeapStart(len(p))
+	p.setHeapStart(p.usable())
 	for _, r := range recs {
 		off := p.insertPayload(r.data)
 		p.setSlotPayloadOff(r.slot, off)

@@ -1,0 +1,94 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VerifyChains scrubs the record store's durable structures beyond the
+// per-page invariants of CheckInvariants: the meta page type, the data page
+// chain, and every overflow chain (page types, chunk bounds, chain length
+// against the stub's total, cycle detection). It returns the first
+// violation found.
+func (rs *RecordStore) VerifyChains() error {
+	mf, err := rs.pool.Fetch(rs.meta)
+	if err != nil {
+		return fmt.Errorf("meta page %d: %w", rs.meta, err)
+	}
+	typ := slotPage(mf.Data).typ()
+	rs.pool.Unpin(mf, false)
+	if typ != pageMeta {
+		return fmt.Errorf("%w: page %d has type %d", ErrBadMeta, rs.meta, typ)
+	}
+	if err := rs.CheckInvariants(); err != nil {
+		return err
+	}
+	// Walk every record; verify overflow stubs and their chains.
+	page := rs.head
+	for page != InvalidPage {
+		f, err := rs.pool.Fetch(page)
+		if err != nil {
+			return err
+		}
+		p := slotPage(f.Data)
+		for s := p.firstSlot(); s != nilSlot; s = p.slotNext(s) {
+			if err := rs.verifyStored(Loc{page, s}, p.payload(s)); err != nil {
+				rs.pool.Unpin(f, false)
+				return err
+			}
+		}
+		next := p.next()
+		rs.pool.Unpin(f, false)
+		page = next
+	}
+	return nil
+}
+
+// verifyStored checks one stored payload: inline records need no further
+// validation; overflow stubs have their chain walked and measured.
+func (rs *RecordStore) verifyStored(loc Loc, stored []byte) error {
+	if len(stored) == 0 {
+		return fmt.Errorf("pagestore: record %v: empty stored payload", loc)
+	}
+	switch stored[0] {
+	case recInline:
+		return nil
+	case recOverflow:
+	default:
+		return fmt.Errorf("pagestore: record %v: unknown stub flag %d", loc, stored[0])
+	}
+	if len(stored) < stubSize {
+		return fmt.Errorf("pagestore: record %v: truncated overflow stub", loc)
+	}
+	total := int(binary.LittleEndian.Uint32(stored[1:]))
+	next := PageID(binary.LittleEndian.Uint32(stored[5:]))
+	chunk := rs.pool.UsablePageSize() - ovflHeader
+	maxPages := total/chunk + 2 // cycle bound: all chunks but the last are full
+	got, pages := 0, 0
+	for next != InvalidPage {
+		pages++
+		if pages > maxPages {
+			return fmt.Errorf("pagestore: record %v: overflow chain cycle", loc)
+		}
+		f, err := rs.pool.Fetch(next)
+		if err != nil {
+			return fmt.Errorf("pagestore: record %v: overflow page %d: %w", loc, next, err)
+		}
+		typ := f.Data[0]
+		used := int(binary.LittleEndian.Uint16(f.Data[2:]))
+		nn := PageID(binary.LittleEndian.Uint32(f.Data[4:]))
+		rs.pool.Unpin(f, false)
+		if typ != pageOverflow {
+			return fmt.Errorf("pagestore: record %v: overflow page %d has type %d", loc, next, typ)
+		}
+		if used <= 0 || used > chunk {
+			return fmt.Errorf("pagestore: record %v: overflow page %d holds %d bytes (chunk max %d)", loc, next, used, chunk)
+		}
+		got += used
+		next = nn
+	}
+	if got != total {
+		return fmt.Errorf("pagestore: record %v: overflow chain holds %d bytes, stub says %d", loc, got, total)
+	}
+	return nil
+}

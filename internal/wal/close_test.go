@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/pagestore"
+)
+
+func openFaulty(t *testing.T, inj *fault.Injector) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := OpenWithOptions(path, 512, Options{
+		WrapPager: func(ip InnerPager) InnerPager { return fault.NewPager(inj, ip) },
+		WrapLog:   func(f File) File { return fault.NewFile(inj, f) },
+		Retries:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, path
+}
+
+// Close after a failed Commit must not hang on to the half-applied pending
+// set: it closes both files, discards the pending pages, reports the commit
+// error — and leaves the log on disk exactly as the commit left it, so the
+// next Open replays (or discards) it correctly.
+func TestCloseAfterFailedCommitDurableBatch(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{})
+	p, path := openFaulty(t, inj)
+	id, err := p.Allocate() // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if err := p.WritePage(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Crash at the page apply: ops from now are log write (1), log sync
+	// (2), page write (3). The batch is durable in the log when the commit
+	// fails.
+	inj.ArmCrash(3)
+	if err := p.Commit(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("commit: got %v, want ErrCrashed", err)
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("failed commit dropped the pending set (%d pending)", p.Pending())
+	}
+	if err := p.Close(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("close after failed commit: got %v, want the commit error", err)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("close left %d pages pending", p.Pending())
+	}
+	if err := p.WritePage(id, data); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: got %v, want ErrClosed", err)
+	}
+	// The synced log must replay the committed batch on reopen.
+	p2, err := Open(path, 512)
+	if err != nil {
+		t.Fatalf("reopen after failed close: %v", err)
+	}
+	defer p2.Close()
+	got := make([]byte, 512)
+	if err := p2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("durable batch was not recovered after Close-with-failed-Commit")
+	}
+}
+
+// Same scenario, but the crash lands on the log write itself: nothing is
+// durable, and reopening must yield the pre-commit state, not an error.
+func TestCloseAfterFailedCommitNothingDurable(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{})
+	p, path := openFaulty(t, inj)
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xCD}, 512)
+	if err := p.WritePage(id, data); err != nil {
+		t.Fatal(err)
+	}
+	inj.ArmCrash(1) // the log write fails; log stays empty
+	if err := p.Commit(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("commit: got %v, want ErrCrashed", err)
+	}
+	if err := p.Close(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("close: got %v, want the commit error", err)
+	}
+	p2, err := Open(path, 512)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer p2.Close()
+	got := make([]byte, 512)
+	if err := p2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("uncommitted batch leaked to the page file")
+	}
+}
+
+// A second Close is a no-op even after a failed first Close.
+func TestDoubleCloseAfterFailure(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{})
+	p, _ := openFaulty(t, inj)
+	id, _ := p.Allocate()
+	p.WritePage(id, make([]byte, 512))
+	inj.ArmCrash(1)
+	if err := p.Close(); err == nil {
+		t.Fatal("close should surface the commit failure")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+var _ pagestore.Pager = (*Pager)(nil)

@@ -24,6 +24,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/pagestore"
 )
@@ -43,39 +44,110 @@ var (
 	ErrClosed = errors.New("wal: journaled pager is closed")
 )
 
-// Pager wraps a FilePager with write-ahead logging. It implements
+// InnerPager is what the journal needs from the page file below it: raw
+// paged I/O plus durable flushing. *pagestore.FilePager satisfies it; fault
+// injection wraps it.
+type InnerPager interface {
+	pagestore.Pager
+	Sync() error
+}
+
+// File is the subset of *os.File operations the journal performs on its
+// sidecar log. Fault injection wraps it to exercise crash and torn-write
+// behavior at every log I/O boundary.
+type File interface {
+	io.WriterAt
+	io.Reader
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// Default bounded-retry policy for transient commit errors.
+const (
+	defaultRetries = 3
+	defaultBackoff = 500 * time.Microsecond
+)
+
+// Options tunes a journaled pager. The zero value gives the default
+// behavior: unwrapped I/O and a small bounded retry with exponential
+// backoff for transient commit errors.
+type Options struct {
+	// WrapPager, when set, wraps the inner page-file pager (fault injection
+	// in tests). It is applied after recovery has run.
+	WrapPager func(InnerPager) InnerPager
+	// WrapLog, when set, wraps the sidecar log file.
+	WrapLog func(File) File
+	// Retries bounds how often a transient commit-path error is retried.
+	// 0 means the default (3); negative disables retrying.
+	Retries int
+	// Backoff is the initial retry backoff, doubled per attempt.
+	// 0 means the default (500µs).
+	Backoff time.Duration
+}
+
+// Pager wraps a page file with write-ahead logging. It implements
 // pagestore.Pager; page writes are buffered until Commit.
 type Pager struct {
-	inner   *pagestore.FilePager
+	inner   InnerPager
 	walPath string
-	wal     *os.File
+	wal     File
 	pending map[pagestore.PageID][]byte
 	order   []pagestore.PageID
 	buf     []byte
+	retries int
+	backoff time.Duration
 	closed  bool
 }
 
 // Open opens (creating if needed) a journaled page file. Any complete
 // batches left in the sidecar log <path>.wal are replayed first.
 func Open(path string, pageSize int) (*Pager, error) {
+	return OpenWithOptions(path, pageSize, Options{})
+}
+
+// OpenWithOptions is Open with fault-injection wrappers and retry tuning.
+func OpenWithOptions(path string, pageSize int, opt Options) (*Pager, error) {
 	walPath := path + ".wal"
 	if err := recover_(path, walPath, pageSize); err != nil {
 		return nil, err
 	}
-	inner, err := pagestore.OpenFilePager(path, pageSize)
+	fp, err := pagestore.OpenFilePager(path, pageSize)
 	if err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	var inner InnerPager = fp
+	if opt.WrapPager != nil {
+		inner = opt.WrapPager(inner)
+	}
+	wf, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		inner.Close()
 		return nil, err
+	}
+	var wal File = wf
+	if opt.WrapLog != nil {
+		wal = opt.WrapLog(wal)
+	}
+	retries := opt.Retries
+	switch {
+	case retries == 0:
+		retries = defaultRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := opt.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
 	}
 	return &Pager{
 		inner:   inner,
 		walPath: walPath,
 		wal:     wal,
 		pending: make(map[pagestore.PageID][]byte),
+		retries: retries,
+		backoff: backoff,
 	}, nil
 }
 
@@ -223,8 +295,37 @@ func (p *Pager) Free(id pagestore.PageID) error {
 // PageCount implements pagestore.Pager.
 func (p *Pager) PageCount() int { return p.inner.PageCount() }
 
+// MaxPageID exposes the inner pager's scrub extent when it tracks one
+// (checksum scrubs reach through the journal).
+func (p *Pager) MaxPageID() pagestore.PageID {
+	if m, ok := p.inner.(interface{ MaxPageID() pagestore.PageID }); ok {
+		return m.MaxPageID()
+	}
+	return pagestore.InvalidPage
+}
+
+// retry runs op, retrying transient failures (errors exposing a true
+// Temporary() bool, the net.Error idiom) with bounded exponential backoff.
+// Permanent errors — including simulated crashes — return immediately.
+func (p *Pager) retry(op func() error) error {
+	err := op()
+	backoff := p.backoff
+	for attempt := 0; err != nil && attempt < p.retries; attempt++ {
+		var te interface{ Temporary() bool }
+		if !errors.As(err, &te) || !te.Temporary() {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		err = op()
+	}
+	return err
+}
+
 // Commit makes all pending page writes durable atomically: log, fsync,
-// apply, fsync, truncate.
+// apply, fsync, truncate. Transient I/O errors are retried with backoff;
+// a persistent failure leaves the pending set intact (retryable by the
+// caller) and the log replayable.
 func (p *Pager) Commit() error {
 	if p.closed {
 		return ErrClosed
@@ -243,10 +344,13 @@ func (p *Pager) Commit() error {
 		n++
 	}
 	p.appendRecord(recCommit, uint32(n), nil)
-	if _, err := p.wal.WriteAt(p.buf, 0); err != nil {
+	if err := p.retry(func() error {
+		_, werr := p.wal.WriteAt(p.buf, 0)
+		return werr
+	}); err != nil {
 		return err
 	}
-	if err := p.wal.Sync(); err != nil {
+	if err := p.retry(p.wal.Sync); err != nil {
 		return err
 	}
 	// Apply to the page file.
@@ -255,18 +359,19 @@ func (p *Pager) Commit() error {
 		if !ok {
 			continue
 		}
-		if err := p.inner.WritePage(id, img); err != nil {
+		id := id
+		if err := p.retry(func() error { return p.inner.WritePage(id, img) }); err != nil {
 			return err
 		}
 	}
-	if err := p.inner.Sync(); err != nil {
+	if err := p.retry(p.inner.Sync); err != nil {
 		return err
 	}
 	// The batch is durable in the main file: drop the log.
-	if err := p.wal.Truncate(0); err != nil {
+	if err := p.retry(func() error { return p.wal.Truncate(0) }); err != nil {
 		return err
 	}
-	if err := p.wal.Sync(); err != nil {
+	if err := p.retry(p.wal.Sync); err != nil {
 		return err
 	}
 	p.pending = make(map[pagestore.PageID][]byte)
@@ -277,19 +382,28 @@ func (p *Pager) Commit() error {
 // Pending returns the number of uncommitted page writes (tests, stats).
 func (p *Pager) Pending() int { return len(p.pending) }
 
-// Close commits outstanding writes and closes both files.
+// Close commits outstanding writes and closes both files. If the commit
+// fails, the pager still closes: pending pages are discarded and the log is
+// left as-is on disk, so the next Open replays whatever batch (if any)
+// became durable — never a half-applied state. The commit error is
+// returned.
 func (p *Pager) Close() error {
 	if p.closed {
 		return nil
 	}
-	if err := p.Commit(); err != nil {
-		return err
-	}
+	cerr := p.Commit()
 	p.closed = true
-	if err := p.wal.Close(); err != nil {
-		return err
+	p.pending = make(map[pagestore.PageID][]byte)
+	p.order = nil
+	werr := p.wal.Close()
+	ierr := p.inner.Close()
+	if cerr != nil {
+		return cerr
 	}
-	return p.inner.Close()
+	if werr != nil {
+		return werr
+	}
+	return ierr
 }
 
 // CloseWithoutCommit abandons pending writes (crash simulation in tests).

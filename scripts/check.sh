@@ -1,0 +1,30 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate.
+#
+# Runs formatting, vet, build, the full test suite, and the race detector
+# over the concurrency-sensitive packages. Exits non-zero on the first
+# failure. CI and pre-commit hooks should call exactly this script.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (core, txn, fault, wal)"
+go test -race ./internal/core ./internal/txn ./internal/fault ./internal/wal
+
+echo "ok: all checks passed"
