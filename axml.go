@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pagestore"
 	"repro/internal/token"
+	"repro/internal/txn"
 	"repro/internal/xmltok"
 	"repro/internal/xpath"
 	"repro/internal/xquery"
@@ -49,6 +50,16 @@ type (
 	Token = core.Token
 	// Item is a token paired with the id of the node it starts.
 	Item = core.Item
+	// TxManager coordinates concurrent transactions over one Store with
+	// hierarchical locking, deadlock handling and a stuck-transaction
+	// watchdog.
+	TxManager = txn.Manager
+	// Tx is one transaction: strict two-phase locked reads and updates with
+	// rollback on Abort.
+	Tx = txn.Tx
+	// TxOptions tunes lock-wait timeouts, watchdog behavior and RunInTx
+	// retry backoff.
+	TxOptions = txn.Options
 )
 
 // Index modes (the experimental axis of the paper's Table 5).
@@ -73,7 +84,35 @@ var (
 	// ErrCorruptPage is wrapped by any read that hits a page whose checksum
 	// does not match its contents.
 	ErrCorruptPage = pagestore.ErrCorruptPage
+	// ErrStoreLocked is returned by OpenFile/ReopenFile when another process
+	// holds the store file's advisory lock.
+	ErrStoreLocked = pagestore.ErrStoreLocked
+	// ErrReadOnlyFile is returned by mutations on a store opened with
+	// ReopenFileReadOnly.
+	ErrReadOnlyFile = pagestore.ErrReadOnlyFile
+	// ErrDeadlock is returned to the victim of a lock-wait cycle; RunInTx
+	// retries it automatically.
+	ErrDeadlock = txn.ErrDeadlock
+	// ErrLockTimeout is returned when a lock wait exceeds its context
+	// deadline or the manager's default timeout.
+	ErrLockTimeout = txn.ErrLockTimeout
+	// ErrTxDone is returned by operations on a committed or aborted Tx.
+	ErrTxDone = txn.ErrTxDone
+	// ErrManagerClosed is returned to lock waiters when the TxManager shuts
+	// down under them.
+	ErrManagerClosed = txn.ErrManagerClosed
+	// ErrStuckAborted is returned by operations on a transaction the
+	// watchdog force-aborted for holding locks too long.
+	ErrStuckAborted = txn.ErrStuckAborted
 )
+
+// NewTxManager wraps a store with a transaction manager using default
+// concurrency options.
+func NewTxManager(s *Store) *TxManager { return txn.NewManager(s) }
+
+// NewTxManagerOpts wraps a store with a transaction manager using explicit
+// lock-timeout, watchdog and retry options.
+func NewTxManagerOpts(s *Store, o TxOptions) *TxManager { return txn.NewManagerOpts(s, o) }
 
 // Open creates a fresh store.
 func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
@@ -86,7 +125,12 @@ func OpenFile(path string, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	cfg.Pager = pager
-	return core.Open(cfg)
+	s, err := core.Open(cfg)
+	if err != nil {
+		pager.Close() // release the advisory lock on failure
+		return nil, err
+	}
+	return s, nil
 }
 
 // ReopenFile reloads a store previously written with OpenFile. The meta page
@@ -96,16 +140,41 @@ func ReopenFile(path string, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Reopen(cfg, pager, 1)
+	s, err := core.Reopen(cfg, pager, 1)
+	if err != nil {
+		pager.Close() // release the advisory lock on failure
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReopenFileReadOnly reloads a store for reading only, under a shared
+// advisory lock: any number of read-only opens (across processes) coexist,
+// but a writable open excludes them and vice versa. Every mutating store
+// operation returns ErrReadOnly. FullIndex mode cannot open read-only.
+func ReopenFileReadOnly(path string, cfg Config) (*Store, error) {
+	pager, err := pagestore.OpenFilePagerOpts(path, cfg.PageSize, pagestore.FileOpts{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	cfg.ReadOnly = true
+	s, err := core.Reopen(cfg, pager, 1)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // VerifyFile scrubs the store file at path: first every page checksum, raw,
 // without opening the store — so corruption is reported page by page even
 // when it would prevent the store from opening at all — then, if the scrub
 // is clean, the store is opened and Store.Verify checks record chains and
-// cross-structure invariants.
+// cross-structure invariants. With cfg.ReadOnly set, both passes run under
+// a shared advisory lock and never write, so a store can be verified while
+// other read-only processes have it open.
 func VerifyFile(path string, cfg Config) error {
-	pager, err := pagestore.OpenFilePager(path, cfg.PageSize)
+	pager, err := pagestore.OpenFilePagerOpts(path, cfg.PageSize, pagestore.FileOpts{ReadOnly: cfg.ReadOnly})
 	if err != nil {
 		return err
 	}
@@ -117,7 +186,12 @@ func VerifyFile(path string, cfg Config) error {
 	if err := pager.Close(); err != nil {
 		return err
 	}
-	s, err := ReopenFile(path, cfg)
+	var s *Store
+	if cfg.ReadOnly {
+		s, err = ReopenFileReadOnly(path, cfg)
+	} else {
+		s, err = ReopenFile(path, cfg)
+	}
 	if err != nil {
 		return fmt.Errorf("open for verify: %w", err)
 	}

@@ -1,0 +1,115 @@
+//go:build unix
+
+package axml
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// seedStoreFile writes a small document to a fresh store file and closes it.
+func seedStoreFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.db")
+	st, err := OpenFile(path, Config{Mode: RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadXMLString(st, `<doc><a/><b/></doc>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenFileExcludesSecondWriter(t *testing.T) {
+	path := seedStoreFile(t)
+	st, err := ReopenFile(path, Config{Mode: RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// While one writable store is open, a second writable open of the same
+	// file must fail fast with the typed error.
+	if _, err := ReopenFile(path, Config{Mode: RangePartial}); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second writable open: got %v, want ErrStoreLocked", err)
+	}
+	// And so must a read-only open (a writer is exclusive).
+	if _, err := ReopenFileReadOnly(path, Config{Mode: RangePartial}); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("read-only open under writer: got %v, want ErrStoreLocked", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close released the lock.
+	st2, err := ReopenFile(path, Config{Mode: RangePartial})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	st2.Close()
+}
+
+func TestReopenFileReadOnly(t *testing.T) {
+	path := seedStoreFile(t)
+	r1, err := ReopenFileReadOnly(path, Config{Mode: RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	r2, err := ReopenFileReadOnly(path, Config{Mode: RangePartial})
+	if err != nil {
+		t.Fatalf("two read-only opens must coexist: %v", err)
+	}
+	defer r2.Close()
+	// A writer is excluded while readers hold the shared lock.
+	if _, err := ReopenFile(path, Config{Mode: RangePartial}); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("writer under readers: got %v, want ErrStoreLocked", err)
+	}
+	// Reads work on both handles.
+	for _, st := range []*Store{r1, r2} {
+		ids, err := Query(st, `//a`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 1 {
+			t.Fatalf("query on read-only store: got %d ids, want 1", len(ids))
+		}
+	}
+	// Mutations are refused with ErrReadOnly.
+	roots, err := Query(r1, `/doc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := ParseFragment(`<c/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.InsertIntoLast(roots[0], frag); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("insert on read-only store: got %v, want ErrReadOnly", err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatalf("close read-only store: %v", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatalf("close read-only store: %v", err)
+	}
+	// Both readers gone: a writer can open again, and nothing was clobbered.
+	st, err := ReopenFile(path, Config{Mode: RangePartial})
+	if err != nil {
+		t.Fatalf("writable open after readers closed: %v", err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatalf("store damaged by read-only opens: %v", err)
+	}
+}
+
+func TestReadOnlyRejectsFullIndex(t *testing.T) {
+	path := seedStoreFile(t)
+	if _, err := ReopenFileReadOnly(path, Config{Mode: FullIndex}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("FullIndex read-only open: got %v, want ErrReadOnly", err)
+	}
+}

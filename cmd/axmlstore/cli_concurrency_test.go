@@ -1,0 +1,112 @@
+//go:build unix
+
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	axml "repro"
+)
+
+func loadStore(t *testing.T) string {
+	t.Helper()
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCLITimeoutBoundsBlockedCommand(t *testing.T) {
+	dir := t.TempDir()
+	fifo := filepath.Join(dir, "never.xml")
+	if err := syscall.Mkfifo(fifo, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Opening a FIFO with no writer blocks forever; the command must be cut
+	// off by -timeout with a clear message instead of hanging.
+	db := filepath.Join(dir, "t.db")
+	start := time.Now()
+	err := runOpts(db, "partial", cliOpts{timeout: 100 * time.Millisecond},
+		[]string{"load", fifo})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("blocked load returned nil")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("timeout error not clear: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("command not bounded: took %v", elapsed)
+	}
+}
+
+func TestCLIReadOnlyFlag(t *testing.T) {
+	db := loadStore(t)
+	ro := cliOpts{readOnly: true}
+	// Reads work under -readonly.
+	for _, c := range [][]string{
+		{"query", `//order`},
+		{"value", `count(//order)`},
+		{"read", "2"},
+		{"dump"},
+		{"stats"},
+		{"verify"},
+	} {
+		if err := runOpts(db, "partial", ro, c); err != nil {
+			t.Errorf("read-only %v: %v", c, err)
+		}
+	}
+	// Every mutating command is rejected up front.
+	for _, c := range [][]string{
+		{"insert-last", "1", `<x/>`},
+		{"replace", "2", `<x/>`},
+		{"delete", "2"},
+		{"compact"},
+		{"load", "whatever.xml"},
+	} {
+		err := runOpts(db, "partial", ro, c)
+		if err == nil || !strings.Contains(err.Error(), "-readonly") {
+			t.Errorf("read-only %v: got %v, want -readonly rejection", c, err)
+		}
+	}
+}
+
+func TestCLISecondProcessExcludedOrReadOnly(t *testing.T) {
+	db := loadStore(t)
+	// "Process 1": a writable store handle held open over the file.
+	st, err := axml.ReopenFile(db, axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Process 2" writable: fails fast with the typed error and advice.
+	err = run(db, "partial", []string{"query", `//order`})
+	if !errors.Is(err, axml.ErrStoreLocked) {
+		t.Fatalf("second writable process: got %v, want ErrStoreLocked", err)
+	}
+	if !strings.Contains(err.Error(), "-readonly") {
+		t.Errorf("locked-store error does not suggest -readonly: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process 1" again, read-only this time: a second read-only process
+	// shares the store, a writable one stays excluded.
+	rst, err := axml.ReopenFileReadOnly(db, axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rst.Close()
+	if err := runOpts(db, "partial", cliOpts{readOnly: true}, []string{"value", `count(//order)`}); err != nil {
+		t.Errorf("read-only process under read-only holder: %v", err)
+	}
+	if err := run(db, "partial", []string{"delete", "2"}); !errors.Is(err, axml.ErrStoreLocked) {
+		t.Errorf("writable process under read-only holder: got %v, want ErrStoreLocked", err)
+	}
+}

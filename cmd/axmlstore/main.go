@@ -16,22 +16,31 @@
 //	axmlstore -db store.db stats
 //
 // The -mode flag selects the indexing configuration (range, partial, full)
-// when creating a new store file.
+// when creating a new store file. The -timeout flag bounds the whole
+// command: on expiry the process exits nonzero with a clear message instead
+// of hanging. The -readonly flag opens the store under a shared lock so
+// several processes can read the same file concurrently; use it when a
+// writable open fails with "store file locked".
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	axml "repro"
 )
 
 func main() {
 	var (
-		db   = flag.String("db", "axml.db", "store file")
-		mode = flag.String("mode", "partial", "index mode for new stores: range, partial, full")
+		db       = flag.String("db", "axml.db", "store file")
+		mode     = flag.String("mode", "partial", "index mode for new stores: range, partial, full")
+		timeout  = flag.Duration("timeout", 0, "bound the whole command (e.g. 5s); 0 means no limit")
+		readonly = flag.Bool("readonly", false, "open the store read-only under a shared lock")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -40,14 +49,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(*db, *mode, args); err != nil {
+	if err := runOpts(*db, *mode, cliOpts{timeout: *timeout, readOnly: *readonly}, args); err != nil {
 		fmt.Fprintln(os.Stderr, "axmlstore:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: axmlstore [-db file] [-mode range|partial|full] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: axmlstore [-db file] [-mode range|partial|full] [-timeout d] [-readonly] <command> [args]
 
 commands:
   load <file.xml>              load a document into a fresh store
@@ -80,14 +89,63 @@ func parseMode(s string) (axml.IndexMode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
+// cliOpts carries the concurrency-related flags into run.
+type cliOpts struct {
+	timeout  time.Duration
+	readOnly bool
+}
+
+// run executes one CLI command with default options (no timeout, writable).
+// It exists so tests and callers without flags stay simple.
 func run(db, modeName string, args []string) error {
+	return runOpts(db, modeName, cliOpts{}, args)
+}
+
+// runOpts executes one CLI command under the -timeout/-readonly options.
+// The context deadline is honored twice over: lock waits inside transactional
+// commands return typed timeout errors, and the outer select abandons any
+// command still running at the deadline — so even commands with no natural
+// cancellation point (a huge dump, a scan on a cold disk) exit promptly and
+// nonzero.
+func runOpts(db, modeName string, opts cliOpts, args []string) error {
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	done := make(chan error, 1)
+	go func() { done <- runCmd(ctx, db, modeName, opts, args) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("%s: timed out after %v", args[0], opts.timeout)
+	}
+}
+
+// mutating reports whether cmd writes to the store.
+func mutating(cmd string) bool {
+	switch cmd {
+	case "load", "insert-last", "insert-first", "insert-before", "insert-after",
+		"replace", "delete", "compact":
+		return true
+	}
+	return false
+}
+
+func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []string) error {
 	mode, err := parseMode(modeName)
 	if err != nil {
 		return err
 	}
-	cfg := axml.Config{Mode: mode}
+	cfg := axml.Config{Mode: mode, ReadOnly: opts.readOnly}
 
 	cmd := args[0]
+	if opts.readOnly && mutating(cmd) {
+		return fmt.Errorf("%s: store opened with -readonly", cmd)
+	}
+
 	if cmd == "load" {
 		if len(args) != 2 {
 			return fmt.Errorf("load needs an XML file")
@@ -97,7 +155,7 @@ func run(db, modeName string, args []string) error {
 		}
 		s, err := axml.OpenFile(db, cfg)
 		if err != nil {
-			return err
+			return openErr(db, err)
 		}
 		defer s.Close()
 		f, err := os.Open(args[1])
@@ -119,15 +177,23 @@ func run(db, modeName string, args []string) error {
 		// Verify runs its own raw checksum scrub first, so corruption is
 		// reported per page even when it would keep the store from opening.
 		if err := axml.VerifyFile(db, cfg); err != nil {
+			if errors.Is(err, axml.ErrStoreLocked) {
+				return openErr(db, err)
+			}
 			return fmt.Errorf("verify failed:\n%w", err)
 		}
 		fmt.Println("ok: checksums, record chains and invariants verified")
 		return nil
 	}
 
-	s, err := axml.ReopenFile(db, cfg)
+	var s *axml.Store
+	if opts.readOnly {
+		s, err = axml.ReopenFileReadOnly(db, cfg)
+	} else {
+		s, err = axml.ReopenFile(db, cfg)
+	}
 	if err != nil {
-		return fmt.Errorf("open %s: %w (run 'load' first?)", db, err)
+		return openErr(db, err)
 	}
 	defer s.Close()
 
@@ -206,19 +272,25 @@ func run(db, modeName string, args []string) error {
 		if err != nil {
 			return err
 		}
+		tm := axml.NewTxManager(s)
+		defer tm.Close()
 		var newID axml.NodeID
-		switch cmd {
-		case "insert-last":
-			newID, err = s.InsertIntoLast(id, frag)
-		case "insert-first":
-			newID, err = s.InsertIntoFirst(id, frag)
-		case "insert-before":
-			newID, err = s.InsertBefore(id, frag)
-		case "insert-after":
-			newID, err = s.InsertAfter(id, frag)
-		case "replace":
-			newID, err = s.ReplaceNode(id, frag)
-		}
+		err = tm.RunInTx(ctx, func(tx *axml.Tx) error {
+			var err error
+			switch cmd {
+			case "insert-last":
+				newID, err = tx.InsertIntoLast(id, frag)
+			case "insert-first":
+				newID, err = tx.InsertIntoFirst(id, frag)
+			case "insert-before":
+				newID, err = tx.InsertBefore(id, frag)
+			case "insert-after":
+				newID, err = tx.InsertAfter(id, frag)
+			case "replace":
+				newID, err = tx.ReplaceNode(id, frag)
+			}
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -232,7 +304,11 @@ func run(db, modeName string, args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := s.DeleteNode(id); err != nil {
+		tm := axml.NewTxManager(s)
+		defer tm.Close()
+		if err := tm.RunInTx(ctx, func(tx *axml.Tx) error {
+			return tx.DeleteNode(id)
+		}); err != nil {
 			return err
 		}
 		if err := s.Flush(); err != nil {
@@ -275,4 +351,13 @@ func run(db, modeName string, args []string) error {
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// openErr decorates store-open failures with actionable advice: a locked
+// store can usually still be read with -readonly.
+func openErr(db string, err error) error {
+	if errors.Is(err, axml.ErrStoreLocked) {
+		return fmt.Errorf("open %s: %w (another process has it open; retry later or read with -readonly)", db, err)
+	}
+	return fmt.Errorf("open %s: %w (run 'load' first?)", db, err)
 }

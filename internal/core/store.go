@@ -38,6 +38,12 @@ type Config struct {
 	// Pager supplies custom page storage (e.g. a file pager). Defaults to
 	// an in-memory pager.
 	Pager pagestore.Pager
+	// ReadOnly opens the store for reads only: every mutating entry point
+	// returns ErrReadOnly, and Close releases the pager without flushing.
+	// Pair it with a read-only pager for cross-process shared access.
+	// FullIndex mode is not supported read-only (its index lives in pages
+	// it would have to allocate).
+	ReadOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +119,9 @@ func (s *Store) writableLocked() error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.cfg.ReadOnly {
+		return fmt.Errorf("%w: store opened read-only", ErrReadOnly)
+	}
 	s.degradeMu.Lock()
 	defer s.degradeMu.Unlock()
 	if s.corrupt != nil {
@@ -135,6 +144,10 @@ func (s *Store) latchCorrupt(errp *error) {
 // Open creates a fresh store with the given configuration.
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ReadOnly {
+		// A fresh store has nothing to read; creation must write.
+		return nil, fmt.Errorf("%w: cannot create a new store read-only", ErrReadOnly)
+	}
 	pager := cfg.Pager
 	if pager == nil {
 		pager = pagestore.NewMemPager(cfg.PageSize)
@@ -166,6 +179,9 @@ func Open(cfg Config) (*Store, error) {
 // from the meta page.
 func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Store, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ReadOnly && cfg.Mode == FullIndex {
+		return nil, fmt.Errorf("%w: FullIndex mode allocates index pages at open and cannot run read-only", ErrReadOnly)
+	}
 	cfg.Pager = pager
 	pool := pagestore.NewBufferPool(pager, cfg.PoolPages)
 	recs, err := pagestore.OpenRecordStore(pool, metaPage)
@@ -305,6 +321,11 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.cfg.ReadOnly {
+		// Nothing was (or could be) written; just release the pager and
+		// its shared advisory lock.
+		return s.pool.Pager().Close()
+	}
 	if ro, _ := s.ReadOnly(); ro {
 		// The operation that degraded the store already reported the
 		// corruption; closing the file handles is all that is safe to do.

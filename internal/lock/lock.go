@@ -6,15 +6,35 @@
 //
 // The manager provides the classic intention-lock protocol: a transaction
 // takes IS/IX on an ancestor before S/X on a descendant, so that readers of
-// whole ranges coexist with writers of disjoint nodes. Conflicts block;
-// deadlocks are detected with a waits-for graph and broken by aborting the
-// requester.
+// whole ranges coexist with writers of disjoint nodes.
+//
+// Contention behavior is engineered for hostile workloads:
+//
+//   - Every Lock call takes a context.Context: waits honor deadlines and
+//     cancellation, returning ErrLockTimeout (deadline) or context.Canceled.
+//     A per-manager default wait timeout (SetDefaultTimeout) bounds waits
+//     whose context carries no deadline of its own.
+//   - Waiters form a fair FIFO queue per resource. A compatible prefix at
+//     the head is granted together, but later arrivals cannot barge past a
+//     waiting writer, so a writer behind a stream of readers is granted as
+//     soon as the readers that preceded it drain. Mode upgrades by current
+//     holders are the one exception: they go to the front of the queue
+//     (waiting only on incompatible holders), because queuing an upgrade
+//     behind new requests deadlocks trivially.
+//   - Deadlocks are detected on the waits-for graph before a requester
+//     sleeps, and broken by aborting the youngest transaction in the cycle
+//     (largest TxID): the older transaction keeps its progress, and because
+//     a retry re-enters with a fresh, even younger ID, the same pair cannot
+//     livelock by repeatedly aborting each other.
+//   - Close fails every in-flight and future waiter with ErrManagerClosed.
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -62,6 +82,9 @@ var supremum = [numModes][numModes]Mode{
 	X:   {IS: X, IX: X, S: X, SIX: X, X: X},
 }
 
+// Supremum returns the weakest mode at least as strong as both a and b.
+func Supremum(a, b Mode) Mode { return supremum[a][b] }
+
 // Level is the granularity layer of a resource.
 type Level int
 
@@ -92,141 +115,371 @@ type Resource struct {
 
 func (r Resource) String() string { return fmt.Sprintf("%s:%d", r.Level, r.ID) }
 
-// TxID identifies a transaction.
+// TxID identifies a transaction. IDs are assigned monotonically by the
+// transaction layer, so a larger ID means a younger transaction — the
+// deadlock victim-selection order.
 type TxID uint64
 
 // Manager errors.
 var (
-	ErrDeadlock = errors.New("lock: deadlock detected, requester aborted")
-	ErrNotHeld  = errors.New("lock: transaction does not hold this lock")
-	ErrClosed   = errors.New("lock: manager closed")
+	// ErrDeadlock is delivered to the youngest transaction in a waits-for
+	// cycle; the victim should release everything and retry.
+	ErrDeadlock = errors.New("lock: deadlock detected, victim aborted")
+	// ErrNotHeld is returned by Unlock for a lock the transaction does not
+	// hold.
+	ErrNotHeld = errors.New("lock: transaction does not hold this lock")
+	// ErrManagerClosed fails in-flight and future waiters after Close.
+	ErrManagerClosed = errors.New("lock: manager closed")
+	// ErrLockTimeout is returned when a lock wait exceeds the context
+	// deadline or the manager's default wait timeout.
+	ErrLockTimeout = errors.New("lock: timed out waiting for lock")
 )
+
+// waiter is one queued lock request. ready is buffered so the granter never
+// blocks; each waiter receives exactly one verdict (nil = granted).
+type waiter struct {
+	tx      TxID
+	want    Mode // target mode (upgrade already combined via supremum)
+	prev    Mode // mode held before an upgrade request
+	upgrade bool
+	ready   chan error
+}
 
 type lockState struct {
 	holders map[TxID]Mode
-	waiters int
-	cond    *sync.Cond
+	queue   []*waiter // FIFO; upgrade requests are kept at the front
 }
 
-// Manager is a blocking lock manager with deadlock detection.
+// Manager is a blocking lock manager with fair FIFO queuing, deadlock
+// detection with youngest-victim abort, and context-aware waits.
 type Manager struct {
-	mu       sync.Mutex
-	locks    map[Resource]*lockState
-	waitsFor map[TxID]map[TxID]bool // edges requester -> holders blocking it
-	held     map[TxID]map[Resource]Mode
-	closed   bool
+	mu             sync.Mutex
+	locks          map[Resource]*lockState
+	waitsFor       map[TxID]map[TxID]bool // requester -> txs it waits behind
+	held           map[TxID]map[Resource]Mode
+	waiting        map[TxID]Resource // tx -> resource it is queued on
+	defaultTimeout time.Duration
+	closed         bool
 }
 
-// NewManager returns an empty lock manager.
+// NewManager returns an empty lock manager with no default wait timeout.
 func NewManager() *Manager {
 	return &Manager{
 		locks:    make(map[Resource]*lockState),
 		waitsFor: make(map[TxID]map[TxID]bool),
 		held:     make(map[TxID]map[Resource]Mode),
+		waiting:  make(map[TxID]Resource),
 	}
 }
 
-// Lock acquires (or upgrades to) mode on res for tx, blocking while
-// incompatible locks are held by other transactions. Returns ErrDeadlock if
-// waiting would close a cycle; the caller should release everything and
-// retry.
-func (m *Manager) Lock(tx TxID, res Resource, mode Mode) error {
+// SetDefaultTimeout bounds lock waits whose context has no deadline of its
+// own. Zero (the default) waits until cancellation, grant, or deadlock.
+func (m *Manager) SetDefaultTimeout(d time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.defaultTimeout = d
+	m.mu.Unlock()
+}
+
+// Lock acquires (or upgrades to) mode on res for tx. While incompatible
+// locks are held it waits in FIFO order, honoring ctx: on deadline (or the
+// manager default timeout) it returns ErrLockTimeout, on cancellation
+// context.Canceled. A deadlock aborts the youngest cycle member: the victim
+// gets ErrDeadlock and should release everything and retry.
+func (m *Manager) Lock(ctx context.Context, tx TxID, res Resource, mode Mode) error {
+	if err := ctx.Err(); err != nil {
+		return waitErr(err, res, mode)
+	}
+	m.mu.Lock()
 	if m.closed {
-		return ErrClosed
+		m.mu.Unlock()
+		return ErrManagerClosed
 	}
 	ls, ok := m.locks[res]
 	if !ok {
 		ls = &lockState{holders: make(map[TxID]Mode)}
-		ls.cond = sync.NewCond(&m.mu)
 		m.locks[res] = ls
 	}
-	// Upgrades combine with the currently held mode.
 	want := mode
-	if cur, ok := ls.holders[tx]; ok {
-		want = supremum[cur][mode]
-		if want == cur {
+	prev, upgrade := ls.holders[tx]
+	if upgrade {
+		want = supremum[prev][mode]
+		if want == prev {
+			m.mu.Unlock()
 			return nil // already strong enough
 		}
 	}
-	for {
-		if m.closed {
-			return ErrClosed
+	// Fast path: compatible with every other holder, and either nobody is
+	// queued (fairness: newcomers may not barge past waiters) or this is an
+	// upgrade (which defers only to incompatible holders).
+	if (upgrade || len(ls.queue) == 0) && m.holderCompatible(ls, tx, want) {
+		m.grant(tx, res, ls, want)
+		if upgrade {
+			// Strengthening a held mode can complete a waits-for cycle
+			// among transactions that are already asleep.
+			m.rebuildWaitGraph()
+			m.breakCycles()
 		}
-		blockers := m.conflicts(ls, tx, want)
-		if len(blockers) == 0 {
-			break
-		}
-		// Record waits-for edges and check for a cycle before sleeping.
-		edges := m.waitsFor[tx]
-		if edges == nil {
-			edges = make(map[TxID]bool)
-			m.waitsFor[tx] = edges
-		}
-		for _, b := range blockers {
-			edges[b] = true
-		}
-		if m.cycleFrom(tx) {
-			delete(m.waitsFor, tx)
-			ls.cond.Broadcast()
-			return ErrDeadlock
-		}
-		ls.waiters++
-		ls.cond.Wait()
-		ls.waiters--
-		delete(m.waitsFor, tx)
+		m.mu.Unlock()
+		return nil
 	}
-	ls.holders[tx] = want
+	w := &waiter{tx: tx, want: want, prev: prev, upgrade: upgrade, ready: make(chan error, 1)}
+	if upgrade {
+		// Behind other pending upgrades, ahead of plain requests.
+		i := 0
+		for i < len(ls.queue) && ls.queue[i].upgrade {
+			i++
+		}
+		ls.queue = append(ls.queue, nil)
+		copy(ls.queue[i+1:], ls.queue[i:])
+		ls.queue[i] = w
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+	m.waiting[tx] = res
+	m.rebuildWaitGraph()
+	// Waiting may have completed a cycle; break any (the victim — possibly
+	// tx itself — receives ErrDeadlock on its wait channel).
+	m.breakCycles()
+	d := m.defaultTimeout
+	m.mu.Unlock()
+
+	var timeoutC <-chan time.Time
+	if d > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timeoutC = t.C
+		}
+	}
+	var verdict error
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			return fmt.Errorf("%w (waiting for %s on %v)", err, want, res)
+		}
+		return nil
+	case <-ctx.Done():
+		verdict = waitErr(ctx.Err(), res, want)
+	case <-timeoutC:
+		verdict = fmt.Errorf("%w: %s on %v after %v", ErrLockTimeout, want, res, d)
+	}
+	// Withdraw. A grant or failure may have raced with the timeout: a
+	// delivered failure wins (it is more specific); a delivered grant is
+	// revoked, because the caller is abandoning the wait.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			return fmt.Errorf("%w (waiting for %s on %v)", err, want, res)
+		}
+		m.revoke(tx, res, ls, w)
+		return verdict
+	default:
+		m.removeWaiter(res, ls, w)
+		return verdict
+	}
+}
+
+// waitErr maps a context error to the typed lock error.
+func waitErr(err error, res Resource, mode Mode) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %s on %v: %v", ErrLockTimeout, mode, res, err)
+	}
+	return err
+}
+
+// holderCompatible reports whether want coexists with every holder of ls
+// other than tx itself.
+func (m *Manager) holderCompatible(ls *lockState, tx TxID, want Mode) bool {
+	for otherTx, otherMode := range ls.holders {
+		if otherTx != tx && !Compatible(want, otherMode) {
+			return false
+		}
+	}
+	return true
+}
+
+// grant records tx as holding res in mode (m.mu held).
+func (m *Manager) grant(tx TxID, res Resource, ls *lockState, mode Mode) {
+	ls.holders[tx] = mode
 	h := m.held[tx]
 	if h == nil {
 		h = make(map[Resource]Mode)
 		m.held[tx] = h
 	}
-	h[res] = want
-	return nil
+	h[res] = mode
 }
 
-// conflicts lists the transactions holding res in a mode incompatible with
-// want (excluding tx itself).
-func (m *Manager) conflicts(ls *lockState, tx TxID, want Mode) []TxID {
-	var out []TxID
-	for otherTx, otherMode := range ls.holders {
-		if otherTx == tx {
-			continue
-		}
-		if !Compatible(want, otherMode) {
-			out = append(out, otherTx)
+// revoke undoes a grant the caller is abandoning (m.mu held): an upgrade
+// reverts to its previous mode, a fresh lock is released outright.
+func (m *Manager) revoke(tx TxID, res Resource, ls *lockState, w *waiter) {
+	if w.upgrade {
+		ls.holders[tx] = w.prev
+		m.held[tx][res] = w.prev
+	} else {
+		delete(ls.holders, tx)
+		if h := m.held[tx]; h != nil {
+			delete(h, res)
 		}
 	}
-	return out
+	m.grantWaiters(res, ls)
+	m.cleanup(res, ls)
 }
 
-// cycleFrom reports whether tx participates in a waits-for cycle: tx is
-// reachable from one of the transactions it waits for.
-func (m *Manager) cycleFrom(tx TxID) bool {
-	for next := range m.waitsFor[tx] {
-		if next == tx || m.reaches(next, tx, map[TxID]bool{}) {
-			return true
+// grantWaiters grants the compatible prefix of the queue (m.mu held).
+// Granting stops at the first waiter incompatible with the holders — later
+// waiters never barge past it, which is the fairness guarantee.
+func (m *Manager) grantWaiters(res Resource, ls *lockState) {
+	changed := false
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if !m.holderCompatible(ls, w.tx, w.want) {
+			break
 		}
+		ls.queue = ls.queue[1:]
+		delete(m.waiting, w.tx)
+		m.grant(w.tx, res, ls, w.want)
+		w.ready <- nil
+		changed = true
 	}
-	return false
+	if changed {
+		m.rebuildWaitGraph()
+	}
 }
 
-func (m *Manager) reaches(cur, target TxID, seen map[TxID]bool) bool {
-	if cur == target {
-		return true
+// cleanup drops the lockState when nothing references it (m.mu held).
+func (m *Manager) cleanup(res Resource, ls *lockState) {
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, res)
 	}
-	if seen[cur] {
+}
+
+// removeWaiter withdraws w from res's queue and regrants (m.mu held).
+func (m *Manager) removeWaiter(res Resource, ls *lockState, w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			break
+		}
+	}
+	delete(m.waiting, w.tx)
+	m.rebuildWaitGraph()
+	m.grantWaiters(res, ls)
+	m.cleanup(res, ls)
+}
+
+// failWaiter delivers cause to tx's pending wait, if any (m.mu held).
+func (m *Manager) failWaiter(tx TxID, cause error) bool {
+	res, ok := m.waiting[tx]
+	if !ok {
 		return false
 	}
-	seen[cur] = true
-	for next := range m.waitsFor[cur] {
-		if m.reaches(next, target, seen) {
+	ls := m.locks[res]
+	for i, q := range ls.queue {
+		if q.tx == tx {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			delete(m.waiting, tx)
+			q.ready <- cause
+			m.rebuildWaitGraph()
+			m.grantWaiters(res, ls)
+			m.cleanup(res, ls)
 			return true
 		}
 	}
 	return false
+}
+
+// CancelWait fails tx's pending lock wait (if any) with cause. Used by the
+// transaction watchdog to unstick a doomed transaction that is blocked
+// inside Lock. Reports whether a wait was cancelled.
+func (m *Manager) CancelWait(tx TxID, cause error) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failWaiter(tx, cause)
+}
+
+// rebuildWaitGraph recomputes the waits-for edges from the queues (m.mu
+// held). A queued waiter waits behind every incompatible holder and every
+// waiter ahead of it (FIFO: those are granted first). Recomputing from
+// scratch keeps the graph exact as queues and grants churn; the sizes here
+// (waiters × holders) are tiny compared to the waits themselves.
+func (m *Manager) rebuildWaitGraph() {
+	m.waitsFor = make(map[TxID]map[TxID]bool)
+	for _, ls := range m.locks {
+		for i, w := range ls.queue {
+			edges := m.waitsFor[w.tx]
+			if edges == nil {
+				edges = make(map[TxID]bool)
+				m.waitsFor[w.tx] = edges
+			}
+			for h, hm := range ls.holders {
+				if h != w.tx && !Compatible(w.want, hm) {
+					edges[h] = true
+				}
+			}
+			for j := 0; j < i; j++ {
+				if ls.queue[j].tx != w.tx {
+					edges[ls.queue[j].tx] = true
+				}
+			}
+		}
+	}
+}
+
+// findCycle returns the members of a waits-for cycle through start, or nil.
+func (m *Manager) findCycle(start TxID) []TxID {
+	seen := map[TxID]bool{}
+	var path []TxID
+	var dfs func(cur TxID) []TxID
+	dfs = func(cur TxID) []TxID {
+		if seen[cur] {
+			return nil
+		}
+		seen[cur] = true
+		path = append(path, cur)
+		for next := range m.waitsFor[cur] {
+			if next == start {
+				out := make([]TxID, len(path))
+				copy(out, path)
+				return out
+			}
+			if c := dfs(next); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		return nil
+	}
+	return dfs(start)
+}
+
+// breakCycles aborts the youngest member of every waits-for cycle (m.mu
+// held). Every member of a cycle has an outgoing edge, hence is waiting, so
+// the victim always has a pending wait to fail. The scan restarts after each
+// abort because failing a waiter mutates the queues and the graph.
+func (m *Manager) breakCycles() {
+	for {
+		broken := false
+		for tx := range m.waiting {
+			cycle := m.findCycle(tx)
+			if cycle == nil {
+				continue
+			}
+			victim := cycle[0]
+			for _, c := range cycle {
+				if c > victim {
+					victim = c
+				}
+			}
+			m.failWaiter(victim, ErrDeadlock)
+			broken = true
+			break
+		}
+		if !broken {
+			return
+		}
+	}
 }
 
 // Unlock releases tx's lock on res.
@@ -248,11 +501,8 @@ func (m *Manager) unlockLocked(tx TxID, res Resource) error {
 	if h := m.held[tx]; h != nil {
 		delete(h, res)
 	}
-	if len(ls.holders) == 0 && ls.waiters == 0 {
-		delete(m.locks, res)
-	} else {
-		ls.cond.Broadcast()
-	}
+	m.grantWaiters(res, ls)
+	m.cleanup(res, ls)
 	return nil
 }
 
@@ -278,42 +528,68 @@ func (m *Manager) Held(tx TxID) map[Resource]Mode {
 	return out
 }
 
-// Close wakes all waiters with ErrClosed.
+// HeldCount returns how many locks tx holds, without allocating.
+func (m *Manager) HeldCount(tx TxID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[tx])
+}
+
+// IsWaiting reports whether tx is currently queued for a lock. The
+// transaction watchdog uses this to tell culprits (holding locks while
+// wedged outside the lock manager) from victims (parked in a bounded wait).
+func (m *Manager) IsWaiting(tx TxID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.waiting[tx]
+	return ok
+}
+
+// Close fails every in-flight waiter with ErrManagerClosed; future Lock
+// calls fail the same way. Held locks may still be released.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
 	m.closed = true
 	for _, ls := range m.locks {
-		ls.cond.Broadcast()
+		for _, w := range ls.queue {
+			delete(m.waiting, w.tx)
+			w.ready <- ErrManagerClosed
+		}
+		ls.queue = nil
 	}
+	m.waitsFor = make(map[TxID]map[TxID]bool)
 }
 
 // Hierarchical convenience API: acquire intention locks top-down, exactly as
 // the protocol prescribes.
 
 // LockNode takes IS/IX on the document and range, then mode on the node.
-func (m *Manager) LockNode(tx TxID, doc, rng, node uint64, mode Mode) error {
+func (m *Manager) LockNode(ctx context.Context, tx TxID, doc, rng, node uint64, mode Mode) error {
 	intent := IS
 	if mode == X || mode == IX || mode == SIX {
 		intent = IX
 	}
-	if err := m.Lock(tx, Resource{LevelDocument, doc}, intent); err != nil {
+	if err := m.Lock(ctx, tx, Resource{LevelDocument, doc}, intent); err != nil {
 		return err
 	}
-	if err := m.Lock(tx, Resource{LevelRange, rng}, intent); err != nil {
+	if err := m.Lock(ctx, tx, Resource{LevelRange, rng}, intent); err != nil {
 		return err
 	}
-	return m.Lock(tx, Resource{LevelNode, node}, mode)
+	return m.Lock(ctx, tx, Resource{LevelNode, node}, mode)
 }
 
 // LockRange takes an intention lock on the document, then mode on the range.
-func (m *Manager) LockRange(tx TxID, doc, rng uint64, mode Mode) error {
+func (m *Manager) LockRange(ctx context.Context, tx TxID, doc, rng uint64, mode Mode) error {
 	intent := IS
 	if mode == X || mode == IX || mode == SIX {
 		intent = IX
 	}
-	if err := m.Lock(tx, Resource{LevelDocument, doc}, intent); err != nil {
+	if err := m.Lock(ctx, tx, Resource{LevelDocument, doc}, intent); err != nil {
 		return err
 	}
-	return m.Lock(tx, Resource{LevelRange, rng}, mode)
+	return m.Lock(ctx, tx, Resource{LevelRange, rng}, mode)
 }

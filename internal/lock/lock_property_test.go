@@ -1,0 +1,188 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// allModes lists every mode for exhaustive table checks.
+var allModes = []Mode{IS, IX, S, SIX, X}
+
+// weaker reports the partial order induced by the supremum table:
+// a <= b iff sup(a, b) == b.
+func weaker(a, b Mode) bool { return Supremum(a, b) == b }
+
+func TestCompatibleIsSymmetric(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("Compatible(%s,%s) != Compatible(%s,%s)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestSupremumIsCommutativeIdempotentJoin(t *testing.T) {
+	for _, a := range allModes {
+		if Supremum(a, a) != a {
+			t.Errorf("sup(%s,%s) = %s, not idempotent", a, a, Supremum(a, a))
+		}
+		for _, b := range allModes {
+			s := Supremum(a, b)
+			if s != Supremum(b, a) {
+				t.Errorf("sup not commutative at (%s,%s)", a, b)
+			}
+			// The join is an upper bound of both arguments.
+			if !weaker(a, s) || !weaker(b, s) {
+				t.Errorf("sup(%s,%s) = %s is not >= both", a, b, s)
+			}
+			// ... and the weakest such mode: any other upper bound c
+			// dominates it.
+			for _, c := range allModes {
+				if weaker(a, c) && weaker(b, c) && !weaker(s, c) {
+					t.Errorf("sup(%s,%s) = %s is not minimal: %s is also an upper bound", a, b, s, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSupremumOrderIsConsistent(t *testing.T) {
+	// The order induced by the table must be a genuine partial order, with X
+	// as top: antisymmetric and transitive.
+	for _, a := range allModes {
+		if !weaker(a, X) {
+			t.Errorf("%s should be weaker than X", a)
+		}
+		for _, b := range allModes {
+			if weaker(a, b) && weaker(b, a) && a != b {
+				t.Errorf("order not antisymmetric at (%s,%s)", a, b)
+			}
+			for _, c := range allModes {
+				if weaker(a, b) && weaker(b, c) && !weaker(a, c) {
+					t.Errorf("order not transitive: %s <= %s <= %s", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestStrongerModesConflictMore(t *testing.T) {
+	// Monotonicity tying the two tables together: upgrading can only shrink
+	// the set of compatible modes, never grow it.
+	for _, a := range allModes {
+		for _, b := range allModes {
+			if !weaker(a, b) {
+				continue
+			}
+			for _, c := range allModes {
+				if Compatible(b, c) && !Compatible(a, c) {
+					t.Errorf("%s is stronger than %s but compatible with %s while %s is not",
+						b, a, c, a)
+				}
+			}
+		}
+	}
+}
+
+// checkGrantedCompatible asserts the core safety invariant: every pair of
+// holders of every resource is mutually compatible.
+func checkGrantedCompatible(t *testing.T, m *Manager) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res, ls := range m.locks {
+		for tx1, m1 := range ls.holders {
+			for tx2, m2 := range ls.holders {
+				if tx1 != tx2 && !Compatible(m1, m2) {
+					t.Fatalf("incompatible grants on %v: tx%d=%s with tx%d=%s",
+						res, tx1, m1, tx2, m2)
+				}
+			}
+		}
+	}
+}
+
+// FuzzLockOps drives random Lock/Unlock/ReleaseAll sequences (with short
+// timeouts so conflicting requests fail instead of hanging the fuzzer) and
+// checks that the granted set stays mutually compatible throughout.
+func FuzzLockOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x13, 0x88, 0x20, 0x7f})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := NewManager()
+		m.SetDefaultTimeout(5 * time.Millisecond)
+		defer m.Close()
+		for _, op := range ops {
+			tx := TxID(op&0x07) + 1
+			res := Resource{Level(op >> 3 & 0x01), uint64(op >> 4 & 0x03)}
+			mode := Mode(int(op>>6&0x03) + int(op>>2&0x01)) // 0..4
+			switch {
+			case op&0x03 == 0x03:
+				m.ReleaseAll(tx)
+			case op&0x03 == 0x02:
+				// Unlock may legitimately return ErrNotHeld.
+				if err := m.Unlock(tx, res); err != nil && !errors.Is(err, ErrNotHeld) {
+					t.Fatalf("unlock: %v", err)
+				}
+			default:
+				err := m.Lock(context.Background(), tx, res, mode)
+				if err != nil && !errors.Is(err, ErrLockTimeout) &&
+					!errors.Is(err, ErrDeadlock) {
+					t.Fatalf("lock: %v", err)
+				}
+			}
+			checkGrantedCompatible(t, m)
+		}
+		for tx := TxID(1); tx <= 8; tx++ {
+			m.ReleaseAll(tx)
+		}
+		m.mu.Lock()
+		if n := len(m.locks); n != 0 {
+			m.mu.Unlock()
+			t.Fatalf("%d lock states leaked after releasing everything", n)
+		}
+		m.mu.Unlock()
+	})
+}
+
+func TestRandomLockSequences(t *testing.T) {
+	// A deterministic sweep of the same invariant the fuzzer checks, so it
+	// runs on every plain `go test`.
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 150)
+			rng.Read(buf)
+			m := NewManager()
+			m.SetDefaultTimeout(time.Millisecond)
+			defer m.Close()
+			for _, op := range buf {
+				tx := TxID(op&0x07) + 1
+				res := Resource{Level(op >> 3 & 0x01), uint64(op >> 4 & 0x03)}
+				mode := Mode(int(op>>6&0x03) + int(op>>2&0x01))
+				switch {
+				case op&0x03 == 0x03:
+					m.ReleaseAll(tx)
+				case op&0x03 == 0x02:
+					if err := m.Unlock(tx, res); err != nil && !errors.Is(err, ErrNotHeld) {
+						t.Fatalf("unlock: %v", err)
+					}
+				default:
+					err := m.Lock(context.Background(), tx, res, mode)
+					if err != nil && !errors.Is(err, ErrLockTimeout) &&
+						!errors.Is(err, ErrDeadlock) {
+						t.Fatalf("lock: %v", err)
+					}
+				}
+				checkGrantedCompatible(t, m)
+			}
+		})
+	}
+}

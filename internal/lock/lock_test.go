@@ -1,12 +1,15 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+var bg = context.Background()
 
 func TestCompatibilityMatrix(t *testing.T) {
 	// Spot-check the canonical entries.
@@ -34,11 +37,11 @@ func TestCompatibilityMatrix(t *testing.T) {
 func TestBasicLockUnlock(t *testing.T) {
 	m := NewManager()
 	res := Resource{LevelNode, 42}
-	if err := m.Lock(1, res, S); err != nil {
+	if err := m.Lock(bg, 1, res, S); err != nil {
 		t.Fatal(err)
 	}
 	// Shared with another reader.
-	if err := m.Lock(2, res, S); err != nil {
+	if err := m.Lock(bg, 2, res, S); err != nil {
 		t.Fatal(err)
 	}
 	held := m.Held(1)
@@ -63,13 +66,13 @@ func TestBasicLockUnlock(t *testing.T) {
 func TestExclusiveBlocks(t *testing.T) {
 	m := NewManager()
 	res := Resource{LevelRange, 7}
-	if err := m.Lock(1, res, X); err != nil {
+	if err := m.Lock(bg, 1, res, X); err != nil {
 		t.Fatal(err)
 	}
 	var acquired atomic.Bool
 	done := make(chan struct{})
 	go func() {
-		if err := m.Lock(2, res, S); err != nil {
+		if err := m.Lock(bg, 2, res, S); err != nil {
 			t.Errorf("reader: %v", err)
 		}
 		acquired.Store(true)
@@ -90,18 +93,18 @@ func TestExclusiveBlocks(t *testing.T) {
 func TestUpgrade(t *testing.T) {
 	m := NewManager()
 	res := Resource{LevelNode, 1}
-	if err := m.Lock(1, res, S); err != nil {
+	if err := m.Lock(bg, 1, res, S); err != nil {
 		t.Fatal(err)
 	}
 	// S + IX = SIX.
-	if err := m.Lock(1, res, IX); err != nil {
+	if err := m.Lock(bg, 1, res, IX); err != nil {
 		t.Fatal(err)
 	}
 	if m.Held(1)[res] != SIX {
 		t.Errorf("upgraded mode = %v", m.Held(1)[res])
 	}
 	// Re-request of a weaker mode is a no-op.
-	if err := m.Lock(1, res, IS); err != nil {
+	if err := m.Lock(bg, 1, res, IS); err != nil {
 		t.Fatal(err)
 	}
 	if m.Held(1)[res] != SIX {
@@ -113,18 +116,19 @@ func TestDeadlockDetection(t *testing.T) {
 	m := NewManager()
 	a := Resource{LevelNode, 1}
 	b := Resource{LevelNode, 2}
-	if err := m.Lock(1, a, X); err != nil {
+	if err := m.Lock(bg, 1, a, X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Lock(2, b, X); err != nil {
+	if err := m.Lock(bg, 2, b, X); err != nil {
 		t.Fatal(err)
 	}
 	// Tx 1 waits for b (held by 2).
 	errCh := make(chan error, 1)
-	go func() { errCh <- m.Lock(1, b, X) }()
+	go func() { errCh <- m.Lock(bg, 1, b, X) }()
 	time.Sleep(20 * time.Millisecond)
-	// Tx 2 requests a: closes the cycle, must get ErrDeadlock immediately.
-	err := m.Lock(2, a, X)
+	// Tx 2 requests a: closes the cycle. Tx 2 is the youngest member, so it
+	// is the victim and must get ErrDeadlock immediately.
+	err := m.Lock(bg, 2, a, X)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("expected deadlock, got %v", err)
 	}
@@ -140,10 +144,203 @@ func TestDeadlockDetection(t *testing.T) {
 	}
 }
 
+func TestDeadlockVictimIsYoungest(t *testing.T) {
+	// Tx 2 (younger) waits first; tx 1 (older) then closes the cycle. The
+	// victim must still be tx 2 — the older transaction keeps its progress.
+	m := NewManager()
+	a := Resource{LevelNode, 1}
+	b := Resource{LevelNode, 2}
+	if err := m.Lock(bg, 1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(bg, 2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	victimErr := make(chan error, 1)
+	go func() { victimErr <- m.Lock(bg, 2, a, X) }() // tx2 waits for tx1
+	time.Sleep(20 * time.Millisecond)
+
+	// Tx 1 closes the cycle; tx 2 (youngest) is aborted, and once it
+	// releases, tx 1's request is granted.
+	oldErr := make(chan error, 1)
+	go func() { oldErr <- m.Lock(bg, 1, b, X) }()
+	select {
+	case err := <-victimErr:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("victim got %v, want ErrDeadlock", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("youngest tx was not chosen as victim")
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-oldErr:
+		if err != nil {
+			t.Fatalf("older tx should win the conflict: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("older tx never acquired after victim release")
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	// Acceptance: a transaction holding X sleeps forever; a second Lock with
+	// a 100ms deadline returns ErrLockTimeout within ~2x the deadline.
+	m := NewManager()
+	res := Resource{LevelNode, 9}
+	if err := m.Lock(bg, 1, res, X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := m.Lock(ctx, 2, res, S)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("got %v, want ErrLockTimeout", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("timeout took %v, want <= 2x the 100ms deadline", elapsed)
+	}
+	// The abandoned wait left no residue: once the holder releases, a new
+	// request is granted immediately.
+	m.ReleaseAll(1)
+	if err := m.Lock(bg, 3, res, X); err != nil {
+		t.Fatalf("after timeout cleanup: %v", err)
+	}
+	if m.HeldCount(2) != 0 {
+		t.Errorf("timed-out tx holds %d locks", m.HeldCount(2))
+	}
+}
+
+func TestLockCancel(t *testing.T) {
+	m := NewManager()
+	res := Resource{LevelNode, 9}
+	if err := m.Lock(bg, 1, res, X); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Lock(ctx, 2, res, X) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not wake the waiter")
+	}
+	// Pre-cancelled contexts fail without touching the queue.
+	cctx, ccancel := context.WithCancel(bg)
+	ccancel()
+	if err := m.Lock(cctx, 3, res, S); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: %v", err)
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	m := NewManager()
+	m.SetDefaultTimeout(50 * time.Millisecond)
+	res := Resource{LevelNode, 1}
+	if err := m.Lock(bg, 1, res, X); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Lock(bg, 2, res, X) // no ctx deadline: manager default applies
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("got %v, want ErrLockTimeout from default timeout", err)
+	}
+	if e := time.Since(start); e > 500*time.Millisecond {
+		t.Errorf("default timeout took %v", e)
+	}
+	// An explicit ctx deadline overrides the (shorter) default.
+	m.SetDefaultTimeout(time.Millisecond)
+	ctx, cancel := context.WithTimeout(bg, 80*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err = m.Lock(ctx, 3, res, X)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("got %v", err)
+	}
+	if e := time.Since(start); e < 50*time.Millisecond {
+		t.Errorf("ctx deadline should outrank default timeout; returned after %v", e)
+	}
+}
+
+func TestWriterNotStarved(t *testing.T) {
+	// Acceptance: a continuous stream of S readers must not starve an X
+	// waiter — the writer is granted once the readers queued before it
+	// drain, and readers that arrived after the writer wait behind it.
+	m := NewManager()
+	res := Resource{LevelRange, 1}
+	for tx := TxID(1); tx <= 3; tx++ {
+		if err := m.Lock(bg, tx, res, S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	var orderMu sync.Mutex
+	record := func(who string) {
+		orderMu.Lock()
+		order = append(order, who)
+		orderMu.Unlock()
+	}
+	writerDone := make(chan error, 1)
+	go func() {
+		err := m.Lock(bg, 10, res, X)
+		record("writer")
+		writerDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // writer queued
+
+	// A stream of late readers: all must queue behind the writer.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(tx TxID) {
+			defer wg.Done()
+			if err := m.Lock(bg, tx, res, S); err != nil {
+				t.Errorf("late reader %d: %v", tx, err)
+				return
+			}
+			record("reader")
+			m.ReleaseAll(tx)
+		}(TxID(11 + i))
+	}
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-writerDone:
+		t.Fatal("writer granted while pre-queued readers still hold S")
+	default:
+	}
+	// Drain the pre-queued readers: the writer must be granted next, ahead
+	// of every late reader.
+	for tx := TxID(1); tx <= 3; tx++ {
+		m.ReleaseAll(tx)
+	}
+	select {
+	case err := <-writerDone:
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer starved")
+	}
+	m.ReleaseAll(10)
+	wg.Wait()
+	orderMu.Lock()
+	defer orderMu.Unlock()
+	if len(order) == 0 || order[0] != "writer" {
+		t.Errorf("grant order %v: writer must precede every late reader", order)
+	}
+}
+
 func TestHierarchicalProtocol(t *testing.T) {
 	m := NewManager()
 	// Reader locks a node: IS on document and range, S on node.
-	if err := m.LockNode(1, 1, 10, 100, S); err != nil {
+	if err := m.LockNode(bg, 1, 1, 10, 100, S); err != nil {
 		t.Fatal(err)
 	}
 	held := m.Held(1)
@@ -152,12 +349,12 @@ func TestHierarchicalProtocol(t *testing.T) {
 		t.Errorf("reader locks: %v", held)
 	}
 	// Writer on a different node of the same range coexists.
-	if err := m.LockNode(2, 1, 10, 200, X); err != nil {
+	if err := m.LockNode(bg, 2, 1, 10, 200, X); err != nil {
 		t.Fatal(err)
 	}
 	// But a whole-range S lock must wait for the node writer.
 	done := make(chan error, 1)
-	go func() { done <- m.LockRange(3, 1, 10, S) }()
+	go func() { done <- m.LockRange(bg, 3, 1, 10, S) }()
 	select {
 	case err := <-done:
 		t.Fatalf("range reader should block on IX, got %v", err)
@@ -171,7 +368,7 @@ func TestHierarchicalProtocol(t *testing.T) {
 
 func TestIntentionModeSelection(t *testing.T) {
 	m := NewManager()
-	if err := m.LockNode(1, 1, 10, 100, X); err != nil {
+	if err := m.LockNode(bg, 1, 1, 10, 100, X); err != nil {
 		t.Fatal(err)
 	}
 	held := m.Held(1)
@@ -194,7 +391,7 @@ func TestConcurrentStress(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				node := uint64(i % len(counters))
 				for {
-					err := m.LockNode(tx, 1, node%4, node, X)
+					err := m.LockNode(bg, tx, 1, node%4, node, X)
 					if err == nil {
 						break
 					}
@@ -222,24 +419,114 @@ func TestConcurrentStress(t *testing.T) {
 	}
 }
 
-func TestCloseWakesWaiters(t *testing.T) {
+func TestConcurrentStressWithCancellation(t *testing.T) {
+	// Mixed workload: writers, readers, and cancellers whose contexts expire
+	// mid-wait. Every call must return promptly with nil or a typed error,
+	// and abandoned waits must leave no residue (the final X lock is
+	// grantable).
+	m := NewManager()
+	var wg sync.WaitGroup
+	var timeouts, deadlocks atomic.Int64
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := TxID(g + 1)
+			for i := 0; i < 150; i++ {
+				node := uint64((g + i) % 4)
+				mode := S
+				if (g+i)%3 == 0 {
+					mode = X
+				}
+				ctx := bg
+				var cancel context.CancelFunc = func() {}
+				if g%3 == 0 {
+					ctx, cancel = context.WithTimeout(bg, time.Duration(i%3)*time.Millisecond)
+				}
+				err := m.LockNode(ctx, tx, 1, node%2, node, mode)
+				cancel()
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrDeadlock):
+					deadlocks.Add(1)
+				case errors.Is(err, ErrLockTimeout) || errors.Is(err, context.Canceled):
+					timeouts.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				m.ReleaseAll(tx)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress run hung")
+	}
+	if err := m.Lock(bg, 99, Resource{LevelDocument, 1}, X); err != nil {
+		t.Fatalf("manager wedged after stress: %v", err)
+	}
+	t.Logf("timeouts/cancels: %d, deadlocks: %d", timeouts.Load(), deadlocks.Load())
+}
+
+func TestCloseFailsWaitersTyped(t *testing.T) {
+	// Close must deliver ErrManagerClosed to in-flight waiters — not a
+	// misleading ErrDeadlock, and never a silent grant.
 	m := NewManager()
 	res := Resource{LevelNode, 1}
-	m.Lock(1, res, X)
-	done := make(chan error, 1)
-	go func() { done <- m.Lock(2, res, X) }()
+	m.Lock(bg, 1, res, X)
+	done := make(chan error, 2)
+	go func() { done <- m.Lock(bg, 2, res, X) }()
+	go func() { done <- m.Lock(bg, 3, res, S) }()
 	time.Sleep(20 * time.Millisecond)
 	m.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrManagerClosed) {
+				t.Errorf("waiter got %v, want ErrManagerClosed", err)
+			}
+			if errors.Is(err, ErrDeadlock) {
+				t.Errorf("waiter got deadlock error from Close: %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter not woken by Close")
+		}
+	}
+	// Future waiters fail the same way; held locks were not granted to the
+	// failed waiters.
+	if err := m.Lock(bg, 4, res, S); !errors.Is(err, ErrManagerClosed) {
+		t.Errorf("lock after close: %v", err)
+	}
+	if m.HeldCount(2) != 0 || m.HeldCount(3) != 0 {
+		t.Error("closed manager granted locks to failed waiters")
+	}
+	m.Close() // idempotent
+}
+
+func TestCancelWait(t *testing.T) {
+	m := NewManager()
+	res := Resource{LevelNode, 1}
+	m.Lock(bg, 1, res, X)
+	cause := errors.New("watchdog says no")
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Lock(bg, 2, res, X) }()
+	time.Sleep(20 * time.Millisecond)
+	if !m.CancelWait(2, cause) {
+		t.Fatal("CancelWait found no pending wait")
+	}
 	select {
-	case err := <-done:
-		if !errors.Is(err, ErrClosed) {
-			t.Errorf("waiter got %v", err)
+	case err := <-errCh:
+		if !errors.Is(err, cause) {
+			t.Errorf("got %v, want the cancel cause", err)
 		}
 	case <-time.After(time.Second):
-		t.Fatal("waiter not woken by Close")
+		t.Fatal("CancelWait did not wake the waiter")
 	}
-	if err := m.Lock(3, res, S); !errors.Is(err, ErrClosed) {
-		t.Errorf("lock after close: %v", err)
+	if m.CancelWait(2, cause) {
+		t.Error("CancelWait reported success with nothing pending")
 	}
 }
 

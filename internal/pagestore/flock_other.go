@@ -1,0 +1,10 @@
+//go:build !unix
+
+package pagestore
+
+import "os"
+
+// flockFile is a no-op on platforms without flock semantics: cross-process
+// exclusion is only enforced on unix. Single-process discipline (the lock
+// manager) is unaffected.
+func flockFile(f *os.File, exclusive bool) error { return nil }

@@ -1,0 +1,107 @@
+//go:build unix
+
+package pagestore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestSecondWritableOpenFailsFast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked.db")
+	p1, err := OpenFilePager(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	// A second writable open of the same store must fail with the typed
+	// error, not wait and not succeed.
+	if _, err := OpenFilePager(path, 1024); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second open: got %v, want ErrStoreLocked", err)
+	}
+	// A read-only open is excluded by the writer too.
+	if _, err := OpenFilePagerOpts(path, 1024, FileOpts{ReadOnly: true}); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("read-only open under writer: got %v, want ErrStoreLocked", err)
+	}
+	// Close releases the lock; the store is reusable.
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenFilePager(path, 1024)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	p2.Close()
+}
+
+func TestReadOnlyOpensShareTheLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.db")
+	// Seed a page so read-only opens have something to read.
+	w, err := OpenFilePager(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := w.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	copy(buf, "read-only payload")
+	if err := w.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := OpenFilePagerOpts(path, 1024, FileOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	r2, err := OpenFilePagerOpts(path, 1024, FileOpts{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("two read-only opens must coexist: %v", err)
+	}
+	defer r2.Close()
+	// A writer is excluded while readers hold the shared lock.
+	if _, err := OpenFilePager(path, 1024); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("writer under readers: got %v, want ErrStoreLocked", err)
+	}
+	// Reads work; every mutation is rejected with the typed error.
+	got := make([]byte, 1024)
+	if err := r1.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:17]) != "read-only payload" {
+		t.Errorf("read-only read returned %q", got[:17])
+	}
+	if _, err := r1.Allocate(); !errors.Is(err, ErrReadOnlyFile) {
+		t.Errorf("Allocate: %v", err)
+	}
+	if err := r1.WritePage(id, buf); !errors.Is(err, ErrReadOnlyFile) {
+		t.Errorf("WritePage: %v", err)
+	}
+	if err := r1.Free(id); !errors.Is(err, ErrReadOnlyFile) {
+		t.Errorf("Free: %v", err)
+	}
+	if err := r1.Sync(); err != nil {
+		t.Errorf("Sync on read-only pager: %v", err)
+	}
+}
+
+func TestNoLockOptSkipsExclusion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nolock.db")
+	p1, err := OpenFilePager(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	// Harness escape hatch: NoLock bypasses the advisory lock.
+	p2, err := OpenFilePagerOpts(path, 1024, FileOpts{NoLock: true})
+	if err != nil {
+		t.Fatalf("NoLock open: %v", err)
+	}
+	p2.Close()
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flockFile takes an advisory lock on f without blocking: exclusive for
+// writable pagers, shared for read-only ones. A conflicting holder in
+// another process yields ErrStoreLocked immediately (fail-fast, never a
+// silent wait on someone else's store). The lock is tied to the open file
+// description, so Close releases it.
+func flockFile(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return fmt.Errorf("%w: %s", ErrStoreLocked, f.Name())
+	}
+	return fmt.Errorf("pagestore: flock %s: %w", f.Name(), err)
+}

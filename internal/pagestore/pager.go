@@ -34,6 +34,13 @@ var (
 	ErrPageBounds = errors.New("pagestore: page id out of bounds")
 	ErrClosed     = errors.New("pagestore: pager is closed")
 	ErrFreedPage  = errors.New("pagestore: access to freed page")
+	// ErrStoreLocked is returned by OpenFilePager when another process holds
+	// the store file's advisory lock: a second writer would destroy the WAL
+	// discipline, so opens fail fast instead of corrupting the store.
+	ErrStoreLocked = errors.New("pagestore: store file locked by another process")
+	// ErrReadOnlyFile is returned by mutating operations on a pager opened
+	// with FileOpts.ReadOnly.
+	ErrReadOnlyFile = errors.New("pagestore: pager opened read-only")
 )
 
 // Pager is raw page I/O: allocation, reads, writes and freeing.
@@ -182,6 +189,11 @@ func (p *MemPager) Close() error {
 // id arithmetic trivial and id 0 invalid). Freed pages are tracked in memory
 // and reused before the file grows; the free list is rebuilt as empty on
 // reopen, which wastes at most the previously-freed pages.
+//
+// Opening takes an advisory flock on the file — exclusive for writable
+// pagers, shared for read-only ones — so two OS processes can never both
+// hold a writable view of the same store: the second open fails fast with
+// ErrStoreLocked instead of silently destroying the WAL discipline.
 type FilePager struct {
 	mu       sync.Mutex
 	f        *os.File
@@ -190,27 +202,58 @@ type FilePager struct {
 	highest  PageID
 	free     []PageID
 	freed    map[PageID]bool
+	readOnly bool
 	closed   bool
 }
 
-// OpenFilePager opens (creating if necessary) a page file at path.
+// FileOpts tunes OpenFilePagerOpts.
+type FileOpts struct {
+	// ReadOnly opens the file O_RDONLY under a shared advisory lock:
+	// several read-only pagers may coexist, but a writable pager excludes
+	// them (and vice versa). Mutating operations return ErrReadOnlyFile.
+	ReadOnly bool
+	// NoLock skips the advisory lock entirely (fault-injection harnesses
+	// that reopen the same file in-process). Production opens must not use
+	// it.
+	NoLock bool
+}
+
+// OpenFilePager opens (creating if necessary) a writable page file at path
+// under an exclusive advisory lock.
 func OpenFilePager(path string, pageSize int) (*FilePager, error) {
+	return OpenFilePagerOpts(path, pageSize, FileOpts{})
+}
+
+// OpenFilePagerOpts opens a page file with explicit locking/mutability
+// options. If another process holds a conflicting advisory lock, it fails
+// fast with ErrStoreLocked.
+func OpenFilePagerOpts(path string, pageSize int, opts FileOpts) (*FilePager, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
 	if pageSize < MinPageSize {
 		pageSize = MinPageSize
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	flags := os.O_RDWR | os.O_CREATE
+	if opts.ReadOnly {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if !opts.NoLock {
+		if err := flockFile(f, !opts.ReadOnly); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	fp := &FilePager{f: f, pageSize: pageSize, freed: make(map[PageID]bool)}
+	fp := &FilePager{f: f, pageSize: pageSize, freed: make(map[PageID]bool), readOnly: opts.ReadOnly}
 	if st.Size() > 0 {
 		n := st.Size() / int64(pageSize)
 		if n > 0 {
@@ -230,6 +273,9 @@ func (p *FilePager) Allocate() (PageID, error) {
 	defer p.mu.Unlock()
 	if p.closed {
 		return InvalidPage, ErrClosed
+	}
+	if p.readOnly {
+		return InvalidPage, ErrReadOnlyFile
 	}
 	var id PageID
 	if n := len(p.free); n > 0 {
@@ -284,6 +330,9 @@ func (p *FilePager) ReadPage(id PageID, buf []byte) error {
 func (p *FilePager) WritePage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.readOnly {
+		return ErrReadOnlyFile
+	}
 	if err := p.check(id); err != nil {
 		return err
 	}
@@ -295,6 +344,9 @@ func (p *FilePager) WritePage(id PageID, buf []byte) error {
 func (p *FilePager) Free(id PageID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.readOnly {
+		return ErrReadOnlyFile
+	}
 	if err := p.check(id); err != nil {
 		return err
 	}
@@ -318,12 +370,16 @@ func (p *FilePager) MaxPageID() PageID {
 	return p.highest
 }
 
-// Sync flushes the underlying file to stable storage.
+// Sync flushes the underlying file to stable storage. A read-only pager
+// has nothing to flush.
 func (p *FilePager) Sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
+	}
+	if p.readOnly {
+		return nil
 	}
 	return p.f.Sync()
 }

@@ -1,0 +1,365 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmltok"
+)
+
+func newManagerOpts(t *testing.T, o Options) *Manager {
+	t.Helper()
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	m := NewManagerOpts(s, o)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestLockWaitHonorsContextDeadline(t *testing.T) {
+	// Acceptance: a transaction holding an X lock sleeps forever; a second
+	// transaction's lock wait under a 100ms deadline must return
+	// ErrLockTimeout within ~2x the deadline.
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/></doc>`))
+	setup.Commit()
+
+	sleeper := m.Begin() // holds X on <a> forever (never commits)
+	if _, err := sleeper.InsertIntoLast(2, xmltok.MustParseFragment(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	victim := m.BeginCtx(ctx)
+	start := time.Now()
+	_, err := victim.ReadNode(2)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("got %v, want ErrLockTimeout", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("lock wait returned after %v, want <= 2x the 100ms deadline", elapsed)
+	}
+	if err := victim.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The store is untouched and the sleeper still functional.
+	if _, err := sleeper.ReadNode(2); err != nil {
+		t.Fatal(err)
+	}
+	sleeper.Commit()
+}
+
+func TestLockWaitHonorsCancellation(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/></doc>`))
+	setup.Commit()
+
+	holder := m.Begin()
+	if _, err := holder.InsertIntoLast(2, xmltok.MustParseFragment(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := m.BeginCtx(ctx)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := blocked.ReadNode(2)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancellation did not unblock the lock wait")
+	}
+	blocked.Abort()
+	holder.Abort()
+}
+
+func TestManagerDefaultLockTimeout(t *testing.T) {
+	m := newManagerOpts(t, Options{LockTimeout: 50 * time.Millisecond})
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/></doc>`))
+	setup.Commit()
+
+	holder := m.Begin()
+	if _, err := holder.InsertIntoLast(2, xmltok.MustParseFragment(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	// Plain Begin: no ctx deadline, so the manager default bounds the wait.
+	blocked := m.Begin()
+	start := time.Now()
+	_, err := blocked.ReadNode(2)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("got %v, want ErrLockTimeout from manager default", err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("default timeout took %v", e)
+	}
+	blocked.Abort()
+	holder.Abort()
+}
+
+func TestRunInTxCommitsAndRollsBack(t *testing.T) {
+	m := newManager(t)
+	ctx := context.Background()
+	err := m.RunInTx(ctx, func(tx *Tx) error {
+		_, err := tx.Append(xmltok.MustParse(`<doc><a/></doc>`))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xmlOf(t, m.Store()); got != `<doc><a/></doc>` {
+		t.Errorf("after RunInTx commit: %s", got)
+	}
+	// A failing fn rolls back.
+	boom := errors.New("boom")
+	err = m.RunInTx(ctx, func(tx *Tx) error {
+		if _, err := tx.InsertIntoLast(1, xmltok.MustParseFragment(`<junk/>`)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the fn error", err)
+	}
+	if got := xmlOf(t, m.Store()); got != `<doc><a/></doc>` {
+		t.Errorf("RunInTx error did not roll back: %s", got)
+	}
+}
+
+func TestRunInTxRetriesDeadlock(t *testing.T) {
+	// Two goroutines lock <a> and <b> in opposite orders via RunInTx; the
+	// deadlock victim must be retried so both eventually succeed.
+	m := newManager(t)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/><b/></doc>`))
+	setup.Commit()
+	// a=2, b=3
+
+	ctx := context.Background()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	order := [][2]core.NodeID{{2, 3}, {3, 2}}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(first, second core.NodeID) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				err := m.RunInTx(ctx, func(tx *Tx) error {
+					a, err := tx.InsertIntoLast(first, xmltok.MustParseFragment(`<t/>`))
+					if err != nil {
+						return err
+					}
+					if _, err := tx.InsertIntoLast(second, xmltok.MustParseFragment(`<t/>`)); err != nil {
+						return err
+					}
+					// Delete what we inserted so the doc stays small; the
+					// point is the lock footprint, not the content.
+					_ = a
+					return nil
+				})
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("RunInTx: %v", err)
+					return
+				}
+			}
+		}(order[g][0], order[g][1])
+	}
+	close(start)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunInTx deadlock retry hung")
+	}
+	if failures.Load() != 0 {
+		t.Fatal("some transactions failed permanently")
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunInTxRespectsContextBetweenRetries(t *testing.T) {
+	m := newManager(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := m.RunInTx(ctx, func(tx *Tx) error {
+		calls++
+		return ErrDeadlock // force the retry path
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled from the backoff wait", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times under a cancelled ctx", calls)
+	}
+}
+
+func TestWatchdogLogsStuckTransaction(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	m := newManagerOpts(t, Options{StuckAge: 30 * time.Millisecond, Logf: logf})
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/></doc>`))
+	setup.Commit()
+
+	stuck := m.Begin()
+	if _, err := stuck.InsertIntoLast(2, xmltok.MustParseFragment(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(logged)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never logged the stuck transaction")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	msg := logged[0]
+	mu.Unlock()
+	if !strings.Contains(msg, "watchdog") || !strings.Contains(msg, "lock") {
+		t.Errorf("log message %q missing context", msg)
+	}
+	// Log-only mode: the transaction is NOT doomed and can still commit.
+	if _, err := stuck.ReadNode(2); err != nil {
+		t.Fatalf("log-only watchdog must not abort: %v", err)
+	}
+	if err := stuck.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdogAbortsStuckTransaction(t *testing.T) {
+	m := newManagerOpts(t, Options{
+		StuckAge:   30 * time.Millisecond,
+		AbortStuck: true,
+		Logf:       func(string, ...any) {},
+	})
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/><b/></doc>`))
+	setup.Commit()
+	// a=2, b=3
+
+	stuck := m.Begin()
+	if _, err := stuck.InsertIntoLast(2, xmltok.MustParseFragment(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	// A waiter blocked on the stuck transaction's lock: once the watchdog
+	// dooms the sleeper and its owner aborts, the waiter proceeds.
+	waiterErr := make(chan error, 1)
+	go func() {
+		w := m.Begin()
+		defer w.Abort()
+		_, err := w.ReadNode(2)
+		if err == nil {
+			err = w.Commit()
+		}
+		waiterErr <- err
+	}()
+
+	// The stuck transaction's next operation reports the doom.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := stuck.ReadNode(3)
+		if errors.Is(err, ErrStuckAborted) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never doomed the stuck transaction")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Commit is refused; Abort rolls back and releases the locks.
+	if err := stuck.Commit(); !errors.Is(err, ErrStuckAborted) {
+		t.Fatalf("doomed tx committed: %v", err)
+	}
+	if err := stuck.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter after doomed tx aborted: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still blocked after the doomed tx aborted")
+	}
+	// The doomed insert was rolled back.
+	if got := xmlOf(t, m.Store()); got != `<doc><a/><b/></doc>` {
+		t.Errorf("rollback after watchdog abort: %s", got)
+	}
+}
+
+func TestCloseFailsBlockedTransactions(t *testing.T) {
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := NewManager(s)
+	setup := m.Begin()
+	setup.Append(xmltok.MustParse(`<doc><a/></doc>`))
+	setup.Commit()
+
+	holder := m.Begin()
+	if _, err := holder.InsertIntoLast(2, xmltok.MustParseFragment(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		blocked := m.Begin()
+		defer blocked.Abort()
+		_, err := blocked.ReadNode(2)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrManagerClosed) {
+			t.Fatalf("blocked tx got %v, want ErrManagerClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock the waiting transaction")
+	}
+	m.Close() // idempotent
+}

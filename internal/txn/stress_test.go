@@ -1,0 +1,175 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmltok"
+)
+
+// TestHostileConcurrencyStress is the randomized contention harness: many
+// goroutines run mixed readers, same-subtree writers, cross-subtree writers
+// (a deadlock generator), and cancellers with millisecond deadlines, over
+// both disjoint and overlapping subtrees. It asserts the no-hang guarantee
+// (the whole run completes under a hard deadline), that every operation
+// ends in success or a typed error, and that the surviving document passes
+// Verify and invariant checks. scripts/check.sh runs it under -race.
+func TestHostileConcurrencyStress(t *testing.T) {
+	const subtrees = 8
+	iterations := 60
+	if testing.Short() {
+		iterations = 15
+	}
+
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := NewManagerOpts(s, Options{
+		LockTimeout: 2 * time.Second, // backstop: nothing may wait forever
+		StuckAge:    5 * time.Second, // watchdog armed but quiet in a healthy run
+		Logf:        t.Logf,
+	})
+	defer m.Close()
+
+	setup := m.Begin()
+	doc := `<doc>`
+	for i := 0; i < subtrees; i++ {
+		doc += `<sub><leaf/></sub>`
+	}
+	doc += `</doc>`
+	if _, err := setup.Append(xmltok.MustParse(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// ids: doc=1, sub_k = 2+2k (its leaf = 3+2k).
+	subID := func(k int) core.NodeID { return core.NodeID(2 + 2*k) }
+
+	ctx := context.Background()
+	frag := xmltok.MustParseFragment(`<w/>`)
+	var (
+		wg                         sync.WaitGroup
+		commits, timeouts, cancels atomic.Int64
+		deadlineErrs               atomic.Int64
+	)
+	// insertDelete grows and reshrinks a subtree inside one transaction, so
+	// a committed run leaves the document unchanged and an aborted one
+	// exercises rollback.
+	insertDelete := func(tx *Tx, sub core.NodeID) error {
+		id, err := tx.InsertIntoLast(sub, frag)
+		if err != nil {
+			return err
+		}
+		return tx.DeleteNode(id)
+	}
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			for i := 0; i < iterations; i++ {
+				switch g % 4 {
+				case 0: // writer on its own subtree (disjoint with other writers)
+					err := m.RunInTx(ctx, func(tx *Tx) error {
+						return insertDelete(tx, subID(g%subtrees))
+					})
+					if err != nil {
+						t.Errorf("disjoint writer: %v", err)
+						return
+					}
+					commits.Add(1)
+				case 1: // cross-subtree writer in random order: deadlock generator
+					a, b := rng.Intn(subtrees), rng.Intn(subtrees)
+					err := m.RunInTx(ctx, func(tx *Tx) error {
+						if err := insertDelete(tx, subID(a)); err != nil {
+							return err
+						}
+						// Hold subtree a's locks across a real delay so other
+						// writers pile up behind them: this is what makes
+						// deadlocks reachable and canceller deadlines fire.
+						time.Sleep(time.Duration(rng.Intn(1500)) * time.Microsecond)
+						return insertDelete(tx, subID(b))
+					})
+					if err != nil {
+						t.Errorf("cross writer: %v", err)
+						return
+					}
+					commits.Add(1)
+				case 2: // reader over overlapping scopes: one subtree or the whole doc
+					err := m.RunInTx(ctx, func(tx *Tx) error {
+						if rng.Intn(4) == 0 {
+							_, err := tx.ReadAll()
+							return err
+						}
+						_, err := tx.ReadNode(subID(rng.Intn(subtrees)))
+						return err
+					})
+					if err != nil {
+						t.Errorf("reader: %v", err)
+						return
+					}
+					commits.Add(1)
+				case 3: // canceller: a tiny deadline that often fires mid-wait
+					opCtx, cancel := context.WithTimeout(ctx, time.Duration(1+rng.Intn(3))*time.Millisecond)
+					tx := m.BeginCtx(opCtx)
+					err := insertDelete(tx, subID(rng.Intn(subtrees)))
+					switch {
+					case err == nil:
+						if err := tx.Commit(); err != nil {
+							t.Errorf("canceller commit: %v", err)
+						} else {
+							commits.Add(1)
+						}
+					case errors.Is(err, ErrLockTimeout):
+						deadlineErrs.Add(1)
+						tx.Abort()
+					case errors.Is(err, context.Canceled):
+						cancels.Add(1)
+						tx.Abort()
+					case errors.Is(err, ErrDeadlock):
+						timeouts.Add(1)
+						tx.Abort()
+					default:
+						t.Errorf("canceller: unexpected error %v", err)
+						tx.Abort()
+					}
+					cancel()
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("stress harness hung: the no-hang guarantee is broken")
+	}
+	t.Logf("commits=%d lock-timeouts=%d deadlock-aborts=%d cancels=%d deadlock-retries=%d",
+		commits.Load(), deadlineErrs.Load(), timeouts.Load(), cancels.Load(),
+		m.DeadlockRetries())
+	if commits.Load() == 0 {
+		t.Error("no transaction ever committed")
+	}
+
+	// The document must be exactly the seeded one: every committed
+	// transaction was insert+delete, every failed one rolled back.
+	if got := xmlOf(t, m.Store()); got != doc {
+		t.Errorf("document drifted under contention:\n got %s\nwant %s", got, doc)
+	}
+	if err := m.Store().CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	if err := m.Store().Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}

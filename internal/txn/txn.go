@@ -9,12 +9,34 @@
 // subtrees proceed in parallel; a reader of a whole subtree blocks writers
 // anywhere inside it — exactly the multi-granularity protocol, driven by
 // the store's structural navigation.
+//
+// Contention hardening:
+//
+//   - A transaction is bound to a context at BeginCtx: every lock wait it
+//     performs honors that context's deadline and cancellation, returning
+//     ErrLockTimeout or context.Canceled instead of hanging. A per-manager
+//     default lock-wait timeout (Options.LockTimeout) bounds waits whose
+//     context has no deadline.
+//   - RunInTx retries deadlock victims with capped, jittered exponential
+//     backoff. The lock manager aborts the youngest cycle member, and the
+//     retry re-enters with a fresh (younger) ID, so an old transaction is
+//     never sacrificed to a newcomer and the same pair cannot livelock.
+//   - A watchdog (Options.StuckAge) logs transactions that hold locks past
+//     a configurable age, and with Options.AbortStuck dooms them: their
+//     pending lock waits fail immediately and every subsequent operation
+//     returns ErrStuckAborted, so the owner's deferred Abort releases the
+//     locks and the rest of the system keeps moving.
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log"
+	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lock"
@@ -22,45 +44,242 @@ import (
 
 // Transaction errors.
 var (
-	// ErrDeadlock is returned when waiting would deadlock; the caller must
-	// Abort and may retry.
+	// ErrDeadlock is returned when the transaction was chosen as a deadlock
+	// victim; the caller must Abort and may retry (RunInTx does both).
 	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout is returned when a lock wait exceeds its context
+	// deadline or the manager's default lock-wait timeout.
+	ErrLockTimeout = lock.ErrLockTimeout
+	// ErrManagerClosed is returned for lock waits failed by Manager.Close.
+	ErrManagerClosed = lock.ErrManagerClosed
 	// ErrTxDone is returned by operations on a committed or aborted
 	// transaction.
 	ErrTxDone = errors.New("txn: transaction already finished")
+	// ErrStuckAborted is returned by every operation of a transaction the
+	// watchdog doomed for holding locks past Options.StuckAge.
+	ErrStuckAborted = errors.New("txn: transaction aborted by watchdog for holding locks too long")
 )
 
 // documentResource is the single document-level lock target.
 const documentResource = 1
 
+// Options tunes the manager's contention behavior. The zero value disables
+// every timeout and the watchdog.
+type Options struct {
+	// LockTimeout bounds lock waits whose transaction context carries no
+	// deadline of its own. 0 means wait until grant, cancel, or deadlock.
+	LockTimeout time.Duration
+	// StuckAge enables the watchdog: transactions holding locks for longer
+	// than this are logged. 0 disables the watchdog.
+	StuckAge time.Duration
+	// WatchdogInterval is the sweep period. Defaults to StuckAge/4
+	// (at least 10ms) when the watchdog is enabled.
+	WatchdogInterval time.Duration
+	// AbortStuck makes the watchdog doom over-age transactions instead of
+	// only logging them: pending lock waits fail at once and subsequent
+	// operations return ErrStuckAborted.
+	AbortStuck bool
+	// Logf receives watchdog reports. Defaults to log.Printf.
+	Logf func(format string, args ...any)
+	// MaxRetries bounds RunInTx deadlock retries. Defaults to 8.
+	MaxRetries int
+	// RetryBackoff is the initial RunInTx backoff (default 2ms), doubled
+	// per retry with jitter, capped at MaxBackoff (default 250ms).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 250 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	if o.StuckAge > 0 && o.WatchdogInterval <= 0 {
+		o.WatchdogInterval = o.StuckAge / 4
+		if o.WatchdogInterval < 10*time.Millisecond {
+			o.WatchdogInterval = 10 * time.Millisecond
+		}
+	}
+	return o
+}
+
 // Manager coordinates transactions over one store.
 type Manager struct {
 	store *core.Store
 	locks *lock.Manager
+	opts  Options
 
 	mu     sync.Mutex
 	nextTx lock.TxID
+	active map[lock.TxID]*Tx
+
+	// retries counts deadlock-victim retries performed by RunInTx — an
+	// observability hook for harnesses measuring contention.
+	retries atomic.Int64
+
+	stopWatchdog chan struct{}
+	watchdogDone chan struct{}
+	closeOnce    sync.Once
 }
 
-// NewManager wraps a store.
-func NewManager(s *core.Store) *Manager {
-	return &Manager{store: s, locks: lock.NewManager(), nextTx: 1}
+// NewManager wraps a store with default options (no timeouts, no watchdog).
+func NewManager(s *core.Store) *Manager { return NewManagerOpts(s, Options{}) }
+
+// NewManagerOpts wraps a store with explicit contention options.
+func NewManagerOpts(s *core.Store, o Options) *Manager {
+	o = o.withDefaults()
+	m := &Manager{
+		store:  s,
+		locks:  lock.NewManager(),
+		opts:   o,
+		nextTx: 1,
+		active: make(map[lock.TxID]*Tx),
+	}
+	if o.LockTimeout > 0 {
+		m.locks.SetDefaultTimeout(o.LockTimeout)
+	}
+	if o.StuckAge > 0 {
+		m.stopWatchdog = make(chan struct{})
+		m.watchdogDone = make(chan struct{})
+		go m.watchdog()
+	}
+	return m
 }
 
 // Store returns the underlying store (for non-transactional reads such as
 // statistics).
 func (m *Manager) Store() *core.Store { return m.store }
 
-// Close shuts down the lock manager, waking any waiters.
-func (m *Manager) Close() { m.locks.Close() }
+// Locks exposes the lock manager (tests and introspection).
+func (m *Manager) Locks() *lock.Manager { return m.locks }
 
-// Begin starts a transaction.
-func (m *Manager) Begin() *Tx {
+// DeadlockRetries reports how many times RunInTx has retried a deadlock
+// victim since the manager was created.
+func (m *Manager) DeadlockRetries() int64 { return m.retries.Load() }
+
+// Close stops the watchdog and shuts down the lock manager, failing any
+// waiters with ErrManagerClosed.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		if m.stopWatchdog != nil {
+			close(m.stopWatchdog)
+			<-m.watchdogDone
+		}
+		m.locks.Close()
+	})
+}
+
+// Begin starts a transaction bound to the background context.
+func (m *Manager) Begin() *Tx { return m.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction whose lock waits honor ctx: deadline
+// expiry surfaces as ErrLockTimeout, cancellation as context.Canceled.
+func (m *Manager) BeginCtx(ctx context.Context) *Tx {
 	m.mu.Lock()
 	id := m.nextTx
 	m.nextTx++
+	tx := &Tx{m: m, id: id, ctx: ctx, begin: time.Now()}
+	m.active[id] = tx
 	m.mu.Unlock()
-	return &Tx{m: m, id: id}
+	return tx
+}
+
+// finish removes a completed transaction from the active set.
+func (m *Manager) finish(id lock.TxID) {
+	m.mu.Lock()
+	delete(m.active, id)
+	m.mu.Unlock()
+}
+
+// watchdog periodically sweeps for transactions holding locks past
+// Options.StuckAge.
+func (m *Manager) watchdog() {
+	defer close(m.watchdogDone)
+	t := time.NewTicker(m.opts.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopWatchdog:
+			return
+		case <-t.C:
+			m.sweepStuck()
+		}
+	}
+}
+
+func (m *Manager) sweepStuck() {
+	now := time.Now()
+	m.mu.Lock()
+	var stuck []*Tx
+	for _, tx := range m.active {
+		// A transaction parked inside a lock wait is a victim of contention,
+		// not a culprit: its wait is bounded by its context or the default
+		// lock timeout. The watchdog targets holders wedged elsewhere.
+		if now.Sub(tx.begin) >= m.opts.StuckAge &&
+			m.locks.HeldCount(tx.id) > 0 && !m.locks.IsWaiting(tx.id) {
+			stuck = append(stuck, tx)
+		}
+	}
+	m.mu.Unlock()
+	for _, tx := range stuck {
+		age := now.Sub(tx.begin).Round(time.Millisecond)
+		if tx.warned.CompareAndSwap(false, true) {
+			m.opts.Logf("txn: watchdog: transaction %d has held %d lock(s) for %v (limit %v)",
+				tx.id, m.locks.HeldCount(tx.id), age, m.opts.StuckAge)
+		}
+		if m.opts.AbortStuck {
+			cause := fmt.Errorf("%w (age %v)", ErrStuckAborted, age)
+			tx.doom(cause)
+			// Unstick it if it is blocked inside a lock wait; its locks are
+			// released when the owner's Abort runs.
+			m.locks.CancelWait(tx.id, cause)
+		}
+	}
+}
+
+// RunInTx runs fn inside a transaction bound to ctx, committing on nil and
+// aborting (with rollback) on error. Deadlock victims are retried with
+// capped, jittered exponential backoff up to Options.MaxRetries times; any
+// other error is returned as-is. fn must not call Commit or Abort itself,
+// and must be safe to re-run from scratch.
+func (m *Manager) RunInTx(ctx context.Context, fn func(tx *Tx) error) error {
+	backoff := m.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		tx := m.BeginCtx(ctx)
+		err := fn(tx)
+		if err == nil {
+			return tx.Commit()
+		}
+		if abortErr := tx.Abort(); abortErr != nil && !errors.Is(abortErr, ErrTxDone) {
+			return fmt.Errorf("%w (rollback also failed: %v)", err, abortErr)
+		}
+		if !errors.Is(err, ErrDeadlock) || attempt >= m.opts.MaxRetries {
+			return err
+		}
+		m.retries.Add(1)
+		// Jittered backoff in [backoff/2, backoff) decorrelates the retrying
+		// victims so the losing pair does not collide in lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+		if backoff < m.opts.MaxBackoff {
+			backoff *= 2
+			if backoff > m.opts.MaxBackoff {
+				backoff = m.opts.MaxBackoff
+			}
+		}
+	}
 }
 
 // undoRecord is the logical inverse of one applied operation.
@@ -80,15 +299,30 @@ type undoRecord struct {
 // Tx is one transaction. Not safe for concurrent use by multiple
 // goroutines.
 type Tx struct {
-	m    *Manager
-	id   lock.TxID
-	undo []undoRecord
-	done bool
+	m     *Manager
+	id    lock.TxID
+	ctx   context.Context
+	begin time.Time
+	undo  []undoRecord
+	done  bool
+
+	// doomed is set by the watchdog (a different goroutine): the cause every
+	// subsequent operation returns.
+	doomed atomic.Pointer[error]
+	warned atomic.Bool
 }
+
+// ID returns the transaction's lock-manager identity.
+func (tx *Tx) ID() lock.TxID { return tx.id }
+
+func (tx *Tx) doom(cause error) { tx.doomed.CompareAndSwap(nil, &cause) }
 
 func (tx *Tx) check() error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if p := tx.doomed.Load(); p != nil {
+		return *p
 	}
 	return nil
 }
@@ -100,7 +334,7 @@ func (tx *Tx) lockHierarchy(id core.NodeID, mode lock.Mode) error {
 	if mode == lock.X || mode == lock.IX {
 		intent = lock.IX
 	}
-	if err := tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelDocument, ID: documentResource}, intent); err != nil {
+	if err := tx.m.locks.Lock(tx.ctx, tx.id, lock.Resource{Level: lock.LevelDocument, ID: documentResource}, intent); err != nil {
 		return err
 	}
 	// Collect the ancestor path root-first.
@@ -118,16 +352,16 @@ func (tx *Tx) lockHierarchy(id core.NodeID, mode lock.Mode) error {
 		cur = p
 	}
 	for i := len(path) - 1; i >= 0; i-- {
-		if err := tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelNode, ID: uint64(path[i])}, intent); err != nil {
+		if err := tx.m.locks.Lock(tx.ctx, tx.id, lock.Resource{Level: lock.LevelNode, ID: uint64(path[i])}, intent); err != nil {
 			return err
 		}
 	}
-	return tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelNode, ID: uint64(id)}, mode)
+	return tx.m.locks.Lock(tx.ctx, tx.id, lock.Resource{Level: lock.LevelNode, ID: uint64(id)}, mode)
 }
 
 // lockDocument takes a document-level lock (whole-sequence operations).
 func (tx *Tx) lockDocument(mode lock.Mode) error {
-	return tx.m.locks.Lock(tx.id, lock.Resource{Level: lock.LevelDocument, ID: documentResource}, mode)
+	return tx.m.locks.Lock(tx.ctx, tx.id, lock.Resource{Level: lock.LevelDocument, ID: documentResource}, mode)
 }
 
 // ReadNode returns the subtree of id under a shared lock.
@@ -316,7 +550,8 @@ func (tx *Tx) ReplaceNode(id core.NodeID, frag []core.Token) (core.NodeID, error
 
 // Commit finishes the transaction, releasing all locks. Changes are already
 // in the store (strict 2PL: nothing was visible to conflicting transactions
-// before this point).
+// before this point). A doomed (watchdog-aborted) transaction cannot
+// commit; it must Abort.
 func (tx *Tx) Commit() error {
 	if err := tx.check(); err != nil {
 		return err
@@ -324,18 +559,21 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	tx.undo = nil
 	tx.m.locks.ReleaseAll(tx.id)
+	tx.m.finish(tx.id)
 	return nil
 }
 
 // Abort rolls back the transaction by applying logical inverses in reverse
 // order, then releases all locks. Node ids created by the rollback replace
 // the ids the transaction deleted; references between undo records are
-// remapped accordingly.
+// remapped accordingly. Abort works on doomed transactions — it is exactly
+// what the watchdog is waiting for the owner to do.
 func (tx *Tx) Abort() error {
-	if err := tx.check(); err != nil {
-		return err
+	if tx.done {
+		return ErrTxDone
 	}
 	tx.done = true
+	defer tx.m.finish(tx.id)
 	defer tx.m.locks.ReleaseAll(tx.id)
 
 	// Ids re-created during rollback get fresh values; remap chains old ids

@@ -24,7 +24,7 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (core, txn, fault, wal)"
-go test -race ./internal/core ./internal/txn ./internal/fault ./internal/wal
+echo "== go test -race (lock, core, txn, fault, wal, pagestore)"
+go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore
 
 echo "ok: all checks passed"
