@@ -134,8 +134,14 @@ func OpenFile(path string, cfg Config) (*Store, error) {
 }
 
 // ReopenFile reloads a store previously written with OpenFile. The meta page
-// of a store created by OpenFile on a fresh file is page 1.
+// of a store created by OpenFile on a fresh file is page 1. If a crashed
+// journaled session (ReopenFileWAL, repair) left committed batches in the
+// WAL sidecar, they are replayed into the page file first — opening around
+// them would corrupt the store at the next replay.
 func ReopenFile(path string, cfg Config) (*Store, error) {
+	if err := replayWAL(path, defaultedPageSize(cfg)); err != nil {
+		return nil, err
+	}
 	pager, err := pagestore.OpenFilePager(path, cfg.PageSize)
 	if err != nil {
 		return nil, err

@@ -25,9 +25,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
@@ -41,6 +43,11 @@ func main() {
 		mode     = flag.String("mode", "partial", "index mode for new stores: range, partial, full")
 		timeout  = flag.Duration("timeout", 0, "bound the whole command (e.g. 5s); 0 means no limit")
 		readonly = flag.Bool("readonly", false, "open the store read-only under a shared lock")
+		apply    = flag.Bool("apply", false, "repair: write the rebuilt store (default is a dry run)")
+		jsonOut  = flag.Bool("json", false, "verify/repair: print the report as JSON")
+		shared   = flag.Bool("shared", false, "backup: copy under a shared lock, coexisting with readers")
+		archive  = flag.String("archive", "", "WAL segment archive directory (journals mutating commands; enables point-in-time restore)")
+		lsn      = flag.Uint64("lsn", 0, "restore: target commit LSN (0 = newest archived)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -49,14 +56,43 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := runOpts(*db, *mode, cliOpts{timeout: *timeout, readOnly: *readonly}, args); err != nil {
+	opts := cliOpts{
+		timeout: *timeout, readOnly: *readonly,
+		apply: *apply, jsonOut: *jsonOut, shared: *shared,
+		archive: *archive, lsn: *lsn,
+	}
+	if err := runOpts(*db, *mode, opts, args); err != nil {
 		fmt.Fprintln(os.Stderr, "axmlstore:", err)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
 		os.Exit(1)
 	}
 }
 
+// exitError carries a process exit code with an error. Verification and
+// repair distinguish "the store is damaged" (1) from "the store could not
+// be examined at all, or the command was misused" (2); plain errors map
+// to 1.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+func exitWith(code int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &exitError{code: code, err: err}
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: axmlstore [-db file] [-mode range|partial|full] [-timeout d] [-readonly] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: axmlstore [-db file] [-mode range|partial|full] [-timeout d] [-readonly]
+                 [-apply] [-json] [-shared] [-archive dir] [-lsn n] <command> [args]
 
 commands:
   load <file.xml>              load a document into a fresh store
@@ -72,8 +108,18 @@ commands:
   delete <id>                  delete node (and subtree)
   compact                      merge fragmented ranges (offline coalescing)
   verify                       scrub checksums, chains and invariants
+                               (exit 0 clean, 1 corrupt, 2 unreadable; -json for a report)
+  repair                       salvage and rebuild a damaged store
+                               (dry run by default; -apply writes; -json for a report)
+  backup <dest>                copy the store to a consistent backup + sidecar
+                               (-shared to coexist with read-only openers)
+  restore <base> <dest>        materialize a backup (plus -archive segments up
+                               to -lsn) as a new store file
   dump                         print the whole store as XML
   stats                        print store statistics
+
+With -archive, mutating commands run write-ahead logged and every commit is
+archived as a numbered segment — the raw material of point-in-time restore.
 `)
 }
 
@@ -89,10 +135,23 @@ func parseMode(s string) (axml.IndexMode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
-// cliOpts carries the concurrency-related flags into run.
+// cliOpts carries the flag values into run.
 type cliOpts struct {
 	timeout  time.Duration
 	readOnly bool
+	apply    bool
+	jsonOut  bool
+	shared   bool
+	archive  string
+	lsn      uint64
+	out      io.Writer // defaults to os.Stdout; tests capture it
+}
+
+func (o cliOpts) stdout() io.Writer {
+	if o.out != nil {
+		return o.out
+	}
+	return os.Stdout
 }
 
 // run executes one CLI command with default options (no timeout, writable).
@@ -153,7 +212,12 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		if st, err := os.Stat(db); err == nil && st.Size() > 0 {
 			return fmt.Errorf("store %s already exists; remove it first", db)
 		}
-		s, err := axml.OpenFile(db, cfg)
+		var s *axml.Store
+		if opts.archive != "" {
+			s, err = axml.OpenFileWAL(db, cfg, opts.archive)
+		} else {
+			s, err = axml.OpenFile(db, cfg)
+		}
 		if err != nil {
 			return openErr(db, err)
 		}
@@ -174,22 +238,31 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 	}
 
 	if cmd == "verify" {
-		// Verify runs its own raw checksum scrub first, so corruption is
-		// reported per page even when it would keep the store from opening.
-		if err := axml.VerifyFile(db, cfg); err != nil {
-			if errors.Is(err, axml.ErrStoreLocked) {
-				return openErr(db, err)
-			}
-			return fmt.Errorf("verify failed:\n%w", err)
+		return cmdVerify(db, cfg, opts)
+	}
+	if cmd == "repair" {
+		return cmdRepair(db, cfg, opts)
+	}
+	if cmd == "backup" {
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("backup needs a destination path"))
 		}
-		fmt.Println("ok: checksums, record chains and invariants verified")
-		return nil
+		return cmdBackup(db, args[1], cfg, opts)
+	}
+	if cmd == "restore" {
+		if len(args) != 3 {
+			return exitWith(2, fmt.Errorf("restore needs a backup path and a destination path"))
+		}
+		return cmdRestore(args[1], args[2], opts)
 	}
 
 	var s *axml.Store
-	if opts.readOnly {
+	switch {
+	case opts.readOnly:
 		s, err = axml.ReopenFileReadOnly(db, cfg)
-	} else {
+	case opts.archive != "":
+		s, err = axml.ReopenFileWAL(db, cfg, opts.archive)
+	default:
 		s, err = axml.ReopenFile(db, cfg)
 	}
 	if err != nil {
@@ -349,8 +422,112 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		return nil
 	default:
 		usage()
-		return fmt.Errorf("unknown command %q", cmd)
+		return exitWith(2, fmt.Errorf("unknown command %q", cmd))
 	}
+}
+
+// printJSON writes a report as indented JSON.
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// cmdVerify scrubs the store and reports with distinct exit codes: 0 the
+// store is clean, 1 it is damaged, 2 it could not be examined at all
+// (missing, locked, unreadable).
+func cmdVerify(db string, cfg axml.Config, opts cliOpts) error {
+	rep, err := axml.VerifyFileReport(db, cfg)
+	if rep == nil {
+		if errors.Is(err, axml.ErrStoreLocked) {
+			return exitWith(2, openErr(db, err))
+		}
+		return exitWith(2, fmt.Errorf("verify: %w", err))
+	}
+	if opts.jsonOut {
+		if jerr := printJSON(opts.stdout(), rep); jerr != nil {
+			return jerr
+		}
+	}
+	if err != nil {
+		return exitWith(1, fmt.Errorf("verify failed:\n%w", err))
+	}
+	if !opts.jsonOut {
+		fmt.Fprintln(opts.stdout(), "ok: checksums, record chains and invariants verified")
+	}
+	return nil
+}
+
+// cmdRepair salvages the store; a dry run (the default) only reports.
+// Exit codes: 0 the store is clean (or was successfully repaired), 1 a dry
+// run found damage, 2 the store could not be examined.
+func cmdRepair(db string, cfg axml.Config, opts cliOpts) error {
+	if opts.readOnly {
+		return exitWith(2, fmt.Errorf("repair: cannot run with -readonly"))
+	}
+	rep, err := axml.RepairFile(db, cfg, opts.apply)
+	if rep == nil {
+		if err != nil && errors.Is(err, axml.ErrStoreLocked) {
+			return exitWith(2, openErr(db, err))
+		}
+		return exitWith(2, fmt.Errorf("repair: %w", err))
+	}
+	if err != nil {
+		return exitWith(2, fmt.Errorf("repair: %w", err))
+	}
+	if opts.jsonOut {
+		if jerr := printJSON(opts.stdout(), rep); jerr != nil {
+			return jerr
+		}
+	}
+	out := opts.stdout()
+	switch {
+	case rep.Clean:
+		if !opts.jsonOut {
+			fmt.Fprintf(out, "clean: %d pages scanned, %d records intact; nothing to repair\n", rep.Pages, rep.Salvaged)
+		}
+		return nil
+	case rep.Applied:
+		if !opts.jsonOut {
+			fmt.Fprintf(out, "repaired: %d records salvaged, %d lost, %d bad page(s) quarantined\n",
+				rep.Salvaged, rep.Lost, len(rep.BadPages))
+			for _, iv := range rep.Missing {
+				fmt.Fprintf(out, "  lost node ids %d..%d\n", iv.Start, iv.End)
+			}
+		}
+		return nil
+	default:
+		if !opts.jsonOut {
+			fmt.Fprintf(out, "dry run: %d bad page(s), %d records salvageable, %d lost; rerun with -apply to rebuild\n",
+				len(rep.BadPages), rep.Salvaged, rep.Lost)
+		}
+		return exitWith(1, fmt.Errorf("repair: store is damaged (dry run; use -apply to rebuild)"))
+	}
+}
+
+// cmdBackup copies the store into a consistent backup plus sidecar.
+func cmdBackup(db, dest string, cfg axml.Config, opts cliOpts) error {
+	meta, err := axml.BackupStoreFile(db, dest, cfg, opts.shared, opts.archive)
+	if err != nil {
+		if errors.Is(err, axml.ErrStoreLocked) {
+			return exitWith(2, fmt.Errorf("backup: %w (a writer has the store open; use -shared alongside readers, or in-process Store.BackupTo)", err))
+		}
+		return err
+	}
+	fmt.Fprintf(opts.stdout(), "backup: %d pages to %s (LSN %d)\n", meta.Pages, dest, meta.LSN)
+	return nil
+}
+
+// cmdRestore materializes a backup (plus archived WAL segments up to
+// -lsn) as a new store file.
+func cmdRestore(base, dest string, opts cliOpts) error {
+	info, err := axml.RestoreFile(base, dest, opts.archive, opts.lsn)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opts.stdout(), "restored: %d pages, %d segment(s) applied, at LSN %d -> %s\n",
+		info.PagesCopied, info.SegmentsApplied, info.FinalLSN, dest)
+	return nil
 }
 
 // openErr decorates store-open failures with actionable advice: a locked

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	axml "repro"
+)
+
+// exitCode maps a runOpts error to the process exit code main would use.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return 1
+}
+
+// corruptPage flips one byte inside the given page of a store file.
+func corruptPage(t *testing.T, db string, page int64) {
+	t.Helper()
+	f, err := os.OpenFile(db, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const pageSize = 8192 // default geometry used by the CLI
+	buf := []byte{0}
+	off := page*pageSize + 100
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x20
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The verify command's exit codes are part of the CLI contract:
+// 0 clean, 1 corrupt, 2 unreadable (missing, locked) or usage error.
+func TestCLIVerifyExitCodes(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+
+	// Missing store: cannot be examined at all.
+	if got := exitCode(run(db, "partial", []string{"verify"})); got != 2 {
+		t.Errorf("verify of missing store: exit %d, want 2", got)
+	}
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Clean store.
+	if got := exitCode(run(db, "partial", []string{"verify"})); got != 0 {
+		t.Errorf("verify of clean store: exit %d, want 0", got)
+	}
+	// Locked store: a writer holds the advisory lock.
+	s, err := axml.ReopenFile(db, axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exitCode(run(db, "partial", []string{"verify"})); got != 2 {
+		t.Errorf("verify of locked store: exit %d, want 2", got)
+	}
+	s.Close()
+	// Usage error (checked before corrupting: opening the store still works).
+	if got := exitCode(run(db, "partial", []string{"frobnicate"})); got != 2 {
+		t.Errorf("unknown command: exit %d, want 2", got)
+	}
+	// Corrupt store.
+	corruptPage(t, db, 2)
+	if got := exitCode(run(db, "partial", []string{"verify"})); got != 1 {
+		t.Errorf("verify of corrupt store: exit %d, want 1", got)
+	}
+}
+
+// verify -json must name the damaged pages machine-readably.
+func TestCLIVerifyJSONReport(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	corruptPage(t, db, 2)
+	var out bytes.Buffer
+	err := runOpts(db, "partial", cliOpts{jsonOut: true, out: &out}, []string{"verify"})
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("exit %d, want 1 (err: %v)", got, err)
+	}
+	var rep axml.RepairReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Clean {
+		t.Error("report claims the corrupt store is clean")
+	}
+	found := false
+	for _, f := range rep.BadPages {
+		if f.Page == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report does not list page 2: %+v", rep.BadPages)
+	}
+}
+
+// A damaged store: repair dry run reports and exits 1, repair -apply
+// rebuilds, and verify is clean afterwards.
+func TestCLIRepair(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Repairing a clean store is a no-op with exit 0.
+	if got := exitCode(run(db, "partial", []string{"repair"})); got != 0 {
+		t.Errorf("repair of clean store: exit %d, want 0", got)
+	}
+	corruptPage(t, db, 2)
+	// Dry run: reports damage, exits 1, writes nothing.
+	if got := exitCode(run(db, "partial", []string{"repair"})); got != 1 {
+		t.Errorf("repair dry run on corrupt store: exit %d, want 1", got)
+	}
+	if got := exitCode(run(db, "partial", []string{"verify"})); got != 1 {
+		t.Errorf("store changed by a dry run: verify exit %d, want still 1", got)
+	}
+	// Apply: rebuild, then the store must verify clean and open normally.
+	var out bytes.Buffer
+	err := runOpts(db, "partial", cliOpts{apply: true, out: &out}, []string{"repair"})
+	if got := exitCode(err); got != 0 {
+		t.Fatalf("repair -apply: exit %d (err: %v)", got, err)
+	}
+	if !strings.Contains(out.String(), "repaired") {
+		t.Errorf("repair -apply output: %q", out.String())
+	}
+	if got := exitCode(run(db, "partial", []string{"verify"})); got != 0 {
+		t.Errorf("verify after repair: exit %d, want 0", got)
+	}
+	// Missing store cannot be repaired: exit 2.
+	if got := exitCode(run(filepath.Join(t.TempDir(), "nope.db"), "partial", []string{"repair"})); got != 2 {
+		t.Error("repair of missing store should exit 2")
+	}
+}
+
+// Full cycle: load with archiving, mutate, back up, mutate more, restore
+// to the backup point and to the newest commit.
+func TestCLIBackupRestore(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	dir := filepath.Dir(db)
+	archive := filepath.Join(dir, "archive")
+	opts := cliOpts{archive: archive, out: &bytes.Buffer{}}
+
+	if err := runOpts(db, "partial", opts, []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOpts(db, "partial", opts, []string{"insert-last", "1", `<order id="3"/>`}); err != nil {
+		t.Fatal(err)
+	}
+	backup := filepath.Join(dir, "backup.db")
+	if err := runOpts(db, "partial", opts, []string{"backup", backup}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(backup + ".meta"); err != nil {
+		t.Fatalf("backup sidecar: %v", err)
+	}
+	// More work after the backup, journaled into the archive.
+	if err := runOpts(db, "partial", opts, []string{"insert-last", "1", `<order id="4"/>`}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore to the newest archived commit: both orders present.
+	restored := filepath.Join(dir, "restored.db")
+	if err := runOpts(restored, "partial", opts, []string{"restore", backup, restored}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ropt := cliOpts{out: &out}
+	if err := runOpts(restored, "partial", ropt, []string{"value", `count(//order)`}); err != nil {
+		t.Fatal(err)
+	}
+	if got := exitCode(run(restored, "partial", []string{"verify"})); got != 0 {
+		t.Errorf("verify of restored store: exit %d", got)
+	}
+
+	// Restore the bare backup (no archive): the post-backup insert absent.
+	base := filepath.Join(dir, "base.db")
+	if err := runOpts(base, "partial", cliOpts{out: &bytes.Buffer{}}, []string{"restore", backup, base}); err != nil {
+		t.Fatal(err)
+	}
+	sBase, err := axml.ReopenFile(base, axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sBase.Close()
+	vBase, err := axml.QueryValue(sBase, `count(//order)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFull, err := axml.ReopenFile(restored, axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sFull.Close()
+	vFull, err := axml.QueryValue(sFull, `count(//order)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vBase != "3" || vFull != "4" {
+		t.Errorf("order counts: base %s (want 3), restored %s (want 4)", vBase, vFull)
+	}
+
+	// Restoring onto an existing file must refuse.
+	if err := runOpts(db, "partial", opts, []string{"restore", backup, db}); err == nil {
+		t.Error("restore over an existing store should fail")
+	}
+}

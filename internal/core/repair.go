@@ -1,0 +1,218 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/btree"
+	"repro/internal/pagestore"
+	recov "repro/internal/recover"
+)
+
+// rangeCodec teaches the recovery layer this store's record semantics: a
+// payload is a range record, validated end to end by replaying its token
+// stream and cross-checking the header counts — node ids are never stored,
+// so a record whose tokens replay to the declared counts is fully usable.
+type rangeCodec struct{}
+
+func (rangeCodec) Inspect(payload []byte) (recov.RecordMeta, error) {
+	id, start, nodes, toks, tokenBytes, err := decodeRangeHeader(payload)
+	if err != nil {
+		return recov.RecordMeta{}, err
+	}
+	gotNodes, gotToks, err := countNodesInPrefix(tokenBytes, len(tokenBytes))
+	if err != nil {
+		return recov.RecordMeta{}, fmt.Errorf("core: range %d: token stream: %w", id, err)
+	}
+	if gotNodes != nodes || gotToks != toks {
+		return recov.RecordMeta{}, fmt.Errorf("core: range %d: header claims %d nodes/%d tokens, stream replays to %d/%d", id, nodes, toks, gotNodes, gotToks)
+	}
+	meta := recov.RecordMeta{ID: uint64(id)}
+	if nodes > 0 {
+		meta.Key = uint64(start)
+		meta.Span = uint64(nodes)
+	}
+	return meta, nil
+}
+
+func (rangeCodec) DecodeAlloc(user []byte) (nextKey, nextID uint64, ok bool) {
+	if len(user) < 12 {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(user[0:]), uint64(binary.LittleEndian.Uint32(user[8:])), true
+}
+
+func (rangeCodec) EncodeAlloc(nextKey, nextID uint64) []byte {
+	out := make([]byte, 12)
+	binary.LittleEndian.PutUint64(out[0:], nextKey)
+	binary.LittleEndian.PutUint32(out[8:], uint32(nextID))
+	return out
+}
+
+// RepairReport is the outcome of a salvage pass, plus whether a rebuild
+// was written.
+type RepairReport struct {
+	recov.Result
+	Applied bool `json:"applied"`
+}
+
+// SalvageScan runs the read-only salvage pass over a raw pager: every page
+// classified, the surviving record chain reassembled, losses quantified.
+// It is the page-level half of verification and the dry run of repair.
+func SalvageScan(pager pagestore.Pager, metaPage pagestore.PageID) (*RepairReport, error) {
+	res, err := recov.Salvage(pager, metaPage, rangeCodec{})
+	if err != nil {
+		return nil, err
+	}
+	return &RepairReport{Result: *res}, nil
+}
+
+// RepairPager salvages the store behind pager and, when apply is set and
+// the store needs it, rebuilds: salvaged ranges are written as a fresh
+// generation, the meta page switched over, and the old generation zeroed.
+// With a WAL-backed pager the rebuild is one atomic batch.
+func RepairPager(pager pagestore.Pager, metaPage pagestore.PageID, apply bool) (*RepairReport, error) {
+	res, err := recov.Salvage(pager, metaPage, rangeCodec{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &RepairReport{Result: *res}
+	if apply && !res.Clean {
+		if err := recov.Rebuild(pager, metaPage, res, rangeCodec{}); err != nil {
+			return rep, err
+		}
+		rep.Applied = true
+	}
+	return rep, nil
+}
+
+// Repair runs salvage over this store's own pages. With apply set it
+// rewrites the store from whatever survives and — if the rebuild succeeds
+// — clears a read-only degradation latch: the store is consistent again,
+// even if data quarantined by the scan is gone.
+//
+// On a healthy store Repair(true) is a no-op (the salvage pass reports
+// Clean and nothing is written). On a degraded store the dirty in-memory
+// state is discarded first; the durable on-disk image is the salvage
+// source of truth.
+func (s *Store) Repair(apply bool) (*RepairReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if apply && s.cfg.ReadOnly {
+		return nil, fmt.Errorf("%w: cannot repair a store opened read-only", ErrReadOnly)
+	}
+	degraded, _ := s.ReadOnly()
+	pager := s.pool.Pager()
+	if degraded {
+		// Drop suspect buffered state so salvage sees only durable pages.
+		if d, ok := pager.(interface{ DiscardPending() }); ok {
+			d.DiscardPending()
+		}
+	} else if !s.cfg.ReadOnly {
+		// Healthy store: make the in-memory state durable first so salvage
+		// scans current data rather than racing the buffer pool.
+		if err := s.flushLocked(); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := RepairPager(pager, s.recs.MetaPage(), apply)
+	if err != nil {
+		return rep, err
+	}
+	if apply && (rep.Applied || degraded) {
+		if err := s.reloadLocked(); err != nil {
+			return rep, fmt.Errorf("core: repair applied but reload failed: %w", err)
+		}
+		s.degradeMu.Lock()
+		s.corrupt = nil
+		s.degradeMu.Unlock()
+	}
+	return rep, nil
+}
+
+// reloadLocked rebuilds every piece of in-memory state from the (just
+// repaired) pages, as Reopen would: fresh buffer pool over the same pager,
+// record store reopened at the same meta page, indexes reconstructed.
+func (s *Store) reloadLocked() error {
+	pager := s.pool.Pager()
+	metaPage := s.recs.MetaPage()
+	pool := pagestore.NewBufferPool(pager, s.cfg.PoolPages)
+	recs, err := pagestore.OpenRecordStore(pool, metaPage)
+	if err != nil {
+		return err
+	}
+	s.pool = pool
+	s.recs = recs
+	s.rindex = btree.New[*rangeInfo]()
+	s.byRange = make(map[RangeID]*rangeInfo)
+	s.byLoc = make(map[pagestore.Loc]*rangeInfo)
+	s.partial = nil
+	s.full = nil
+	s.nodes, s.tokens, s.bytes = 0, 0, 0
+	s.nextID = 1
+	s.nextRange = 1
+	if err := s.initIndexes(); err != nil {
+		return err
+	}
+	return s.rebuild()
+}
+
+// BackupTo streams a consistent snapshot of the live store into a new page
+// file at dest, plus a restore sidecar at dest+".meta". Writers are held
+// off for the duration (the store lock is exclusive); the image is flushed
+// and committed first, so the backup cuts exactly at the current state.
+func (s *Store) BackupTo(dest string) (recov.BackupMeta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var meta recov.BackupMeta
+	if s.closed {
+		return meta, ErrClosed
+	}
+	if ro, cause := s.ReadOnly(); ro {
+		return meta, fmt.Errorf("%w: store is degraded (%v); repair before taking a backup", ErrReadOnly, cause)
+	}
+	if !s.cfg.ReadOnly {
+		if err := s.flushLocked(); err != nil {
+			return meta, err
+		}
+	}
+	pager := s.pool.Pager()
+	f, err := os.OpenFile(dest, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return meta, err
+	}
+	pages, err := recov.BackupPager(pager, f)
+	if err != nil {
+		f.Close()
+		os.Remove(dest)
+		return meta, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(dest)
+		return meta, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(dest)
+		return meta, err
+	}
+	var lsn uint64
+	if l, ok := pager.(interface{ LSN() uint64 }); ok {
+		lsn = l.LSN()
+	}
+	meta = recov.BackupMeta{
+		PageSize: pager.PageSize(),
+		Pages:    pages,
+		MetaPage: uint32(s.recs.MetaPage()),
+		LSN:      lsn,
+	}
+	if err := recov.WriteBackupMeta(dest, meta); err != nil {
+		os.Remove(dest)
+		return recov.BackupMeta{}, err
+	}
+	return meta, nil
+}

@@ -289,6 +289,12 @@ func (s *Store) Flush() (err error) {
 	if err := s.writableLocked(); err != nil {
 		return err
 	}
+	return s.flushLocked()
+}
+
+// flushLocked is Flush's body, for callers already holding s.mu (repair
+// and backup flush before reading raw pages).
+func (s *Store) flushLocked() (err error) {
 	if err = s.saveAllocState(); err != nil {
 		return err
 	}

@@ -1,0 +1,41 @@
+package diskbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pagestore"
+)
+
+// InspectNode classifies a raw page image as a B+tree node, for the salvage
+// scanner. isNode reports whether the type byte claims a tree node at all;
+// err reports a bounds violation for the claimed type. The entry value size
+// is not known at raw-scan time, so only size-independent bounds are
+// checked: index pages are derivable state and are rebuilt, never salvaged,
+// so recognition is all the scanner needs.
+//
+// Like pagestore.InspectPage, it must never panic on arbitrary bytes.
+func InspectNode(b []byte) (isNode bool, err error) {
+	if len(b) < headerSize+pagestore.PageTrailerSize {
+		return false, nil
+	}
+	typ := b[0]
+	if typ != leafType && typ != interiorType {
+		return false, nil
+	}
+	usable := len(b) - pagestore.PageTrailerSize
+	count := int(binary.LittleEndian.Uint16(b[2:]))
+	// Minimum entry sizes: a leaf entry is key(8)+value(>=1); an interior
+	// entry is key(8)+child(4) after the leading child0(4).
+	switch typ {
+	case leafType:
+		if headerSize+count*9 > usable {
+			return true, fmt.Errorf("diskbtree: leaf claims %d entries, page holds %d usable bytes", count, usable)
+		}
+	case interiorType:
+		if headerSize+4+count*12 > usable {
+			return true, fmt.Errorf("diskbtree: interior claims %d entries, page holds %d usable bytes", count, usable)
+		}
+	}
+	return true, nil
+}

@@ -27,10 +27,19 @@ import (
 
 const cmPageSize = 512
 
+// nightlyScale widens a workload in the nightly CI profile, which trades
+// time for more I/O boundaries per crash sweep.
+func nightlyScale(normal, nightly int) int {
+	if os.Getenv("AXML_NIGHTLY") != "" {
+		return nightly
+	}
+	return normal
+}
+
 func seedDoc() string {
 	var b strings.Builder
 	b.WriteString("<orders>")
-	for i := 0; i < 40; i++ {
+	for i := 0; i < nightlyScale(40, 120); i++ {
 		fmt.Fprintf(&b, `<order id="%d"><item>part-%d</item></order>`, i, i)
 	}
 	b.WriteString("</orders>")

@@ -1,0 +1,113 @@
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// insertFrag inserts one marker element as last content of the root.
+func insertFrag(t *testing.T, s *core.Store, marker string) {
+	t.Helper()
+	root, ok, err := s.FirstNodeID()
+	if err != nil || !ok {
+		t.Fatalf("no root: %v", err)
+	}
+	frag, err := axml.ParseFragment(fmt.Sprintf(`<e n="%s"/>`, marker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertIntoLast(root, frag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A full disk mid-commit must surface as a typed ENOSPC error, corrupt
+// nothing, and leave the store recoverable in place once space frees up.
+// atWrite 1 hits the WAL log write itself; atWrite 2 lets the log become
+// durable and fails the first page apply — the nastier case, because the
+// abandoned batch must not be replayed over the repaired store later.
+func testDiskFull(t *testing.T, atWrite int) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "store.db")
+	inj := fault.NewInjector(fault.Config{})
+	wp, err := wal.OpenWithOptions(db, cmPageSize, wal.Options{
+		WrapPager: func(ip wal.InnerPager) wal.InnerPager { return fault.NewPager(inj, ip) },
+		WrapLog:   func(f wal.File) wal.File { return fault.NewFile(inj, f) },
+		Retries:   -1, // ErrDiskFull is not transient; don't slow the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Open(core.Config{Pager: wp, PageSize: cmPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := axml.LoadXMLString(s, `<log/>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.ArmDiskFull(atWrite)
+	insertFrag(t, s, "lost")
+	ferr := s.Flush()
+	if ferr == nil {
+		t.Fatal("flush on a full disk succeeded")
+	}
+	if !errors.Is(ferr, fault.ErrDiskFull) || !errors.Is(ferr, syscall.ENOSPC) {
+		t.Fatalf("flush error %v does not wrap ErrDiskFull/ENOSPC", ferr)
+	}
+	if !inj.DiskFull() {
+		t.Fatal("injector does not report the disk as full")
+	}
+	// The store latches itself read-only rather than risk the suspect
+	// state (ReadOnly then also reports the latch cause as its error).
+	if ro, _ := s.ReadOnly(); !ro {
+		t.Fatal("store not degraded after failed flush")
+	}
+
+	// Space comes back; in-place repair discards the failed batch, reloads
+	// the durable state and lifts the read-only latch.
+	inj.FreeSpace()
+	rep, err := s.Repair(true)
+	if err != nil {
+		t.Fatalf("repair after ENOSPC: %v", err)
+	}
+	if !rep.Clean {
+		t.Fatalf("on-disk state corrupt after ENOSPC: %+v", rep.Result)
+	}
+	if ro, err := s.ReadOnly(); err != nil || ro {
+		t.Fatalf("store still read-only after repair (ro=%v err=%v)", ro, err)
+	}
+
+	insertFrag(t, s, "ok")
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after space freed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen: recovery must not resurrect the abandoned batch.
+	xml := validate(t, db)
+	if !strings.Contains(xml, `n="ok"`) {
+		t.Errorf("post-recovery document lost the committed insert: %s", xml)
+	}
+	if strings.Contains(xml, `n="lost"`) {
+		t.Errorf("the ENOSPC-failed insert was resurrected: %s", xml)
+	}
+}
+
+func TestDiskFullAtLogWrite(t *testing.T)  { testDiskFull(t, 1) }
+func TestDiskFullMidApply(t *testing.T)    { testDiskFull(t, 2) }
+func TestDiskFullLateInApply(t *testing.T) { testDiskFull(t, 3) }

@@ -15,16 +15,20 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"syscall"
 
 	"repro/internal/pagestore"
 )
 
 // Sentinel errors. Injected errors wrap ErrInjected and report
 // Temporary() == true when Config.Transient is set; crash errors wrap
-// ErrCrashed and are never temporary.
+// ErrCrashed and are never temporary. Disk-full errors wrap ErrDiskFull
+// (and through it syscall.ENOSPC) and persist until FreeSpace is called —
+// a full disk does not fix itself on retry.
 var (
 	ErrInjected = errors.New("fault: injected error")
 	ErrCrashed  = errors.New("fault: simulated crash")
+	ErrDiskFull = fmt.Errorf("fault: disk full: %w", syscall.ENOSPC)
 )
 
 // opError carries the op kind and count for diagnostics and implements the
@@ -71,21 +75,28 @@ type Config struct {
 	// CrashAtOp arms a crash at the Nth mutating operation: that operation
 	// and every operation after it fail with ErrCrashed. Zero disables.
 	CrashAtOp int
+	// DiskFullAtWrite makes the Nth write — and every write and allocation
+	// after it — fail with ErrDiskFull (wrapping syscall.ENOSPC), persisting
+	// until Injector.FreeSpace simulates space being reclaimed. Unlike a
+	// crash, reads and syncs keep working: the device is full, not gone.
+	// Disk-full writes are never torn: nothing reaches the store.
+	DiskFullAtWrite int
 }
 
 // Injector counts operations and decides, per operation, whether to inject
 // a fault. One Injector is shared across all wrappers of one store so the
 // op streams are global. It is safe for concurrent use.
 type Injector struct {
-	mu      sync.Mutex
-	cfg     Config
-	rng     *rand.Rand
-	reads   int
-	writes  int
-	syncs   int
-	ops     int // mutating ops
-	crashed bool
-	flipped bool
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	reads    int
+	writes   int
+	syncs    int
+	ops      int // mutating ops
+	crashed  bool
+	flipped  bool
+	diskFull bool
 }
 
 // NewInjector returns an injector following cfg's schedule.
@@ -115,6 +126,37 @@ func (in *Injector) ArmCrash(atOp int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.cfg.CrashAtOp = in.ops + atOp
+}
+
+// ArmDiskFull makes the Nth write from now (1 = the very next) and every
+// write after it fail with ErrDiskFull until FreeSpace is called. Arming
+// past the first write of a WAL commit simulates the disk filling up
+// mid-batch — after the log write but during the page-file apply.
+func (in *Injector) ArmDiskFull(atWrite int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if atWrite < 1 {
+		atWrite = 1
+	}
+	in.cfg.DiskFullAtWrite = in.writes + atWrite
+	in.diskFull = false
+}
+
+// FreeSpace clears a disk-full condition: subsequent writes succeed, as if
+// space had been reclaimed on the device.
+func (in *Injector) FreeSpace() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cfg.DiskFullAtWrite = 0
+	in.diskFull = false
+}
+
+// DiskFull reports whether the injector is currently refusing writes for
+// lack of space.
+func (in *Injector) DiskFull() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.diskFull
 }
 
 // err builds the injected error for an op.
@@ -169,6 +211,12 @@ func (in *Injector) beforeMutate(op string, isWrite bool, bufLen int) (error, in
 			torn = in.tornLen(bufLen)
 		}
 		return in.err(ErrCrashed, op, in.ops), torn
+	}
+	if in.cfg.DiskFullAtWrite != 0 && (isWrite || op == "allocate") {
+		if in.diskFull || (isWrite && in.writes >= in.cfg.DiskFullAtWrite) {
+			in.diskFull = true
+			return in.err(ErrDiskFull, op, in.ops), 0
+		}
 	}
 	if isWrite && in.cfg.FailWrite != 0 && in.writes == in.cfg.FailWrite {
 		return in.err(ErrInjected, op, in.writes), in.tornLen(bufLen)

@@ -1,0 +1,116 @@
+package pagestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+const salvagePageSize = 512
+
+// buildRealPages formats a record store with small inline records and one
+// record big enough to overflow, flushes it, and returns every raw page
+// image (checksummed, as it would sit on disk) plus the meta page id.
+func buildRealPages(tb testing.TB) ([][]byte, PageID) {
+	tb.Helper()
+	p := NewMemPager(salvagePageSize)
+	pool := NewBufferPool(p, 64)
+	rs, err := CreateRecordStore(pool)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		rec := bytes.Repeat([]byte{byte('a' + i%26)}, 24+i%17)
+		if _, _, err := rs.InsertLast(rec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	big := bytes.Repeat([]byte{0xbe}, 3*salvagePageSize)
+	if _, _, err := rs.InsertLast(big); err != nil {
+		tb.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		tb.Fatal(err)
+	}
+	var pages [][]byte
+	for id := PageID(1); ; id++ {
+		buf := make([]byte, salvagePageSize)
+		if err := p.ReadPage(id, buf); err != nil {
+			break
+		}
+		pages = append(pages, buf)
+	}
+	if len(pages) < 4 {
+		tb.Fatalf("only %d real pages built", len(pages))
+	}
+	return pages, rs.MetaPage()
+}
+
+// Every page of a freshly flushed store must classify as its real kind
+// with no structural error — InspectPage must never reject a valid page.
+func TestInspectPageClassifiesRealPages(t *testing.T) {
+	pages, metaPage := buildRealPages(t)
+	counts := map[PageKind]int{}
+	for i, img := range pages {
+		id := PageID(i + 1)
+		if err := VerifyChecksum(id, img); err != nil {
+			t.Fatalf("page %d: bad checksum on freshly flushed page: %v", id, err)
+		}
+		info := InspectPage(img)
+		if info.Err != nil {
+			t.Errorf("page %d: classified %v with error %v", id, info.Kind, info.Err)
+		}
+		counts[info.Kind]++
+		if id == metaPage && info.Kind != KindMeta {
+			t.Errorf("meta page %d classified as %v", id, info.Kind)
+		}
+		if info.Kind == KindData {
+			for _, r := range info.Records {
+				if _, err := DecodeStored(r.Stored); err != nil {
+					t.Errorf("page %d: record slot %d undecodable: %v", id, r.Slot, err)
+				}
+			}
+		}
+	}
+	if counts[KindMeta] != 1 || counts[KindData] == 0 || counts[KindOverflow] == 0 {
+		t.Errorf("kind census %v: want exactly 1 meta, some data, some overflow", counts)
+	}
+	// A zeroed page is a valid free page, and a short buffer is not a panic.
+	zero := make([]byte, salvagePageSize)
+	if info := InspectPage(zero); info.Kind != KindFree || info.Err != nil {
+		t.Errorf("zero page: %v / %v", info.Kind, info.Err)
+	}
+	if info := InspectPage(zero[:10]); info.Err == nil {
+		t.Errorf("10-byte page image classified without error as %v", info.Kind)
+	}
+}
+
+// The salvage classifier is the first thing that touches untrusted bytes
+// after a crash, so it must never panic and never waver: same input, same
+// classification, and any page it accepts as data must have fully
+// decodable records.
+func FuzzInspectPage(f *testing.F) {
+	pages, _ := buildRealPages(f)
+	for _, img := range pages {
+		f.Add(img)
+		// A torn variant of each real page.
+		torn := append([]byte{}, img[:len(img)/2]...)
+		f.Add(torn)
+	}
+	f.Add(make([]byte, salvagePageSize))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		info := InspectPage(b)
+		again := InspectPage(b)
+		if info.Kind != again.Kind || (info.Err == nil) != (again.Err == nil) {
+			t.Fatalf("classification not deterministic: %v/%v vs %v/%v",
+				info.Kind, info.Err, again.Kind, again.Err)
+		}
+		if info.Kind == KindData && info.Err == nil {
+			for _, r := range info.Records {
+				if _, err := DecodeStored(r.Stored); err != nil {
+					t.Fatalf("accepted data page carries undecodable record: %v", err)
+				}
+			}
+		}
+	})
+}

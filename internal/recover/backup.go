@@ -1,0 +1,226 @@
+package recover
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pagestore"
+	"repro/internal/wal"
+)
+
+// BackupMeta is the sidecar (<backup>.meta, JSON) written next to every
+// backup: what restore needs to interpret the page image and where in the
+// commit history it was cut.
+type BackupMeta struct {
+	PageSize int    `json:"page_size"`
+	Pages    uint32 `json:"pages"`
+	MetaPage uint32 `json:"meta_page"`
+	// LSN is the last commit folded into this backup. Restore replays
+	// archived WAL segments LSN+1.. to roll forward.
+	LSN uint64 `json:"lsn"`
+}
+
+// backupMetaSuffix names the sidecar written next to a backup file.
+const backupMetaSuffix = ".meta"
+
+// BackupMetaPath returns the sidecar path for a backup file.
+func BackupMetaPath(backupPath string) string { return backupPath + backupMetaSuffix }
+
+// WriteBackupMeta writes the sidecar for backupPath durably.
+func WriteBackupMeta(backupPath string, m BackupMeta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(BackupMetaPath(backupPath), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBackupMeta reads the sidecar for backupPath.
+func ReadBackupMeta(backupPath string) (BackupMeta, error) {
+	var m BackupMeta
+	data, err := os.ReadFile(BackupMetaPath(backupPath))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("recover: backup sidecar %s: %w", BackupMetaPath(backupPath), err)
+	}
+	if m.PageSize < pagestore.MinPageSize {
+		return m, fmt.Errorf("recover: backup sidecar %s: implausible page size %d", BackupMetaPath(backupPath), m.PageSize)
+	}
+	return m, nil
+}
+
+// BackupPager streams every page behind p to w as a dense page image:
+// page 0 (reserved) through MaxPageID, with freed and reserved slots
+// written as zero pages. Every allocated page is checksum-verified on the
+// way out — a backup of corrupt data is worse than no backup, so the copy
+// fails instead (run repair first). Returns the number of pages streamed.
+func BackupPager(p pagestore.Pager, w io.Writer) (uint32, error) {
+	ext, ok := p.(interface{ MaxPageID() pagestore.PageID })
+	if !ok {
+		return 0, ErrNoExtent
+	}
+	return backupPages(func(id pagestore.PageID, buf []byte) error {
+		return p.ReadPage(id, buf)
+	}, ext.MaxPageID(), p.PageSize(), w)
+}
+
+func backupPages(read func(id pagestore.PageID, buf []byte) error, max pagestore.PageID, pageSize int, w io.Writer) (uint32, error) {
+	buf := make([]byte, pageSize)
+	zero := make([]byte, pageSize)
+	if _, err := w.Write(zero); err != nil { // page 0, reserved
+		return 0, err
+	}
+	pages := uint32(1)
+	for id := pagestore.PageID(1); id <= max; id++ {
+		out := buf
+		if err := read(id, buf); err != nil {
+			if isUnallocated(err) {
+				out = zero
+			} else {
+				return pages, fmt.Errorf("recover: backup: page %d: %w", id, err)
+			}
+		} else if err := pagestore.VerifyChecksum(id, buf); err != nil {
+			return pages, fmt.Errorf("recover: backup refused: %w (repair the store first)", err)
+		}
+		if _, err := w.Write(out); err != nil {
+			return pages, err
+		}
+		pages++
+	}
+	return pages, nil
+}
+
+func isUnallocated(err error) bool {
+	return err != nil && (errors.Is(err, pagestore.ErrFreedPage) || errors.Is(err, pagestore.ErrPageBounds))
+}
+
+// BackupOptions configures BackupFile.
+type BackupOptions struct {
+	PageSize int
+	// MetaPage is recorded in the sidecar (the store's meta page id).
+	MetaPage pagestore.PageID
+	// Shared opens the source under a shared (read-only) lock, coexisting
+	// with other readers; the source is never modified. Committed WAL
+	// batches that have not yet been applied to the page file are folded
+	// in from the sidecar log as an overlay — the "WAL barrier" — so the
+	// backup still cuts at the last durable commit. Without Shared the
+	// source is opened exclusively and the log is replayed into the file
+	// first.
+	Shared bool
+	// ArchiveDir, when set in exclusive mode, archives replayed batches so
+	// the segment history stays contiguous across the backup.
+	ArchiveDir string
+}
+
+// BackupFile copies the store at src into a consistent backup at dest,
+// plus the BackupMeta sidecar at dest+".meta". The backup is a plain page
+// file: it can be opened directly or used as a restore base.
+func BackupFile(src, dest string, opt BackupOptions) (BackupMeta, error) {
+	var meta BackupMeta
+	out, err := os.OpenFile(dest, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return meta, err
+	}
+	cleanup := func(err error) (BackupMeta, error) {
+		out.Close()
+		os.Remove(dest)
+		return meta, err
+	}
+
+	var pages uint32
+	var lsn uint64
+	if opt.Shared {
+		pages, lsn, err = backupShared(src, opt.PageSize, out)
+	} else {
+		pages, lsn, err = backupExclusive(src, opt.PageSize, opt.ArchiveDir, out)
+	}
+	if err != nil {
+		return cleanup(err)
+	}
+	if err := out.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := out.Close(); err != nil {
+		out = nil
+		os.Remove(dest)
+		return meta, err
+	}
+	meta = BackupMeta{PageSize: opt.PageSize, Pages: pages, MetaPage: uint32(opt.MetaPage), LSN: lsn}
+	if err := WriteBackupMeta(dest, meta); err != nil {
+		os.Remove(dest)
+		return BackupMeta{}, err
+	}
+	return meta, nil
+}
+
+// backupExclusive opens src through the WAL (replaying any committed tail
+// into the file) and streams the result.
+func backupExclusive(src string, pageSize int, archiveDir string, w io.Writer) (uint32, uint64, error) {
+	wp, err := wal.OpenWithOptions(src, pageSize, wal.Options{ArchiveDir: archiveDir})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer wp.Close()
+	pages, err := BackupPager(wp, w)
+	if err != nil {
+		return pages, 0, err
+	}
+	return pages, wp.LSN(), nil
+}
+
+// backupShared opens src read-only under a shared lock and streams pages
+// with durable-but-unapplied WAL batches overlaid.
+func backupShared(src string, pageSize int, w io.Writer) (uint32, uint64, error) {
+	fp, err := pagestore.OpenFilePagerOpts(src, pageSize, pagestore.FileOpts{ReadOnly: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer fp.Close()
+
+	var overlay map[pagestore.PageID][]byte
+	var lsn uint64
+	logBytes, err := os.ReadFile(src + ".wal")
+	if err == nil && len(logBytes) > 0 {
+		overlay, lsn, err = wal.ParseLog(logBytes, pageSize)
+		if err != nil {
+			return 0, 0, fmt.Errorf("recover: backup: WAL barrier: %w", err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return 0, 0, err
+	}
+
+	max := fp.MaxPageID()
+	for id := range overlay {
+		if id > max {
+			max = id
+		}
+	}
+	pages, err := backupPages(func(id pagestore.PageID, buf []byte) error {
+		if img, ok := overlay[id]; ok {
+			copy(buf, img)
+			return nil
+		}
+		return fp.ReadPage(id, buf)
+	}, max, pageSize, w)
+	if err != nil {
+		return pages, 0, err
+	}
+	return pages, lsn, nil
+}

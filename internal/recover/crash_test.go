@@ -1,0 +1,226 @@
+// Crash matrices for the recovery paths themselves: repair and restore are
+// swept with a simulated crash at every I/O boundary they have. Repair must
+// leave the store either fully repaired or untouched (never half-switched);
+// a crashed restore must never leave a destination file at all.
+package recover_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	recov "repro/internal/recover"
+	"repro/internal/wal"
+)
+
+// runRepairFaulty runs Repair (apply) over a fault-injected journaled
+// pager and abandons the session the way a crash would — without a
+// closing commit.
+func runRepairFaulty(t *testing.T, db string, cfg fault.Config) (*fault.Injector, int, error) {
+	t.Helper()
+	inj := fault.NewInjector(cfg)
+	wp, err := wal.OpenWithOptions(db, pgSize, wal.Options{
+		WrapPager: func(ip wal.InnerPager) wal.InnerPager { return fault.NewPager(inj, ip) },
+		WrapLog:   func(f wal.File) wal.File { return fault.NewFile(inj, f) },
+		Retries:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := core.RepairPager(wp, 1, true)
+	n := inj.Ops()
+	wp.CloseWithoutCommit()
+	return inj, n, rerr
+}
+
+// salvageState reopens db cleanly (WAL recovery runs) and reports whether
+// the raw scan is clean and which pages are bad.
+func salvageState(t *testing.T, db string) (clean bool, badPages []uint32) {
+	t.Helper()
+	wp, err := wal.Open(db, pgSize)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	rep, serr := core.SalvageScan(wp, 1)
+	if err := wp.Close(); err != nil {
+		t.Fatalf("recovery close: %v", err)
+	}
+	if serr != nil {
+		t.Fatalf("salvage scan: %v", serr)
+	}
+	for _, f := range rep.BadPages {
+		badPages = append(badPages, f.Page)
+	}
+	return rep.Clean, badPages
+}
+
+// Crash inside repair at every I/O boundary: afterwards the store must be
+// either fully repaired (the rebuild batch committed and replayed) or
+// still exactly as damaged as before — and a subsequent clean repair must
+// always converge to the reference result.
+func TestRepairCrashMatrix(t *testing.T) {
+	dir := t.TempDir()
+	base := buildStore(t, dir, nightlyScale(24, 64))
+	_, dataPages := scanRecords(t, base)
+	badPage := dataPages[len(dataPages)/2]
+	corruptPage(t, base, badPage)
+
+	// Reference: repair a copy cleanly to learn the target document.
+	ref := filepath.Join(dir, "ref.db")
+	copyFile(t, base, ref)
+	if _, err := axml.RepairFile(ref, testCfg(), true); err != nil {
+		t.Fatalf("reference repair: %v", err)
+	}
+	expected := xmlOf(t, ref)
+
+	countDB := filepath.Join(dir, "count.db")
+	copyFile(t, base, countDB)
+	_, n, err := runRepairFaulty(t, countDB, fault.Config{})
+	if err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	if n < 6 {
+		t.Fatalf("counting run saw only %d ops", n)
+	}
+	t.Logf("repair crash matrix: %d I/O boundaries", n)
+
+	sawOld, sawNew := false, false
+	for k := 1; k <= n; k++ {
+		db := filepath.Join(dir, fmt.Sprintf("crash-%03d.db", k))
+		copyFile(t, base, db)
+		inj, _, err := runRepairFaulty(t, db, fault.Config{
+			Seed:      int64(k),
+			CrashAtOp: k,
+			TornWrite: k%2 == 0,
+		})
+		if !inj.Crashed() {
+			t.Fatalf("crash at op %d: crash never fired (err: %v)", k, err)
+		}
+		clean, bad := salvageState(t, db)
+		if clean {
+			// Success may only be reported past the commit point, where the
+			// crash can hit nothing but best-effort free-list cleanup.
+			sawNew = true
+			if got := xmlOf(t, db); got != expected {
+				t.Fatalf("crash at op %d: repaired store diverges from reference", k)
+			}
+		} else {
+			if err == nil {
+				t.Fatalf("crash at op %d: repair reported success but the store is still damaged", k)
+			}
+			sawOld = true
+			if len(bad) != 1 || bad[0] != uint32(badPage) {
+				t.Fatalf("crash at op %d: bad pages %v, want exactly [%d] — half-switched state", k, bad, badPage)
+			}
+			// Repair must still complete from here.
+			if _, err := axml.RepairFile(db, testCfg(), true); err != nil {
+				t.Fatalf("crash at op %d: follow-up repair: %v", k, err)
+			}
+			if got := xmlOf(t, db); got != expected {
+				t.Fatalf("crash at op %d: follow-up repair diverges from reference", k)
+			}
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Errorf("matrix did not cover both outcomes: old=%v new=%v", sawOld, sawNew)
+	}
+}
+
+// Crash inside restore at every I/O boundary: the destination must never
+// exist afterwards (rename is the one atomic step), and a clean rerun must
+// produce the reference image.
+func TestRestoreCrashMatrix(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "live.db")
+	archive := filepath.Join(dir, "segments")
+
+	// A store with archived history: load, back up, then two more commits.
+	s, err := axml.OpenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := axml.LoadXMLString(s, `<log/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	backup := filepath.Join(dir, "backup.db")
+	if _, err := axml.BackupStoreFile(db, backup, testCfg(), false, archive); err != nil {
+		t.Fatal(err)
+	}
+	s, err = axml.ReopenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err = s.FirstNodeID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nightlyScale(2, 8); i++ {
+		frag, err := axml.ParseFragment(fmt.Sprintf(`<e n="%d"/>`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.InsertIntoLast(root, frag); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	refDest := filepath.Join(dir, "ref.db")
+	if _, err := axml.RestoreFile(backup, refDest, archive, 0); err != nil {
+		t.Fatalf("reference restore: %v", err)
+	}
+	expected := xmlOf(t, refDest)
+
+	restoreWith := func(dest string, inj *fault.Injector) error {
+		opt := recov.RestoreOptions{ArchiveDir: archive}
+		if inj != nil {
+			opt.WrapFile = func(f wal.File) wal.File { return fault.NewFile(inj, f) }
+		}
+		_, err := recov.Restore(backup, dest, opt)
+		return err
+	}
+
+	countDest := filepath.Join(dir, "count.db")
+	inj := fault.NewInjector(fault.Config{})
+	if err := restoreWith(countDest, inj); err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	n := inj.Ops()
+	if n < 3 {
+		t.Fatalf("counting run saw only %d ops", n)
+	}
+	t.Logf("restore crash matrix: %d I/O boundaries", n)
+
+	for k := 1; k <= n; k++ {
+		dest := filepath.Join(dir, fmt.Sprintf("restore-%03d.db", k))
+		inj := fault.NewInjector(fault.Config{Seed: int64(k), CrashAtOp: k, TornWrite: k%2 == 1})
+		if err := restoreWith(dest, inj); err == nil {
+			t.Fatalf("crash at op %d: restore succeeded, crash never fired", k)
+		}
+		if _, err := os.Stat(dest); !os.IsNotExist(err) {
+			t.Fatalf("crash at op %d: destination exists after failed restore", k)
+		}
+		if err := restoreWith(dest, nil); err != nil {
+			t.Fatalf("crash at op %d: clean rerun: %v", k, err)
+		}
+		if got := xmlOf(t, dest); got != expected {
+			t.Fatalf("crash at op %d: rerun result diverges from reference", k)
+		}
+	}
+}

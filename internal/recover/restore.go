@@ -1,0 +1,144 @@
+package recover
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/pagestore"
+	"repro/internal/wal"
+)
+
+// RestoreOptions configures Restore.
+type RestoreOptions struct {
+	// PageSize must match the backup (cross-checked against the sidecar).
+	PageSize int
+	// ArchiveDir holds the WAL segments to roll forward with. Empty means
+	// restore the base backup as-is.
+	ArchiveDir string
+	// TargetLSN is the commit to stop at (point-in-time). Zero restores to
+	// the base backup's LSN when ArchiveDir is empty, or to the newest
+	// archived segment otherwise.
+	TargetLSN uint64
+	// WrapFile wraps the destination file for fault injection in tests.
+	WrapFile func(wal.File) wal.File
+}
+
+// RestoreInfo reports what a restore did.
+type RestoreInfo struct {
+	PagesCopied     uint32
+	SegmentsApplied int
+	FinalLSN        uint64
+}
+
+// restoreTmpSuffix names the staging file a restore builds before the
+// atomic rename.
+const restoreTmpSuffix = ".restore-tmp"
+
+// Restore materializes the store state at opt.TargetLSN into destPath:
+// the base backup's pages, then every archived segment in (base LSN,
+// target] replayed in order. The whole image is staged in a temporary
+// file, fsynced, and renamed onto destPath — the rename is the one atomic
+// step, so a crashed restore leaves at most a stale *.restore-tmp and
+// never a half-written destination.
+func Restore(basePath, destPath string, opt RestoreOptions) (RestoreInfo, error) {
+	var info RestoreInfo
+	meta, err := ReadBackupMeta(basePath)
+	if err != nil {
+		return info, fmt.Errorf("recover: restore: %w", err)
+	}
+	if opt.PageSize != 0 && opt.PageSize != meta.PageSize {
+		return info, fmt.Errorf("recover: restore: page size %d requested, backup has %d", opt.PageSize, meta.PageSize)
+	}
+	target := opt.TargetLSN
+	if target != 0 && target < meta.LSN {
+		return info, fmt.Errorf("recover: restore: target LSN %d predates the base backup (LSN %d); use an older backup", target, meta.LSN)
+	}
+	if target == 0 && opt.ArchiveDir != "" {
+		if target, err = wal.MaxArchivedLSN(opt.ArchiveDir); err != nil {
+			return info, err
+		}
+		if target < meta.LSN {
+			target = meta.LSN
+		}
+	}
+	if _, err := os.Stat(destPath); err == nil {
+		return info, fmt.Errorf("recover: restore: %s already exists; refusing to overwrite a live store", destPath)
+	}
+	if _, err := os.Stat(destPath + ".wal"); err == nil {
+		return info, fmt.Errorf("recover: restore: %s.wal exists; refusing to restore under a live WAL", destPath)
+	}
+
+	tmpPath := destPath + restoreTmpSuffix
+	raw, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return info, err
+	}
+	var f wal.File = raw
+	if opt.WrapFile != nil {
+		f = opt.WrapFile(f)
+	}
+	fail := func(err error) (RestoreInfo, error) {
+		f.Close()
+		os.Remove(tmpPath)
+		return info, err
+	}
+
+	// Lay down the base image, verifying every page on the way in.
+	base, err := os.ReadFile(basePath)
+	if err != nil {
+		return fail(err)
+	}
+	ps := meta.PageSize
+	if len(base) != int(meta.Pages)*ps {
+		return fail(fmt.Errorf("recover: restore: base is %d bytes, sidecar says %d pages of %d", len(base), meta.Pages, ps))
+	}
+	for id := pagestore.PageID(1); int(id) < int(meta.Pages); id++ {
+		pg := base[int(id)*ps : (int(id)+1)*ps]
+		if err := pagestore.VerifyChecksum(id, pg); err != nil {
+			return fail(fmt.Errorf("recover: restore: base backup is damaged: %w", err))
+		}
+	}
+	if _, err := f.WriteAt(base, 0); err != nil {
+		return fail(err)
+	}
+	info.PagesCopied = meta.Pages
+	info.FinalLSN = meta.LSN
+
+	// Roll forward: archived segments are a contiguous LSN sequence; a gap
+	// means the archive cannot reach the target.
+	for lsn := meta.LSN + 1; lsn <= target; lsn++ {
+		segPath := filepath.Join(opt.ArchiveDir, wal.SegmentFileName(lsn))
+		pages, segLSN, err := wal.ReadSegment(segPath, ps)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return fail(fmt.Errorf("recover: restore: archive gap: segment %d missing (have up to %d, target %d)", lsn, lsn-1, target))
+			}
+			return fail(err)
+		}
+		if segLSN != 0 && segLSN != lsn {
+			return fail(fmt.Errorf("recover: restore: segment file %s carries LSN %d", wal.SegmentFileName(lsn), segLSN))
+		}
+		for _, p := range pages {
+			if _, err := f.WriteAt(p.Data, int64(p.ID)*int64(ps)); err != nil {
+				return fail(err)
+			}
+		}
+		info.SegmentsApplied++
+		info.FinalLSN = lsn
+	}
+
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpPath)
+		return info, err
+	}
+	// The atomic switch: only now does destPath come into existence.
+	if err := os.Rename(tmpPath, destPath); err != nil {
+		os.Remove(tmpPath)
+		return info, err
+	}
+	return info, nil
+}

@@ -36,7 +36,9 @@ const (
 )
 
 // record layout: type(1) pageID(4) length(4) payload crc32(4)
-// commit records have pageID = batch page count and empty payload.
+// commit records have pageID = batch page count and an 8-byte payload
+// carrying the batch's commit LSN (legacy logs have an empty payload and
+// LSN 0, which disables archiving for that batch).
 const recHeader = 1 + 4 + 4
 
 // Journal errors.
@@ -79,6 +81,16 @@ type Options struct {
 	WrapPager func(InnerPager) InnerPager
 	// WrapLog, when set, wraps the sidecar log file.
 	WrapLog func(File) File
+	// ArchiveDir, when set, archives every committed batch as a numbered
+	// segment file in that directory — the raw material of point-in-time
+	// restore. The segment is written and fsynced after the log fsync (the
+	// batch's durability point) and before the log is truncated, so a crash
+	// anywhere in between is repaired on the next open: recovery re-archives
+	// the replayed batch under its logged LSN. An archived segment therefore
+	// never names an LSN the store did not durably commit.
+	ArchiveDir string
+	// WrapSegment, when set, wraps archive segment files (fault injection).
+	WrapSegment func(File) File
 	// Retries bounds how often a transient commit-path error is retried.
 	// 0 means the default (3); negative disables retrying.
 	Retries int
@@ -90,15 +102,18 @@ type Options struct {
 // Pager wraps a page file with write-ahead logging. It implements
 // pagestore.Pager; page writes are buffered until Commit.
 type Pager struct {
-	inner   InnerPager
-	walPath string
-	wal     File
-	pending map[pagestore.PageID][]byte
-	order   []pagestore.PageID
-	buf     []byte
-	retries int
-	backoff time.Duration
-	closed  bool
+	inner      InnerPager
+	walPath    string
+	wal        File
+	pending    map[pagestore.PageID][]byte
+	order      []pagestore.PageID
+	buf        []byte
+	retries    int
+	backoff    time.Duration
+	lsn        uint64 // last committed batch
+	archiveDir string
+	wrapSeg    func(File) File
+	closed     bool
 }
 
 // Open opens (creating if needed) a journaled page file. Any complete
@@ -110,8 +125,19 @@ func Open(path string, pageSize int) (*Pager, error) {
 // OpenWithOptions is Open with fault-injection wrappers and retry tuning.
 func OpenWithOptions(path string, pageSize int, opt Options) (*Pager, error) {
 	walPath := path + ".wal"
-	if err := recover_(path, walPath, pageSize); err != nil {
+	replayedLSN, err := recover_(path, walPath, pageSize, opt.ArchiveDir, opt.WrapSegment)
+	if err != nil {
 		return nil, err
+	}
+	lsn := replayedLSN
+	if opt.ArchiveDir != "" {
+		archived, err := MaxArchivedLSN(opt.ArchiveDir)
+		if err != nil {
+			return nil, err
+		}
+		if archived > lsn {
+			lsn = archived
+		}
 	}
 	fp, err := pagestore.OpenFilePager(path, pageSize)
 	if err != nil {
@@ -142,30 +168,38 @@ func OpenWithOptions(path string, pageSize int, opt Options) (*Pager, error) {
 		backoff = defaultBackoff
 	}
 	return &Pager{
-		inner:   inner,
-		walPath: walPath,
-		wal:     wal,
-		pending: make(map[pagestore.PageID][]byte),
-		retries: retries,
-		backoff: backoff,
+		inner:      inner,
+		walPath:    walPath,
+		wal:        wal,
+		pending:    make(map[pagestore.PageID][]byte),
+		retries:    retries,
+		backoff:    backoff,
+		lsn:        lsn,
+		archiveDir: opt.ArchiveDir,
+		wrapSeg:    opt.WrapSegment,
 	}, nil
 }
 
-// recover_ replays complete batches from the log into the page file.
-func recover_(path, walPath string, pageSize int) error {
+// recover_ replays complete batches from the log into the page file. When
+// archiveDir is set, every replayed batch is (re-)archived under its logged
+// LSN first — the batch was durable before the crash, so its segment must
+// exist (a crash between the log fsync and the segment write would
+// otherwise leave a gap in the archive). It returns the highest LSN
+// replayed (0 when the log was empty or pre-LSN).
+func recover_(path, walPath string, pageSize int, archiveDir string, wrapSeg func(File) File) (uint64, error) {
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	if len(data) == 0 {
-		return nil
+		return 0, nil
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 
@@ -174,42 +208,57 @@ func recover_(path, walPath string, pageSize int) error {
 		img []byte
 	}
 	var batch []pageImage
+	var lastLSN uint64
 	applied := false
-	pos := 0
+	pos, batchStart := 0, 0
 	for pos < len(data) {
 		typ, id, payload, next, ok := readRecord(data, pos)
 		if !ok {
 			break // torn tail: discard the rest
 		}
-		pos = next
 		switch typ {
 		case recPage:
 			if len(payload) != pageSize {
-				return fmt.Errorf("wal: page image of %d bytes, page size %d", len(payload), pageSize)
+				return 0, fmt.Errorf("wal: page image of %d bytes, page size %d", len(payload), pageSize)
 			}
 			batch = append(batch, pageImage{id: pagestore.PageID(id), img: payload})
 		case recCommit:
 			if int(id) != len(batch) {
-				return fmt.Errorf("wal: commit names %d pages, batch has %d", id, len(batch))
+				return 0, fmt.Errorf("wal: commit names %d pages, batch has %d", id, len(batch))
+			}
+			var lsn uint64
+			if len(payload) == 8 {
+				lsn = binary.LittleEndian.Uint64(payload)
+			}
+			if archiveDir != "" && lsn != 0 {
+				// The segment bytes are exactly the batch's log bytes.
+				if err := writeSegment(archiveDir, lsn, data[batchStart:next], wrapSeg); err != nil {
+					return 0, err
+				}
 			}
 			for _, p := range batch {
 				off := int64(p.id) * int64(pageSize)
 				if _, err := f.WriteAt(p.img, off); err != nil {
-					return err
+					return 0, err
 				}
+			}
+			if lsn > lastLSN {
+				lastLSN = lsn
 			}
 			applied = true
 			batch = batch[:0]
+			batchStart = next
 		default:
-			return fmt.Errorf("wal: unknown record type %d", typ)
+			return 0, fmt.Errorf("wal: unknown record type %d", typ)
 		}
+		pos = next
 	}
 	if applied {
 		if err := f.Sync(); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return os.Remove(walPath)
+	return lastLSN, os.Remove(walPath)
 }
 
 // readRecord parses one record at pos. ok=false on truncation or CRC
@@ -323,9 +372,9 @@ func (p *Pager) retry(op func() error) error {
 }
 
 // Commit makes all pending page writes durable atomically: log, fsync,
-// apply, fsync, truncate. Transient I/O errors are retried with backoff;
-// a persistent failure leaves the pending set intact (retryable by the
-// caller) and the log replayable.
+// archive (when configured), apply, fsync, truncate. Transient I/O errors
+// are retried with backoff; a persistent failure leaves the pending set
+// intact (retryable by the caller) and the log replayable.
 func (p *Pager) Commit() error {
 	if p.closed {
 		return ErrClosed
@@ -333,6 +382,9 @@ func (p *Pager) Commit() error {
 	if len(p.pending) == 0 {
 		return nil
 	}
+	next := p.lsn + 1
+	var lsnBuf [8]byte
+	binary.LittleEndian.PutUint64(lsnBuf[:], next)
 	p.buf = p.buf[:0]
 	n := 0
 	for _, id := range p.order {
@@ -343,7 +395,7 @@ func (p *Pager) Commit() error {
 		p.appendRecord(recPage, uint32(id), img)
 		n++
 	}
-	p.appendRecord(recCommit, uint32(n), nil)
+	p.appendRecord(recCommit, uint32(n), lsnBuf[:])
 	if err := p.retry(func() error {
 		_, werr := p.wal.WriteAt(p.buf, 0)
 		return werr
@@ -352,6 +404,14 @@ func (p *Pager) Commit() error {
 	}
 	if err := p.retry(p.wal.Sync); err != nil {
 		return err
+	}
+	// The batch is durable; archive its segment before the log can be
+	// truncated. A crash from here on is repaired by recovery, which
+	// re-archives the batch from the intact log.
+	if p.archiveDir != "" {
+		if err := p.retry(func() error { return writeSegment(p.archiveDir, next, p.buf, p.wrapSeg) }); err != nil {
+			return err
+		}
 	}
 	// Apply to the page file.
 	for _, id := range p.order {
@@ -376,11 +436,36 @@ func (p *Pager) Commit() error {
 	}
 	p.pending = make(map[pagestore.PageID][]byte)
 	p.order = p.order[:0]
+	p.lsn = next
 	return nil
 }
 
 // Pending returns the number of uncommitted page writes (tests, stats).
 func (p *Pager) Pending() int { return len(p.pending) }
+
+// LSN returns the last committed batch's log sequence number. It counts
+// from the archive high-water mark at open (plus any batch replayed by
+// recovery), so with archiving enabled it is stable across reopens; without
+// an archive directory it restarts at zero each open.
+func (p *Pager) LSN() uint64 { return p.lsn }
+
+// DiscardPending abandons the current uncommitted batch: every buffered
+// page write is dropped and the log file is truncated. Repair uses it on a
+// degraded store — the dirty in-memory state is suspect, and the durable
+// on-disk image is the salvage source of truth. Truncating matters as much
+// as dropping the buffers: a failed commit can leave a complete batch in
+// the log (durable, never applied, never reported committed), and replaying
+// those pre-repair page images over a rebuilt store would corrupt it. The
+// truncate is best-effort: if it fails, the next clean commit or reopen
+// truncates the log anyway.
+func (p *Pager) DiscardPending() {
+	p.pending = make(map[pagestore.PageID][]byte)
+	p.order = p.order[:0]
+	p.buf = p.buf[:0]
+	if err := p.wal.Truncate(0); err == nil {
+		_ = p.wal.Sync()
+	}
+}
 
 // Close commits outstanding writes and closes both files. If the commit
 // fails, the pager still closes: pending pages are discarded and the log is

@@ -5,10 +5,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"repro/internal/core"
-	"repro/internal/pagestore"
-	"repro/internal/xmltok"
 )
 
 func tempPaths(t *testing.T) (string, string) {
@@ -258,60 +254,6 @@ func TestClosedPagerRejectsOps(t *testing.T) {
 	}
 	if err := p.Close(); err != nil {
 		t.Error("double close should be nil")
-	}
-}
-
-// End-to-end: the XML store on a journaled pager survives a crash between
-// flushes with the last flushed state intact.
-func TestStoreCrashRecovery(t *testing.T) {
-	path, _ := tempPaths(t)
-	jp, err := Open(path, 2048)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := core.Open(core.Config{Mode: core.RangeOnly, PageSize: 2048, Pager: jp})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Append(xmltok.MustParse(`<doc><stable/></doc>`)); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Flush(); err != nil { // durable point
-		t.Fatal(err)
-	}
-	want, _ := s.XMLString()
-	// More work after the flush...
-	if _, err := s.InsertIntoLast(1, xmltok.MustParseFragment(`<lost/>`)); err != nil {
-		t.Fatal(err)
-	}
-	// ...then crash: no flush, no commit.
-	jp.CloseWithoutCommit()
-
-	jp2, err := Open(path, 2048)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s2, err := core.Reopen(core.Config{Mode: core.RangeOnly, PageSize: 2048}, jp2, pagestore.PageID(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s2.Close()
-	got, err := s2.XMLString()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != want {
-		t.Errorf("after crash:\n got %s\nwant %s", got, want)
-	}
-	if err := s2.CheckInvariants(); err != nil {
-		t.Error(err)
-	}
-	// The recovered store accepts new work.
-	if _, err := s2.InsertIntoLast(1, xmltok.MustParseFragment(`<recovered/>`)); err != nil {
-		t.Fatal(err)
-	}
-	if err := s2.Flush(); err != nil {
-		t.Fatal(err)
 	}
 }
 

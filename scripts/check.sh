@@ -24,7 +24,7 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (lock, core, txn, fault, wal, pagestore)"
-go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore
+echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover)"
+go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover
 
 echo "ok: all checks passed"
