@@ -110,9 +110,12 @@ commands:
   verify                       scrub checksums, chains and invariants
                                (exit 0 clean, 1 corrupt, 2 unreadable; -json for a report)
   repair                       salvage and rebuild a damaged store
-                               (dry run by default; -apply writes; -json for a report)
+                               (dry run by default; -apply writes; -json for a
+                               report; pass -archive on an archived store so the
+                               rebuild commit lands in the segment history)
   backup <dest>                copy the store to a consistent backup + sidecar
-                               (-shared to coexist with read-only openers)
+                               (-shared to coexist with read-only openers; pass
+                               -archive to make the backup a roll-forward base)
   restore <base> <dest>        materialize a backup (plus -archive segments up
                                to -lsn) as a new store file
   dump                         print the whole store as XML
@@ -465,7 +468,7 @@ func cmdRepair(db string, cfg axml.Config, opts cliOpts) error {
 	if opts.readOnly {
 		return exitWith(2, fmt.Errorf("repair: cannot run with -readonly"))
 	}
-	rep, err := axml.RepairFile(db, cfg, opts.apply)
+	rep, err := axml.RepairFile(db, cfg, opts.apply, opts.archive)
 	if rep == nil {
 		if err != nil && errors.Is(err, axml.ErrStoreLocked) {
 			return exitWith(2, openErr(db, err))

@@ -204,11 +204,19 @@ func (s *Store) BackupTo(dest string) (recov.BackupMeta, error) {
 	if l, ok := pager.(interface{ LSN() uint64 }); ok {
 		lsn = l.LSN()
 	}
+	// Only an archiving pager's LSN is stable across reopens and thus a
+	// roll-forward point; a journal-only (or plain) pager restarts its
+	// count each open, so its backups must not be segment-replay bases.
+	archiving := false
+	if a, ok := pager.(interface{ Archiving() bool }); ok {
+		archiving = a.Archiving()
+	}
 	meta = recov.BackupMeta{
-		PageSize: pager.PageSize(),
-		Pages:    pages,
-		MetaPage: uint32(s.recs.MetaPage()),
-		LSN:      lsn,
+		PageSize:      pager.PageSize(),
+		Pages:         pages,
+		MetaPage:      uint32(s.recs.MetaPage()),
+		LSN:           lsn,
+		NoRollForward: !archiving,
 	}
 	if err := recov.WriteBackupMeta(dest, meta); err != nil {
 		os.Remove(dest)

@@ -21,6 +21,15 @@ type BackupMeta struct {
 	// LSN is the last commit folded into this backup. Restore replays
 	// archived WAL segments LSN+1.. to roll forward.
 	LSN uint64 `json:"lsn"`
+	// NoRollForward marks a backup taken without the store's segment
+	// archive in hand. The WAL is truncated after every commit, so a
+	// quiescent store's log says nothing about how many commits the page
+	// image already contains — only the archive's high-water mark pins
+	// that. Without it the recorded LSN may undercount the image, and
+	// replaying segments LSN+1.. over it would produce a hybrid of two
+	// commits; Restore therefore refuses to roll such a backup forward
+	// and only materializes it as-is.
+	NoRollForward bool `json:"no_roll_forward,omitempty"`
 }
 
 // backupMetaSuffix names the sidecar written next to a backup file.
@@ -124,8 +133,12 @@ type BackupOptions struct {
 	// source is opened exclusively and the log is replayed into the file
 	// first.
 	Shared bool
-	// ArchiveDir, when set in exclusive mode, archives replayed batches so
-	// the segment history stays contiguous across the backup.
+	// ArchiveDir names the store's WAL segment archive. In exclusive mode
+	// it archives replayed batches so the segment history stays contiguous
+	// across the backup; in both modes its high-water mark pins the
+	// sidecar LSN to the commit history the page image actually contains
+	// (the log alone cannot — it is truncated after every commit). A
+	// backup taken without it is marked NoRollForward.
 	ArchiveDir string
 }
 
@@ -147,7 +160,7 @@ func BackupFile(src, dest string, opt BackupOptions) (BackupMeta, error) {
 	var pages uint32
 	var lsn uint64
 	if opt.Shared {
-		pages, lsn, err = backupShared(src, opt.PageSize, out)
+		pages, lsn, err = backupShared(src, opt.PageSize, opt.ArchiveDir, out)
 	} else {
 		pages, lsn, err = backupExclusive(src, opt.PageSize, opt.ArchiveDir, out)
 	}
@@ -162,7 +175,15 @@ func BackupFile(src, dest string, opt BackupOptions) (BackupMeta, error) {
 		os.Remove(dest)
 		return meta, err
 	}
-	meta = BackupMeta{PageSize: opt.PageSize, Pages: pages, MetaPage: uint32(opt.MetaPage), LSN: lsn}
+	meta = BackupMeta{
+		PageSize: opt.PageSize,
+		Pages:    pages,
+		MetaPage: uint32(opt.MetaPage),
+		LSN:      lsn,
+		// Without the archive high-water mark the LSN may undercount the
+		// commits already in the image; see the field's doc.
+		NoRollForward: opt.ArchiveDir == "",
+	}
 	if err := WriteBackupMeta(dest, meta); err != nil {
 		os.Remove(dest)
 		return BackupMeta{}, err
@@ -186,8 +207,11 @@ func backupExclusive(src string, pageSize int, archiveDir string, w io.Writer) (
 }
 
 // backupShared opens src read-only under a shared lock and streams pages
-// with durable-but-unapplied WAL batches overlaid.
-func backupShared(src string, pageSize int, w io.Writer) (uint32, uint64, error) {
+// with durable-but-unapplied WAL batches overlaid. The returned LSN is the
+// later of the overlay's last commit and the archive's high-water mark:
+// the log is truncated once a commit is applied, so on a quiescent store
+// only the archive knows which commit the page image represents.
+func backupShared(src string, pageSize int, archiveDir string, w io.Writer) (uint32, uint64, error) {
 	fp, err := pagestore.OpenFilePagerOpts(src, pageSize, pagestore.FileOpts{ReadOnly: true})
 	if err != nil {
 		return 0, 0, err
@@ -204,6 +228,15 @@ func backupShared(src string, pageSize int, w io.Writer) (uint32, uint64, error)
 		}
 	} else if err != nil && !os.IsNotExist(err) {
 		return 0, 0, err
+	}
+	if archiveDir != "" {
+		archived, err := wal.MaxArchivedLSN(archiveDir)
+		if err != nil {
+			return 0, 0, err
+		}
+		if archived > lsn {
+			lsn = archived
+		}
 	}
 
 	max := fp.MaxPageID()

@@ -1,0 +1,281 @@
+// Regression tests for backup sidecar LSNs. The WAL is truncated after
+// every commit, so a quiescent store's log is empty and a shared backup
+// that derived its LSN from the log alone would record 0 while the image
+// reflects every commit — a restore trusting that LSN could then replay
+// old segments over a newer base. The archive's high-water mark is the
+// durable record of how far the image has advanced; backups taken with it
+// pin their LSN there, and backups taken without it are marked as not
+// being roll-forward bases.
+package recover_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	axml "repro"
+	"repro/internal/wal"
+)
+
+// appendOne appends fragment i and commits it as its own batch.
+func appendOne(t *testing.T, s *axml.Store, i int) {
+	t.Helper()
+	frag, err := axml.ParseFragment(fragXML(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type lsnSnap struct {
+	lsn uint64
+	xml string
+}
+
+// snapshot records the archive high-water mark and the document after the
+// latest commit.
+func snapshot(t *testing.T, s *axml.Store, archive string) lsnSnap {
+	t.Helper()
+	lsn, err := wal.MaxArchivedLSN(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := s.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsnSnap{lsn: lsn, xml: xml}
+}
+
+func TestSharedBackupLSNFromArchive(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "live.db")
+	archive := filepath.Join(dir, "segments")
+
+	s, err := axml.OpenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []lsnSnap
+	for i := 0; i < 4; i++ {
+		appendOne(t, s, i)
+		snaps = append(snaps, snapshot(t, s, archive))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store is quiescent: the sidecar log is empty (truncated by the
+	// last commit), so only the archive knows how far the image is.
+	hw, err := wal.MaxArchivedLSN(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw == 0 {
+		t.Fatal("archive empty after committed session")
+	}
+	backup := filepath.Join(dir, "backup.db")
+	bm, err := axml.BackupStoreFile(db, backup, testCfg(), true, archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.LSN != hw {
+		t.Fatalf("shared backup of quiescent store recorded LSN %d, want archive high-water %d", bm.LSN, hw)
+	}
+	if bm.NoRollForward {
+		t.Fatal("backup taken with the archive must be a roll-forward base")
+	}
+
+	s2, err := axml.ReopenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		appendOne(t, s2, i)
+		snaps = append(snaps, snapshot(t, s2, archive))
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	liveXML := xmlOf(t, db)
+
+	// Segments at or below the backup LSN are prunable once the backup
+	// exists; restores from this base must never need them.
+	for lsn := uint64(1); lsn <= bm.LSN; lsn++ {
+		seg := filepath.Join(archive, wal.SegmentFileName(lsn))
+		if err := os.Remove(seg); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+
+	mid := snaps[len(snaps)-2] // first post-backup commit
+	if mid.lsn <= bm.LSN {
+		t.Fatalf("post-backup snapshot LSN %d not beyond backup LSN %d", mid.lsn, bm.LSN)
+	}
+	dest := filepath.Join(dir, "pitr.db")
+	info, err := axml.RestoreFile(backup, dest, archive, mid.lsn)
+	if err != nil {
+		t.Fatalf("restore to post-backup LSN %d with pruned early segments: %v", mid.lsn, err)
+	}
+	if info.FinalLSN != mid.lsn {
+		t.Fatalf("restore landed at LSN %d, want %d", info.FinalLSN, mid.lsn)
+	}
+	if got := xmlOf(t, dest); got != mid.xml {
+		t.Error("restore to post-backup LSN differs from its recorded snapshot")
+	}
+
+	newest := filepath.Join(dir, "newest.db")
+	info, err = axml.RestoreFile(backup, newest, archive, 0)
+	if err != nil {
+		t.Fatalf("restore to newest with pruned early segments: %v", err)
+	}
+	if got := xmlOf(t, newest); got != liveXML {
+		t.Error("newest restore differs from the live store")
+	}
+	if _, err := axml.VerifyFileReport(newest, testCfg()); err != nil {
+		t.Errorf("newest restore verify: %v", err)
+	}
+
+	// A target below the base is unreachable — with a correct base LSN the
+	// restore refuses instead of replaying old segments over a newer image.
+	if snaps[0].lsn < bm.LSN {
+		tooOld := filepath.Join(dir, "too-old.db")
+		if _, err := axml.RestoreFile(backup, tooOld, archive, snaps[0].lsn); err == nil {
+			t.Error("restore to a pre-backup LSN should refuse")
+		}
+	}
+}
+
+func TestBackupWithoutArchiveIsNotARollForwardBase(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "live.db")
+	archive := filepath.Join(dir, "segments")
+
+	s, err := axml.OpenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		appendOne(t, s, i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := xmlOf(t, db)
+
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{{"shared", true}, {"exclusive", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			backup := filepath.Join(dir, mode.name+".db")
+			bm, err := axml.BackupStoreFile(db, backup, testCfg(), mode.shared, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bm.NoRollForward {
+				t.Fatal("backup taken without the archive not marked NoRollForward")
+			}
+			if _, err := axml.RestoreFile(backup, filepath.Join(dir, mode.name+"-rf.db"), archive, 0); err == nil {
+				t.Error("roll-forward from a NoRollForward backup should refuse")
+			}
+			if _, err := axml.RestoreFile(backup, filepath.Join(dir, mode.name+"-tgt.db"), "", 99); err == nil {
+				t.Error("targeted restore from a NoRollForward backup should refuse")
+			}
+			asIs := filepath.Join(dir, mode.name+"-asis.db")
+			if _, err := axml.RestoreFile(backup, asIs, "", 0); err != nil {
+				t.Fatalf("as-is restore: %v", err)
+			}
+			if got := xmlOf(t, asIs); got != want {
+				t.Error("as-is restore differs from the source store")
+			}
+		})
+	}
+}
+
+// A repair on an archived store must thread its rebuild commit into the
+// segment history: numbered after the archive high-water mark and archived,
+// so point-in-time restores replay across the repair instead of the repair
+// forking the store's history off the archive.
+func TestRepairOnArchivedStoreKeepsPITR(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "live.db")
+	archive := filepath.Join(dir, "segments")
+
+	s, err := axml.OpenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		appendOne(t, s, i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	backup := filepath.Join(dir, "backup.db")
+	bm, err := axml.BackupStoreFile(db, backup, testCfg(), false, archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.NoRollForward {
+		t.Fatal("archived exclusive backup marked NoRollForward")
+	}
+
+	s2, err := axml.ReopenFileWAL(db, testCfg(), archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 8; i++ {
+		appendOne(t, s2, i)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	preLSN, err := wal.MaxArchivedLSN(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, dataPages := scanRecords(t, db)
+	if len(dataPages) == 0 {
+		t.Fatal("no data pages to corrupt")
+	}
+	corruptPage(t, db, dataPages[len(dataPages)/2])
+
+	rep, err := axml.RepairFile(db, testCfg(), true, archive)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if !rep.Applied {
+		t.Fatal("repair did not apply a rebuild")
+	}
+	postLSN, err := wal.MaxArchivedLSN(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postLSN != preLSN+1 {
+		t.Fatalf("rebuild commit archived as LSN %d, want %d (continuing the history)", postLSN, preLSN+1)
+	}
+	repairedXML := xmlOf(t, db)
+
+	dest := filepath.Join(dir, "post-repair.db")
+	info, err := axml.RestoreFile(backup, dest, archive, 0)
+	if err != nil {
+		t.Fatalf("restore across the repair: %v", err)
+	}
+	if info.FinalLSN != postLSN {
+		t.Fatalf("restore landed at LSN %d, want %d", info.FinalLSN, postLSN)
+	}
+	if got := xmlOf(t, dest); got != repairedXML {
+		t.Error("restore across the repair differs from the repaired store")
+	}
+	if _, err := axml.VerifyFileReport(dest, testCfg()); err != nil {
+		t.Errorf("restored store verify: %v", err)
+	}
+}

@@ -5,6 +5,8 @@
 package recover_test
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +15,7 @@ import (
 	axml "repro"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/pagestore"
 	recov "repro/internal/recover"
 	"repro/internal/wal"
 )
@@ -72,7 +75,7 @@ func TestRepairCrashMatrix(t *testing.T) {
 	// Reference: repair a copy cleanly to learn the target document.
 	ref := filepath.Join(dir, "ref.db")
 	copyFile(t, base, ref)
-	if _, err := axml.RepairFile(ref, testCfg(), true); err != nil {
+	if _, err := axml.RepairFile(ref, testCfg(), true, ""); err != nil {
 		t.Fatalf("reference repair: %v", err)
 	}
 	expected := xmlOf(t, ref)
@@ -117,7 +120,7 @@ func TestRepairCrashMatrix(t *testing.T) {
 				t.Fatalf("crash at op %d: bad pages %v, want exactly [%d] — half-switched state", k, bad, badPage)
 			}
 			// Repair must still complete from here.
-			if _, err := axml.RepairFile(db, testCfg(), true); err != nil {
+			if _, err := axml.RepairFile(db, testCfg(), true, ""); err != nil {
 				t.Fatalf("crash at op %d: follow-up repair: %v", k, err)
 			}
 			if got := xmlOf(t, db); got != expected {
@@ -222,5 +225,100 @@ func TestRestoreCrashMatrix(t *testing.T) {
 		if got := xmlOf(t, dest); got != expected {
 			t.Fatalf("crash at op %d: rerun result diverges from reference", k)
 		}
+	}
+}
+
+// failAllocPager fails the failAt-th allocation: a plain error mid-rebuild,
+// not a crash — the session survives and closes normally afterwards.
+type failAllocPager struct {
+	wal.InnerPager
+	n, failAt int
+}
+
+func (f *failAllocPager) Allocate() (pagestore.PageID, error) {
+	f.n++
+	if f.n >= f.failAt {
+		return pagestore.InvalidPage, errors.New("injected allocate failure")
+	}
+	return f.InnerPager.Allocate()
+}
+
+// MaxPageID forwards the scrub extent so salvage can see the store through
+// the wrapper (a hidden extent makes Salvage refuse to scan).
+func (f *failAllocPager) MaxPageID() pagestore.PageID {
+	if m, ok := f.InnerPager.(interface{ MaxPageID() pagestore.PageID }); ok {
+		return m.MaxPageID()
+	}
+	return pagestore.InvalidPage
+}
+
+// A rebuild that fails partway must leave nothing of the half-built
+// generation behind: the pending batch is discarded on error, so the
+// session's closing commit (which the caller reasonably performs after
+// being told the repair failed) writes none of it. The store here is
+// sized well past the rebuild's 128-frame scratch pool, so by the time
+// the injected failure fires, eviction has already pushed dozens of
+// half-generation pages into the journal's pending batch — exactly the
+// state a close must not durably commit.
+func TestRepairErrorThenCloseLeavesStoreUntouched(t *testing.T) {
+	dir := t.TempDir()
+	db := buildStore(t, dir, 800)
+	_, dataPages := scanRecords(t, db)
+	if len(dataPages) < 140 {
+		t.Fatalf("store has %d data pages; need >128 so the rebuild evicts mid-flight", len(dataPages))
+	}
+	corruptPage(t, db, dataPages[len(dataPages)/2])
+	before := readDB(t, db)
+
+	// Fail an allocation near the end of the rebuild: past the scratch
+	// pool's capacity, after eviction has begun writing back.
+	fp := &failAllocPager{failAt: len(dataPages) - 5}
+	wp, err := wal.OpenWithOptions(db, pgSize, wal.Options{
+		WrapPager: func(ip wal.InnerPager) wal.InnerPager { fp.InnerPager = ip; return fp },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := core.RepairPager(wp, 1, true); rerr == nil {
+		t.Fatal("repair succeeded despite the injected allocate failure")
+	}
+	if fp.n <= 128 {
+		t.Fatalf("only %d allocations before the failure; the scratch pool never evicted, so the test proves nothing", fp.n)
+	}
+	// A real Close, not an abandon: it commits whatever is still pending.
+	if err := wp.Close(); err != nil {
+		t.Fatalf("close after failed repair: %v", err)
+	}
+
+	after := readDB(t, db)
+	if len(after) < len(before) {
+		t.Fatal("store shrank across a failed repair")
+	}
+	if !bytes.Equal(before, after[:len(before)]) {
+		t.Fatal("failed repair durably modified existing pages")
+	}
+	for i, b := range after[len(before):] {
+		if b != 0 {
+			t.Fatalf("failed repair left non-zero byte at extension offset %d", i)
+		}
+	}
+	clean, badPages := salvageState(t, db)
+	if clean {
+		t.Fatal("store reports clean; the corruption should still be there")
+	}
+	if len(badPages) != 1 || int(badPages[0]) != dataPages[len(dataPages)/2] {
+		t.Fatalf("bad pages %v, want exactly the originally corrupted page %d", badPages, dataPages[len(dataPages)/2])
+	}
+
+	// The store is still exactly as repairable as before the failed attempt.
+	rep, err := axml.RepairFile(db, testCfg(), true, "")
+	if err != nil {
+		t.Fatalf("follow-up repair: %v", err)
+	}
+	if !rep.Applied {
+		t.Fatal("follow-up repair did not apply")
+	}
+	if _, err := axml.VerifyFileReport(db, testCfg()); err != nil {
+		t.Errorf("verify after follow-up repair: %v", err)
 	}
 }

@@ -33,7 +33,24 @@ const rebuildPoolFrames = 128
 // clean). When p commits through a WAL (anything implementing Commit()
 // error), the entire rebuild — new pages, meta switch, zeroing — is one
 // atomic batch: a crash leaves the store fully repaired or untouched.
+//
+// "Untouched" covers plain errors too, not just crashes: if the rebuild
+// fails partway, the half-built generation is discarded from the journal
+// before returning, so a later Commit or Close cannot durably write pages
+// the caller was told failed. (Pages allocated for the abandoned
+// generation may remain as zero extents — harmless: a zero page verifies
+// clean and anchors nothing.)
 func Rebuild(p pagestore.Pager, metaPage pagestore.PageID, res *Result, codec Codec) error {
+	if err := rebuild(p, metaPage, res, codec); err != nil {
+		if d, ok := p.(interface{ DiscardPending() }); ok {
+			d.DiscardPending()
+		}
+		return err
+	}
+	return nil
+}
+
+func rebuild(p pagestore.Pager, metaPage pagestore.PageID, res *Result, codec Codec) error {
 	rp := &recordingPager{Pager: p, allocated: make(map[pagestore.PageID]bool)}
 	pool := pagestore.NewBufferPool(rp, rebuildPoolFrames)
 	rs, err := pagestore.CreateRecordStore(pool)

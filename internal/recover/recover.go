@@ -152,6 +152,15 @@ func Salvage(p pagestore.Pager, metaPage pagestore.PageID, codec Codec) (*Result
 	if !ok {
 		return nil, ErrNoExtent
 	}
+	if ext.MaxPageID() == pagestore.InvalidPage {
+		// Any store that ever held data has an extent of at least its meta
+		// page. A zero extent means the extent is unavailable (a wrapper in
+		// the stack swallowed MaxPageID) or the file is empty; either way a
+		// scan would see nothing and a subsequent rebuild would replace the
+		// store with an empty generation while reporting zero losses.
+		// Refuse rather than "salvage" a store we cannot see.
+		return nil, fmt.Errorf("%w: pager reports a zero page extent", ErrNoExtent)
+	}
 	res := &Result{PageSize: p.PageSize(), MetaPage: uint32(metaPage)}
 
 	var (

@@ -197,7 +197,7 @@ func TestRepairCorruptPages(t *testing.T) {
 	}
 
 	// Dry run first: reports the damage, changes nothing.
-	dry, err := axml.RepairFile(db, testCfg(), false)
+	dry, err := axml.RepairFile(db, testCfg(), false, "")
 	if err != nil {
 		t.Fatalf("dry run: %v", err)
 	}
@@ -208,7 +208,7 @@ func TestRepairCorruptPages(t *testing.T) {
 		t.Fatal("store verifies clean after a dry run found damage")
 	}
 
-	rep, err := axml.RepairFile(db, testCfg(), true)
+	rep, err := axml.RepairFile(db, testCfg(), true, "")
 	if err != nil {
 		t.Fatalf("repair -apply: %v", err)
 	}
@@ -270,7 +270,7 @@ func TestRepairIdempotence(t *testing.T) {
 	db := buildStore(t, dir, 12)
 
 	before := readDB(t, db)
-	rep, err := axml.RepairFile(db, testCfg(), true)
+	rep, err := axml.RepairFile(db, testCfg(), true, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,12 +283,12 @@ func TestRepairIdempotence(t *testing.T) {
 
 	_, dataPages := scanRecords(t, db)
 	corruptPage(t, db, dataPages[len(dataPages)/2])
-	if _, err := axml.RepairFile(db, testCfg(), true); err != nil {
+	if _, err := axml.RepairFile(db, testCfg(), true, ""); err != nil {
 		t.Fatal(err)
 	}
 	afterFirst := readDB(t, db)
 
-	rep2, err := axml.RepairFile(db, testCfg(), true)
+	rep2, err := axml.RepairFile(db, testCfg(), true, "")
 	if err != nil {
 		t.Fatal(err)
 	}

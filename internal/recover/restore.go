@@ -50,6 +50,13 @@ func Restore(basePath, destPath string, opt RestoreOptions) (RestoreInfo, error)
 	if opt.PageSize != 0 && opt.PageSize != meta.PageSize {
 		return info, fmt.Errorf("recover: restore: page size %d requested, backup has %d", opt.PageSize, meta.PageSize)
 	}
+	// A backup cut without the store's archive in hand records an LSN that
+	// may undercount the commits already in its page image; replaying
+	// segments over it could produce a hybrid of two commits. Such a base
+	// can only be materialized as-is.
+	if meta.NoRollForward && (opt.ArchiveDir != "" || opt.TargetLSN != 0) {
+		return info, fmt.Errorf("recover: restore: backup %s was taken without the store's segment archive, so its LSN %d is not a roll-forward point; restore it as-is (no archive directory, no target LSN), or take backups with the archive configured", basePath, meta.LSN)
+	}
 	target := opt.TargetLSN
 	if target != 0 && target < meta.LSN {
 		return info, fmt.Errorf("recover: restore: target LSN %d predates the base backup (LSN %d); use an older backup", target, meta.LSN)

@@ -80,6 +80,39 @@ func writeSegment(dir string, lsn uint64, batch []byte, wrap func(File) File) er
 	return sf.Close()
 }
 
+// DropSegmentsAbove removes every archived segment numbered above lsn: the
+// debris of a discarded batch whose segment was written (the archive step
+// runs right after the log fsync) before its page-file apply failed. The
+// archive is restore's ground truth, so a segment for a never-committed
+// LSN must not survive the discard. Removal failures are reported but the
+// sweep continues; a missing directory is an empty archive.
+func DropSegmentsAbove(dir string, lsn uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var first error
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		if n > lsn {
+			if rerr := os.Remove(filepath.Join(dir, name)); rerr != nil && first == nil {
+				first = rerr
+			}
+		}
+	}
+	return first
+}
+
 // PageImage is one page write recovered from a segment or log.
 type PageImage struct {
 	ID   pagestore.PageID

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// openArchived opens a fault-wrapped journaled pager with segment
+// archiving into <dir>/segments.
+func openArchived(t *testing.T, inj *fault.Injector) (*Pager, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	arch := filepath.Join(dir, "segments")
+	p, err := OpenWithOptions(path, 512, Options{
+		ArchiveDir: arch,
+		WrapPager:  func(ip InnerPager) InnerPager { return fault.NewPager(inj, ip) },
+		WrapLog:    func(f File) File { return fault.NewFile(inj, f) },
+		Retries:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, path, arch
+}
+
+// A commit whose page-file apply fails has already archived its segment
+// (the archive step follows the log fsync). Abandoning the batch via
+// DiscardPending must remove that segment: the LSN was never committed,
+// and the next successful commit reuses it for a different batch — a
+// restore replaying the stale segment would resurrect the rejected write.
+func TestDiscardDropsSegmentOfFailedApply(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{})
+	p, _, arch := openArchived(t, inj)
+
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(id, bytes.Repeat([]byte{0x11}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil { // LSN 1
+		t.Fatal(err)
+	}
+
+	// Second batch: the disk fills between the log write and the apply.
+	if err := p.WritePage(id, bytes.Repeat([]byte{0x22}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	inj.ArmDiskFull(2) // write 1 = log append (succeeds), write 2 = page apply
+	if err := p.Commit(); !errors.Is(err, fault.ErrDiskFull) {
+		t.Fatalf("commit: got %v, want ErrDiskFull", err)
+	}
+	if p.LSN() != 1 {
+		t.Fatalf("LSN advanced to %d on a failed apply", p.LSN())
+	}
+	seg2 := filepath.Join(arch, SegmentFileName(2))
+	if _, err := os.Stat(seg2); err != nil {
+		t.Fatalf("segment 2 was not archived before the apply: %v", err)
+	}
+
+	inj.FreeSpace()
+	p.DiscardPending()
+	if _, err := os.Stat(seg2); !os.IsNotExist(err) {
+		t.Fatal("discard left the rejected batch's segment in the archive")
+	}
+	if max, err := MaxArchivedLSN(arch); err != nil || max != 1 {
+		t.Fatalf("archive high-water after discard: %d (err %v), want 1", max, err)
+	}
+
+	// The next commit reuses LSN 2; the archive must describe that batch.
+	third := bytes.Repeat([]byte{0x33}, 512)
+	if err := p.WritePage(id, third); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.LSN() != 2 {
+		t.Fatalf("LSN after recommit: %d, want 2", p.LSN())
+	}
+	pages, lsn, err := ReadSegment(seg2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 || len(pages) != 1 || !bytes.Equal(pages[0].Data, third) {
+		t.Fatal("segment 2 does not describe the batch that actually committed as LSN 2")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Once the page-file apply is durable the commit is a fact: a failure in
+// the log truncation afterwards must not leave the LSN un-advanced, or the
+// next commit would reuse it and silently rewrite an archived segment with
+// different bytes, voiding the history for restores.
+func TestTruncateFailureDoesNotReuseLSN(t *testing.T) {
+	inj := fault.NewInjector(fault.Config{})
+	p, path, arch := openArchived(t, inj)
+
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(id, bytes.Repeat([]byte{0xAA}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil { // LSN 1
+		t.Fatal(err)
+	}
+
+	second := bytes.Repeat([]byte{0xBB}, 512)
+	if err := p.WritePage(id, second); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating ops in this commit: log write, log sync, page apply,
+	// page-file sync, then the log truncate — crash there.
+	inj.ArmCrash(5)
+	if err := p.Commit(); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("commit: got %v, want ErrCrashed at the truncate", err)
+	}
+	if p.LSN() != 2 {
+		t.Fatalf("LSN %d after a post-apply truncate failure, want 2: the batch is durably applied", p.LSN())
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("%d pages still pending for a batch that durably committed", p.Pending())
+	}
+
+	// Simulate process death; reopening replays the un-truncated log —
+	// idempotent re-apply, identical re-archive — and resumes at LSN 2.
+	if err := p.CloseWithoutCommit(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenWithOptions(path, 512, Options{ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.LSN() != 2 {
+		t.Fatalf("LSN after reopen: %d, want 2", p2.LSN())
+	}
+	got := make([]byte, 512)
+	if err := p2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, second) {
+		t.Fatal("committed batch lost across the truncate failure")
+	}
+	if err := p2.WritePage(id, bytes.Repeat([]byte{0xCC}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p2.LSN() != 3 {
+		t.Fatalf("next commit got LSN %d, want 3 (no reuse of 2)", p2.LSN())
+	}
+	pages, lsn, err := ReadSegment(filepath.Join(arch, SegmentFileName(2)), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 || len(pages) != 1 || !bytes.Equal(pages[0].Data, second) {
+		t.Fatal("segment 2 no longer describes the batch that committed as LSN 2")
+	}
+}

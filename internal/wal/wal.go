@@ -86,8 +86,10 @@ type Options struct {
 	// restore. The segment is written and fsynced after the log fsync (the
 	// batch's durability point) and before the log is truncated, so a crash
 	// anywhere in between is repaired on the next open: recovery re-archives
-	// the replayed batch under its logged LSN. An archived segment therefore
-	// never names an LSN the store did not durably commit.
+	// the replayed batch under its logged LSN. A batch whose page-file apply
+	// fails and is then abandoned has its segment deleted by DiscardPending,
+	// so an archived segment never survives naming an LSN the store did not
+	// durably commit.
 	ArchiveDir string
 	// WrapSegment, when set, wraps archive segment files (fault injection).
 	WrapSegment func(File) File
@@ -427,17 +429,21 @@ func (p *Pager) Commit() error {
 	if err := p.retry(p.inner.Sync); err != nil {
 		return err
 	}
-	// The batch is durable in the main file: drop the log.
-	if err := p.retry(func() error { return p.wal.Truncate(0) }); err != nil {
-		return err
-	}
-	if err := p.retry(p.wal.Sync); err != nil {
-		return err
-	}
+	// The batch is durably applied: from here on the commit is a fact,
+	// whatever happens to the log bookkeeping below. Advance the LSN and
+	// drop the pending set before truncating, so a truncate failure can
+	// never lead to this LSN being reused for a different batch — its
+	// archived segment already exists and must stay authoritative. A
+	// failed truncate is also harmless to correctness: the log still
+	// holds this batch, and replaying it on the next open re-applies the
+	// same images and re-archives the identical segment.
 	p.pending = make(map[pagestore.PageID][]byte)
 	p.order = p.order[:0]
 	p.lsn = next
-	return nil
+	if err := p.retry(func() error { return p.wal.Truncate(0) }); err != nil {
+		return err
+	}
+	return p.retry(p.wal.Sync)
 }
 
 // Pending returns the number of uncommitted page writes (tests, stats).
@@ -458,6 +464,13 @@ func (p *Pager) LSN() uint64 { return p.lsn }
 // those pre-repair page images over a rebuilt store would corrupt it. The
 // truncate is best-effort: if it fails, the next clean commit or reopen
 // truncates the log anyway.
+//
+// With archiving enabled, discarding also removes any segment numbered
+// above the last applied commit: a commit that failed between its log
+// fsync and its page-file apply has already archived the batch's segment,
+// and once the batch is abandoned here that segment names an LSN the store
+// never committed — a restore replaying it would resurrect the rejected
+// batch.
 func (p *Pager) DiscardPending() {
 	p.pending = make(map[pagestore.PageID][]byte)
 	p.order = p.order[:0]
@@ -465,7 +478,16 @@ func (p *Pager) DiscardPending() {
 	if err := p.wal.Truncate(0); err == nil {
 		_ = p.wal.Sync()
 	}
+	if p.archiveDir != "" {
+		_ = DropSegmentsAbove(p.archiveDir, p.lsn)
+	}
 }
+
+// Archiving reports whether committed batches are archived as segments (an
+// ArchiveDir was configured). When true, LSN counts from the archive
+// high-water mark and is stable across reopens — the property backup
+// sidecars rely on to use their LSN as a roll-forward point.
+func (p *Pager) Archiving() bool { return p.archiveDir != "" }
 
 // Close commits outstanding writes and closes both files. If the commit
 // fails, the pager still closes: pending pages are discarded and the log is

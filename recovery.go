@@ -99,11 +99,19 @@ func ReopenFileWAL(path string, cfg Config, archiveDir string) (*Store, error) {
 // repair itself runs under the write-ahead log, so crashing mid-repair
 // leaves the store either fully repaired or untouched. Unreadable data is
 // quarantined and reported (Result.Missing), never silently dropped.
-func RepairFile(path string, cfg Config, apply bool) (*RepairReport, error) {
+//
+// archiveDir must name the store's WAL segment archive whenever one is
+// kept (empty otherwise): it numbers the rebuild commit after the
+// archive's high-water mark and archives it as a segment, so later
+// point-in-time restores replay across the repair. Repairing an archived
+// store without its archive would restart the LSN counter at 1 and the
+// rebuild batch — plus any crash leftovers in the sidecar log — would be
+// archived over the genuine early segments, corrupting the whole history.
+func RepairFile(path string, cfg Config, apply bool, archiveDir string) (*RepairReport, error) {
 	if _, err := os.Stat(path); err != nil {
 		return nil, err
 	}
-	wp, err := wal.Open(path, defaultedPageSize(cfg))
+	wp, err := wal.OpenWithOptions(path, defaultedPageSize(cfg), wal.Options{ArchiveDir: archiveDir})
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +129,11 @@ func RepairFile(path string, cfg Config, apply bool) (*RepairReport, error) {
 // lock, coexisting with read-only openers, and folds committed-but-
 // unapplied WAL batches in as an overlay instead. Every page is checksum-
 // verified on the way out; a corrupt store refuses to back up (repair it
-// first). archiveDir, in exclusive mode, keeps the segment archive
-// contiguous across the backup.
+// first). archiveDir names the store's segment archive: it keeps the
+// history contiguous across an exclusive backup and, in both modes, pins
+// the sidecar LSN to the archive's high-water mark. A backup taken
+// without it is marked NoRollForward — restorable as-is, but refused as a
+// base for segment replay, because its LSN may undercount the image.
 func BackupStoreFile(src, dest string, cfg Config, shared bool, archiveDir string) (BackupMeta, error) {
 	if _, err := os.Stat(src); err != nil {
 		return BackupMeta{}, err
