@@ -1,0 +1,220 @@
+// Parallel read-path benchmarks (experiment E8, DESIGN.md §9): the paper's
+// lazy structures are caches that warm on access, which is exactly the shape
+// that should let concurrent reads scale with cores. These targets measure
+// random subtree reads, XPath evaluation, and a mixed reader/writer workload
+// under b.RunParallel; scripts/bench.sh runs them at -cpu 1,2,4,8 and emits
+// BENCH_parallel.json so later PRs have a trajectory to regress against.
+package axml_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// loadStoreBatched builds a purchase-order store appending `batch` orders per
+// Append call — large batches produce the paper's "few, coarse" ranges whose
+// locate replays dominate random-read cost (Table 5's 33 kb/s row).
+func loadStoreBatched(b *testing.B, cfg core.Config, orders, batch int) *core.Store {
+	b.Helper()
+	s, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(2005)
+	for done := 0; done < orders; done += batch {
+		var frag []core.Token
+		for j := 0; j < batch && done+j < orders; j++ {
+			frag = append(frag, gen.PurchaseOrder(done+j)...)
+		}
+		if _, err := s.Append(frag); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// zipfKeys precomputes a hot-set key sample over the store's id space.
+func zipfKeys(s *core.Store, n int, seed int64) []core.NodeID {
+	gen := workload.New(seed)
+	maxID := s.Stats().Nodes
+	perm := gen.Perm(int(maxID))
+	sample := gen.Zipf(maxID, 1.8)
+	keys := make([]core.NodeID, n)
+	for i := range keys {
+		keys[i] = core.NodeID(perm[sample()-1] + 1)
+	}
+	return keys
+}
+
+// BenchmarkParallelRandomRead measures concurrent point subtree reads on a
+// coarse-range store with the partial index on — the workload the sharded
+// buffer pool and striped partial index exist for. Run with -cpu 1,2,4,8 to
+// see the scaling curve.
+func BenchmarkParallelRandomRead(b *testing.B) {
+	s := loadStoreBatched(b, core.Config{Mode: core.RangePartial}, 2000, 500)
+	defer s.Close()
+	keys := zipfKeys(s, 8192, 99)
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := keys[ctr.Add(1)%uint64(len(keys))]
+			if err := s.ScanNode(k, func(core.Item) bool { return true }); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelExists measures the cheapest read op — a pure existence
+// probe — which must not take the exclusive store lock.
+func BenchmarkParallelExists(b *testing.B) {
+	s := loadStoreBatched(b, core.Config{Mode: core.RangePartial}, 2000, 500)
+	defer s.Close()
+	keys := zipfKeys(s, 8192, 7)
+	var ctr atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !s.Exists(keys[ctr.Add(1)%uint64(len(keys))]) {
+				b.Error("missing node")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelXPath evaluates a compiled path over per-goroutine subtree
+// reads: locate + subtree scan + navigational view build + eval, all on the
+// shared store.
+func BenchmarkParallelXPath(b *testing.B) {
+	s := loadStoreBatched(b, core.Config{Mode: core.RangePartial}, 400, 100)
+	defer s.Close()
+	first, ok, err := s.FirstNodeID()
+	if err != nil || !ok {
+		b.Fatal("no root:", err)
+	}
+	var orders []core.NodeID
+	for id, ok := first, true; ok && len(orders) < 256; id, ok, err = s.NextSibling(id) {
+		if err != nil {
+			b.Fatal(err)
+		}
+		orders = append(orders, id)
+	}
+	c, err := xpath.Parse(`purchase-order/line/item`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := orders[ctr.Add(1)%uint64(len(orders))]
+			items, err := s.ReadNode(id)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			d, err := xpath.BuildDoc(items)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ns, err := c.Eval(d)
+			if err != nil || len(ns) == 0 {
+				b.Error("empty result:", err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelMixed runs mostly-read traffic with an occasional writer
+// (1 insert per 64 ops): the readers must keep scaling while XUpdate inserts
+// split ranges under the exclusive lock.
+func BenchmarkParallelMixed(b *testing.B) {
+	s := loadStoreBatched(b, core.Config{Mode: core.RangePartial}, 1000, 250)
+	defer s.Close()
+	root, ok, err := s.FirstNodeID()
+	if err != nil || !ok {
+		b.Fatal("no root:", err)
+	}
+	keys := zipfKeys(s, 8192, 42)
+	frag := workload.New(7).PurchaseOrder(1)
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			if i%64 == 0 {
+				if _, err := s.InsertIntoLast(root, frag); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			if err := s.ScanNode(keys[i%uint64(len(keys))], func(core.Item) bool { return true }); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSiblingWalk walks the whole top-level sibling chain once per
+// iteration. NextSibling is locate + end-scan + advance, the paths whose
+// token stepping should touch only kind bytes and length prefixes — its
+// allocation count is the token-codec overhead measure in EXPERIMENTS.md.
+func BenchmarkSiblingWalk(b *testing.B) {
+	s := loadStoreBatched(b, core.Config{Mode: core.RangeOnly}, 400, 100)
+	defer s.Close()
+	first, ok, err := s.FirstNodeID()
+	if err != nil || !ok {
+		b.Fatal("no root:", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for id, ok := first, true; ok; id, ok, err = s.NextSibling(id) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != 400 {
+			b.Fatalf("walked %d siblings, want 400", n)
+		}
+	}
+}
+
+// BenchmarkColdCoarseRandomRead measures single-threaded locate replay cost
+// on a coarse RangeOnly store (no partial index): every read replays tokens
+// from the head of a large range unless intra-range replay checkpoints cut
+// the scan short.
+func BenchmarkColdCoarseRandomRead(b *testing.B) {
+	s := loadStoreBatched(b, core.Config{Mode: core.RangeOnly}, 2000, 500)
+	defer s.Close()
+	gen := workload.New(4)
+	maxID := s.Stats().Nodes
+	sample := gen.Uniform(maxID)
+	keys := make([]core.NodeID, 8192)
+	for i := range keys {
+		keys[i] = core.NodeID(sample())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ScanNode(keys[i%len(keys)], func(core.Item) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

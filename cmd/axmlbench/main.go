@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -22,6 +24,8 @@ func main() {
 		reads   = flag.Int("reads", 0, "random reads (0 = default)")
 		zipf    = flag.Float64("zipf", 0, "read-key skew exponent (0 = default 1.8, <0 = uniform)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	o := bench.Options{
@@ -31,7 +35,38 @@ func main() {
 		Zipf:           *zipf,
 		Seed:           *seed,
 	}
-	if err := run(*exp, o); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axmlbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "axmlbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	err := run(*exp, o)
+	if *cpuProf != "" {
+		// Stop explicitly (not deferred): the error path below exits the
+		// process, and the profile must be flushed either way.
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, merr := os.Create(*memProf)
+		if merr == nil {
+			runtime.GC() // flush dead objects so the profile shows live heap
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "axmlbench: memprofile:", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "axmlbench:", err)
 		os.Exit(1)
 	}

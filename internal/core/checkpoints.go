@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Intra-range replay checkpoints — bounding the paper's coarse-range replay
+// cost (Table 5's 33 kb/s random-read row).
+//
+// A coarse range makes every cold locate replay tokens from the range head
+// until the target id's begin token. The checkpoint table memoizes the scan
+// state every K tokens as a side effect of those replays: a later locate of
+// any id in the same range resumes from the nearest checkpoint at or before
+// the target instead of the head, so replay work per lookup drops from
+// O(range) to O(K) once a range has been walked once.
+//
+// Like the partial index, the table is a cache, not an index: memory-only,
+// never persisted, rebuilt lazily, and invalidated by the range version
+// stamp — a split, merge or rewrite bumps the version and the stale entry
+// becomes a miss. The table is lock-striped by range id so concurrent
+// readers (holding the store's shared lock) can consult and publish
+// checkpoints without serializing.
+
+const (
+	// checkpointInterval is K: tokens between checkpoints.
+	checkpointInterval = 256
+	// checkpointMinTokens gates memoization to ranges long enough for a
+	// resume to actually save work.
+	checkpointMinTokens = 2 * checkpointInterval
+	// ckptShardCount stripes the table; maxCkptRangesPerShard bounds the
+	// memoized ranges per stripe (table-wide: 16×64 ranges, each at most
+	// toks/K checkpoints of 16 bytes).
+	ckptShardCount        = 16
+	maxCkptRangesPerShard = 64
+)
+
+// replayCheckpoint is one resumable scan state: the scan sits just before
+// the token at byteOff (token index tokIdx), and the next node-starting
+// token will be assigned id `next`.
+type replayCheckpoint struct {
+	next    NodeID
+	tokIdx  int32
+	byteOff int32
+}
+
+// rangeCheckpoints stamps a checkpoint run with the range version it was
+// built against. The cps slice is immutable once published.
+type rangeCheckpoints struct {
+	version uint32
+	cps     []replayCheckpoint
+}
+
+type ckptShard struct {
+	mu sync.Mutex
+	m  map[RangeID]rangeCheckpoints
+}
+
+type checkpointTable struct {
+	shards [ckptShardCount]ckptShard
+}
+
+func newCheckpointTable() *checkpointTable {
+	t := &checkpointTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[RangeID]rangeCheckpoints)
+	}
+	return t
+}
+
+func (t *checkpointTable) shard(rng RangeID) *ckptShard {
+	h := uint32(rng) * 2654435769
+	return &t.shards[h>>28%ckptShardCount]
+}
+
+// get returns the published checkpoints for rng at version ver, or nil. The
+// returned slice is immutable — callers must not append to it in place.
+func (t *checkpointTable) get(rng RangeID, ver uint32) []replayCheckpoint {
+	sh := t.shard(rng)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rc, ok := sh.m[rng]
+	if !ok || rc.version != ver {
+		return nil
+	}
+	return rc.cps
+}
+
+// publish installs cps for rng at version ver unless a longer same-version
+// run is already present (two readers may race to publish; the one that
+// scanned further wins). The caller must not retain or mutate cps after
+// publishing.
+func (t *checkpointTable) publish(rng RangeID, ver uint32, cps []replayCheckpoint) {
+	if len(cps) == 0 {
+		return
+	}
+	sh := t.shard(rng)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rc, ok := sh.m[rng]; ok && rc.version == ver && len(rc.cps) >= len(cps) {
+		return
+	}
+	if _, ok := sh.m[rng]; !ok && len(sh.m) >= maxCkptRangesPerShard {
+		// Bound memory: drop an arbitrary memoized range. Random-ish
+		// eviction is fine for a cache that rebuilds in one scan.
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
+	sh.m[rng] = rangeCheckpoints{version: ver, cps: cps}
+}
+
+// resumeFrom returns the last checkpoint at or before target (the next
+// node-start id must not have passed it), plus the checkpoint prefix up to
+// and including it. The prefix aliases the published slice and is shared
+// with concurrent readers: a caller extending the run must clone it before
+// appending. ok is false when no checkpoint helps.
+func resumeFrom(cps []replayCheckpoint, target NodeID) (replayCheckpoint, []replayCheckpoint, bool) {
+	i := sort.Search(len(cps), func(i int) bool { return cps[i].next > target })
+	if i == 0 {
+		return replayCheckpoint{}, nil, false
+	}
+	return cps[i-1], cps[:i], true
+}

@@ -22,11 +22,16 @@ func (p tokenPos) atRangeEnd() bool { return p.byteOff >= p.ri.bytes }
 
 // locateBegin finds the begin token of node id, consulting the indexes in
 // the paper's priority order: full index (if configured), then partial
-// index, then the coarse range index plus a scan. It returns the position,
-// the decoded begin token, and the encoded token bytes of the containing
-// range (for reuse by callers that keep scanning).
+// index, then the coarse range index plus a scan resumed from the nearest
+// replay checkpoint. It returns the position, the decoded begin token, and
+// the encoded token bytes of the containing range (for reuse by callers
+// that keep scanning).
+//
+// Safe under mu.RLock: the structures it reads are only mutated under the
+// write lock, and the structures it writes (partial index, checkpoint
+// table, counters) are internally synchronized.
 func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
-	s.nodeLookups++
+	s.nodeLookups.Add(1)
 
 	// Full index: exact entry per node.
 	if s.full != nil {
@@ -55,10 +60,10 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 
 	// Partial index: lazily learned exact positions.
 	if s.partial != nil {
-		if e := s.partial.lookup(id); e != nil {
+		if e, ok := s.partial.lookup(id); ok {
 			ri := s.byRange[e.beginRange]
 			if ri != nil && ri.version == e.beginVer {
-				s.partial.stats.hits++
+				s.partial.hit()
 				tokenBytes, err := s.readRange(ri)
 				if err != nil {
 					return tokenPos{}, Token{}, nil, err
@@ -71,14 +76,16 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 				return pos, tok, tokenBytes, nil
 			}
 			// Stale: the range was mutated or removed. Lazy invalidation.
-			s.partial.drop(e)
+			s.partial.dropStale(e)
 		}
-		s.partial.stats.misses++
+		s.partial.miss()
 	}
 
-	// Coarse range index: floor search on interval start, then scan. The
-	// scan classifies tokens by their kind byte and skips decoding names
-	// and values until the target is found.
+	// Coarse range index: floor search on interval start, then a replay
+	// scan. The scan classifies tokens by their kind byte and skips decoding
+	// names and values until the target is found; it resumes from the
+	// nearest intra-range checkpoint and deposits new checkpoints every
+	// checkpointInterval tokens for the next locate to reuse.
 	_, ri, ok := s.rindex.Floor(uint64(id))
 	if !ok || !ri.contains(id) {
 		return tokenPos{}, Token{}, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, id)
@@ -87,11 +94,32 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 	if err != nil {
 		return tokenPos{}, Token{}, nil, err
 	}
-	r := newTokenReader(tokenBytes)
 	cur := ri.start
 	tokIdx := 0
-	for r.More() {
-		off := r.Offset()
+	off := 0
+	// prefix is the shared, immutable checkpoint run resumed from; builder
+	// stays nil (no allocation) until this scan actually extends the run,
+	// and only then clones the prefix into private storage.
+	var prefix, builder []replayCheckpoint
+	memoize := ri.toks >= checkpointMinTokens
+	if memoize {
+		if cps := s.checkpoints.get(ri.id, ri.version); cps != nil {
+			if cp, pfx, ok := resumeFrom(cps, id); ok {
+				cur, tokIdx, off = cp.next, int(cp.tokIdx), int(cp.byteOff)
+				prefix = pfx
+			}
+		}
+	}
+	cpLen := len(prefix)
+	scanned := uint64(0)
+	for off < len(tokenBytes) {
+		if memoize && tokIdx == (cpLen+1)*checkpointInterval {
+			if builder == nil {
+				builder = append(make([]replayCheckpoint, 0, cpLen+4), prefix...)
+			}
+			builder = append(builder, replayCheckpoint{next: cur, tokIdx: int32(tokIdx), byteOff: int32(off)})
+			cpLen++
+		}
 		if token.Kind(tokenBytes[off]).StartsNode() {
 			if cur == id {
 				tok, _, err := token.Decode(tokenBytes[off:])
@@ -102,16 +130,23 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 				if s.partial != nil {
 					s.partial.recordBegin(id, ri.id, ri.version, off, tokIdx)
 				}
+				if builder != nil {
+					s.checkpoints.publish(ri.id, ri.version, builder)
+				}
+				s.tokensScanned.Add(scanned)
 				return pos, tok, tokenBytes, nil
 			}
 			cur++
 		}
-		if _, err := r.Skip(); err != nil {
+		n, err := token.Size(tokenBytes[off:])
+		if err != nil {
 			return tokenPos{}, Token{}, nil, err
 		}
-		s.tokensScanned++
+		off += n
+		scanned++
 		tokIdx++
 	}
+	s.tokensScanned.Add(scanned)
 	return tokenPos{}, Token{}, nil, fmt.Errorf("core: range %v claims id %d but scan missed it", ri, id)
 }
 
@@ -129,10 +164,10 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 
 	// The partial index may know the end position already.
 	if s.partial != nil {
-		if e := s.partial.lookup(id); e != nil && e.hasEnd {
+		if e, ok := s.partial.lookup(id); ok && e.hasEnd {
 			ri := s.byRange[e.endRange]
 			if ri != nil && ri.version == e.endVer {
-				s.partial.stats.hits++
+				s.partial.hit()
 				var tokenBytes []byte
 				var err error
 				if ri == begin.ri {
@@ -140,9 +175,6 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 				} else if tokenBytes, err = s.readRange(ri); err != nil {
 					return tokenPos{}, nil, err
 				}
-				// endNodesBefore was stored in endTok's companion field via
-				// nodesBefore packing; recompute cheaply when in the begin
-				// range, otherwise scan-free value is stored.
 				pos := tokenPos{ri: ri, tokIdx: int(e.endTok), byteOff: int(e.endByte), nodesBefore: int(e.endNodesBefore)}
 				return pos, tokenBytes, nil
 			}
@@ -153,19 +185,20 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 	// document order as needed. Only token kinds are examined.
 	ri := begin.ri
 	tokenBytes := beginBytes
-	r := newTokenReader(tokenBytes)
-	r.SetOffset(begin.byteOff)
+	off := begin.byteOff
 	tokIdx := begin.tokIdx
 	nodesSeen := begin.nodesBefore
 	depth := 0
+	scanned := uint64(0)
 	for {
-		for r.More() {
-			off := r.Offset()
-			k, err := r.Skip()
+		for off < len(tokenBytes) {
+			k := token.Kind(tokenBytes[off])
+			n, err := token.Size(tokenBytes[off:])
 			if err != nil {
+				s.tokensScanned.Add(scanned)
 				return tokenPos{}, nil, err
 			}
-			s.tokensScanned++
+			scanned++
 			if k.StartsNode() {
 				nodesSeen++
 			}
@@ -176,29 +209,32 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 				if depth == 0 {
 					pos := tokenPos{ri: ri, tokIdx: tokIdx, byteOff: off, nodesBefore: nodesSeen}
 					if s.partial != nil {
-						e := s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx)
-						e.endNodesBefore = int32(nodesSeen)
-						e.endLen = int32(r.Offset() - off)
+						s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx, int32(nodesSeen), int32(n))
 					}
+					s.tokensScanned.Add(scanned)
 					return pos, tokenBytes, nil
 				}
 			}
+			off += n
 			tokIdx++
 		}
 		// Continue into the next range.
 		nri, ok, err := s.nextRangeInfo(ri)
 		if err != nil {
+			s.tokensScanned.Add(scanned)
 			return tokenPos{}, nil, err
 		}
 		if !ok {
+			s.tokensScanned.Add(scanned)
 			return tokenPos{}, nil, fmt.Errorf("core: unbalanced store: no end token for node %d", id)
 		}
 		ri = nri
 		tokenBytes, err = s.readRange(ri)
 		if err != nil {
+			s.tokensScanned.Add(scanned)
 			return tokenPos{}, nil, err
 		}
-		r = newTokenReader(tokenBytes)
+		off = 0
 		tokIdx = 0
 		nodesSeen = 0
 	}
@@ -207,14 +243,19 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 // advance returns the position immediately after the token at pos (given the
 // token bytes of pos.ri). The result may be the end-of-range position; it is
 // never advanced into the next range (record-level inserts handle that
-// boundary directly).
+// boundary directly). Only the kind byte and encoded size are examined — no
+// string decoding, no allocation.
 func advance(pos tokenPos, tokenBytes []byte) (tokenPos, error) {
-	t, n, err := token.Decode(tokenBytes[pos.byteOff:])
+	k := token.Kind(tokenBytes[pos.byteOff])
+	if !k.Valid() {
+		return tokenPos{}, fmt.Errorf("core: invalid token kind %d at %d", tokenBytes[pos.byteOff], pos.byteOff)
+	}
+	n, err := token.Size(tokenBytes[pos.byteOff:])
 	if err != nil {
 		return tokenPos{}, err
 	}
 	nb := pos.nodesBefore
-	if t.StartsNode() {
+	if k.StartsNode() {
 		nb++
 	}
 	return tokenPos{ri: pos.ri, tokIdx: pos.tokIdx + 1, byteOff: pos.byteOff + n, nodesBefore: nb}, nil
@@ -224,18 +265,20 @@ func advance(pos tokenPos, tokenBytes []byte) (tokenPos, error) {
 // token) past the element's attribute block, returning the position of the
 // first content token (or the element's end token) plus the token bytes of
 // the range it lies in. The scan crosses range boundaries, since a split may
-// have cut through the attribute block.
+// have cut through the attribute block. The walk reads kind bytes and
+// encoded sizes only.
 func (s *Store) skipAttributes(pos tokenPos, tokenBytes []byte) (tokenPos, []byte, error) {
 	depth := 0
+	scanned := uint64(0)
+	defer func() { s.tokensScanned.Add(scanned) }()
 	for {
-		r := newTokenReader(tokenBytes)
-		r.SetOffset(pos.byteOff)
 		for !pos.atRangeEnd() {
 			k := token.Kind(tokenBytes[pos.byteOff])
 			if depth == 0 && k != token.BeginAttribute {
 				return pos, tokenBytes, nil
 			}
-			if _, err := r.Skip(); err != nil {
+			n, err := token.Size(tokenBytes[pos.byteOff:])
+			if err != nil {
 				return tokenPos{}, nil, err
 			}
 			if k.IsBegin() {
@@ -246,9 +289,9 @@ func (s *Store) skipAttributes(pos tokenPos, tokenBytes []byte) (tokenPos, []byt
 			if k.StartsNode() {
 				pos.nodesBefore++
 			}
-			s.tokensScanned++
+			scanned++
 			pos.tokIdx++
-			pos.byteOff = r.Offset()
+			pos.byteOff += n
 		}
 		nri, ok, err := s.nextRangeInfo(pos.ri)
 		if err != nil {

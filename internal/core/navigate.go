@@ -20,8 +20,8 @@ import (
 // Parent returns the parent node of id (ok=false for top-level nodes).
 // Attributes' parent is their owner element.
 func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
@@ -31,10 +31,10 @@ func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
 	// entry's begin-token validity, which any mutation that removes the
 	// child necessarily invalidates.
 	if s.partial != nil {
-		if e := s.partial.lookup(id); e != nil && e.hasParent {
+		if e, ok := s.partial.lookup(id); ok && e.hasParent {
 			ri := s.byRange[e.beginRange]
 			if ri != nil && ri.version == e.beginVer {
-				s.partial.stats.hits++
+				s.partial.hit()
 				if e.parentID == InvalidNode {
 					return InvalidNode, false, nil
 				}
@@ -51,12 +51,10 @@ func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
 		return InvalidNode, false, err
 	}
 	if s.partial != nil {
-		e := s.partial.ensure(id)
-		e.hasParent = true
 		if ok {
-			e.parentID = parent
+			s.partial.setParent(id, parent)
 		} else {
-			e.parentID = InvalidNode
+			s.partial.setParent(id, InvalidNode)
 		}
 	}
 	return parent, ok, nil
@@ -103,13 +101,15 @@ func (s *Store) scanOpenBegins(ri *rangeInfo, limit int) ([]NodeID, int, error) 
 	var stack []NodeID
 	unmatchedEnds := 0
 	cur := ri.start
+	scanned := uint64(0)
+	defer func() { s.tokensScanned.Add(scanned) }()
 	r := newTokenReader(tokenBytes[:limit])
 	for r.More() {
 		k, err := r.Skip()
 		if err != nil {
 			return nil, 0, err
 		}
-		s.tokensScanned++
+		scanned++
 		var nodeID NodeID
 		if k.StartsNode() {
 			nodeID = cur
@@ -131,8 +131,8 @@ func (s *Store) scanOpenBegins(ri *rangeInfo, limit int) ([]NodeID, int, error) 
 // FirstChild returns the first child node of element id (attributes are not
 // children; use Attributes). ok=false when the element is empty.
 func (s *Store) FirstChild(id NodeID) (NodeID, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
@@ -168,8 +168,8 @@ func (s *Store) FirstChild(id NodeID) (NodeID, bool, error) {
 // NextSibling returns the node following id under the same parent
 // (attributes have no siblings in this API).
 func (s *Store) NextSibling(id NodeID) (NodeID, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
@@ -232,8 +232,8 @@ func (s *Store) PrevSibling(id NodeID) (NodeID, bool, error) {
 
 // Attributes returns the attribute node ids of element id in order.
 func (s *Store) Attributes(id NodeID) ([]NodeID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -305,8 +305,8 @@ func (s *Store) Children(id NodeID) ([]NodeID, error) {
 // reconstructs document order at read time.
 func (s *Store) CompareDocOrder(a, b NodeID) (int, error) {
 	if a == b {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		if s.closed {
 			return 0, ErrClosed
 		}
@@ -315,8 +315,8 @@ func (s *Store) CompareDocOrder(a, b NodeID) (int, error) {
 		}
 		return 0, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return 0, ErrClosed
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
 
 // The partial (lazy) index — Section 5 of the paper.
 //
@@ -12,9 +16,16 @@ import "container/list"
 // of the range it points into, and a version mismatch (the range was split,
 // merged, rewritten or deleted) makes the entry a miss. Nothing is updated
 // eagerly — laziness all the way down.
+//
+// The index is safe for concurrent use: entries are lock-striped by node id
+// (each shard its own map, LRU list and mutex) so lazy insertions from
+// readers holding the store's shared lock contend only per stripe, and the
+// counters are atomic. Lookups copy the entry out under the shard lock —
+// callers never hold pointers into a shard.
 
 // partialEntry caches the location of a node's begin token and, when known,
-// its matching end token.
+// its matching end token. Callers receive copies; the canonical entry lives
+// inside a shard.
 type partialEntry struct {
 	id NodeID
 
@@ -32,110 +43,192 @@ type partialEntry struct {
 	endLen         int32 // encoded length of the end token
 
 	// Structural extension (paper §9): parent links are stable for the
-	// lifetime of a node, so no version stamp is needed.
+	// lifetime of a node, so no version stamp is needed beyond the begin
+	// validity gate.
 	hasParent bool
 	parentID  NodeID
+}
 
+// boxedEntry is the shard-resident form: the entry plus its LRU position.
+type boxedEntry struct {
+	partialEntry
 	elem *list.Element
 }
 
 type partialStats struct {
-	hits          uint64
-	misses        uint64
-	evictions     uint64
-	invalidations uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// Shard geometry: stay single-sharded for the small capacities tests pin
+// exact LRU behavior on; stripe up to 16 ways for production capacities.
+const (
+	maxPartialShards      = 16
+	partialShardThreshold = 64
+)
+
+type partialShard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[NodeID]*boxedEntry
+	lru      *list.List // front = least recently used
 }
 
 type partialIndex struct {
-	capacity int
-	entries  map[NodeID]*partialEntry
-	lru      *list.List // front = least recently used
-	stats    partialStats
+	shards []*partialShard
+	stats  partialStats
 }
 
 func newPartialIndex(capacity int) *partialIndex {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &partialIndex{
-		capacity: capacity,
-		entries:  make(map[NodeID]*partialEntry, capacity),
-		lru:      list.New(),
+	nshards := capacity / partialShardThreshold
+	if nshards > maxPartialShards {
+		nshards = maxPartialShards
 	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	px := &partialIndex{shards: make([]*partialShard, nshards)}
+	per := capacity / nshards
+	for i := range px.shards {
+		px.shards[i] = &partialShard{
+			capacity: per,
+			entries:  make(map[NodeID]*boxedEntry, per),
+			lru:      list.New(),
+		}
+	}
+	return px
 }
 
-func (px *partialIndex) len() int { return len(px.entries) }
-
-// touch moves e to the most-recently-used position.
-func (px *partialIndex) touch(e *partialEntry) {
-	px.lru.MoveToBack(e.elem)
+func (px *partialIndex) shard(id NodeID) *partialShard {
+	if len(px.shards) == 1 {
+		return px.shards[0]
+	}
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return px.shards[h>>59%uint64(len(px.shards))]
 }
 
-// lookup returns the entry for id if present (without validity checking —
-// the store validates versions since it owns the range table).
-func (px *partialIndex) lookup(id NodeID) *partialEntry {
-	e, ok := px.entries[id]
+func (px *partialIndex) len() int {
+	n := 0
+	for _, sh := range px.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (px *partialIndex) hit()  { px.stats.hits.Add(1) }
+func (px *partialIndex) miss() { px.stats.misses.Add(1) }
+
+// lookup returns a copy of the entry for id if present (without validity
+// checking — the store validates versions since it owns the range table).
+func (px *partialIndex) lookup(id NodeID) (partialEntry, bool) {
+	sh := px.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.entries[id]
 	if !ok {
-		return nil
+		return partialEntry{}, false
 	}
-	px.touch(e)
-	return e
+	sh.lru.MoveToBack(b.elem)
+	return b.partialEntry, true
 }
 
-// drop removes a (stale) entry.
-func (px *partialIndex) drop(e *partialEntry) {
-	px.lru.Remove(e.elem)
-	delete(px.entries, e.id)
-	px.stats.invalidations++
+// dropStale removes the entry for id if its begin stamp still matches the
+// stale copy the caller observed. A concurrent reader may have re-learned a
+// fresh location in the meantime; that entry survives.
+func (px *partialIndex) dropStale(stale partialEntry) {
+	sh := px.shard(stale.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.entries[stale.id]
+	if !ok || b.beginRange != stale.beginRange || b.beginVer != stale.beginVer {
+		return
+	}
+	sh.lru.Remove(b.elem)
+	delete(sh.entries, stale.id)
+	px.stats.invalidations.Add(1)
+}
+
+// ensureLocked returns the boxed entry for id, creating (and LRU-evicting)
+// as needed. Caller holds sh.mu.
+func (px *partialIndex) ensureLocked(sh *partialShard, id NodeID) *boxedEntry {
+	if b, ok := sh.entries[id]; ok {
+		sh.lru.MoveToBack(b.elem)
+		return b
+	}
+	if len(sh.entries) >= sh.capacity {
+		if victim := sh.lru.Front(); victim != nil {
+			v := victim.Value.(*boxedEntry)
+			sh.lru.Remove(victim)
+			delete(sh.entries, v.id)
+			px.stats.evictions.Add(1)
+		}
+	}
+	b := &boxedEntry{}
+	b.id = id
+	b.elem = sh.lru.PushBack(b)
+	sh.entries[id] = b
+	return b
 }
 
 // recordBegin memorizes the begin-token location of id.
-func (px *partialIndex) recordBegin(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int) *partialEntry {
-	e := px.ensure(id)
-	e.beginRange, e.beginVer = rng, ver
-	e.beginByte, e.beginTok = int32(byteOff), int32(tokIdx)
-	return e
+func (px *partialIndex) recordBegin(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int) {
+	sh := px.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := px.ensureLocked(sh, id)
+	b.beginRange, b.beginVer = rng, ver
+	b.beginByte, b.beginTok = int32(byteOff), int32(tokIdx)
 }
 
-// recordEnd memorizes the end-token location of id.
-func (px *partialIndex) recordEnd(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int) *partialEntry {
-	e := px.ensure(id)
-	e.hasEnd = true
-	e.endRange, e.endVer = rng, ver
-	e.endByte, e.endTok = int32(byteOff), int32(tokIdx)
-	return e
+// recordEnd memorizes the end-token location of id, with the node-start
+// count before the end token and the end token's encoded length (the warm
+// fast path of ScanNode needs both).
+func (px *partialIndex) recordEnd(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int, nodesBefore, endLen int32) {
+	sh := px.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := px.ensureLocked(sh, id)
+	b.hasEnd = true
+	b.endRange, b.endVer = rng, ver
+	b.endByte, b.endTok = int32(byteOff), int32(tokIdx)
+	b.endNodesBefore = nodesBefore
+	b.endLen = endLen
 }
 
-func (px *partialIndex) ensure(id NodeID) *partialEntry {
-	if e, ok := px.entries[id]; ok {
-		px.touch(e)
-		return e
-	}
-	if len(px.entries) >= px.capacity {
-		victim := px.lru.Front()
-		if victim != nil {
-			v := victim.Value.(*partialEntry)
-			px.lru.Remove(victim)
-			delete(px.entries, v.id)
-			px.stats.evictions++
-		}
-	}
-	e := &partialEntry{id: id}
-	e.elem = px.lru.PushBack(e)
-	px.entries[id] = e
-	return e
+// setParent memorizes the (stable) parent link of id.
+func (px *partialIndex) setParent(id, parent NodeID) {
+	sh := px.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := px.ensureLocked(sh, id)
+	b.hasParent = true
+	b.parentID = parent
 }
 
 // removeNode forgets id entirely (used when the node is deleted).
 func (px *partialIndex) removeNode(id NodeID) {
-	if e, ok := px.entries[id]; ok {
-		px.lru.Remove(e.elem)
-		delete(px.entries, id)
+	sh := px.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b, ok := sh.entries[id]; ok {
+		sh.lru.Remove(b.elem)
+		delete(sh.entries, id)
 	}
 }
 
 // reset clears all entries (bulk operations).
 func (px *partialIndex) reset() {
-	px.entries = make(map[NodeID]*partialEntry, px.capacity)
-	px.lru.Init()
+	for _, sh := range px.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[NodeID]*boxedEntry, sh.capacity)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }

@@ -81,9 +81,12 @@ func (s *Store) Tokens() ([]Token, error) {
 
 // ScanNode streams the subtree of node id (begin through matching end) with
 // regenerated ids. fn returning false stops early.
+//
+// Readers share the lock: locate's writes (partial index, checkpoint table,
+// scan counters) all go to internally-synchronized structures.
 func (s *Store) ScanNode(id NodeID, fn func(Item) bool) (err error) {
-	s.mu.Lock() // locate may write to the partial index
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	defer s.latchCorrupt(&err)
 	if s.closed {
 		return ErrClosed
@@ -97,12 +100,12 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 	// paper's "jump to the end of the given node" behaviour, with no range
 	// scan and no whole-record copy.
 	if s.partial != nil {
-		if e := s.partial.lookup(id); e != nil && e.hasEnd && e.endLen > 0 &&
+		if e, ok := s.partial.lookup(id); ok && e.hasEnd && e.endLen > 0 &&
 			e.beginRange == e.endRange {
 			ri := s.byRange[e.beginRange]
 			if ri != nil && ri.version == e.beginVer && ri.version == e.endVer {
-				s.nodeLookups++
-				s.partial.stats.hits++
+				s.nodeLookups.Add(1)
+				s.partial.hit()
 				span := int(e.endByte + e.endLen - e.beginByte)
 				buf, err := s.recs.ReadSlice(ri.loc, rangeHeaderSize+int(e.beginByte), span)
 				if err != nil {
@@ -148,9 +151,8 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 		// Leaf node: the begin token is the whole subtree. Memorize it as
 		// its own end so repeated reads take the warm fast path.
 		if s.partial != nil {
-			e := s.partial.recordEnd(id, begin.ri.id, begin.ri.version, begin.byteOff, begin.tokIdx)
-			e.endNodesBefore = int32(begin.nodesBefore)
-			e.endLen = int32(token.EncodedSize(beginTok))
+			s.partial.recordEnd(id, begin.ri.id, begin.ri.version, begin.byteOff, begin.tokIdx,
+				int32(begin.nodesBefore), int32(token.EncodedSize(beginTok)))
 		}
 		return nil
 	}
@@ -164,6 +166,8 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 	depth := 1
 	tokIdx := begin.tokIdx + 1
 	nodesSeen := begin.nodesBefore + 1 // the begin token started a node
+	scanned := uint64(0)
+	defer func() { s.tokensScanned.Add(scanned) }()
 	for {
 		for r.More() {
 			off := r.Offset()
@@ -171,7 +175,7 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 			if err != nil {
 				return err
 			}
-			s.tokensScanned++
+			scanned++
 			it := Item{Tok: t}
 			if t.StartsNode() {
 				it.ID = cur
@@ -190,9 +194,8 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 				// The subtree's end token: memorize its position so the
 				// next read of this node takes the warm fast path.
 				if s.partial != nil {
-					e := s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx)
-					e.endNodesBefore = int32(nodesSeen)
-					e.endLen = int32(r.Offset() - off)
+					s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx,
+						int32(nodesSeen), int32(r.Offset()-off))
 				}
 				return nil
 			}
@@ -243,15 +246,20 @@ func (s *Store) NodeTokens(id NodeID) ([]Token, error) {
 	return out, nil
 }
 
-// Exists reports whether node id is present.
+// Exists reports whether node id is present. This is a pure index lookup
+// under the shared lock: every id inside a live range's interval
+// [start, start+nodes) is live (deletes shrink or split intervals, never
+// leave holes), so an interval-containment check answers the question
+// without reading a single token.
 func (s *Store) Exists(id NodeID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
 		return false
 	}
-	_, _, _, err := s.locateBegin(id)
-	return err == nil
+	s.nodeLookups.Add(1)
+	_, ri, ok := s.rindex.Floor(uint64(id))
+	return ok && ri.contains(id)
 }
 
 // FirstNodeID returns the id of the first node in document order.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/pagestore"
@@ -83,7 +84,14 @@ type Store struct {
 	bytes  uint64
 
 	inserts, deletes, splits, merges uint64
-	tokensScanned, nodeLookups       uint64
+
+	// Read-path counters are atomic: they are bumped by concurrent readers
+	// holding only mu.RLock.
+	tokensScanned, nodeLookups atomic.Uint64
+
+	// checkpoints accelerates coarse-range locate replays; lock-striped and
+	// memory-only (see checkpoints.go). Nil only before initIndexes.
+	checkpoints *checkpointTable
 
 	// corrupt, once set, latches the store read-only: continuing to write
 	// after a checksum mismatch or a failed WAL commit can only spread the
@@ -208,6 +216,7 @@ func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Stor
 }
 
 func (s *Store) initIndexes() error {
+	s.checkpoints = newCheckpointTable()
 	switch s.cfg.Mode {
 	case RangePartial:
 		s.partial = newPartialIndex(s.cfg.PartialCapacity)
@@ -360,8 +369,8 @@ func (s *Store) Stats() Stats {
 		Deletes:           s.deletes,
 		Splits:            s.splits,
 		Merges:            s.merges,
-		TokensScanned:     s.tokensScanned,
-		NodeLookups:       s.nodeLookups,
+		TokensScanned:     s.tokensScanned.Load(),
+		NodeLookups:       s.nodeLookups.Load(),
 		Pool:              s.pool.Stats(),
 	}
 	if s.full != nil {
@@ -369,10 +378,10 @@ func (s *Store) Stats() Stats {
 	}
 	if s.partial != nil {
 		st.PartialEntries = s.partial.len()
-		st.PartialHits = s.partial.stats.hits
-		st.PartialMisses = s.partial.stats.misses
-		st.PartialEvictions = s.partial.stats.evictions
-		st.PartialInvalidations = s.partial.stats.invalidations
+		st.PartialHits = s.partial.stats.hits.Load()
+		st.PartialMisses = s.partial.stats.misses.Load()
+		st.PartialEvictions = s.partial.stats.evictions.Load()
+		st.PartialInvalidations = s.partial.stats.invalidations.Load()
 	}
 	return st
 }

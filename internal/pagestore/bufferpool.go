@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Buffer pool errors.
@@ -21,7 +22,7 @@ type Frame struct {
 	Data  []byte
 	pins  int
 	dirty bool
-	elem  *list.Element // position in the LRU list when unpinned
+	elem  *list.Element // position in the shard LRU list when unpinned
 }
 
 // PoolStats counts buffer pool traffic. Reads of XML data flow through the
@@ -33,28 +34,77 @@ type PoolStats struct {
 	Flushes   uint64 // dirty pages written back
 }
 
-// BufferPool caches pages with pin-count-aware LRU eviction.
-type BufferPool struct {
+// Shard geometry. Shards multiply only when the pool is big enough that each
+// shard keeps a useful working set: small pools (tests pin them tightly)
+// stay single-sharded and behave exactly like the classic one-mutex pool.
+const (
+	maxPoolShards      = 16
+	minFramesPerShard  = 32
+	poolShardThreshold = 2 * minFramesPerShard
+)
+
+// poolShard is one lock stripe: its own frame table and LRU list. Pages hash
+// to exactly one shard, so concurrent Fetches of distinct pages contend only
+// when they collide on a stripe.
+type poolShard struct {
 	mu       sync.Mutex
-	pager    Pager
 	capacity int
 	frames   map[PageID]*Frame
 	lru      *list.List // unpinned frames, front = least recently used
-	stats    PoolStats
+}
+
+// BufferPool caches pages with pin-count-aware LRU eviction. It is safe for
+// concurrent use: the frame tables are lock-striped by page id and the
+// traffic counters are atomic. Pin/unpin semantics, checksum-on-miss, and
+// flush-before-evict ordering are identical to the single-mutex pool.
+type BufferPool struct {
+	pager    Pager
+	capacity int
+	shards   []*poolShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	flushes   atomic.Uint64
 }
 
 // NewBufferPool wraps pager with a pool of at most capacity resident pages
-// (minimum 4).
+// (minimum 4), striped into up to maxPoolShards lock shards.
 func NewBufferPool(pager Pager, capacity int) *BufferPool {
 	if capacity < 4 {
 		capacity = 4
 	}
-	return &BufferPool{
+	nshards := capacity / poolShardThreshold
+	if nshards > maxPoolShards {
+		nshards = maxPoolShards
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	bp := &BufferPool{
 		pager:    pager,
 		capacity: capacity,
-		frames:   make(map[PageID]*Frame),
-		lru:      list.New(),
+		shards:   make([]*poolShard, nshards),
 	}
+	per := capacity / nshards
+	for i := range bp.shards {
+		bp.shards[i] = &poolShard{
+			capacity: per,
+			frames:   make(map[PageID]*Frame),
+			lru:      list.New(),
+		}
+	}
+	return bp
+}
+
+// shard returns the lock stripe owning page id.
+func (bp *BufferPool) shard(id PageID) *poolShard {
+	if len(bp.shards) == 1 {
+		return bp.shards[0]
+	}
+	// Fibonacci hashing spreads sequentially-allocated page ids evenly.
+	h := uint32(id) * 2654435769
+	return bp.shards[h>>27%uint32(len(bp.shards))]
 }
 
 // Pager returns the underlying pager.
@@ -69,54 +119,100 @@ func (bp *BufferPool) UsablePageSize() int {
 	return bp.pager.PageSize() - PageTrailerSize
 }
 
+// Shards returns the number of lock stripes (introspection and tests).
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
 // Stats returns a snapshot of the pool counters.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+		Flushes:   bp.flushes.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
+	bp.flushes.Store(0)
 }
 
 // Fetch pins the page in memory and returns its frame.
 func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
-		bp.pin(f)
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
+		bp.hits.Add(1)
+		sh.pin(f)
 		return f, nil
 	}
-	bp.stats.Misses++
-	f, err := bp.newFrameLocked(id)
+	bp.misses.Add(1)
+	f, err := bp.newFrameLocked(sh, id)
 	if err != nil {
 		return nil, err
 	}
 	if err := bp.pager.ReadPage(id, f.Data); err != nil {
-		delete(bp.frames, id)
+		delete(sh.frames, id)
 		return nil, err
 	}
 	if err := VerifyChecksum(id, f.Data); err != nil {
-		delete(bp.frames, id)
+		delete(sh.frames, id)
 		return nil, err
 	}
 	return f, nil
 }
 
+// View runs fn over the page's bytes while holding the shard lock, without
+// taking a pin: one lock acquisition instead of a Fetch/Unpin pair. This is
+// the point-read fast path — fn must be short, must not retain the data
+// slice, and must not call back into the pool. Residency, checksum-on-miss
+// and LRU maintenance match Fetch exactly.
+func (bp *BufferPool) View(id PageID, fn func(data []byte) error) error {
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
+	if ok {
+		bp.hits.Add(1)
+		if f.pins == 0 && f.elem != nil {
+			sh.lru.MoveToBack(f.elem)
+		}
+	} else {
+		bp.misses.Add(1)
+		var err error
+		f, err = bp.newFrameLocked(sh, id)
+		if err != nil {
+			return err
+		}
+		if err := bp.pager.ReadPage(id, f.Data); err != nil {
+			delete(sh.frames, id)
+			return err
+		}
+		if err := VerifyChecksum(id, f.Data); err != nil {
+			delete(sh.frames, id)
+			return err
+		}
+		// newFrameLocked pins; View's protection is the shard lock itself.
+		f.pins = 0
+		f.elem = sh.lru.PushBack(f)
+	}
+	return fn(f.Data)
+}
+
 // NewPage allocates a fresh page and returns it pinned and dirty.
 func (bp *BufferPool) NewPage() (*Frame, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	id, err := bp.pager.Allocate()
 	if err != nil {
 		return nil, err
 	}
-	f, err := bp.newFrameLocked(id)
+	sh := bp.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, err := bp.newFrameLocked(sh, id)
 	if err != nil {
 		bp.pager.Free(id)
 		return nil, err
@@ -125,20 +221,20 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 	return f, nil
 }
 
-// newFrameLocked makes room and installs a pinned frame for id.
-func (bp *BufferPool) newFrameLocked(id PageID) (*Frame, error) {
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictLocked(); err != nil {
+// newFrameLocked makes room in sh and installs a pinned frame for id.
+func (bp *BufferPool) newFrameLocked(sh *poolShard, id PageID) (*Frame, error) {
+	if len(sh.frames) >= sh.capacity {
+		if err := bp.evictLocked(sh); err != nil {
 			return nil, err
 		}
 	}
 	f := &Frame{ID: id, Data: make([]byte, bp.pager.PageSize()), pins: 1}
-	bp.frames[id] = f
+	sh.frames[id] = f
 	return f, nil
 }
 
-func (bp *BufferPool) evictLocked() error {
-	e := bp.lru.Front()
+func (bp *BufferPool) evictLocked(sh *poolShard) error {
+	e := sh.lru.Front()
 	if e == nil {
 		return ErrPoolFull
 	}
@@ -148,17 +244,17 @@ func (bp *BufferPool) evictLocked() error {
 		if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
 			return err
 		}
-		bp.stats.Flushes++
+		bp.flushes.Add(1)
 	}
-	bp.lru.Remove(e)
-	delete(bp.frames, f.ID)
-	bp.stats.Evictions++
+	sh.lru.Remove(e)
+	delete(sh.frames, f.ID)
+	bp.evictions.Add(1)
 	return nil
 }
 
-func (bp *BufferPool) pin(f *Frame) {
+func (sh *poolShard) pin(f *Frame) {
 	if f.pins == 0 && f.elem != nil {
-		bp.lru.Remove(f.elem)
+		sh.lru.Remove(f.elem)
 		f.elem = nil
 	}
 	f.pins++
@@ -167,8 +263,9 @@ func (bp *BufferPool) pin(f *Frame) {
 // Unpin releases one pin. If dirty is true the frame is marked for
 // write-back before eviction.
 func (bp *BufferPool) Unpin(f *Frame, dirty bool) error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	sh := bp.shard(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if f.pins <= 0 {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, f.ID)
 	}
@@ -177,7 +274,7 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = bp.lru.PushBack(f)
+		f.elem = sh.lru.PushBack(f)
 	}
 	return nil
 }
@@ -186,30 +283,36 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) error {
 // page must not be pinned (beyond the caller's single pin, which is
 // consumed).
 func (bp *BufferPool) FreePage(f *Frame) error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	sh := bp.shard(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if f.pins != 1 {
 		return fmt.Errorf("%w: page %d has %d pins", ErrDoubleFree, f.ID, f.pins)
 	}
 	f.pins = 0
-	delete(bp.frames, f.ID)
+	delete(sh.frames, f.ID)
 	return bp.pager.Free(f.ID)
 }
 
 // FlushAll writes back every dirty frame. Pinned frames are flushed too
-// (their contents at this instant).
+// (their contents at this instant). Shards are drained one at a time;
+// callers needing a consistent flush point (WAL commit) already exclude
+// writers.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.dirty {
-			StampChecksum(f.Data)
-			if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
-				return err
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				StampChecksum(f.Data)
+				if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
+				bp.flushes.Add(1)
 			}
-			f.dirty = false
-			bp.stats.Flushes++
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -229,10 +332,11 @@ func (bp *BufferPool) Scrub() []error {
 	buf := make([]byte, bp.pager.PageSize())
 	var errs []error
 	for id := PageID(1); id <= max; id++ {
-		bp.mu.Lock()
-		f, resident := bp.frames[id]
+		sh := bp.shard(id)
+		sh.mu.Lock()
+		f, resident := sh.frames[id]
 		skip := resident && f.dirty
-		bp.mu.Unlock()
+		sh.mu.Unlock()
 		if skip {
 			continue
 		}
@@ -253,13 +357,15 @@ func (bp *BufferPool) Scrub() []error {
 // PinnedCount returns the number of currently pinned frames (for tests and
 // leak checks).
 func (bp *BufferPool) PinnedCount() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	n := 0
-	for _, f := range bp.frames {
-		if f.pins > 0 {
-			n++
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

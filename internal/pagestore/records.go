@@ -171,16 +171,49 @@ func (rs *RecordStore) inlineMax() int {
 
 // Read returns a copy of the record payload at loc.
 func (rs *RecordStore) Read(loc Loc) ([]byte, error) {
-	f, err := rs.pool.Fetch(loc.Page)
-	if err != nil {
-		return nil, err
+	var out []byte
+	var total int
+	next := InvalidPage
+	err := rs.pool.View(loc.Page, func(data []byte) error {
+		p := slotPage(data)
+		if p.typ() != pageData || !p.live(loc.Slot) {
+			return fmt.Errorf("%w: %v", ErrNoRecord, loc)
+		}
+		stored := p.payload(loc.Slot)
+		if len(stored) == 0 {
+			return fmt.Errorf("pagestore: empty stored payload")
+		}
+		if stored[0] == recInline {
+			out = make([]byte, len(stored)-1)
+			copy(out, stored[1:])
+			return nil
+		}
+		if len(stored) < stubSize {
+			return fmt.Errorf("pagestore: truncated overflow stub")
+		}
+		total = int(binary.LittleEndian.Uint32(stored[1:]))
+		next = PageID(binary.LittleEndian.Uint32(stored[5:]))
+		return nil
+	})
+	if err != nil || next == InvalidPage {
+		return out, err
 	}
-	defer rs.pool.Unpin(f, false)
-	p := slotPage(f.Data)
-	if p.typ() != pageData || !p.live(loc.Slot) {
-		return nil, fmt.Errorf("%w: %v", ErrNoRecord, loc)
+	out = make([]byte, 0, total)
+	for next != InvalidPage {
+		err := rs.pool.View(next, func(data []byte) error {
+			used := int(binary.LittleEndian.Uint16(data[2:]))
+			out = append(out, data[ovflHeader:ovflHeader+used]...)
+			next = PageID(binary.LittleEndian.Uint32(data[4:]))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return rs.resolve(p.payload(loc.Slot))
+	if len(out) != total {
+		return nil, fmt.Errorf("pagestore: overflow chain length %d, want %d", len(out), total)
+	}
+	return out, nil
 }
 
 // ReadSlice returns payload[off : off+length] of the record at loc without
@@ -190,65 +223,65 @@ func (rs *RecordStore) ReadSlice(loc Loc, off, length int) ([]byte, error) {
 	if off < 0 || length < 0 {
 		return nil, fmt.Errorf("pagestore: negative slice bounds")
 	}
-	f, err := rs.pool.Fetch(loc.Page)
-	if err != nil {
-		return nil, err
-	}
-	p := slotPage(f.Data)
-	if p.typ() != pageData || !p.live(loc.Slot) {
-		rs.pool.Unpin(f, false)
-		return nil, fmt.Errorf("%w: %v", ErrNoRecord, loc)
-	}
-	stored := p.payload(loc.Slot)
-	if len(stored) == 0 {
-		rs.pool.Unpin(f, false)
-		return nil, fmt.Errorf("pagestore: empty stored payload")
-	}
-	if stored[0] == recInline {
-		body := stored[1:]
-		if off+length > len(body) {
-			rs.pool.Unpin(f, false)
-			return nil, fmt.Errorf("pagestore: slice [%d:%d] beyond record of %d bytes", off, off+length, len(body))
+	var out []byte
+	var total int
+	next := InvalidPage
+	err := rs.pool.View(loc.Page, func(data []byte) error {
+		p := slotPage(data)
+		if p.typ() != pageData || !p.live(loc.Slot) {
+			return fmt.Errorf("%w: %v", ErrNoRecord, loc)
 		}
-		out := make([]byte, length)
-		copy(out, body[off:off+length])
-		rs.pool.Unpin(f, false)
-		return out, nil
+		stored := p.payload(loc.Slot)
+		if len(stored) == 0 {
+			return fmt.Errorf("pagestore: empty stored payload")
+		}
+		if stored[0] == recInline {
+			body := stored[1:]
+			if off+length > len(body) {
+				return fmt.Errorf("pagestore: slice [%d:%d] beyond record of %d bytes", off, off+length, len(body))
+			}
+			out = make([]byte, length)
+			copy(out, body[off:off+length])
+			return nil
+		}
+		if len(stored) < stubSize {
+			return fmt.Errorf("pagestore: truncated overflow stub")
+		}
+		total = int(binary.LittleEndian.Uint32(stored[1:]))
+		next = PageID(binary.LittleEndian.Uint32(stored[5:]))
+		return nil
+	})
+	if err != nil || next == InvalidPage {
+		return out, err
 	}
 	// Overflowed record: walk the chain, skipping chunks before off.
-	if len(stored) < stubSize {
-		rs.pool.Unpin(f, false)
-		return nil, fmt.Errorf("pagestore: truncated overflow stub")
-	}
-	total := int(binary.LittleEndian.Uint32(stored[1:]))
-	next := PageID(binary.LittleEndian.Uint32(stored[5:]))
-	rs.pool.Unpin(f, false)
 	if off+length > total {
 		return nil, fmt.Errorf("pagestore: slice [%d:%d] beyond record of %d bytes", off, off+length, total)
 	}
-	out := make([]byte, 0, length)
+	out = make([]byte, 0, length)
 	pos := 0
 	for next != InvalidPage && len(out) < length {
-		of, err := rs.pool.Fetch(next)
+		err := rs.pool.View(next, func(data []byte) error {
+			used := int(binary.LittleEndian.Uint16(data[2:]))
+			chunk := data[ovflHeader : ovflHeader+used]
+			if pos+used > off {
+				lo := 0
+				if off > pos {
+					lo = off - pos
+				}
+				hi := used
+				if pos+hi > off+length {
+					hi = off + length - pos
+				}
+				out = append(out, chunk[lo:hi]...)
+			}
+			pos += used
+			next = PageID(binary.LittleEndian.Uint32(data[4:]))
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		used := int(binary.LittleEndian.Uint16(of.Data[2:]))
-		chunk := of.Data[ovflHeader : ovflHeader+used]
-		if pos+used > off {
-			lo := 0
-			if off > pos {
-				lo = off - pos
-			}
-			hi := used
-			if pos+hi > off+length {
-				hi = off + length - pos
-			}
-			out = append(out, chunk[lo:hi]...)
-		}
-		pos += used
-		next = PageID(binary.LittleEndian.Uint32(of.Data[4:]))
-		rs.pool.Unpin(of, false)
 	}
 	if len(out) != length {
 		return nil, fmt.Errorf("pagestore: overflow chain ended early (%d of %d bytes)", len(out), length)

@@ -194,32 +194,47 @@ func (r *Reader) Skip() (Kind, error) {
 	if len(b) == 0 {
 		return Invalid, ErrShortBuffer
 	}
+	n, err := Size(b)
+	if err != nil {
+		return Invalid, err
+	}
+	r.off += n
+	return Kind(b[0]), nil
+}
+
+// Size returns the encoded length of the token at the front of b without
+// decoding it: only the kind byte and the length prefixes are examined, no
+// strings are materialized and nothing is allocated. This is what the
+// store's replay scans use to step over tokens.
+func Size(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, ErrShortBuffer
+	}
 	k := Kind(b[0])
 	if !k.Valid() {
-		return Invalid, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+		return 0, fmt.Errorf("%w: %d", ErrBadKind, b[0])
 	}
 	pos := 1
-	if n := skipUvarint(b[pos:]); n < 0 {
-		return Invalid, ErrShortBuffer
-	} else {
-		pos += n
+	n := skipUvarint(b[pos:])
+	if n < 0 {
+		return 0, ErrShortBuffer
 	}
+	pos += n
 	if kindHasName(k) {
 		n, err := skipString(b[pos:])
 		if err != nil {
-			return Invalid, err
+			return 0, err
 		}
 		pos += n
 	}
 	if kindHasValue(k) {
 		n, err := skipString(b[pos:])
 		if err != nil {
-			return Invalid, err
+			return 0, err
 		}
 		pos += n
 	}
-	r.off += pos
-	return k, nil
+	return pos, nil
 }
 
 func skipUvarint(b []byte) int {

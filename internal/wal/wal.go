@@ -24,6 +24,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/pagestore"
@@ -103,7 +104,13 @@ type Options struct {
 
 // Pager wraps a page file with write-ahead logging. It implements
 // pagestore.Pager; page writes are buffered until Commit.
+//
+// The pager is safe for concurrent use — the sharded buffer pool above it
+// issues reads (and eviction write-backs) from several lock stripes at
+// once. Reads of the pending set share an RWMutex; mutations (WritePage,
+// Free, Commit, DiscardPending, Close) take it exclusively.
 type Pager struct {
+	mu         sync.RWMutex
 	inner      InnerPager
 	walPath    string
 	wal        File
@@ -300,6 +307,8 @@ func (p *Pager) PageSize() int { return p.inner.PageSize() }
 // Allocate implements pagestore.Pager. Allocations go straight to the inner
 // pager: an allocated-but-uncommitted page is harmless after a crash.
 func (p *Pager) Allocate() (pagestore.PageID, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed {
 		return pagestore.InvalidPage, ErrClosed
 	}
@@ -307,7 +316,10 @@ func (p *Pager) Allocate() (pagestore.PageID, error) {
 }
 
 // ReadPage implements pagestore.Pager, seeing pending (uncommitted) writes.
+// Concurrent reads share the lock; the inner pager serializes its own I/O.
 func (p *Pager) ReadPage(id pagestore.PageID, buf []byte) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -321,6 +333,8 @@ func (p *Pager) ReadPage(id pagestore.PageID, buf []byte) error {
 // WritePage implements pagestore.Pager: the write is logged and held
 // pending until Commit.
 func (p *Pager) WritePage(id pagestore.PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -336,6 +350,8 @@ func (p *Pager) WritePage(id pagestore.PageID, buf []byte) error {
 
 // Free implements pagestore.Pager.
 func (p *Pager) Free(id pagestore.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
@@ -378,6 +394,12 @@ func (p *Pager) retry(op func() error) error {
 // are retried with backoff; a persistent failure leaves the pending set
 // intact (retryable by the caller) and the log replayable.
 func (p *Pager) Commit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.commitLocked()
+}
+
+func (p *Pager) commitLocked() error {
 	if p.closed {
 		return ErrClosed
 	}
@@ -447,13 +469,21 @@ func (p *Pager) Commit() error {
 }
 
 // Pending returns the number of uncommitted page writes (tests, stats).
-func (p *Pager) Pending() int { return len(p.pending) }
+func (p *Pager) Pending() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pending)
+}
 
 // LSN returns the last committed batch's log sequence number. It counts
 // from the archive high-water mark at open (plus any batch replayed by
 // recovery), so with archiving enabled it is stable across reopens; without
 // an archive directory it restarts at zero each open.
-func (p *Pager) LSN() uint64 { return p.lsn }
+func (p *Pager) LSN() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.lsn
+}
 
 // DiscardPending abandons the current uncommitted batch: every buffered
 // page write is dropped and the log file is truncated. Repair uses it on a
@@ -472,6 +502,8 @@ func (p *Pager) LSN() uint64 { return p.lsn }
 // never committed — a restore replaying it would resurrect the rejected
 // batch.
 func (p *Pager) DiscardPending() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.pending = make(map[pagestore.PageID][]byte)
 	p.order = p.order[:0]
 	p.buf = p.buf[:0]
@@ -495,10 +527,12 @@ func (p *Pager) Archiving() bool { return p.archiveDir != "" }
 // became durable — never a half-applied state. The commit error is
 // returned.
 func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
-	cerr := p.Commit()
+	cerr := p.commitLocked()
 	p.closed = true
 	p.pending = make(map[pagestore.PageID][]byte)
 	p.order = nil
@@ -515,6 +549,8 @@ func (p *Pager) Close() error {
 
 // CloseWithoutCommit abandons pending writes (crash simulation in tests).
 func (p *Pager) CloseWithoutCommit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.closed = true
 	p.wal.Close()
 	return p.inner.Close()

@@ -27,4 +27,7 @@ go test ./...
 echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover)"
 go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover
 
+echo "== go test -race (root-package reader/writer stress)"
+go test -race -run 'Stress|Concurrent' .
+
 echo "ok: all checks passed"

@@ -1,0 +1,176 @@
+// Race stress: concurrent ScanNode and XPath readers against one writer
+// whose inserts keep splitting ranges and bumping range versions. The store
+// lock is shared on the read paths, so every lazily-cached location (partial
+// index entries, replay checkpoints) is being learned, invalidated and
+// re-learned while these readers run; the assertions catch any stale
+// location being served — a wrong begin token, a torn subtree, or a
+// disappearing live node. Run under -race (scripts/check.sh does).
+package axml_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+	"repro/internal/workload"
+	"repro/internal/xmltok"
+	"repro/internal/xpath"
+)
+
+func TestStressReadersVsSplittingWriter(t *testing.T) {
+	s, err := core.Open(core.Config{Mode: core.RangePartial, PartialCapacity: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	gen := workload.New(11)
+	for done := 0; done < 200; done += 50 {
+		var frag []core.Token
+		for j := 0; j < 50; j++ {
+			frag = append(frag, gen.PurchaseOrder(done+j)...)
+		}
+		if _, err := s.Append(frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, ok, err := s.FirstNodeID()
+	if err != nil || !ok {
+		t.Fatal("no first node:", err)
+	}
+	var orders []core.NodeID
+	for id, ok := first, true; ok; id, ok, err = s.NextSibling(id) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders = append(orders, id)
+	}
+	if len(orders) != 200 {
+		t.Fatalf("got %d top-level orders, want 200", len(orders))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var failed atomic.Bool
+	fail := func(format string, args ...any) {
+		if failed.CompareAndSwap(false, true) {
+			t.Errorf(format, args...)
+		}
+	}
+
+	// Writer: round-robins inserts across every order, splitting the coarse
+	// ranges and bumping their versions, then deletes what it inserted so the
+	// order nodes themselves stay live the whole time.
+	note := xmltok.MustParseFragment(`<note>stress</note>`)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 400; i++ {
+			o := orders[i%len(orders)]
+			id, err := s.InsertIntoLast(o, note)
+			if err != nil {
+				fail("insert into %d: %v", o, err)
+				return
+			}
+			if i%2 == 0 {
+				if err := s.DeleteNode(id); err != nil {
+					fail("delete %d: %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// ScanNode readers: a served location is stale if the subtree does not
+	// start with the requested order's begin token or does not balance.
+	var ctr atomic.Uint64
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := orders[ctr.Add(1)%uint64(len(orders))]
+				depth, n := 0, 0
+				err := s.ScanNode(o, func(it core.Item) bool {
+					if n == 0 {
+						if it.ID != o {
+							fail("scan of %d started at node %d", o, it.ID)
+							return false
+						}
+						if it.Tok.Kind != token.BeginElement || it.Tok.Name != "purchase-order" {
+							fail("scan of %d started at %v token %q", o, it.Tok.Kind, it.Tok.Name)
+							return false
+						}
+					}
+					n++
+					if it.Tok.IsBegin() {
+						depth++
+					} else if it.Tok.IsEnd() {
+						depth--
+					}
+					return true
+				})
+				if err != nil {
+					fail("scan %d: %v", o, err)
+					return
+				}
+				if depth != 0 {
+					fail("torn subtree of %d: depth %d after %d items", o, depth, n)
+					return
+				}
+				if !s.Exists(o) {
+					fail("live node %d reported missing", o)
+					return
+				}
+			}
+		}()
+	}
+
+	// XPath readers: read + build + eval; the query must keep matching no
+	// matter how the writer reshapes the ranges underneath.
+	q, err := xpath.Parse(`purchase-order/line/item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := orders[ctr.Add(1)%uint64(len(orders))]
+				items, err := s.ReadNode(o)
+				if err != nil {
+					fail("read %d: %v", o, err)
+					return
+				}
+				d, err := xpath.BuildDoc(items)
+				if err != nil {
+					fail("build doc for %d: %v", o, err)
+					return
+				}
+				ns, err := q.Eval(d)
+				if err != nil || len(ns) == 0 {
+					fail("xpath over %d: %d results, err %v", o, len(ns), err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
