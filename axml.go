@@ -81,6 +81,10 @@ var (
 	// ErrReadOnly is returned by mutating operations after the store has
 	// degraded to read-only because corruption was detected.
 	ErrReadOnly = core.ErrReadOnly
+	// ErrOverloaded is returned when admission control sheds an operation:
+	// every slot is busy and the wait queue is full. The operation had no
+	// effect; retrying after backoff is safe.
+	ErrOverloaded = core.ErrOverloaded
 	// ErrCorruptPage is wrapped by any read that hits a page whose checksum
 	// does not match its contents.
 	ErrCorruptPage = pagestore.ErrCorruptPage

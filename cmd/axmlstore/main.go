@@ -118,8 +118,12 @@ commands:
                                -archive to make the backup a roll-forward base)
   restore <base> <dest>        materialize a backup (plus -archive segments up
                                to -lsn) as a new store file
+  prune <backupsDir>           drop archived WAL segments already covered by
+                               the newest backup in backupsDir (dry run by
+                               default; -apply removes; -lsn lowers the
+                               cutoff; requires -archive)
   dump                         print the whole store as XML
-  stats                        print store statistics
+  stats                        print store statistics (-json for machine use)
 
 With -archive, mutating commands run write-ahead logged and every commit is
 archived as a numbered segment — the raw material of point-in-time restore.
@@ -258,6 +262,12 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		}
 		return cmdRestore(args[1], args[2], opts)
 	}
+	if cmd == "prune" {
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("prune needs a backups directory"))
+		}
+		return cmdPrune(args[1], opts)
+	}
 
 	var s *axml.Store
 	switch {
@@ -316,7 +326,7 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		if err != nil {
 			return err
 		}
-		fmt.Println(v)
+		fmt.Fprintln(opts.stdout(), v)
 		return nil
 	case "xquery":
 		if len(args) != 2 {
@@ -407,26 +417,71 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		return s.WriteXML(os.Stdout)
 	case "stats":
 		st := s.Stats()
-		fmt.Printf("mode:                %s\n", s.Mode())
-		fmt.Printf("nodes:               %d\n", st.Nodes)
-		fmt.Printf("tokens:              %d\n", st.Tokens)
-		fmt.Printf("encoded bytes:       %d\n", st.Bytes)
-		fmt.Printf("ranges:              %d\n", st.Ranges)
-		fmt.Printf("range index entries: %d\n", st.RangeIndexEntries)
-		fmt.Printf("full index entries:  %d\n", st.FullIndexEntries)
-		fmt.Printf("partial entries:     %d (hits %d, misses %d, evictions %d, invalidations %d)\n",
+		w := opts.stdout()
+		if opts.jsonOut {
+			return printJSON(w, statsReport{Mode: s.Mode().String(), Stats: st})
+		}
+		fmt.Fprintf(w, "mode:                %s\n", s.Mode())
+		fmt.Fprintf(w, "nodes:               %d\n", st.Nodes)
+		fmt.Fprintf(w, "tokens:              %d\n", st.Tokens)
+		fmt.Fprintf(w, "encoded bytes:       %d\n", st.Bytes)
+		fmt.Fprintf(w, "ranges:              %d\n", st.Ranges)
+		fmt.Fprintf(w, "range index entries: %d\n", st.RangeIndexEntries)
+		fmt.Fprintf(w, "full index entries:  %d\n", st.FullIndexEntries)
+		fmt.Fprintf(w, "partial entries:     %d (hits %d, misses %d, evictions %d, invalidations %d)\n",
 			st.PartialEntries, st.PartialHits, st.PartialMisses,
 			st.PartialEvictions, st.PartialInvalidations)
-		fmt.Printf("inserts/deletes:     %d/%d\n", st.Inserts, st.Deletes)
-		fmt.Printf("splits/merges:       %d/%d\n", st.Splits, st.Merges)
-		fmt.Printf("tokens scanned:      %d\n", st.TokensScanned)
-		fmt.Printf("pool: hits %d, misses %d, evictions %d, flushes %d\n",
+		fmt.Fprintf(w, "inserts/deletes:     %d/%d\n", st.Inserts, st.Deletes)
+		fmt.Fprintf(w, "splits/merges:       %d/%d\n", st.Splits, st.Merges)
+		fmt.Fprintf(w, "tokens scanned:      %d\n", st.TokensScanned)
+		fmt.Fprintf(w, "pool: hits %d, misses %d, evictions %d, flushes %d\n",
 			st.Pool.Hits, st.Pool.Misses, st.Pool.Evictions, st.Pool.Flushes)
+		fmt.Fprintf(w, "admission: admitted %d, queued %d, shed %d, expired %d (in flight %d, waiting %d)\n",
+			st.Admission.Admitted, st.Admission.Queued, st.Admission.Shed,
+			st.Admission.Expired, st.Admission.InFlight, st.Admission.Waiting)
+		fmt.Fprintf(w, "memory budget: limit %d, used %d (pool %d, partial %d, checkpoints %d), evictions %d\n",
+			st.Memory.Limit, st.Memory.Used, st.Memory.PoolBytes,
+			st.Memory.PartialBytes, st.Memory.CheckpointBytes, st.Memory.Evictions)
+		fmt.Fprintf(w, "archive: %d segment(s), %d bytes\n", st.ArchiveSegments, st.ArchiveBytes)
 		return nil
 	default:
 		usage()
 		return exitWith(2, fmt.Errorf("unknown command %q", cmd))
 	}
+}
+
+// statsReport is the JSON shape of the stats command: the mode plus the
+// raw counter snapshot.
+type statsReport struct {
+	Mode string `json:"mode"`
+	axml.Stats
+}
+
+// cmdPrune drops archived WAL segments already covered by the newest
+// roll-forward-capable backup in backupsDir. A dry run (the default) only
+// reports; -apply removes. The cutoff never passes the newest backup
+// sidecar's LSN, so restore from that backup always has every segment it
+// needs.
+func cmdPrune(backupsDir string, opts cliOpts) error {
+	if opts.archive == "" {
+		return exitWith(2, fmt.Errorf("prune: -archive is required (nothing to prune without a segment archive)"))
+	}
+	rep, err := axml.PruneArchive(opts.archive, backupsDir, opts.lsn, opts.apply)
+	if err != nil {
+		return exitWith(2, err)
+	}
+	if opts.jsonOut {
+		return printJSON(opts.stdout(), rep)
+	}
+	out := opts.stdout()
+	if rep.Applied {
+		fmt.Fprintf(out, "pruned %d segment(s), %d bytes (cutoff LSN %d, backup LSN %d); %d segment(s) remain\n",
+			rep.Segments, rep.Bytes, rep.KeepFrom, rep.BackupLSN, rep.Remaining)
+	} else {
+		fmt.Fprintf(out, "dry run: %d segment(s), %d bytes prunable below LSN %d (backup LSN %d); rerun with -apply to remove\n",
+			rep.Segments, rep.Bytes, rep.KeepFrom, rep.BackupLSN)
+	}
+	return nil
 }
 
 // printJSON writes a report as indented JSON.

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	axml "repro"
+	recov "repro/internal/recover"
+	"repro/internal/wal"
+)
+
+// TestCLIStatsJSON pins the machine-readable stats surface: `stats -json`
+// must emit one JSON object with the mode plus the admission, memory-budget
+// and archive counters that operators alert on.
+func TestCLIStatsJSON(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runOpts(db, "partial", cliOpts{jsonOut: true, out: &buf}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("stats -json is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep["mode"] != "range+partial" {
+		t.Errorf("mode = %v, want range+partial", rep["mode"])
+	}
+	for _, key := range []string{"Admission", "Memory", "ArchiveSegments", "ArchiveBytes", "Nodes", "Ranges"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("stats -json lacks %q:\n%s", key, buf.String())
+		}
+	}
+	adm, ok := rep["Admission"].(map[string]any)
+	if !ok {
+		t.Fatalf("Admission is not an object: %v", rep["Admission"])
+	}
+	for _, key := range []string{"Admitted", "Queued", "Shed", "Expired"} {
+		if _, ok := adm[key]; !ok {
+			t.Errorf("Admission lacks %q", key)
+		}
+	}
+
+	// The human-readable form carries the same three governance lines.
+	buf.Reset()
+	if err := runOpts(db, "partial", cliOpts{out: &buf}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"admission:", "memory budget:", "archive:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text stats lacks %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// cliValue runs `value <expr>` and returns the printed result.
+func cliValue(t *testing.T, db string, opts cliOpts, expr string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	opts.out = &buf
+	if err := runOpts(db, "range", opts, []string{"value", expr}); err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(buf.String())
+}
+
+// TestCLIPruneSafety pins the archive-retention contract end to end:
+//   - prune refuses without a roll-forward-capable backup sidecar;
+//   - the default is a dry run that removes nothing;
+//   - -apply removes only segments the newest backup already covers —
+//     never one with LSN above the backup sidecar's — and point-in-time
+//     restore across the pruned archive still works;
+//   - a NoRollForward sidecar never raises the cutoff.
+func TestCLIPruneSafety(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "store.db")
+	arch := filepath.Join(dir, "archive")
+	backups := filepath.Join(dir, "backups")
+	if err := os.MkdirAll(backups, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte(`<orders><order id="1"/></orders>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	aopts := cliOpts{archive: arch, out: &bytes.Buffer{}}
+
+	// Prune with no sidecar at all must refuse.
+	if err := runOpts(db, "range", aopts, []string{"prune", backups}); err == nil ||
+		!strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("prune without a backup: %v, want refusal", err)
+	}
+
+	// Build history: load, then a few separately-committed inserts.
+	if err := runOpts(db, "range", aopts, []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`<order id="2"/>`, `<order id="3"/>`} {
+		if err := runOpts(db, "range", aopts, []string{"insert-last", "1", frag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backup := filepath.Join(backups, "b1")
+	if err := runOpts(db, "range", aopts, []string{"backup", backup}); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := recov.ReadBackupMeta(backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More commits after the backup: these segments must survive any prune.
+	for _, frag := range []string{`<order id="4"/>`, `<order id="5"/>`} {
+		if err := runOpts(db, "range", aopts, []string{"insert-last", "1", frag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := wal.Segments(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prunable, needed int
+	for _, sg := range before {
+		if sg.LSN <= meta.LSN {
+			prunable++
+		} else {
+			needed++
+		}
+	}
+	if prunable == 0 || needed == 0 {
+		t.Fatalf("bad fixture: %d prunable, %d post-backup segments", prunable, needed)
+	}
+
+	// A NoRollForward sidecar with a huge LSN must not raise the cutoff.
+	fake, err := json.Marshal(recov.BackupMeta{PageSize: 8192, Pages: 1, MetaPage: 1,
+		LSN: 1 << 40, NoRollForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(backups, "fake.meta"), fake, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run (the default): report only, nothing removed.
+	var out bytes.Buffer
+	dry := aopts
+	dry.jsonOut, dry.out = true, &out
+	if err := runOpts(db, "range", dry, []string{"prune", backups}); err != nil {
+		t.Fatal(err)
+	}
+	var rep axml.PruneReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("prune -json: %v\n%s", err, out.String())
+	}
+	if rep.Applied {
+		t.Error("dry run reported Applied")
+	}
+	if rep.BackupLSN != meta.LSN {
+		t.Errorf("BackupLSN = %d, want %d (NoRollForward sidecar must not win)", rep.BackupLSN, meta.LSN)
+	}
+	if rep.KeepFrom != meta.LSN+1 {
+		t.Errorf("KeepFrom = %d, want %d", rep.KeepFrom, meta.LSN+1)
+	}
+	if rep.Segments != prunable || rep.Remaining != needed {
+		t.Errorf("report %d prunable/%d remaining, want %d/%d", rep.Segments, rep.Remaining, prunable, needed)
+	}
+	if after, _ := wal.Segments(arch); len(after) != len(before) {
+		t.Fatalf("dry run removed segments: %d -> %d", len(before), len(after))
+	}
+
+	// Apply. The invariant: no segment with LSN > backup LSN is deleted.
+	applyOpts := dry
+	applyOpts.apply = true
+	out.Reset()
+	if err := runOpts(db, "range", applyOpts, []string{"prune", backups}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := wal.Segments(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != needed {
+		t.Fatalf("%d segments after prune, want %d", len(after), needed)
+	}
+	for _, sg := range after {
+		if sg.LSN <= meta.LSN {
+			t.Errorf("segment LSN %d survived below the cutoff", sg.LSN)
+		}
+	}
+	for _, sg := range before {
+		if sg.LSN > meta.LSN {
+			if _, err := os.Stat(filepath.Join(arch, wal.SegmentFileName(sg.LSN))); err != nil {
+				t.Errorf("prune deleted segment LSN %d, newer than backup LSN %d", sg.LSN, meta.LSN)
+			}
+		}
+	}
+
+	// Point-in-time restore across the pruned archive still reaches the
+	// present: the backup plus surviving segments reproduce the live store.
+	restored := filepath.Join(dir, "restored.db")
+	if err := runOpts(db, "range", aopts, []string{"restore", backup, restored}); err != nil {
+		t.Fatal(err)
+	}
+	want := cliValue(t, db, cliOpts{}, "count(//order)")
+	got := cliValue(t, restored, cliOpts{}, "count(//order)")
+	if want != "5" || got != want {
+		t.Fatalf("restored count = %s, live count = %s, want 5", got, want)
+	}
+}

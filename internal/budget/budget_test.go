@@ -1,0 +1,123 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	b.Charge(Pool, 1<<40)
+	b.Discharge(Pool, 1)
+	b.NoteEviction(Partial)
+	if b.NeedEvict(Pool) {
+		t.Fatal("nil budget must never demand eviction")
+	}
+	if got := b.Excess(Pool); got != 0 {
+		t.Fatalf("nil budget excess = %d, want 0", got)
+	}
+	if got := b.Limit(); got != 0 {
+		t.Fatalf("nil budget limit = %d, want 0", got)
+	}
+	if s := b.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil budget snapshot = %+v, want zero", s)
+	}
+}
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("New(<=0) must return nil (unlimited)")
+	}
+}
+
+func TestChargeDischargeAccounting(t *testing.T) {
+	b := New(1000)
+	b.Charge(Pool, 300)
+	b.Charge(Partial, 200)
+	b.Charge(Checkpoints, 100)
+	b.Discharge(Partial, 50)
+	s := b.Snapshot()
+	if s.Used != 550 || s.PoolBytes != 300 || s.PartialBytes != 150 || s.CheckpointBytes != 100 {
+		t.Fatalf("accounting off: %+v", s)
+	}
+	if s.Limit != 1000 {
+		t.Fatalf("limit = %d", s.Limit)
+	}
+}
+
+func TestNeedEvictOnlyOverShareClasses(t *testing.T) {
+	b := New(1000) // shares: pool 600, partial 250, checkpoints 150
+	b.Charge(Pool, 900)
+	b.Charge(Partial, 200) // under its share
+	if !b.NeedEvict(Pool) {
+		t.Fatal("pool is over share and total over limit: must evict")
+	}
+	if b.NeedEvict(Partial) {
+		t.Fatal("partial is under its share: must not be punished")
+	}
+	if b.NeedEvict(Checkpoints) {
+		t.Fatal("checkpoints holds nothing: must not evict")
+	}
+}
+
+func TestNoEvictionUnderLimit(t *testing.T) {
+	b := New(1000)
+	b.Charge(Pool, 999) // over pool's share but total under limit
+	if b.NeedEvict(Pool) {
+		t.Fatal("under the total limit nothing evicts")
+	}
+	if b.Excess(Pool) != 0 {
+		t.Fatal("excess must be 0 under the limit")
+	}
+}
+
+func TestPigeonholeSomeClassAlwaysEvictable(t *testing.T) {
+	// However usage is distributed, if total > limit at least one class
+	// must report NeedEvict.
+	cases := [][numClasses]int64{
+		{1100, 0, 0},
+		{601, 251, 151},
+		{0, 0, 1200},
+		{400, 400, 400},
+	}
+	for _, c := range cases {
+		b := New(1000)
+		b.Charge(Pool, c[0])
+		b.Charge(Partial, c[1])
+		b.Charge(Checkpoints, c[2])
+		if !b.NeedEvict(Pool) && !b.NeedEvict(Partial) && !b.NeedEvict(Checkpoints) {
+			t.Fatalf("usage %v over limit but no class evictable", c)
+		}
+	}
+}
+
+func TestExcessDrainsBelowShare(t *testing.T) {
+	b := New(1000)
+	b.Charge(Pool, 700) // share 600, target 540
+	b.Charge(Partial, 400)
+	got := b.Excess(Pool)
+	if got != 700-540 {
+		t.Fatalf("pool excess = %d, want %d", got, 700-540)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	b := New(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.Charge(Pool, 64)
+				b.Charge(Partial, 32)
+				b.Discharge(Pool, 64)
+				b.Discharge(Partial, 32)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := b.Snapshot(); s.Used != 0 {
+		t.Fatalf("balanced charge/discharge left %d bytes", s.Used)
+	}
+}

@@ -1,0 +1,159 @@
+// Admission control: a semaphore with a bounded wait queue in front of every
+// public store operation. Under overload the store degrades predictably —
+// excess work waits briefly, then is shed with a typed ErrOverloaded —
+// instead of piling goroutines onto s.mu until latency and memory collapse.
+// The paper's theme of bounded lazy structures (a partial index that refuses
+// to grow past its budget) applied to concurrency itself.
+package core
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// AdmissionStats counts admission-control outcomes.
+type AdmissionStats struct {
+	Admitted uint64 // operations that acquired a slot
+	Queued   uint64 // admitted operations that had to wait for a slot
+	Shed     uint64 // operations rejected with ErrOverloaded (queue full)
+	Expired  uint64 // operations whose context ended while queued
+	InFlight int    // slots held right now
+	Waiting  int    // operations queued right now
+}
+
+// admission is the gate itself. A nil *admission means admission control is
+// off (MaxConcurrentOps < 0) and every method is a no-op.
+//
+// The slot semaphore is a buffered channel: goroutines blocked sending into
+// it are released in FIFO order by the runtime, giving fair queuing without
+// an explicit ticket list. The queue bound is enforced by a counter — an
+// arrival that would make the queue exceed maxQueue is shed immediately.
+type admission struct {
+	sem      chan struct{}
+	maxQueue int64
+
+	waiting  atomic.Int64
+	admitted atomic.Uint64
+	queued   atomic.Uint64
+	shed     atomic.Uint64
+	expired  atomic.Uint64
+}
+
+// newAdmission builds a gate of `slots` concurrent operations and a wait
+// queue of `queue`. Non-positive slots disable the gate.
+func newAdmission(slots, queue int) *admission {
+	if slots <= 0 {
+		return nil
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{sem: make(chan struct{}, slots), maxQueue: int64(queue)}
+}
+
+// acquire takes a slot, waiting in the bounded queue if none is free.
+// It returns ErrOverloaded when the queue is full, or ctx.Err() when the
+// context ends first.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return ErrOverloaded
+	}
+	a.queued.Add(1)
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.expired.Add(1)
+		return ctx.Err()
+	}
+}
+
+// release returns a slot.
+func (a *admission) release() {
+	if a != nil {
+		<-a.sem
+	}
+}
+
+// snapshot returns the current counters (zero value when the gate is off).
+func (a *admission) snapshot() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Admitted: a.admitted.Load(),
+		Queued:   a.queued.Load(),
+		Shed:     a.shed.Load(),
+		Expired:  a.expired.Load(),
+		InFlight: len(a.sem),
+		Waiting:  int(a.waiting.Load()),
+	}
+}
+
+// criticalKey marks contexts that must not be shed or timed out.
+type criticalKey struct{}
+
+// WithCritical marks ctx as carrying a critical internal operation: it
+// bypasses admission control and the configured OpTimeout. Transaction
+// rollback uses it — shedding half of an abort would leave the store with
+// partial effects that strict two-phase locking promised to undo.
+func WithCritical(ctx context.Context) context.Context {
+	return context.WithValue(ctx, criticalKey{}, true)
+}
+
+// isCritical reports whether WithCritical marked ctx.
+func isCritical(ctx context.Context) bool {
+	v, _ := ctx.Value(criticalKey{}).(bool)
+	return v
+}
+
+// beginOp is the prologue of every public operation: it applies the
+// configured OpTimeout (only when the caller brought no deadline of its
+// own), then passes admission control. On success the returned context
+// carries the deadline and finish must be deferred; on failure the typed
+// error is returned as the operation's result.
+//
+// Only outermost entry points call beginOp. Internal code paths — and
+// composite public helpers that chain other public calls — must not, or a
+// held slot would wait on a second slot and the gate could self-deadlock.
+func (s *Store) beginOp(ctx context.Context) (opCtx context.Context, finish func(), err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if isCritical(ctx) {
+		return ctx, noopFinish, nil
+	}
+	var cancel context.CancelFunc
+	if s.cfg.OpTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
+		}
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return ctx, nil, err
+	}
+	if cancel == nil {
+		// Common path (no per-op deadline): the cached release closure
+		// avoids a per-operation allocation.
+		return ctx, s.releaseFn, nil
+	}
+	return ctx, func() { s.adm.release(); cancel() }, nil
+}
+
+func noopFinish() {}

@@ -3,6 +3,8 @@ package core
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/budget"
 )
 
 // Intra-range replay checkpoints — bounding the paper's coarse-range replay
@@ -58,14 +60,47 @@ type ckptShard struct {
 
 type checkpointTable struct {
 	shards [ckptShardCount]ckptShard
+	budget *budget.Budget // nil = unaccounted
 }
 
-func newCheckpointTable() *checkpointTable {
-	t := &checkpointTable{}
+// ckptRunCost approximates the bytes of one published checkpoint run for
+// budget accounting: 16 bytes per checkpoint plus map-slot overhead.
+func ckptRunCost(n int) int64 { return int64(n)*16 + 64 }
+
+func newCheckpointTable(b *budget.Budget) *checkpointTable {
+	t := &checkpointTable{budget: b}
 	for i := range t.shards {
 		t.shards[i].m = make(map[RangeID]rangeCheckpoints)
 	}
 	return t
+}
+
+// shedForBudget drops memoized runs while the table is over its budget
+// share. Called after publish has released its shard lock.
+func (t *checkpointTable) shedForBudget() {
+	b := t.budget
+	if b == nil || !b.NeedEvict(budget.Checkpoints) {
+		return
+	}
+	excess := b.Excess(budget.Checkpoints)
+	for i := range t.shards {
+		if excess <= 0 {
+			return
+		}
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for rng, rc := range sh.m {
+			if excess <= 0 {
+				break
+			}
+			delete(sh.m, rng)
+			cost := ckptRunCost(len(rc.cps))
+			b.Discharge(budget.Checkpoints, cost)
+			b.NoteEviction(budget.Checkpoints)
+			excess -= cost
+		}
+		sh.mu.Unlock()
+	}
 }
 
 func (t *checkpointTable) shard(rng RangeID) *ckptShard {
@@ -94,21 +129,26 @@ func (t *checkpointTable) publish(rng RangeID, ver uint32, cps []replayCheckpoin
 	if len(cps) == 0 {
 		return
 	}
+	defer t.shedForBudget() // after the shard lock is released
 	sh := t.shard(rng)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if rc, ok := sh.m[rng]; ok && rc.version == ver && len(rc.cps) >= len(cps) {
-		return
-	}
-	if _, ok := sh.m[rng]; !ok && len(sh.m) >= maxCkptRangesPerShard {
+	if rc, ok := sh.m[rng]; ok {
+		if rc.version == ver && len(rc.cps) >= len(cps) {
+			return
+		}
+		t.budget.Discharge(budget.Checkpoints, ckptRunCost(len(rc.cps)))
+	} else if len(sh.m) >= maxCkptRangesPerShard {
 		// Bound memory: drop an arbitrary memoized range. Random-ish
 		// eviction is fine for a cache that rebuilds in one scan.
 		for k := range sh.m {
+			t.budget.Discharge(budget.Checkpoints, ckptRunCost(len(sh.m[k].cps)))
 			delete(sh.m, k)
 			break
 		}
 	}
 	sh.m[rng] = rangeCheckpoints{version: ver, cps: cps}
+	t.budget.Charge(budget.Checkpoints, ckptRunCost(len(cps)))
 }
 
 // resumeFrom returns the last checkpoint at or before target (the next

@@ -1,10 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/token"
 )
+
+// locateCheckTokens is how many in-memory tokens a locate scan classifies
+// between context checks. Page fetches check the context on every fetch;
+// this bounds the purely in-memory stretch of a very coarse range.
+const locateCheckTokens = 8192
 
 // tokenPos addresses one token (or the end-of-range position) inside a
 // range: the token at index tokIdx, starting at byte byteOff of the range's
@@ -30,7 +36,11 @@ func (p tokenPos) atRangeEnd() bool { return p.byteOff >= p.ri.bytes }
 // Safe under mu.RLock: the structures it reads are only mutated under the
 // write lock, and the structures it writes (partial index, checkpoint
 // table, counters) are internally synchronized.
-func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
+//
+// ctx is observed at page-fetch boundaries and every locateCheckTokens
+// tokens of replay, so an operation deadline cuts a coarse-range replay
+// short with context.DeadlineExceeded instead of running it to the end.
+func (s *Store) locateBegin(ctx context.Context, id NodeID) (tokenPos, Token, []byte, error) {
 	s.nodeLookups.Add(1)
 
 	// Full index: exact entry per node.
@@ -44,7 +54,7 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 			if ri == nil {
 				return tokenPos{}, Token{}, nil, fmt.Errorf("core: full index names dead range %d", e.rng)
 			}
-			tokenBytes, err := s.readRange(ri)
+			tokenBytes, err := s.readRangeCtx(ctx, ri)
 			if err != nil {
 				return tokenPos{}, Token{}, nil, err
 			}
@@ -64,7 +74,7 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 			ri := s.byRange[e.beginRange]
 			if ri != nil && ri.version == e.beginVer {
 				s.partial.hit()
-				tokenBytes, err := s.readRange(ri)
+				tokenBytes, err := s.readRangeCtx(ctx, ri)
 				if err != nil {
 					return tokenPos{}, Token{}, nil, err
 				}
@@ -90,7 +100,7 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 	if !ok || !ri.contains(id) {
 		return tokenPos{}, Token{}, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, id)
 	}
-	tokenBytes, err := s.readRange(ri)
+	tokenBytes, err := s.readRangeCtx(ctx, ri)
 	if err != nil {
 		return tokenPos{}, Token{}, nil, err
 	}
@@ -113,6 +123,12 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 	cpLen := len(prefix)
 	scanned := uint64(0)
 	for off < len(tokenBytes) {
+		if scanned%locateCheckTokens == locateCheckTokens-1 {
+			if err := ctx.Err(); err != nil {
+				s.tokensScanned.Add(scanned)
+				return tokenPos{}, Token{}, nil, err
+			}
+		}
 		if memoize && tokIdx == (cpLen+1)*checkpointInterval {
 			if builder == nil {
 				builder = append(make([]replayCheckpoint, 0, cpLen+4), prefix...)
@@ -157,7 +173,7 @@ func (s *Store) locateBegin(id NodeID) (tokenPos, Token, []byte, error) {
 //
 // beginBytes are the encoded tokens of begin.ri, passed through to avoid a
 // re-read when the scan starts in the same range.
-func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes []byte) (tokenPos, []byte, error) {
+func (s *Store) locateEnd(ctx context.Context, id NodeID, begin tokenPos, beginTok Token, beginBytes []byte) (tokenPos, []byte, error) {
 	if !beginTok.IsBegin() {
 		return begin, beginBytes, nil
 	}
@@ -172,7 +188,7 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 				var err error
 				if ri == begin.ri {
 					tokenBytes = beginBytes
-				} else if tokenBytes, err = s.readRange(ri); err != nil {
+				} else if tokenBytes, err = s.readRangeCtx(ctx, ri); err != nil {
 					return tokenPos{}, nil, err
 				}
 				pos := tokenPos{ri: ri, tokIdx: int(e.endTok), byteOff: int(e.endByte), nodesBefore: int(e.endNodesBefore)}
@@ -192,6 +208,12 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 	scanned := uint64(0)
 	for {
 		for off < len(tokenBytes) {
+			if scanned%locateCheckTokens == locateCheckTokens-1 {
+				if err := ctx.Err(); err != nil {
+					s.tokensScanned.Add(scanned)
+					return tokenPos{}, nil, err
+				}
+			}
 			k := token.Kind(tokenBytes[off])
 			n, err := token.Size(tokenBytes[off:])
 			if err != nil {
@@ -219,7 +241,7 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 			tokIdx++
 		}
 		// Continue into the next range.
-		nri, ok, err := s.nextRangeInfo(ri)
+		nri, ok, err := s.nextRangeInfoCtx(ctx, ri)
 		if err != nil {
 			s.tokensScanned.Add(scanned)
 			return tokenPos{}, nil, err
@@ -229,7 +251,7 @@ func (s *Store) locateEnd(id NodeID, begin tokenPos, beginTok Token, beginBytes 
 			return tokenPos{}, nil, fmt.Errorf("core: unbalanced store: no end token for node %d", id)
 		}
 		ri = nri
-		tokenBytes, err = s.readRange(ri)
+		tokenBytes, err = s.readRangeCtx(ctx, ri)
 		if err != nil {
 			s.tokensScanned.Add(scanned)
 			return tokenPos{}, nil, err
@@ -267,12 +289,17 @@ func advance(pos tokenPos, tokenBytes []byte) (tokenPos, error) {
 // the range it lies in. The scan crosses range boundaries, since a split may
 // have cut through the attribute block. The walk reads kind bytes and
 // encoded sizes only.
-func (s *Store) skipAttributes(pos tokenPos, tokenBytes []byte) (tokenPos, []byte, error) {
+func (s *Store) skipAttributes(ctx context.Context, pos tokenPos, tokenBytes []byte) (tokenPos, []byte, error) {
 	depth := 0
 	scanned := uint64(0)
 	defer func() { s.tokensScanned.Add(scanned) }()
 	for {
 		for !pos.atRangeEnd() {
+			if scanned%locateCheckTokens == locateCheckTokens-1 {
+				if err := ctx.Err(); err != nil {
+					return tokenPos{}, nil, err
+				}
+			}
 			k := token.Kind(tokenBytes[pos.byteOff])
 			if depth == 0 && k != token.BeginAttribute {
 				return pos, tokenBytes, nil
@@ -293,7 +320,7 @@ func (s *Store) skipAttributes(pos tokenPos, tokenBytes []byte) (tokenPos, []byt
 			pos.tokIdx++
 			pos.byteOff += n
 		}
-		nri, ok, err := s.nextRangeInfo(pos.ri)
+		nri, ok, err := s.nextRangeInfoCtx(ctx, pos.ri)
 		if err != nil {
 			return tokenPos{}, nil, err
 		}
@@ -302,7 +329,7 @@ func (s *Store) skipAttributes(pos tokenPos, tokenBytes []byte) (tokenPos, []byt
 			return pos, tokenBytes, nil
 		}
 		pos = tokenPos{ri: nri}
-		tokenBytes, err = s.readRange(nri)
+		tokenBytes, err = s.readRangeCtx(ctx, nri)
 		if err != nil {
 			return tokenPos{}, nil, err
 		}

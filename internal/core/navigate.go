@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/token"
@@ -16,10 +17,25 @@ import (
 // computation discovers: sibling navigation reuses the cached end-token
 // positions, and parent links — stable for the lifetime of a node — are
 // cached unversioned.
+//
+// Each primitive (Parent, FirstChild, NextSibling, Attributes,
+// CompareDocOrder) is one gated operation; the composites (PrevSibling,
+// Children) chain gated primitives sequentially and hold at most one
+// admission slot at a time.
 
 // Parent returns the parent node of id (ok=false for top-level nodes).
 // Attributes' parent is their owner element.
 func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
+	return s.ParentCtx(context.Background(), id)
+}
+
+// ParentCtx is Parent under a context.
+func (s *Store) ParentCtx(ctx context.Context, id NodeID) (NodeID, bool, error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -42,11 +58,11 @@ func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
 			}
 		}
 	}
-	begin, _, _, err := s.locateBegin(id)
+	begin, _, _, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	parent, ok, err := s.findEnclosing(begin)
+	parent, ok, err := s.findEnclosing(ctx, begin)
 	if err != nil {
 		return InvalidNode, false, err
 	}
@@ -65,12 +81,12 @@ func (s *Store) Parent(id NodeID) (NodeID, bool, error) {
 // walk earlier ranges leftward. Unmatched end tokens in a later range close
 // begins in earlier ranges, so a deficit is carried: an earlier range's top
 // `deficit` unmatched begins are already closed and must be skipped.
-func (s *Store) findEnclosing(pos tokenPos) (NodeID, bool, error) {
+func (s *Store) findEnclosing(ctx context.Context, pos tokenPos) (NodeID, bool, error) {
 	ri := pos.ri
 	limit := pos.byteOff
 	deficit := 0
 	for {
-		stack, rangeDeficit, err := s.scanOpenBegins(ri, limit)
+		stack, rangeDeficit, err := s.scanOpenBegins(ctx, ri, limit)
 		if err != nil {
 			return InvalidNode, false, err
 		}
@@ -78,6 +94,9 @@ func (s *Store) findEnclosing(pos tokenPos) (NodeID, bool, error) {
 			return stack[len(stack)-1-deficit], true, nil
 		}
 		deficit += rangeDeficit - len(stack)
+		if err := ctx.Err(); err != nil {
+			return InvalidNode, false, err
+		}
 		prev, ok, err := s.prevRangeInfo(ri)
 		if err != nil {
 			return InvalidNode, false, err
@@ -93,8 +112,8 @@ func (s *Store) findEnclosing(pos tokenPos) (NodeID, bool, error) {
 // scanOpenBegins scans the first `limit` bytes of ri and returns the node
 // ids of the begins left unmatched within the window (bottom-up) and the
 // number of end tokens that had no matching begin inside the window.
-func (s *Store) scanOpenBegins(ri *rangeInfo, limit int) ([]NodeID, int, error) {
-	tokenBytes, err := s.readRange(ri)
+func (s *Store) scanOpenBegins(ctx context.Context, ri *rangeInfo, limit int) ([]NodeID, int, error) {
+	tokenBytes, err := s.readRangeCtx(ctx, ri)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -105,6 +124,11 @@ func (s *Store) scanOpenBegins(ri *rangeInfo, limit int) ([]NodeID, int, error) 
 	defer func() { s.tokensScanned.Add(scanned) }()
 	r := newTokenReader(tokenBytes[:limit])
 	for r.More() {
+		if scanned%locateCheckTokens == locateCheckTokens-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		k, err := r.Skip()
 		if err != nil {
 			return nil, 0, err
@@ -131,12 +155,22 @@ func (s *Store) scanOpenBegins(ri *rangeInfo, limit int) ([]NodeID, int, error) 
 // FirstChild returns the first child node of element id (attributes are not
 // children; use Attributes). ok=false when the element is empty.
 func (s *Store) FirstChild(id NodeID) (NodeID, bool, error) {
+	return s.FirstChildCtx(context.Background(), id)
+}
+
+// FirstChildCtx is FirstChild under a context.
+func (s *Store) FirstChildCtx(ctx context.Context, id NodeID) (NodeID, bool, error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, false, err
 	}
@@ -150,11 +184,11 @@ func (s *Store) FirstChild(id NodeID) (NodeID, bool, error) {
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	pos, tokenBytes, err = s.skipAttributes(pos, tokenBytes)
+	pos, tokenBytes, err = s.skipAttributes(ctx, pos, tokenBytes)
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	pos, tokenBytes, ok, err := s.normalizeForward(pos, tokenBytes)
+	pos, tokenBytes, ok, err := s.normalizeForward(ctx, pos, tokenBytes)
 	if err != nil || !ok {
 		return InvalidNode, false, err
 	}
@@ -168,19 +202,29 @@ func (s *Store) FirstChild(id NodeID) (NodeID, bool, error) {
 // NextSibling returns the node following id under the same parent
 // (attributes have no siblings in this API).
 func (s *Store) NextSibling(id NodeID) (NodeID, bool, error) {
+	return s.NextSiblingCtx(context.Background(), id)
+}
+
+// NextSiblingCtx is NextSibling under a context.
+func (s *Store) NextSiblingCtx(ctx context.Context, id NodeID) (NodeID, bool, error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, false, err
 	}
 	if tok.Kind == token.BeginAttribute {
 		return InvalidNode, false, nil
 	}
-	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
 	if err != nil {
 		return InvalidNode, false, err
 	}
@@ -188,7 +232,7 @@ func (s *Store) NextSibling(id NodeID) (NodeID, bool, error) {
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	pos, endBytes, ok, err := s.normalizeForward(pos, endBytes)
+	pos, endBytes, ok, err := s.normalizeForward(ctx, pos, endBytes)
 	if err != nil || !ok {
 		return InvalidNode, false, err
 	}
@@ -201,22 +245,29 @@ func (s *Store) NextSibling(id NodeID) (NodeID, bool, error) {
 
 // PrevSibling returns the node preceding id under the same parent.
 func (s *Store) PrevSibling(id NodeID) (NodeID, bool, error) {
+	return s.PrevSiblingCtx(context.Background(), id)
+}
+
+// PrevSiblingCtx is PrevSibling under a context. It is a composite: each
+// step passes admission control on its own, so the walk never holds a slot
+// across its whole duration.
+func (s *Store) PrevSiblingCtx(ctx context.Context, id NodeID) (NodeID, bool, error) {
 	// Computed via the parent: walk its children until id.
-	parent, ok, err := s.Parent(id)
+	parent, ok, err := s.ParentCtx(ctx, id)
 	if err != nil {
 		return InvalidNode, false, err
 	}
 	var cur NodeID
 	if ok {
-		cur, ok, err = s.FirstChild(parent)
+		cur, ok, err = s.FirstChildCtx(ctx, parent)
 	} else {
-		cur, ok, err = s.FirstNodeID()
+		cur, ok, err = s.FirstNodeIDCtx(ctx)
 	}
 	if err != nil || !ok || cur == id {
 		return InvalidNode, false, err
 	}
 	for {
-		next, ok, err := s.NextSibling(cur)
+		next, ok, err := s.NextSiblingCtx(ctx, cur)
 		if err != nil {
 			return InvalidNode, false, err
 		}
@@ -232,12 +283,22 @@ func (s *Store) PrevSibling(id NodeID) (NodeID, bool, error) {
 
 // Attributes returns the attribute node ids of element id in order.
 func (s *Store) Attributes(id NodeID) ([]NodeID, error) {
+	return s.AttributesCtx(context.Background(), id)
+}
+
+// AttributesCtx is Attributes under a context.
+func (s *Store) AttributesCtx(ctx context.Context, id NodeID) ([]NodeID, error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +313,7 @@ func (s *Store) Attributes(id NodeID) ([]NodeID, error) {
 	depth := 0
 	for {
 		var ok bool
-		pos, tokenBytes, ok, err = s.normalizeForward(pos, tokenBytes)
+		pos, tokenBytes, ok, err = s.normalizeForward(ctx, pos, tokenBytes)
 		if err != nil || !ok {
 			return out, err
 		}
@@ -284,14 +345,19 @@ func (s *Store) Attributes(id NodeID) ([]NodeID, error) {
 
 // Children returns all child node ids of element id, in document order.
 func (s *Store) Children(id NodeID) ([]NodeID, error) {
+	return s.ChildrenCtx(context.Background(), id)
+}
+
+// ChildrenCtx is Children under a context (a composite of gated steps).
+func (s *Store) ChildrenCtx(ctx context.Context, id NodeID) ([]NodeID, error) {
 	var out []NodeID
-	cur, ok, err := s.FirstChild(id)
+	cur, ok, err := s.FirstChildCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
 	for ok {
 		out = append(out, cur)
-		cur, ok, err = s.NextSibling(cur)
+		cur, ok, err = s.NextSiblingCtx(ctx, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -304,27 +370,32 @@ func (s *Store) Children(id NodeID) ([]NodeID, error) {
 // combination of range order in storage and id order inside ranges
 // reconstructs document order at read time.
 func (s *Store) CompareDocOrder(a, b NodeID) (int, error) {
-	if a == b {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		if s.closed {
-			return 0, ErrClosed
-		}
-		if _, _, _, err := s.locateBegin(a); err != nil {
-			return 0, err
-		}
-		return 0, nil
+	return s.CompareDocOrderCtx(context.Background(), a, b)
+}
+
+// CompareDocOrderCtx is CompareDocOrder under a context.
+func (s *Store) CompareDocOrderCtx(ctx context.Context, a, b NodeID) (int, error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return 0, err
 	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return 0, ErrClosed
 	}
-	posA, _, _, err := s.locateBegin(a)
+	if a == b {
+		if _, _, _, err := s.locateBegin(ctx, a); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	posA, _, _, err := s.locateBegin(ctx, a)
 	if err != nil {
 		return 0, err
 	}
-	posB, _, _, err := s.locateBegin(b)
+	posB, _, _, err := s.locateBegin(ctx, b)
 	if err != nil {
 		return 0, err
 	}
@@ -346,7 +417,7 @@ func (s *Store) CompareDocOrder(a, b NodeID) (int, error) {
 		case posB.ri:
 			return 1, nil
 		}
-		ri, ok, err = s.nextRangeInfo(ri)
+		ri, ok, err = s.nextRangeInfoCtx(ctx, ri)
 		if err != nil {
 			return 0, err
 		}
@@ -357,14 +428,14 @@ func (s *Store) CompareDocOrder(a, b NodeID) (int, error) {
 // normalizeForward moves a boundary position (at range end) forward to the
 // first token of the next non-empty range, returning ok=false at the end of
 // the sequence. Positions already on a token are returned unchanged.
-func (s *Store) normalizeForward(pos tokenPos, tokenBytes []byte) (tokenPos, []byte, bool, error) {
+func (s *Store) normalizeForward(ctx context.Context, pos tokenPos, tokenBytes []byte) (tokenPos, []byte, bool, error) {
 	for pos.atRangeEnd() {
-		nri, ok, err := s.nextRangeInfo(pos.ri)
+		nri, ok, err := s.nextRangeInfoCtx(ctx, pos.ri)
 		if err != nil || !ok {
 			return pos, tokenBytes, false, err
 		}
 		pos = tokenPos{ri: nri}
-		tokenBytes, err = s.readRange(nri)
+		tokenBytes, err = s.readRangeCtx(ctx, nri)
 		if err != nil {
 			return pos, nil, false, err
 		}

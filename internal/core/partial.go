@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/budget"
 )
 
 // The partial (lazy) index — Section 5 of the paper.
@@ -79,9 +81,14 @@ type partialShard struct {
 type partialIndex struct {
 	shards []*partialShard
 	stats  partialStats
+	budget *budget.Budget // nil = unaccounted
 }
 
-func newPartialIndex(capacity int) *partialIndex {
+// partialEntryCost approximates one resident entry's bytes for budget
+// accounting: the boxed entry plus its map slot and LRU element.
+const partialEntryCost = 192
+
+func newPartialIndex(capacity int, b *budget.Budget) *partialIndex {
 	if capacity <= 0 {
 		capacity = 1
 	}
@@ -92,7 +99,7 @@ func newPartialIndex(capacity int) *partialIndex {
 	if nshards < 1 {
 		nshards = 1
 	}
-	px := &partialIndex{shards: make([]*partialShard, nshards)}
+	px := &partialIndex{shards: make([]*partialShard, nshards), budget: b}
 	per := capacity / nshards
 	for i := range px.shards {
 		px.shards[i] = &partialShard{
@@ -102,6 +109,36 @@ func newPartialIndex(capacity int) *partialIndex {
 		}
 	}
 	return px
+}
+
+// shedForBudget drops LRU entries while the partial index is over its budget
+// share. Called after the caller released its shard lock; takes each shard
+// lock in turn.
+func (px *partialIndex) shedForBudget() {
+	b := px.budget
+	if b == nil || !b.NeedEvict(budget.Partial) {
+		return
+	}
+	excess := b.Excess(budget.Partial)
+	for _, sh := range px.shards {
+		if excess <= 0 {
+			return
+		}
+		sh.mu.Lock()
+		for excess > 0 {
+			victim := sh.lru.Front()
+			if victim == nil {
+				break
+			}
+			v := victim.Value.(*boxedEntry)
+			sh.lru.Remove(victim)
+			delete(sh.entries, v.id)
+			b.Discharge(budget.Partial, partialEntryCost)
+			b.NoteEviction(budget.Partial)
+			excess -= partialEntryCost
+		}
+		sh.mu.Unlock()
+	}
 }
 
 func (px *partialIndex) shard(id NodeID) *partialShard {
@@ -152,6 +189,7 @@ func (px *partialIndex) dropStale(stale partialEntry) {
 	}
 	sh.lru.Remove(b.elem)
 	delete(sh.entries, stale.id)
+	px.budget.Discharge(budget.Partial, partialEntryCost)
 	px.stats.invalidations.Add(1)
 }
 
@@ -167,6 +205,7 @@ func (px *partialIndex) ensureLocked(sh *partialShard, id NodeID) *boxedEntry {
 			v := victim.Value.(*boxedEntry)
 			sh.lru.Remove(victim)
 			delete(sh.entries, v.id)
+			px.budget.Discharge(budget.Partial, partialEntryCost)
 			px.stats.evictions.Add(1)
 		}
 	}
@@ -174,11 +213,13 @@ func (px *partialIndex) ensureLocked(sh *partialShard, id NodeID) *boxedEntry {
 	b.id = id
 	b.elem = sh.lru.PushBack(b)
 	sh.entries[id] = b
+	px.budget.Charge(budget.Partial, partialEntryCost)
 	return b
 }
 
 // recordBegin memorizes the begin-token location of id.
 func (px *partialIndex) recordBegin(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int) {
+	defer px.shedForBudget() // after the shard lock is released
 	sh := px.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -191,6 +232,7 @@ func (px *partialIndex) recordBegin(id NodeID, rng RangeID, ver uint32, byteOff,
 // count before the end token and the end token's encoded length (the warm
 // fast path of ScanNode needs both).
 func (px *partialIndex) recordEnd(id NodeID, rng RangeID, ver uint32, byteOff, tokIdx int, nodesBefore, endLen int32) {
+	defer px.shedForBudget() // after the shard lock is released
 	sh := px.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -204,6 +246,7 @@ func (px *partialIndex) recordEnd(id NodeID, rng RangeID, ver uint32, byteOff, t
 
 // setParent memorizes the (stable) parent link of id.
 func (px *partialIndex) setParent(id, parent NodeID) {
+	defer px.shedForBudget() // after the shard lock is released
 	sh := px.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -220,6 +263,7 @@ func (px *partialIndex) removeNode(id NodeID) {
 	if b, ok := sh.entries[id]; ok {
 		sh.lru.Remove(b.elem)
 		delete(sh.entries, id)
+		px.budget.Discharge(budget.Partial, partialEntryCost)
 	}
 }
 
@@ -227,6 +271,7 @@ func (px *partialIndex) removeNode(id NodeID) {
 func (px *partialIndex) reset() {
 	for _, sh := range px.shards {
 		sh.mu.Lock()
+		px.budget.Discharge(budget.Partial, int64(len(sh.entries))*partialEntryCost)
 		sh.entries = make(map[NodeID]*boxedEntry, sh.capacity)
 		sh.lru.Init()
 		sh.mu.Unlock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -12,11 +13,28 @@ import (
 // source in document order; read(id) returns one node's subtree. Node
 // identifiers are regenerated during the scan by replaying the ID factory
 // from each range's start id — they are never read from storage.
+//
+// Every outermost entry point passes admission control (beginOp) before
+// taking the store lock and observes the operation context at page-fetch
+// boundaries. Composite helpers (ReadAll, Tokens, WriteXML, ...) chain one
+// gated call and add no gate of their own.
 
 // Scan streams every token of the store in document order, with regenerated
 // node ids. fn returning false stops the scan. A checksum failure surfaced
 // by the scan degrades the store to read-only.
-func (s *Store) Scan(fn func(Item) bool) (err error) {
+func (s *Store) Scan(fn func(Item) bool) error {
+	return s.ScanCtx(context.Background(), fn)
+}
+
+// ScanCtx is Scan with cooperative cancellation and admission control: the
+// context (plus the configured OpTimeout) is checked at every range fetch,
+// so a deadline cuts a long scan short with context.DeadlineExceeded.
+func (s *Store) ScanCtx(ctx context.Context, fn func(Item) bool) (err error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	defer s.latchCorrupt(&err)
@@ -28,7 +46,7 @@ func (s *Store) Scan(fn func(Item) bool) (err error) {
 		return err
 	}
 	for {
-		tokenBytes, err := s.readRange(ri)
+		tokenBytes, err := s.readRangeCtx(ctx, ri)
 		if err != nil {
 			return err
 		}
@@ -48,7 +66,7 @@ func (s *Store) Scan(fn func(Item) bool) (err error) {
 				return nil
 			}
 		}
-		nri, ok, err := s.nextRangeInfo(ri)
+		nri, ok, err := s.nextRangeInfoCtx(ctx, ri)
 		if err != nil {
 			return err
 		}
@@ -61,8 +79,13 @@ func (s *Store) Scan(fn func(Item) bool) (err error) {
 
 // ReadAll materializes the full token sequence with ids.
 func (s *Store) ReadAll() ([]Item, error) {
+	return s.ReadAllCtx(context.Background())
+}
+
+// ReadAllCtx is ReadAll under a context.
+func (s *Store) ReadAllCtx(ctx context.Context) ([]Item, error) {
 	var out []Item
-	err := s.Scan(func(it Item) bool {
+	err := s.ScanCtx(ctx, func(it Item) bool {
 		out = append(out, it)
 		return true
 	})
@@ -81,20 +104,31 @@ func (s *Store) Tokens() ([]Token, error) {
 
 // ScanNode streams the subtree of node id (begin through matching end) with
 // regenerated ids. fn returning false stops early.
+func (s *Store) ScanNode(id NodeID, fn func(Item) bool) error {
+	return s.ScanNodeCtx(context.Background(), id, fn)
+}
+
+// ScanNodeCtx is ScanNode with cooperative cancellation and admission
+// control.
 //
 // Readers share the lock: locate's writes (partial index, checkpoint table,
 // scan counters) all go to internally-synchronized structures.
-func (s *Store) ScanNode(id NodeID, fn func(Item) bool) (err error) {
+func (s *Store) ScanNodeCtx(ctx context.Context, id NodeID, fn func(Item) bool) (err error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	defer s.latchCorrupt(&err)
 	if s.closed {
 		return ErrClosed
 	}
-	return s.scanNodeLocked(id, fn)
+	return s.scanNodeLocked(ctx, id, fn)
 }
 
-func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
+func (s *Store) scanNodeLocked(ctx context.Context, id NodeID, fn func(Item) bool) error {
 	// Warm fast path: when the partial index knows both the begin and end
 	// token positions within one range, read exactly that byte span — the
 	// paper's "jump to the end of the given node" behaviour, with no range
@@ -140,7 +174,7 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 			}
 		}
 	}
-	begin, beginTok, tokenBytes, err := s.locateBegin(id)
+	begin, beginTok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -170,6 +204,11 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 	defer func() { s.tokensScanned.Add(scanned) }()
 	for {
 		for r.More() {
+			if scanned%locateCheckTokens == locateCheckTokens-1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			off := r.Offset()
 			t, err := r.Next()
 			if err != nil {
@@ -201,7 +240,7 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 			}
 			tokIdx++
 		}
-		nri, ok, err := s.nextRangeInfo(ri)
+		nri, ok, err := s.nextRangeInfoCtx(ctx, ri)
 		if err != nil {
 			return err
 		}
@@ -209,7 +248,7 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 			return fmt.Errorf("core: unbalanced store: node %d has no end token", id)
 		}
 		ri = nri
-		tokenBytes, err = s.readRange(ri)
+		tokenBytes, err = s.readRangeCtx(ctx, ri)
 		if err != nil {
 			return err
 		}
@@ -222,8 +261,13 @@ func (s *Store) scanNodeLocked(id NodeID, fn func(Item) bool) error {
 
 // ReadNode returns the subtree of node id as items with regenerated ids.
 func (s *Store) ReadNode(id NodeID) ([]Item, error) {
+	return s.ReadNodeCtx(context.Background(), id)
+}
+
+// ReadNodeCtx is ReadNode under a context.
+func (s *Store) ReadNodeCtx(ctx context.Context, id NodeID) ([]Item, error) {
 	var out []Item
-	err := s.ScanNode(id, func(it Item) bool {
+	err := s.ScanNodeCtx(ctx, id, func(it Item) bool {
 		out = append(out, it)
 		return true
 	})
@@ -250,7 +294,7 @@ func (s *Store) NodeTokens(id NodeID) ([]Token, error) {
 // under the shared lock: every id inside a live range's interval
 // [start, start+nodes) is live (deletes shrink or split intervals, never
 // leave holes), so an interval-containment check answers the question
-// without reading a single token.
+// without reading a single token. It never queues behind admission control.
 func (s *Store) Exists(id NodeID) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -264,6 +308,16 @@ func (s *Store) Exists(id NodeID) bool {
 
 // FirstNodeID returns the id of the first node in document order.
 func (s *Store) FirstNodeID() (NodeID, bool, error) {
+	return s.FirstNodeIDCtx(context.Background())
+}
+
+// FirstNodeIDCtx is FirstNodeID under a context.
+func (s *Store) FirstNodeIDCtx(ctx context.Context) (NodeID, bool, error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, false, err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -277,7 +331,7 @@ func (s *Store) FirstNodeID() (NodeID, bool, error) {
 		if ri.nodes > 0 {
 			return ri.start, true, nil
 		}
-		nri, ok, err := s.nextRangeInfo(ri)
+		nri, ok, err := s.nextRangeInfoCtx(ctx, ri)
 		if err != nil || !ok {
 			return InvalidNode, false, err
 		}
@@ -321,7 +375,8 @@ func (s *Store) NodeXMLString(id NodeID) (string, error) {
 
 // CheckInvariants validates cross-structure consistency: every range record
 // agrees with its descriptor, id intervals are disjoint, document order is
-// well-formed, and the aggregate counters add up. Tests lean on this.
+// well-formed, and the aggregate counters add up. Tests lean on this. It is
+// a diagnostic and bypasses admission control.
 func (s *Store) CheckInvariants() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
+	"repro/internal/budget"
 	"repro/internal/pagestore"
 	"repro/internal/token"
 )
@@ -45,6 +48,24 @@ type Config struct {
 	// FullIndex mode is not supported read-only (its index lives in pages
 	// it would have to allocate).
 	ReadOnly bool
+	// OpTimeout bounds each public operation end to end: when the caller's
+	// context carries no deadline of its own, one of OpTimeout is attached.
+	// Long locate scans and overflow-chain walks observe it at page-fetch
+	// boundaries. 0 disables the store-imposed deadline.
+	OpTimeout time.Duration
+	// MaxConcurrentOps caps how many public operations run inside the store
+	// at once; excess operations wait in a bounded FIFO queue and are shed
+	// with ErrOverloaded when it fills. 0 means the default (128); negative
+	// disables admission control.
+	MaxConcurrentOps int
+	// MaxQueuedOps bounds the admission wait queue. 0 means the default
+	// (4x MaxConcurrentOps).
+	MaxQueuedOps int
+	// MemoryBudget caps the bytes held by the in-memory acceleration
+	// structures combined — buffer-pool frames, partial-index entries and
+	// replay checkpoints — with pressure-driven eviction when a structure
+	// exceeds its share. 0 means unlimited.
+	MemoryBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +77,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolPages <= 0 {
 		c.PoolPages = 256
+	}
+	if c.MaxConcurrentOps == 0 {
+		c.MaxConcurrentOps = 128
+	}
+	if c.MaxQueuedOps <= 0 && c.MaxConcurrentOps > 0 {
+		c.MaxQueuedOps = 4 * c.MaxConcurrentOps
 	}
 	return c
 }
@@ -92,6 +119,15 @@ type Store struct {
 	// checkpoints accelerates coarse-range locate replays; lock-striped and
 	// memory-only (see checkpoints.go). Nil only before initIndexes.
 	checkpoints *checkpointTable
+
+	// adm gates public entry points under overload (nil = gate off).
+	// releaseFn is the cached slot-release closure handed out by beginOp on
+	// the common (no per-op deadline) path, so admission adds no allocation.
+	adm       *admission
+	releaseFn func()
+	// budget is the shared memory budget across pool/partial/checkpoints
+	// (nil = unlimited).
+	budget *budget.Budget
 
 	// corrupt, once set, latches the store read-only: continuing to write
 	// after a checksum mismatch or a failed WAL commit can only spread the
@@ -160,7 +196,9 @@ func Open(cfg Config) (*Store, error) {
 	if pager == nil {
 		pager = pagestore.NewMemPager(cfg.PageSize)
 	}
+	b := budget.New(cfg.MemoryBudget)
 	pool := pagestore.NewBufferPool(pager, cfg.PoolPages)
+	pool.SetBudget(b)
 	recs, err := pagestore.CreateRecordStore(pool)
 	if err != nil {
 		return nil, err
@@ -174,7 +212,10 @@ func Open(cfg Config) (*Store, error) {
 		byLoc:     make(map[pagestore.Loc]*rangeInfo),
 		nextID:    1,
 		nextRange: 1,
+		budget:    b,
+		adm:       newAdmission(cfg.MaxConcurrentOps, cfg.MaxQueuedOps),
 	}
+	s.releaseFn = func() { s.adm.release() }
 	if err := s.initIndexes(); err != nil {
 		return nil, err
 	}
@@ -191,7 +232,9 @@ func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Stor
 		return nil, fmt.Errorf("%w: FullIndex mode allocates index pages at open and cannot run read-only", ErrReadOnly)
 	}
 	cfg.Pager = pager
+	b := budget.New(cfg.MemoryBudget)
 	pool := pagestore.NewBufferPool(pager, cfg.PoolPages)
+	pool.SetBudget(b)
 	recs, err := pagestore.OpenRecordStore(pool, metaPage)
 	if err != nil {
 		return nil, err
@@ -205,7 +248,10 @@ func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Stor
 		byLoc:     make(map[pagestore.Loc]*rangeInfo),
 		nextID:    1,
 		nextRange: 1,
+		budget:    b,
+		adm:       newAdmission(cfg.MaxConcurrentOps, cfg.MaxQueuedOps),
 	}
+	s.releaseFn = func() { s.adm.release() }
 	if err := s.initIndexes(); err != nil {
 		return nil, err
 	}
@@ -216,10 +262,10 @@ func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Stor
 }
 
 func (s *Store) initIndexes() error {
-	s.checkpoints = newCheckpointTable()
+	s.checkpoints = newCheckpointTable(s.budget)
 	switch s.cfg.Mode {
 	case RangePartial:
-		s.partial = newPartialIndex(s.cfg.PartialCapacity)
+		s.partial = newPartialIndex(s.cfg.PartialCapacity, s.budget)
 	case FullIndex:
 		fx, err := newFullIndex(s.pool)
 		if err != nil {
@@ -383,6 +429,11 @@ func (s *Store) Stats() Stats {
 		st.PartialEvictions = s.partial.stats.evictions.Load()
 		st.PartialInvalidations = s.partial.stats.invalidations.Load()
 	}
+	st.Admission = s.adm.snapshot()
+	st.Memory = s.budget.Snapshot()
+	if as, ok := s.pool.Pager().(interface{ ArchiveStats() (int, int64) }); ok {
+		st.ArchiveSegments, st.ArchiveBytes = as.ArchiveStats()
+	}
 	return st
 }
 
@@ -439,7 +490,15 @@ func (s *Store) applyMoves(moves []pagestore.Move) {
 
 // readRange returns the encoded token bytes of ri (a fresh copy).
 func (s *Store) readRange(ri *rangeInfo) ([]byte, error) {
-	payload, err := s.recs.Read(ri.loc)
+	return s.readRangeCtx(context.Background(), ri)
+}
+
+// readRangeCtx is readRange with cooperative cancellation at page-fetch
+// boundaries (a coarse range can span a long overflow chain). Mutation
+// apply phases use plain readRange — past the point of no return an
+// operation must run to completion.
+func (s *Store) readRangeCtx(ctx context.Context, ri *rangeInfo) ([]byte, error) {
+	payload, err := s.recs.ReadCtx(ctx, ri.loc)
 	if err != nil {
 		return nil, err
 	}
@@ -451,6 +510,15 @@ func (s *Store) readRange(ri *rangeInfo) ([]byte, error) {
 		return nil, fmt.Errorf("core: record at %v is range %d, expected %d", ri.loc, id, ri.id)
 	}
 	return tokenBytes, nil
+}
+
+// nextRangeInfoCtx is nextRangeInfo with a cancellation check, for read
+// loops that walk many ranges under one deadline.
+func (s *Store) nextRangeInfoCtx(ctx context.Context, ri *rangeInfo) (*rangeInfo, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return s.nextRangeInfo(ri)
 }
 
 // nextRangeInfo returns the range following ri in document order.

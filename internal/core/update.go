@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,6 +14,12 @@ import (
 // exactly one new range; when the insertion point falls strictly inside an
 // existing range, that range is split in two. This is the example walked
 // through in Section 4.5 of the paper.
+//
+// Mutators pass admission control (beginOp) before taking the exclusive
+// lock. The operation context governs only the locate phase — once a
+// mutation starts applying (deleteSpan, insertFragment, record writes) it
+// runs to completion regardless of the deadline, so a timeout can never
+// leave a half-applied update behind.
 
 func checkFragment(frag []Token) error {
 	if err := token.ValidateFragment(frag); err != nil {
@@ -25,10 +32,21 @@ func checkFragment(frag []Token) error {
 // When Config.MaxRangeTokens > 0 the fragment is chopped into ranges of at
 // most that many tokens — the granularity knob of Table 5. It returns the id
 // of the fragment's first node.
-func (s *Store) Append(frag []Token) (_ NodeID, err error) {
+func (s *Store) Append(frag []Token) (NodeID, error) {
+	return s.AppendCtx(context.Background(), frag)
+}
+
+// AppendCtx is Append under a context (admission control only — appends
+// have no locate phase to cancel).
+func (s *Store) AppendCtx(ctx context.Context, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
+	_, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
@@ -82,6 +100,11 @@ func (s *Store) Append(frag []Token) (_ NodeID, err error) {
 // load mid-way (ranges already appended remain — callers wanting atomicity
 // should stage into a fresh store).
 func (s *Store) AppendStream(next func() (Token, error)) (_ NodeID, err error) {
+	_, finish, err := s.beginOp(nil)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
@@ -173,6 +196,11 @@ func (s *Store) AppendStream(next func() (Token, error)) (_ NodeID, err error) {
 // It undoes update-driven fragmentation — the offline counterpart of the
 // adaptive CoalesceBytes policy.
 func (s *Store) Compact(maxRangeBytes int) (merged int, err error) {
+	_, finish, err := s.beginOp(nil)
+	if err != nil {
+		return 0, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
@@ -228,17 +256,27 @@ func (s *Store) insertFragment(pos tokenPos, frag []Token) (NodeID, error) {
 }
 
 // InsertBefore inserts frag as the preceding sibling(s) of node id.
-func (s *Store) InsertBefore(id NodeID, frag []Token) (_ NodeID, err error) {
+func (s *Store) InsertBefore(id NodeID, frag []Token) (NodeID, error) {
+	return s.InsertBeforeCtx(context.Background(), id, frag)
+}
+
+// InsertBeforeCtx is InsertBefore under a context.
+func (s *Store) InsertBeforeCtx(ctx context.Context, id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	pos, tok, _, err := s.locateBegin(id)
+	pos, tok, _, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -249,24 +287,34 @@ func (s *Store) InsertBefore(id NodeID, frag []Token) (_ NodeID, err error) {
 }
 
 // InsertAfter inserts frag as the following sibling(s) of node id.
-func (s *Store) InsertAfter(id NodeID, frag []Token) (_ NodeID, err error) {
+func (s *Store) InsertAfter(id NodeID, frag []Token) (NodeID, error) {
+	return s.InsertAfterCtx(context.Background(), id, frag)
+}
+
+// InsertAfterCtx is InsertAfter under a context.
+func (s *Store) InsertAfterCtx(ctx context.Context, id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, err
 	}
 	if tok.Kind == token.BeginAttribute {
 		return InvalidNode, ErrAttrContext
 	}
-	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -279,17 +327,27 @@ func (s *Store) InsertAfter(id NodeID, frag []Token) (_ NodeID, err error) {
 
 // InsertIntoFirst inserts frag as the first content of element id (after its
 // attribute block).
-func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (_ NodeID, err error) {
+func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (NodeID, error) {
+	return s.InsertIntoFirstCtx(context.Background(), id, frag)
+}
+
+// InsertIntoFirstCtx is InsertIntoFirst under a context.
+func (s *Store) InsertIntoFirstCtx(ctx context.Context, id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -300,7 +358,7 @@ func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err != nil {
 		return InvalidNode, err
 	}
-	pos, _, err = s.skipAttributes(pos, tokenBytes)
+	pos, _, err = s.skipAttributes(ctx, pos, tokenBytes)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -310,24 +368,34 @@ func (s *Store) InsertIntoFirst(id NodeID, frag []Token) (_ NodeID, err error) {
 // InsertIntoLast inserts frag as the last content of element id — the
 // paper's running example (insert a <purchase-order> as the last child of
 // the root).
-func (s *Store) InsertIntoLast(id NodeID, frag []Token) (_ NodeID, err error) {
+func (s *Store) InsertIntoLast(id NodeID, frag []Token) (NodeID, error) {
+	return s.InsertIntoLastCtx(context.Background(), id, frag)
+}
+
+// InsertIntoLastCtx is InsertIntoLast under a context.
+func (s *Store) InsertIntoLastCtx(ctx context.Context, id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, err
 	}
 	if err := requireElement(tok); err != nil {
 		return InvalidNode, err
 	}
-	end, _, err := s.locateEnd(id, begin, tok, tokenBytes)
+	end, _, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -346,18 +414,28 @@ func requireElement(tok Token) error {
 }
 
 // DeleteNode removes node id and its entire subtree.
-func (s *Store) DeleteNode(id NodeID) (err error) {
+func (s *Store) DeleteNode(id NodeID) error {
+	return s.DeleteNodeCtx(context.Background(), id)
+}
+
+// DeleteNodeCtx is DeleteNode under a context.
+func (s *Store) DeleteNodeCtx(ctx context.Context, id NodeID) (err error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return err
 	}
-	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
 	if err != nil {
 		return err
 	}
@@ -379,21 +457,31 @@ func (s *Store) DeleteNode(id NodeID) (err error) {
 
 // ReplaceNode replaces node id (and subtree) with frag, returning the first
 // new id.
-func (s *Store) ReplaceNode(id NodeID, frag []Token) (_ NodeID, err error) {
+func (s *Store) ReplaceNode(id NodeID, frag []Token) (NodeID, error) {
+	return s.ReplaceNodeCtx(context.Background(), id, frag)
+}
+
+// ReplaceNodeCtx is ReplaceNode under a context.
+func (s *Store) ReplaceNodeCtx(ctx context.Context, id NodeID, frag []Token) (_ NodeID, err error) {
 	if err := checkFragment(frag); err != nil {
 		return InvalidNode, err
 	}
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, err
 	}
-	end, endBytes, err := s.locateEnd(id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -439,26 +527,36 @@ func (s *Store) ReplaceNode(id NodeID, frag []Token) (_ NodeID, err error) {
 
 // ReplaceContent replaces the content of element id (children; the attribute
 // block is preserved) with frag. A nil/empty frag empties the element.
-func (s *Store) ReplaceContent(id NodeID, frag []Token) (_ NodeID, err error) {
+func (s *Store) ReplaceContent(id NodeID, frag []Token) (NodeID, error) {
+	return s.ReplaceContentCtx(context.Background(), id, frag)
+}
+
+// ReplaceContentCtx is ReplaceContent under a context.
+func (s *Store) ReplaceContentCtx(ctx context.Context, id NodeID, frag []Token) (_ NodeID, err error) {
 	if len(frag) > 0 {
 		if err := checkFragment(frag); err != nil {
 			return InvalidNode, err
 		}
 	}
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return InvalidNode, err
+	}
+	defer finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.latchCorrupt(&err)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
 	if err != nil {
 		return InvalidNode, err
 	}
 	if err := requireElement(tok); err != nil {
 		return InvalidNode, err
 	}
-	end, _, err := s.locateEnd(id, begin, tok, tokenBytes)
+	end, _, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -466,7 +564,7 @@ func (s *Store) ReplaceContent(id NodeID, frag []Token) (_ NodeID, err error) {
 	if err != nil {
 		return InvalidNode, err
 	}
-	contentStart, _, err = s.skipAttributes(contentStart, tokenBytes)
+	contentStart, _, err = s.skipAttributes(ctx, contentStart, tokenBytes)
 	if err != nil {
 		return InvalidNode, err
 	}

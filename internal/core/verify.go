@@ -17,7 +17,16 @@ import (
 //
 // All problems found are reported joined, not just the first. Checksum
 // failures degrade the store to read-only as a side effect.
+//
+// Verify counts as one operation for admission control (a full scrub is
+// expensive and should not dogpile an overloaded store), but runs to
+// completion once admitted — it does not observe the operation deadline.
 func (s *Store) Verify() (err error) {
+	_, finish, err := s.beginOp(nil)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	defer s.latchCorrupt(&err)

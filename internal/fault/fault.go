@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/pagestore"
 )
@@ -97,6 +99,12 @@ type Injector struct {
 	crashed  bool
 	flipped  bool
 	diskFull bool
+
+	// latencyNs, when non-zero, delays every wrapped I/O operation by that
+	// many nanoseconds — a uniformly slow device rather than a failing one.
+	// Atomic so the sleep never holds the injector mutex (concurrent slow
+	// I/Os must overlap, exactly as they would on real hardware).
+	latencyNs atomic.Int64
 }
 
 // NewInjector returns an injector following cfg's schedule.
@@ -149,6 +157,34 @@ func (in *Injector) FreeSpace() {
 	defer in.mu.Unlock()
 	in.cfg.DiskFullAtWrite = 0
 	in.diskFull = false
+}
+
+// ArmLatency makes every subsequent wrapped I/O operation (page and log
+// reads, writes, syncs) sleep d before touching the underlying store —
+// simulating a uniformly slow disk. The sleep happens outside the injector
+// mutex, so concurrent operations overlap their delays. Zero or negative d
+// disarms.
+func (in *Injector) ArmLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	in.latencyNs.Store(int64(d))
+}
+
+// DisarmLatency removes the injected I/O latency.
+func (in *Injector) DisarmLatency() { in.latencyNs.Store(0) }
+
+// Latency returns the currently armed per-operation I/O delay.
+func (in *Injector) Latency() time.Duration {
+	return time.Duration(in.latencyNs.Load())
+}
+
+// sleepLatency applies the armed delay. Called by the wrappers before each
+// I/O, never while holding in.mu.
+func (in *Injector) sleepLatency() {
+	if d := in.latencyNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 // DiskFull reports whether the injector is currently refusing writes for

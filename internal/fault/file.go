@@ -29,6 +29,7 @@ func NewFile(inj *Injector, inner LogFile) *File {
 // WriteAt implements io.WriterAt. A torn write persists only a seeded
 // prefix of p before failing.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.inj.sleepLatency()
 	err, torn := f.inj.beforeMutate("log-write", true, len(p))
 	if err == nil {
 		return f.inner.WriteAt(p, off)
@@ -41,6 +42,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 
 // Read implements io.Reader.
 func (f *File) Read(p []byte) (int, error) {
+	f.inj.sleepLatency()
 	if err := f.inj.beforeRead("log-read"); err != nil {
 		return 0, err
 	}
@@ -54,6 +56,7 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 
 // Sync flushes the log unless a fault is due.
 func (f *File) Sync() error {
+	f.inj.sleepLatency()
 	if err, _ := f.inj.beforeMutate("sync", false, 0); err != nil {
 		return err
 	}

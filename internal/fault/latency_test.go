@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pagestore"
+)
+
+// syncedMem adapts MemPager to the InnerPager contract (Sync is a no-op in
+// memory).
+type syncedMem struct{ *pagestore.MemPager }
+
+func (syncedMem) Sync() error { return nil }
+
+// TestArmLatencyDelaysIO pins the slow-disk injection: with latency armed,
+// every wrapped page read sleeps; after DisarmLatency the delay is gone.
+func TestArmLatencyDelaysIO(t *testing.T) {
+	inj := NewInjector(Config{})
+	mem := pagestore.NewMemPager(pagestore.MinPageSize)
+	p := NewPager(inj, syncedMem{mem})
+
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, p.PageSize())
+	if err := p.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	const d = 20 * time.Millisecond
+	inj.ArmLatency(d)
+	if got := inj.Latency(); got != d {
+		t.Fatalf("Latency() = %v, want %v", got, d)
+	}
+	start := time.Now()
+	if err := p.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("read with %v latency finished in %v", d, elapsed)
+	}
+
+	inj.DisarmLatency()
+	start = time.Now()
+	for i := 0; i < 10; i++ {
+		if err := p.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > d {
+		t.Fatalf("10 disarmed reads took %v — latency still armed?", elapsed)
+	}
+}
+
+// TestLatencyComposesWithFaults ensures the delay does not perturb the
+// fault schedules: op counting and disk-full behavior are unchanged.
+func TestLatencyComposesWithFaults(t *testing.T) {
+	inj := NewInjector(Config{})
+	mem := pagestore.NewMemPager(pagestore.MinPageSize)
+	p := NewPager(inj, syncedMem{mem})
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.ArmLatency(time.Millisecond)
+	inj.ArmDiskFull(1)
+	buf := make([]byte, p.PageSize())
+	if err := p.WritePage(id, buf); err == nil {
+		t.Fatal("write should hit injected ENOSPC")
+	}
+	inj.FreeSpace()
+	if err := p.WritePage(id, buf); err != nil {
+		t.Fatalf("write after FreeSpace: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ func (p *Pager) Allocate() (pagestore.PageID, error) {
 
 // ReadPage implements pagestore.Pager.
 func (p *Pager) ReadPage(id pagestore.PageID, buf []byte) error {
+	p.inj.sleepLatency()
 	if err := p.inj.beforeRead("read-page"); err != nil {
 		return err
 	}
@@ -48,6 +49,7 @@ func (p *Pager) ReadPage(id pagestore.PageID, buf []byte) error {
 // bytes of the new image over the old page contents before failing —
 // exactly what a power cut mid-sector-write leaves behind.
 func (p *Pager) WritePage(id pagestore.PageID, buf []byte) error {
+	p.inj.sleepLatency()
 	err, torn := p.inj.beforeMutate("write-page", true, len(buf))
 	if err == nil {
 		return p.inner.WritePage(id, p.inj.flip(id, buf))
@@ -83,6 +85,7 @@ func (p *Pager) MaxPageID() pagestore.PageID {
 
 // Sync flushes the inner pager unless a fault is due.
 func (p *Pager) Sync() error {
+	p.inj.sleepLatency()
 	if err, _ := p.inj.beforeMutate("sync", false, 0); err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/budget"
 )
 
 // Buffer pool errors.
@@ -61,12 +63,29 @@ type BufferPool struct {
 	pager    Pager
 	capacity int
 	shards   []*poolShard
+	budget   *budget.Budget // nil = unaccounted; set before first use
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	flushes   atomic.Uint64
 }
+
+// frameOverhead approximates the per-frame bookkeeping bytes beyond the page
+// data itself (Frame struct, map entry, LRU element) for budget accounting.
+const frameOverhead = 128
+
+// frameCost is the budget charge for one resident frame.
+func (bp *BufferPool) frameCost() int64 {
+	return int64(bp.pager.PageSize()) + frameOverhead
+}
+
+// SetBudget attaches a shared memory budget: every resident frame is charged
+// against it, and Fetch/View/NewPage shed cold frames when the pool is over
+// its share. Must be called before the pool sees traffic — frames created
+// earlier would be uncharged and unbalance the accounting. A nil budget (the
+// default) disables accounting.
+func (bp *BufferPool) SetBudget(b *budget.Budget) { bp.budget = b }
 
 // NewBufferPool wraps pager with a pool of at most capacity resident pages
 // (minimum 4), striped into up to maxPoolShards lock shards.
@@ -142,6 +161,7 @@ func (bp *BufferPool) ResetStats() {
 
 // Fetch pins the page in memory and returns its frame.
 func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
+	defer bp.shedForBudget() // after the shard lock is released
 	sh := bp.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -156,11 +176,11 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	if err := bp.pager.ReadPage(id, f.Data); err != nil {
-		delete(sh.frames, id)
+		bp.dropFrameLocked(sh, id)
 		return nil, err
 	}
 	if err := VerifyChecksum(id, f.Data); err != nil {
-		delete(sh.frames, id)
+		bp.dropFrameLocked(sh, id)
 		return nil, err
 	}
 	return f, nil
@@ -172,6 +192,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 // slice, and must not call back into the pool. Residency, checksum-on-miss
 // and LRU maintenance match Fetch exactly.
 func (bp *BufferPool) View(id PageID, fn func(data []byte) error) error {
+	defer bp.shedForBudget() // after the shard lock is released
 	sh := bp.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -189,11 +210,11 @@ func (bp *BufferPool) View(id PageID, fn func(data []byte) error) error {
 			return err
 		}
 		if err := bp.pager.ReadPage(id, f.Data); err != nil {
-			delete(sh.frames, id)
+			bp.dropFrameLocked(sh, id)
 			return err
 		}
 		if err := VerifyChecksum(id, f.Data); err != nil {
-			delete(sh.frames, id)
+			bp.dropFrameLocked(sh, id)
 			return err
 		}
 		// newFrameLocked pins; View's protection is the shard lock itself.
@@ -205,6 +226,7 @@ func (bp *BufferPool) View(id PageID, fn func(data []byte) error) error {
 
 // NewPage allocates a fresh page and returns it pinned and dirty.
 func (bp *BufferPool) NewPage() (*Frame, error) {
+	defer bp.shedForBudget() // after the shard lock is released
 	id, err := bp.pager.Allocate()
 	if err != nil {
 		return nil, err
@@ -230,7 +252,15 @@ func (bp *BufferPool) newFrameLocked(sh *poolShard, id PageID) (*Frame, error) {
 	}
 	f := &Frame{ID: id, Data: make([]byte, bp.pager.PageSize()), pins: 1}
 	sh.frames[id] = f
+	bp.budget.Charge(budget.Pool, bp.frameCost())
 	return f, nil
+}
+
+// dropFrameLocked removes a frame that never became valid (read or checksum
+// failure after newFrameLocked), reversing its budget charge.
+func (bp *BufferPool) dropFrameLocked(sh *poolShard, id PageID) {
+	delete(sh.frames, id)
+	bp.budget.Discharge(budget.Pool, bp.frameCost())
 }
 
 func (bp *BufferPool) evictLocked(sh *poolShard) error {
@@ -248,8 +278,36 @@ func (bp *BufferPool) evictLocked(sh *poolShard) error {
 	}
 	sh.lru.Remove(e)
 	delete(sh.frames, f.ID)
+	bp.budget.Discharge(budget.Pool, bp.frameCost())
 	bp.evictions.Add(1)
 	return nil
+}
+
+// shedForBudget drops cold frames while the pool is over its budget share.
+// Runs after the caller has released its shard lock: eviction here takes
+// each shard lock in turn, so it must never run under one. Dirty frames are
+// written back by evictLocked as usual; a write-back failure (degraded
+// store) stops the sweep for that shard rather than spinning.
+func (bp *BufferPool) shedForBudget() {
+	b := bp.budget
+	if b == nil || !b.NeedEvict(budget.Pool) {
+		return
+	}
+	excess := b.Excess(budget.Pool)
+	for _, sh := range bp.shards {
+		if excess <= 0 {
+			return
+		}
+		sh.mu.Lock()
+		for excess > 0 && sh.lru.Front() != nil {
+			if err := bp.evictLocked(sh); err != nil {
+				break
+			}
+			b.NoteEviction(budget.Pool)
+			excess -= bp.frameCost()
+		}
+		sh.mu.Unlock()
+	}
 }
 
 func (sh *poolShard) pin(f *Frame) {
@@ -291,6 +349,7 @@ func (bp *BufferPool) FreePage(f *Frame) error {
 	}
 	f.pins = 0
 	delete(sh.frames, f.ID)
+	bp.budget.Discharge(budget.Pool, bp.frameCost())
 	return bp.pager.Free(f.ID)
 }
 

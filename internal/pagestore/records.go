@@ -1,6 +1,7 @@
 package pagestore
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -171,6 +172,18 @@ func (rs *RecordStore) inlineMax() int {
 
 // Read returns a copy of the record payload at loc.
 func (rs *RecordStore) Read(loc Loc) ([]byte, error) {
+	return rs.ReadCtx(context.Background(), loc)
+}
+
+// ReadCtx is Read with cooperative cancellation: ctx is checked before the
+// first page view and again between overflow-chain hops, so a deadline or
+// cancellation stops a long chain walk at the next page boundary instead of
+// running it to completion. Records read whole stay whole — cancellation
+// never returns a partial payload.
+func (rs *RecordStore) ReadCtx(ctx context.Context, loc Loc) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []byte
 	var total int
 	next := InvalidPage
@@ -200,6 +213,9 @@ func (rs *RecordStore) Read(loc Loc) ([]byte, error) {
 	}
 	out = make([]byte, 0, total)
 	for next != InvalidPage {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		err := rs.pool.View(next, func(data []byte) error {
 			used := int(binary.LittleEndian.Uint16(data[2:]))
 			out = append(out, data[ovflHeader:ovflHeader+used]...)

@@ -341,7 +341,7 @@ func (tx *Tx) lockHierarchy(id core.NodeID, mode lock.Mode) error {
 	var path []core.NodeID
 	cur := id
 	for {
-		p, ok, err := tx.m.store.Parent(cur)
+		p, ok, err := tx.m.store.ParentCtx(tx.ctx, cur)
 		if err != nil {
 			return err
 		}
@@ -372,7 +372,7 @@ func (tx *Tx) ReadNode(id core.NodeID) ([]core.Item, error) {
 	if err := tx.lockHierarchy(id, lock.S); err != nil {
 		return nil, err
 	}
-	return tx.m.store.ReadNode(id)
+	return tx.m.store.ReadNodeCtx(tx.ctx, id)
 }
 
 // ReadAll returns the whole sequence under a document-level shared lock.
@@ -383,7 +383,7 @@ func (tx *Tx) ReadAll() ([]core.Item, error) {
 	if err := tx.lockDocument(lock.S); err != nil {
 		return nil, err
 	}
-	return tx.m.store.ReadAll()
+	return tx.m.store.ReadAllCtx(tx.ctx)
 }
 
 // fragment top-level ids: the ids the store will assign to the fragment's
@@ -425,7 +425,7 @@ func (tx *Tx) Append(frag []core.Token) (core.NodeID, error) {
 	if err := tx.lockDocument(lock.X); err != nil {
 		return core.InvalidNode, err
 	}
-	first, err := tx.m.store.Append(frag)
+	first, err := tx.m.store.AppendCtx(tx.ctx, frag)
 	return tx.recordInsert(frag, first, err)
 }
 
@@ -437,7 +437,7 @@ func (tx *Tx) InsertIntoLast(id core.NodeID, frag []core.Token) (core.NodeID, er
 	if err := tx.lockHierarchy(id, lock.X); err != nil {
 		return core.InvalidNode, err
 	}
-	first, err := tx.m.store.InsertIntoLast(id, frag)
+	first, err := tx.m.store.InsertIntoLastCtx(tx.ctx, id, frag)
 	return tx.recordInsert(frag, first, err)
 }
 
@@ -449,7 +449,7 @@ func (tx *Tx) InsertIntoFirst(id core.NodeID, frag []core.Token) (core.NodeID, e
 	if err := tx.lockHierarchy(id, lock.X); err != nil {
 		return core.InvalidNode, err
 	}
-	first, err := tx.m.store.InsertIntoFirst(id, frag)
+	first, err := tx.m.store.InsertIntoFirstCtx(tx.ctx, id, frag)
 	return tx.recordInsert(frag, first, err)
 }
 
@@ -457,14 +457,14 @@ func (tx *Tx) InsertIntoFirst(id core.NodeID, frag []core.Token) (core.NodeID, e
 // the parent (sibling lists are parent state).
 func (tx *Tx) InsertBefore(id core.NodeID, frag []core.Token) (core.NodeID, error) {
 	return tx.insertSibling(id, frag, func() (core.NodeID, error) {
-		return tx.m.store.InsertBefore(id, frag)
+		return tx.m.store.InsertBeforeCtx(tx.ctx, id, frag)
 	})
 }
 
 // InsertAfter inserts frag as following sibling(s) of id.
 func (tx *Tx) InsertAfter(id core.NodeID, frag []core.Token) (core.NodeID, error) {
 	return tx.insertSibling(id, frag, func() (core.NodeID, error) {
-		return tx.m.store.InsertAfter(id, frag)
+		return tx.m.store.InsertAfterCtx(tx.ctx, id, frag)
 	})
 }
 
@@ -472,7 +472,7 @@ func (tx *Tx) insertSibling(id core.NodeID, frag []core.Token, op func() (core.N
 	if err := tx.check(); err != nil {
 		return core.InvalidNode, err
 	}
-	parent, ok, err := tx.m.store.Parent(id)
+	parent, ok, err := tx.m.store.ParentCtx(tx.ctx, id)
 	if err != nil {
 		return core.InvalidNode, err
 	}
@@ -500,7 +500,7 @@ func (tx *Tx) DeleteNode(id core.NodeID) error {
 	if err != nil {
 		return err
 	}
-	if err := tx.m.store.DeleteNode(id); err != nil {
+	if err := tx.m.store.DeleteNodeCtx(tx.ctx, id); err != nil {
 		return err
 	}
 	tx.undo = append(tx.undo, rec)
@@ -509,18 +509,18 @@ func (tx *Tx) DeleteNode(id core.NodeID) error {
 
 // captureDelete snapshots the subtree (with ids) and its position anchors.
 func (tx *Tx) captureDelete(id core.NodeID) (undoRecord, error) {
-	items, err := tx.m.store.ReadNode(id)
+	items, err := tx.m.store.ReadNodeCtx(tx.ctx, id)
 	if err != nil {
 		return undoRecord{}, err
 	}
 	rec := undoRecord{deleted: items}
-	if next, ok, err := tx.m.store.NextSibling(id); err != nil {
+	if next, ok, err := tx.m.store.NextSiblingCtx(tx.ctx, id); err != nil {
 		return undoRecord{}, err
 	} else if ok {
 		rec.anchorNext = next
 		return rec, nil
 	}
-	if parent, ok, err := tx.m.store.Parent(id); err != nil {
+	if parent, ok, err := tx.m.store.ParentCtx(tx.ctx, id); err != nil {
 		return undoRecord{}, err
 	} else if ok {
 		rec.anchorParent = parent
@@ -540,7 +540,7 @@ func (tx *Tx) ReplaceNode(id core.NodeID, frag []core.Token) (core.NodeID, error
 	if err != nil {
 		return core.InvalidNode, err
 	}
-	first, err := tx.m.store.ReplaceNode(id, frag)
+	first, err := tx.m.store.ReplaceNodeCtx(tx.ctx, id, frag)
 	if err != nil {
 		return core.InvalidNode, err
 	}
@@ -576,6 +576,12 @@ func (tx *Tx) Abort() error {
 	defer tx.m.finish(tx.id)
 	defer tx.m.locks.ReleaseAll(tx.id)
 
+	// Rollback must run even when the store is overloaded or the
+	// transaction's own context has expired: shedding half an abort would
+	// leave partial effects that strict 2PL promised to undo. The critical
+	// context bypasses admission control and the operation timeout.
+	rctx := core.WithCritical(context.Background())
+
 	// Ids re-created during rollback get fresh values; remap chains old ids
 	// to their live replacements for earlier undo records.
 	remap := map[core.NodeID]core.NodeID{}
@@ -594,7 +600,7 @@ func (tx *Tx) Abort() error {
 		switch {
 		case rec.insertedTop != nil:
 			for _, id := range rec.insertedTop {
-				if err := tx.m.store.DeleteNode(resolve(id)); err != nil {
+				if err := tx.m.store.DeleteNodeCtx(rctx, resolve(id)); err != nil {
 					return fmt.Errorf("txn: rollback delete of %d: %w", id, err)
 				}
 			}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -111,6 +112,84 @@ func DropSegmentsAbove(dir string, lsn uint64) error {
 		}
 	}
 	return first
+}
+
+// SegmentInfo describes one archived segment file.
+type SegmentInfo struct {
+	LSN   uint64
+	Bytes int64
+	Name  string
+}
+
+// Segments lists the archived segments in dir, sorted by LSN ascending.
+// A missing directory reads as an empty archive. Non-segment files are
+// ignored.
+func Segments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []SegmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SegmentInfo{LSN: lsn, Bytes: info.Size(), Name: name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out, nil
+}
+
+// ArchiveUsage totals the archive directory: segment count and bytes on
+// disk. Operators watch this to see retention pressure before the disk
+// fills; it is surfaced through Store.Stats.
+func ArchiveUsage(dir string) (segments int, bytes int64, err error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range segs {
+		bytes += s.Bytes
+	}
+	return len(segs), bytes, nil
+}
+
+// PruneSegmentsBelow removes every archived segment with LSN strictly below
+// keepFrom, returning how many segments and bytes were reclaimed. Segments
+// at or above keepFrom are untouched. The caller is responsible for picking
+// a safe keepFrom — a base backup at LSN B needs the segments above B to
+// roll forward, so keepFrom must not exceed B+1 (the CLI's prune command
+// enforces this against backup sidecars). A missing directory is an empty
+// archive. Removal stops at the first error, reporting what was reclaimed
+// up to that point.
+func PruneSegmentsBelow(dir string, keepFrom uint64) (removed int, bytes int64, err error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range segs {
+		if s.LSN >= keepFrom {
+			break
+		}
+		if rerr := os.Remove(filepath.Join(dir, s.Name)); rerr != nil {
+			return removed, bytes, rerr
+		}
+		removed++
+		bytes += s.Bytes
+	}
+	return removed, bytes, nil
 }
 
 // PageImage is one page write recovered from a segment or log.

@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFakeSegment drops a segment file of n bytes for LSN into dir.
+// Retention only looks at names and sizes, so the contents are arbitrary.
+func writeFakeSegment(t *testing.T, dir string, lsn uint64, n int) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SegmentFileName(lsn)), make([]byte, n), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentsSortedAndFiltered pins the listing contract: ascending LSN
+// order, non-segment files ignored, missing directory = empty archive.
+func TestSegmentsSortedAndFiltered(t *testing.T) {
+	dir := t.TempDir()
+	writeFakeSegment(t, dir, 3, 30)
+	writeFakeSegment(t, dir, 1, 10)
+	writeFakeSegment(t, dir, 2, 20)
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("Segments = %d entries, want 3", len(segs))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if segs[i].LSN != want {
+			t.Fatalf("segs[%d].LSN = %d, want %d", i, segs[i].LSN, want)
+		}
+		if segs[i].Bytes != int64(want*10) {
+			t.Fatalf("segs[%d].Bytes = %d, want %d", i, segs[i].Bytes, want*10)
+		}
+	}
+
+	missing, err := Segments(filepath.Join(dir, "nope"))
+	if err != nil || missing != nil {
+		t.Fatalf("missing dir: got %v, %v; want nil, nil", missing, err)
+	}
+}
+
+// TestArchiveUsage pins the totals Stats surfaces to operators.
+func TestArchiveUsage(t *testing.T) {
+	dir := t.TempDir()
+	writeFakeSegment(t, dir, 1, 100)
+	writeFakeSegment(t, dir, 2, 250)
+
+	n, bytes, err := ArchiveUsage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || bytes != 350 {
+		t.Fatalf("ArchiveUsage = %d segments, %d bytes; want 2, 350", n, bytes)
+	}
+
+	n, bytes, err = ArchiveUsage(filepath.Join(dir, "nope"))
+	if err != nil || n != 0 || bytes != 0 {
+		t.Fatalf("missing dir: got %d, %d, %v; want 0, 0, nil", n, bytes, err)
+	}
+}
+
+// TestPruneSegmentsBelow pins the boundary: LSN < keepFrom is removed,
+// LSN == keepFrom survives. A backup at LSN B rolls forward from segments
+// > B, so keepFrom = B+1 keeps exactly what restore needs.
+func TestPruneSegmentsBelow(t *testing.T) {
+	dir := t.TempDir()
+	for lsn := uint64(1); lsn <= 5; lsn++ {
+		writeFakeSegment(t, dir, lsn, 10)
+	}
+
+	removed, bytes, err := PruneSegmentsBelow(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || bytes != 20 {
+		t.Fatalf("prune below 3: removed %d (%d bytes), want 2 (20)", removed, bytes)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || segs[0].LSN != 3 {
+		t.Fatalf("after prune: %v, want LSNs 3..5", segs)
+	}
+
+	// keepFrom 0 and 1 are no-ops: nothing is strictly below.
+	if removed, _, err := PruneSegmentsBelow(dir, 1); err != nil || removed != 0 {
+		t.Fatalf("prune below 1: removed %d, err %v; want 0, nil", removed, err)
+	}
+	if removed, _, err := PruneSegmentsBelow(filepath.Join(dir, "nope"), 99); err != nil || removed != 0 {
+		t.Fatalf("prune missing dir: removed %d, err %v; want 0, nil", removed, err)
+	}
+}

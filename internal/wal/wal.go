@@ -116,6 +116,7 @@ type Pager struct {
 	wal        File
 	pending    map[pagestore.PageID][]byte
 	order      []pagestore.PageID
+	undo       []PageImage // before-images of pages a failed apply overwrote
 	buf        []byte
 	retries    int
 	backoff    time.Duration
@@ -437,13 +438,23 @@ func (p *Pager) commitLocked() error {
 			return err
 		}
 	}
-	// Apply to the page file.
+	// Apply to the page file, capturing each page's before-image first.
+	// The apply order is the buffer pool's flush order — effectively
+	// arbitrary — so a mid-apply failure (disk full, say) leaves an
+	// unpredictable subset of the batch on disk. If the caller then
+	// abandons the batch (DiscardPending) instead of rolling it forward,
+	// these images are what restores the page file to its pre-batch state.
+	p.undo = p.undo[:0]
 	for _, id := range p.order {
 		img, ok := p.pending[id]
 		if !ok {
 			continue
 		}
 		id := id
+		old := make([]byte, p.inner.PageSize())
+		if rerr := p.inner.ReadPage(id, old); rerr == nil {
+			p.undo = append(p.undo, PageImage{ID: id, Data: old})
+		}
 		if err := p.retry(func() error { return p.inner.WritePage(id, img) }); err != nil {
 			return err
 		}
@@ -451,6 +462,7 @@ func (p *Pager) commitLocked() error {
 	if err := p.retry(p.inner.Sync); err != nil {
 		return err
 	}
+	p.undo = nil
 	// The batch is durably applied: from here on the commit is a fact,
 	// whatever happens to the log bookkeeping below. Advance the LSN and
 	// drop the pending set before truncating, so a truncate failure can
@@ -504,6 +516,19 @@ func (p *Pager) LSN() uint64 {
 func (p *Pager) DiscardPending() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// A commit that failed partway through its apply loop has overwritten
+	// some (order-dependent) subset of the batch's pages. Abandoning the
+	// batch means those pages must not keep their new images — a later
+	// salvage could resurrect half of a rejected batch. Write the captured
+	// before-images back, best-effort: if the disk is still failing, the
+	// subsequent salvage works from whatever is readable, as before.
+	if len(p.undo) > 0 {
+		for _, u := range p.undo {
+			_ = p.inner.WritePage(u.ID, u.Data)
+		}
+		_ = p.inner.Sync()
+		p.undo = nil
+	}
 	p.pending = make(map[pagestore.PageID][]byte)
 	p.order = p.order[:0]
 	p.buf = p.buf[:0]
@@ -520,6 +545,24 @@ func (p *Pager) DiscardPending() {
 // high-water mark and is stable across reopens — the property backup
 // sidecars rely on to use their LSN as a roll-forward point.
 func (p *Pager) Archiving() bool { return p.archiveDir != "" }
+
+// ArchiveDir returns the segment archive directory ("" when not archiving).
+func (p *Pager) ArchiveDir() string { return p.archiveDir }
+
+// ArchiveStats reports the archive directory's segment count and total
+// bytes on disk — retention pressure, surfaced by the store's Stats so
+// operators see growth before the disk fills. Zeros when archiving is off
+// or the directory cannot be read (stats must never fail an operation).
+func (p *Pager) ArchiveStats() (segments int, bytes int64) {
+	if p.archiveDir == "" {
+		return 0, 0
+	}
+	segments, bytes, err := ArchiveUsage(p.archiveDir)
+	if err != nil {
+		return 0, 0
+	}
+	return segments, bytes
+}
 
 // Close commits outstanding writes and closes both files. If the commit
 // fails, the pager still closes: pending pages are discarded and the log is

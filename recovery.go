@@ -3,6 +3,7 @@ package axml
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/pagestore"
@@ -156,6 +157,104 @@ func RestoreFile(base, dest string, archiveDir string, targetLSN uint64) (Restor
 		ArchiveDir: archiveDir,
 		TargetLSN:  targetLSN,
 	})
+}
+
+// PruneReport says what an archive prune did (or, on a dry run, would do).
+type PruneReport struct {
+	// BackupLSN is the newest roll-forward-capable backup sidecar LSN found
+	// — the proven restore base that makes older segments redundant.
+	BackupLSN uint64 `json:"backup_lsn"`
+	// KeepFrom is the effective cutoff: segments with LSN < KeepFrom are
+	// prunable, everything at or above stays.
+	KeepFrom uint64 `json:"keep_from"`
+	// Segments/Bytes count the prunable (dry run) or pruned (applied)
+	// segments.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Remaining counts the segments left in the archive after the prune.
+	Remaining int `json:"remaining"`
+	// Applied is false for a dry run.
+	Applied bool `json:"applied"`
+}
+
+// PruneArchive removes archived WAL segments that are no longer needed for
+// point-in-time restore, because a backup already contains them. backupsDir
+// is scanned for backup sidecars (*.meta); the newest roll-forward-capable
+// one (NoRollForward unset) anchors the cutoff: restore from that backup
+// replays segments LSN+1.., so segments up to and including its LSN are
+// redundant. Without such a sidecar PruneArchive refuses — pruning without
+// a proven restore base silently destroys history.
+//
+// requestedLSN, when non-zero, lowers the cutoff: only segments with
+// LSN < requestedLSN are pruned, and the cutoff never exceeds what the
+// newest backup makes safe. With apply false (the dry run) nothing is
+// removed and the report says what a prune would do.
+func PruneArchive(archiveDir, backupsDir string, requestedLSN uint64, apply bool) (PruneReport, error) {
+	var rep PruneReport
+	sidecars, err := filepathGlobMeta(backupsDir)
+	if err != nil {
+		return rep, err
+	}
+	found := false
+	for _, backupPath := range sidecars {
+		m, err := recov.ReadBackupMeta(backupPath)
+		if err != nil || m.NoRollForward {
+			continue // unreadable or non-roll-forward sidecars never raise the cutoff
+		}
+		found = true
+		if m.LSN > rep.BackupLSN {
+			rep.BackupLSN = m.LSN
+		}
+	}
+	if !found {
+		return rep, fmt.Errorf("prune: no roll-forward-capable backup sidecar (*.meta) in %s; refusing to prune without a restore base", backupsDir)
+	}
+	// Segments LSN+1.. are still needed to roll the newest backup forward;
+	// everything at or below its LSN is covered by the backup itself.
+	rep.KeepFrom = rep.BackupLSN + 1
+	if requestedLSN > 0 && requestedLSN < rep.KeepFrom {
+		rep.KeepFrom = requestedLSN
+	}
+	segs, err := wal.Segments(archiveDir)
+	if err != nil {
+		return rep, err
+	}
+	for _, sg := range segs {
+		if sg.LSN < rep.KeepFrom {
+			rep.Segments++
+			rep.Bytes += sg.Bytes
+		} else {
+			rep.Remaining++
+		}
+	}
+	if !apply {
+		return rep, nil
+	}
+	removed, bytes, err := wal.PruneSegmentsBelow(archiveDir, rep.KeepFrom)
+	rep.Segments = removed
+	rep.Bytes = bytes
+	rep.Applied = err == nil
+	return rep, err
+}
+
+// filepathGlobMeta lists backup files in dir that have a .meta sidecar,
+// returning the backup paths (sidecar path minus the suffix).
+func filepathGlobMeta(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("prune: backups dir: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if len(name) > len(".meta") && name[len(name)-len(".meta"):] == ".meta" {
+			out = append(out, filepath.Join(dir, name[:len(name)-len(".meta")]))
+		}
+	}
+	return out, nil
 }
 
 // VerifyFileReport is VerifyFile with a machine-readable result: the raw

@@ -24,10 +24,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover)"
-go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover
+echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget)"
+go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget
 
-echo "== go test -race (root-package reader/writer stress)"
-go test -race -run 'Stress|Concurrent' .
+echo "== go test -race (root-package stress, chaos soak, overload paths)"
+go test -race -run 'Stress|Concurrent|Chaos|Overload|Deadline' .
 
 echo "ok: all checks passed"
