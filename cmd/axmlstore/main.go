@@ -48,6 +48,10 @@ func main() {
 		shared   = flag.Bool("shared", false, "backup: copy under a shared lock, coexisting with readers")
 		archive  = flag.String("archive", "", "WAL segment archive directory (journals mutating commands; enables point-in-time restore)")
 		lsn      = flag.Uint64("lsn", 0, "restore: target commit LSN (0 = newest archived)")
+		source   = flag.String("source", "", "replica: source segment archive directory to tail")
+		base     = flag.String("base", "", "replica: roll-forward-capable backup to bootstrap a new follower from")
+		follow   = flag.Bool("follow", false, "replica: keep tailing the source until interrupted (default is one catch-up pass)")
+		interval = flag.Duration("interval", time.Second, "replica: poll interval with -follow")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -60,6 +64,7 @@ func main() {
 		timeout: *timeout, readOnly: *readonly,
 		apply: *apply, jsonOut: *jsonOut, shared: *shared,
 		archive: *archive, lsn: *lsn,
+		source: *source, base: *base, follow: *follow, interval: *interval,
 	}
 	if err := runOpts(*db, *mode, opts, args); err != nil {
 		fmt.Fprintln(os.Stderr, "axmlstore:", err)
@@ -122,11 +127,19 @@ commands:
                                the newest backup in backupsDir (dry run by
                                default; -apply removes; -lsn lowers the
                                cutoff; requires -archive)
+  replica                      catch a read replica up with its source's
+                               segment archive (-source dir; first run needs
+                               -base backup to bootstrap; -follow tails until
+                               interrupted at -interval; -json for position)
+  promote                      end the replica role and open the store
+                               read-write, fencing the old generation
   dump                         print the whole store as XML
   stats                        print store statistics (-json for machine use)
 
 With -archive, mutating commands run write-ahead logged and every commit is
 archived as a numbered segment — the raw material of point-in-time restore.
+A replica bootstrapped from a roll-forward backup tails that archive and can
+be promoted on failover; see the README ops runbook.
 `)
 }
 
@@ -151,6 +164,10 @@ type cliOpts struct {
 	shared   bool
 	archive  string
 	lsn      uint64
+	source   string
+	base     string
+	follow   bool
+	interval time.Duration
 	out      io.Writer // defaults to os.Stdout; tests capture it
 }
 
@@ -267,6 +284,18 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 			return exitWith(2, fmt.Errorf("prune needs a backups directory"))
 		}
 		return cmdPrune(args[1], opts)
+	}
+	if cmd == "replica" {
+		if len(args) != 1 {
+			return exitWith(2, fmt.Errorf("replica takes no arguments (use -db, -source, -base)"))
+		}
+		return cmdReplica(ctx, db, cfg, opts)
+	}
+	if cmd == "promote" {
+		if len(args) != 1 {
+			return exitWith(2, fmt.Errorf("promote takes no arguments (use -db)"))
+		}
+		return cmdPromote(db, cfg, opts)
 	}
 
 	var s *axml.Store
@@ -442,7 +471,8 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		fmt.Fprintf(w, "memory budget: limit %d, used %d (pool %d, partial %d, checkpoints %d), evictions %d\n",
 			st.Memory.Limit, st.Memory.Used, st.Memory.PoolBytes,
 			st.Memory.PartialBytes, st.Memory.CheckpointBytes, st.Memory.Evictions)
-		fmt.Fprintf(w, "archive: %d segment(s), %d bytes\n", st.ArchiveSegments, st.ArchiveBytes)
+		fmt.Fprintf(w, "archive: %d segment(s), %d bytes, high-water LSN %d\n",
+			st.ArchiveSegments, st.ArchiveBytes, st.ArchiveLSN)
 		return nil
 	default:
 		usage()

@@ -1,0 +1,135 @@
+package main
+
+// Replica subcommands: run a read follower off a source segment archive,
+// and promote it to a read-write store on failover.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	axml "repro"
+)
+
+// cmdReplica catches the follower at db up with the segment archive at
+// -source. The first run bootstraps the store file from -base (a
+// roll-forward-capable backup); later runs resume the durable position.
+// By default it runs one catch-up pass and reports; with -follow it tails
+// the source at -interval until interrupted (SIGINT/SIGTERM), printing the
+// position on each change. Exit codes: 0 caught up (or follow interrupted
+// cleanly), 1 stalled or failing, 2 misuse.
+func cmdReplica(ctx context.Context, db string, cfg axml.Config, opts cliOpts) error {
+	if opts.source == "" {
+		return exitWith(2, fmt.Errorf("replica: -source is required (the source store's segment archive)"))
+	}
+	tr := axml.NewDirTransport(opts.source, axml.DirTransportOptions{})
+	rep, err := axml.OpenReplica(db, tr, axml.ReplicaOptions{
+		Store:        cfg,
+		Base:         opts.base,
+		ArchiveDir:   opts.archive,
+		PollInterval: opts.interval,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, axml.ErrNoRollForwardBase):
+			return exitWith(2, fmt.Errorf("replica: %w", err))
+		case errors.Is(err, axml.ErrNotBootstrapped):
+			return exitWith(2, fmt.Errorf("replica: %w (pass -base <backup> on first run)", err))
+		case errors.Is(err, axml.ErrReplicaPromoted):
+			return exitWith(2, fmt.Errorf("replica: %w", err))
+		}
+		return openErr(db, err)
+	}
+	defer rep.Close()
+
+	out := opts.stdout()
+	report := func() error {
+		st := rep.Stats()
+		if opts.jsonOut {
+			return printJSON(out, st)
+		}
+		fmt.Fprintf(out, "replica: applied LSN %d (base %d, source %d), lag %d segment(s) / %d bytes, staleness %v\n",
+			st.AppliedLSN, st.BaseLSN, st.SourceLSN, st.LagSegments, st.LagBytes,
+			st.Staleness.Round(time.Millisecond))
+		if st.Stalled {
+			fmt.Fprintf(out, "replica: STALLED: %s\n", st.StallCause)
+		}
+		return nil
+	}
+
+	if !opts.follow {
+		cerr := rep.CatchUp(ctx)
+		if rerr := report(); rerr != nil {
+			return rerr
+		}
+		if cerr != nil {
+			return exitWith(1, cerr)
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	t := time.NewTicker(opts.interval)
+	defer t.Stop()
+	var last axml.ReplicaStats
+	for {
+		_ = rep.CatchUp(ctx)
+		st := rep.Stats()
+		if st.AppliedLSN != last.AppliedLSN || st.Stalled != last.Stalled || st.LastError != last.LastError {
+			if rerr := report(); rerr != nil {
+				return rerr
+			}
+		}
+		last = st
+		select {
+		case <-ctx.Done():
+			if rerr := report(); rerr != nil {
+				return rerr
+			}
+			if st.Stalled {
+				return exitWith(1, fmt.Errorf("replica: stalled: %s", st.StallCause))
+			}
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// cmdPromote fences the replica at db and reopens it read-write, printing
+// the LSN the new primary starts from. The old source must stop shipping
+// first (or its later segments will simply be refused — the fence is
+// durable), and clients should be repointed at this store.
+func cmdPromote(db string, cfg axml.Config, opts cliOpts) error {
+	rep, err := axml.OpenReplica(db, nil, axml.ReplicaOptions{
+		Store:      cfg,
+		ArchiveDir: opts.archive,
+	})
+	if err != nil {
+		if errors.Is(err, axml.ErrReplicaPromoted) {
+			return exitWith(2, fmt.Errorf("promote: %w", err))
+		}
+		if errors.Is(err, axml.ErrNotBootstrapped) {
+			return exitWith(2, fmt.Errorf("promote: %w (only a replica can be promoted)", err))
+		}
+		return openErr(db, err)
+	}
+	s, err := rep.Promote()
+	if err != nil {
+		rep.Close()
+		return fmt.Errorf("promote: %w", err)
+	}
+	archiveDir := opts.archive
+	if archiveDir == "" {
+		archiveDir = db + ".archive"
+	}
+	st := s.Stats()
+	cerr := s.Close()
+	fmt.Fprintf(opts.stdout(), "promoted: %s is read-write at LSN %d (%d nodes, %d ranges); archive continues in %s\n",
+		db, st.ArchiveLSN, st.Nodes, st.Ranges, archiveDir)
+	return cerr
+}

@@ -1,0 +1,150 @@
+package main
+
+// The replica/promote subcommands end to end: bootstrap from a backup,
+// catch-up and position reporting, NoRollForward refusal, promotion, and
+// the promoted store refusing to follow again.
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	axml "repro"
+)
+
+// archivedStore loads a store with a segment archive and a few commits,
+// returning (db, archiveDir, a value query that tracks mutations).
+func archivedStore(t *testing.T) (string, string) {
+	t.Helper()
+	db, xmlPath := writeDoc(t)
+	arch := db + "-segments"
+	opts := cliOpts{archive: arch}
+	if err := runOpts(db, "partial", opts, []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOpts(db, "partial", opts, []string{"insert-last", "1", `<order id="3"><item>washer</item></order>`}); err != nil {
+		t.Fatal(err)
+	}
+	return db, arch
+}
+
+func TestCLIReplicaAndPromote(t *testing.T) {
+	db, arch := archivedStore(t)
+	dir := filepath.Dir(db)
+
+	// Roll-forward backup, then more primary history for the follower to
+	// catch.
+	base := filepath.Join(dir, "base.bak")
+	if err := runOpts(db, "partial", cliOpts{archive: arch}, []string{"backup", base}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOpts(db, "partial", cliOpts{archive: arch}, []string{"insert-last", "1", `<order id="4"><item>screw</item></order>`}); err != nil {
+		t.Fatal(err)
+	}
+	var wantCount bytes.Buffer
+	if err := runOpts(db, "partial", cliOpts{out: &wantCount}, []string{"value", `count(//order)`}); err != nil {
+		t.Fatal(err)
+	}
+
+	// replica without -source is misuse.
+	follower := filepath.Join(dir, "follower.db")
+	if got := exitCode(runOpts(follower, "partial", cliOpts{}, []string{"replica"})); got != 2 {
+		t.Fatalf("replica without -source: exit %d, want 2", got)
+	}
+	// First catch-up bootstraps from -base and reports position as JSON.
+	var out bytes.Buffer
+	if err := runOpts(follower, "partial", cliOpts{source: arch, base: base, jsonOut: true, out: &out}, []string{"replica"}); err != nil {
+		t.Fatal(err)
+	}
+	var st axml.ReplicaStats
+	if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+		t.Fatalf("replica -json output: %v\n%s", err, out.String())
+	}
+	if st.AppliedLSN == 0 || st.AppliedLSN != st.SourceLSN || st.LagSegments != 0 {
+		t.Fatalf("follower not caught up: %+v", st)
+	}
+
+	// A later run resumes from the sidecar without -base.
+	out.Reset()
+	if err := runOpts(follower, "partial", cliOpts{source: arch, out: &out}, []string{"replica"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lag 0 segment(s)") {
+		t.Fatalf("replica text report: %s", out.String())
+	}
+
+	// Promote, then verify the promoted store serves and accepts writes.
+	out.Reset()
+	if err := runOpts(follower, "partial", cliOpts{out: &out}, []string{"promote"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "read-write at LSN") {
+		t.Fatalf("promote report: %s", out.String())
+	}
+	var gotCount bytes.Buffer
+	farch := follower + ".archive"
+	if err := runOpts(follower, "partial", cliOpts{archive: farch, out: &gotCount}, []string{"value", `count(//order)`}); err != nil {
+		t.Fatal(err)
+	}
+	if gotCount.String() != wantCount.String() {
+		t.Fatalf("promoted document count = %q, want %q", gotCount.String(), wantCount.String())
+	}
+	if err := runOpts(follower, "partial", cliOpts{archive: farch}, []string{"insert-last", "1", `<order id="5"/>`}); err != nil {
+		t.Fatalf("write on promoted store: %v", err)
+	}
+
+	// The promoted store refuses both roles' replica entry points.
+	if got := exitCode(runOpts(follower, "partial", cliOpts{source: arch}, []string{"replica"})); got != 2 {
+		t.Fatalf("replica on a promoted store: exit %d, want 2", got)
+	}
+	if got := exitCode(runOpts(follower, "partial", cliOpts{}, []string{"promote"})); got != 2 {
+		t.Fatalf("second promote: exit %d, want 2", got)
+	}
+}
+
+func TestCLIReplicaRefusesNoRollForwardBase(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Backup WITHOUT -archive: frozen snapshot, not a roll-forward base.
+	base := db + ".bak"
+	if err := run(db, "partial", []string{"backup", base}); err != nil {
+		t.Fatal(err)
+	}
+	follower := filepath.Join(filepath.Dir(db), "follower.db")
+	err := runOpts(follower, "partial", cliOpts{source: db + "-none", base: base}, []string{"replica"})
+	if got := exitCode(err); got != 2 {
+		t.Fatalf("replica from a NoRollForward base: exit %d, want 2 (%v)", got, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "NoRollForward") {
+		t.Fatalf("refusal does not explain the cause: %v", err)
+	}
+}
+
+func TestCLIStatsReportsArchiveLSN(t *testing.T) {
+	db, arch := archivedStore(t)
+	var out bytes.Buffer
+	if err := runOpts(db, "partial", cliOpts{archive: arch, out: &out}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "high-water LSN") {
+		t.Fatalf("stats text lacks the archive high-water LSN:\n%s", out.String())
+	}
+	out.Reset()
+	if err := runOpts(db, "partial", cliOpts{archive: arch, jsonOut: true, out: &out}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ArchiveLSN      uint64 `json:"ArchiveLSN"`
+		ArchiveSegments int    `json:"ArchiveSegments"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ArchiveLSN == 0 || rep.ArchiveSegments == 0 {
+		t.Fatalf("stats -json archive fields not populated: %+v", rep)
+	}
+}

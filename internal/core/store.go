@@ -434,6 +434,12 @@ func (s *Store) Stats() Stats {
 	if as, ok := s.pool.Pager().(interface{ ArchiveStats() (int, int64) }); ok {
 		st.ArchiveSegments, st.ArchiveBytes = as.ArchiveStats()
 	}
+	if hw, ok := s.pool.Pager().(interface {
+		Archiving() bool
+		LSN() uint64
+	}); ok && hw.Archiving() {
+		st.ArchiveLSN = hw.LSN()
+	}
 	return st
 }
 

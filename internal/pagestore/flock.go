@@ -1,0 +1,15 @@
+package pagestore
+
+import "os"
+
+// FlockFile takes the store's advisory lock on an already-open file handle:
+// exclusive for a writer, shared for readers. It exists for subsystems that
+// manage a raw store-file handle outside a FilePager — the replication
+// follower writes shipped page images with plain WriteAt but must still
+// exclude every other opener of the file (a concurrent FilePager would
+// destroy the apply discipline). A conflicting holder in another process
+// yields ErrStoreLocked immediately; the lock is released by closing f. On
+// platforms without flock semantics this is a no-op, matching FilePager.
+func FlockFile(f *os.File, exclusive bool) error {
+	return flockFile(f, exclusive)
+}

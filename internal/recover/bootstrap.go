@@ -1,0 +1,42 @@
+package recover
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wal"
+)
+
+// ErrNoRollForwardBase is returned when a backup marked NoRollForward is
+// offered as the base of something that must roll forward — a replication
+// follower, most of all. Such a backup restores fine as a frozen snapshot,
+// but its sidecar LSN may undercount the commits already in the page
+// image, so segments applied on top of it could double-apply a commit or
+// silently skip one. A follower seeded from it would serve a document that
+// never matches any LSN it claims — exactly the "stale but never wrong"
+// contract a replica must keep — so the bootstrap is refused outright with
+// this typed error instead of quietly producing a frozen, unfollowable
+// snapshot.
+var ErrNoRollForwardBase = errors.New("recover: backup was taken without the store's segment archive (NoRollForward); its LSN is not a roll-forward point and it cannot seed a replica")
+
+// Bootstrap materializes the base backup at basePath as a replication
+// follower's store file at destPath and returns the backup's sidecar meta;
+// the follower starts applying archived segments at meta.LSN+1. The page
+// image is laid down exactly like a plain restore (checksum-verified,
+// staged and atomically renamed — destPath must not exist), but unlike
+// Restore, a NoRollForward base is refused with ErrNoRollForwardBase: a
+// follower exists to roll forward, and a base without a trustworthy LSN
+// cannot anchor that.
+func Bootstrap(basePath, destPath string, wrapFile func(wal.File) wal.File) (BackupMeta, error) {
+	meta, err := ReadBackupMeta(basePath)
+	if err != nil {
+		return meta, fmt.Errorf("recover: bootstrap: %w", err)
+	}
+	if meta.NoRollForward {
+		return meta, fmt.Errorf("%w (backup %s, recorded LSN %d; take the backup with the archive configured)", ErrNoRollForwardBase, basePath, meta.LSN)
+	}
+	if _, err := Restore(basePath, destPath, RestoreOptions{WrapFile: wrapFile}); err != nil {
+		return meta, err
+	}
+	return meta, nil
+}

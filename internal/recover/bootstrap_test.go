@@ -1,0 +1,112 @@
+// Replica bootstrap: a roll-forward-capable backup seeds a follower; a
+// NoRollForward backup is refused with the typed error instead of quietly
+// producing an unfollowable snapshot.
+package recover_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	axml "repro"
+	"repro/internal/core"
+	recov "repro/internal/recover"
+	"repro/internal/wal"
+)
+
+// buildArchivedStore creates a store with a segment archive, loads a small
+// document, and returns (db path, archive dir, final LSN).
+func buildArchivedStore(t *testing.T, dir string) (string, string, uint64) {
+	t.Helper()
+	db := filepath.Join(dir, "primary.db")
+	arch := filepath.Join(dir, "segments")
+	wp, err := wal.OpenWithOptions(db, pgSize, wal.Options{ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	cfg.Pager = wp
+	s, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := axml.LoadXMLString(s, `<doc><a/><b/></doc>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close commits once more (the final meta flush), so the archive's
+	// high-water mark is the authoritative final LSN.
+	lsn, err := wal.MaxArchivedLSN(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, arch, lsn
+}
+
+// TestBootstrapRefusesNoRollForwardBase pins the satellite contract: a
+// backup taken without the archive cannot seed a replica, and the refusal
+// is the typed ErrNoRollForwardBase (so callers can route it to "take the
+// backup with -archive" advice) with no destination debris left behind.
+func TestBootstrapRefusesNoRollForwardBase(t *testing.T) {
+	dir := t.TempDir()
+	db, _, _ := buildArchivedStore(t, dir)
+
+	// Backup WITHOUT the archive: sidecar is marked NoRollForward.
+	backup := filepath.Join(dir, "frozen.bak")
+	meta, err := recov.BackupFile(db, backup, recov.BackupOptions{PageSize: pgSize, MetaPage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.NoRollForward {
+		t.Fatal("backup without an archive should be marked NoRollForward")
+	}
+
+	dest := filepath.Join(dir, "follower.db")
+	if _, err := recov.Bootstrap(backup, dest, nil); !errors.Is(err, recov.ErrNoRollForwardBase) {
+		t.Fatalf("Bootstrap from a NoRollForward base: err = %v, want ErrNoRollForwardBase", err)
+	}
+	if _, serr := os.Stat(dest); !os.IsNotExist(serr) {
+		t.Error("refused bootstrap left a destination file behind")
+	}
+}
+
+// TestBootstrapFromRollForwardBase pins the happy path: the follower store
+// file materializes at the backup's LSN and opens clean.
+func TestBootstrapFromRollForwardBase(t *testing.T) {
+	dir := t.TempDir()
+	db, arch, lsn := buildArchivedStore(t, dir)
+
+	backup := filepath.Join(dir, "base.bak")
+	meta, err := recov.BackupFile(db, backup, recov.BackupOptions{PageSize: pgSize, MetaPage: 1, ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NoRollForward {
+		t.Fatal("archived backup should be a roll-forward base")
+	}
+	if meta.LSN != lsn {
+		t.Fatalf("backup LSN = %d, want %d", meta.LSN, lsn)
+	}
+
+	dest := filepath.Join(dir, "follower.db")
+	got, err := recov.Bootstrap(backup, dest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != lsn || got.PageSize != pgSize {
+		t.Fatalf("Bootstrap meta = LSN %d pageSize %d, want %d/%d", got.LSN, got.PageSize, lsn, pgSize)
+	}
+	if want, gotXML := xmlOf(t, db), xmlOf(t, dest); gotXML != want {
+		t.Error("bootstrapped follower differs from the source document")
+	}
+	// Bootstrap never overwrites: the destination now exists.
+	if _, err := recov.Bootstrap(backup, dest, nil); err == nil {
+		t.Error("Bootstrap overwrote an existing destination")
+	}
+}

@@ -1,0 +1,131 @@
+package replica
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Transport delivers archived commit segments from a source store to a
+// follower. The follower drives it by polling: list what the source offers
+// beyond the applied LSN, then fetch segments one by one. Implementations
+// must be safe to call from the follower's tail loop; they need not be
+// safe for concurrent use by several followers.
+//
+// The directory transport below covers the standalone case (a shared or
+// mirrored filesystem); a network transport for the future server layer
+// implements the same three calls over a wire protocol.
+type Transport interface {
+	// Segments lists the segments the source offers with LSN strictly
+	// greater than after, sorted ascending with no duplicates (the
+	// wal.Segments guarantee). The listing may have gaps — the follower
+	// decides whether a gap means "not shipped yet" or "pruned away".
+	Segments(after uint64) ([]wal.SegmentInfo, error)
+	// Fetch returns the raw bytes of the segment at lsn. The bytes are
+	// validated by the follower (wal.ParseSegment plus per-page checksums);
+	// a transport may therefore return short or torn reads under
+	// concurrent shipping and rely on the follower's retry.
+	Fetch(lsn uint64) ([]byte, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// DirTransportOptions tunes a directory transport.
+type DirTransportOptions struct {
+	// WrapFile, when set, wraps each segment file opened for fetching
+	// (fault injection: torn reads, transient errors, latency).
+	WrapFile func(wal.File) wal.File
+	// Retries bounds how often a transient (Temporary()) read error is
+	// retried per fetch. 0 means the default (5); negative disables.
+	Retries int
+	// Backoff is the initial retry backoff, doubled per attempt.
+	// 0 means the default (2ms).
+	Backoff time.Duration
+}
+
+const (
+	defaultFetchRetries = 5
+	defaultFetchBackoff = 2 * time.Millisecond
+)
+
+// DirTransport tails a WAL segment archive directory — the primary's own
+// archive on a shared filesystem, or a mirror of it. All reads go through
+// the wrappable file layer so the fault injector can exercise torn and
+// short segment reads exactly as it does the WAL's.
+type DirTransport struct {
+	dir     string
+	wrap    func(wal.File) wal.File
+	retries int
+	backoff time.Duration
+}
+
+// NewDirTransport returns a transport polling the segment archive at dir.
+func NewDirTransport(dir string, opt DirTransportOptions) *DirTransport {
+	retries := opt.Retries
+	switch {
+	case retries == 0:
+		retries = defaultFetchRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := opt.Backoff
+	if backoff <= 0 {
+		backoff = defaultFetchBackoff
+	}
+	return &DirTransport{dir: dir, wrap: opt.WrapFile, retries: retries, backoff: backoff}
+}
+
+// Segments implements Transport over wal.SegmentsAfter.
+func (t *DirTransport) Segments(after uint64) ([]wal.SegmentInfo, error) {
+	return wal.SegmentsAfter(t.dir, after)
+}
+
+// Fetch reads one segment file whole. Transient errors (the Temporary()
+// idiom the fault injector and real devices both speak) are retried with
+// bounded exponential backoff; a disk that stays broken surfaces the last
+// error to the follower, which decides between "try again next poll" and
+// a stall.
+func (t *DirTransport) Fetch(lsn uint64) ([]byte, error) {
+	path := filepath.Join(t.dir, wal.SegmentFileName(lsn))
+	var data []byte
+	op := func() error {
+		raw, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer raw.Close()
+		var f io.Reader = raw
+		if t.wrap != nil {
+			f = t.wrap(raw)
+		}
+		data, err = io.ReadAll(f)
+		return err
+	}
+	err := op()
+	backoff := t.backoff
+	for attempt := 0; err != nil && attempt < t.retries; attempt++ {
+		var te interface{ Temporary() bool }
+		if !errors.As(err, &te) || !te.Temporary() {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		err = op()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Close implements Transport; a directory needs no teardown.
+func (t *DirTransport) Close() error { return nil }
+
+// missingSegment reports whether a fetch error means the segment file does
+// not exist at the source (pruned or never shipped), as opposed to failing
+// to read.
+func missingSegment(err error) bool { return err != nil && os.IsNotExist(err) }

@@ -54,9 +54,16 @@ func MaxArchivedLSN(dir string) (uint64, error) {
 	return max, nil
 }
 
-// writeSegment durably writes one batch's log bytes as segment `lsn`,
+// WriteSegment durably writes one batch's log bytes as segment `lsn`,
 // creating the directory if needed. Rewriting an existing segment is fine:
 // recovery re-archives replayed batches, and the bytes are identical.
+// Besides the commit path, replication followers use it to keep a local
+// copy of every segment they apply, so a promoted follower owns its whole
+// point-in-time history.
+func WriteSegment(dir string, lsn uint64, batch []byte, wrap func(File) File) error {
+	return writeSegment(dir, lsn, batch, wrap)
+}
+
 func writeSegment(dir string, lsn uint64, batch []byte, wrap func(File) File) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -121,9 +128,19 @@ type SegmentInfo struct {
 	Name  string
 }
 
-// Segments lists the archived segments in dir, sorted by LSN ascending.
-// A missing directory reads as an empty archive. Non-segment files are
-// ignored.
+// Segments lists the archived segments in dir. A missing directory reads
+// as an empty archive. Non-segment files are ignored.
+//
+// The result is guaranteed strictly ordered: sorted by LSN ascending with
+// no duplicates, whatever order the filesystem returned the directory
+// entries in — tailing consumers (replication followers, restore) rely on
+// out[i].LSN < out[i+1].LSN to apply segments in commit order. Two
+// differently-named files parsing to the same LSN (a hand-renamed
+// "1.seg" next to the canonical zero-padded name, say) make the archive
+// ambiguous — which bytes are commit 1? — so Segments fails instead of
+// letting a consumer pick one arbitrarily. Ordering says nothing about
+// contiguity: use Contiguous to clip a listing to the gap-free run a
+// tailing consumer may safely apply.
 func Segments(dir string) ([]SegmentInfo, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -149,7 +166,43 @@ func Segments(dir string) ([]SegmentInfo, error) {
 		out = append(out, SegmentInfo{LSN: lsn, Bytes: info.Size(), Name: name})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	for i := 1; i < len(out); i++ {
+		if out[i].LSN == out[i-1].LSN {
+			return nil, fmt.Errorf("wal: archive %s: segments %s and %s both claim LSN %d",
+				dir, out[i-1].Name, out[i].Name, out[i].LSN)
+		}
+	}
 	return out, nil
+}
+
+// SegmentsAfter lists the archived segments with LSN strictly greater than
+// after, sorted ascending — the poll primitive of the segment-watch API a
+// replication follower tails the archive with. The same ordering and
+// no-duplicate guarantees as Segments apply.
+func SegmentsAfter(dir string, after uint64) ([]SegmentInfo, error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].LSN > after })
+	return segs[i:], nil
+}
+
+// Contiguous clips a sorted segment listing to the longest prefix forming
+// the gap-free run after+1, after+2, ... — the segments a tailing consumer
+// may apply in order without skipping a commit. An empty result with a
+// non-empty input means the next needed segment (after+1) is not present:
+// either it has not been archived yet, or it was pruned and the consumer
+// has fallen off the retained history.
+func Contiguous(segs []SegmentInfo, after uint64) []SegmentInfo {
+	next := after + 1
+	for i, s := range segs {
+		if s.LSN != next {
+			return segs[:i]
+		}
+		next++
+	}
+	return segs
 }
 
 // ArchiveUsage totals the archive directory: segment count and bytes on
@@ -198,34 +251,43 @@ type PageImage struct {
 	Data []byte
 }
 
-// ReadSegment parses one archived segment: its page images and the commit
-// LSN it carries. A torn, truncated or multi-batch segment is an error —
-// segments are written whole and fsynced, so damage means the archive
-// cannot be trusted for restore.
+// ReadSegment parses one archived segment file: its page images and the
+// commit LSN it carries. A torn, truncated or multi-batch segment is an
+// error — segments are written whole and fsynced, so damage means the
+// archive cannot be trusted for restore.
 func ReadSegment(path string, pageSize int) ([]PageImage, uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
+	return ParseSegment(filepath.Base(path), data, pageSize)
+}
+
+// ParseSegment validates raw segment bytes (as fetched by a replication
+// transport, which may not have a local file to point ReadSegment at) and
+// returns the page images and commit LSN. name labels errors. Every record
+// CRC is checked and exactly one complete batch must be present; a short
+// or torn fetch therefore fails here rather than applying half a commit.
+func ParseSegment(name string, data []byte, pageSize int) ([]PageImage, uint64, error) {
 	var pages []PageImage
 	pos := 0
 	for pos < len(data) {
 		typ, id, payload, next, ok := readRecord(data, pos)
 		if !ok {
-			return nil, 0, fmt.Errorf("wal: segment %s: torn record at offset %d", filepath.Base(path), pos)
+			return nil, 0, fmt.Errorf("wal: segment %s: torn record at offset %d", name, pos)
 		}
 		switch typ {
 		case recPage:
 			if len(payload) != pageSize {
-				return nil, 0, fmt.Errorf("wal: segment %s: page image of %d bytes, page size %d", filepath.Base(path), len(payload), pageSize)
+				return nil, 0, fmt.Errorf("wal: segment %s: page image of %d bytes, page size %d", name, len(payload), pageSize)
 			}
 			pages = append(pages, PageImage{ID: pagestore.PageID(id), Data: payload})
 		case recCommit:
 			if int(id) != len(pages) {
-				return nil, 0, fmt.Errorf("wal: segment %s: commit names %d pages, segment has %d", filepath.Base(path), id, len(pages))
+				return nil, 0, fmt.Errorf("wal: segment %s: commit names %d pages, segment has %d", name, id, len(pages))
 			}
 			if next != len(data) {
-				return nil, 0, fmt.Errorf("wal: segment %s: %d trailing bytes after commit", filepath.Base(path), len(data)-next)
+				return nil, 0, fmt.Errorf("wal: segment %s: %d trailing bytes after commit", name, len(data)-next)
 			}
 			var lsn uint64
 			if len(payload) == 8 {
@@ -233,11 +295,11 @@ func ReadSegment(path string, pageSize int) ([]PageImage, uint64, error) {
 			}
 			return pages, lsn, nil
 		default:
-			return nil, 0, fmt.Errorf("wal: segment %s: unknown record type %d", filepath.Base(path), typ)
+			return nil, 0, fmt.Errorf("wal: segment %s: unknown record type %d", name, typ)
 		}
 		pos = next
 	}
-	return nil, 0, fmt.Errorf("wal: segment %s: no commit record", filepath.Base(path))
+	return nil, 0, fmt.Errorf("wal: segment %s: no commit record", name)
 }
 
 // ParseLog scans raw sidecar-log bytes and overlays the page images of

@@ -94,6 +94,14 @@ type Options struct {
 	ArchiveDir string
 	// WrapSegment, when set, wraps archive segment files (fault injection).
 	WrapSegment func(File) File
+	// MinLSN floors the commit counter: the first commit of this pager gets
+	// at least MinLSN+1, even when recovery and the archive high-water mark
+	// say less. A promoted replica uses it — its page image already
+	// contains every commit up to the applied LSN, but its local archive
+	// may hold fewer segments (or none, right after bootstrap), and letting
+	// the counter restart below the applied point would reuse LSNs the
+	// history has already assigned.
+	MinLSN uint64
 	// Retries bounds how often a transient commit-path error is retried.
 	// 0 means the default (3); negative disables retrying.
 	Retries int
@@ -148,6 +156,9 @@ func OpenWithOptions(path string, pageSize int, opt Options) (*Pager, error) {
 		if archived > lsn {
 			lsn = archived
 		}
+	}
+	if opt.MinLSN > lsn {
+		lsn = opt.MinLSN
 	}
 	fp, err := pagestore.OpenFilePager(path, pageSize)
 	if err != nil {

@@ -1,0 +1,57 @@
+package axml
+
+// Read replication via WAL-segment shipping. A follower bootstraps from a
+// roll-forward-capable backup (BackupStoreFile with an archive configured)
+// and tails the source's segment archive through a ReplicaTransport,
+// serving bounded-staleness reads and promotable to a read-write store.
+// See internal/replica for the apply protocol and crash-safety argument.
+
+import (
+	recov "repro/internal/recover"
+	"repro/internal/replica"
+)
+
+type (
+	// Replica is a read follower of one store fed by WAL-segment shipping.
+	Replica = replica.Follower
+	// ReplicaOptions tunes a follower (serving-store config, bootstrap
+	// base, local archive, poll interval, fetch retries).
+	ReplicaOptions = replica.Options
+	// ReplicaStats snapshots replication position: applied LSN, lag in
+	// segments and bytes, staleness, stall state.
+	ReplicaStats = replica.Stats
+	// ReplicaReadOptions gates a follower read on replication position
+	// (MinLSN for read-your-writes, MaxStaleness for a freshness bound).
+	ReplicaReadOptions = replica.ReadOptions
+	// ReplicaTransport delivers archived segments from source to follower.
+	ReplicaTransport = replica.Transport
+	// DirTransportOptions tunes a directory transport.
+	DirTransportOptions = replica.DirTransportOptions
+)
+
+// Replica error conditions, for errors.Is.
+var (
+	ErrReplicaStalled    = replica.ErrReplicaStalled
+	ErrTooStale          = replica.ErrTooStale
+	ErrReplicaPromoted   = replica.ErrPromoted
+	ErrNotBootstrapped   = replica.ErrNotBootstrapped
+	ErrNoRollForwardBase = recov.ErrNoRollForwardBase
+)
+
+// NewDirTransport returns a transport tailing the WAL segment archive at
+// dir — the source store's archive directory on a shared or mirrored
+// filesystem.
+func NewDirTransport(dir string, opt DirTransportOptions) ReplicaTransport {
+	return replica.NewDirTransport(dir, opt)
+}
+
+// OpenReplica attaches a follower to the store file at path. On first open
+// (no replica sidecar yet) the store is bootstrapped from opt.Base, which
+// must be a roll-forward-capable backup (ErrNoRollForwardBase otherwise);
+// afterwards the durable position is resumed and any locally archived
+// segments beyond it are replayed, so a follower killed mid-apply restarts
+// to a consistent LSN. Call CatchUp (or Start for a poll loop) to tail the
+// source, Read to serve position-gated reads, and Promote to fail over.
+func OpenReplica(path string, tr ReplicaTransport, opt ReplicaOptions) (*Replica, error) {
+	return replica.Open(path, tr, opt)
+}
