@@ -1,0 +1,249 @@
+// Command axmlserved serves one adaptive XML store (or one read replica)
+// over the wire protocol, with an optional HTTP facade for probes, stats
+// and read-only queries.
+//
+// Primary, write-ahead logged and archived:
+//
+//	axmlserved -db store.db -archive segs -addr :7040 -http :7041
+//
+// Read replica tailing a primary's archive, bootstrapped from a
+// roll-forward backup on first start:
+//
+//	axmlserved -db replica.db -source segs -base base.bak -addr :7050
+//
+// Tenants gate admission per auth token ("token=name:maxops[:maxqueue]",
+// comma-separated; omit -tenants to serve unauthenticated):
+//
+//	axmlserved -db store.db -addr :7040 -tenants "s3cret=batch:8,t0ken=web:32:64"
+//
+// On SIGTERM/SIGINT the server drains: it stops accepting, finishes
+// in-flight operations within -drain-timeout, fsyncs and exits 0. A
+// second signal aborts immediately. /healthz stays 200 through the drain
+// while /readyz flips 503, so an orchestrator stops routing first and
+// kills last.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	axml "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "axmlserved:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	db, mode, addr, httpAddr   string
+	archive, source, base      string
+	tenants                    string
+	maxConns, acceptQueue      int
+	maxFrame                   int
+	readTO, writeTO, idleTO    time.Duration
+	opTimeout, drainTO, pollIv time.Duration
+	memBudget                  int64
+}
+
+func parseFlags(args []string) (config, error) {
+	var c config
+	fs := flag.NewFlagSet("axmlserved", flag.ContinueOnError)
+	fs.StringVar(&c.db, "db", "axml.db", "store file")
+	fs.StringVar(&c.mode, "mode", "partial", "index mode for new stores: range, partial, full")
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:7040", "wire protocol listen address")
+	fs.StringVar(&c.httpAddr, "http", "", "HTTP facade listen address (probes, stats, read-only queries); empty disables")
+	fs.StringVar(&c.archive, "archive", "", "WAL segment archive directory (primary; enables PITR and replica sourcing)")
+	fs.StringVar(&c.source, "source", "", "serve as read replica tailing this source segment archive")
+	fs.StringVar(&c.base, "base", "", "replica bootstrap: roll-forward-capable backup (first start only)")
+	fs.StringVar(&c.tenants, "tenants", "", `per-token quotas: "token=name:maxops[:maxqueue]", comma-separated; empty serves unauthenticated`)
+	fs.IntVar(&c.maxConns, "max-conns", 256, "served connections bound (FIFO accept queue beyond it)")
+	fs.IntVar(&c.acceptQueue, "accept-queue", 0, "accepted connections waiting for a slot before shedding (0: max-conns)")
+	fs.IntVar(&c.maxFrame, "max-frame", 1<<20, "wire frame size cap in bytes")
+	fs.DurationVar(&c.readTO, "read-timeout", 10*time.Second, "slow-client cut: max time to read one frame body")
+	fs.DurationVar(&c.writeTO, "write-timeout", 10*time.Second, "slow-client cut: max time to write one frame")
+	fs.DurationVar(&c.idleTO, "idle-timeout", 2*time.Minute, "idle session cut")
+	fs.DurationVar(&c.opTimeout, "op-timeout", 10*time.Second, "store-side bound per operation when the client sends no deadline")
+	fs.DurationVar(&c.drainTO, "drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	fs.DurationVar(&c.pollIv, "poll-interval", time.Second, "replica: source poll interval")
+	fs.Int64Var(&c.memBudget, "mem-budget", 0, "store memory budget in bytes (0: unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if fs.NArg() != 0 {
+		return c, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return c, nil
+}
+
+func parseMode(s string) (axml.IndexMode, error) {
+	switch s {
+	case "range":
+		return axml.RangeOnly, nil
+	case "partial":
+		return axml.RangePartial, nil
+	case "full":
+		return axml.FullIndex, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// parseTenants decodes "token=name:maxops[:maxqueue],..." specs.
+func parseTenants(spec string) (map[string]axml.ServerTenant, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]axml.ServerTenant)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		token, rest, ok := strings.Cut(part, "=")
+		if !ok || token == "" {
+			return nil, fmt.Errorf("tenant %q: want token=name:maxops[:maxqueue]", part)
+		}
+		fields := strings.Split(rest, ":")
+		t := axml.ServerTenant{Name: fields[0]}
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenant %q: empty name", part)
+		}
+		if len(fields) > 1 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("tenant %q: bad maxops %q", part, fields[1])
+			}
+			t.MaxConcurrentOps = n
+		}
+		if len(fields) > 2 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("tenant %q: bad maxqueue %q", part, fields[2])
+			}
+			t.MaxQueuedOps = n
+		}
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("tenant %q: too many fields", part)
+		}
+		out[token] = t
+	}
+	return out, nil
+}
+
+func run(args []string, stdout *os.File) error {
+	c, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(c.mode)
+	if err != nil {
+		return err
+	}
+	tenants, err := parseTenants(c.tenants)
+	if err != nil {
+		return err
+	}
+	cfg := axml.Config{Mode: mode, OpTimeout: c.opTimeout, MemoryBudget: c.memBudget}
+
+	opt := axml.ServerOptions{
+		Tenants:        tenants,
+		MaxConns:       c.maxConns,
+		MaxAcceptQueue: c.acceptQueue,
+		MaxFrame:       c.maxFrame,
+		ReadTimeout:    c.readTO,
+		WriteTimeout:   c.writeTO,
+		IdleTimeout:    c.idleTO,
+	}
+
+	// Backend: replica when -source is set, primary otherwise. The
+	// primary is always write-ahead logged — a serving store whose acks
+	// do not survive kill -9 would be a lie.
+	var cleanup func()
+	if c.source != "" {
+		ropt := axml.ReplicaOptions{Store: cfg, Base: c.base, PollInterval: c.pollIv}
+		rep, err := axml.OpenReplica(c.db, axml.NewDirTransport(c.source, axml.DirTransportOptions{}), ropt)
+		if err != nil {
+			return fmt.Errorf("open replica: %w", err)
+		}
+		rep.Start()
+		opt.Follower = rep
+		cleanup = func() { rep.Close() }
+	} else {
+		st, err := openPrimary(c.db, cfg, c.archive)
+		if err != nil {
+			return err
+		}
+		opt.Store = st
+		cleanup = func() { st.Close() }
+	}
+	defer cleanup()
+
+	srv, err := axml.NewServer(opt)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "axmlserved: serving %s on %s\n", c.db, ln.Addr())
+
+	var hs *http.Server
+	if c.httpAddr != "" {
+		hln, err := net.Listen("tcp", c.httpAddr)
+		if err != nil {
+			return err
+		}
+		hs = &http.Server{Handler: srv.HTTPHandler()}
+		go hs.Serve(hln)
+		fmt.Fprintf(stdout, "axmlserved: http facade on %s\n", hln.Addr())
+	}
+
+	// SIGTERM/SIGINT: drain under the budget; a second signal aborts.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "axmlserved: %v, draining (budget %v)\n", sig, c.drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), c.drainTO)
+		defer cancel()
+		go func() {
+			<-sigCh
+			cancel()
+		}()
+		err := srv.Shutdown(ctx)
+		if hs != nil {
+			hs.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintln(stdout, "axmlserved: drained")
+		return nil
+	}
+}
+
+// openPrimary opens (or creates) the WAL-backed store file.
+func openPrimary(db string, cfg axml.Config, archive string) (*axml.Store, error) {
+	if _, err := os.Stat(db); errors.Is(err, os.ErrNotExist) {
+		return axml.OpenFileWAL(db, cfg, archive)
+	}
+	return axml.ReopenFileWAL(db, cfg, archive)
+}

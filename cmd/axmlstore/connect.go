@@ -1,0 +1,189 @@
+package main
+
+// Remote commands: with -connect, the usual read/write commands run over
+// axmlserved's wire protocol instead of a local store file. Typed errors
+// cross the wire with their identities intact (errors.Is answers the same
+// as in-process), so exit codes match the local paths: 0 success, 1 a
+// typed or transport failure, 2 misuse.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	axml "repro"
+)
+
+// cmdConnect dispatches one command to the axmlserved at opts.connect.
+// Commands tied to the local file (verify, repair, backup, compact, ...)
+// stay local-only and are refused here with exit 2.
+func cmdConnect(ctx context.Context, opts cliOpts, args []string) error {
+	cmd := args[0]
+	c, err := axml.DialServer(opts.connect, axml.ClientOptions{Token: opts.token})
+	if err != nil {
+		return fmt.Errorf("connect %s: %w", opts.connect, err)
+	}
+	defer c.Close()
+	out := opts.stdout()
+
+	nodeArg := func(i int) (axml.NodeID, error) {
+		if len(args) <= i {
+			return 0, exitWith(2, fmt.Errorf("%s needs a node id", cmd))
+		}
+		n, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return 0, exitWith(2, fmt.Errorf("bad node id %q", args[i]))
+		}
+		return axml.NodeID(n), nil
+	}
+
+	switch cmd {
+	case "ping":
+		start := time.Now()
+		if err := c.Ping(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pong from session %d in %v\n", c.SessionID(), time.Since(start).Round(time.Microsecond))
+		return nil
+	case "query":
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("query needs an XPath expression"))
+		}
+		n := 0
+		if err := c.QueryStream(ctx, args[1], func(r axml.Row) error {
+			n++
+			_, err := fmt.Fprintf(out, "%d\t%s\n", r.ID, r.XML)
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%d node(s)\n", n)
+		return nil
+	case "value":
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("value needs an XPath expression"))
+		}
+		v, err := c.Value(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, v)
+		return nil
+	case "read":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		xml, err := c.ReadNode(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, xml)
+		return nil
+	case "insert-last", "insert-first", "insert-before", "insert-after", "replace":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 {
+			return exitWith(2, fmt.Errorf("%s needs an XML fragment", cmd))
+		}
+		op := map[string]axml.InsertOp{
+			"insert-last":   axml.InsertLast,
+			"insert-first":  axml.InsertFirst,
+			"insert-before": axml.InsertBefore,
+			"insert-after":  axml.InsertAfter,
+			"replace":       axml.Replace,
+		}[cmd]
+		newID, err := c.Insert(ctx, op, id, args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok: new content starts at id %d\n", newID)
+		return nil
+	case "delete":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		if err := c.Delete(ctx, id); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
+	case "load":
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("load needs an XML file"))
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		id, err := c.Load(ctx, string(data))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %s: first node id %d\n", args[1], id)
+		return nil
+	case "stats":
+		rep, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if opts.jsonOut {
+			return printJSON(out, rep)
+		}
+		sv := rep.Server
+		fmt.Fprintf(out, "role: %s\n", rep.Role)
+		fmt.Fprintf(out, "conns: active %d, total %d, queued %d, shed %d\n",
+			sv.ConnsActive, sv.ConnsTotal, sv.ConnsQueued, sv.ConnsShed)
+		fmt.Fprintf(out, "ops: in flight %d, total %d, shed by quota %d\n",
+			sv.OpsInFlight, sv.OpsTotal, sv.OpsShedQuota)
+		fmt.Fprintf(out, "frame violations: %d\n", sv.FrameViolations)
+		fmt.Fprintf(out, "draining: %v\n", sv.Draining)
+		if rep.Store != nil {
+			fmt.Fprintf(out, "store: %d nodes, %d ranges\n", rep.Store.Nodes, rep.Store.Ranges)
+			fmt.Fprintf(out, "health: read-only %v, degraded %v, budget pressure %.2f%s\n",
+				rep.Store.Health.ReadOnly, rep.Store.Health.Degraded,
+				rep.Store.Health.BudgetPressure, healthCauseSuffix(rep.Store.Health))
+		}
+		if rep.Replica != nil {
+			fmt.Fprintf(out, "replica: applied LSN %d (source %d), staleness %v\n",
+				rep.Replica.AppliedLSN, rep.Replica.SourceLSN,
+				rep.Replica.Staleness.Round(time.Millisecond))
+		}
+		return nil
+	case "health":
+		rep, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		if opts.jsonOut {
+			return printJSON(out, rep)
+		}
+		fmt.Fprintf(out, "ready: %v (role %s)\n", rep.Ready, rep.Role)
+		if rep.Reason != "" {
+			fmt.Fprintf(out, "reason: %s\n", rep.Reason)
+		}
+		fmt.Fprintf(out, "health: read-only %v, degraded %v, budget pressure %.2f%s\n",
+			rep.Health.ReadOnly, rep.Health.Degraded, rep.Health.BudgetPressure,
+			healthCauseSuffix(rep.Health))
+		if !rep.Ready {
+			return exitWith(1, fmt.Errorf("health: not ready: %s", rep.Reason))
+		}
+		return nil
+	default:
+		return exitWith(2, fmt.Errorf("%s: not available over -connect (local-file command)", cmd))
+	}
+}
+
+// healthCauseSuffix renders the read-only cause, when there is one, for
+// the health line shared by local stats and remote stats/health output.
+func healthCauseSuffix(h axml.HealthSummary) string {
+	if h.ReadOnlyCause == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (cause: %s)", h.ReadOnlyCause)
+}

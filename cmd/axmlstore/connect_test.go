@@ -1,0 +1,241 @@
+package main
+
+// The -connect path end to end: store commands over a live axmlserved
+// wire server, typed errors mapping to the same exit codes as local runs,
+// and the health fields operators key on in stats/replica JSON.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	axml "repro"
+)
+
+// startServed serves the store file at db in-process and returns the wire
+// address. The store is created empty when the file does not exist.
+func startServed(t *testing.T, db string, tenants map[string]axml.ServerTenant) string {
+	t.Helper()
+	st, err := axml.OpenFile(db, axml.Config{Mode: axml.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := axml.NewServer(axml.ServerOptions{Store: st, Tenants: tenants})
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Shutdown(context.Background())
+		<-done
+		st.Close()
+	})
+	return ln.Addr().String()
+}
+
+func TestCLIConnectLifecycle(t *testing.T) {
+	_, xmlPath := writeDoc(t)
+	db := filepath.Join(t.TempDir(), "served.db")
+	addr := startServed(t, db, nil)
+	opts := func(buf *bytes.Buffer) cliOpts { return cliOpts{connect: addr, out: buf} }
+
+	var buf bytes.Buffer
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"load", xmlPath}); err != nil {
+		t.Fatalf("connect load: %v", err)
+	}
+	if !strings.Contains(buf.String(), "first node id") {
+		t.Fatalf("load report: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"value", `count(//order)`}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "2" {
+		t.Fatalf("remote count = %q, want 2", got)
+	}
+
+	// query streams id<TAB>xml rows, same shape as the local command.
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"query", `//order[@id="2"]`}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	id, xml, ok := strings.Cut(line, "\t")
+	if !ok || id == "" || !strings.Contains(xml, `id="2"`) {
+		t.Fatalf("query row = %q", line)
+	}
+
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"insert-last", "1", `<order id="3"><item>washer</item></order>`}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ok: new content starts at id") {
+		t.Fatalf("insert report: %s", buf.String())
+	}
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"read", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<order") {
+		t.Fatalf("read output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"delete", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pong from session") {
+		t.Fatalf("ping output: %s", buf.String())
+	}
+
+	// stats -json carries the service-layer counters plus the store's
+	// health summary; health exits 0 and prints the readiness line.
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", cliOpts{connect: addr, jsonOut: true, out: &buf}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("connect stats -json: %v\n%s", err, buf.String())
+	}
+	if rep["role"] != "primary" {
+		t.Errorf("role = %v, want primary", rep["role"])
+	}
+	srvStats, ok := rep["server"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats -json lacks server object:\n%s", buf.String())
+	}
+	for _, key := range []string{"conns_active", "conns_shed", "ops_total", "ops_shed_quota", "frame_violations", "draining"} {
+		if _, ok := srvStats[key]; !ok {
+			t.Errorf("server stats lack %q", key)
+		}
+	}
+	store, ok := rep["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats -json lacks store object:\n%s", buf.String())
+	}
+	if _, ok := store["Health"]; !ok {
+		t.Errorf("remote store stats lack Health:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"health"}); err != nil {
+		t.Fatalf("health on a live server: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ready: true") {
+		t.Fatalf("health output: %s", buf.String())
+	}
+}
+
+func TestCLIConnectExitCodes(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "served.db")
+	addr := startServed(t, db, map[string]axml.ServerTenant{"s3cret": {Name: "ops"}})
+	auth := func(buf *bytes.Buffer) cliOpts {
+		return cliOpts{connect: addr, token: "s3cret", out: buf}
+	}
+	var buf bytes.Buffer
+
+	// Typed store errors cross the wire and exit 1 like local failures.
+	if got := exitCode(runOpts("u.db", "partial", auth(&buf), []string{"delete", "999999"})); got != 1 {
+		t.Errorf("remote delete of missing node: exit %d, want 1", got)
+	}
+	// Misuse stays exit 2: bad arity, bad id, commands that only make
+	// sense against the local file.
+	if got := exitCode(runOpts("u.db", "partial", auth(&buf), []string{"query"})); got != 2 {
+		t.Errorf("remote query without expr: exit %d, want 2", got)
+	}
+	if got := exitCode(runOpts("u.db", "partial", auth(&buf), []string{"read", "bogus"})); got != 2 {
+		t.Errorf("remote read with bad id: exit %d, want 2", got)
+	}
+	if got := exitCode(runOpts("u.db", "partial", auth(&buf), []string{"verify"})); got != 2 {
+		t.Errorf("verify over -connect: exit %d, want 2", got)
+	}
+	// Auth and transport failures exit 1.
+	if got := exitCode(runOpts("u.db", "partial", cliOpts{connect: addr, token: "wrong", out: &buf}, []string{"ping"})); got != 1 {
+		t.Errorf("bad token: exit %d, want 1", got)
+	}
+	if got := exitCode(runOpts("u.db", "partial", cliOpts{connect: "127.0.0.1:1", out: &buf}, []string{"ping"})); got != 1 {
+		t.Errorf("dead address: exit %d, want 1", got)
+	}
+}
+
+// TestCLIStatsHealthSurface pins the health summary in the local stats
+// surfaces: the "Health" object in -json and the "health:" text line.
+func TestCLIStatsHealthSurface(t *testing.T) {
+	db, xmlPath := writeDoc(t)
+	if err := run(db, "partial", []string{"load", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runOpts(db, "partial", cliOpts{jsonOut: true, out: &buf}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := rep["Health"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats -json lacks Health object:\n%s", buf.String())
+	}
+	for _, key := range []string{"read_only", "degraded", "budget_pressure"} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("Health lacks %q:\n%s", key, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := runOpts(db, "partial", cliOpts{out: &buf}, []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "health: read-only false, degraded false") {
+		t.Fatalf("text stats lack the health line:\n%s", buf.String())
+	}
+}
+
+// TestCLIReplicaJSONHealth pins the health object in replica -json so
+// fleet tooling can alert on a degraded follower, not just a lagging one.
+func TestCLIReplicaJSONHealth(t *testing.T) {
+	db, arch := archivedStore(t)
+	dir := filepath.Dir(db)
+	base := filepath.Join(dir, "base.bak")
+	if err := runOpts(db, "partial", cliOpts{archive: arch}, []string{"backup", base}); err != nil {
+		t.Fatal(err)
+	}
+	follower := filepath.Join(dir, "f.db")
+	var out bytes.Buffer
+	if err := runOpts(follower, "partial", cliOpts{source: arch, base: base, jsonOut: true, out: &out}, []string{"replica"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("replica -json: %v\n%s", err, out.String())
+	}
+	h, ok := rep["health"].(map[string]any)
+	if !ok {
+		t.Fatalf("replica -json lacks health object:\n%s", out.String())
+	}
+	if h["read_only"] != true {
+		t.Errorf("follower health read_only = %v, want true:\n%s", h["read_only"], out.String())
+	}
+	if _, ok := rep["applied_lsn"]; !ok {
+		t.Errorf("replica -json lost the position fields:\n%s", out.String())
+	}
+}

@@ -20,7 +20,9 @@
 // command: on expiry the process exits nonzero with a clear message instead
 // of hanging. The -readonly flag opens the store under a shared lock so
 // several processes can read the same file concurrently; use it when a
-// writable open fails with "store file locked".
+// writable open fails with "store file locked". The -connect flag runs the
+// store commands against a live axmlserved address over its wire protocol
+// instead of a local file (with -token for tenant-gated servers).
 package main
 
 import (
@@ -49,6 +51,8 @@ func main() {
 		archive  = flag.String("archive", "", "WAL segment archive directory (journals mutating commands; enables point-in-time restore)")
 		lsn      = flag.Uint64("lsn", 0, "restore: target commit LSN (0 = newest archived)")
 		source   = flag.String("source", "", "replica: source segment archive directory to tail")
+		connect  = flag.String("connect", "", "run the command against an axmlserved address instead of a local file")
+		token    = flag.String("token", "", "connect: auth token for tenant-gated servers")
 		base     = flag.String("base", "", "replica: roll-forward-capable backup to bootstrap a new follower from")
 		follow   = flag.Bool("follow", false, "replica: keep tailing the source until interrupted (default is one catch-up pass)")
 		interval = flag.Duration("interval", time.Second, "replica: poll interval with -follow")
@@ -65,6 +69,7 @@ func main() {
 		apply: *apply, jsonOut: *jsonOut, shared: *shared,
 		archive: *archive, lsn: *lsn,
 		source: *source, base: *base, follow: *follow, interval: *interval,
+		connect: *connect, token: *token,
 	}
 	if err := runOpts(*db, *mode, opts, args); err != nil {
 		fmt.Fprintln(os.Stderr, "axmlstore:", err)
@@ -97,7 +102,8 @@ func exitWith(code int, err error) error {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: axmlstore [-db file] [-mode range|partial|full] [-timeout d] [-readonly]
-                 [-apply] [-json] [-shared] [-archive dir] [-lsn n] <command> [args]
+                 [-apply] [-json] [-shared] [-archive dir] [-lsn n]
+                 [-connect addr [-token t]] <command> [args]
 
 commands:
   load <file.xml>              load a document into a fresh store
@@ -136,6 +142,13 @@ commands:
   dump                         print the whole store as XML
   stats                        print store statistics (-json for machine use)
 
+With -connect addr, the store commands (query, value, read, insert-*,
+replace, delete, load, stats) run against a live axmlserved at addr over
+its wire protocol instead of a local file; -token authenticates on
+tenant-gated servers, -timeout propagates to the server as the operation
+deadline, and two extra commands appear: ping (round-trip check) and
+health (readiness view; exit 1 when not ready).
+
 With -archive, mutating commands run write-ahead logged and every commit is
 archived as a numbered segment — the raw material of point-in-time restore.
 A replica bootstrapped from a roll-forward backup tails that archive and can
@@ -168,6 +181,8 @@ type cliOpts struct {
 	base     string
 	follow   bool
 	interval time.Duration
+	connect  string
+	token    string
 	out      io.Writer // defaults to os.Stdout; tests capture it
 }
 
@@ -225,6 +240,9 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 	cfg := axml.Config{Mode: mode, ReadOnly: opts.readOnly}
 
 	cmd := args[0]
+	if opts.connect != "" {
+		return cmdConnect(ctx, opts, args)
+	}
 	if opts.readOnly && mutating(cmd) {
 		return fmt.Errorf("%s: store opened with -readonly", cmd)
 	}
@@ -473,6 +491,9 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 			st.Memory.PartialBytes, st.Memory.CheckpointBytes, st.Memory.Evictions)
 		fmt.Fprintf(w, "archive: %d segment(s), %d bytes, high-water LSN %d\n",
 			st.ArchiveSegments, st.ArchiveBytes, st.ArchiveLSN)
+		fmt.Fprintf(w, "health: read-only %v, degraded %v, budget pressure %.2f%s\n",
+			st.Health.ReadOnly, st.Health.Degraded, st.Health.BudgetPressure,
+			healthCauseSuffix(st.Health))
 		return nil
 	default:
 		usage()

@@ -50,7 +50,14 @@ func cmdReplica(ctx context.Context, db string, cfg axml.Config, opts cliOpts) e
 	report := func() error {
 		st := rep.Stats()
 		if opts.jsonOut {
-			return printJSON(out, st)
+			rr := replicaReport{ReplicaStats: st}
+			// Best-effort: an ungated read exposes the serving store's own
+			// health view alongside the replication position.
+			_ = rep.Read(axml.ReplicaReadOptions{}, func(s *axml.Store) error {
+				rr.Health = s.Health()
+				return nil
+			})
+			return printJSON(out, rr)
 		}
 		fmt.Fprintf(out, "replica: applied LSN %d (base %d, source %d), lag %d segment(s) / %d bytes, staleness %v\n",
 			st.AppliedLSN, st.BaseLSN, st.SourceLSN, st.LagSegments, st.LagBytes,
@@ -98,6 +105,13 @@ func cmdReplica(ctx context.Context, db string, cfg axml.Config, opts cliOpts) e
 		case <-t.C:
 		}
 	}
+}
+
+// replicaReport is the JSON shape of the replica command: the replication
+// position plus the serving store's health summary.
+type replicaReport struct {
+	axml.ReplicaStats
+	Health axml.HealthSummary `json:"health"`
 }
 
 // cmdPromote fences the replica at db and reopens it read-write, printing

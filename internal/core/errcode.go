@@ -1,0 +1,172 @@
+// Stable wire codes for the typed error taxonomy (DESIGN.md §10/§12).
+//
+// Every sentinel a caller is expected to errors.Is against gets one integer
+// code here, in a single registry, so the network service layer can map an
+// error chain onto the wire and a client can reconstruct a chain for which
+// errors.Is answers exactly as it would in-process. Codes are append-only
+// and never renumbered: they are part of the wire protocol.
+//
+// The registry lives in core because core sits at the bottom of the import
+// graph — everything that owns sentinels (txn, replica, recover, server)
+// already imports core and registers its own in an init. core itself
+// registers its sentinels plus those of the packages below it (pagestore,
+// context).
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/pagestore"
+	recov "repro/internal/recover"
+)
+
+// ErrCode is a stable integer identifier of one typed error sentinel.
+// Zero is reserved for "no error"; CodeUnknown tags errors outside the
+// registered taxonomy.
+type ErrCode uint32
+
+// The code space, grouped by owning layer. Append-only.
+const (
+	CodeOK      ErrCode = 0
+	CodeUnknown ErrCode = 1
+
+	// core
+	CodeNoSuchNode    ErrCode = 10
+	CodeNotElement    ErrCode = 11
+	CodeBadFragment   ErrCode = 12
+	CodeClosed        ErrCode = 13
+	CodeReadOnly      ErrCode = 14
+	CodeOverloaded    ErrCode = 15
+	CodeIntoAttribute ErrCode = 16
+	CodeAttrContext   ErrCode = 17
+
+	// time (context machinery: OpTimeout, caller deadlines, cancellation)
+	CodeDeadlineExceeded ErrCode = 20
+	CodeCanceled         ErrCode = 21
+
+	// storage
+	CodeCorruptPage  ErrCode = 30
+	CodeStoreLocked  ErrCode = 31
+	CodeReadOnlyFile ErrCode = 32
+
+	// transactions / locking
+	CodeDeadlock      ErrCode = 40
+	CodeLockTimeout   ErrCode = 41
+	CodeTxDone        ErrCode = 42
+	CodeManagerClosed ErrCode = 43
+	CodeStuckAborted  ErrCode = 44
+
+	// replication
+	CodeReplicaStalled    ErrCode = 50
+	CodeTooStale          ErrCode = 51
+	CodePromoted          ErrCode = 52
+	CodeNotBootstrapped   ErrCode = 53
+	CodeNoRollForwardBase ErrCode = 54
+
+	// network service layer
+	CodeAuth          ErrCode = 60
+	CodeFrameTooLarge ErrCode = 61
+	CodeProtocol      ErrCode = 62
+	CodeDraining      ErrCode = 63
+	CodeQuotaExceeded ErrCode = 64
+	CodeBadRequest    ErrCode = 65
+)
+
+var errReg = struct {
+	sync.RWMutex
+	byCode map[ErrCode]error
+	codes  []ErrCode // sorted, for deterministic enumeration
+}{byCode: make(map[ErrCode]error)}
+
+// RegisterErrCode binds a sentinel error to its stable wire code. Each
+// package registers its own sentinels in an init; registering the same code
+// twice panics — a collision is a numbering bug, not a runtime condition.
+func RegisterErrCode(code ErrCode, sentinel error) {
+	if code == CodeOK || code == CodeUnknown || sentinel == nil {
+		panic("core: RegisterErrCode: reserved code or nil sentinel")
+	}
+	errReg.Lock()
+	defer errReg.Unlock()
+	if _, dup := errReg.byCode[code]; dup {
+		panic("core: RegisterErrCode: duplicate code")
+	}
+	errReg.byCode[code] = sentinel
+	errReg.codes = append(errReg.codes, code)
+	sort.Slice(errReg.codes, func(i, j int) bool { return errReg.codes[i] < errReg.codes[j] })
+}
+
+// ErrCodesOf maps an error chain onto the wire: every registered sentinel
+// the chain errors.Is-matches, as a sorted code list. An error matching
+// nothing maps to [CodeUnknown]; nil maps to nil. Returning the full match
+// set (not just a primary) is what lets multi-cause errors — a gated read
+// shed both ErrTooStale and ErrReplicaStalled — survive the round trip.
+func ErrCodesOf(err error) []ErrCode {
+	if err == nil {
+		return nil
+	}
+	errReg.RLock()
+	defer errReg.RUnlock()
+	var out []ErrCode
+	for _, c := range errReg.codes {
+		if errors.Is(err, errReg.byCode[c]) {
+			out = append(out, c)
+		}
+	}
+	if out == nil {
+		out = []ErrCode{CodeUnknown}
+	}
+	return out
+}
+
+// ErrCodeOf returns the first (lowest-numbered) matching code — the
+// primary classification for metrics and logs.
+func ErrCodeOf(err error) ErrCode {
+	codes := ErrCodesOf(err)
+	if len(codes) == 0 {
+		return CodeOK
+	}
+	return codes[0]
+}
+
+// RegisteredErrCodes enumerates every registered code in ascending order —
+// the wire-mapping tests sweep this to prove each sentinel round-trips.
+func RegisteredErrCodes() []ErrCode {
+	errReg.RLock()
+	defer errReg.RUnlock()
+	out := make([]ErrCode, len(errReg.codes))
+	copy(out, errReg.codes)
+	return out
+}
+
+// SentinelFor resolves a wire code back to its registered sentinel.
+func SentinelFor(code ErrCode) (error, bool) {
+	errReg.RLock()
+	defer errReg.RUnlock()
+	s, ok := errReg.byCode[code]
+	return s, ok
+}
+
+func init() {
+	RegisterErrCode(CodeNoSuchNode, ErrNoSuchNode)
+	RegisterErrCode(CodeNotElement, ErrNotElement)
+	RegisterErrCode(CodeBadFragment, ErrBadFragment)
+	RegisterErrCode(CodeClosed, ErrClosed)
+	RegisterErrCode(CodeReadOnly, ErrReadOnly)
+	RegisterErrCode(CodeOverloaded, ErrOverloaded)
+	RegisterErrCode(CodeIntoAttribute, ErrIntoAttribute)
+	RegisterErrCode(CodeAttrContext, ErrAttrContext)
+
+	RegisterErrCode(CodeDeadlineExceeded, context.DeadlineExceeded)
+	RegisterErrCode(CodeCanceled, context.Canceled)
+
+	RegisterErrCode(CodeCorruptPage, pagestore.ErrCorruptPage)
+	RegisterErrCode(CodeStoreLocked, pagestore.ErrStoreLocked)
+	RegisterErrCode(CodeReadOnlyFile, pagestore.ErrReadOnlyFile)
+
+	// recover sits below core in the import graph (core/repair.go uses it),
+	// so core registers its sentinel too.
+	RegisterErrCode(CodeNoRollForwardBase, recov.ErrNoRollForwardBase)
+}

@@ -431,6 +431,7 @@ func (s *Store) Stats() Stats {
 	}
 	st.Admission = s.adm.snapshot()
 	st.Memory = s.budget.Snapshot()
+	st.Health = s.healthSummary(st.Memory)
 	if as, ok := s.pool.Pager().(interface{ ArchiveStats() (int, int64) }); ok {
 		st.ArchiveSegments, st.ArchiveBytes = as.ArchiveStats()
 	}
@@ -441,6 +442,28 @@ func (s *Store) Stats() Stats {
 		st.ArchiveLSN = hw.LSN()
 	}
 	return st
+}
+
+// Health returns the explicit health summary on its own — cheaper than a
+// full Stats snapshot, and safe on a degraded store.
+func (s *Store) Health() HealthSummary {
+	return s.healthSummary(s.budget.Snapshot())
+}
+
+func (s *Store) healthSummary(mem budget.Stats) HealthSummary {
+	h := HealthSummary{ReadOnly: s.cfg.ReadOnly}
+	if s.cfg.ReadOnly {
+		h.ReadOnlyCause = "opened read-only"
+	}
+	if degraded, cause := s.ReadOnly(); degraded {
+		h.Degraded = true
+		h.ReadOnly = true
+		h.ReadOnlyCause = cause.Error()
+	}
+	if mem.Limit > 0 {
+		h.BudgetPressure = float64(mem.Used) / float64(mem.Limit)
+	}
+	return h
 }
 
 // allocIDs reserves n contiguous node ids and returns the first.

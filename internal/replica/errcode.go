@@ -1,0 +1,12 @@
+package replica
+
+import "repro/internal/core"
+
+// Wire codes for the replication layer's typed errors (registry in
+// core/errcode.go; codes are stable and append-only).
+func init() {
+	core.RegisterErrCode(core.CodeReplicaStalled, ErrReplicaStalled)
+	core.RegisterErrCode(core.CodeTooStale, ErrTooStale)
+	core.RegisterErrCode(core.CodePromoted, ErrPromoted)
+	core.RegisterErrCode(core.CodeNotBootstrapped, ErrNotBootstrapped)
+}

@@ -540,19 +540,25 @@ func (f *Follower) CatchUp(ctx context.Context) (err error) {
 }
 
 // fetchValidated fetches segment lsn and proves it whole: record CRCs,
-// commit LSN match, per-page checksums. Validation failures are retried
-// with backoff — a segment being shipped concurrently reads short or torn
-// until its fsync lands. If it still fails and a *later* segment exists,
-// the bytes are final and corrupt: fatal (stall). If it is the newest
-// offered segment, the failure is reported as transient: the next poll
-// will see the finished write.
+// commit LSN match, per-page checksums. Failures are retried with backoff —
+// a segment being shipped concurrently reads short or torn until its fsync
+// lands. Only a *validation* failure of fetched bytes can become fatal: if
+// the bytes still fail after retries and a *later* segment exists, they are
+// final and corrupt — stall. A transport failure (the fetch itself errored,
+// e.g. a disk or network hiccup outlasting the retry bound) is always
+// transient, no matter how many retries it ate: the bytes were never seen,
+// so nothing is proven about the history, and the next poll simply tries
+// again. Likewise the newest offered segment may still be in flight.
 func (f *Follower) fetchValidated(lsn uint64) (raw []byte, pages []wal.PageImage, err error, fatal bool) {
 	name := wal.SegmentFileName(lsn)
+	validationErr := false
 	attempt := func() ([]byte, []wal.PageImage, error) {
+		validationErr = false
 		data, err := f.tr.Fetch(lsn)
 		if err != nil {
 			return nil, nil, err
 		}
+		validationErr = true
 		pages, segLSN, err := wal.ParseSegment(name, data, f.state.PageSize)
 		if err != nil {
 			return nil, nil, err
@@ -584,9 +590,8 @@ func (f *Follower) fetchValidated(lsn uint64) (raw []byte, pages []wal.PageImage
 		return nil, nil, err, false
 	}
 	// Retries exhausted. Final bytes (a successor exists) that still fail
-	// validation are corrupt history: stall. The newest segment may simply
-	// still be in flight: transient.
-	if f.sourceLSN > lsn {
+	// validation are corrupt history: stall. Everything else is transient.
+	if validationErr && f.sourceLSN > lsn {
 		return nil, nil, fmt.Errorf("segment %s failed validation after %d retries with later segments present: %w", name, f.opt.FetchRetries, err), true
 	}
 	return nil, nil, err, false
@@ -631,22 +636,42 @@ func (f *Follower) Read(opts ReadOptions, fn func(*core.Store) error) error {
 		return fmt.Errorf("replica: serving store unavailable after a failed apply; reopen the follower")
 	}
 	if opts.MinLSN > f.state.AppliedLSN {
-		err := fmt.Errorf("%w: applied LSN %d, read requires %d", ErrTooStale, f.state.AppliedLSN, opts.MinLSN)
-		if f.stallCause != nil {
-			err = fmt.Errorf("%w (%w: %v)", err, ErrReplicaStalled, f.stallCause)
-		}
-		return err
+		return f.gateErrLocked(fmt.Sprintf("applied LSN %d, read requires %d", f.state.AppliedLSN, opts.MinLSN))
 	}
 	if opts.MaxStaleness > 0 {
 		if stale := time.Since(f.freshAsOf); stale > opts.MaxStaleness {
-			err := fmt.Errorf("%w: last level with source %v ago, bound %v", ErrTooStale, stale.Round(time.Millisecond), opts.MaxStaleness)
-			if f.stallCause != nil {
-				err = fmt.Errorf("%w (%w: %v)", err, ErrReplicaStalled, f.stallCause)
-			}
-			return err
+			return f.gateErrLocked(fmt.Sprintf("last level with source %v ago, bound %v", stale.Round(time.Millisecond), opts.MaxStaleness))
 		}
 	}
 	return fn(f.st)
+}
+
+// gateError is the typed shed of a position-gated read. It carries
+// ErrTooStale always, plus ErrReplicaStalled when a stall is why the
+// follower is behind, as a flat Unwrap() []error cause list. (An earlier
+// version folded the stall in with a nested multi-%w wrap; errors.Is
+// handled that in-process, but the flat list is what lets the wire
+// mapping enumerate the sentinel set deterministically and a client
+// reconstruct an error for which errors.Is answers identically.)
+type gateError struct {
+	msg    string
+	causes []error
+}
+
+func (e *gateError) Error() string   { return e.msg }
+func (e *gateError) Unwrap() []error { return e.causes }
+
+// gateErrLocked builds the shed error for a read gate miss (f.mu held).
+func (f *Follower) gateErrLocked(detail string) error {
+	e := &gateError{
+		msg:    fmt.Sprintf("%v: %s", ErrTooStale, detail),
+		causes: []error{ErrTooStale},
+	}
+	if f.stallCause != nil {
+		e.msg = fmt.Sprintf("%s (%v: %v)", e.msg, ErrReplicaStalled, f.stallCause)
+		e.causes = append(e.causes, ErrReplicaStalled)
+	}
+	return e
 }
 
 // Stats snapshots the follower's replication position.

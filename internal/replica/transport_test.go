@@ -1,0 +1,103 @@
+// DirTransport retry/backoff behavior: transient faults that outlast the
+// retry bound must surface as transient catch-up errors, never as a sticky
+// stall — the stream is intact, the device is just misbehaving.
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/wal"
+)
+
+// flakyRead wraps a segment file and fails every Read with a Temporary()
+// error while armed — a disk or NFS mount having a bad day, not torn data.
+type flakyRead struct {
+	wal.File
+	armed *atomic.Bool
+	reads *atomic.Int64
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "flaky: transient read error" }
+func (tempErr) Temporary() bool { return true }
+
+func (f flakyRead) Read(p []byte) (int, error) {
+	if f.armed.Load() {
+		f.reads.Add(1)
+		return 0, tempErr{}
+	}
+	return f.File.Read(p)
+}
+
+// TestDirTransportExhaustionStaysTransient pins the classification after
+// retry exhaustion. The follower is fetching a segment that has later
+// history behind it — exactly the shape where *validation* failure of
+// final bytes must stall. A transport failure in the same position must
+// not: the bytes were never seen, so nothing is proven about the history.
+// Before the fix, any error surviving the retry bound with a successor
+// present latched ErrReplicaStalled, turning a disk hiccup into an
+// operator page.
+func TestDirTransportExhaustionStaysTransient(t *testing.T) {
+	dir := t.TempDir()
+	p := newPrimary(t, dir)
+	defer p.close()
+	p.commit()
+	base := dir + "/base.bak"
+	p.backup(base)
+
+	var armed atomic.Bool
+	var reads atomic.Int64
+	tr := replica.NewDirTransport(p.arch, replica.DirTransportOptions{
+		WrapFile: func(f wal.File) wal.File { return flakyRead{File: f, armed: &armed, reads: &reads} },
+		Retries:  2,
+		Backoff:  time.Millisecond,
+	})
+	f, err := replica.Open(dir+"/follower.db", tr, replica.Options{
+		Store:        testCfg(),
+		Base:         base,
+		FetchRetries: 1,
+		FetchBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	catchUp(t, f)
+
+	// Two fresh commits: the follower's next fetch has a successor, the
+	// stall-eligible position.
+	p.commit()
+	want := p.commit()
+	armed.Store(true)
+
+	for pass := 0; pass < 2; pass++ {
+		err := f.CatchUp(context.Background())
+		if err == nil {
+			t.Fatalf("pass %d: catch-up succeeded through an armed transport", pass)
+		}
+		if errors.Is(err, replica.ErrReplicaStalled) {
+			t.Fatalf("pass %d: transient exhaustion stalled the follower: %v", pass, err)
+		}
+		if st := f.Stats(); st.Stalled {
+			t.Fatalf("pass %d: Stats reports a stall: %+v", pass, st)
+		}
+	}
+	// Both the transport's own retry loop and the follower's must have
+	// burned real attempts (pass count x (1 + FetchRetries) x (1 + Retries)).
+	if got := reads.Load(); got < 12 {
+		t.Fatalf("injected reads = %d, want >= 12 (retry loops did not run)", got)
+	}
+
+	// The hiccup clears; the follower converges with no operator action.
+	armed.Store(false)
+	catchUp(t, f)
+	if st := f.Stats(); st.AppliedLSN != want || st.Stalled {
+		t.Fatalf("after recovery: applied LSN %d (stalled=%v), want %d unstalled", st.AppliedLSN, st.Stalled, want)
+	}
+}

@@ -1,0 +1,470 @@
+// Misbehaving-client chaos: slowloris dribble, silent idlers, oversized
+// frames, mid-request disconnects, deadline storms, and a kill -9 of the
+// server process mid-commit. The invariant throughout: the store stays
+// Verify-clean, well-behaved clients keep being served, and a restarted
+// server answers within one OpTimeout.
+package server_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Wire bytes pinned independently of the server package's constants: these
+// values are the protocol's compatibility surface, so the chaos tests
+// hand-roll frames rather than borrowing the implementation's encoder.
+const (
+	rawHello   = 0x01
+	rawHelloOK = 0x80
+	rawErr     = 0x81
+)
+
+func rawFrame(typ byte, payload []byte) []byte {
+	b := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(1+len(payload)))
+	b[4] = typ
+	return append(b, payload...)
+}
+
+func rawHelloPayload(token string) []byte {
+	b := binary.AppendUvarint(nil, 1) // protocol version
+	b = binary.AppendUvarint(b, uint64(len(token)))
+	return append(b, token...)
+}
+
+// rawHandshake opens a raw TCP session and completes the hello exchange.
+func rawHandshake(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := nc.Write(rawFrame(rawHello, rawHelloPayload(""))); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := readRawFrame(nc)
+	if err != nil || typ != rawHelloOK {
+		t.Fatalf("handshake: type 0x%02x err %v", typ, err)
+	}
+	nc.SetDeadline(time.Time{})
+	return nc
+}
+
+func readRawFrame(nc net.Conn) (byte, []byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := ioReadFull(nc, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	body := make([]byte, n)
+	if _, err := ioReadFull(nc, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+func ioReadFull(nc net.Conn, p []byte) (int, error) {
+	read := 0
+	for read < len(p) {
+		n, err := nc.Read(p[read:])
+		read += n
+		if err != nil {
+			return read, err
+		}
+	}
+	return read, nil
+}
+
+// TestSlowlorisCut: a client that sends a frame header and then dribbles
+// must be cut at the read timeout — it cannot pin a connection slot while
+// honest clients wait.
+func TestSlowlorisCut(t *testing.T) {
+	e := start(t, memCfg(), server.Options{
+		ReadTimeout: 150 * time.Millisecond,
+		IdleTimeout: time.Second,
+		MaxConns:    2,
+	})
+	nc := rawHandshake(t, e.addr)
+	defer nc.Close()
+
+	// Declare a 64-byte request, deliver two bytes, stall.
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, 64)
+	nc.Write(hdr)
+	nc.Write([]byte{0x10, 0x00})
+
+	// The server must sever us well before the honest client would notice:
+	// our next read returns EOF/reset within ~ReadTimeout.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	startWait := time.Now()
+	if _, _, err := readRawFrame(nc); err == nil {
+		t.Fatal("dribbled request got a response")
+	}
+	if cut := time.Since(startWait); cut > 2*time.Second {
+		t.Fatalf("slowloris survived %v before the cut", cut)
+	}
+	// The slot is free again: with MaxConns=2 two honest clients serve.
+	c1 := e.dial(server.ClientOptions{})
+	c2 := e.dial(server.ClientOptions{})
+	if err := c1.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdleSessionCut: a session that completes its handshake and then goes
+// silent is reaped at the idle timeout.
+func TestIdleSessionCut(t *testing.T) {
+	e := start(t, memCfg(), server.Options{IdleTimeout: 100 * time.Millisecond})
+	nc := rawHandshake(t, e.addr)
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := readRawFrame(nc); err == nil {
+		t.Fatal("idle session got an unsolicited frame")
+	}
+}
+
+// TestOversizedFrameRefused: a frame whose declared size exceeds the cap
+// is refused from the header alone with the typed error, and the session
+// is closed — the framing can no longer be trusted.
+func TestOversizedFrameRefused(t *testing.T) {
+	e := start(t, memCfg(), server.Options{MaxFrame: 4096})
+	c := e.dial(server.ClientOptions{MaxFrame: 1 << 20})
+	ctx := context.Background()
+	if _, err := c.Load(ctx, `<doc/>`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Load(ctx, "<big>"+strings.Repeat("x", 64<<10)+"</big>")
+	if !errors.Is(err, server.ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v, want ErrFrameTooLarge", err)
+	}
+	// The violation also shows in stats, and honest sessions still serve.
+	if e.srv.Stats().FrameViolations == 0 {
+		t.Fatal("frame violation not counted")
+	}
+	c2 := e.dial(server.ClientOptions{})
+	if v, err := c2.Value(ctx, `count(//doc)`); err != nil || v != "1" {
+		t.Fatalf("post-violation service: %q, %v", v, err)
+	}
+	if err := e.st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidRequestDisconnect: clients that vanish mid-frame, repeatedly,
+// must leave no residue — no leaked slots, no store damage.
+func TestMidRequestDisconnect(t *testing.T) {
+	e := start(t, memCfg(), server.Options{MaxConns: 4})
+	c := e.dial(server.ClientOptions{})
+	if _, err := c.Load(context.Background(), bigDoc(20)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		nc := rawHandshake(t, e.addr)
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint32(hdr, 128)
+		nc.Write(hdr)
+		nc.Write([]byte{0x10, 0x00, 0x00}) // partial query request
+		nc.Close()
+	}
+	// All slots recycled: a full complement of honest clients serves.
+	waitFor(t, func() bool { return e.srv.Stats().ConnsActive <= 1 })
+	for i := 0; i < 3; i++ {
+		cc := e.dial(server.ClientOptions{})
+		if _, err := cc.Query(context.Background(), `//row[1]`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineStormSoak: concurrent clients hammer reads and writes under
+// injected latency with tiny, constantly-expiring deadlines, interleaved
+// with mid-op disconnects. Every error must be a typed, expected shed;
+// afterwards the store is Verify-clean and a fresh client is served
+// within one OpTimeout.
+func TestDeadlineStormSoak(t *testing.T) {
+	e := start(t, slowCfg(), server.Options{})
+	seed := e.dial(server.ClientOptions{})
+	root, err := seed.Load(context.Background(), bigDoc(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.inj.ArmLatency(500 * time.Microsecond)
+
+	const workers = 6
+	var wg sync.WaitGroup
+	var typed, untyped atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 25; i++ {
+				c, err := server.Dial(e.addr, server.ClientOptions{})
+				if err != nil {
+					untyped.Add(1)
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(1+rng.Intn(20))*time.Millisecond)
+				switch i % 4 {
+				case 0:
+					_, err = c.Query(ctx, `//row`)
+				case 1:
+					_, err = c.Insert(ctx, server.InsertLast, root, fmt.Sprintf(`<x w="%d" i="%d"/>`, w, i))
+				case 2:
+					_, err = c.Value(ctx, `count(//row)`)
+				case 3:
+					// Vanish mid-conversation: fire a request and hang up.
+					go c.Value(ctx, `count(//x)`)
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+					c.Close()
+					cancel()
+					continue
+				}
+				cancel()
+				c.Close()
+				if err != nil {
+					switch {
+					case errors.Is(err, context.DeadlineExceeded),
+						errors.Is(err, core.ErrOverloaded),
+						errors.Is(err, server.ErrQuotaExceeded),
+						errors.Is(err, core.ErrNoSuchNode):
+						typed.Add(1)
+					default:
+						// Transport-level cuts (server severed us at our own
+						// deadline) surface as net errors — acceptable storm
+						// fallout, everything else is a bug.
+						var ne net.Error
+						if errors.As(err, &ne) || errors.Is(err, net.ErrClosed) {
+							typed.Add(1)
+						} else {
+							t.Errorf("worker %d op %d: unexpected error %v", w, i, err)
+							untyped.Add(1)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.inj.DisarmLatency()
+	t.Logf("storm: %d typed sheds, %d untyped", typed.Load(), untyped.Load())
+
+	// The service recovered: a fresh client is answered within OpTimeout.
+	ctx, cancel := context.WithTimeout(context.Background(), memCfg().OpTimeout)
+	defer cancel()
+	c := e.dial(server.ClientOptions{})
+	if _, err := c.Value(ctx, `count(//row)`); err != nil {
+		t.Fatalf("post-storm service: %v", err)
+	}
+	if err := e.st.Verify(); err != nil {
+		t.Fatalf("post-storm verify: %v", err)
+	}
+	if err := e.st.CheckInvariants(); err != nil {
+		t.Fatalf("post-storm invariants: %v", err)
+	}
+}
+
+const (
+	helperEnv     = "AXMLSERVED_HELPER_DIR"
+	helperAddrEnv = "AXMLSERVED_HELPER_ADDRFILE"
+)
+
+func helperCfg() axml.Config {
+	return axml.Config{Mode: core.RangePartial, PageSize: 512, OpTimeout: 5 * time.Second}
+}
+
+// TestHelperServedProcess is not a test: it is the server process the
+// kill -9 chaos test sacrifices. It serves a WAL-backed store until killed.
+func TestHelperServedProcess(t *testing.T) {
+	dir := os.Getenv(helperEnv)
+	if dir == "" {
+		t.Skip("helper process entry point")
+	}
+	st, err := axml.OpenFileWAL(filepath.Join(dir, "store.db"), helperCfg(), filepath.Join(dir, "segments"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Atomic publish so the parent never reads a half-written address.
+	tmp := os.Getenv(helperAddrEnv) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, os.Getenv(helperAddrEnv)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(ln) // until SIGKILL
+}
+
+// TestKill9MidCommit: SIGKILL the serving process while commits are in
+// flight. Acked writes must survive WAL replay, the file must verify
+// clean, and a restarted server must answer within one OpTimeout.
+func TestKill9MidCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperServedProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"="+dir, helperAddrEnv+"="+addrFile)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	var addr string
+	waitFor(t, func() bool {
+		b, err := os.ReadFile(addrFile)
+		if err != nil {
+			return false
+		}
+		addr = string(b)
+		return addr != ""
+	})
+	c, err := server.Dial(addr, server.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	root, err := c.Load(ctx, `<log/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer commits from two sessions; count only acked inserts.
+	var acked, attempted atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		cc, err := server.Dial(addr, server.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cc *server.Client, w int) {
+			defer wg.Done()
+			defer cc.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				attempted.Add(1)
+				if _, err := cc.Insert(ctx, server.InsertLast, root, fmt.Sprintf(`<e w="%d" i="%d"/>`, w, i)); err != nil {
+					return // the kill landed mid-conversation
+				}
+				acked.Add(1)
+			}
+		}(cc, w)
+	}
+	// Let commits flow, then kill -9 mid-stream.
+	waitFor(t, func() bool { return acked.Load() >= 20 })
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	cmd.Wait()
+	close(stop)
+	wg.Wait()
+	c.Close()
+	t.Logf("kill -9 after %d acked / %d attempted commits", acked.Load(), attempted.Load())
+
+	// Restart: WAL replay must land between acked and attempted, verify
+	// clean, and a served query must answer within one OpTimeout.
+	restart := time.Now()
+	st, err := axml.ReopenFileWAL(filepath.Join(dir, "store.db"), helperCfg(), filepath.Join(dir, "segments"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatalf("post-kill verify: %v", err)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("post-kill invariants: %v", err)
+	}
+	got, err := axml.QueryValue(st, `count(//e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := strconv.ParseInt(got, 10, 64)
+	if err != nil {
+		t.Fatalf("count = %q", got)
+	}
+	if n < acked.Load() || n > attempted.Load() {
+		t.Fatalf("replayed %d commits, want between %d acked and %d attempted", n, acked.Load(), attempted.Load())
+	}
+
+	srv, err := server.New(server.Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+	opCtx, cancel := context.WithTimeout(context.Background(), helperCfg().OpTimeout)
+	defer cancel()
+	c2, err := server.Dial(ln.Addr().String(), server.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if v, err := c2.Value(opCtx, `count(//e)`); err != nil || v != got {
+		t.Fatalf("restarted server: %q (want %q), err %v", v, got, err)
+	}
+	if within := time.Since(restart); within > helperCfg().OpTimeout {
+		t.Fatalf("restart-to-answer took %v, budget one OpTimeout (%v)", within, helperCfg().OpTimeout)
+	}
+}

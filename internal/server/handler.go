@@ -1,0 +1,348 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/token"
+	"repro/internal/xmltok"
+	"repro/internal/xpath"
+)
+
+// StatsReport is the msgStats / HTTP /stats payload: service-layer
+// counters plus whichever backend is behind them.
+type StatsReport struct {
+	Server  ServedStats    `json:"server"`
+	Role    string         `json:"role"` // "primary" | "replica"
+	Store   *core.Stats    `json:"store,omitempty"`
+	Replica *replica.Stats `json:"replica,omitempty"`
+}
+
+// HealthReport is the msgHealth / HTTP /readyz payload. Ready reflects
+// the real store state: false while draining, degraded-read-only, or
+// replica-stalled — exactly the conditions a load balancer should route
+// around.
+type HealthReport struct {
+	Ready    bool               `json:"ready"`
+	Draining bool               `json:"draining"`
+	Role     string             `json:"role"`
+	Reason   string             `json:"reason,omitempty"`
+	Health   core.HealthSummary `json:"health"`
+	Replica  *replica.Stats     `json:"replica,omitempty"`
+}
+
+func (s *Server) role() string {
+	if s.opt.Follower != nil {
+		return "replica"
+	}
+	return "primary"
+}
+
+// withRead runs fn against the read backend. On a replica the caller's
+// gate (MinLSN / MaxStaleness from the request header) is enforced; a
+// primary is never stale, so the gate is moot there.
+func (s *Server) withRead(gate replica.ReadOptions, fn func(*core.Store) error) error {
+	if s.opt.Follower != nil {
+		return s.opt.Follower.Read(gate, fn)
+	}
+	return fn(s.opt.Store)
+}
+
+// writeStore returns the mutable backend or the typed refusal.
+func (s *Server) writeStore() (*core.Store, error) {
+	if s.opt.Follower != nil {
+		return nil, fmt.Errorf("%w: replica serves reads only", core.ErrReadOnly)
+	}
+	return s.opt.Store, nil
+}
+
+// statsReport assembles the full report.
+func (s *Server) statsReport() StatsReport {
+	rep := StatsReport{Server: s.Stats(), Role: s.role()}
+	if s.opt.Follower != nil {
+		rs := s.opt.Follower.Stats()
+		rep.Replica = &rs
+	} else {
+		st := s.opt.Store.Stats()
+		rep.Store = &st
+	}
+	return rep
+}
+
+// healthReport assembles the readiness view from live backend state.
+func (s *Server) healthReport() HealthReport {
+	h := HealthReport{Ready: true, Draining: s.draining.Load(), Role: s.role()}
+	if h.Draining {
+		h.Ready = false
+		h.Reason = "draining"
+	}
+	if s.opt.Follower != nil {
+		rs := s.opt.Follower.Stats()
+		h.Replica = &rs
+		switch {
+		case rs.Promoted:
+			h.Role = "primary"
+		case rs.Stalled && h.Ready:
+			h.Ready = false
+			h.Reason = "replica stalled: " + rs.StallCause
+		}
+		s.opt.Follower.Read(replica.ReadOptions{}, func(st *core.Store) error {
+			h.Health = st.Health()
+			return nil
+		})
+	} else {
+		h.Health = s.opt.Store.Health()
+	}
+	if h.Health.Degraded && h.Ready {
+		h.Ready = false
+		h.Reason = "store degraded: " + h.Health.ReadOnlyCause
+	}
+	return h
+}
+
+// dispatch runs one decoded request. d has been advanced past the common
+// header; what remains is op-specific.
+func (s *Server) dispatch(c *conn, ctx context.Context, typ byte, d *dec, gate replica.ReadOptions) error {
+	switch typ {
+	case msgQuery:
+		expr, err := d.str()
+		if err != nil {
+			return err
+		}
+		return s.handleQuery(c, ctx, expr, gate)
+	case msgValue:
+		expr, err := d.str()
+		if err != nil {
+			return err
+		}
+		return s.handleValue(c, ctx, expr, gate)
+	case msgReadNode:
+		id, err := d.u64()
+		if err != nil {
+			return err
+		}
+		return s.handleReadNode(c, ctx, core.NodeID(id), gate)
+	case msgStats:
+		return c.writeJSON(s.statsReport())
+	case msgHealth:
+		return c.writeJSON(s.healthReport())
+	case msgInsert:
+		return s.handleInsert(c, ctx, d)
+	case msgDelete:
+		id, err := d.u64()
+		if err != nil {
+			return err
+		}
+		return s.handleDelete(c, ctx, core.NodeID(id))
+	case msgLoad:
+		frag, err := d.str()
+		if err != nil {
+			return err
+		}
+		return s.handleLoad(c, ctx, frag)
+	default:
+		return fmt.Errorf("%w: unknown request type 0x%02x", ErrProtocol, typ)
+	}
+}
+
+func (c *conn) writeJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(msgJSON, b)
+}
+
+// nodeXML renders one node's subtree under the caller's deadline —
+// NodeXMLString's logic on top of the ctx-aware read path.
+func nodeXML(ctx context.Context, st *core.Store, id core.NodeID) (string, error) {
+	items, err := st.ReadNodeCtx(ctx, id)
+	if err != nil {
+		return "", err
+	}
+	toks := make([]core.Token, 0, len(items))
+	for _, it := range items {
+		toks = append(toks, it.Tok)
+	}
+	if len(toks) > 0 && toks[0].Kind == token.BeginAttribute {
+		return fmt.Sprintf("%s=%q", toks[0].Name, toks[0].Value), nil
+	}
+	return xmltok.ToString(toks)
+}
+
+// handleQuery streams matches as they serialize: one msgRow per node,
+// then msgDone with the count. Each row flushes under the write timeout,
+// so a slow reader stalls its own session only — and only briefly.
+func (s *Server) handleQuery(c *conn, ctx context.Context, expr string, gate replica.ReadOptions) error {
+	compiled, err := xpath.Parse(expr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var sent uint64
+	err = s.withRead(gate, func(st *core.Store) error {
+		doc, err := xpath.FromStoreCtx(ctx, st)
+		if err != nil {
+			return err
+		}
+		nodes, err := compiled.Eval(doc)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		ids := make([]core.NodeID, 0, len(nodes))
+		for _, n := range nodes {
+			if n.Kind != xpath.Root {
+				ids = append(ids, n.ID)
+			}
+		}
+		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			xml, err := nodeXML(ctx, st, id)
+			if err != nil {
+				return err
+			}
+			var e enc
+			e.u64(uint64(id))
+			e.str(xml)
+			if err := c.writeFrame(msgRow, e.payload()); err != nil {
+				return err
+			}
+			sent++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var e enc
+	e.u64(sent)
+	return c.writeFrame(msgDone, e.payload())
+}
+
+func (s *Server) handleValue(c *conn, ctx context.Context, expr string, gate replica.ReadOptions) error {
+	compiled, err := xpath.Parse(expr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var val string
+	err = s.withRead(gate, func(st *core.Store) error {
+		d, err := xpath.FromStoreCtx(ctx, st)
+		if err != nil {
+			return err
+		}
+		val, err = compiled.EvalValue(d)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var e enc
+	e.str(val)
+	return c.writeFrame(msgValueRes, e.payload())
+}
+
+func (s *Server) handleReadNode(c *conn, ctx context.Context, id core.NodeID, gate replica.ReadOptions) error {
+	var xml string
+	err := s.withRead(gate, func(st *core.Store) error {
+		var err error
+		xml, err = nodeXML(ctx, st, id)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	var e enc
+	e.str(xml)
+	return c.writeFrame(msgValueRes, e.payload())
+}
+
+// handleInsert runs one XUpdate primitive and commits it (Flush) before
+// acknowledging — the ack means durable.
+func (s *Server) handleInsert(c *conn, ctx context.Context, d *dec) error {
+	opb, err := d.byt()
+	if err != nil {
+		return err
+	}
+	id, err := d.u64()
+	if err != nil {
+		return err
+	}
+	frag, err := d.str()
+	if err != nil {
+		return err
+	}
+	st, err := s.writeStore()
+	if err != nil {
+		return err
+	}
+	toks, err := xmltok.ParseFragmentString(frag, xmltok.ParseOptions{})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	target := core.NodeID(id)
+	var newID core.NodeID
+	switch InsertOp(opb) {
+	case InsertLast:
+		newID, err = st.InsertIntoLastCtx(ctx, target, toks)
+	case InsertFirst:
+		newID, err = st.InsertIntoFirstCtx(ctx, target, toks)
+	case InsertBefore:
+		newID, err = st.InsertBeforeCtx(ctx, target, toks)
+	case InsertAfter:
+		newID, err = st.InsertAfterCtx(ctx, target, toks)
+	case Replace:
+		newID, err = st.ReplaceNodeCtx(ctx, target, toks)
+	case ReplaceContent:
+		newID, err = st.ReplaceContentCtx(ctx, target, toks)
+	default:
+		return fmt.Errorf("%w: unknown insert op %d", ErrBadRequest, opb)
+	}
+	if err != nil {
+		return err
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	var e enc
+	e.u64(uint64(newID))
+	return c.writeFrame(msgNodeID, e.payload())
+}
+
+func (s *Server) handleDelete(c *conn, ctx context.Context, id core.NodeID) error {
+	st, err := s.writeStore()
+	if err != nil {
+		return err
+	}
+	if err := st.DeleteNodeCtx(ctx, id); err != nil {
+		return err
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	return c.writeFrame(msgOK, nil)
+}
+
+func (s *Server) handleLoad(c *conn, ctx context.Context, frag string) error {
+	st, err := s.writeStore()
+	if err != nil {
+		return err
+	}
+	toks, err := xmltok.ParseFragmentString(frag, xmltok.ParseOptions{})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	id, err := st.AppendCtx(ctx, toks)
+	if err != nil {
+		return err
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	var e enc
+	e.u64(uint64(id))
+	return c.writeFrame(msgNodeID, e.payload())
+}

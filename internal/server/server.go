@@ -1,0 +1,515 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+// Options configures a Server. Exactly one of Store and Follower must be
+// set: a primary serves reads and writes, a follower serves gated reads
+// and sheds writes with ErrReadOnly.
+type Options struct {
+	// Store is the primary backend.
+	Store *core.Store
+	// Follower is the replica backend; reads go through its staleness
+	// gates, writes are refused.
+	Follower *replica.Follower
+
+	// Tenants maps auth tokens to tenant quotas. An empty map disables
+	// authentication: every session lands in one shared unlimited tenant.
+	Tenants map[string]Tenant
+
+	// MaxConns bounds concurrently served connections. Default 256.
+	MaxConns int
+	// MaxAcceptQueue bounds accepted connections waiting FIFO for a slot;
+	// beyond it new connections shed with ErrOverloaded. Default MaxConns.
+	MaxAcceptQueue int
+	// MaxFrame caps one frame's declared wire size. Default DefaultMaxFrame.
+	MaxFrame int
+
+	// ReadTimeout bounds reading a frame body once its length header has
+	// arrived — a client dribbling bytes (slowloris) is cut here, and this
+	// also bounds writes of response frames. Default 10s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame to a slow reader.
+	// Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a session may sit between requests.
+	// Default 2m.
+	IdleTimeout time.Duration
+
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 256
+	}
+	if o.MaxAcceptQueue <= 0 {
+		o.MaxAcceptQueue = o.MaxConns
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// ServedStats counts what the service layer has done and shed.
+type ServedStats struct {
+	ConnsActive     int64 `json:"conns_active"`
+	ConnsTotal      int64 `json:"conns_total"`
+	ConnsShed       int64 `json:"conns_shed"`
+	ConnsQueued     int64 `json:"conns_queued"`
+	OpsInFlight     int64 `json:"ops_in_flight"`
+	OpsTotal        int64 `json:"ops_total"`
+	OpsShedQuota    int64 `json:"ops_shed_quota"`
+	FrameViolations int64 `json:"frame_violations"`
+	Draining        bool  `json:"draining"`
+}
+
+// Server serves the wire protocol over one store or one replica.
+type Server struct {
+	opt     Options
+	tenants map[string]*tenantGate // auth token -> gate
+	open    *tenantGate            // auth-disabled shared gate, nil otherwise
+
+	connSlots    chan struct{}
+	slotWaiters  atomic.Int64
+	drainCh      chan struct{} // closed when drain begins; wakes slot waiters
+	draining     atomic.Bool
+	drainOnce    sync.Once
+	shutdownDone chan struct{} // closed when Shutdown finishes
+
+	opMu sync.Mutex // serializes op begin vs drain cutoff
+	ops  sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	seq    atomic.Uint64 // session ids
+	closed bool
+
+	connsTotal      atomic.Int64
+	connsShed       atomic.Int64
+	opsInFlight     atomic.Int64
+	opsTotal        atomic.Int64
+	frameViolations atomic.Int64
+}
+
+// New validates opt and builds a Server.
+func New(opt Options) (*Server, error) {
+	if (opt.Store == nil) == (opt.Follower == nil) {
+		return nil, errors.New("server: exactly one of Store and Follower must be set")
+	}
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:          opt,
+		tenants:      make(map[string]*tenantGate, len(opt.Tenants)),
+		connSlots:    make(chan struct{}, opt.MaxConns),
+		drainCh:      make(chan struct{}),
+		shutdownDone: make(chan struct{}),
+		conns:        make(map[*conn]struct{}),
+	}
+	for token, t := range opt.Tenants {
+		if token == "" {
+			return nil, errors.New("server: empty auth token")
+		}
+		s.tenants[token] = newTenantGate(t)
+	}
+	if len(s.tenants) == 0 {
+		s.open = newTenantGate(Tenant{Name: "default"})
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Shutdown or a fatal accept error.
+// It returns nil after a clean drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.connsTotal.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats snapshots the service-layer counters.
+func (s *Server) Stats() ServedStats {
+	return ServedStats{
+		ConnsActive:     int64(len(s.connSlots)),
+		ConnsTotal:      s.connsTotal.Load(),
+		ConnsShed:       s.connsShed.Load(),
+		ConnsQueued:     s.slotWaiters.Load(),
+		OpsInFlight:     s.opsInFlight.Load(),
+		OpsTotal:        s.opsTotal.Load(),
+		OpsShedQuota:    s.quotaShed(),
+		FrameViolations: s.frameViolations.Load(),
+		Draining:        s.draining.Load(),
+	}
+}
+
+func (s *Server) quotaShed() int64 {
+	var n int64
+	if s.open != nil {
+		n += s.open.shed.Load()
+	}
+	for _, g := range s.tenants {
+		n += g.shed.Load()
+	}
+	return n
+}
+
+// beginServerOp admits one operation against the drain cutoff. The mutex
+// makes "reject new ops" and "wait for in-flight ops" a single atomic
+// boundary: no op can slip in between Shutdown's cutoff and its Wait.
+func (s *Server) beginServerOp() (func(), error) {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if s.draining.Load() {
+		return nil, fmt.Errorf("%w: drain in progress", ErrDraining)
+	}
+	s.ops.Add(1)
+	s.opsInFlight.Add(1)
+	s.opsTotal.Add(1)
+	return func() {
+		s.opsInFlight.Add(-1)
+		s.ops.Done()
+	}, nil
+}
+
+// Shutdown drains the server: stop accepting, finish in-flight operations,
+// fsync the store, close every connection. ctx bounds how long in-flight
+// operations may take; when it expires remaining connections are severed
+// and ctx.Err() returned — the store itself stays crash-consistent (that
+// is the WAL's job), only clients see the cut.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.drainOnce.Do(func() {
+		// Atomic drain cutoff: after this, beginServerOp refuses.
+		s.opMu.Lock()
+		s.draining.Store(true)
+		s.opMu.Unlock()
+		close(s.drainCh)
+
+		s.mu.Lock()
+		ln := s.ln
+		conns := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		// Sever idle connections now; busy ones finish their current op
+		// (the conn loop checks the drain flag after every op).
+		for _, c := range conns {
+			if !c.inOp.Load() {
+				c.nc.Close()
+			}
+		}
+
+		done := make(chan struct{})
+		go func() {
+			s.ops.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		// Force-close whatever remains (no-op after a clean drain).
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.closed = true
+		s.mu.Unlock()
+
+		if s.opt.Store != nil {
+			if ferr := s.opt.Store.Flush(); ferr != nil && !errors.Is(ferr, core.ErrReadOnly) && err == nil {
+				err = ferr
+			}
+		}
+		close(s.shutdownDone)
+	})
+	<-s.shutdownDone
+	return err
+}
+
+// conn is one served connection.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	gate *tenantGate
+	sid  uint64
+	inOp atomic.Bool
+}
+
+// serveConn runs a connection's whole life: slot admission, handshake,
+// request loop, teardown.
+func (s *Server) serveConn(nc net.Conn) {
+	if s.draining.Load() {
+		s.refuse(nc, fmt.Errorf("%w: drain in progress", ErrDraining))
+		return
+	}
+	if !s.admitConn(nc) {
+		return
+	}
+	defer func() { <-s.connSlots }()
+
+	c := &conn{srv: s, nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+
+	if err := c.handshake(); err != nil {
+		c.writeErr(err)
+		return
+	}
+	for {
+		closeAfter, err := c.serveRequest()
+		if err != nil {
+			// Framing violations get a best-effort typed error frame so
+			// the client learns *why* before the cut.
+			if errors.Is(err, ErrProtocol) || errors.Is(err, ErrFrameTooLarge) {
+				s.frameViolations.Add(1)
+				c.writeErr(err)
+			}
+			return
+		}
+		if closeAfter {
+			return
+		}
+	}
+}
+
+// admitConn claims a connection slot. The fast path takes a free slot;
+// otherwise the connection waits FIFO in a bounded queue (Go's channel
+// semantics wake blocked senders in order) and sheds with ErrOverloaded
+// when the queue itself is full.
+func (s *Server) admitConn(nc net.Conn) bool {
+	select {
+	case s.connSlots <- struct{}{}:
+		return true
+	default:
+	}
+	if s.slotWaiters.Add(1) > int64(s.opt.MaxAcceptQueue) {
+		s.slotWaiters.Add(-1)
+		s.connsShed.Add(1)
+		s.refuse(nc, fmt.Errorf("%w: %d connections served and %d queued",
+			core.ErrOverloaded, s.opt.MaxConns, s.opt.MaxAcceptQueue))
+		return false
+	}
+	defer s.slotWaiters.Add(-1)
+	select {
+	case s.connSlots <- struct{}{}:
+		return true
+	case <-s.drainCh:
+		s.refuse(nc, fmt.Errorf("%w: drain in progress", ErrDraining))
+		return false
+	}
+}
+
+// refuse sends one best-effort error frame and closes.
+func (s *Server) refuse(nc net.Conn, err error) {
+	nc.SetWriteDeadline(time.Now().Add(s.opt.WriteTimeout))
+	writeFrame(nc, msgErr, encodeErr(err))
+	nc.Close()
+}
+
+// handshake reads the hello frame under the read timeout (a client that
+// connects and stalls is cut quickly — it has no session yet) and binds
+// the session to a tenant.
+func (c *conn) handshake() error {
+	s := c.srv
+	c.nc.SetReadDeadline(time.Now().Add(s.opt.ReadTimeout))
+	typ, payload, err := readFrame(c.br, s.opt.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if typ != msgHello {
+		return fmt.Errorf("%w: expected hello, got 0x%02x", ErrProtocol, typ)
+	}
+	d := dec{payload}
+	ver, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if ver != ProtocolVersion {
+		return fmt.Errorf("%w: protocol version %d, server speaks %d", ErrProtocol, ver, ProtocolVersion)
+	}
+	token, err := d.str()
+	if err != nil {
+		return err
+	}
+	if s.open != nil {
+		c.gate = s.open
+	} else {
+		g, ok := s.tenants[token]
+		if !ok {
+			return fmt.Errorf("%w: unknown token", ErrAuth)
+		}
+		c.gate = g
+	}
+	c.sid = s.seq.Add(1)
+	var e enc
+	e.u64(c.sid)
+	e.u64(uint64(s.opt.MaxFrame))
+	role := byte(0)
+	if s.opt.Follower != nil {
+		role = 1
+	}
+	e.byt(role)
+	return c.writeFrame(msgHelloOK, e.payload())
+}
+
+// serveRequest reads and executes one request. The length header waits
+// under the idle timeout; once it arrives the body must finish within the
+// read timeout — a dribbling client cannot pin the session.
+func (c *conn) serveRequest() (closeAfter bool, err error) {
+	s := c.srv
+	c.nc.SetReadDeadline(time.Now().Add(s.opt.IdleTimeout))
+	n, err := readFrameLen(c.br)
+	if err != nil {
+		return false, err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(s.opt.ReadTimeout))
+	typ, payload, err := readFrameBody(c.br, n, s.opt.MaxFrame)
+	if err != nil {
+		return false, err
+	}
+
+	if typ == msgPing {
+		return false, c.writeFrame(msgPong, nil)
+	}
+
+	finish, err := s.beginServerOp()
+	if err != nil {
+		// Drain cutoff: tell the client, then close so it reconnects
+		// against a live server.
+		c.writeErr(err)
+		return true, nil
+	}
+	// The response — success frames or the typed error — goes out before
+	// finish(): a draining Shutdown waits for in-flight ops, and "in
+	// flight" must include telling the client what happened.
+	c.inOp.Store(true)
+	opErr := c.runOp(typ, payload)
+	var werr error
+	framing := opErr != nil && (errors.Is(opErr, ErrProtocol) || errors.Is(opErr, ErrFrameTooLarge))
+	if opErr != nil && !framing {
+		werr = c.writeErr(opErr)
+	}
+	c.inOp.Store(false)
+	finish()
+
+	if framing {
+		return false, opErr // framing broken: close with best-effort frame upstream
+	}
+	if werr != nil {
+		return false, werr
+	}
+	return s.draining.Load(), nil
+}
+
+// runOp decodes the request header (deadline, read gate) and dispatches.
+func (c *conn) runOp(typ byte, payload []byte) error {
+	s := c.srv
+	d := &dec{payload}
+	deadlineMs, err := d.u64()
+	if err != nil {
+		return err
+	}
+	minLSN, err := d.u64()
+	if err != nil {
+		return err
+	}
+	staleMs, err := d.u64()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if deadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	gate := replica.ReadOptions{MinLSN: minLSN, MaxStaleness: time.Duration(staleMs) * time.Millisecond}
+
+	release, err := c.gate.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	return s.dispatch(c, ctx, typ, d, gate)
+}
+
+// writeFrame writes one response frame under the write timeout, flushing
+// so a streamed row is on the wire before the next one is computed.
+func (c *conn) writeFrame(typ byte, payload []byte) error {
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.opt.WriteTimeout))
+	if err := writeFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *conn) writeErr(err error) error {
+	return c.writeFrame(msgErr, encodeErr(err))
+}

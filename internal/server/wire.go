@@ -1,0 +1,266 @@
+// Package server is the network service layer: axmlserved's length-prefixed
+// binary wire protocol (plus a thin HTTP/JSON facade in http.go) over one
+// store or one read replica. Robustness is the design center, not a layer
+// on top:
+//
+//   - client deadlines travel in every request header and become the
+//     context the store's own OpTimeout machinery already honors;
+//   - connections are bounded with FIFO-fair accept queuing that sheds
+//     with the same typed ErrOverloaded the admission controller uses;
+//   - per-frame read/write timeouts and a hard frame-size cap defeat
+//     slowloris and oversized-frame abuse;
+//   - every typed error in the taxonomy (DESIGN.md §10) crosses the wire
+//     as its stable code set (core/errcode.go) and is reconstructed on the
+//     client so errors.Is answers exactly as it would in-process;
+//   - SIGTERM drains gracefully: stop accepting, finish in-flight ops
+//     under a deadline, fsync, close.
+//
+// Wire format (DESIGN.md §12): one frame is
+//
+//	| uint32 big-endian length | byte type | payload (length-1 bytes) |
+//
+// Length counts the type byte, so the minimum frame is 5 bytes on the
+// wire. Payload fields are unsigned varints and uvarint-length-prefixed
+// strings. Each request carries its deadline (milliseconds, 0 = none) and,
+// for reads, a replica gate (MinLSN, MaxStaleness) that primaries ignore.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// ProtocolVersion is sent in both hello frames; the server refuses a
+// client whose major version it does not speak.
+const ProtocolVersion = 1
+
+// DefaultMaxFrame caps one frame's wire size (length field) unless
+// Options/ClientOptions override it.
+const DefaultMaxFrame = 1 << 20
+
+// Message types. Client requests are < 0x80, server responses >= 0x80.
+const (
+	msgHello    byte = 0x01
+	msgPing     byte = 0x02
+	msgQuery    byte = 0x10
+	msgValue    byte = 0x11
+	msgReadNode byte = 0x12
+	msgStats    byte = 0x13
+	msgHealth   byte = 0x14
+	msgInsert   byte = 0x20
+	msgDelete   byte = 0x21
+	msgLoad     byte = 0x22
+
+	msgHelloOK  byte = 0x80
+	msgErr      byte = 0x81
+	msgPong     byte = 0x82
+	msgRow      byte = 0x83
+	msgDone     byte = 0x84
+	msgValueRes byte = 0x85
+	msgJSON     byte = 0x86
+	msgNodeID   byte = 0x87
+	msgOK       byte = 0x88
+)
+
+// InsertOp selects which XUpdate primitive an insert request runs.
+type InsertOp byte
+
+// Insert operations, wire-stable.
+const (
+	InsertLast InsertOp = iota
+	InsertFirst
+	InsertBefore
+	InsertAfter
+	Replace
+	ReplaceContent
+)
+
+// Typed service-layer errors, registered in the wire-code registry like
+// every other layer's sentinels.
+var (
+	// ErrAuth rejects a handshake with an unknown token, or a request on a
+	// connection that never completed its handshake.
+	ErrAuth = errors.New("server: authentication failed")
+	// ErrFrameTooLarge rejects a frame whose declared length exceeds the
+	// negotiated cap. The connection closes: the stream's framing can no
+	// longer be trusted (the declared bytes were never read).
+	ErrFrameTooLarge = errors.New("server: frame exceeds the maximum size")
+	// ErrProtocol rejects a malformed frame or an out-of-order message;
+	// the connection closes.
+	ErrProtocol = errors.New("server: protocol violation")
+	// ErrDraining sheds an operation arriving after drain began. The
+	// caller should reconnect elsewhere; in-flight operations finish.
+	ErrDraining = errors.New("server: draining, not accepting new operations")
+	// ErrQuotaExceeded sheds an operation whose tenant is at its quota
+	// with a full wait queue. Like ErrOverloaded, retry after backoff.
+	ErrQuotaExceeded = errors.New("server: tenant quota exceeded")
+	// ErrBadRequest rejects a request whose payload decoded but made no
+	// sense (bad insert op, unparsable fragment target...). The connection
+	// stays open.
+	ErrBadRequest = errors.New("server: malformed request")
+)
+
+func init() {
+	core.RegisterErrCode(core.CodeAuth, ErrAuth)
+	core.RegisterErrCode(core.CodeFrameTooLarge, ErrFrameTooLarge)
+	core.RegisterErrCode(core.CodeProtocol, ErrProtocol)
+	core.RegisterErrCode(core.CodeDraining, ErrDraining)
+	core.RegisterErrCode(core.CodeQuotaExceeded, ErrQuotaExceeded)
+	core.RegisterErrCode(core.CodeBadRequest, ErrBadRequest)
+}
+
+// writeFrame writes one frame. The caller is responsible for any write
+// deadline on w.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(1+len(payload)))
+	hdr[4] = typ
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// readFrameLen reads the 4-byte length header. It is split from
+// readFrameBody so the server can run the two phases under different
+// deadlines: a long idle timeout waiting for the header, a short read
+// timeout for the body — the slowloris defense.
+func readFrameLen(r io.Reader) (uint32, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(hdr[:]), nil
+}
+
+// readFrameBody validates the declared length against the cap *before*
+// reading — an attacker-declared length never allocates or waits for bytes
+// that will not be honored — then reads type byte and payload.
+func readFrameBody(r io.Reader, n uint32, maxFrame int) (byte, []byte, error) {
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrProtocol)
+	}
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, fmt.Errorf("%w: declared %d bytes, cap %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// readFrame reads one complete frame under a single deadline regime.
+func readFrame(r io.Reader, maxFrame int) (byte, []byte, error) {
+	n, err := readFrameLen(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return readFrameBody(r, n, maxFrame)
+}
+
+// enc builds a payload: uvarints and uvarint-length-prefixed strings.
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64)    { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) byt(v byte)      { e.b = append(e.b, v) }
+func (e *enc) str(s string)    { e.u64(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bytes(p []byte)  { e.u64(uint64(len(p))); e.b = append(e.b, p...) }
+func (e *enc) payload() []byte { return e.b }
+
+// dec consumes a payload; every method fails cleanly on truncation so a
+// hostile payload cannot panic the session.
+type dec struct{ b []byte }
+
+func (d *dec) u64() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrProtocol)
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) byt() (byte, error) {
+	if len(d.b) == 0 {
+		return 0, fmt.Errorf("%w: truncated byte", ErrProtocol)
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v, nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.u64()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.b)) < n {
+		return "", fmt.Errorf("%w: truncated string (declared %d, have %d)", ErrProtocol, n, len(d.b))
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+// encodeErr maps an error chain onto the wire: every registered code the
+// chain matches (core.ErrCodesOf), then the message. The full code set —
+// not a single primary — is what lets multi-cause errors (a gated replica
+// read shed both ErrTooStale and ErrReplicaStalled) round-trip errors.Is.
+func encodeErr(err error) []byte {
+	codes := core.ErrCodesOf(err)
+	var e enc
+	e.u64(uint64(len(codes)))
+	for _, c := range codes {
+		e.u64(uint64(c))
+	}
+	e.str(err.Error())
+	return e.payload()
+}
+
+// wireError is the client-side reconstruction of a server error frame: the
+// original message plus every sentinel the server's chain matched, exposed
+// through Unwrap so errors.Is answers exactly as it would in-process.
+type wireError struct {
+	codes  []core.ErrCode
+	msg    string
+	causes []error
+}
+
+func (e *wireError) Error() string   { return e.msg }
+func (e *wireError) Unwrap() []error { return e.causes }
+
+// Codes returns the stable wire codes the server attached.
+func (e *wireError) Codes() []core.ErrCode { return e.codes }
+
+// decodeErr rebuilds a wireError from an error-frame payload.
+func decodeErr(payload []byte) error {
+	d := dec{payload}
+	n, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if n > 64 {
+		return fmt.Errorf("%w: %d error codes in one frame", ErrProtocol, n)
+	}
+	we := &wireError{}
+	for i := uint64(0); i < n; i++ {
+		c, err := d.u64()
+		if err != nil {
+			return err
+		}
+		code := core.ErrCode(c)
+		we.codes = append(we.codes, code)
+		if s, ok := core.SentinelFor(code); ok {
+			we.causes = append(we.causes, s)
+		}
+	}
+	msg, err := d.str()
+	if err != nil {
+		return err
+	}
+	we.msg = msg
+	return we
+}

@@ -1,0 +1,13 @@
+package txn
+
+import "repro/internal/core"
+
+// Wire codes for the transaction layer's typed errors (registry in
+// core/errcode.go; codes are stable and append-only).
+func init() {
+	core.RegisterErrCode(core.CodeDeadlock, ErrDeadlock)
+	core.RegisterErrCode(core.CodeLockTimeout, ErrLockTimeout)
+	core.RegisterErrCode(core.CodeTxDone, ErrTxDone)
+	core.RegisterErrCode(core.CodeManagerClosed, ErrManagerClosed)
+	core.RegisterErrCode(core.CodeStuckAborted, ErrStuckAborted)
+}

@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -128,7 +129,12 @@ func Query(d *Doc, src string) ([]*Node, error) {
 // QueryIDs evaluates against a store and returns matching node ids in
 // document order — the bridge from queries to XUpdate targets.
 func QueryIDs(s *core.Store, src string) ([]core.NodeID, error) {
-	d, err := FromStore(s)
+	return QueryIDsCtx(context.Background(), s, src)
+}
+
+// QueryIDsCtx is QueryIDs under a caller deadline (see FromStoreCtx).
+func QueryIDsCtx(ctx context.Context, s *core.Store, src string) ([]core.NodeID, error) {
+	d, err := FromStoreCtx(ctx, s)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 package xpath
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/core"
@@ -138,6 +139,17 @@ func BuildDoc(items []core.Item) (*Doc, error) {
 // FromStore builds the navigational view of a whole store.
 func FromStore(s *core.Store) (*Doc, error) {
 	items, err := s.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return BuildDoc(items)
+}
+
+// FromStoreCtx is FromStore under a caller deadline: the store scan that
+// materializes the view observes ctx at its page-fetch boundaries, so a
+// wire-propagated deadline bounds query setup too, not just evaluation.
+func FromStoreCtx(ctx context.Context, s *core.Store) (*Doc, error) {
+	items, err := s.ReadAllCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

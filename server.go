@@ -1,0 +1,82 @@
+package axml
+
+import (
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Network service layer re-exports (see internal/server): axmlserved's
+// wire protocol server, its client library, and the stable error-code
+// registry that lets every typed error below round-trip errors.Is across
+// the wire.
+type (
+	// Server serves the length-prefixed wire protocol (plus an HTTP/JSON
+	// facade) over one store or one read replica.
+	Server = server.Server
+	// ServerOptions configures a Server: backend, tenants, connection
+	// bounds, slow-client timeouts, frame cap.
+	ServerOptions = server.Options
+	// ServerTenant is one tenant's auth token quota configuration.
+	ServerTenant = server.Tenant
+	// ServedStats counts served/shed connections and operations.
+	ServedStats = server.ServedStats
+	// ServerStatsReport is the full stats payload: service layer plus
+	// backend.
+	ServerStatsReport = server.StatsReport
+	// ServerHealthReport is the readiness payload probes and clients see.
+	ServerHealthReport = server.HealthReport
+
+	// Client is a wire-protocol session; typed errors from the server
+	// answer errors.Is exactly as they would in-process.
+	Client = server.Client
+	// ClientOptions configures DialServer.
+	ClientOptions = server.ClientOptions
+	// Row is one streamed query match.
+	Row = server.Row
+	// InsertOp selects the XUpdate primitive a Client.Insert runs.
+	InsertOp = server.InsertOp
+
+	// HealthSummary is the store's own health view (also inside Stats).
+	HealthSummary = core.HealthSummary
+	// ErrCode is the stable wire code an exported typed error maps to.
+	ErrCode = core.ErrCode
+)
+
+// Insert operations for Client.Insert.
+const (
+	InsertLast     = server.InsertLast
+	InsertFirst    = server.InsertFirst
+	InsertBefore   = server.InsertBefore
+	InsertAfter    = server.InsertAfter
+	Replace        = server.Replace
+	ReplaceContent = server.ReplaceContent
+)
+
+// Service-layer typed errors.
+var (
+	// ErrAuth rejects an unknown auth token.
+	ErrAuth = server.ErrAuth
+	// ErrFrameTooLarge rejects a frame beyond the negotiated cap.
+	ErrFrameTooLarge = server.ErrFrameTooLarge
+	// ErrProtocol rejects a malformed or out-of-order message.
+	ErrProtocol = server.ErrProtocol
+	// ErrDraining sheds operations arriving after graceful drain began.
+	ErrDraining = server.ErrDraining
+	// ErrQuotaExceeded sheds operations beyond a tenant's quota.
+	ErrQuotaExceeded = server.ErrQuotaExceeded
+	// ErrBadRequest rejects a request that decoded but made no sense.
+	ErrBadRequest = server.ErrBadRequest
+)
+
+// NewServer validates opt and builds a Server.
+func NewServer(opt ServerOptions) (*Server, error) { return server.New(opt) }
+
+// DialServer connects to an axmlserved address and handshakes a session.
+func DialServer(addr string, opt ClientOptions) (*Client, error) { return server.Dial(addr, opt) }
+
+// ErrCodesOf maps an error chain onto its stable wire codes; ErrCodeOf
+// returns the primary (lowest) one.
+func ErrCodesOf(err error) []ErrCode { return core.ErrCodesOf(err) }
+
+// ErrCodeOf returns the first (lowest-numbered) matching wire code.
+func ErrCodeOf(err error) ErrCode { return core.ErrCodeOf(err) }
