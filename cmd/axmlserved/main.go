@@ -6,10 +6,15 @@
 //
 //	axmlserved -db store.db -archive segs -addr :7040 -http :7041
 //
-// Read replica tailing a primary's archive, bootstrapped from a
-// roll-forward backup on first start:
+// Read replica tailing a primary's archive on a shared filesystem,
+// bootstrapped from a roll-forward backup on first start:
 //
 //	axmlserved -db replica.db -source segs -base base.bak -addr :7050
+//
+// Read replica tailing a live primary over the network (no shared disk;
+// the primary must serve with -archive so it can ship segments):
+//
+//	axmlserved -db replica.db -source-addr primary:7040 -base base.bak -addr :7050
 //
 // Tenants gate admission per auth token ("token=name:maxops[:maxqueue]",
 // comma-separated; omit -tenants to serve unauthenticated):
@@ -50,6 +55,7 @@ func main() {
 type config struct {
 	db, mode, addr, httpAddr   string
 	archive, source, base      string
+	sourceAddr, sourceToken    string
 	tenants                    string
 	maxConns, acceptQueue      int
 	maxFrame                   int
@@ -67,6 +73,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&c.httpAddr, "http", "", "HTTP facade listen address (probes, stats, read-only queries); empty disables")
 	fs.StringVar(&c.archive, "archive", "", "WAL segment archive directory (primary; enables PITR and replica sourcing)")
 	fs.StringVar(&c.source, "source", "", "serve as read replica tailing this source segment archive")
+	fs.StringVar(&c.sourceAddr, "source-addr", "", "serve as read replica tailing a live primary at this wire address (no shared disk)")
+	fs.StringVar(&c.sourceToken, "source-token", "", "auth token for -source-addr sessions")
 	fs.StringVar(&c.base, "base", "", "replica bootstrap: roll-forward-capable backup (first start only)")
 	fs.StringVar(&c.tenants, "tenants", "", `per-token quotas: "token=name:maxops[:maxqueue]", comma-separated; empty serves unauthenticated`)
 	fs.IntVar(&c.maxConns, "max-conns", 256, "served connections bound (FIFO accept queue beyond it)")
@@ -167,25 +175,38 @@ func run(args []string, stdout *os.File) error {
 		IdleTimeout:    c.idleTO,
 	}
 
-	// Backend: replica when -source is set, primary otherwise. The
-	// primary is always write-ahead logged — a serving store whose acks
-	// do not survive kill -9 would be a lie.
+	// Backend: replica when -source/-source-addr is set, primary
+	// otherwise. The primary is always write-ahead logged — a serving
+	// store whose acks do not survive kill -9 would be a lie.
 	var cleanup func()
-	if c.source != "" {
+	switch {
+	case c.source != "" && c.sourceAddr != "":
+		return errors.New("-source and -source-addr are mutually exclusive")
+	case c.source != "" || c.sourceAddr != "":
+		var tr axml.ReplicaTransport
+		if c.sourceAddr != "" {
+			tr = axml.NewNetTransport(c.sourceAddr,
+				axml.NetTransportOptions{Client: axml.ClientOptions{Token: c.sourceToken}})
+		} else {
+			tr = axml.NewDirTransport(c.source, axml.DirTransportOptions{})
+		}
 		ropt := axml.ReplicaOptions{Store: cfg, Base: c.base, PollInterval: c.pollIv}
-		rep, err := axml.OpenReplica(c.db, axml.NewDirTransport(c.source, axml.DirTransportOptions{}), ropt)
+		rep, err := axml.OpenReplica(c.db, tr, ropt)
 		if err != nil {
 			return fmt.Errorf("open replica: %w", err)
 		}
 		rep.Start()
 		opt.Follower = rep
 		cleanup = func() { rep.Close() }
-	} else {
+	default:
 		st, err := openPrimary(c.db, cfg, c.archive)
 		if err != nil {
 			return err
 		}
 		opt.Store = st
+		// Serving the archive over the wire is what lets -source-addr
+		// replicas exist at all.
+		opt.ArchiveDir = c.archive
 		cleanup = func() { st.Close() }
 	}
 	defer cleanup()

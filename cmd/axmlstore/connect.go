@@ -11,16 +11,22 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	axml "repro"
 )
 
 // cmdConnect dispatches one command to the axmlserved at opts.connect.
-// Commands tied to the local file (verify, repair, backup, compact, ...)
-// stay local-only and are refused here with exit 2.
+// A comma-separated address list routes through the fleet client instead
+// (freshest-replica reads, idempotent failover writes). Commands tied to
+// the local file (verify, repair, backup, compact, ...) stay local-only
+// and are refused here with exit 2.
 func cmdConnect(ctx context.Context, opts cliOpts, args []string) error {
 	cmd := args[0]
+	if strings.Contains(opts.connect, ",") {
+		return cmdConnectFleet(ctx, opts, args)
+	}
 	c, err := axml.DialServer(opts.connect, axml.ClientOptions{Token: opts.token})
 	if err != nil {
 		return fmt.Errorf("connect %s: %w", opts.connect, err)
@@ -167,6 +173,10 @@ func cmdConnect(ctx context.Context, opts cliOpts, args []string) error {
 		if rep.Reason != "" {
 			fmt.Fprintf(out, "reason: %s\n", rep.Reason)
 		}
+		if rep.AppliedLSN != 0 || rep.Role == "replica" {
+			fmt.Fprintf(out, "replication: applied LSN %d, lag %d segment(s)%s\n",
+				rep.AppliedLSN, rep.LagSegments, stallCauseSuffix(rep.StallCause))
+		}
 		fmt.Fprintf(out, "health: read-only %v, degraded %v, budget pressure %.2f%s\n",
 			rep.Health.ReadOnly, rep.Health.Degraded, rep.Health.BudgetPressure,
 			healthCauseSuffix(rep.Health))
@@ -186,4 +196,135 @@ func healthCauseSuffix(h axml.HealthSummary) string {
 		return ""
 	}
 	return fmt.Sprintf(" (cause: %s)", h.ReadOnlyCause)
+}
+
+// stallCauseSuffix renders a wedged replication stream on the health line.
+func stallCauseSuffix(cause string) string {
+	if cause == "" {
+		return ""
+	}
+	return fmt.Sprintf(" — STALLED: %s", cause)
+}
+
+// cmdConnectFleet runs one data command through the fleet client: reads
+// route to the freshest healthy replica with automatic walk-on-failure,
+// writes carry idempotency tokens and follow the primary across a
+// failover. Session-introspection commands (ping, stats, health) are
+// per-endpoint by nature — run them with a single -connect address.
+func cmdConnectFleet(ctx context.Context, opts cliOpts, args []string) error {
+	cmd := args[0]
+	eps := strings.Split(opts.connect, ",")
+	for i := range eps {
+		eps[i] = strings.TrimSpace(eps[i])
+	}
+	fc, err := axml.DialFleet(eps, axml.FleetOptions{Client: axml.ClientOptions{Token: opts.token}})
+	if err != nil {
+		return fmt.Errorf("connect fleet %s: %w", opts.connect, err)
+	}
+	defer fc.Close()
+	out := opts.stdout()
+
+	nodeArg := func(i int) (axml.NodeID, error) {
+		if len(args) <= i {
+			return 0, exitWith(2, fmt.Errorf("%s needs a node id", cmd))
+		}
+		n, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return 0, exitWith(2, fmt.Errorf("bad node id %q", args[i]))
+		}
+		return axml.NodeID(n), nil
+	}
+
+	switch cmd {
+	case "query":
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("query needs an XPath expression"))
+		}
+		rows, err := fc.Query(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(out, "%d\t%s\n", r.ID, r.XML); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%d node(s)\n", len(rows))
+		return nil
+	case "value":
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("value needs an XPath expression"))
+		}
+		v, err := fc.Value(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, v)
+		return nil
+	case "read":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		xml, err := fc.ReadNode(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, xml)
+		return nil
+	case "insert-last", "insert-first", "insert-before", "insert-after", "replace":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 {
+			return exitWith(2, fmt.Errorf("%s needs an XML fragment", cmd))
+		}
+		op := map[string]axml.InsertOp{
+			"insert-last":   axml.InsertLast,
+			"insert-first":  axml.InsertFirst,
+			"insert-before": axml.InsertBefore,
+			"insert-after":  axml.InsertAfter,
+			"replace":       axml.Replace,
+		}[cmd]
+		newID, err := fc.Insert(ctx, op, id, args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok: new content starts at id %d\n", newID)
+		return nil
+	case "delete":
+		id, err := nodeArg(1)
+		if err != nil {
+			return err
+		}
+		if err := fc.Delete(ctx, id); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "ok")
+		return nil
+	case "load":
+		if len(args) != 2 {
+			return exitWith(2, fmt.Errorf("load needs an XML file"))
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		id, err := fc.Load(ctx, string(data))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %s: first node id %d\n", args[1], id)
+		return nil
+	case "primary":
+		addr, err := fc.PrimaryAddr(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, addr)
+		return nil
+	default:
+		return exitWith(2, fmt.Errorf("%s: not available over a fleet -connect (use a single address)", cmd))
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"path/filepath"
 	"strings"
@@ -237,5 +238,49 @@ func TestCLIReplicaJSONHealth(t *testing.T) {
 	}
 	if _, ok := rep["applied_lsn"]; !ok {
 		t.Errorf("replica -json lost the position fields:\n%s", out.String())
+	}
+}
+
+// TestCLIConnectFleet pins the comma-separated -connect form: data
+// commands route through the fleet client against two endpoints and
+// primary names the write-role holder.
+func TestCLIConnectFleet(t *testing.T) {
+	_, xmlPath := writeDoc(t)
+	dir := t.TempDir()
+	a1 := startServed(t, filepath.Join(dir, "a.db"), nil)
+	a2 := startServed(t, filepath.Join(dir, "b.db"), nil)
+	opts := func(buf *bytes.Buffer) cliOpts {
+		return cliOpts{connect: a1 + ", " + a2, out: buf}
+	}
+
+	var buf bytes.Buffer
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"load", xmlPath}); err != nil {
+		t.Fatalf("fleet load: %v", err)
+	}
+
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"value", `count(//order)`}); err != nil {
+		t.Fatalf("fleet value: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "2" {
+		t.Fatalf("fleet count = %q, want 2", got)
+	}
+
+	// Both endpoints are standalone primaries here; the fleet picks one
+	// and sticks with it — primary must name one of the two addresses.
+	buf.Reset()
+	if err := runOpts("unused.db", "partial", opts(&buf), []string{"primary"}); err != nil {
+		t.Fatalf("fleet primary: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != a1 && got != a2 {
+		t.Fatalf("primary = %q, want %q or %q", got, a1, a2)
+	}
+
+	// Per-endpoint commands refuse the fleet form with exit 2.
+	buf.Reset()
+	err := runOpts("unused.db", "partial", opts(&buf), []string{"ping"})
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != 2 {
+		t.Fatalf("fleet ping: got %v, want exit 2", err)
 	}
 }

@@ -149,6 +149,12 @@ tenant-gated servers, -timeout propagates to the server as the operation
 deadline, and two extra commands appear: ping (round-trip check) and
 health (readiness view; exit 1 when not ready).
 
+With a comma-separated -connect list (primary plus replicas), the data
+commands route through the fleet client: reads go to the freshest
+healthy replica and walk on failure, writes carry idempotency tokens
+and follow the primary across a failover, and the primary command
+prints which endpoint currently holds the write role.
+
 With -archive, mutating commands run write-ahead logged and every commit is
 archived as a numbered segment — the raw material of point-in-time restore.
 A replica bootstrapped from a roll-forward backup tails that archive and can

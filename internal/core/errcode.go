@@ -73,18 +73,40 @@ const (
 	CodeDraining      ErrCode = 63
 	CodeQuotaExceeded ErrCode = 64
 	CodeBadRequest    ErrCode = 65
+	// CodeSegmentGone carries fs.ErrNotExist across the wire: a replication
+	// fetch for a segment the source no longer has. The network follower
+	// needs errors.Is(err, fs.ErrNotExist) to answer the same as a local
+	// directory read would — "gone" vs "failed to read" decides stall vs
+	// retry. Registered by the server package, which owns the wire.
+	CodeSegmentGone ErrCode = 66
 )
+
+// errEntry is one registered sentinel plus its machine-readable
+// retryability classification.
+type errEntry struct {
+	sentinel  error
+	retryable bool
+}
 
 var errReg = struct {
 	sync.RWMutex
-	byCode map[ErrCode]error
+	byCode map[ErrCode]errEntry
 	codes  []ErrCode // sorted, for deterministic enumeration
-}{byCode: make(map[ErrCode]error)}
+}{byCode: make(map[ErrCode]errEntry)}
 
-// RegisterErrCode binds a sentinel error to its stable wire code. Each
-// package registers its own sentinels in an init; registering the same code
-// twice panics — a collision is a numbering bug, not a runtime condition.
-func RegisterErrCode(code ErrCode, sentinel error) {
+// RegisterErrCode binds a sentinel error to its stable wire code and
+// classifies its retryability. Each package registers its own sentinels in
+// an init; registering the same code twice panics — a collision is a
+// numbering bug, not a runtime condition.
+//
+// retryable means: the condition is transient and the *whole operation* is
+// safe and sensible to re-run after a jittered backoff — an admission shed,
+// a tenant quota shed, a deadlock victim, a drain in progress. It does NOT
+// mean "might eventually work" (a corrupt page might be repaired someday;
+// retrying does not repair it). The flag is the single source of truth the
+// resilient client, the replication transports, and RunInTx all classify
+// from — no layer keeps its own list of retryable sentinels.
+func RegisterErrCode(code ErrCode, sentinel error, retryable bool) {
 	if code == CodeOK || code == CodeUnknown || sentinel == nil {
 		panic("core: RegisterErrCode: reserved code or nil sentinel")
 	}
@@ -93,7 +115,7 @@ func RegisterErrCode(code ErrCode, sentinel error) {
 	if _, dup := errReg.byCode[code]; dup {
 		panic("core: RegisterErrCode: duplicate code")
 	}
-	errReg.byCode[code] = sentinel
+	errReg.byCode[code] = errEntry{sentinel: sentinel, retryable: retryable}
 	errReg.codes = append(errReg.codes, code)
 	sort.Slice(errReg.codes, func(i, j int) bool { return errReg.codes[i] < errReg.codes[j] })
 }
@@ -111,12 +133,53 @@ func ErrCodesOf(err error) []ErrCode {
 	defer errReg.RUnlock()
 	var out []ErrCode
 	for _, c := range errReg.codes {
-		if errors.Is(err, errReg.byCode[c]) {
+		if errors.Is(err, errReg.byCode[c].sentinel) {
 			out = append(out, c)
 		}
 	}
 	if out == nil {
 		out = []ErrCode{CodeUnknown}
+	}
+	return out
+}
+
+// Retryable reports whether err's chain matches any sentinel registered as
+// retryable — the registry-driven answer to "should this operation be
+// re-run after backoff?". An error outside the taxonomy answers false;
+// transport-level conditions (connection resets, Temporary() device
+// hiccups) never reach the registry and are classified by retryx.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	errReg.RLock()
+	defer errReg.RUnlock()
+	for _, c := range errReg.codes {
+		e := errReg.byCode[c]
+		if e.retryable && errors.Is(err, e.sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// CodeRetryable reports the registered retryability of one wire code — how
+// a client classifies an error that crossed the wire by code alone.
+func CodeRetryable(code ErrCode) bool {
+	errReg.RLock()
+	defer errReg.RUnlock()
+	return errReg.byCode[code].retryable
+}
+
+// RetryableCodes enumerates the codes registered retryable, ascending.
+func RetryableCodes() []ErrCode {
+	errReg.RLock()
+	defer errReg.RUnlock()
+	var out []ErrCode
+	for _, c := range errReg.codes {
+		if errReg.byCode[c].retryable {
+			out = append(out, c)
+		}
 	}
 	return out
 }
@@ -145,28 +208,32 @@ func RegisteredErrCodes() []ErrCode {
 func SentinelFor(code ErrCode) (error, bool) {
 	errReg.RLock()
 	defer errReg.RUnlock()
-	s, ok := errReg.byCode[code]
-	return s, ok
+	e, ok := errReg.byCode[code]
+	return e.sentinel, ok
 }
 
 func init() {
-	RegisterErrCode(CodeNoSuchNode, ErrNoSuchNode)
-	RegisterErrCode(CodeNotElement, ErrNotElement)
-	RegisterErrCode(CodeBadFragment, ErrBadFragment)
-	RegisterErrCode(CodeClosed, ErrClosed)
-	RegisterErrCode(CodeReadOnly, ErrReadOnly)
-	RegisterErrCode(CodeOverloaded, ErrOverloaded)
-	RegisterErrCode(CodeIntoAttribute, ErrIntoAttribute)
-	RegisterErrCode(CodeAttrContext, ErrAttrContext)
+	// Only ErrOverloaded is retryable here: an admission shed clears as
+	// in-flight work drains. Everything else is either permanent (corrupt
+	// page, missing node), a caller mistake (bad fragment), or the caller's
+	// own deadline — retrying cannot help.
+	RegisterErrCode(CodeNoSuchNode, ErrNoSuchNode, false)
+	RegisterErrCode(CodeNotElement, ErrNotElement, false)
+	RegisterErrCode(CodeBadFragment, ErrBadFragment, false)
+	RegisterErrCode(CodeClosed, ErrClosed, false)
+	RegisterErrCode(CodeReadOnly, ErrReadOnly, false)
+	RegisterErrCode(CodeOverloaded, ErrOverloaded, true)
+	RegisterErrCode(CodeIntoAttribute, ErrIntoAttribute, false)
+	RegisterErrCode(CodeAttrContext, ErrAttrContext, false)
 
-	RegisterErrCode(CodeDeadlineExceeded, context.DeadlineExceeded)
-	RegisterErrCode(CodeCanceled, context.Canceled)
+	RegisterErrCode(CodeDeadlineExceeded, context.DeadlineExceeded, false)
+	RegisterErrCode(CodeCanceled, context.Canceled, false)
 
-	RegisterErrCode(CodeCorruptPage, pagestore.ErrCorruptPage)
-	RegisterErrCode(CodeStoreLocked, pagestore.ErrStoreLocked)
-	RegisterErrCode(CodeReadOnlyFile, pagestore.ErrReadOnlyFile)
+	RegisterErrCode(CodeCorruptPage, pagestore.ErrCorruptPage, false)
+	RegisterErrCode(CodeStoreLocked, pagestore.ErrStoreLocked, false)
+	RegisterErrCode(CodeReadOnlyFile, pagestore.ErrReadOnlyFile, false)
 
 	// recover sits below core in the import graph (core/repair.go uses it),
 	// so core registers its sentinel too.
-	RegisterErrCode(CodeNoRollForwardBase, recov.ErrNoRollForwardBase)
+	RegisterErrCode(CodeNoRollForwardBase, recov.ErrNoRollForwardBase, false)
 }

@@ -444,6 +444,16 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// ArchiveDir returns the WAL segment archive directory backing this store,
+// or "" when the pager does not archive — the directory a replication
+// source serves segments from.
+func (s *Store) ArchiveDir() string {
+	if ad, ok := s.pool.Pager().(interface{ ArchiveDir() string }); ok {
+		return ad.ArchiveDir()
+	}
+	return ""
+}
+
 // Health returns the explicit health summary on its own — cheaper than a
 // full Stats snapshot, and safe on a degraded store.
 func (s *Store) Health() HealthSummary {

@@ -1,0 +1,254 @@
+// Network fault injection: a listener/conn wrapper that makes the wire
+// misbehave on schedule — added latency, a stream cut after exactly N
+// more bytes (land it inside a frame for a mid-frame cut), a silent
+// one-bit corruption at a byte boundary, and a full partition that
+// blackholes both directions until healed. Wrap a server's listener and
+// every accepted connection misbehaves identically; the client and
+// replication stacks are expected to ride through all of it.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCut is the error a Write that crossed an armed cut boundary returns
+// (after transmitting the prefix). The peer sees a clean EOF mid-stream.
+var ErrCut = errors.New("fault: connection cut mid-stream")
+
+// NetChaos arms network faults shared by every connection accepted
+// through its wrapped listeners. All faults can be armed and re-armed at
+// runtime; byte-budget faults (cut, corrupt) are one-shot and count bytes
+// written across all wrapped connections, which is deterministic for the
+// single-stream protocols this package tests. Safe for concurrent use.
+type NetChaos struct {
+	latencyNs atomic.Int64
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	cutArmed     bool
+	cutAfter     int64
+	corruptArmed bool
+	corruptAfter int64
+	healedCh     chan struct{} // non-nil while partitioned; closed on Heal
+
+	cuts        atomic.Int64
+	corruptions atomic.Int64
+}
+
+// NewNetChaos returns a chaos controller; seed drives corruption bit
+// positions so runs are reproducible.
+func NewNetChaos(seed int64) *NetChaos {
+	return &NetChaos{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ArmLatency delays every wrapped Write by d — a uniformly slow link.
+func (ch *NetChaos) ArmLatency(d time.Duration) { ch.latencyNs.Store(int64(d)) }
+
+// DisarmLatency removes the link latency.
+func (ch *NetChaos) DisarmLatency() { ch.latencyNs.Store(0) }
+
+// ArmCut severs the stream after exactly n more written bytes: the Write
+// that crosses the boundary transmits only the prefix, then closes the
+// connection. Arm it inside a frame for a mid-frame cut. One-shot.
+func (ch *NetChaos) ArmCut(n int64) {
+	ch.mu.Lock()
+	ch.cutArmed, ch.cutAfter = true, n
+	ch.mu.Unlock()
+}
+
+// ArmCorrupt silently flips one seeded bit in the byte written n bytes
+// from now. The write succeeds; only checksums can tell. One-shot.
+func (ch *NetChaos) ArmCorrupt(n int64) {
+	ch.mu.Lock()
+	ch.corruptArmed, ch.corruptAfter = true, n
+	ch.mu.Unlock()
+}
+
+// Partition blackholes every wrapped connection, both directions: reads
+// and writes block (honoring deadlines) until Heal. Data neither flows
+// nor errors — exactly what a switch dropping packets looks like.
+func (ch *NetChaos) Partition() {
+	ch.mu.Lock()
+	if ch.healedCh == nil {
+		ch.healedCh = make(chan struct{})
+	}
+	ch.mu.Unlock()
+}
+
+// Heal lifts the partition; blocked operations resume.
+func (ch *NetChaos) Heal() {
+	ch.mu.Lock()
+	if ch.healedCh != nil {
+		close(ch.healedCh)
+		ch.healedCh = nil
+	}
+	ch.mu.Unlock()
+}
+
+// Cuts reports how many connections an armed cut has severed.
+func (ch *NetChaos) Cuts() int64 { return ch.cuts.Load() }
+
+// Corruptions reports how many bit flips have been injected.
+func (ch *NetChaos) Corruptions() int64 { return ch.corruptions.Load() }
+
+// WrapListener returns a listener whose accepted connections carry this
+// controller's faults.
+func (ch *NetChaos) WrapListener(ln net.Listener) net.Listener {
+	return &chaosListener{Listener: ln, ch: ch}
+}
+
+type chaosListener struct {
+	net.Listener
+	ch *NetChaos
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newChaosConn(c, l.ch), nil
+}
+
+// chaosConn applies armed faults to one connection. Deadlines are
+// tracked locally so a partition-blocked operation still times out the
+// way the underlying conn would have.
+type chaosConn struct {
+	net.Conn
+	ch        *NetChaos
+	done      chan struct{}
+	closeOnce sync.Once
+
+	dmu           sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+func newChaosConn(c net.Conn, ch *NetChaos) *chaosConn {
+	return &chaosConn{Conn: c, ch: ch, done: make(chan struct{})}
+}
+
+func (c *chaosConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}
+
+func (c *chaosConn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.dmu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *chaosConn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.readDeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *chaosConn) SetWriteDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.writeDeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *chaosConn) deadline(read bool) time.Time {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	if read {
+		return c.readDeadline
+	}
+	return c.writeDeadline
+}
+
+// awaitHeal blocks while a partition is up, returning early on conn
+// close or an applicable deadline.
+func (c *chaosConn) awaitHeal(read bool) error {
+	c.ch.mu.Lock()
+	healed := c.ch.healedCh
+	c.ch.mu.Unlock()
+	if healed == nil {
+		return nil
+	}
+	var timeout <-chan time.Time
+	if d := c.deadline(read); !d.IsZero() {
+		t := time.NewTimer(time.Until(d))
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-healed:
+		return nil
+	case <-c.done:
+		return net.ErrClosed
+	case <-timeout:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	if err := c.awaitHeal(true); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// admitWrite consumes the byte budgets: it returns how many of p's bytes
+// to transmit, whether the stream is cut after them, and applies any due
+// corruption to a copy (never the caller's buffer).
+func (ch *NetChaos) admitWrite(p []byte) (send []byte, cut bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	send = p
+	if ch.corruptArmed {
+		if ch.corruptAfter < int64(len(send)) {
+			cp := make([]byte, len(send))
+			copy(cp, send)
+			cp[ch.corruptAfter] ^= 1 << uint(ch.rng.Intn(8))
+			send = cp
+			ch.corruptArmed = false
+			ch.corruptions.Add(1)
+		} else {
+			ch.corruptAfter -= int64(len(send))
+		}
+	}
+	if ch.cutArmed {
+		if ch.cutAfter < int64(len(send)) {
+			send = send[:ch.cutAfter]
+			cut = true
+			ch.cutArmed = false
+			ch.cuts.Add(1)
+		} else {
+			ch.cutAfter -= int64(len(send))
+		}
+	}
+	return send, cut
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	if d := time.Duration(c.ch.latencyNs.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-c.done:
+			return 0, net.ErrClosed
+		}
+	}
+	if err := c.awaitHeal(false); err != nil {
+		return 0, err
+	}
+	send, cut := c.ch.admitWrite(p)
+	n, err := c.Conn.Write(send)
+	if cut && err == nil {
+		c.Close()
+		return n, ErrCut
+	}
+	return n, err
+}

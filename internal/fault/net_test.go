@@ -1,0 +1,170 @@
+// The network chaos wrapper's own contract: cuts land at the exact byte,
+// corruption is a single silent bit, partitions block both directions
+// until healed (honoring deadlines), latency delays the link.
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/bits"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// chaosPair returns the two ends of one TCP connection whose server side
+// was accepted through a wrapped listener.
+func chaosPair(t *testing.T, ch *NetChaos) (server, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wln := ch.WrapListener(ln)
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	acc := make(chan res, 1)
+	go func() {
+		c, err := wln.Accept()
+		acc <- res{c, err}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-acc
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	wln.Close()
+	t.Cleanup(func() {
+		r.c.Close()
+		cc.Close()
+	})
+	return r.c, cc
+}
+
+func TestNetChaosCutMidStream(t *testing.T) {
+	ch := NewNetChaos(1)
+	srv, cli := chaosPair(t, ch)
+	ch.ArmCut(400)
+
+	frame := make([]byte, 1000) // one "frame"; the cut lands inside it
+	werr := make(chan error, 1)
+	go func() {
+		_, err := srv.Write(frame)
+		werr <- err
+	}()
+	got, _ := io.ReadAll(cli)
+	if len(got) != 400 {
+		t.Fatalf("peer received %d bytes, want exactly 400 then EOF", len(got))
+	}
+	if err := <-werr; !errors.Is(err, ErrCut) {
+		t.Fatalf("writer got %v, want ErrCut", err)
+	}
+	if ch.Cuts() != 1 {
+		t.Fatalf("Cuts = %d, want 1", ch.Cuts())
+	}
+}
+
+func TestNetChaosCorruptExactlyOneBit(t *testing.T) {
+	ch := NewNetChaos(2)
+	srv, cli := chaosPair(t, ch)
+	ch.ArmCorrupt(37)
+
+	sent := make([]byte, 100)
+	for i := range sent {
+		sent[i] = byte(i)
+	}
+	go func() {
+		srv.Write(sent)
+		srv.Close()
+	}()
+	got, err := io.ReadAll(cli)
+	if err != nil || len(got) != len(sent) {
+		t.Fatalf("read %d bytes, err %v; corruption must be silent", len(got), err)
+	}
+	if bytes.Equal(got, sent) {
+		t.Fatal("stream arrived intact; armed corruption never fired")
+	}
+	diff := 0
+	for i := range sent {
+		if d := bits.OnesCount8(got[i] ^ sent[i]); d != 0 {
+			diff += d
+			if i != 37 {
+				t.Fatalf("corruption at byte %d, armed for 37", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diff)
+	}
+	// The caller's buffer must never be touched.
+	for i := range sent {
+		if sent[i] != byte(i) {
+			t.Fatal("corruption mutated the caller's buffer")
+		}
+	}
+	if ch.Corruptions() != 1 {
+		t.Fatalf("Corruptions = %d, want 1", ch.Corruptions())
+	}
+}
+
+func TestNetChaosPartitionBlocksUntilHealed(t *testing.T) {
+	ch := NewNetChaos(3)
+	srv, cli := chaosPair(t, ch)
+	ch.Partition()
+
+	begin := time.Now()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		ch.Heal()
+	}()
+	if _, err := srv.Write([]byte("through")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if el := time.Since(begin); el < 100*time.Millisecond {
+		t.Fatalf("write completed in %v — the partition did not block", el)
+	}
+	buf := make([]byte, 7)
+	if _, err := io.ReadFull(cli, buf); err != nil || string(buf) != "through" {
+		t.Fatalf("peer read %q, %v", buf, err)
+	}
+}
+
+func TestNetChaosPartitionHonorsDeadline(t *testing.T) {
+	ch := NewNetChaos(4)
+	srv, _ := chaosPair(t, ch)
+	ch.Partition()
+	defer ch.Heal()
+
+	srv.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := srv.Write([]byte("x")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned write with deadline: got %v, want ErrDeadlineExceeded", err)
+	}
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := srv.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned read with deadline: got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestNetChaosLatencyDelaysWrites(t *testing.T) {
+	ch := NewNetChaos(5)
+	srv, cli := chaosPair(t, ch)
+	ch.ArmLatency(60 * time.Millisecond)
+	defer ch.DisarmLatency()
+
+	begin := time.Now()
+	go srv.Write([]byte("slow"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(cli, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(begin); el < 60*time.Millisecond {
+		t.Fatalf("bytes arrived in %v, want >= 60ms of injected latency", el)
+	}
+}

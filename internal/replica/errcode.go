@@ -3,10 +3,14 @@ package replica
 import "repro/internal/core"
 
 // Wire codes for the replication layer's typed errors (registry in
-// core/errcode.go; codes are stable and append-only).
+// core/errcode.go; codes are stable and append-only). None is retryable
+// in place: a stall needs an operator (Resume/re-bootstrap), and a
+// too-stale shed is a *routing* decision — the same gate may pass on a
+// fresher replica, but blind re-runs against the same lagging follower
+// only burn the caller's deadline.
 func init() {
-	core.RegisterErrCode(core.CodeReplicaStalled, ErrReplicaStalled)
-	core.RegisterErrCode(core.CodeTooStale, ErrTooStale)
-	core.RegisterErrCode(core.CodePromoted, ErrPromoted)
-	core.RegisterErrCode(core.CodeNotBootstrapped, ErrNotBootstrapped)
+	core.RegisterErrCode(core.CodeReplicaStalled, ErrReplicaStalled, false)
+	core.RegisterErrCode(core.CodeTooStale, ErrTooStale, false)
+	core.RegisterErrCode(core.CodePromoted, ErrPromoted, false)
+	core.RegisterErrCode(core.CodeNotBootstrapped, ErrNotBootstrapped, false)
 }

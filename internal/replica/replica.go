@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pagestore"
 	recov "repro/internal/recover"
+	"repro/internal/retryx"
 	"repro/internal/wal"
 )
 
@@ -446,6 +447,10 @@ func (f *Follower) stallLocked(cause error) error {
 	return fmt.Errorf("%w: %v", ErrReplicaStalled, cause)
 }
 
+// ArchiveDir returns the follower's local segment archive — the directory
+// a cascading replica can tail, exactly as it would a primary's.
+func (f *Follower) ArchiveDir() string { return f.archiveDir }
+
 // Resume clears a stall so the next catch-up retries the stream — for use
 // after the operator repaired or re-shipped the offending segment. If the
 // hole is still there, the follower stalls again.
@@ -478,7 +483,7 @@ func (f *Follower) CatchUp(ctx context.Context) (err error) {
 		return fmt.Errorf("%w: %v", ErrReplicaStalled, f.stallCause)
 	}
 
-	segs, perr := f.tr.Segments(f.state.AppliedLSN)
+	segs, perr := f.tr.Segments(ctx, f.state.AppliedLSN)
 	if perr != nil {
 		return perr
 	}
@@ -517,7 +522,7 @@ func (f *Follower) CatchUp(ctx context.Context) (err error) {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
-		raw, pages, ferr, fatal := f.fetchValidated(sg.LSN)
+		raw, pages, ferr, fatal := f.fetchValidated(ctx, sg.LSN)
 		if ferr != nil {
 			if !fatal {
 				return ferr
@@ -540,49 +545,44 @@ func (f *Follower) CatchUp(ctx context.Context) (err error) {
 }
 
 // fetchValidated fetches segment lsn and proves it whole: record CRCs,
-// commit LSN match, per-page checksums. Failures are retried with backoff —
-// a segment being shipped concurrently reads short or torn until its fsync
-// lands. Only a *validation* failure of fetched bytes can become fatal: if
-// the bytes still fail after retries and a *later* segment exists, they are
+// commit LSN match, per-page checksums. Failures are retried on the shared
+// retryx loop (jittered backoff, cut by the caller's context) — a segment
+// being shipped concurrently reads short or torn until its fsync lands.
+// Only a *validation* failure of fetched bytes can become fatal: if the
+// bytes still fail after retries and a *later* segment exists, they are
 // final and corrupt — stall. A transport failure (the fetch itself errored,
 // e.g. a disk or network hiccup outlasting the retry bound) is always
 // transient, no matter how many retries it ate: the bytes were never seen,
 // so nothing is proven about the history, and the next poll simply tries
 // again. Likewise the newest offered segment may still be in flight.
-func (f *Follower) fetchValidated(lsn uint64) (raw []byte, pages []wal.PageImage, err error, fatal bool) {
+func (f *Follower) fetchValidated(ctx context.Context, lsn uint64) (raw []byte, pages []wal.PageImage, err error, fatal bool) {
 	name := wal.SegmentFileName(lsn)
 	validationErr := false
-	attempt := func() ([]byte, []wal.PageImage, error) {
+	p := retryx.Policy{MaxAttempts: f.opt.FetchRetries + 1, Initial: f.opt.FetchBackoff}
+	// A vanished segment ends the loop early: listed a moment ago, gone
+	// now — let the next poll decide between "pruned" (gap -> stall) and a
+	// racing lister. Everything else earns the full attempt budget.
+	retryable := func(err error) bool { return !missingSegment(err) }
+	err = retryx.Do(ctx, p, retryable, func(ctx context.Context) error {
 		validationErr = false
-		data, err := f.tr.Fetch(lsn)
+		data, err := f.tr.Fetch(ctx, lsn)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		validationErr = true
-		pages, segLSN, err := wal.ParseSegment(name, data, f.state.PageSize)
-		if err != nil {
-			return nil, nil, err
+		imgs, segLSN, perr := wal.ParseSegment(name, data, f.state.PageSize)
+		if perr != nil {
+			return perr
 		}
 		if segLSN != lsn {
-			return nil, nil, fmt.Errorf("replica: segment %s carries LSN %d", name, segLSN)
+			return fmt.Errorf("replica: segment %s carries LSN %d", name, segLSN)
 		}
-		if err := verifyPages(pages); err != nil {
-			return nil, nil, fmt.Errorf("replica: segment %s: %w", name, err)
+		if verr := verifyPages(imgs); verr != nil {
+			return fmt.Errorf("replica: segment %s: %w", name, verr)
 		}
-		return data, pages, nil
-	}
-	raw, pages, err = attempt()
-	backoff := f.opt.FetchBackoff
-	for i := 0; err != nil && i < f.opt.FetchRetries; i++ {
-		if missingSegment(err) {
-			// Listed a moment ago, gone now: let the next poll decide
-			// between "pruned" (gap -> stall) and a racing lister.
-			return nil, nil, err, false
-		}
-		time.Sleep(backoff)
-		backoff *= 2
-		raw, pages, err = attempt()
-	}
+		raw, pages = data, imgs
+		return nil
+	})
 	if err == nil {
 		return raw, pages, nil, false
 	}

@@ -1,12 +1,15 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/retryx"
 	"repro/internal/wal"
 )
 
@@ -14,22 +17,24 @@ import (
 // follower. The follower drives it by polling: list what the source offers
 // beyond the applied LSN, then fetch segments one by one. Implementations
 // must be safe to call from the follower's tail loop; they need not be
-// safe for concurrent use by several followers.
+// safe for concurrent use by several followers. Every call takes the
+// follower's context: a transport's internal retries must die with the
+// caller's deadline, not outlive it.
 //
 // The directory transport below covers the standalone case (a shared or
-// mirrored filesystem); a network transport for the future server layer
-// implements the same three calls over a wire protocol.
+// mirrored filesystem); NetTransport in the server package implements the
+// same three calls over the wire against a live axmlserved primary.
 type Transport interface {
 	// Segments lists the segments the source offers with LSN strictly
 	// greater than after, sorted ascending with no duplicates (the
 	// wal.Segments guarantee). The listing may have gaps — the follower
 	// decides whether a gap means "not shipped yet" or "pruned away".
-	Segments(after uint64) ([]wal.SegmentInfo, error)
+	Segments(ctx context.Context, after uint64) ([]wal.SegmentInfo, error)
 	// Fetch returns the raw bytes of the segment at lsn. The bytes are
 	// validated by the follower (wal.ParseSegment plus per-page checksums);
 	// a transport may therefore return short or torn reads under
 	// concurrent shipping and rely on the follower's retry.
-	Fetch(lsn uint64) ([]byte, error)
+	Fetch(ctx context.Context, lsn uint64) ([]byte, error)
 	// Close releases transport resources.
 	Close() error
 }
@@ -80,19 +85,23 @@ func NewDirTransport(dir string, opt DirTransportOptions) *DirTransport {
 }
 
 // Segments implements Transport over wal.SegmentsAfter.
-func (t *DirTransport) Segments(after uint64) ([]wal.SegmentInfo, error) {
+func (t *DirTransport) Segments(ctx context.Context, after uint64) ([]wal.SegmentInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return wal.SegmentsAfter(t.dir, after)
 }
 
 // Fetch reads one segment file whole. Transient errors (the Temporary()
-// idiom the fault injector and real devices both speak) are retried with
-// bounded exponential backoff; a disk that stays broken surfaces the last
-// error to the follower, which decides between "try again next poll" and
-// a stall.
-func (t *DirTransport) Fetch(lsn uint64) ([]byte, error) {
+// idiom the fault injector and real devices both speak) are retried on the
+// shared retryx loop — jittered backoff, cut by the follower's context;
+// a disk that stays broken surfaces the last error to the follower, which
+// decides between "try again next poll" and a stall.
+func (t *DirTransport) Fetch(ctx context.Context, lsn uint64) ([]byte, error) {
 	path := filepath.Join(t.dir, wal.SegmentFileName(lsn))
 	var data []byte
-	op := func() error {
+	p := retryx.Policy{MaxAttempts: t.retries + 1, Initial: t.backoff}
+	err := retryx.Do(ctx, p, retryx.Temporary, func(context.Context) error {
 		raw, err := os.Open(path)
 		if err != nil {
 			return err
@@ -104,18 +113,7 @@ func (t *DirTransport) Fetch(lsn uint64) ([]byte, error) {
 		}
 		data, err = io.ReadAll(f)
 		return err
-	}
-	err := op()
-	backoff := t.backoff
-	for attempt := 0; err != nil && attempt < t.retries; attempt++ {
-		var te interface{ Temporary() bool }
-		if !errors.As(err, &te) || !te.Temporary() {
-			return nil, err
-		}
-		time.Sleep(backoff)
-		backoff *= 2
-		err = op()
-	}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -127,5 +125,7 @@ func (t *DirTransport) Close() error { return nil }
 
 // missingSegment reports whether a fetch error means the segment file does
 // not exist at the source (pruned or never shipped), as opposed to failing
-// to read.
-func missingSegment(err error) bool { return err != nil && os.IsNotExist(err) }
+// to read. errors.Is (not os.IsNotExist) so the answer is the same whether
+// the error came off the local disk or was reconstructed from a wire frame
+// (CodeSegmentGone carries fs.ErrNotExist across the network transport).
+func missingSegment(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -1,0 +1,161 @@
+// The shared retry loop's contract: attempt budgets hold, non-retryable
+// errors end the loop at once, and no combination of policy and failure
+// can outlive the caller's context.
+package retryx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{}, nil, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestAttemptBudget(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 3, Initial: time.Microsecond, Max: time.Microsecond}
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v, want errBoom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+}
+
+func TestNonRetryableEndsImmediately(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{}, func(error) bool { return false }, func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestEventualSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, Initial: time.Microsecond, Max: time.Microsecond}
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// TestContextCutsBackoffSleep: a context that expires mid-backoff ends the
+// loop immediately, and the returned error carries both the cutoff and the
+// last cause.
+func TestContextCutsBackoffSleep(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	p := Policy{MaxAttempts: 100, Initial: 10 * time.Second, Max: 10 * time.Second}
+	start := time.Now()
+	err := Do(ctx, p, nil, func(context.Context) error { return errBoom })
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("context did not cut the sleep: took %v", took)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want DeadlineExceeded in chain", err)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v, want the underlying cause in chain", err)
+	}
+}
+
+// TestExpiredContextNeverCallsOp: a context already done yields zero
+// attempts — the op is never run against a caller that has given up.
+func TestExpiredContextNeverCallsOp(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{}, nil, func(context.Context) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// TestUnlimitedAttemptsRequireDeadline: the one shape this package must
+// forbid — retry forever with nothing to stop it — is a typed refusal.
+func TestUnlimitedAttemptsRequireDeadline(t *testing.T) {
+	err := Do(context.Background(), Policy{MaxAttempts: -1}, nil, func(context.Context) error { return errBoom })
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err=%v, want ErrUnbounded", err)
+	}
+	// With a deadline the same policy is legal and the deadline bounds it.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	err = Do(ctx, Policy{MaxAttempts: -1, Initial: time.Millisecond, Max: time.Millisecond},
+		nil, func(context.Context) error { return errBoom })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want DeadlineExceeded", err)
+	}
+}
+
+type tempErr struct{ temp bool }
+
+func (e tempErr) Error() string   { return "temp" }
+func (e tempErr) Temporary() bool { return e.temp }
+
+func TestTemporaryClassifier(t *testing.T) {
+	if !Temporary(tempErr{true}) {
+		t.Fatal("Temporary()=true error not classified temporary")
+	}
+	if Temporary(tempErr{false}) {
+		t.Fatal("Temporary()=false error classified temporary")
+	}
+	if Temporary(errBoom) {
+		t.Fatal("plain error classified temporary")
+	}
+	if !Temporary(fmt.Errorf("wrapped: %w", tempErr{true})) {
+		t.Fatal("wrapped temporary error lost its classification")
+	}
+}
+
+func TestConnErrorClassifier(t *testing.T) {
+	conns := []error{
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		net.ErrClosed,
+		syscall.ECONNRESET,
+		syscall.ECONNREFUSED,
+		syscall.EPIPE,
+		&net.OpError{Op: "read", Err: syscall.ECONNRESET},
+		fmt.Errorf("round trip: %w", io.EOF),
+	}
+	for _, err := range conns {
+		if !ConnError(err) {
+			t.Errorf("%v not classified as a connection error", err)
+		}
+	}
+	for _, err := range []error{nil, errBoom, context.DeadlineExceeded} {
+		if ConnError(err) {
+			t.Errorf("%v wrongly classified as a connection error", err)
+		}
+	}
+}

@@ -44,7 +44,7 @@ func rawFrame(typ byte, payload []byte) []byte {
 }
 
 func rawHelloPayload(token string) []byte {
-	b := binary.AppendUvarint(nil, 1) // protocol version
+	b := binary.AppendUvarint(nil, 2) // protocol version
 	b = binary.AppendUvarint(b, uint64(len(token)))
 	return append(b, token...)
 }
@@ -305,7 +305,9 @@ func helperCfg() axml.Config {
 }
 
 // TestHelperServedProcess is not a test: it is the server process the
-// kill -9 chaos test sacrifices. It serves a WAL-backed store until killed.
+// kill -9 chaos tests sacrifice. It serves a WAL-backed store — including
+// the replication stream, with a base backup published next to it so a
+// follower in the parent process can bootstrap — until killed.
 func TestHelperServedProcess(t *testing.T) {
 	dir := os.Getenv(helperEnv)
 	if dir == "" {
@@ -315,7 +317,10 @@ func TestHelperServedProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(server.Options{Store: st})
+	if _, err := st.BackupTo(filepath.Join(dir, "base.bak")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Store: st, ArchiveDir: filepath.Join(dir, "segments")})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/replica"
+	"repro/internal/wal"
 )
 
 // ClientOptions configures Dial.
@@ -171,7 +172,10 @@ func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, fn fun
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return fmt.Errorf("%w: client closed", ErrProtocol)
+		// A poisoned or closed session is a connection-level condition, not
+		// a protocol one: wrapping net.ErrClosed lets retry layers (fleet,
+		// network transport) classify it as "drop this session and redial".
+		return fmt.Errorf("client: session closed: %w", net.ErrClosed)
 	}
 	fail := func(err error) error {
 		c.closed = true
@@ -304,10 +308,19 @@ func (c *Client) ReadNode(ctx context.Context, id core.NodeID) (string, error) {
 // Insert runs one XUpdate primitive against target and returns the new
 // node's id. The ack means the change is committed.
 func (c *Client) Insert(ctx context.Context, op InsertOp, target core.NodeID, frag string) (core.NodeID, error) {
+	return c.InsertIdem(ctx, op, target, frag, "")
+}
+
+// InsertIdem is Insert carrying an idempotency token: re-sending the same
+// token after an ambiguous outcome (connection cut before the ack arrived)
+// replays the original committed ack instead of applying twice. An empty
+// token disables dedup.
+func (c *Client) InsertIdem(ctx context.Context, op InsertOp, target core.NodeID, frag, idemToken string) (core.NodeID, error) {
 	hdr, err := c.header(ctx)
 	if err != nil {
 		return 0, err
 	}
+	hdr.str(idemToken)
 	hdr.byt(byte(op))
 	hdr.u64(uint64(target))
 	hdr.str(frag)
@@ -322,10 +335,16 @@ func (c *Client) Insert(ctx context.Context, op InsertOp, target core.NodeID, fr
 
 // Delete removes a node's subtree; the ack means committed.
 func (c *Client) Delete(ctx context.Context, id core.NodeID) error {
+	return c.DeleteIdem(ctx, id, "")
+}
+
+// DeleteIdem is Delete carrying an idempotency token (see InsertIdem).
+func (c *Client) DeleteIdem(ctx context.Context, id core.NodeID, idemToken string) error {
 	hdr, err := c.header(ctx)
 	if err != nil {
 		return err
 	}
+	hdr.str(idemToken)
 	hdr.u64(uint64(id))
 	_, err = c.expect(ctx, msgDelete, hdr.payload(), msgOK)
 	return err
@@ -334,10 +353,16 @@ func (c *Client) Delete(ctx context.Context, id core.NodeID) error {
 // Load appends a document or fragment at top level, returning the id of
 // its first node.
 func (c *Client) Load(ctx context.Context, frag string) (core.NodeID, error) {
+	return c.LoadIdem(ctx, frag, "")
+}
+
+// LoadIdem is Load carrying an idempotency token (see InsertIdem).
+func (c *Client) LoadIdem(ctx context.Context, frag, idemToken string) (core.NodeID, error) {
 	hdr, err := c.header(ctx)
 	if err != nil {
 		return 0, err
 	}
+	hdr.str(idemToken)
 	hdr.str(frag)
 	payload, err := c.expect(ctx, msgLoad, hdr.payload(), msgNodeID)
 	if err != nil {
@@ -346,6 +371,77 @@ func (c *Client) Load(ctx context.Context, frag string) (core.NodeID, error) {
 	d := dec{payload}
 	id, err := d.u64()
 	return core.NodeID(id), err
+}
+
+// Segments lists the server's archived segments with LSN strictly greater
+// than after — the network half of replica.Transport.Segments.
+func (c *Client) Segments(ctx context.Context, after uint64) ([]wal.SegmentInfo, error) {
+	hdr, err := c.header(ctx)
+	if err != nil {
+		return nil, err
+	}
+	hdr.u64(after)
+	payload, err := c.expect(ctx, msgSegments, hdr.payload(), msgSegList)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{payload}
+	n, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSegList {
+		return nil, fmt.Errorf("%w: %d segments in one listing", ErrProtocol, n)
+	}
+	out := make([]wal.SegmentInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		lsn, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		size, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wal.SegmentInfo{LSN: lsn, Bytes: int64(size), Name: wal.SegmentFileName(lsn)})
+	}
+	return out, nil
+}
+
+// FetchSegment reassembles one segment's bytes from the chunked stream,
+// verifying the declared total — the network half of
+// replica.Transport.Fetch. Content validation (CRCs, page checksums) stays
+// with the follower, exactly as for a directory transport.
+func (c *Client) FetchSegment(ctx context.Context, lsn uint64) ([]byte, error) {
+	hdr, err := c.header(ctx)
+	if err != nil {
+		return nil, err
+	}
+	hdr.u64(lsn)
+	var buf []byte
+	err = c.roundTrip(ctx, msgFetchSegment, hdr.payload(), func(rtyp byte, rpayload []byte) (bool, error) {
+		switch rtyp {
+		case msgSegData:
+			buf = append(buf, rpayload...)
+			return false, nil
+		case msgDone:
+			d := dec{rpayload}
+			total, err := d.u64()
+			if err != nil {
+				return false, err
+			}
+			if total != uint64(len(buf)) {
+				return false, fmt.Errorf("%w: segment stream carried %d bytes, declared %d", ErrProtocol, len(buf), total)
+			}
+			return true, nil
+		default:
+			return false, fmt.Errorf("%w: unexpected frame 0x%02x in segment stream", ErrProtocol, rtyp)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Stats fetches the server's full stats report.

@@ -1,0 +1,479 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/retryx"
+)
+
+// FleetClient is the resilient, multi-endpoint face of the wire protocol:
+// one handle over a primary and its read replicas that keeps answering
+// while individual servers restart, drain, partition, or die.
+//
+//   - Reads route to the freshest healthy replica (ranked by applied
+//     LSN) to offload the primary, then to the primary, and walk down
+//     the order on failure — a killed endpoint degrades a read to the
+//     next one, not to an error. Staleness is bounded server-side: a
+//     replica that cannot satisfy the session's read gate answers
+//     ErrTooStale and the walk continues to a fresher endpoint or the
+//     primary. With HedgeDelay set, a second endpoint is raced after the
+//     delay and the first success wins (safe: reads are idempotent, and
+//     every endpoint has its own session).
+//   - Writes go to the discovered primary, always carrying an
+//     auto-generated idempotency token, so a write whose ack was lost in a
+//     connection cut can be re-sent verbatim — the server replays the
+//     committed ack instead of applying twice. That token is what makes
+//     retrying a non-idempotent mutation after an ambiguous outcome safe.
+//   - Every retry loop is the shared retryx policy, classified by the
+//     error-code registry (core.Retryable) plus connection-level failures,
+//     and bounded by the caller's context.
+//
+// A FleetClient is safe for concurrent use.
+type FleetClient struct {
+	opt     FleetOptions
+	members []*member
+
+	tokPrefix string
+	tokSeq    atomic.Uint64
+
+	// primaryIdx caches the last discovered primary (-1 = unknown); any
+	// write failure invalidates it so the next write re-discovers, which
+	// is how failover to a promoted replica happens.
+	primaryIdx atomic.Int64
+}
+
+// FleetOptions configures DialFleet.
+type FleetOptions struct {
+	// Client configures each endpoint's session (token, timeouts, gate).
+	Client ClientOptions
+	// Retry shapes every fleet-level retry loop. Zero = retryx defaults.
+	Retry retryx.Policy
+	// HealthTTL caches each endpoint's health probe. Default 500ms.
+	HealthTTL time.Duration
+	// HedgeDelay, when positive, races a second endpoint for a read that
+	// has not answered within the delay. Zero disables hedging.
+	HedgeDelay time.Duration
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.HealthTTL <= 0 {
+		o.HealthTTL = 500 * time.Millisecond
+	}
+	return o
+}
+
+// member is one endpoint: a lazily dialed session plus a TTL-cached health
+// probe.
+type member struct {
+	addr string
+
+	mu sync.Mutex
+	c  *Client
+
+	hmu       sync.Mutex
+	health    HealthReport
+	healthErr error
+	healthAt  time.Time
+}
+
+func (m *member) session(opt ClientOptions) (*Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.c != nil {
+		return m.c, nil
+	}
+	c, err := Dial(m.addr, opt)
+	if err != nil {
+		return nil, err
+	}
+	m.c = c
+	return c, nil
+}
+
+// drop discards a session after a connection-level failure so the next
+// call redials. Only the exact failed session is dropped.
+func (m *member) drop(c *Client) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.c == c {
+		m.c = nil
+	}
+	c.Close()
+}
+
+// DialFleet builds a fleet handle over the given endpoints (typically the
+// primary first, then replicas — but order is advisory; roles are
+// discovered from health probes). Dialing is lazy: endpoints down at
+// construction time are simply probed again when used.
+func DialFleet(endpoints []string, opt FleetOptions) (*FleetClient, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("server: fleet needs at least one endpoint")
+	}
+	var pre [8]byte
+	if _, err := rand.Read(pre[:]); err != nil {
+		return nil, err
+	}
+	f := &FleetClient{opt: opt.withDefaults(), tokPrefix: hex.EncodeToString(pre[:])}
+	for _, ep := range endpoints {
+		f.members = append(f.members, &member{addr: ep})
+	}
+	f.primaryIdx.Store(-1)
+	return f, nil
+}
+
+// Close closes every live session.
+func (f *FleetClient) Close() error {
+	var first error
+	for _, m := range f.members {
+		m.mu.Lock()
+		if m.c != nil {
+			if err := m.c.Close(); err != nil && first == nil {
+				first = err
+			}
+			m.c = nil
+		}
+		m.mu.Unlock()
+	}
+	return first
+}
+
+// newToken mints a fleet-unique idempotency token.
+func (f *FleetClient) newToken() string {
+	return fmt.Sprintf("%s-%d", f.tokPrefix, f.tokSeq.Add(1))
+}
+
+// probe returns the endpoint's health, cached within HealthTTL. A probe
+// failure is cached too — a dead endpoint is not re-dialed on every
+// routing decision.
+func (f *FleetClient) probe(ctx context.Context, m *member) (HealthReport, error) {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	if !m.healthAt.IsZero() && time.Since(m.healthAt) < f.opt.HealthTTL {
+		return m.health, m.healthErr
+	}
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	var h HealthReport
+	c, err := m.session(f.opt.Client)
+	if err == nil {
+		h, err = c.Health(pctx)
+		if err != nil && retryx.ConnError(err) {
+			m.drop(c)
+		}
+	}
+	m.health, m.healthErr, m.healthAt = h, err, time.Now()
+	return h, err
+}
+
+// invalidateHealth forgets a member's cached probe (after a failure that
+// the cache would otherwise keep stale for a TTL).
+func (m *member) invalidateHealth() {
+	m.hmu.Lock()
+	m.healthAt = time.Time{}
+	m.hmu.Unlock()
+}
+
+// readOrder ranks every member for a read: healthy replicas by applied
+// LSN (freshest wins) ahead of the primary — reads offload to replicas
+// when any can serve — then the ready primary, then stalled/degraded
+// members, then members whose probe failed. Nothing is excluded — routing
+// is a preference, and a probe-dead endpoint may still answer the actual
+// read (its health just cost it the front of the line).
+func (f *FleetClient) readOrder(ctx context.Context) []*member {
+	type ranked struct {
+		m     *member
+		score int64
+	}
+	rs := make([]ranked, 0, len(f.members))
+	for _, m := range f.members {
+		h, err := f.probe(ctx, m)
+		var score int64
+		switch {
+		case err != nil:
+			score = -2
+		case h.StallCause != "" || !h.Ready:
+			score = -1
+		case h.Role == "primary":
+			score = 0
+		default:
+			score = 1 + int64(h.AppliedLSN)
+		}
+		rs = append(rs, ranked{m, score})
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
+	out := make([]*member, len(rs))
+	for i, r := range rs {
+		out[i] = r.m
+	}
+	return out
+}
+
+// routeElsewhere classifies a read failure as "this endpoint, not this
+// request": connection cuts, sheds, drains, staleness-gate refusals, and
+// stalls all mean another endpoint may answer — a malformed query means
+// none will.
+func routeElsewhere(err error) bool {
+	return retryx.ConnError(err) || core.Retryable(err) ||
+		errors.Is(err, replica.ErrTooStale) ||
+		errors.Is(err, replica.ErrReplicaStalled) ||
+		errors.Is(err, replica.ErrNotBootstrapped) ||
+		errors.Is(err, core.ErrReadOnly)
+}
+
+// tryOn runs one read attempt against one member. The ctx is threaded
+// into the RPC itself so a hedge winner actually cancels the losers.
+func (f *FleetClient) tryOn(ctx context.Context, m *member, do func(ctx context.Context, c *Client) (any, error)) (any, error) {
+	c, err := m.session(f.opt.Client)
+	if err != nil {
+		return nil, err
+	}
+	v, err := do(ctx, c)
+	if err != nil {
+		if retryx.ConnError(err) {
+			m.drop(c)
+			m.invalidateHealth()
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
+// read routes one idempotent read: walk the ranked order, hedge if
+// configured, and retry the whole walk (with refreshed health) on
+// retryable failure — all under the caller's context.
+func (f *FleetClient) read(ctx context.Context, do func(ctx context.Context, c *Client) (any, error)) (any, error) {
+	var out any
+	retryable := func(err error) bool { return retryx.ConnError(err) || core.Retryable(err) }
+	err := retryx.Do(ctx, f.opt.Retry, retryable, func(ctx context.Context) error {
+		order := f.readOrder(ctx)
+		if f.opt.HedgeDelay > 0 && len(order) > 1 {
+			v, err := f.hedged(ctx, order, do)
+			if err != nil {
+				return err
+			}
+			out = v
+			return nil
+		}
+		var lastErr error
+		for _, m := range order {
+			v, err := f.tryOn(ctx, m, do)
+			if err == nil {
+				out = v
+				return nil
+			}
+			lastErr = err
+			if !routeElsewhere(err) {
+				return err
+			}
+		}
+		return lastErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// hedged races the read across the ranked order: the best endpoint goes
+// first; every HedgeDelay without an answer launches the next. First
+// success wins and cancels the rest. Reads only — each endpoint has its
+// own session, and a canceled loser poisons nothing but itself.
+func (f *FleetClient) hedged(ctx context.Context, order []*member, do func(ctx context.Context, c *Client) (any, error)) (any, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		v   any
+		err error
+	}
+	ch := make(chan res, len(order))
+	launched := 0
+	launch := func() {
+		m := order[launched]
+		launched++
+		go func() {
+			v, err := f.tryOn(hctx, m, do)
+			ch <- res{v, err}
+		}()
+	}
+	launch()
+	var lastErr error
+	finished := 0
+	for {
+		var timer <-chan time.Time
+		if launched < len(order) {
+			timer = time.After(f.opt.HedgeDelay)
+		}
+		select {
+		case r := <-ch:
+			finished++
+			if r.err == nil {
+				return r.v, nil
+			}
+			lastErr = r.err
+			if !routeElsewhere(r.err) {
+				return nil, r.err
+			}
+			if launched < len(order) {
+				launch() // a failed hedge immediately tries the next rank
+			} else if finished == launched {
+				return nil, lastErr
+			}
+		case <-timer:
+			launch()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// primary returns the member currently serving as primary, discovering it
+// from health probes when the cache is cold or was invalidated by a write
+// failure. A promoted replica reports role "primary" and is discovered
+// here — that is client-side failover.
+func (f *FleetClient) primary(ctx context.Context) (*member, error) {
+	if i := f.primaryIdx.Load(); i >= 0 {
+		return f.members[i], nil
+	}
+	var lastErr error
+	for i, m := range f.members {
+		h, err := f.probe(ctx, m)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if h.Role == "primary" && !h.Draining {
+			f.primaryIdx.Store(int64(i))
+			return m, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("server: no endpoint reports role primary")
+	}
+	return nil, fmt.Errorf("fleet: primary discovery failed: %w", lastErr)
+}
+
+// write routes one mutation to the primary with an idempotency token. A
+// connection cut after the request was sent is *ambiguous* — the mutation
+// may have committed — and exactly why the token exists: the retry
+// re-sends the same token and the server replays the committed ack
+// instead of double-applying. ErrReadOnly earns a retry too: it is what a
+// not-yet-promoted replica answers mid-failover, and rediscovery finds
+// the new primary.
+func (f *FleetClient) write(ctx context.Context, do func(c *Client, tok string) (any, error)) (any, error) {
+	tok := f.newToken()
+	var out any
+	retryable := func(err error) bool {
+		return retryx.ConnError(err) || core.Retryable(err) || errors.Is(err, core.ErrReadOnly)
+	}
+	err := retryx.Do(ctx, f.opt.Retry, retryable, func(ctx context.Context) error {
+		m, err := f.primary(ctx)
+		if err != nil {
+			// Leave the cache cold and let every member's health expire
+			// naturally; the next attempt re-probes.
+			f.forgetPrimary()
+			return err
+		}
+		c, err := m.session(f.opt.Client)
+		if err != nil {
+			f.forgetPrimary()
+			return err
+		}
+		v, err := do(c, tok)
+		if err != nil {
+			if retryx.ConnError(err) {
+				m.drop(c)
+				m.invalidateHealth()
+			}
+			if retryx.ConnError(err) || errors.Is(err, core.ErrReadOnly) || errors.Is(err, ErrDraining) {
+				f.forgetPrimary()
+			}
+			return err
+		}
+		out = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (f *FleetClient) forgetPrimary() { f.primaryIdx.Store(-1) }
+
+// Query evaluates an XPath expression on the freshest healthy endpoint.
+func (f *FleetClient) Query(ctx context.Context, expr string) ([]Row, error) {
+	v, err := f.read(ctx, func(ctx context.Context, c *Client) (any, error) { return c.Query(ctx, expr) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Row), nil
+}
+
+// Value evaluates an XPath expression to its string value.
+func (f *FleetClient) Value(ctx context.Context, expr string) (string, error) {
+	v, err := f.read(ctx, func(ctx context.Context, c *Client) (any, error) { return c.Value(ctx, expr) })
+	if err != nil {
+		return "", err
+	}
+	return v.(string), nil
+}
+
+// ReadNode renders one node's subtree as XML.
+func (f *FleetClient) ReadNode(ctx context.Context, id core.NodeID) (string, error) {
+	v, err := f.read(ctx, func(ctx context.Context, c *Client) (any, error) { return c.ReadNode(ctx, id) })
+	if err != nil {
+		return "", err
+	}
+	return v.(string), nil
+}
+
+// Insert runs one XUpdate primitive on the primary (idempotency-tokened).
+func (f *FleetClient) Insert(ctx context.Context, op InsertOp, target core.NodeID, frag string) (core.NodeID, error) {
+	v, err := f.write(ctx, func(c *Client, tok string) (any, error) {
+		return c.InsertIdem(ctx, op, target, frag, tok)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(core.NodeID), nil
+}
+
+// Delete removes a node's subtree via the primary (idempotency-tokened).
+func (f *FleetClient) Delete(ctx context.Context, id core.NodeID) error {
+	_, err := f.write(ctx, func(c *Client, tok string) (any, error) {
+		return nil, c.DeleteIdem(ctx, id, tok)
+	})
+	return err
+}
+
+// Load appends a document at top level via the primary
+// (idempotency-tokened).
+func (f *FleetClient) Load(ctx context.Context, frag string) (core.NodeID, error) {
+	v, err := f.write(ctx, func(c *Client, tok string) (any, error) {
+		return c.LoadIdem(ctx, frag, tok)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(core.NodeID), nil
+}
+
+// PrimaryAddr reports the currently discovered primary's address —
+// operational visibility into failover.
+func (f *FleetClient) PrimaryAddr(ctx context.Context) (string, error) {
+	m, err := f.primary(ctx)
+	if err != nil {
+		return "", err
+	}
+	return m.addr, nil
+}

@@ -1,0 +1,280 @@
+// The resilient fleet client end to end: freshest-replica read routing
+// that degrades down the ranked order instead of erroring, bounded
+// staleness falling through a too-stale replica to the primary,
+// idempotency-tokened writes riding through connection cuts without
+// double-applying, write failover to a replica promoted in place, and
+// hedged reads cutting tail latency.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	axml "repro"
+	"repro/internal/replica"
+	"repro/internal/retryx"
+	"repro/internal/server"
+)
+
+// replicaSrv is one served follower: the follower itself plus the server
+// fronting it on its own loopback port.
+type replicaSrv struct {
+	f    *replica.Follower
+	srv  *server.Server
+	addr string
+}
+
+func (w *walEnv) serveFollower(t *testing.T, name string) *replicaSrv {
+	t.Helper()
+	f := w.follower(t, name, server.NetTransportOptions{})
+	srv, err := server.New(server.Options{Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return &replicaSrv{f: f, srv: srv, addr: ln.Addr().String()}
+}
+
+func dialFleet(t *testing.T, opt server.FleetOptions, eps ...string) *server.FleetClient {
+	t.Helper()
+	fc, err := server.DialFleet(eps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fc.Close() })
+	return fc
+}
+
+func quickRetry() retryx.Policy {
+	return retryx.Policy{MaxAttempts: 8, Initial: 20 * time.Millisecond, Max: 100 * time.Millisecond}
+}
+
+// TestFleetReadsRouteToFreshestReplica: with two replicas at different
+// applied LSNs, reads land on the fresher one — and when its server dies,
+// the same read degrades to the lagging replica with zero surfaced error.
+func TestFleetReadsRouteToFreshestReplica(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	for i := 0; i < 3; i++ {
+		w.commit()
+	}
+	r1 := w.serveFollower(t, "r1")
+	r2 := w.serveFollower(t, "r2")
+	ctx := context.Background()
+	if err := r1.f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w.commit()
+	w.commit()
+	if err := r1.f.CatchUp(ctx); err != nil { // r1 fresh; r2 two segments behind
+		t.Fatal(err)
+	}
+
+	fc := dialFleet(t, server.FleetOptions{HealthTTL: 5 * time.Second, Retry: quickRetry()},
+		w.addr, r1.addr, r2.addr)
+
+	v, err := fc.Value(ctx, `count(/log/e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "5" {
+		t.Fatalf("read served count=%s, want 5 — routed to a stale replica", v)
+	}
+
+	// Health probes are now cached for the TTL, so the next read costs
+	// exactly one op — on the freshest replica, nowhere else.
+	p0, a0, b0 := w.srv.Stats().OpsTotal, r1.srv.Stats().OpsTotal, r2.srv.Stats().OpsTotal
+	if v, err = fc.Value(ctx, `count(/log/e)`); err != nil || v != "5" {
+		t.Fatalf("second read: %q, %v", v, err)
+	}
+	if d := r1.srv.Stats().OpsTotal - a0; d != 1 {
+		t.Fatalf("freshest replica served %d ops, want 1", d)
+	}
+	if d := r2.srv.Stats().OpsTotal - b0; d != 0 {
+		t.Fatalf("lagging replica served %d ops, want 0", d)
+	}
+	if d := w.srv.Stats().OpsTotal - p0; d != 0 {
+		t.Fatalf("primary served %d ops, want 0 — reads must offload to replicas", d)
+	}
+
+	// Kill the freshest replica's server. Its health is still cached as
+	// good, so the read is attempted there, fails at the connection, and
+	// walks to the next rank — the lagging replica — without an error.
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	r1.srv.Shutdown(sctx)
+	v, err = fc.Value(ctx, `count(/log/e)`)
+	if err != nil {
+		t.Fatalf("read after replica death surfaced an error: %v", err)
+	}
+	if v != "3" {
+		t.Fatalf("degraded read count=%s, want 3 (the lagging replica's view; an empty gate accepts staleness)", v)
+	}
+}
+
+// TestFleetBoundedStalenessFallsThroughToPrimary: a session read gate the
+// replica cannot satisfy makes it refuse with ErrTooStale, and the fleet
+// walks that refusal through to the primary instead of surfacing it.
+func TestFleetBoundedStalenessFallsThroughToPrimary(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	w.commit()
+	r := w.serveFollower(t, "r1")
+	ctx := context.Background()
+	if err := r.f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 2; i++ {
+		last = w.commit() // replica now lags by two segments
+	}
+
+	// Directly, the lagging replica refuses the gated read.
+	gate := server.ClientOptions{Gate: replica.ReadOptions{MinLSN: last}}
+	c, err := server.Dial(r.addr, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Value(ctx, `count(/log/e)`); !errors.Is(err, replica.ErrTooStale) {
+		t.Fatalf("gated read on lagging replica: got %v, want ErrTooStale", err)
+	}
+
+	// Through the fleet, the same gate routes the read to the primary.
+	fc := dialFleet(t, server.FleetOptions{Client: gate, Retry: quickRetry()}, w.addr, r.addr)
+	v, err := fc.Value(ctx, `count(/log/e)`)
+	if err != nil {
+		t.Fatalf("gated fleet read surfaced an error: %v", err)
+	}
+	if v != "3" {
+		t.Fatalf("gated fleet read count=%s, want 3 (the primary's fresh view)", v)
+	}
+}
+
+// TestFleetWriteRidesThroughConnectionCut: severing the fleet's session
+// between writes must be invisible — redial, retry with the same
+// idempotency token, no double-apply, no drop.
+func TestFleetWriteRidesThroughConnectionCut(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	fc := dialFleet(t, server.FleetOptions{Retry: quickRetry()}, w.addr)
+	ctx := context.Background()
+
+	if _, err := fc.Insert(ctx, server.InsertLast, w.root, `<e n="a"/>`); err != nil {
+		t.Fatal(err)
+	}
+	w.srv.CloseClientConns()
+	if _, err := fc.Insert(ctx, server.InsertLast, w.root, `<e n="b"/>`); err != nil {
+		t.Fatalf("write after connection cut: %v", err)
+	}
+	v, err := fc.Value(ctx, `count(/log/e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "2" {
+		t.Fatalf("count = %s, want 2 — the cut must neither double-apply nor drop a write", v)
+	}
+}
+
+// TestFleetWriteFailoverToPromotedReplica: the primary dies, the operator
+// promotes the serving replica in place, and the same fleet handle
+// re-discovers the new primary and keeps writing — client-side failover.
+func TestFleetWriteFailoverToPromotedReplica(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	w.commit()
+	r := w.serveFollower(t, "r1")
+	ctx := context.Background()
+	if err := r.f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fc := dialFleet(t, server.FleetOptions{
+		HealthTTL: 10 * time.Millisecond,
+		Retry:     retryx.Policy{MaxAttempts: 10, Initial: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+	}, w.addr, r.addr)
+
+	// Normal operation: writes discover and land on the primary.
+	if _, err := fc.Insert(ctx, server.InsertLast, w.root, `<e n="pre"/>`); err != nil {
+		t.Fatal(err)
+	}
+	if addr, err := fc.PrimaryAddr(ctx); err != nil || addr != w.addr {
+		t.Fatalf("PrimaryAddr = %q, %v; want %q", addr, err, w.addr)
+	}
+
+	// The primary dies; the replica is promoted in place (same listener).
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	w.srv.Shutdown(sctx)
+	st, err := r.srv.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	// The next write hits the dead primary, retries, re-discovers the
+	// promoted replica via its health role, and lands there.
+	if _, err := fc.Insert(ctx, server.InsertLast, w.root, `<e n="post"/>`); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+	if addr, err := fc.PrimaryAddr(ctx); err != nil || addr != r.addr {
+		t.Fatalf("PrimaryAddr = %q, %v; want promoted replica %q", addr, err, r.addr)
+	}
+	// The promoted store serves its replicated history plus the new write.
+	// (The pre-failover write was never replicated before the primary died
+	// — bounded, explicit loss, exactly what promotion semantics promise.)
+	v, err := fc.Value(ctx, `count(/log/e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "2" {
+		t.Fatalf("count = %s after failover, want 2 (one replicated commit + one post-failover write)", v)
+	}
+}
+
+// TestFleetHedgedReadCutsTailLatency: two endpoints with identical data,
+// the first sitting on injected per-page latency — the hedge fires after
+// HedgeDelay and the fast endpoint's answer wins long before the slow
+// one would have finished.
+func TestFleetHedgedReadCutsTailLatency(t *testing.T) {
+	e1 := start(t, slowCfg(), server.Options{})
+	e2 := start(t, memCfg(), server.Options{})
+	ctx := context.Background()
+	doc := `<inv>` + strings.Repeat(`<item>payload payload payload payload</item>`, 150) + `</inv>`
+	for _, e := range []*env{e1, e2} {
+		if _, err := axml.LoadXMLString(e.st, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1.inj.ArmLatency(300 * time.Millisecond) // per page miss — a full scan takes many seconds
+	defer e1.inj.DisarmLatency()
+
+	fc := dialFleet(t, server.FleetOptions{
+		HedgeDelay: 25 * time.Millisecond,
+		Retry:      quickRetry(),
+	}, e1.addr, e2.addr)
+
+	begin := time.Now()
+	v, err := fc.Value(ctx, `count(//item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "150" {
+		t.Fatalf("hedged read answered %q, want 150", v)
+	}
+	if el := time.Since(begin); el > 2500*time.Millisecond {
+		t.Fatalf("hedged read took %v — the hedge to the fast endpoint never fired", el)
+	}
+}

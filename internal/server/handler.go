@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/replica"
 	"repro/internal/token"
+	"repro/internal/wal"
 	"repro/internal/xmltok"
 	"repro/internal/xpath"
 )
@@ -32,10 +35,17 @@ type HealthReport struct {
 	Reason   string             `json:"reason,omitempty"`
 	Health   core.HealthSummary `json:"health"`
 	Replica  *replica.Stats     `json:"replica,omitempty"`
+
+	// Replication position, surfaced top-level so load balancers and the
+	// fleet client's freshest-replica routing read it without digging into
+	// Replica. A primary reports its archive LSN as AppliedLSN.
+	AppliedLSN  uint64 `json:"applied_lsn,omitempty"`
+	LagSegments int    `json:"lag_segments,omitempty"`
+	StallCause  string `json:"stall_cause,omitempty"`
 }
 
 func (s *Server) role() string {
-	if s.opt.Follower != nil {
+	if s.opt.Follower != nil && s.promoted.Load() == nil {
 		return "replica"
 	}
 	return "primary"
@@ -43,8 +53,12 @@ func (s *Server) role() string {
 
 // withRead runs fn against the read backend. On a replica the caller's
 // gate (MinLSN / MaxStaleness from the request header) is enforced; a
-// primary is never stale, so the gate is moot there.
+// primary — original or promoted in place — is never stale, so the gate
+// is moot there.
 func (s *Server) withRead(gate replica.ReadOptions, fn func(*core.Store) error) error {
+	if p := s.promoted.Load(); p != nil {
+		return fn(p)
+	}
 	if s.opt.Follower != nil {
 		return s.opt.Follower.Read(gate, fn)
 	}
@@ -53,6 +67,9 @@ func (s *Server) withRead(gate replica.ReadOptions, fn func(*core.Store) error) 
 
 // writeStore returns the mutable backend or the typed refusal.
 func (s *Server) writeStore() (*core.Store, error) {
+	if p := s.promoted.Load(); p != nil {
+		return p, nil
+	}
 	if s.opt.Follower != nil {
 		return nil, fmt.Errorf("%w: replica serves reads only", core.ErrReadOnly)
 	}
@@ -62,7 +79,10 @@ func (s *Server) writeStore() (*core.Store, error) {
 // statsReport assembles the full report.
 func (s *Server) statsReport() StatsReport {
 	rep := StatsReport{Server: s.Stats(), Role: s.role()}
-	if s.opt.Follower != nil {
+	if p := s.promoted.Load(); p != nil {
+		st := p.Stats()
+		rep.Store = &st
+	} else if s.opt.Follower != nil {
 		rs := s.opt.Follower.Stats()
 		rep.Replica = &rs
 	} else {
@@ -79,9 +99,16 @@ func (s *Server) healthReport() HealthReport {
 		h.Ready = false
 		h.Reason = "draining"
 	}
-	if s.opt.Follower != nil {
+	if p := s.promoted.Load(); p != nil {
+		h.Role = "primary"
+		h.Health = p.Health()
+		h.AppliedLSN = p.Stats().ArchiveLSN
+	} else if s.opt.Follower != nil {
 		rs := s.opt.Follower.Stats()
 		h.Replica = &rs
+		h.AppliedLSN = rs.AppliedLSN
+		h.LagSegments = rs.LagSegments
+		h.StallCause = rs.StallCause
 		switch {
 		case rs.Promoted:
 			h.Role = "primary"
@@ -95,6 +122,7 @@ func (s *Server) healthReport() HealthReport {
 		})
 	} else {
 		h.Health = s.opt.Store.Health()
+		h.AppliedLSN = s.opt.Store.Stats().ArchiveLSN
 	}
 	if h.Health.Degraded && h.Ready {
 		h.Ready = false
@@ -130,22 +158,119 @@ func (s *Server) dispatch(c *conn, ctx context.Context, typ byte, d *dec, gate r
 	case msgHealth:
 		return c.writeJSON(s.healthReport())
 	case msgInsert:
-		return s.handleInsert(c, ctx, d)
+		return s.runMutation(c, d, func(d *dec) (byte, []byte, error) {
+			return s.buildInsert(ctx, d)
+		})
 	case msgDelete:
-		id, err := d.u64()
-		if err != nil {
-			return err
-		}
-		return s.handleDelete(c, ctx, core.NodeID(id))
+		return s.runMutation(c, d, func(d *dec) (byte, []byte, error) {
+			id, err := d.u64()
+			if err != nil {
+				return 0, nil, err
+			}
+			return s.buildDelete(ctx, core.NodeID(id))
+		})
 	case msgLoad:
-		frag, err := d.str()
+		return s.runMutation(c, d, func(d *dec) (byte, []byte, error) {
+			frag, err := d.str()
+			if err != nil {
+				return 0, nil, err
+			}
+			return s.buildLoad(ctx, frag)
+		})
+	case msgSegments:
+		after, err := d.u64()
 		if err != nil {
 			return err
 		}
-		return s.handleLoad(c, ctx, frag)
+		return s.handleSegments(c, after)
+	case msgFetchSegment:
+		lsn, err := d.u64()
+		if err != nil {
+			return err
+		}
+		return s.handleFetchSegment(c, ctx, lsn)
 	default:
 		return fmt.Errorf("%w: unknown request type 0x%02x", ErrProtocol, typ)
 	}
+}
+
+// maxSegList caps one SEGMENTS response. A follower applies contiguously
+// and polls again, so truncating a huge backlog costs one extra round trip
+// per 4096 segments — and keeps the listing frame far under any frame cap.
+const maxSegList = 4096
+
+// archiveDir is the segment archive this server serves to followers: the
+// configured one on a primary, the follower's own archive on a replica —
+// which is what lets surviving replicas re-point at a promoted peer after
+// failover (it owns the full history it applied).
+func (s *Server) archiveDir() string {
+	if s.opt.ArchiveDir != "" {
+		return s.opt.ArchiveDir
+	}
+	if s.opt.Follower != nil {
+		return s.opt.Follower.ArchiveDir()
+	}
+	return ""
+}
+
+// handleSegments lists archived segments beyond the follower's applied
+// LSN: count, then (LSN, byte-size) pairs. Names are not sent — they are
+// derivable (wal.SegmentFileName), and the wire stays minimal.
+func (s *Server) handleSegments(c *conn, after uint64) error {
+	dir := s.archiveDir()
+	if dir == "" {
+		return fmt.Errorf("%w: replication stream not enabled (server has no segment archive)", ErrBadRequest)
+	}
+	segs, err := wal.SegmentsAfter(dir, after)
+	if err != nil {
+		return err
+	}
+	if len(segs) > maxSegList {
+		segs = segs[:maxSegList]
+	}
+	var e enc
+	e.u64(uint64(len(segs)))
+	for _, sg := range segs {
+		e.u64(sg.LSN)
+		e.u64(uint64(sg.Bytes))
+	}
+	return c.writeFrame(msgSegList, e.payload())
+}
+
+// handleFetchSegment streams one segment's raw bytes as msgSegData chunks
+// sized under the negotiated frame cap, terminated by msgDone carrying the
+// total so the follower can prove reassembly before validating content. A
+// missing file crosses the wire as CodeSegmentGone (fs.ErrNotExist); a
+// torn concurrent read is fine — the follower's CRC validation rejects it
+// and refetches.
+func (s *Server) handleFetchSegment(c *conn, ctx context.Context, lsn uint64) error {
+	dir := s.archiveDir()
+	if dir == "" {
+		return fmt.Errorf("%w: replication stream not enabled (server has no segment archive)", ErrBadRequest)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, wal.SegmentFileName(lsn)))
+	if err != nil {
+		return err
+	}
+	chunk := s.opt.MaxFrame - 64
+	if chunk > 256<<10 {
+		chunk = 256 << 10
+	}
+	for off := 0; off < len(data); off += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := c.writeFrame(msgSegData, data[off:end]); err != nil {
+			return err
+		}
+	}
+	var e enc
+	e.u64(uint64(len(data)))
+	return c.writeFrame(msgDone, e.payload())
 }
 
 func (c *conn) writeJSON(v any) error {
@@ -260,28 +385,56 @@ func (s *Server) handleReadNode(c *conn, ctx context.Context, id core.NodeID, ga
 	return c.writeFrame(msgValueRes, e.payload())
 }
 
-// handleInsert runs one XUpdate primitive and commits it (Flush) before
-// acknowledging — the ack means durable.
-func (s *Server) handleInsert(c *conn, ctx context.Context, d *dec) error {
-	opb, err := d.byt()
+// runMutation wraps every mutating op with the idempotency-token protocol
+// (wire v2): each mutation payload leads with a token string — empty for
+// "no dedup". A token that matches a cached committed ack replays that ack
+// verbatim without touching the store; otherwise the mutation runs, and on
+// success its ack is cached before it is written, so even an ack lost on
+// the wire is replayable. Failures are never cached — a retry after a shed
+// or deadline must re-execute.
+func (s *Server) runMutation(c *conn, d *dec, build func(d *dec) (byte, []byte, error)) error {
+	tok, err := d.str()
 	if err != nil {
 		return err
+	}
+	key := idemKey{gate: c.gate, token: tok}
+	if tok != "" {
+		if e, ok := s.idem.get(key); ok {
+			return c.writeFrame(e.typ, e.payload)
+		}
+	}
+	typ, payload, err := build(d)
+	if err != nil {
+		return err
+	}
+	if tok != "" {
+		s.idem.put(key, idemEntry{typ: typ, payload: payload})
+	}
+	return c.writeFrame(typ, payload)
+}
+
+// buildInsert runs one XUpdate primitive and commits it (Flush) before
+// acknowledging — the ack means durable.
+func (s *Server) buildInsert(ctx context.Context, d *dec) (byte, []byte, error) {
+	opb, err := d.byt()
+	if err != nil {
+		return 0, nil, err
 	}
 	id, err := d.u64()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	frag, err := d.str()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	st, err := s.writeStore()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	toks, err := xmltok.ParseFragmentString(frag, xmltok.ParseOptions{})
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	target := core.NodeID(id)
 	var newID core.NodeID
@@ -299,50 +452,50 @@ func (s *Server) handleInsert(c *conn, ctx context.Context, d *dec) error {
 	case ReplaceContent:
 		newID, err = st.ReplaceContentCtx(ctx, target, toks)
 	default:
-		return fmt.Errorf("%w: unknown insert op %d", ErrBadRequest, opb)
+		return 0, nil, fmt.Errorf("%w: unknown insert op %d", ErrBadRequest, opb)
 	}
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	if err := st.Flush(); err != nil {
-		return err
+		return 0, nil, err
 	}
 	var e enc
 	e.u64(uint64(newID))
-	return c.writeFrame(msgNodeID, e.payload())
+	return msgNodeID, e.payload(), nil
 }
 
-func (s *Server) handleDelete(c *conn, ctx context.Context, id core.NodeID) error {
+func (s *Server) buildDelete(ctx context.Context, id core.NodeID) (byte, []byte, error) {
 	st, err := s.writeStore()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	if err := st.DeleteNodeCtx(ctx, id); err != nil {
-		return err
+		return 0, nil, err
 	}
 	if err := st.Flush(); err != nil {
-		return err
+		return 0, nil, err
 	}
-	return c.writeFrame(msgOK, nil)
+	return msgOK, nil, nil
 }
 
-func (s *Server) handleLoad(c *conn, ctx context.Context, frag string) error {
+func (s *Server) buildLoad(ctx context.Context, frag string) (byte, []byte, error) {
 	st, err := s.writeStore()
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	toks, err := xmltok.ParseFragmentString(frag, xmltok.ParseOptions{})
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	id, err := st.AppendCtx(ctx, toks)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	if err := st.Flush(); err != nil {
-		return err
+		return 0, nil, err
 	}
 	var e enc
 	e.u64(uint64(id))
-	return c.writeFrame(msgNodeID, e.payload())
+	return msgNodeID, e.payload(), nil
 }

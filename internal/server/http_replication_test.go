@@ -1,0 +1,148 @@
+// The HTTP facade's replication surface: /readyz carries the applied
+// LSN and lag for load balancers, flips to 503 with the stall cause when
+// the follower's stream is wedged, and /stats exposes the full replica
+// counters. These are the fields the fleet runbook tells operators to
+// alert on, so their shape is pinned here.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPReadyzReportsReplicationPosition(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	last := w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	applied := f.Stats().AppliedLSN
+	if applied < last {
+		t.Fatalf("follower applied %d, behind the committed %d", applied, last)
+	}
+
+	fsrv, err := server.New(server.Options{Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fsrv.HTTPHandler())
+	defer ts.Close()
+	pts := httptest.NewServer(w.srv.HTTPHandler())
+	defer pts.Close()
+
+	var h server.HealthReport
+	if code := getJSON(t, ts.URL+"/readyz", &h); code != http.StatusOK {
+		t.Fatalf("replica /readyz = %d, want 200", code)
+	}
+	if !h.Ready || h.Role != "replica" {
+		t.Fatalf("replica /readyz: ready=%v role=%q", h.Ready, h.Role)
+	}
+	if h.AppliedLSN != applied || h.LagSegments != 0 || h.StallCause != "" {
+		t.Fatalf("replica /readyz position: applied=%d lag=%d stall=%q, want applied=%d lag=0",
+			h.AppliedLSN, h.LagSegments, h.StallCause, applied)
+	}
+
+	// The primary reports its archive high-water mark in the same field,
+	// so one probe shape works for the whole fleet.
+	var ph server.HealthReport
+	if code := getJSON(t, pts.URL+"/readyz", &ph); code != http.StatusOK {
+		t.Fatalf("primary /readyz = %d, want 200", code)
+	}
+	if ph.Role != "primary" || ph.AppliedLSN != w.wp.LSN() {
+		t.Fatalf("primary /readyz: role=%q applied=%d, want primary/%d", ph.Role, ph.AppliedLSN, w.wp.LSN())
+	}
+
+	// /stats carries the full replica counters under "replica".
+	var st server.StatsReport
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("replica /stats = %d, want 200", code)
+	}
+	if st.Role != "replica" || st.Replica == nil {
+		t.Fatalf("replica /stats: role=%q replica=%v", st.Role, st.Replica)
+	}
+	if st.Replica.AppliedLSN != applied || st.Replica.Stalled {
+		t.Fatalf("replica /stats counters: applied=%d stalled=%v, want applied=%d healthy",
+			st.Replica.AppliedLSN, st.Replica.Stalled, applied)
+	}
+}
+
+func TestHTTPReadyz503OnStickyStall(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	applied := f.Stats().AppliedLSN
+
+	// Prune the exact segment the follower needs next while a later one
+	// exists: the history is gone from under it — a sticky stall, not a
+	// transient error.
+	gone := w.commit()
+	w.commit()
+	if err := os.Remove(filepath.Join(w.arch, wal.SegmentFileName(gone))); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CatchUp(ctx); err == nil {
+		t.Fatal("catch-up across a pruned segment succeeded; expected a stall")
+	}
+
+	fsrv, err := server.New(server.Options{Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fsrv.HTTPHandler())
+	defer ts.Close()
+
+	var h server.HealthReport
+	if code := getJSON(t, ts.URL+"/readyz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled replica /readyz = %d, want 503", code)
+	}
+	if h.Ready {
+		t.Fatal("stalled replica reports ready")
+	}
+	if h.StallCause == "" || !strings.Contains(h.Reason, "replica stalled") {
+		t.Fatalf("stall not surfaced: reason=%q stall_cause=%q", h.Reason, h.StallCause)
+	}
+	if h.AppliedLSN != applied {
+		t.Fatalf("stalled /readyz applied_lsn = %d, want the pre-stall position %d", h.AppliedLSN, applied)
+	}
+
+	// The stall is sticky — a second probe reports the same thing, and
+	// /stats carries it too.
+	var st server.StatsReport
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats on stalled replica = %d, want 200 (stats always answer)", code)
+	}
+	if st.Replica == nil || !st.Replica.Stalled || st.Replica.StallCause == "" {
+		t.Fatalf("/stats does not carry the stall: %+v", st.Replica)
+	}
+}

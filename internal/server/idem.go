@@ -1,0 +1,80 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Idempotency-token dedup (DESIGN.md §13). A mutation whose ack is lost in
+// flight — connection cut between the server's commit and the client's
+// read — is *ambiguous*: the client cannot know whether it committed.
+// Blind re-send would double-apply. The contract: a client that attaches a
+// token may re-send the identical mutation after an ambiguous outcome, and
+// the server replays the original committed ack instead of executing
+// twice.
+//
+// Only committed successes are cached. A failed attempt leaves no record,
+// so a retry re-executes from scratch — exactly what the caller wants for
+// a shed or a deadline. Failure outcomes need no dedup: nothing was
+// applied.
+
+// idemKey scopes a token to its tenant gate, by identity: two tenants
+// reusing the same token string never collide, and the auth-disabled
+// shared gate still scopes consistently across sessions.
+type idemKey struct {
+	gate  *tenantGate
+	token string
+}
+
+type idemEntry struct {
+	typ     byte
+	payload []byte
+}
+
+// idemCache is a bounded FIFO of recent committed mutation responses.
+// Oldest entries fall out first; any client retrying within a sane backoff
+// window is far inside the horizon. FIFO (not LRU) on purpose: a replayed
+// token must NOT refresh its slot — the entry exists to absorb a short
+// retry burst, not to live forever.
+type idemCache struct {
+	mu   sync.Mutex
+	max  int
+	m    map[idemKey]idemEntry
+	fifo []idemKey
+	head int
+	hits atomic.Int64
+}
+
+func newIdemCache(max int) *idemCache {
+	return &idemCache{max: max, m: make(map[idemKey]idemEntry, max)}
+}
+
+func (ic *idemCache) get(k idemKey) (idemEntry, bool) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	e, ok := ic.m[k]
+	if ok {
+		ic.hits.Add(1)
+	}
+	return e, ok
+}
+
+func (ic *idemCache) put(k idemKey, e idemEntry) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if _, dup := ic.m[k]; dup {
+		return // first committed outcome wins; replays never overwrite
+	}
+	if len(ic.m) >= ic.max {
+		// The ring is full: the slot at head holds the oldest key. Evict
+		// it, store the newest in its place, advance head to the next
+		// oldest.
+		delete(ic.m, ic.fifo[ic.head])
+		ic.fifo[ic.head] = k
+		ic.head = (ic.head + 1) % len(ic.fifo)
+		ic.m[k] = e
+		return
+	}
+	ic.m[k] = e
+	ic.fifo = append(ic.fifo, k)
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/retryx"
+	"repro/internal/wal"
+)
+
+// NetTransport implements replica.Transport over the wire protocol: a
+// follower tails a live axmlserved source (primary, or another follower
+// when cascading) with no shared disk. Both calls ride the shared retryx
+// loop — a connection cut, an admission shed, or a drain in progress earns
+// a redial and another attempt, always bounded by the follower's context.
+// Everything a DirTransport guarantees still holds: listings arrive sorted
+// and duplicate-free (the server lists via wal.SegmentsAfter), fetched
+// bytes are validated by the follower, and a vanished segment answers
+// errors.Is(err, fs.ErrNotExist) exactly as a local read would.
+type NetTransport struct {
+	addr string
+	opt  NetTransportOptions
+
+	mu     sync.Mutex
+	c      *Client
+	closed bool
+}
+
+// NetTransportOptions tunes a network transport.
+type NetTransportOptions struct {
+	// Client configures each underlying session (auth token, timeouts).
+	Client ClientOptions
+	// Retry shapes the per-call retry loop. Zero value = retryx defaults.
+	Retry retryx.Policy
+}
+
+// NewNetTransport returns a transport tailing the segment archive served
+// at addr. Dialing is lazy: a source that is down at construction time is
+// simply retried on the first call.
+func NewNetTransport(addr string, opt NetTransportOptions) *NetTransport {
+	return &NetTransport{addr: addr, opt: opt}
+}
+
+var _ replica.Transport = (*NetTransport)(nil)
+
+// session returns the live client, dialing if needed.
+func (t *NetTransport) session() (*Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, core.ErrClosed
+	}
+	if t.c != nil {
+		return t.c, nil
+	}
+	c, err := Dial(t.addr, t.opt.Client)
+	if err != nil {
+		return nil, err
+	}
+	t.c = c
+	return c, nil
+}
+
+// drop discards a session after a transport-level failure so the next
+// attempt redials. Only the exact failed session is dropped — a concurrent
+// caller may already have replaced it.
+func (t *NetTransport) drop(c *Client) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c == c {
+		t.c = nil
+	}
+	c.Close()
+}
+
+// retryable: connection-level failures (redial fixes a reset or a dead
+// primary's half-open socket) plus whatever the registry classifies
+// retryable (admission sheds, drains). A typed refusal like ErrAuth or a
+// missing segment ends the loop at once.
+func (t *NetTransport) retryable(err error) bool {
+	return retryx.ConnError(err) || core.Retryable(err)
+}
+
+// do runs one transport call with redial-on-failure under the retry loop.
+func (t *NetTransport) do(ctx context.Context, call func(c *Client) error) error {
+	return retryx.Do(ctx, t.opt.Retry, t.retryable, func(ctx context.Context) error {
+		c, err := t.session()
+		if err != nil {
+			return err
+		}
+		if err := call(c); err != nil {
+			if retryx.ConnError(err) {
+				t.drop(c)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// Segments implements replica.Transport.
+func (t *NetTransport) Segments(ctx context.Context, after uint64) ([]wal.SegmentInfo, error) {
+	var segs []wal.SegmentInfo
+	err := t.do(ctx, func(c *Client) error {
+		var cerr error
+		segs, cerr = c.Segments(ctx, after)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return segs, nil
+}
+
+// Fetch implements replica.Transport.
+func (t *NetTransport) Fetch(ctx context.Context, lsn uint64) ([]byte, error) {
+	var data []byte
+	err := t.do(ctx, func(c *Client) error {
+		var cerr error
+		data, cerr = c.FetchSegment(ctx, lsn)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Close implements replica.Transport.
+func (t *NetTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.c != nil {
+		err := t.c.Close()
+		t.c = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Network replication transport end to end: a follower tails a live
+// served primary over TCP — no shared disk — with the same validation and
+// stall semantics a directory transport gives, including chunked fetch of
+// segments larger than the negotiated frame cap and fs.ErrNotExist
+// surviving the wire for the gap-vs-retry decision.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"testing"
+	"time"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// walEnv is a served primary whose store archives WAL segments — the
+// source a network follower tails.
+type walEnv struct {
+	*env
+	wp   *wal.Pager
+	arch string
+	dir  string
+	root core.NodeID
+	n    int
+}
+
+func startWALPrimary(t *testing.T, opt server.Options) *walEnv {
+	t.Helper()
+	dir := t.TempDir()
+	arch := filepath.Join(dir, "segments")
+	wp, err := wal.OpenWithOptions(filepath.Join(dir, "primary.db"), 512, wal.Options{ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Mode: core.RangeOnly, PageSize: 512, Pager: wp}
+	opt.ArchiveDir = arch
+	e := start(t, cfg, opt)
+	root, err := axml.LoadXMLString(e.st, `<log/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &walEnv{env: e, wp: wp, arch: arch, dir: dir, root: root}
+}
+
+// commit inserts one element directly on the primary store and flushes —
+// one archived segment per call.
+func (w *walEnv) commit() uint64 {
+	w.t.Helper()
+	frag, err := axml.ParseFragment(fmt.Sprintf(`<e n="%d"/>`, w.n))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.n++
+	if _, err := w.st.InsertIntoLast(w.root, frag); err != nil {
+		w.t.Fatal(err)
+	}
+	if err := w.st.Flush(); err != nil {
+		w.t.Fatal(err)
+	}
+	return w.wp.LSN()
+}
+
+// follower bootstraps a network follower (named so several can coexist)
+// from an online backup of the served primary.
+func (w *walEnv) follower(t *testing.T, name string, opt server.NetTransportOptions) *replica.Follower {
+	t.Helper()
+	base := filepath.Join(w.dir, name+".bak")
+	if _, err := w.st.BackupTo(base); err != nil {
+		t.Fatal(err)
+	}
+	tr := server.NewNetTransport(w.addr, opt)
+	f, err := replica.Open(filepath.Join(w.dir, name+".db"), tr,
+		replica.Options{Store: core.Config{Mode: core.RangeOnly, PageSize: 512}, Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func verifyReplica(t *testing.T, f *replica.Follower) {
+	t.Helper()
+	if err := f.Read(replica.ReadOptions{}, func(s *core.Store) error { return s.Verify() }); err != nil {
+		t.Fatalf("follower store fails verification: %v", err)
+	}
+}
+
+func replicaXML(t *testing.T, f *replica.Follower) string {
+	t.Helper()
+	var x string
+	if err := f.Read(replica.ReadOptions{}, func(s *core.Store) error {
+		var err error
+		x, err = s.XMLString()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestNetTransportFollowerTailsServedPrimary(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+
+	var last uint64
+	for i := 0; i < 5; i++ {
+		last = w.commit()
+	}
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.AppliedLSN != last || st.LagSegments != 0 {
+		t.Fatalf("follower at LSN %d with %d lag segment(s), want %d and 0", st.AppliedLSN, st.LagSegments, last)
+	}
+	want, err := w.st.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replicaXML(t, f); got != want {
+		t.Fatalf("follower serves %q, primary has %q", got, want)
+	}
+	verifyReplica(t, f)
+}
+
+// TestNetTransportChunkedFetch forces segments bigger than the negotiated
+// frame cap: the fetch must arrive chunked and reassemble byte-exact.
+func TestNetTransportChunkedFetch(t *testing.T) {
+	// A tiny frame cap makes every multi-page commit exceed one frame.
+	w := startWALPrimary(t, server.Options{MaxFrame: 4096})
+	w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{
+		Client: server.ClientOptions{MaxFrame: 4096},
+	})
+
+	// One commit touching many pages => one segment far over the cap.
+	var sb []byte
+	for i := 0; i < 200; i++ {
+		sb = append(sb, fmt.Sprintf(`<row id="%d">payload payload payload %d</row>`, i, i)...)
+	}
+	frag, err := axml.ParseFragment(string(sb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.st.InsertIntoLast(w.root, frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.SegmentsAfter(w.arch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var biggest int64
+	for _, sg := range segs {
+		if sg.Bytes > biggest {
+			biggest = sg.Bytes
+		}
+	}
+	if biggest <= 4096 {
+		t.Fatalf("biggest segment %d bytes — does not exercise chunking", biggest)
+	}
+
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.st.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replicaXML(t, f); got != want {
+		t.Fatal("follower diverged after chunked fetch")
+	}
+	verifyReplica(t, f)
+}
+
+// TestNetTransportMissingSegmentIsNotExist pins the wire mapping the
+// follower's stall logic depends on: a fetch for a pruned segment answers
+// errors.Is(err, fs.ErrNotExist) across the network exactly as a local
+// directory read would.
+func TestNetTransportMissingSegmentIsNotExist(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	tr := server.NewNetTransport(w.addr, server.NetTransportOptions{})
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := tr.Fetch(ctx, 999999)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing segment: got %v, want fs.ErrNotExist across the wire", err)
+	}
+}
+
+// TestNetTransportSurvivesConnectionCut: killing the transport's TCP
+// session between polls must be invisible — the retry loop redials.
+func TestNetTransportSurvivesConnectionCut(t *testing.T) {
+	w := startWALPrimary(t, server.Options{})
+	w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut every served connection out from under the transport.
+	w.srv.CloseClientConns()
+
+	last := w.commit()
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatalf("catch-up after connection cut: %v", err)
+	}
+	if st := f.Stats(); st.AppliedLSN != last {
+		t.Fatalf("applied LSN %d, want %d", st.AppliedLSN, last)
+	}
+}

@@ -1,0 +1,587 @@
+// Partition and flaky-network chaos over the replication and fleet
+// stacks: a follower tailing a primary through a misbehaving network
+// (full partitions, mid-frame cuts, silent bit flips, latency) must
+// stall cleanly and resume exactly where it left off; a primary killed
+// -9 mid-segment-stream must leave its followers Verify-clean and
+// resumable; and through all of it the fleet client keeps serving
+// idempotent reads with zero surfaced errors.
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	axml "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// startChaosPrimary is startWALPrimary behind a chaos-wrapped listener:
+// every connection the primary serves — client sessions and replication
+// transports alike — misbehaves on the controller's schedule.
+func startChaosPrimary(t *testing.T, opt server.Options) (*walEnv, *fault.NetChaos) {
+	t.Helper()
+	dir := t.TempDir()
+	arch := filepath.Join(dir, "segments")
+	wp, err := wal.OpenWithOptions(filepath.Join(dir, "primary.db"), 512, wal.Options{ArchiveDir: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Open(core.Config{Mode: core.RangeOnly, PageSize: 512, Pager: wp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.ArchiveDir = arch
+	opt.Store = st
+	srv, err := server.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := fault.NewNetChaos(42)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ch.WrapListener(ln)) }()
+	t.Cleanup(func() {
+		ch.Heal()
+		ch.DisarmLatency()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		st.Close()
+	})
+	e := &env{t: t, srv: srv, st: st, addr: ln.Addr().String(), done: done}
+	root, err := axml.LoadXMLString(st, `<log/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &walEnv{env: e, wp: wp, arch: arch, dir: dir, root: root}, ch
+}
+
+// TestPartitionChaosFollowerStallsThenResumes: a full partition makes
+// catch-up fail within its deadline — never hang, never corrupt — and
+// after the heal the follower resumes from its durable position.
+func TestPartitionChaosFollowerStallsThenResumes(t *testing.T) {
+	w, ch := startChaosPrimary(t, server.Options{})
+	w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = w.commit()
+	}
+
+	ch.Partition()
+	pctx, pcancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	err := f.CatchUp(pctx)
+	pcancel()
+	if err == nil {
+		t.Fatal("catch-up reported success across a full partition")
+	}
+	verifyReplica(t, f) // the stall left nothing half-applied
+
+	ch.Heal()
+	hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer hcancel()
+	if err := f.CatchUp(hctx); err != nil {
+		t.Fatalf("catch-up after heal: %v", err)
+	}
+	if st := f.Stats(); st.AppliedLSN != last || st.LagSegments != 0 {
+		t.Fatalf("resumed to LSN %d with %d lag, want %d and 0", st.AppliedLSN, st.LagSegments, last)
+	}
+	want, err := w.st.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replicaXML(t, f); got != want {
+		t.Fatal("follower diverged across partition + heal")
+	}
+	verifyReplica(t, f)
+}
+
+// TestPartitionChaosMidFrameCutAndCorruption: a connection cut in the
+// middle of a segment frame redials and resumes; a silent one-bit flip
+// in segment data is caught by CRC validation and refetched — neither
+// ever reaches the follower's store.
+func TestPartitionChaosMidFrameCutAndCorruption(t *testing.T) {
+	w, ch := startChaosPrimary(t, server.Options{})
+	w.commit()
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the stream 30 bytes into the next response burst — inside the
+	// segment-data frame for this commit.
+	last := w.commit()
+	ch.ArmCut(30)
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatalf("catch-up across mid-frame cut: %v", err)
+	}
+	if got := f.Stats().AppliedLSN; got != last {
+		t.Fatalf("applied LSN %d after cut, want %d", got, last)
+	}
+	if ch.Cuts() != 1 {
+		t.Fatalf("Cuts = %d, want 1 — the cut never fired", ch.Cuts())
+	}
+
+	// Flip one bit 100 bytes into the next burst — inside segment data.
+	// The fetch must be rejected by validation and silently refetched.
+	last = w.commit()
+	ch.ArmCorrupt(100)
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatalf("catch-up across silent corruption: %v", err)
+	}
+	if got := f.Stats().AppliedLSN; got != last {
+		t.Fatalf("applied LSN %d after corruption, want %d", got, last)
+	}
+	if ch.Corruptions() != 1 {
+		t.Fatalf("Corruptions = %d, want 1 — the flip never fired", ch.Corruptions())
+	}
+
+	want, err := w.st.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replicaXML(t, f); got != want {
+		t.Fatal("follower diverged across cut + corruption")
+	}
+	verifyReplica(t, f)
+}
+
+// TestPartitionChaosKill9PrimaryMidSegmentStream: SIGKILL the serving
+// primary process while a follower is actively streaming segments and
+// writers are committing. The follower must end Verify-clean and resume
+// against a restarted primary, and the fleet client must keep serving
+// idempotent reads with zero surfaced errors throughout.
+func TestPartitionChaosKill9PrimaryMidSegmentStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperServedProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"="+dir, helperAddrEnv+"="+addrFile)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	var addr string
+	waitFor(t, func() bool {
+		b, err := os.ReadFile(addrFile)
+		if err != nil {
+			return false
+		}
+		addr = string(b)
+		return addr != ""
+	})
+
+	ctx := context.Background()
+	c, err := server.Dial(addr, server.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.Load(ctx, `<log/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A follower tails the helper over the network, bootstrapped from the
+	// base backup the helper published, and is served on its own port.
+	fcfg := core.Config{Mode: core.RangePartial, PageSize: 512}
+	tr := server.NewNetTransport(addr, server.NetTransportOptions{})
+	f, err := replica.Open(filepath.Join(dir, "follower.db"), tr,
+		replica.Options{Store: fcfg, Base: filepath.Join(dir, "base.bak")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base0 := f.Stats().AppliedLSN
+	fsrv, err := server.New(server.Options{Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fsrv.Serve(fln)
+
+	stopTail := make(chan struct{})
+	var tailWg sync.WaitGroup
+	tailWg.Add(1)
+	go func() {
+		defer tailWg.Done()
+		for {
+			select {
+			case <-stopTail:
+				return
+			default:
+			}
+			cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+			f.CatchUp(cctx) // errors are expected once the primary dies
+			ccancel()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Writers hammer the primary; only acked inserts count.
+	var acked, attempted atomic.Int64
+	stopWrite := make(chan struct{})
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < 2; wkr++ {
+		cc, err := server.Dial(addr, server.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cc *server.Client, wkr int) {
+			defer wg.Done()
+			defer cc.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stopWrite:
+					return
+				default:
+				}
+				attempted.Add(1)
+				if _, err := cc.Insert(ctx, server.InsertLast, root, fmt.Sprintf(`<e w="%d" i="%d"/>`, wkr, i)); err != nil {
+					return // the kill landed mid-conversation
+				}
+				acked.Add(1)
+			}
+		}(cc, wkr)
+	}
+
+	// The fleet client reads through the whole ordeal. Zero errors, ever:
+	// the follower outranks the primary for reads and never goes away.
+	fc, err := server.DialFleet([]string{fln.Addr().String(), addr}, server.FleetOptions{
+		HealthTTL: 50 * time.Millisecond,
+		Retry:     quickRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	var reads atomic.Int64
+	stopRead := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			rctx, rcancel := context.WithTimeout(ctx, 3*time.Second)
+			_, err := fc.Value(rctx, `count(/log/e)`)
+			rcancel()
+			reads.Add(1)
+			if err != nil {
+				t.Errorf("fleet read surfaced an error: %v", err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Kill only once replication is demonstrably mid-stream: commits acked
+	// and the follower visibly advancing past its base.
+	waitFor(t, func() bool { return acked.Load() >= 30 && f.Stats().AppliedLSN > base0 })
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	cmd.Wait()
+	close(stopWrite)
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond) // reads keep flowing past the death
+	close(stopRead)
+	rwg.Wait()
+	close(stopTail)
+	tailWg.Wait()
+	c.Close()
+	if reads.Load() == 0 {
+		t.Fatal("the reader never read — the zero-error claim is vacuous")
+	}
+	t.Logf("kill -9 after %d acked / %d attempted commits; %d fleet reads, zero errors; follower at LSN %d",
+		acked.Load(), attempted.Load(), reads.Load(), f.Stats().AppliedLSN)
+
+	// The follower is Verify-clean right where the kill left it...
+	verifyReplica(t, f)
+	applied := f.Stats().AppliedLSN
+
+	// ...and resumable: restart the primary from its files, re-point the
+	// follower at it, and it catches up to the replayed history.
+	sctx, scancel := context.WithTimeout(ctx, 5*time.Second)
+	defer scancel()
+	fsrv.Shutdown(sctx)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := axml.ReopenFileWAL(filepath.Join(dir, "store.db"), helperCfg(), filepath.Join(dir, "segments"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatalf("restarted primary verify: %v", err)
+	}
+	srv2, err := server.New(server.Options{Store: st, ArchiveDir: filepath.Join(dir, "segments")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2)
+	defer func() {
+		s2ctx, s2cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer s2cancel()
+		srv2.Shutdown(s2ctx)
+	}()
+	tr2 := server.NewNetTransport(ln2.Addr().String(), server.NetTransportOptions{})
+	f2, err := replica.Open(filepath.Join(dir, "follower.db"), tr2, replica.Options{Store: fcfg})
+	if err != nil {
+		t.Fatalf("follower did not reopen after the kill: %v", err)
+	}
+	defer f2.Close()
+	rctx, rcancel := context.WithTimeout(ctx, 15*time.Second)
+	defer rcancel()
+	if err := f2.CatchUp(rctx); err != nil {
+		t.Fatalf("catch-up against restarted primary: %v", err)
+	}
+	if got := f2.Stats().AppliedLSN; got < applied {
+		t.Fatalf("resume went backwards: LSN %d < %d", got, applied)
+	}
+	verifyReplica(t, f2)
+
+	// Counts line up end to end: follower == restarted primary, and the
+	// primary replayed at least every acked commit.
+	want, err := axml.QueryValue(st, `count(//e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := f2.Read(replica.ReadOptions{}, func(s *core.Store) error {
+		var rerr error
+		got, rerr = axml.QueryValue(s, `count(//e)`)
+		return rerr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("follower has %s commits, restarted primary %s", got, want)
+	}
+	n, err := strconv.ParseInt(want, 10, 64)
+	if err != nil {
+		t.Fatalf("count = %q", want)
+	}
+	if n < acked.Load() || n > attempted.Load() {
+		t.Fatalf("replayed %d commits, want between %d acked and %d attempted", n, acked.Load(), attempted.Load())
+	}
+}
+
+// TestPartitionChaosSoak: several seconds of randomized network faults —
+// partitions, mid-frame cuts, bit flips, latency bursts, connection
+// resets — against a primary serving fleet writes while a follower tails
+// it. Invariants at the end: the follower converges byte-identical and
+// Verify-clean, every acked write is present exactly once, and the fleet
+// reader (served by the follower's clean listener) saw zero errors.
+func TestPartitionChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	w, ch := startChaosPrimary(t, server.Options{})
+	f := w.follower(t, "follower", server.NetTransportOptions{})
+	ctx := context.Background()
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fsrv, err := server.New(server.Options{Follower: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fsrv.Serve(fln)
+	t.Cleanup(func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		fsrv.Shutdown(sctx)
+	})
+
+	fc, err := server.DialFleet([]string{fln.Addr().String(), w.addr}, server.FleetOptions{
+		HealthTTL: 100 * time.Millisecond,
+		Retry:     quickRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Tailer: catch up continuously through whatever the network does.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+			f.CatchUp(cctx) // errors expected under chaos
+			ccancel()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Writer: idempotency-tokened fleet writes through the chaotic
+	// listener. Errors are tolerated (the network is lying); what is acked
+	// must be present exactly once at the end.
+	var acked, attempted, writeErrs atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			attempted.Add(1)
+			wctx, wcancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := fc.Insert(wctx, server.InsertLast, w.root, fmt.Sprintf(`<e i="%d"/>`, i))
+			wcancel()
+			if err != nil {
+				writeErrs.Add(1)
+			} else {
+				acked.Add(1)
+			}
+		}
+	}()
+
+	// Reader: idempotent reads, zero tolerated errors — the follower's
+	// clean listener outranks the chaotic primary.
+	var reads atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rctx, rcancel := context.WithTimeout(ctx, 3*time.Second)
+			_, err := fc.Value(rctx, `count(/log/e)`)
+			rcancel()
+			reads.Add(1)
+			if err != nil {
+				t.Errorf("fleet read surfaced an error under chaos: %v", err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Chaos driver: randomized faults for the soak window.
+	rng := rand.New(rand.NewSource(7))
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		switch rng.Intn(5) {
+		case 0:
+			ch.Partition()
+			time.Sleep(time.Duration(30+rng.Intn(50)) * time.Millisecond)
+			ch.Heal()
+		case 1:
+			ch.ArmCut(int64(rng.Intn(2000)))
+		case 2:
+			ch.ArmCorrupt(int64(rng.Intn(2000)))
+		case 3:
+			ch.ArmLatency(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+			time.Sleep(50 * time.Millisecond)
+			ch.DisarmLatency()
+		case 4:
+			w.srv.CloseClientConns()
+		}
+		time.Sleep(time.Duration(10+rng.Intn(20)) * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	ch.Heal()
+	ch.DisarmLatency()
+
+	// Convergence: the follower reaches the primary's archived position.
+	waitFor(t, func() bool {
+		cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+		defer ccancel()
+		if err := f.CatchUp(cctx); err != nil {
+			return false
+		}
+		return f.Stats().AppliedLSN == w.wp.LSN()
+	})
+	verifyReplica(t, f)
+	want, err := w.st.XMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replicaXML(t, f); got != want {
+		t.Fatal("follower diverged from primary after the soak")
+	}
+	// Every acked write is present exactly once; nothing double-applied.
+	v, err := axml.QueryValue(w.st, `count(/log/e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("count = %q", v)
+	}
+	if n < acked.Load() || n > attempted.Load() {
+		t.Fatalf("%d committed writes, want between %d acked and %d attempted — a retry double-applied or an ack was dropped", n, acked.Load(), attempted.Load())
+	}
+	if reads.Load() == 0 {
+		t.Fatal("the reader never read — the zero-error claim is vacuous")
+	}
+	if err := w.st.Verify(); err != nil {
+		t.Fatalf("primary verify after soak: %v", err)
+	}
+	t.Logf("soak: %d acked / %d attempted writes (%d typed errors), %d clean reads, %d cuts, %d corruptions",
+		acked.Load(), attempted.Load(), writeErrs.Load(), reads.Load(), ch.Cuts(), ch.Corruptions())
+}

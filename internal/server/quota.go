@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -48,20 +49,29 @@ func newTenantGate(cfg Tenant) *tenantGate {
 
 // acquire claims a slot, waiting in FIFO order while the queue has room.
 // A full queue sheds immediately with ErrQuotaExceeded; a caller whose
-// deadline expires while queued leaves with the context error.
+// deadline expires while queued leaves with the context error. The
+// returned release is idempotent: op teardown paths can overlap (a drain
+// racing normal completion), and a double release must not mint an extra
+// slot another tenant op would then squeeze through.
 func (g *tenantGate) acquire(ctx context.Context) (release func(), err error) {
 	if g.sem == nil {
 		g.inOps.Add(1)
-		return func() { g.inOps.Add(-1) }, nil
+		var once sync.Once
+		return func() { once.Do(func() { g.inOps.Add(-1) }) }, nil
 	}
-	done := func() {
-		g.inOps.Add(-1)
-		<-g.sem
+	grant := func() func() {
+		g.inOps.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				g.inOps.Add(-1)
+				<-g.sem
+			})
+		}
 	}
 	select {
 	case g.sem <- struct{}{}:
-		g.inOps.Add(1)
-		return done, nil
+		return grant(), nil
 	default:
 	}
 	select {
@@ -78,8 +88,7 @@ func (g *tenantGate) acquire(ctx context.Context) (release func(), err error) {
 	}()
 	select {
 	case g.sem <- struct{}{}:
-		g.inOps.Add(1)
-		return done, nil
+		return grant(), nil
 	case <-ctx.Done():
 		return nil, fmt.Errorf("tenant %q queued past deadline: %w", g.name, ctx.Err())
 	}

@@ -24,6 +24,12 @@ type Options struct {
 	// gates, writes are refused.
 	Follower *replica.Follower
 
+	// ArchiveDir, when set, enables the replication stream: followers may
+	// list (SEGMENTS) and fetch (FETCH_SEGMENT) WAL segments from this
+	// directory — the primary's own archive, or a follower's local copy
+	// when cascading. Empty disables the two ops.
+	ArchiveDir string
+
 	// Tenants maps auth tokens to tenant quotas. An empty map disables
 	// authentication: every session lands in one shared unlimited tenant.
 	Tenants map[string]Tenant
@@ -35,6 +41,10 @@ type Options struct {
 	MaxAcceptQueue int
 	// MaxFrame caps one frame's declared wire size. Default DefaultMaxFrame.
 	MaxFrame int
+	// IdemCacheSize bounds the idempotency-token dedup cache (committed
+	// mutation acks kept for replay after an ambiguous outcome). Default
+	// 4096 entries.
+	IdemCacheSize int
 
 	// ReadTimeout bounds reading a frame body once its length header has
 	// arrived — a client dribbling bytes (slowloris) is cut here, and this
@@ -61,6 +71,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = DefaultMaxFrame
 	}
+	if o.IdemCacheSize <= 0 {
+		o.IdemCacheSize = 4096
+	}
 	if o.ReadTimeout <= 0 {
 		o.ReadTimeout = 10 * time.Second
 	}
@@ -82,6 +95,7 @@ type ServedStats struct {
 	OpsInFlight     int64 `json:"ops_in_flight"`
 	OpsTotal        int64 `json:"ops_total"`
 	OpsShedQuota    int64 `json:"ops_shed_quota"`
+	IdemReplays     int64 `json:"idem_replays"`
 	FrameViolations int64 `json:"frame_violations"`
 	Draining        bool  `json:"draining"`
 }
@@ -98,6 +112,13 @@ type Server struct {
 	draining     atomic.Bool
 	drainOnce    sync.Once
 	shutdownDone chan struct{} // closed when Shutdown finishes
+
+	idem *idemCache
+
+	// promoted is set when a follower-backed server is promoted in place:
+	// the same listener keeps serving, but reads and writes switch to the
+	// promoted store and health reports role "primary".
+	promoted atomic.Pointer[core.Store]
 
 	opMu sync.Mutex // serializes op begin vs drain cutoff
 	ops  sync.WaitGroup
@@ -128,6 +149,7 @@ func New(opt Options) (*Server, error) {
 		drainCh:      make(chan struct{}),
 		shutdownDone: make(chan struct{}),
 		conns:        make(map[*conn]struct{}),
+		idem:         newIdemCache(opt.IdemCacheSize),
 	}
 	for token, t := range opt.Tenants {
 		if token == "" {
@@ -173,6 +195,41 @@ func (s *Server) Serve(ln net.Listener) error {
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// CloseClientConns severs every currently served connection without
+// draining — a fault drill, not a shutdown. Clients see a connection
+// reset; the server keeps accepting. The resilient client and the network
+// replication transport are expected to ride through this invisibly.
+func (s *Server) CloseClientConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+}
+
+// Promote ends this server's follower role in place: the underlying
+// replica is promoted (durably fenced against its old primary) and this
+// same server — same listener, same sessions — starts serving writes
+// from the promoted store and reporting role "primary", which is how the
+// fleet client discovers the failover. The store is returned so the
+// caller owns its lifecycle; it must outlive the server. Promoting a
+// store-backed server is an error.
+func (s *Server) Promote() (*core.Store, error) {
+	if s.opt.Follower == nil {
+		return nil, errors.New("server: not a replica; nothing to promote")
+	}
+	st, err := s.opt.Follower.Promote()
+	if err != nil {
+		return nil, err
+	}
+	s.promoted.Store(st)
+	return st, nil
+}
+
 // Stats snapshots the service-layer counters.
 func (s *Server) Stats() ServedStats {
 	return ServedStats{
@@ -183,6 +240,7 @@ func (s *Server) Stats() ServedStats {
 		OpsInFlight:     s.opsInFlight.Load(),
 		OpsTotal:        s.opsTotal.Load(),
 		OpsShedQuota:    s.quotaShed(),
+		IdemReplays:     s.idem.hits.Load(),
 		FrameViolations: s.frameViolations.Load(),
 		Draining:        s.draining.Load(),
 	}

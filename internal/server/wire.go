@@ -30,13 +30,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 
 	"repro/internal/core"
 )
 
 // ProtocolVersion is sent in both hello frames; the server refuses a
-// client whose major version it does not speak.
-const ProtocolVersion = 1
+// client whose major version it does not speak. Version 2 added the
+// replication stream (SEGMENTS / FETCH_SEGMENT) and the idempotency token
+// every mutation payload now carries.
+const ProtocolVersion = 2
 
 // DefaultMaxFrame caps one frame's wire size (length field) unless
 // Options/ClientOptions override it.
@@ -55,6 +58,13 @@ const (
 	msgDelete   byte = 0x21
 	msgLoad     byte = 0x22
 
+	// Replication stream: a follower lists archived segments beyond its
+	// applied LSN, then fetches them one at a time. A fetch response is
+	// chunked (msgSegData frames, then msgDone with the total) so a segment
+	// larger than the frame cap still crosses the wire.
+	msgSegments     byte = 0x30
+	msgFetchSegment byte = 0x31
+
 	msgHelloOK  byte = 0x80
 	msgErr      byte = 0x81
 	msgPong     byte = 0x82
@@ -64,6 +74,8 @@ const (
 	msgJSON     byte = 0x86
 	msgNodeID   byte = 0x87
 	msgOK       byte = 0x88
+	msgSegList  byte = 0x89
+	msgSegData  byte = 0x8A
 )
 
 // InsertOp selects which XUpdate primitive an insert request runs.
@@ -104,13 +116,22 @@ var (
 	ErrBadRequest = errors.New("server: malformed request")
 )
 
+// Quota sheds and drain refusals are retryable — the quota clears as the
+// tenant's in-flight ops finish, and a draining server's fleet has a
+// healthy peer to reconnect to. Auth, protocol and request-shape failures
+// are deterministic: the same bytes fail the same way forever.
 func init() {
-	core.RegisterErrCode(core.CodeAuth, ErrAuth)
-	core.RegisterErrCode(core.CodeFrameTooLarge, ErrFrameTooLarge)
-	core.RegisterErrCode(core.CodeProtocol, ErrProtocol)
-	core.RegisterErrCode(core.CodeDraining, ErrDraining)
-	core.RegisterErrCode(core.CodeQuotaExceeded, ErrQuotaExceeded)
-	core.RegisterErrCode(core.CodeBadRequest, ErrBadRequest)
+	core.RegisterErrCode(core.CodeAuth, ErrAuth, false)
+	core.RegisterErrCode(core.CodeFrameTooLarge, ErrFrameTooLarge, false)
+	core.RegisterErrCode(core.CodeProtocol, ErrProtocol, false)
+	core.RegisterErrCode(core.CodeDraining, ErrDraining, true)
+	core.RegisterErrCode(core.CodeQuotaExceeded, ErrQuotaExceeded, true)
+	core.RegisterErrCode(core.CodeBadRequest, ErrBadRequest, false)
+	// fs.ErrNotExist rides code 66 so a network follower's missing-segment
+	// check (errors.Is against fs.ErrNotExist) answers exactly as a local
+	// directory read's would. Not retryable by policy: the follower itself
+	// decides between "next poll" and "stall" — blind re-runs decide wrong.
+	core.RegisterErrCode(core.CodeSegmentGone, fs.ErrNotExist, false)
 }
 
 // writeFrame writes one frame. The caller is responsible for any write

@@ -132,3 +132,80 @@ func TestHostileErrFrame(t *testing.T) {
 		t.Fatalf("hostile code count: %v", err)
 	}
 }
+
+// TestRetryabilityRegistryCoverage pins the retryability classification of
+// every registered code, exhaustively. Adding a new sentinel without
+// deciding its retryability here fails the test — the registry is the one
+// list the resilient client, the replication transports, and RunInTx all
+// classify from, so "forgot to decide" must be a compile-adjacent failure,
+// not a silent non-retryable default in production.
+func TestRetryabilityRegistryCoverage(t *testing.T) {
+	want := map[core.ErrCode]bool{
+		core.CodeNoSuchNode:    false,
+		core.CodeNotElement:    false,
+		core.CodeBadFragment:   false,
+		core.CodeClosed:        false,
+		core.CodeReadOnly:      false,
+		core.CodeOverloaded:    true,
+		core.CodeIntoAttribute: false,
+		core.CodeAttrContext:   false,
+
+		core.CodeDeadlineExceeded: false,
+		core.CodeCanceled:         false,
+
+		core.CodeCorruptPage:  false,
+		core.CodeStoreLocked:  false,
+		core.CodeReadOnlyFile: false,
+
+		core.CodeDeadlock:      true,
+		core.CodeLockTimeout:   false,
+		core.CodeTxDone:        false,
+		core.CodeManagerClosed: false,
+		core.CodeStuckAborted:  false,
+
+		core.CodeReplicaStalled:    false,
+		core.CodeTooStale:          false,
+		core.CodePromoted:          false,
+		core.CodeNotBootstrapped:   false,
+		core.CodeNoRollForwardBase: false,
+
+		core.CodeAuth:          false,
+		core.CodeFrameTooLarge: false,
+		core.CodeProtocol:      false,
+		core.CodeDraining:      true,
+		core.CodeQuotaExceeded: true,
+		core.CodeBadRequest:    false,
+		core.CodeSegmentGone:   false,
+	}
+	codes := core.RegisteredErrCodes()
+	if len(codes) != len(want) {
+		t.Fatalf("%d registered codes, %d classified here — classify the new code in this test's want map", len(codes), len(want))
+	}
+	for _, code := range codes {
+		wantRetry, ok := want[code]
+		if !ok {
+			t.Errorf("code %d registered but not classified in this test", code)
+			continue
+		}
+		if got := core.CodeRetryable(code); got != wantRetry {
+			t.Errorf("code %d: CodeRetryable = %v, want %v", code, got, wantRetry)
+		}
+		// The error-level classifier must agree with the code-level one for a
+		// chain wrapping exactly this sentinel.
+		sentinel, _ := core.SentinelFor(code)
+		if got := core.Retryable(fmt.Errorf("op: %w", sentinel)); got != wantRetry {
+			t.Errorf("code %d: Retryable(wrapped sentinel) = %v, want %v", code, got, wantRetry)
+		}
+	}
+	// A multi-cause chain is retryable if any cause is: the wire error for a
+	// quota shed wrapped in a drain notice must still earn a retry.
+	if !core.Retryable(errors.Join(ErrDraining, core.ErrClosed)) {
+		t.Error("multi-cause chain with a retryable member must be retryable")
+	}
+	if core.Retryable(errors.New("novel failure")) {
+		t.Error("unregistered error must not be retryable")
+	}
+	if core.Retryable(nil) {
+		t.Error("nil must not be retryable")
+	}
+}

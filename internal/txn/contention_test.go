@@ -213,10 +213,12 @@ func TestRunInTxRespectsContextBetweenRetries(t *testing.T) {
 		return ErrDeadlock // force the retry path
 	})
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("got %v, want context.Canceled from the backoff wait", err)
+		t.Fatalf("got %v, want context.Canceled from the retry loop", err)
 	}
-	if calls != 1 {
-		t.Errorf("fn ran %d times under a cancelled ctx", calls)
+	// The shared retry loop refuses to even begin an attempt under a dead
+	// context — work is never started that the caller has already abandoned.
+	if calls != 0 {
+		t.Errorf("fn ran %d times under a cancelled ctx, want 0", calls)
 	}
 }
 

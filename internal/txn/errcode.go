@@ -3,11 +3,15 @@ package txn
 import "repro/internal/core"
 
 // Wire codes for the transaction layer's typed errors (registry in
-// core/errcode.go; codes are stable and append-only).
+// core/errcode.go; codes are stable and append-only). Only a deadlock
+// victim is retryable: the cycle is broken the moment the victim aborts,
+// so a re-run from scratch usually wins. A lock timeout is the manager's
+// configured patience expiring — retrying immediately re-queues behind the
+// same holder — and a stuck-abort means the caller itself stopped driving.
 func init() {
-	core.RegisterErrCode(core.CodeDeadlock, ErrDeadlock)
-	core.RegisterErrCode(core.CodeLockTimeout, ErrLockTimeout)
-	core.RegisterErrCode(core.CodeTxDone, ErrTxDone)
-	core.RegisterErrCode(core.CodeManagerClosed, ErrManagerClosed)
-	core.RegisterErrCode(core.CodeStuckAborted, ErrStuckAborted)
+	core.RegisterErrCode(core.CodeDeadlock, ErrDeadlock, true)
+	core.RegisterErrCode(core.CodeLockTimeout, ErrLockTimeout, false)
+	core.RegisterErrCode(core.CodeTxDone, ErrTxDone, false)
+	core.RegisterErrCode(core.CodeManagerClosed, ErrManagerClosed, false)
+	core.RegisterErrCode(core.CodeStuckAborted, ErrStuckAborted, false)
 }

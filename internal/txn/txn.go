@@ -33,13 +33,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lock"
+	"repro/internal/retryx"
 )
 
 // Transaction errors.
@@ -246,41 +246,44 @@ func (m *Manager) sweepStuck() {
 }
 
 // RunInTx runs fn inside a transaction bound to ctx, committing on nil and
-// aborting (with rollback) on error. Deadlock victims are retried with
-// capped, jittered exponential backoff up to Options.MaxRetries times; any
-// other error is returned as-is. fn must not call Commit or Abort itself,
-// and must be safe to re-run from scratch.
+// aborting (with rollback) on error. Attempts that fail with an error the
+// wire-code registry classifies retryable (core.Retryable — deadlock
+// victims, admission sheds) are re-run on the shared retryx loop: capped,
+// jittered exponential backoff up to Options.MaxRetries extra attempts,
+// always cut by ctx. Any other error is returned as-is. fn must not call
+// Commit or Abort itself, and must be safe to re-run from scratch.
 func (m *Manager) RunInTx(ctx context.Context, fn func(tx *Tx) error) error {
-	backoff := m.opts.RetryBackoff
-	for attempt := 0; ; attempt++ {
+	p := retryx.Policy{
+		MaxAttempts: m.opts.MaxRetries + 1,
+		Initial:     m.opts.RetryBackoff,
+		Max:         m.opts.MaxBackoff,
+	}
+	first := true
+	// A failed rollback poisons the retry — the store's state is suspect —
+	// even when the attempt's own error was retryable.
+	retryable := func(err error) bool {
+		return !errors.Is(err, errRollbackFailed) && core.Retryable(err)
+	}
+	return retryx.Do(ctx, p, retryable, func(ctx context.Context) error {
+		if !first {
+			m.retries.Add(1)
+		}
+		first = false
 		tx := m.BeginCtx(ctx)
 		err := fn(tx)
 		if err == nil {
 			return tx.Commit()
 		}
 		if abortErr := tx.Abort(); abortErr != nil && !errors.Is(abortErr, ErrTxDone) {
-			return fmt.Errorf("%w (rollback also failed: %v)", err, abortErr)
+			return fmt.Errorf("%w (%w: %v)", err, errRollbackFailed, abortErr)
 		}
-		if !errors.Is(err, ErrDeadlock) || attempt >= m.opts.MaxRetries {
-			return err
-		}
-		m.retries.Add(1)
-		// Jittered backoff in [backoff/2, backoff) decorrelates the retrying
-		// victims so the losing pair does not collide in lockstep.
-		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(d):
-		}
-		if backoff < m.opts.MaxBackoff {
-			backoff *= 2
-			if backoff > m.opts.MaxBackoff {
-				backoff = m.opts.MaxBackoff
-			}
-		}
-	}
+		return err
+	})
 }
+
+// errRollbackFailed marks an attempt whose Abort itself failed; RunInTx
+// refuses to re-run after one no matter how retryable the primary error.
+var errRollbackFailed = errors.New("rollback also failed")
 
 // undoRecord is the logical inverse of one applied operation.
 type undoRecord struct {

@@ -9,6 +9,7 @@ package axml
 import (
 	recov "repro/internal/recover"
 	"repro/internal/replica"
+	"repro/internal/server"
 )
 
 type (
@@ -27,6 +28,9 @@ type (
 	ReplicaTransport = replica.Transport
 	// DirTransportOptions tunes a directory transport.
 	DirTransportOptions = replica.DirTransportOptions
+	// NetTransportOptions tunes a network transport (per-session client
+	// options, retry policy).
+	NetTransportOptions = server.NetTransportOptions
 )
 
 // Replica error conditions, for errors.Is.
@@ -43,6 +47,13 @@ var (
 // filesystem.
 func NewDirTransport(dir string, opt DirTransportOptions) ReplicaTransport {
 	return replica.NewDirTransport(dir, opt)
+}
+
+// NewNetTransport returns a transport tailing a live axmlserved primary
+// (or an upstream replica) over the wire protocol — same validation and
+// crash-safe apply as the directory transport, no shared disk needed.
+func NewNetTransport(addr string, opt NetTransportOptions) ReplicaTransport {
+	return server.NewNetTransport(addr, opt)
 }
 
 // OpenReplica attaches a follower to the store file at path. On first open

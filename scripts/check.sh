@@ -24,10 +24,13 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget, replica, server)"
-go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget ./internal/replica ./internal/server
+echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget, replica, server, retryx)"
+go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget ./internal/replica ./internal/server ./internal/retryx
 
 echo "== go test -race (root-package stress, chaos soak, overload paths)"
 go test -race -run 'Stress|Concurrent|Chaos|Overload|Deadline' .
+
+echo "== go test -race (partition chaos: net faults, kill -9 primary, fleet failover)"
+go test -race -run 'TestPartitionChaos|TestNetChaos|TestFleet' ./internal/server ./internal/fault
 
 echo "ok: all checks passed"

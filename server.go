@@ -31,6 +31,13 @@ type (
 	Client = server.Client
 	// ClientOptions configures DialServer.
 	ClientOptions = server.ClientOptions
+	// FleetClient fronts a primary plus replicas: reads route to the
+	// freshest healthy replica (hedged against tail latency), writes carry
+	// idempotency tokens and fail over to a promoted replica.
+	FleetClient = server.FleetClient
+	// FleetOptions configures DialFleet: per-session client options,
+	// retry policy, health probe TTL, hedging delay.
+	FleetOptions = server.FleetOptions
 	// Row is one streamed query match.
 	Row = server.Row
 	// InsertOp selects the XUpdate primitive a Client.Insert runs.
@@ -73,6 +80,12 @@ func NewServer(opt ServerOptions) (*Server, error) { return server.New(opt) }
 
 // DialServer connects to an axmlserved address and handshakes a session.
 func DialServer(addr string, opt ClientOptions) (*Client, error) { return server.Dial(addr, opt) }
+
+// DialFleet builds a resilient client over a set of axmlserved endpoints
+// (one primary plus any replicas, discovered by health probes).
+func DialFleet(endpoints []string, opt FleetOptions) (*FleetClient, error) {
+	return server.DialFleet(endpoints, opt)
+}
 
 // ErrCodesOf maps an error chain onto its stable wire codes; ErrCodeOf
 // returns the primary (lowest) one.
