@@ -20,6 +20,7 @@
 package axml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -254,22 +255,66 @@ func ParseFragment(src string) ([]Token, error) {
 // Query evaluates an XPath expression against the store and returns the
 // matching node ids in document order. The ids are valid targets for the
 // store's XUpdate operations.
+//
+// Compiled plans are cached per store (keyed by the expression source) and
+// eligible expressions — child/`//` paths with name tests, [@attr='v'] and
+// positional predicates, unions thereof — execute as a single pass over the
+// raw token sequence without materializing a navigational view.
 func Query(s *Store, expr string) ([]NodeID, error) {
 	return xpath.QueryIDs(s, expr)
+}
+
+// QueryCtx is Query under a context: cancellation and deadlines interrupt
+// the evaluation between scan batches.
+func QueryCtx(ctx context.Context, s *Store, expr string) ([]NodeID, error) {
+	return xpath.QueryIDsCtx(ctx, s, expr)
+}
+
+// QueryFirst returns the first node matching expr in document order. The
+// scan short-circuits at the first hit, so probing for one node is far
+// cheaper than Query on large stores.
+func QueryFirst(s *Store, expr string) (NodeID, bool, error) {
+	return xpath.QueryFirstCtx(context.Background(), s, expr)
+}
+
+// QueryFirstCtx is QueryFirst under a context.
+func QueryFirstCtx(ctx context.Context, s *Store, expr string) (NodeID, bool, error) {
+	return xpath.QueryFirstCtx(ctx, s, expr)
+}
+
+// QueryExists reports whether any node matches expr, stopping at the first
+// match.
+func QueryExists(s *Store, expr string) (bool, error) {
+	return xpath.QueryExistsCtx(context.Background(), s, expr)
+}
+
+// QueryExistsCtx is QueryExists under a context.
+func QueryExistsCtx(ctx context.Context, s *Store, expr string) (bool, error) {
+	return xpath.QueryExistsCtx(ctx, s, expr)
+}
+
+// QueryCount returns the number of nodes matching expr. For pushdown-eligible
+// expressions (including count(path)) the count is computed inside the scan
+// without collecting ids.
+func QueryCount(s *Store, expr string) (int, error) {
+	return xpath.QueryCountCtx(context.Background(), s, expr)
+}
+
+// QueryNode evaluates expr against the subtree rooted at anchor, as if that
+// subtree were its own document, and returns matching ids in document order.
+func QueryNode(s *Store, anchor NodeID, expr string) ([]NodeID, error) {
+	return xpath.QueryNodeIDsCtx(context.Background(), s, anchor, expr)
 }
 
 // QueryValue evaluates an XPath expression and returns its string value
 // (e.g. for count(...) or string(...) expressions).
 func QueryValue(s *Store, expr string) (string, error) {
-	d, err := xpath.FromStore(s)
-	if err != nil {
-		return "", err
-	}
-	c, err := xpath.Parse(expr)
-	if err != nil {
-		return "", err
-	}
-	return c.EvalValue(d)
+	return xpath.QueryValueCtx(context.Background(), s, expr)
+}
+
+// QueryValueCtx is QueryValue under a context.
+func QueryValueCtx(ctx context.Context, s *Store, expr string) (string, error) {
+	return xpath.QueryValueCtx(ctx, s, expr)
 }
 
 // XQuery evaluates an XQuery FLWOR expression against the store and returns
@@ -281,7 +326,18 @@ func XQuery(s *Store, query string) ([]Token, error) {
 	return xquery.EvalStore(s, query)
 }
 
+// XQueryCtx is XQuery under a context: cancellation is polled per FLWOR
+// tuple.
+func XQueryCtx(ctx context.Context, s *Store, query string) ([]Token, error) {
+	return xquery.EvalStoreCtx(ctx, s, query)
+}
+
 // XQueryString evaluates an XQuery expression and serializes the result.
 func XQueryString(s *Store, query string) (string, error) {
 	return xquery.EvalString(s, query)
+}
+
+// XQueryStringCtx is XQueryString under a context.
+func XQueryStringCtx(ctx context.Context, s *Store, query string) (string, error) {
+	return xquery.EvalStringCtx(ctx, s, query)
 }

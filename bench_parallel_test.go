@@ -7,12 +7,14 @@
 package axml_test
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 	"repro/internal/xpath"
+	"repro/internal/xquery"
 )
 
 // loadStoreBatched builds a purchase-order store appending `batch` orders per
@@ -90,9 +92,10 @@ func BenchmarkParallelExists(b *testing.B) {
 	})
 }
 
-// BenchmarkParallelXPath evaluates a compiled path over per-goroutine subtree
-// reads: locate + subtree scan + navigational view build + eval, all on the
-// shared store.
+// BenchmarkParallelXPath evaluates an anchored path per goroutine through
+// the store-level query API: the plan comes from the keyed plan cache and
+// executes as a pushdown scan over the order's raw token subtree — no
+// navigational view, no intermediate node sets.
 func BenchmarkParallelXPath(b *testing.B) {
 	s := loadStoreBatched(b, core.Config{Mode: core.RangePartial}, 400, 100)
 	defer s.Close()
@@ -107,33 +110,72 @@ func BenchmarkParallelXPath(b *testing.B) {
 		}
 		orders = append(orders, id)
 	}
-	c, err := xpath.Parse(`purchase-order/line/item`)
-	if err != nil {
-		b.Fatal(err)
-	}
+	ctx := context.Background()
 	var ctr atomic.Uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			id := orders[ctr.Add(1)%uint64(len(orders))]
-			items, err := s.ReadNode(id)
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			d, err := xpath.BuildDoc(items)
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			ns, err := c.Eval(d)
-			if err != nil || len(ns) == 0 {
+			ids, err := xpath.QueryNodeIDsCtx(ctx, s, id, `purchase-order/line/item`)
+			if err != nil || len(ids) == 0 {
 				b.Error("empty result:", err)
 				return
 			}
 		}
 	})
+}
+
+// BenchmarkParallelXPathComplex runs a whole-store query mix — an attribute+
+// positional multi-predicate path, a two-branch union (fused into one scan),
+// and one FLWOR per eight ops — with the plan cache on and off. The cache-off
+// axis re-parses and re-plans every operation, isolating what the keyed cache
+// buys; the reported cachehit metric must stay above 0.90 on the cache axis.
+func BenchmarkParallelXPathComplex(b *testing.B) {
+	const (
+		qMulti = `//line[@no='2'][1]/item`
+		qUnion = `//purchase-order[@status='open']/customer | //purchase-order[@status='billed']/date`
+		qFLWOR = `for $l in //line[@no='1'] where $l/qty > 50 return <hot>{$l/item}</hot>`
+	)
+	for _, ax := range []struct {
+		name    string
+		entries int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(ax.name, func(b *testing.B) {
+			s := loadStoreBatched(b, core.Config{Mode: core.RangePartial, PlanCacheEntries: ax.entries}, 400, 100)
+			defer s.Close()
+			ctx := context.Background()
+			var ctr atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					switch i := ctr.Add(1); i % 8 {
+					case 0:
+						if _, err := xquery.EvalStoreCtx(ctx, s, qFLWOR); err != nil {
+							b.Error(err)
+							return
+						}
+					case 1, 2, 3:
+						if _, err := xpath.QueryIDsCtx(ctx, s, qUnion); err != nil {
+							b.Error(err)
+							return
+						}
+					default:
+						if _, err := xpath.QueryIDsCtx(ctx, s, qMulti); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			st := s.Stats()
+			if lookups := st.PlanCacheHits + st.PlanCacheMisses; lookups > 0 {
+				b.ReportMetric(float64(st.PlanCacheHits)/float64(lookups), "cachehit")
+			}
+		})
+	}
 }
 
 // BenchmarkParallelMixed runs mostly-read traffic with an occasional writer
@@ -196,10 +238,11 @@ func BenchmarkSiblingWalk(b *testing.B) {
 	}
 }
 
-// BenchmarkColdCoarseRandomRead measures single-threaded locate replay cost
-// on a coarse RangeOnly store (no partial index): every read replays tokens
-// from the head of a large range unless intra-range replay checkpoints cut
-// the scan short.
+// BenchmarkColdCoarseRandomRead measures concurrent locate replay cost on a
+// coarse RangeOnly store (no partial index): every read replays tokens from
+// the head of a large range unless intra-range replay checkpoints cut the
+// scan short. Replays share nothing but the buffer pool and the pooled
+// scratch buffers, so aggregate throughput must scale with cores.
 func BenchmarkColdCoarseRandomRead(b *testing.B) {
 	s := loadStoreBatched(b, core.Config{Mode: core.RangeOnly}, 2000, 500)
 	defer s.Close()
@@ -210,11 +253,16 @@ func BenchmarkColdCoarseRandomRead(b *testing.B) {
 	for i := range keys {
 		keys[i] = core.NodeID(sample())
 	}
+	var ctr atomic.Uint64
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := s.ScanNode(keys[i%len(keys)], func(core.Item) bool { return true }); err != nil {
-			b.Fatal(err)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := keys[ctr.Add(1)%uint64(len(keys))]
+			if err := s.ScanNode(k, func(core.Item) bool { return true }); err != nil {
+				b.Error(err)
+				return
+			}
 		}
-	}
+	})
 }

@@ -34,6 +34,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/wal"
 	"repro/internal/workload"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
 )
 
 // nightly reports whether the long soak was requested (scheduled CI).
@@ -176,6 +178,40 @@ func TestChaosSoak(t *testing.T) {
 				}
 			}
 		}(int64(100 + r))
+	}
+
+	// Query workers: streaming XPath/XQuery over the whole store while the
+	// writers mutate it and the injector drags the disk. Pushdown scans,
+	// union fallbacks and FLWOR all run under a per-query deadline, so the
+	// executor's cancellation checks and the plan cache's concurrency both
+	// get hammered; any untyped error (or a wrong panic) fails the soak.
+	queryExprs := []string{
+		`//purchase-order/line/item`,
+		`//line[@no='1'][1]`,
+		`//purchase-order[@status='open']/customer | //purchase-order[@status='billed']/date`,
+	}
+	for qw := 0; qw < 2; qw++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stopped() {
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+				switch rng.Intn(4) {
+				case 0:
+					_, err := xquery.EvalStoreCtx(ctx, s,
+						`for $l in //line[@no='1'] where $l/qty > 50 return <hot>{$l/item}</hot>`)
+					report("query-flwor", err)
+				case 1:
+					_, err := xpath.QueryExistsCtx(ctx, s, queryExprs[rng.Intn(len(queryExprs))])
+					report("query-exists", err)
+				default:
+					_, err := xpath.QueryIDsCtx(ctx, s, queryExprs[rng.Intn(len(queryExprs))])
+					report("query-ids", err)
+				}
+				cancel()
+			}
+		}(int64(400 + qw))
 	}
 
 	// Writers: append under the root, occasionally deleting what they

@@ -487,6 +487,11 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		fmt.Fprintf(w, "inserts/deletes:     %d/%d\n", st.Inserts, st.Deletes)
 		fmt.Fprintf(w, "splits/merges:       %d/%d\n", st.Splits, st.Merges)
 		fmt.Fprintf(w, "tokens scanned:      %d\n", st.TokensScanned)
+		fmt.Fprintf(w, "plan cache: entries %d, %d bytes (hits %d, misses %d, evictions %d)\n",
+			st.PlanCacheEntries, st.PlanCacheBytes, st.PlanCacheHits,
+			st.PlanCacheMisses, st.PlanCacheEvictions)
+		fmt.Fprintf(w, "queries: pushdown %d (%d predicates in-scan), fallback %d\n",
+			st.PushdownQueries, st.PushdownPredicates, st.FallbackQueries)
 		fmt.Fprintf(w, "pool: hits %d, misses %d, evictions %d, flushes %d\n",
 			st.Pool.Hits, st.Pool.Misses, st.Pool.Evictions, st.Pool.Flushes)
 		fmt.Fprintf(w, "admission: admitted %d, queued %d, shed %d, expired %d (in flight %d, waiting %d)\n",

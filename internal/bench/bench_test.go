@@ -52,8 +52,13 @@ func TestRunTable5ShapeHolds(t *testing.T) {
 			coarse.RandomRead.KBps(), full.RandomRead.KBps())
 	}
 	// 3. The partial index rescues the coarse configuration's random reads.
-	if partial.RandomRead.KBps() <= 2*coarse.RandomRead.KBps() {
-		t.Errorf("partial random (%.1f) should be far faster than coarse (%.1f)",
+	// The margin used to be >2x, but replay checkpoints and the zero-copy
+	// replay path rescued much of coarse's cost on their own; at this small
+	// workload the remaining steady-state gap is a sub-256-token replay plus
+	// a range binary search per read, so the bound asserts a clear win, not
+	// the pre-checkpoint chasm.
+	if partial.RandomRead.KBps() <= 1.2*coarse.RandomRead.KBps() {
+		t.Errorf("partial random (%.1f) should clearly beat coarse (%.1f)",
 			partial.RandomRead.KBps(), coarse.RandomRead.KBps())
 	}
 	// 4. Index population matches the configuration.

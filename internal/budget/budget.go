@@ -31,6 +31,8 @@ const (
 	Partial
 	// Checkpoints is the replay-checkpoint table's runs.
 	Checkpoints
+	// Plans is the compiled query-plan cache.
+	Plans
 
 	numClasses
 )
@@ -43,15 +45,17 @@ func (c Class) String() string {
 		return "partial"
 	case Checkpoints:
 		return "checkpoints"
+	case Plans:
+		return "plans"
 	}
 	return "unknown"
 }
 
 // shareNum/shareDen give each class its fraction of the limit. The pool
-// dominates (page frames are the working set); the partial index and the
-// checkpoint table split the rest. Shares sum to shareDen so over-limit
-// totals always implicate at least one over-share class.
-var shareNum = [numClasses]int64{60, 25, 15}
+// dominates (page frames are the working set); the partial index, the
+// checkpoint table and the plan cache split the rest. Shares sum to shareDen
+// so over-limit totals always implicate at least one over-share class.
+var shareNum = [numClasses]int64{55, 22, 13, 10}
 
 const shareDen = 100
 
@@ -153,6 +157,7 @@ type Stats struct {
 	PoolBytes       int64  // buffer-pool frames
 	PartialBytes    int64  // partial-index entries
 	CheckpointBytes int64  // replay-checkpoint runs
+	PlanBytes       int64  // compiled query-plan cache entries
 	Evictions       uint64 // budget-pressure eviction sweeps (all classes)
 }
 
@@ -167,8 +172,10 @@ func (b *Budget) Snapshot() Stats {
 		PoolBytes:       b.used[Pool].Load(),
 		PartialBytes:    b.used[Partial].Load(),
 		CheckpointBytes: b.used[Checkpoints].Load(),
+		PlanBytes:       b.used[Plans].Load(),
 		Evictions: b.evictions[Pool].Load() +
 			b.evictions[Partial].Load() +
-			b.evictions[Checkpoints].Load(),
+			b.evictions[Checkpoints].Load() +
+			b.evictions[Plans].Load(),
 	}
 }

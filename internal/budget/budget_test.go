@@ -46,7 +46,7 @@ func TestChargeDischargeAccounting(t *testing.T) {
 }
 
 func TestNeedEvictOnlyOverShareClasses(t *testing.T) {
-	b := New(1000) // shares: pool 600, partial 250, checkpoints 150
+	b := New(1000) // shares: pool 550, partial 220, checkpoints 130, plans 100
 	b.Charge(Pool, 900)
 	b.Charge(Partial, 200) // under its share
 	if !b.NeedEvict(Pool) {
@@ -75,17 +75,19 @@ func TestPigeonholeSomeClassAlwaysEvictable(t *testing.T) {
 	// However usage is distributed, if total > limit at least one class
 	// must report NeedEvict.
 	cases := [][numClasses]int64{
-		{1100, 0, 0},
-		{601, 251, 151},
-		{0, 0, 1200},
-		{400, 400, 400},
+		{1100, 0, 0, 0},
+		{551, 221, 131, 101},
+		{0, 0, 1200, 0},
+		{0, 0, 0, 1200},
+		{300, 300, 300, 300},
 	}
 	for _, c := range cases {
 		b := New(1000)
 		b.Charge(Pool, c[0])
 		b.Charge(Partial, c[1])
 		b.Charge(Checkpoints, c[2])
-		if !b.NeedEvict(Pool) && !b.NeedEvict(Partial) && !b.NeedEvict(Checkpoints) {
+		b.Charge(Plans, c[3])
+		if !b.NeedEvict(Pool) && !b.NeedEvict(Partial) && !b.NeedEvict(Checkpoints) && !b.NeedEvict(Plans) {
 			t.Fatalf("usage %v over limit but no class evictable", c)
 		}
 	}
@@ -93,11 +95,11 @@ func TestPigeonholeSomeClassAlwaysEvictable(t *testing.T) {
 
 func TestExcessDrainsBelowShare(t *testing.T) {
 	b := New(1000)
-	b.Charge(Pool, 700) // share 600, target 540
+	b.Charge(Pool, 700) // share 550, target 495
 	b.Charge(Partial, 400)
 	got := b.Excess(Pool)
-	if got != 700-540 {
-		t.Fatalf("pool excess = %d, want %d", got, 700-540)
+	if got != 700-495 {
+		t.Fatalf("pool excess = %d, want %d", got, 700-495)
 	}
 }
 

@@ -40,7 +40,7 @@ func (p tokenPos) atRangeEnd() bool { return p.byteOff >= p.ri.bytes }
 // ctx is observed at page-fetch boundaries and every locateCheckTokens
 // tokens of replay, so an operation deadline cuts a coarse-range replay
 // short with context.DeadlineExceeded instead of running it to the end.
-func (s *Store) locateBegin(ctx context.Context, id NodeID) (tokenPos, Token, []byte, error) {
+func (s *Store) locateBegin(ctx context.Context, id NodeID, sc *scratch) (tokenPos, Token, []byte, error) {
 	s.nodeLookups.Add(1)
 
 	// Full index: exact entry per node.
@@ -54,7 +54,7 @@ func (s *Store) locateBegin(ctx context.Context, id NodeID) (tokenPos, Token, []
 			if ri == nil {
 				return tokenPos{}, Token{}, nil, fmt.Errorf("core: full index names dead range %d", e.rng)
 			}
-			tokenBytes, err := s.readRangeCtx(ctx, ri)
+			tokenBytes, err := s.readRangeCtx(ctx, ri, sc)
 			if err != nil {
 				return tokenPos{}, Token{}, nil, err
 			}
@@ -74,7 +74,7 @@ func (s *Store) locateBegin(ctx context.Context, id NodeID) (tokenPos, Token, []
 			ri := s.byRange[e.beginRange]
 			if ri != nil && ri.version == e.beginVer {
 				s.partial.hit()
-				tokenBytes, err := s.readRangeCtx(ctx, ri)
+				tokenBytes, err := s.readRangeCtx(ctx, ri, sc)
 				if err != nil {
 					return tokenPos{}, Token{}, nil, err
 				}
@@ -100,7 +100,7 @@ func (s *Store) locateBegin(ctx context.Context, id NodeID) (tokenPos, Token, []
 	if !ok || !ri.contains(id) {
 		return tokenPos{}, Token{}, nil, fmt.Errorf("%w: %d", ErrNoSuchNode, id)
 	}
-	tokenBytes, err := s.readRangeCtx(ctx, ri)
+	tokenBytes, err := s.readRangeCtx(ctx, ri, sc)
 	if err != nil {
 		return tokenPos{}, Token{}, nil, err
 	}
@@ -173,7 +173,7 @@ func (s *Store) locateBegin(ctx context.Context, id NodeID) (tokenPos, Token, []
 //
 // beginBytes are the encoded tokens of begin.ri, passed through to avoid a
 // re-read when the scan starts in the same range.
-func (s *Store) locateEnd(ctx context.Context, id NodeID, begin tokenPos, beginTok Token, beginBytes []byte) (tokenPos, []byte, error) {
+func (s *Store) locateEnd(ctx context.Context, id NodeID, begin tokenPos, beginTok Token, beginBytes []byte, sc *scratch) (tokenPos, []byte, error) {
 	if !beginTok.IsBegin() {
 		return begin, beginBytes, nil
 	}
@@ -188,7 +188,7 @@ func (s *Store) locateEnd(ctx context.Context, id NodeID, begin tokenPos, beginT
 				var err error
 				if ri == begin.ri {
 					tokenBytes = beginBytes
-				} else if tokenBytes, err = s.readRangeCtx(ctx, ri); err != nil {
+				} else if tokenBytes, err = s.readRangeCtx(ctx, ri, sc); err != nil {
 					return tokenPos{}, nil, err
 				}
 				pos := tokenPos{ri: ri, tokIdx: int(e.endTok), byteOff: int(e.endByte), nodesBefore: int(e.endNodesBefore)}
@@ -251,7 +251,7 @@ func (s *Store) locateEnd(ctx context.Context, id NodeID, begin tokenPos, beginT
 			return tokenPos{}, nil, fmt.Errorf("core: unbalanced store: no end token for node %d", id)
 		}
 		ri = nri
-		tokenBytes, err = s.readRangeCtx(ctx, ri)
+		tokenBytes, err = s.readRangeCtx(ctx, ri, sc)
 		if err != nil {
 			s.tokensScanned.Add(scanned)
 			return tokenPos{}, nil, err
@@ -289,7 +289,7 @@ func advance(pos tokenPos, tokenBytes []byte) (tokenPos, error) {
 // the range it lies in. The scan crosses range boundaries, since a split may
 // have cut through the attribute block. The walk reads kind bytes and
 // encoded sizes only.
-func (s *Store) skipAttributes(ctx context.Context, pos tokenPos, tokenBytes []byte) (tokenPos, []byte, error) {
+func (s *Store) skipAttributes(ctx context.Context, pos tokenPos, tokenBytes []byte, sc *scratch) (tokenPos, []byte, error) {
 	depth := 0
 	scanned := uint64(0)
 	defer func() { s.tokensScanned.Add(scanned) }()
@@ -329,7 +329,7 @@ func (s *Store) skipAttributes(ctx context.Context, pos tokenPos, tokenBytes []b
 			return pos, tokenBytes, nil
 		}
 		pos = tokenPos{ri: nri}
-		tokenBytes, err = s.readRangeCtx(ctx, nri)
+		tokenBytes, err = s.readRangeCtx(ctx, nri, sc)
 		if err != nil {
 			return tokenPos{}, nil, err
 		}

@@ -58,11 +58,13 @@ func (s *Store) ParentCtx(ctx context.Context, id NodeID) (NodeID, bool, error) 
 			}
 		}
 	}
-	begin, _, _, err := s.locateBegin(ctx, id)
+	sc := getScratch()
+	defer putScratch(sc)
+	begin, _, _, err := s.locateBegin(ctx, id, sc)
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	parent, ok, err := s.findEnclosing(ctx, begin)
+	parent, ok, err := s.findEnclosing(ctx, begin, sc)
 	if err != nil {
 		return InvalidNode, false, err
 	}
@@ -81,12 +83,12 @@ func (s *Store) ParentCtx(ctx context.Context, id NodeID) (NodeID, bool, error) 
 // walk earlier ranges leftward. Unmatched end tokens in a later range close
 // begins in earlier ranges, so a deficit is carried: an earlier range's top
 // `deficit` unmatched begins are already closed and must be skipped.
-func (s *Store) findEnclosing(ctx context.Context, pos tokenPos) (NodeID, bool, error) {
+func (s *Store) findEnclosing(ctx context.Context, pos tokenPos, sc *scratch) (NodeID, bool, error) {
 	ri := pos.ri
 	limit := pos.byteOff
 	deficit := 0
 	for {
-		stack, rangeDeficit, err := s.scanOpenBegins(ctx, ri, limit)
+		stack, rangeDeficit, err := s.scanOpenBegins(ctx, ri, limit, sc)
 		if err != nil {
 			return InvalidNode, false, err
 		}
@@ -112,8 +114,8 @@ func (s *Store) findEnclosing(ctx context.Context, pos tokenPos) (NodeID, bool, 
 // scanOpenBegins scans the first `limit` bytes of ri and returns the node
 // ids of the begins left unmatched within the window (bottom-up) and the
 // number of end tokens that had no matching begin inside the window.
-func (s *Store) scanOpenBegins(ctx context.Context, ri *rangeInfo, limit int) ([]NodeID, int, error) {
-	tokenBytes, err := s.readRangeCtx(ctx, ri)
+func (s *Store) scanOpenBegins(ctx context.Context, ri *rangeInfo, limit int, sc *scratch) ([]NodeID, int, error) {
+	tokenBytes, err := s.readRangeCtx(ctx, ri, sc)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -170,7 +172,9 @@ func (s *Store) FirstChildCtx(ctx context.Context, id NodeID) (NodeID, bool, err
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	sc := getScratch()
+	defer putScratch(sc)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, sc)
 	if err != nil {
 		return InvalidNode, false, err
 	}
@@ -184,11 +188,11 @@ func (s *Store) FirstChildCtx(ctx context.Context, id NodeID) (NodeID, bool, err
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	pos, tokenBytes, err = s.skipAttributes(ctx, pos, tokenBytes)
+	pos, tokenBytes, err = s.skipAttributes(ctx, pos, tokenBytes, sc)
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	pos, tokenBytes, ok, err := s.normalizeForward(ctx, pos, tokenBytes)
+	pos, tokenBytes, ok, err := s.normalizeForward(ctx, pos, tokenBytes, sc)
 	if err != nil || !ok {
 		return InvalidNode, false, err
 	}
@@ -217,14 +221,16 @@ func (s *Store) NextSiblingCtx(ctx context.Context, id NodeID) (NodeID, bool, er
 	if s.closed {
 		return InvalidNode, false, ErrClosed
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	sc := getScratch()
+	defer putScratch(sc)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, sc)
 	if err != nil {
 		return InvalidNode, false, err
 	}
 	if tok.Kind == token.BeginAttribute {
 		return InvalidNode, false, nil
 	}
-	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes, sc)
 	if err != nil {
 		return InvalidNode, false, err
 	}
@@ -232,7 +238,7 @@ func (s *Store) NextSiblingCtx(ctx context.Context, id NodeID) (NodeID, bool, er
 	if err != nil {
 		return InvalidNode, false, err
 	}
-	pos, endBytes, ok, err := s.normalizeForward(ctx, pos, endBytes)
+	pos, endBytes, ok, err := s.normalizeForward(ctx, pos, endBytes, sc)
 	if err != nil || !ok {
 		return InvalidNode, false, err
 	}
@@ -298,7 +304,9 @@ func (s *Store) AttributesCtx(ctx context.Context, id NodeID) ([]NodeID, error) 
 	if s.closed {
 		return nil, ErrClosed
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	sc := getScratch()
+	defer putScratch(sc)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +321,7 @@ func (s *Store) AttributesCtx(ctx context.Context, id NodeID) ([]NodeID, error) 
 	depth := 0
 	for {
 		var ok bool
-		pos, tokenBytes, ok, err = s.normalizeForward(ctx, pos, tokenBytes)
+		pos, tokenBytes, ok, err = s.normalizeForward(ctx, pos, tokenBytes, sc)
 		if err != nil || !ok {
 			return out, err
 		}
@@ -385,17 +393,19 @@ func (s *Store) CompareDocOrderCtx(ctx context.Context, a, b NodeID) (int, error
 	if s.closed {
 		return 0, ErrClosed
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	if a == b {
-		if _, _, _, err := s.locateBegin(ctx, a); err != nil {
+		if _, _, _, err := s.locateBegin(ctx, a, sc); err != nil {
 			return 0, err
 		}
 		return 0, nil
 	}
-	posA, _, _, err := s.locateBegin(ctx, a)
+	posA, _, _, err := s.locateBegin(ctx, a, sc)
 	if err != nil {
 		return 0, err
 	}
-	posB, _, _, err := s.locateBegin(ctx, b)
+	posB, _, _, err := s.locateBegin(ctx, b, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -428,14 +438,14 @@ func (s *Store) CompareDocOrderCtx(ctx context.Context, a, b NodeID) (int, error
 // normalizeForward moves a boundary position (at range end) forward to the
 // first token of the next non-empty range, returning ok=false at the end of
 // the sequence. Positions already on a token are returned unchanged.
-func (s *Store) normalizeForward(ctx context.Context, pos tokenPos, tokenBytes []byte) (tokenPos, []byte, bool, error) {
+func (s *Store) normalizeForward(ctx context.Context, pos tokenPos, tokenBytes []byte, sc *scratch) (tokenPos, []byte, bool, error) {
 	for pos.atRangeEnd() {
 		nri, ok, err := s.nextRangeInfoCtx(ctx, pos.ri)
 		if err != nil || !ok {
 			return pos, tokenBytes, false, err
 		}
 		pos = tokenPos{ri: nri}
-		tokenBytes, err = s.readRangeCtx(ctx, nri)
+		tokenBytes, err = s.readRangeCtx(ctx, nri, sc)
 		if err != nil {
 			return pos, nil, false, err
 		}

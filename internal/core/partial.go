@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -20,10 +19,13 @@ import (
 // eagerly — laziness all the way down.
 //
 // The index is safe for concurrent use: entries are lock-striped by node id
-// (each shard its own map, LRU list and mutex) so lazy insertions from
-// readers holding the store's shared lock contend only per stripe, and the
-// counters are atomic. Lookups copy the entry out under the shard lock —
-// callers never hold pointers into a shard.
+// (each shard its own map and RWMutex) so lazy insertions from readers
+// holding the store's shared lock contend only per stripe, and the counters
+// are atomic. Lookups — the hot path of every warm read — take only the
+// shard read lock and record recency with one atomic stamp; recency is
+// therefore approximate under concurrency (and exact under serial access),
+// and eviction scans the small shard for the oldest stamp. Lookups copy the
+// entry out under the read lock — callers never hold pointers into a shard.
 
 // partialEntry caches the location of a node's begin token and, when known,
 // its matching end token. Callers receive copies; the canonical entry lives
@@ -51,10 +53,10 @@ type partialEntry struct {
 	parentID  NodeID
 }
 
-// boxedEntry is the shard-resident form: the entry plus its LRU position.
+// boxedEntry is the shard-resident form: the entry plus its recency stamp.
 type boxedEntry struct {
 	partialEntry
-	elem *list.Element
+	used atomic.Uint64 // last-use stamp from the index clock
 }
 
 type partialStats struct {
@@ -72,14 +74,14 @@ const (
 )
 
 type partialShard struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int
 	entries  map[NodeID]*boxedEntry
-	lru      *list.List // front = least recently used
 }
 
 type partialIndex struct {
 	shards []*partialShard
+	clock  atomic.Uint64 // recency stamps
 	stats  partialStats
 	budget *budget.Budget // nil = unaccounted
 }
@@ -105,7 +107,6 @@ func newPartialIndex(capacity int, b *budget.Budget) *partialIndex {
 		px.shards[i] = &partialShard{
 			capacity: per,
 			entries:  make(map[NodeID]*boxedEntry, per),
-			lru:      list.New(),
 		}
 	}
 	return px
@@ -126,12 +127,10 @@ func (px *partialIndex) shedForBudget() {
 		}
 		sh.mu.Lock()
 		for excess > 0 {
-			victim := sh.lru.Front()
-			if victim == nil {
+			v := oldestLocked(sh)
+			if v == nil {
 				break
 			}
-			v := victim.Value.(*boxedEntry)
-			sh.lru.Remove(victim)
 			delete(sh.entries, v.id)
 			b.Discharge(budget.Partial, partialEntryCost)
 			b.NoteEviction(budget.Partial)
@@ -152,11 +151,26 @@ func (px *partialIndex) shard(id NodeID) *partialShard {
 func (px *partialIndex) len() int {
 	n := 0
 	for _, sh := range px.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		n += len(sh.entries)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// oldestLocked returns the shard entry with the oldest recency stamp (the
+// eviction victim). Caller holds sh.mu exclusively. Shards are small (a few
+// dozen to a few hundred entries), so the scan is cheaper than maintaining a
+// recency list would make every lookup.
+func oldestLocked(sh *partialShard) *boxedEntry {
+	var victim *boxedEntry
+	var oldest uint64
+	for _, b := range sh.entries {
+		if u := b.used.Load(); victim == nil || u < oldest {
+			victim, oldest = b, u
+		}
+	}
+	return victim
 }
 
 func (px *partialIndex) hit()  { px.stats.hits.Add(1) }
@@ -164,16 +178,22 @@ func (px *partialIndex) miss() { px.stats.misses.Add(1) }
 
 // lookup returns a copy of the entry for id if present (without validity
 // checking — the store validates versions since it owns the range table).
+// Read-locked: mutators hold the exclusive lock, so the copy is consistent,
+// and the recency stamp is atomic.
 func (px *partialIndex) lookup(id NodeID) (partialEntry, bool) {
 	sh := px.shard(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
 	b, ok := sh.entries[id]
+	var e partialEntry
+	if ok {
+		e = b.partialEntry
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return partialEntry{}, false
 	}
-	sh.lru.MoveToBack(b.elem)
-	return b.partialEntry, true
+	b.used.Store(px.clock.Add(1))
+	return e, true
 }
 
 // dropStale removes the entry for id if its begin stamp still matches the
@@ -187,7 +207,6 @@ func (px *partialIndex) dropStale(stale partialEntry) {
 	if !ok || b.beginRange != stale.beginRange || b.beginVer != stale.beginVer {
 		return
 	}
-	sh.lru.Remove(b.elem)
 	delete(sh.entries, stale.id)
 	px.budget.Discharge(budget.Partial, partialEntryCost)
 	px.stats.invalidations.Add(1)
@@ -197,13 +216,11 @@ func (px *partialIndex) dropStale(stale partialEntry) {
 // as needed. Caller holds sh.mu.
 func (px *partialIndex) ensureLocked(sh *partialShard, id NodeID) *boxedEntry {
 	if b, ok := sh.entries[id]; ok {
-		sh.lru.MoveToBack(b.elem)
+		b.used.Store(px.clock.Add(1))
 		return b
 	}
 	if len(sh.entries) >= sh.capacity {
-		if victim := sh.lru.Front(); victim != nil {
-			v := victim.Value.(*boxedEntry)
-			sh.lru.Remove(victim)
+		if v := oldestLocked(sh); v != nil {
 			delete(sh.entries, v.id)
 			px.budget.Discharge(budget.Partial, partialEntryCost)
 			px.stats.evictions.Add(1)
@@ -211,7 +228,7 @@ func (px *partialIndex) ensureLocked(sh *partialShard, id NodeID) *boxedEntry {
 	}
 	b := &boxedEntry{}
 	b.id = id
-	b.elem = sh.lru.PushBack(b)
+	b.used.Store(px.clock.Add(1))
 	sh.entries[id] = b
 	px.budget.Charge(budget.Partial, partialEntryCost)
 	return b
@@ -260,8 +277,7 @@ func (px *partialIndex) removeNode(id NodeID) {
 	sh := px.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if b, ok := sh.entries[id]; ok {
-		sh.lru.Remove(b.elem)
+	if _, ok := sh.entries[id]; ok {
 		delete(sh.entries, id)
 		px.budget.Discharge(budget.Partial, partialEntryCost)
 	}
@@ -273,7 +289,6 @@ func (px *partialIndex) reset() {
 		sh.mu.Lock()
 		px.budget.Discharge(budget.Partial, int64(len(sh.entries))*partialEntryCost)
 		sh.entries = make(map[NodeID]*boxedEntry, sh.capacity)
-		sh.lru.Init()
 		sh.mu.Unlock()
 	}
 }

@@ -41,12 +41,14 @@ func (s *Store) ScanCtx(ctx context.Context, fn func(Item) bool) (err error) {
 	if s.closed {
 		return ErrClosed
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	ri, ok, err := s.firstRange()
 	if err != nil || !ok {
 		return err
 	}
 	for {
-		tokenBytes, err := s.readRangeCtx(ctx, ri)
+		tokenBytes, err := s.readRangeCtx(ctx, ri, sc)
 		if err != nil {
 			return err
 		}
@@ -125,10 +127,12 @@ func (s *Store) ScanNodeCtx(ctx context.Context, id NodeID, fn func(Item) bool) 
 	if s.closed {
 		return ErrClosed
 	}
-	return s.scanNodeLocked(ctx, id, fn)
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.scanNodeLocked(ctx, id, fn, sc)
 }
 
-func (s *Store) scanNodeLocked(ctx context.Context, id NodeID, fn func(Item) bool) error {
+func (s *Store) scanNodeLocked(ctx context.Context, id NodeID, fn func(Item) bool, sc *scratch) error {
 	// Warm fast path: when the partial index knows both the begin and end
 	// token positions within one range, read exactly that byte span — the
 	// paper's "jump to the end of the given node" behaviour, with no range
@@ -174,7 +178,7 @@ func (s *Store) scanNodeLocked(ctx context.Context, id NodeID, fn func(Item) boo
 			}
 		}
 	}
-	begin, beginTok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, beginTok, tokenBytes, err := s.locateBegin(ctx, id, sc)
 	if err != nil {
 		return err
 	}
@@ -248,11 +252,226 @@ func (s *Store) scanNodeLocked(ctx context.Context, id NodeID, fn func(Item) boo
 			return fmt.Errorf("core: unbalanced store: node %d has no end token", id)
 		}
 		ri = nri
-		tokenBytes, err = s.readRangeCtx(ctx, ri)
+		tokenBytes, err = s.readRangeCtx(ctx, ri, sc)
 		if err != nil {
 			return err
 		}
 		r = newTokenReader(tokenBytes)
+		cur = ri.start
+		tokIdx = 0
+		nodesSeen = 0
+	}
+}
+
+// ScanRawCtx streams every token of the store in document order as raw
+// encoded bytes, with regenerated node ids (InvalidNode for tokens that do
+// not start a node). It is the zero-allocation substrate of the pushed-down
+// query executor: no Token structs are materialized and no strings are
+// copied — use token.View inside fn to inspect names and values in place.
+// The raw slice is only valid for the duration of the callback. fn returning
+// false stops the scan.
+func (s *Store) ScanRawCtx(ctx context.Context, fn func(id NodeID, raw []byte) bool) (err error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.latchCorrupt(&err)
+	if s.closed {
+		return ErrClosed
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	ri, ok, err := s.firstRange()
+	if err != nil || !ok {
+		return err
+	}
+	scanned := uint64(0)
+	defer func() { s.tokensScanned.Add(scanned) }()
+	for {
+		tokenBytes, err := s.readRangeCtx(ctx, ri, sc)
+		if err != nil {
+			return err
+		}
+		cur := ri.start
+		off := 0
+		for off < len(tokenBytes) {
+			if scanned%locateCheckTokens == locateCheckTokens-1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			size, err := token.Size(tokenBytes[off:])
+			if err != nil {
+				return err
+			}
+			scanned++
+			id := InvalidNode
+			if token.Kind(tokenBytes[off]).StartsNode() {
+				id = cur
+				cur++
+			}
+			if !fn(id, tokenBytes[off:off+size]) {
+				return nil
+			}
+			off += size
+		}
+		nri, ok, err := s.nextRangeInfoCtx(ctx, ri)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ri = nri
+	}
+}
+
+// ScanNodeRawCtx streams the subtree of node id (begin through matching end)
+// as raw encoded tokens, with the same contract as ScanRawCtx. It keeps
+// ScanNode's warm partial-index fast path and end-position memorization.
+func (s *Store) ScanNodeRawCtx(ctx context.Context, id NodeID, fn func(id NodeID, raw []byte) bool) (err error) {
+	ctx, finish, err := s.beginOp(ctx)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	defer s.latchCorrupt(&err)
+	if s.closed {
+		return ErrClosed
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	return s.scanNodeRawLocked(ctx, id, fn, sc)
+}
+
+func (s *Store) scanNodeRawLocked(ctx context.Context, id NodeID, fn func(id NodeID, raw []byte) bool, sc *scratch) error {
+	// Warm fast path mirrors scanNodeLocked: both token positions known and
+	// in one range — read exactly the subtree's byte span.
+	if s.partial != nil {
+		if e, ok := s.partial.lookup(id); ok && e.hasEnd && e.endLen > 0 &&
+			e.beginRange == e.endRange {
+			ri := s.byRange[e.beginRange]
+			if ri != nil && ri.version == e.beginVer && ri.version == e.endVer {
+				s.nodeLookups.Add(1)
+				s.partial.hit()
+				span := int(e.endByte + e.endLen - e.beginByte)
+				buf, err := s.recs.ReadSlice(ri.loc, rangeHeaderSize+int(e.beginByte), span)
+				if err != nil {
+					return err
+				}
+				cur := id
+				depth := 0
+				off := 0
+				for off < len(buf) {
+					size, err := token.Size(buf[off:])
+					if err != nil {
+						return err
+					}
+					k := token.Kind(buf[off])
+					nid := InvalidNode
+					if k.StartsNode() {
+						nid = cur
+						cur++
+					}
+					if k.IsBegin() {
+						depth++
+					} else if k.IsEnd() {
+						depth--
+					}
+					if !fn(nid, buf[off:off+size]) {
+						return nil
+					}
+					if depth == 0 && k.IsEnd() {
+						return nil
+					}
+					off += size
+				}
+				return nil
+			}
+		}
+	}
+	begin, beginTok, tokenBytes, err := s.locateBegin(ctx, id, sc)
+	if err != nil {
+		return err
+	}
+	beginSize, err := token.Size(tokenBytes[begin.byteOff:])
+	if err != nil {
+		return err
+	}
+	if !fn(id, tokenBytes[begin.byteOff:begin.byteOff+beginSize]) {
+		return nil
+	}
+	if !beginTok.IsBegin() {
+		// Leaf node: memorize it as its own end (see scanNodeLocked).
+		if s.partial != nil {
+			s.partial.recordEnd(id, begin.ri.id, begin.ri.version, begin.byteOff, begin.tokIdx,
+				int32(begin.nodesBefore), int32(beginSize))
+		}
+		return nil
+	}
+	ri := begin.ri
+	off := begin.byteOff + beginSize
+	cur := id + 1
+	depth := 1
+	tokIdx := begin.tokIdx + 1
+	nodesSeen := begin.nodesBefore + 1
+	scanned := uint64(0)
+	defer func() { s.tokensScanned.Add(scanned) }()
+	for {
+		for off < len(tokenBytes) {
+			if scanned%locateCheckTokens == locateCheckTokens-1 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			size, err := token.Size(tokenBytes[off:])
+			if err != nil {
+				return err
+			}
+			scanned++
+			k := token.Kind(tokenBytes[off])
+			nid := InvalidNode
+			if k.StartsNode() {
+				nid = cur
+				cur++
+				nodesSeen++
+			}
+			if k.IsBegin() {
+				depth++
+			} else if k.IsEnd() {
+				depth--
+			}
+			if !fn(nid, tokenBytes[off:off+size]) {
+				return nil
+			}
+			if depth == 0 {
+				if s.partial != nil {
+					s.partial.recordEnd(id, ri.id, ri.version, off, tokIdx,
+						int32(nodesSeen), int32(size))
+				}
+				return nil
+			}
+			tokIdx++
+			off += size
+		}
+		nri, ok, err := s.nextRangeInfoCtx(ctx, ri)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: unbalanced store: node %d has no end token", id)
+		}
+		ri = nri
+		tokenBytes, err = s.readRangeCtx(ctx, ri, sc)
+		if err != nil {
+			return err
+		}
+		off = 0
 		cur = ri.start
 		tokIdx = 0
 		nodesSeen = 0

@@ -12,6 +12,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/budget"
 	"repro/internal/pagestore"
+	"repro/internal/plancache"
 	"repro/internal/token"
 )
 
@@ -62,15 +63,23 @@ type Config struct {
 	// (4x MaxConcurrentOps).
 	MaxQueuedOps int
 	// MemoryBudget caps the bytes held by the in-memory acceleration
-	// structures combined — buffer-pool frames, partial-index entries and
-	// replay checkpoints — with pressure-driven eviction when a structure
-	// exceeds its share. 0 means unlimited.
+	// structures combined — buffer-pool frames, partial-index entries,
+	// replay checkpoints and the compiled query-plan cache — with
+	// pressure-driven eviction when a structure exceeds its share. 0 means
+	// unlimited.
 	MemoryBudget int64
+	// PlanCacheEntries bounds the compiled query-plan cache. 0 means the
+	// default (512 plans); negative disables plan caching entirely (every
+	// query re-parses and re-plans — the benchmark baseline).
+	PlanCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
 	if c.PartialCapacity <= 0 {
 		c.PartialCapacity = 4096
+	}
+	if c.PlanCacheEntries == 0 {
+		c.PlanCacheEntries = 512
 	}
 	if c.PageSize <= 0 {
 		c.PageSize = pagestore.DefaultPageSize
@@ -125,9 +134,18 @@ type Store struct {
 	// the common (no per-op deadline) path, so admission adds no allocation.
 	adm       *admission
 	releaseFn func()
-	// budget is the shared memory budget across pool/partial/checkpoints
-	// (nil = unlimited).
+	// budget is the shared memory budget across pool/partial/checkpoints/
+	// plans (nil = unlimited).
 	budget *budget.Budget
+
+	// plans caches compiled query plans keyed by expression source; owned
+	// here (not in the query packages) so its memory is charged to this
+	// store's budget and its stats ride the store's snapshot. Nil when
+	// disabled. The values are opaque to core.
+	plans *plancache.Cache
+	// query counts query-planner outcomes; bumped by the query layer via
+	// the QueryCounters accessor.
+	query QueryCounters
 
 	// corrupt, once set, latches the store read-only: continuing to write
 	// after a checksum mismatch or a failed WAL commit can only spread the
@@ -216,6 +234,7 @@ func Open(cfg Config) (*Store, error) {
 		adm:       newAdmission(cfg.MaxConcurrentOps, cfg.MaxQueuedOps),
 	}
 	s.releaseFn = func() { s.adm.release() }
+	s.plans = plancache.New(cfg.PlanCacheEntries, b)
 	if err := s.initIndexes(); err != nil {
 		return nil, err
 	}
@@ -252,6 +271,7 @@ func Reopen(cfg Config, pager pagestore.Pager, metaPage pagestore.PageID) (*Stor
 		adm:       newAdmission(cfg.MaxConcurrentOps, cfg.MaxQueuedOps),
 	}
 	s.releaseFn = func() { s.adm.release() }
+	s.plans = plancache.New(cfg.PlanCacheEntries, b)
 	if err := s.initIndexes(); err != nil {
 		return nil, err
 	}
@@ -382,6 +402,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.plans.Reset()
 	if s.cfg.ReadOnly {
 		// Nothing was (or could be) written; just release the pager and
 		// its shared advisory lock.
@@ -400,6 +421,53 @@ func (s *Store) Close() error {
 
 // Mode returns the active index mode.
 func (s *Store) Mode() IndexMode { return s.cfg.Mode }
+
+// PlanCache returns the store's compiled-plan cache (nil when disabled).
+// The query packages key it by expression source; core stays agnostic to
+// what the values are.
+func (s *Store) PlanCache() *plancache.Cache { return s.plans }
+
+// QueryCounters counts query-planner outcomes. The query layer (which runs
+// outside the store lock) bumps these through the accessor; Stats snapshots
+// them.
+type QueryCounters struct {
+	pushdownQueries    atomic.Uint64
+	pushdownPredicates atomic.Uint64
+	fallbackQueries    atomic.Uint64
+}
+
+// NotePushdown counts one query answered by a pushed-down index/scan probe
+// that evaluated npreds predicates inside the scan.
+func (q *QueryCounters) NotePushdown(npreds int) {
+	q.pushdownQueries.Add(1)
+	if npreds > 0 {
+		q.pushdownPredicates.Add(uint64(npreds))
+	}
+}
+
+// NoteFallback counts one query that fell back to the materializing
+// evaluator.
+func (q *QueryCounters) NoteFallback() { q.fallbackQueries.Add(1) }
+
+// QueryCounters returns the store's query-outcome counters for the query
+// layer to bump.
+func (s *Store) QueryCounters() *QueryCounters { return &s.query }
+
+// OpContext applies the store's configured OpTimeout to ctx (when ctx has no
+// deadline of its own) for work that runs outside a store operation — query
+// evaluation over an already-materialized view. The returned cancel must be
+// called.
+func (s *Store) OpContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.OpTimeout > 0 && !isCritical(ctx) {
+		if _, has := ctx.Deadline(); !has {
+			return context.WithTimeout(ctx, s.cfg.OpTimeout)
+		}
+	}
+	return ctx, func() {}
+}
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
@@ -429,6 +497,15 @@ func (s *Store) Stats() Stats {
 		st.PartialEvictions = s.partial.stats.evictions.Load()
 		st.PartialInvalidations = s.partial.stats.invalidations.Load()
 	}
+	ps := s.plans.Snapshot()
+	st.PlanCacheEntries = ps.Entries
+	st.PlanCacheBytes = ps.Bytes
+	st.PlanCacheHits = ps.Hits
+	st.PlanCacheMisses = ps.Misses
+	st.PlanCacheEvictions = ps.Evictions
+	st.PushdownQueries = s.query.pushdownQueries.Load()
+	st.PushdownPredicates = s.query.pushdownPredicates.Load()
+	st.FallbackQueries = s.query.fallbackQueries.Load()
 	st.Admission = s.adm.snapshot()
 	st.Memory = s.budget.Snapshot()
 	st.Health = s.healthSummary(st.Memory)
@@ -527,17 +604,59 @@ func (s *Store) applyMoves(moves []pagestore.Move) {
 	}
 }
 
+// scratch is a per-operation reusable range buffer. Read-only operations
+// (scans, locates, navigation) funnel every range read of one operation
+// through a single pooled scratch, so a random read of a 100+ KB coarse
+// range costs zero heap allocation instead of a fresh copy per read — the
+// allocation rate that made cold coarse reads degrade with core count by
+// keeping the collector permanently busy.
+//
+// Alias discipline: a scratch holds at most ONE range's bytes; every
+// readRangeCtx into the same scratch invalidates the previous contents.
+// All scratch-using paths read ranges strictly sequentially and never keep
+// two range buffers live at once. Mutating paths pass a nil scratch and get
+// private copies, which may outlive subsequent reads.
+type scratch struct{ buf []byte }
+
+// scratchRetainBytes caps the capacity a pooled scratch keeps; an outlier
+// range does not pin its footprint in the pool forever.
+const scratchRetainBytes = 1 << 20
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(sc *scratch) {
+	if cap(sc.buf) > scratchRetainBytes {
+		sc.buf = nil
+	}
+	scratchPool.Put(sc)
+}
+
 // readRange returns the encoded token bytes of ri (a fresh copy).
 func (s *Store) readRange(ri *rangeInfo) ([]byte, error) {
-	return s.readRangeCtx(context.Background(), ri)
+	return s.readRangeCtx(context.Background(), ri, nil)
 }
 
 // readRangeCtx is readRange with cooperative cancellation at page-fetch
 // boundaries (a coarse range can span a long overflow chain). Mutation
 // apply phases use plain readRange — past the point of no return an
 // operation must run to completion.
-func (s *Store) readRangeCtx(ctx context.Context, ri *rangeInfo) ([]byte, error) {
-	payload, err := s.recs.ReadCtx(ctx, ri.loc)
+//
+// A non-nil sc reuses (and invalidates) the scratch's buffer; the returned
+// bytes alias it and are valid only until the next read into the same
+// scratch. A nil sc allocates a private copy.
+func (s *Store) readRangeCtx(ctx context.Context, ri *rangeInfo, sc *scratch) ([]byte, error) {
+	var payload []byte
+	var err error
+	if sc != nil {
+		payload, err = s.recs.ReadCtxInto(ctx, ri.loc, sc.buf)
+		if err == nil {
+			sc.buf = payload
+		}
+	} else {
+		payload, err = s.recs.ReadCtx(ctx, ri.loc)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -276,7 +276,7 @@ func (s *Store) InsertBeforeCtx(ctx context.Context, id NodeID, frag []Token) (_
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	pos, tok, _, err := s.locateBegin(ctx, id)
+	pos, tok, _, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -307,14 +307,14 @@ func (s *Store) InsertAfterCtx(ctx context.Context, id NodeID, frag []Token) (_ 
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
 	if tok.Kind == token.BeginAttribute {
 		return InvalidNode, ErrAttrContext
 	}
-	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -347,7 +347,7 @@ func (s *Store) InsertIntoFirstCtx(ctx context.Context, id NodeID, frag []Token)
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -358,7 +358,7 @@ func (s *Store) InsertIntoFirstCtx(ctx context.Context, id NodeID, frag []Token)
 	if err != nil {
 		return InvalidNode, err
 	}
-	pos, _, err = s.skipAttributes(ctx, pos, tokenBytes)
+	pos, _, err = s.skipAttributes(ctx, pos, tokenBytes, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -388,14 +388,14 @@ func (s *Store) InsertIntoLastCtx(ctx context.Context, id NodeID, frag []Token) 
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
 	if err := requireElement(tok); err != nil {
 		return InvalidNode, err
 	}
-	end, _, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
+	end, _, err := s.locateEnd(ctx, id, begin, tok, tokenBytes, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -431,11 +431,11 @@ func (s *Store) DeleteNodeCtx(ctx context.Context, id NodeID) (err error) {
 	if err := s.writableLocked(); err != nil {
 		return err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return err
 	}
-	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes, nil)
 	if err != nil {
 		return err
 	}
@@ -477,11 +477,11 @@ func (s *Store) ReplaceNodeCtx(ctx context.Context, id NodeID, frag []Token) (_ 
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
-	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
+	end, endBytes, err := s.locateEnd(ctx, id, begin, tok, tokenBytes, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -549,14 +549,14 @@ func (s *Store) ReplaceContentCtx(ctx context.Context, id NodeID, frag []Token) 
 	if err := s.writableLocked(); err != nil {
 		return InvalidNode, err
 	}
-	begin, tok, tokenBytes, err := s.locateBegin(ctx, id)
+	begin, tok, tokenBytes, err := s.locateBegin(ctx, id, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
 	if err := requireElement(tok); err != nil {
 		return InvalidNode, err
 	}
-	end, _, err := s.locateEnd(ctx, id, begin, tok, tokenBytes)
+	end, _, err := s.locateEnd(ctx, id, begin, tok, tokenBytes, nil)
 	if err != nil {
 		return InvalidNode, err
 	}
@@ -564,7 +564,7 @@ func (s *Store) ReplaceContentCtx(ctx context.Context, id NodeID, frag []Token) 
 	if err != nil {
 		return InvalidNode, err
 	}
-	contentStart, _, err = s.skipAttributes(ctx, contentStart, tokenBytes)
+	contentStart, _, err = s.skipAttributes(ctx, contentStart, tokenBytes, nil)
 	if err != nil {
 		return InvalidNode, err
 	}

@@ -1,7 +1,6 @@
 package pagestore
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,7 +23,7 @@ type Frame struct {
 	Data  []byte
 	pins  int
 	dirty bool
-	elem  *list.Element // position in the shard LRU list when unpinned
+	stamp atomic.Uint64 // last-use stamp from the pool clock
 }
 
 // PoolStats counts buffer pool traffic. Reads of XML data flow through the
@@ -45,26 +44,31 @@ const (
 	poolShardThreshold = 2 * minFramesPerShard
 )
 
-// poolShard is one lock stripe: its own frame table and LRU list. Pages hash
-// to exactly one shard, so concurrent Fetches of distinct pages contend only
-// when they collide on a stripe.
+// poolShard is one lock stripe: its own frame table and lock. Pages hash to
+// exactly one shard, so concurrent reads of distinct pages contend only when
+// they collide on a stripe — and resident-page Views share the read lock, so
+// point reads of the same hot page scale with cores. Recency lives in
+// per-frame atomic stamps rather than a list: stamps need no exclusive
+// section on the hit path, and eviction scans the shard for the oldest
+// unpinned frame (shards are small, evictions are the cold path).
 type poolShard struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int
 	frames   map[PageID]*Frame
-	lru      *list.List // unpinned frames, front = least recently used
 }
 
-// BufferPool caches pages with pin-count-aware LRU eviction. It is safe for
-// concurrent use: the frame tables are lock-striped by page id and the
-// traffic counters are atomic. Pin/unpin semantics, checksum-on-miss, and
-// flush-before-evict ordering are identical to the single-mutex pool.
+// BufferPool caches pages with pin-count-aware, approximately-LRU eviction
+// (exact under serial access; stamps may interleave under concurrency). It
+// is safe for concurrent use: the frame tables are lock-striped by page id
+// and the traffic counters are atomic. Pin/unpin semantics, checksum-on-miss,
+// and flush-before-evict ordering are identical to the single-mutex pool.
 type BufferPool struct {
 	pager    Pager
 	capacity int
 	shards   []*poolShard
 	budget   *budget.Budget // nil = unaccounted; set before first use
 
+	clock     atomic.Uint64 // recency stamps
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
@@ -110,7 +114,6 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 		bp.shards[i] = &poolShard{
 			capacity: per,
 			frames:   make(map[PageID]*Frame),
-			lru:      list.New(),
 		}
 	}
 	return bp
@@ -167,7 +170,8 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	defer sh.mu.Unlock()
 	if f, ok := sh.frames[id]; ok {
 		bp.hits.Add(1)
-		sh.pin(f)
+		f.stamp.Store(bp.clock.Add(1))
+		f.pins++
 		return f, nil
 	}
 	bp.misses.Add(1)
@@ -186,22 +190,33 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	return f, nil
 }
 
-// View runs fn over the page's bytes while holding the shard lock, without
-// taking a pin: one lock acquisition instead of a Fetch/Unpin pair. This is
-// the point-read fast path — fn must be short, must not retain the data
-// slice, and must not call back into the pool. Residency, checksum-on-miss
-// and LRU maintenance match Fetch exactly.
+// View runs fn over the page's bytes under the shard lock, without taking a
+// pin: one lock acquisition instead of a Fetch/Unpin pair. This is the
+// point-read fast path — fn must be short, must not retain the data slice,
+// and must not call back into the pool. A resident page needs only the
+// shard READ lock (frames cannot be evicted or mutated while any reader
+// holds it — evictions and fills take the write lock), so concurrent point
+// reads of the same hot page proceed in parallel; only a miss-fill takes
+// the exclusive lock. Residency and checksum-on-miss match Fetch exactly.
 func (bp *BufferPool) View(id PageID, fn func(data []byte) error) error {
-	defer bp.shedForBudget() // after the shard lock is released
 	sh := bp.shard(id)
+	sh.mu.RLock()
+	if f, ok := sh.frames[id]; ok {
+		bp.hits.Add(1)
+		f.stamp.Store(bp.clock.Add(1))
+		err := fn(f.Data)
+		sh.mu.RUnlock()
+		return err
+	}
+	sh.mu.RUnlock()
+	defer bp.shedForBudget() // after the shard lock is released
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	f, ok := sh.frames[id]
 	if ok {
+		// Raced with another filler; the frame is resident and valid.
 		bp.hits.Add(1)
-		if f.pins == 0 && f.elem != nil {
-			sh.lru.MoveToBack(f.elem)
-		}
+		f.stamp.Store(bp.clock.Add(1))
 	} else {
 		bp.misses.Add(1)
 		var err error
@@ -219,7 +234,6 @@ func (bp *BufferPool) View(id PageID, fn func(data []byte) error) error {
 		}
 		// newFrameLocked pins; View's protection is the shard lock itself.
 		f.pins = 0
-		f.elem = sh.lru.PushBack(f)
 	}
 	return fn(f.Data)
 }
@@ -251,6 +265,7 @@ func (bp *BufferPool) newFrameLocked(sh *poolShard, id PageID) (*Frame, error) {
 		}
 	}
 	f := &Frame{ID: id, Data: make([]byte, bp.pager.PageSize()), pins: 1}
+	f.stamp.Store(bp.clock.Add(1))
 	sh.frames[id] = f
 	bp.budget.Charge(budget.Pool, bp.frameCost())
 	return f, nil
@@ -263,12 +278,22 @@ func (bp *BufferPool) dropFrameLocked(sh *poolShard, id PageID) {
 	bp.budget.Discharge(budget.Pool, bp.frameCost())
 }
 
+// evictLocked drops the unpinned frame with the oldest recency stamp,
+// flushing it first if dirty. Caller holds sh.mu exclusively.
 func (bp *BufferPool) evictLocked(sh *poolShard) error {
-	e := sh.lru.Front()
-	if e == nil {
+	var f *Frame
+	var oldest uint64
+	for _, c := range sh.frames {
+		if c.pins > 0 {
+			continue
+		}
+		if u := c.stamp.Load(); f == nil || u < oldest {
+			f, oldest = c, u
+		}
+	}
+	if f == nil {
 		return ErrPoolFull
 	}
-	f := e.Value.(*Frame)
 	if f.dirty {
 		StampChecksum(f.Data)
 		if err := bp.pager.WritePage(f.ID, f.Data); err != nil {
@@ -276,7 +301,6 @@ func (bp *BufferPool) evictLocked(sh *poolShard) error {
 		}
 		bp.flushes.Add(1)
 	}
-	sh.lru.Remove(e)
 	delete(sh.frames, f.ID)
 	bp.budget.Discharge(budget.Pool, bp.frameCost())
 	bp.evictions.Add(1)
@@ -299,7 +323,7 @@ func (bp *BufferPool) shedForBudget() {
 			return
 		}
 		sh.mu.Lock()
-		for excess > 0 && sh.lru.Front() != nil {
+		for excess > 0 {
 			if err := bp.evictLocked(sh); err != nil {
 				break
 			}
@@ -308,14 +332,6 @@ func (bp *BufferPool) shedForBudget() {
 		}
 		sh.mu.Unlock()
 	}
-}
-
-func (sh *poolShard) pin(f *Frame) {
-	if f.pins == 0 && f.elem != nil {
-		sh.lru.Remove(f.elem)
-		f.elem = nil
-	}
-	f.pins++
 }
 
 // Unpin releases one pin. If dirty is true the frame is marked for
@@ -332,7 +348,7 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = sh.lru.PushBack(f)
+		f.stamp.Store(bp.clock.Add(1))
 	}
 	return nil
 }

@@ -232,6 +232,59 @@ func (rs *RecordStore) ReadCtx(ctx context.Context, loc Loc) ([]byte, error) {
 	return out, nil
 }
 
+// ReadCtxInto is ReadCtx reading into the caller's buffer: the payload is
+// appended to dst[:0] and the (possibly grown) slice returned, so a reader
+// that walks many records can reuse one scratch allocation. dst may be nil.
+func (rs *RecordStore) ReadCtxInto(ctx context.Context, loc Loc, dst []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := dst[:0]
+	var total int
+	next := InvalidPage
+	err := rs.pool.View(loc.Page, func(data []byte) error {
+		p := slotPage(data)
+		if p.typ() != pageData || !p.live(loc.Slot) {
+			return fmt.Errorf("%w: %v", ErrNoRecord, loc)
+		}
+		stored := p.payload(loc.Slot)
+		if len(stored) == 0 {
+			return fmt.Errorf("pagestore: empty stored payload")
+		}
+		if stored[0] == recInline {
+			out = append(out, stored[1:]...)
+			return nil
+		}
+		if len(stored) < stubSize {
+			return fmt.Errorf("pagestore: truncated overflow stub")
+		}
+		total = int(binary.LittleEndian.Uint32(stored[1:]))
+		next = PageID(binary.LittleEndian.Uint32(stored[5:]))
+		return nil
+	})
+	if err != nil || next == InvalidPage {
+		return out, err
+	}
+	for next != InvalidPage {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		err := rs.pool.View(next, func(data []byte) error {
+			used := int(binary.LittleEndian.Uint16(data[2:]))
+			out = append(out, data[ovflHeader:ovflHeader+used]...)
+			next = PageID(binary.LittleEndian.Uint32(data[4:]))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("pagestore: overflow chain length %d, want %d", len(out), total)
+	}
+	return out, nil
+}
+
 // ReadSlice returns payload[off : off+length] of the record at loc without
 // materializing the rest of the record — the cheap path for indexed point
 // reads into large records.

@@ -1,0 +1,229 @@
+// Package plancache implements a keyed, size-bounded, concurrency-safe cache
+// for compiled query plans. Parsing and planning an XPath/XQuery expression
+// costs far more than executing it on a warm store, so repeated queries —
+// the dominant shape of server traffic — should pay it once.
+//
+// The cache is sharded (lock per shard, like the partial index) and
+// accounted against the shared memory budget under the Plans class: each
+// entry carries a caller-estimated byte cost, and the cache evicts in
+// least-recently-used order both on a hard entry cap and when the budget
+// signals pressure. Values are opaque (any) so the core store can own the
+// cache without importing the query packages that populate it.
+//
+// The hit path is the store's hottest query-side lock, so it is read-only:
+// lookups take the shard RLock and record recency with one atomic stamp —
+// no list surgery, no exclusive section. Recency is therefore approximate
+// (a clock stamp compared at eviction time, not a maintained order), which
+// costs nothing in practice: shards hold at most a few dozen plans and
+// eviction scans them outright.
+package plancache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/budget"
+)
+
+const shardCount = 8
+
+// entryOverhead approximates the per-entry bookkeeping bytes (map slot,
+// entry struct) added to the caller's cost estimate.
+const entryOverhead = 128
+
+// Cache is a sharded, approximately-LRU cache of compiled plans.
+type Cache struct {
+	shards [shardCount]shard
+	// maxPerShard bounds each shard's entry count (maxEntries/shardCount,
+	// at least 1).
+	maxPerShard int
+	bud         *budget.Budget
+
+	clock                   atomic.Uint64 // recency stamps
+	hits, misses, evictions atomic.Uint64
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	bytes   int64
+}
+
+type entry struct {
+	key  string
+	val  any
+	cost int64
+	used atomic.Uint64 // last-use stamp from the cache clock
+}
+
+// New returns a cache bounded to maxEntries compiled plans (values plus an
+// estimated cost), charged to bud's Plans class. maxEntries <= 0 returns nil:
+// a nil *Cache is a valid, always-missing cache.
+func New(maxEntries int, bud *budget.Budget) *Cache {
+	if maxEntries <= 0 {
+		return nil
+	}
+	per := maxEntries / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{maxPerShard: per, bud: bud}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+	}
+	return c
+}
+
+// fnv-1a; plans are few and keys are whole expressions, so a simple hash is
+// plenty.
+func shardFor(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % shardCount
+}
+
+// Get returns the cached plan for key, bumping its recency. The value is
+// read under the shard RLock (Put may replace it concurrently); the recency
+// stamp is atomic and needs no lock at all.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := &c.shards[shardFor(key)]
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	var v any
+	if ok {
+		v = e.val
+	}
+	sh.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e.used.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores a plan under key with an estimated cost in bytes. An existing
+// entry for the key is replaced. Budget eviction runs at the caller's safe
+// point, after the shard lock is released.
+func (c *Cache) Put(key string, val any, cost int64) {
+	if c == nil {
+		return
+	}
+	cost += entryOverhead
+	sh := &c.shards[shardFor(key)]
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.bytes += cost - e.cost
+		c.bud.Charge(budget.Plans, cost-e.cost)
+		e.val, e.cost = val, cost
+		e.used.Store(c.clock.Add(1))
+		sh.mu.Unlock()
+		return
+	}
+	e := &entry{key: key, val: val, cost: cost}
+	e.used.Store(c.clock.Add(1))
+	sh.entries[key] = e
+	sh.bytes += cost
+	c.bud.Charge(budget.Plans, cost)
+	// Capacity eviction under the shard lock: the cap is per shard, so only
+	// this shard can be over it.
+	for len(sh.entries) > c.maxPerShard {
+		c.evictOldestLocked(sh)
+	}
+	sh.mu.Unlock()
+	c.maybeEvictForBudget(sh)
+}
+
+// evictOldestLocked removes sh's entry with the oldest recency stamp
+// (sh.mu held exclusively).
+func (c *Cache) evictOldestLocked(sh *shard) {
+	var victim *entry
+	var oldest uint64
+	for _, e := range sh.entries {
+		if u := e.used.Load(); victim == nil || u < oldest {
+			victim, oldest = e, u
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(sh.entries, victim.key)
+	sh.bytes -= victim.cost
+	c.bud.Discharge(budget.Plans, victim.cost)
+	c.evictions.Add(1)
+}
+
+// maybeEvictForBudget drains this shard while the budget reports pressure on
+// the Plans class — the same poll-at-safe-point discipline the partial index
+// and checkpoint table follow.
+func (c *Cache) maybeEvictForBudget(sh *shard) {
+	if !c.bud.NeedEvict(budget.Plans) {
+		return
+	}
+	// Aim to free this shard's slice of the global excess, at least one
+	// entry, so concurrent shards converge without one shard bearing all of
+	// the drain.
+	target := c.bud.Excess(budget.Plans) / shardCount
+	freed := int64(0)
+	sh.mu.Lock()
+	for len(sh.entries) > 0 && (freed == 0 || freed < target) {
+		before := sh.bytes
+		c.evictOldestLocked(sh)
+		freed += before - sh.bytes
+	}
+	sh.mu.Unlock()
+	if freed > 0 {
+		c.bud.NoteEviction(budget.Plans)
+	}
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Entries   int
+	Bytes     int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Snapshot returns current cache statistics (zero value for a nil cache).
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Reset drops every entry and discharges the budget (used on store close).
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		c.bud.Discharge(budget.Plans, sh.bytes)
+		sh.bytes = 0
+		sh.entries = make(map[string]*entry)
+		sh.mu.Unlock()
+	}
+}

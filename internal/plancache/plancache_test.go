@@ -1,0 +1,134 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/budget"
+)
+
+func TestNilCacheAlwaysMisses(t *testing.T) {
+	var c *Cache
+	c.Put("k", 1, 10)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache must miss")
+	}
+	if s := c.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil cache snapshot = %+v", s)
+	}
+	c.Reset()
+}
+
+func TestHitMissCounters(t *testing.T) {
+	c := New(64, nil)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unexpected hit")
+	}
+	c.Put("a", "plan-a", 100)
+	v, ok := c.Get("a")
+	if !ok || v.(string) != "plan-a" {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes != 100+entryOverhead {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestReplaceKeepsOneEntry(t *testing.T) {
+	c := New(64, nil)
+	c.Put("a", 1, 100)
+	c.Put("a", 2, 300)
+	st := c.Snapshot()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+	if st.Bytes != 300+entryOverhead {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestCapacityEvictsLRU(t *testing.T) {
+	// One entry per shard: the second insert landing on a shard evicts the
+	// older one.
+	c := New(shardCount, nil)
+	sh := shardFor("first")
+	c.Put("first", 1, 10)
+	// Find a second key on the same shard.
+	second := ""
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if shardFor(k) == sh {
+			second = k
+			break
+		}
+	}
+	if second == "" {
+		t.Fatal("no colliding key found")
+	}
+	c.Put(second, 2, 10)
+	if _, ok := c.Get("first"); ok {
+		t.Fatal("LRU entry must be evicted at capacity")
+	}
+	if _, ok := c.Get(second); !ok {
+		t.Fatal("newest entry must survive")
+	}
+	if ev := c.Snapshot().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestBudgetPressureEvicts(t *testing.T) {
+	// Plans share of a 10_000 budget is 1000 bytes. Fill far past it and
+	// check the cache drains itself and discharges the budget.
+	bud := budget.New(10_000)
+	c := New(1024, bud)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("q%d", i), i, 512)
+	}
+	st := c.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("budget pressure must evict")
+	}
+	if got := bud.Snapshot().PlanBytes; got != st.Bytes {
+		t.Fatalf("budget plan bytes %d != cache bytes %d", got, st.Bytes)
+	}
+	// Pressure eviction must keep the cache well under the total budget —
+	// without it the fill would have charged 64*(512+overhead) ≈ 41 KB.
+	if st.Bytes > 10_000 {
+		t.Fatalf("cache kept %d bytes under pressure", st.Bytes)
+	}
+	c.Reset()
+	if got := bud.Snapshot().PlanBytes; got != 0 {
+		t.Fatalf("reset left %d budget bytes", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New(256, budget.New(1<<20))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("q%d", (g*31+i)%64)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, k, 256)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Entries == 0 || st.Entries > 64 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+}

@@ -302,25 +302,19 @@ func nodeXML(ctx context.Context, st *core.Store, id core.NodeID) (string, error
 // then msgDone with the count. Each row flushes under the write timeout,
 // so a slow reader stalls its own session only — and only briefly.
 func (s *Server) handleQuery(c *conn, ctx context.Context, expr string, gate replica.ReadOptions) error {
-	compiled, err := xpath.Parse(expr)
-	if err != nil {
+	if _, err := xpath.Parse(expr); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	var sent uint64
-	err = s.withRead(gate, func(st *core.Store) error {
-		doc, err := xpath.FromStoreCtx(ctx, st)
+	err := s.withRead(gate, func(st *core.Store) error {
+		// Cached-plan path: pushdown-eligible expressions stream ids off the
+		// raw token sequence without building a navigational view.
+		ids, err := xpath.QueryIDsCtx(ctx, st, expr)
 		if err != nil {
-			return err
-		}
-		nodes, err := compiled.Eval(doc)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRequest, err)
-		}
-		ids := make([]core.NodeID, 0, len(nodes))
-		for _, n := range nodes {
-			if n.Kind != xpath.Root {
-				ids = append(ids, n.ID)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
 			}
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		for _, id := range ids {
 			if err := ctx.Err(); err != nil {
@@ -349,17 +343,13 @@ func (s *Server) handleQuery(c *conn, ctx context.Context, expr string, gate rep
 }
 
 func (s *Server) handleValue(c *conn, ctx context.Context, expr string, gate replica.ReadOptions) error {
-	compiled, err := xpath.Parse(expr)
-	if err != nil {
+	if _, err := xpath.Parse(expr); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	var val string
-	err = s.withRead(gate, func(st *core.Store) error {
-		d, err := xpath.FromStoreCtx(ctx, st)
-		if err != nil {
-			return err
-		}
-		val, err = compiled.EvalValue(d)
+	err := s.withRead(gate, func(st *core.Store) error {
+		var err error
+		val, err = xpath.QueryValueCtx(ctx, st, expr)
 		return err
 	})
 	if err != nil {

@@ -163,8 +163,7 @@ func (s *Server) httpValue(w http.ResponseWriter, r *http.Request) {
 		httpError(w, errors.Join(ErrBadRequest, errors.New("missing expr")))
 		return
 	}
-	compiled, err := xpath.Parse(expr)
-	if err != nil {
+	if _, err := xpath.Parse(expr); err != nil {
 		httpError(w, errors.Join(ErrBadRequest, err))
 		return
 	}
@@ -183,11 +182,8 @@ func (s *Server) httpValue(w http.ResponseWriter, r *http.Request) {
 
 	var val string
 	err = s.withRead(gate, func(st *core.Store) error {
-		d, err := xpath.FromStoreCtx(ctx, st)
-		if err != nil {
-			return err
-		}
-		val, err = compiled.EvalValue(d)
+		var err error
+		val, err = xpath.QueryValueCtx(ctx, st, expr)
 		return err
 	})
 	if err != nil {

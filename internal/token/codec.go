@@ -237,6 +237,54 @@ func Size(b []byte) (int, error) {
 	return pos, nil
 }
 
+// View is a zero-allocation decoder: it returns the token's kind and its
+// name/value as subslices of b (valid only while b is), plus the encoded
+// length. Query scans use it to compare names and attribute values in place
+// without materializing strings. Kinds without a name or value return nil
+// slices.
+func View(b []byte) (k Kind, name, value []byte, size int, err error) {
+	if len(b) == 0 {
+		return Invalid, nil, nil, 0, ErrShortBuffer
+	}
+	k = Kind(b[0])
+	if !k.Valid() {
+		return Invalid, nil, nil, 0, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+	}
+	pos := 1
+	n := skipUvarint(b[pos:])
+	if n < 0 {
+		return Invalid, nil, nil, 0, ErrShortBuffer
+	}
+	pos += n
+	if kindHasName(k) {
+		s, n, err := viewString(b[pos:])
+		if err != nil {
+			return Invalid, nil, nil, 0, err
+		}
+		name, pos = s, pos+n
+	}
+	if kindHasValue(k) {
+		s, n, err := viewString(b[pos:])
+		if err != nil {
+			return Invalid, nil, nil, 0, err
+		}
+		value, pos = s, pos+n
+	}
+	return k, name, value, pos, nil
+}
+
+func viewString(b []byte) ([]byte, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, ErrShortBuffer
+	}
+	end := n + int(l)
+	if end > len(b) || int(l) < 0 {
+		return nil, 0, ErrShortBuffer
+	}
+	return b[n:end], end, nil
+}
+
 func skipUvarint(b []byte) int {
 	for i := 0; i < len(b); i++ {
 		if b[i] < 0x80 {

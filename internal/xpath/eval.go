@@ -92,13 +92,42 @@ type evalCtx struct {
 	pos  int // 1-based position within the current predicate's node list
 	size int
 	vars Vars
+	st   *evalState
+}
+
+// evalState is the per-evaluation mutable state shared down the recursion:
+// the operation context and a step counter that amortizes cancellation
+// checks to one ctx.Err() poll every evalCheckSteps units of work.
+type evalState struct {
+	ctx   context.Context
+	steps int
+}
+
+const evalCheckSteps = 1024
+
+func (st *evalState) tick() error {
+	if st == nil || st.ctx == nil {
+		return nil
+	}
+	st.steps++
+	if st.steps%evalCheckSteps == 0 {
+		return st.ctx.Err()
+	}
+	return nil
 }
 
 // Eval evaluates the compiled expression against the document and returns
 // the resulting node set in document order. Non-node-set results are
 // reported as an error (use EvalValue for those).
 func (c *Compiled) Eval(d *Doc) ([]*Node, error) {
-	v, err := evalExpr(c.root, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1})
+	return c.EvalCtx(context.Background(), d)
+}
+
+// EvalCtx is Eval under a context: the evaluation loops poll ctx every
+// evalCheckSteps units of work, so a deadline or cancellation cuts a long
+// evaluation short.
+func (c *Compiled) EvalCtx(ctx context.Context, d *Doc) ([]*Node, error) {
+	v, err := evalExpr(c.root, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1, st: &evalState{ctx: ctx}})
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +139,12 @@ func (c *Compiled) Eval(d *Doc) ([]*Node, error) {
 
 // EvalValue evaluates the expression and returns the result as a string.
 func (c *Compiled) EvalValue(d *Doc) (string, error) {
-	v, err := evalExpr(c.root, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1})
+	return c.EvalValueCtx(context.Background(), d)
+}
+
+// EvalValueCtx is EvalValue under a context.
+func (c *Compiled) EvalValueCtx(ctx context.Context, d *Doc) (string, error) {
+	v, err := evalExpr(c.root, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1, st: &evalState{ctx: ctx}})
 	if err != nil {
 		return "", err
 	}
@@ -132,23 +166,15 @@ func QueryIDs(s *core.Store, src string) ([]core.NodeID, error) {
 	return QueryIDsCtx(context.Background(), s, src)
 }
 
-// QueryIDsCtx is QueryIDs under a caller deadline (see FromStoreCtx).
+// QueryIDsCtx is QueryIDs under a caller deadline. It routes through the
+// store's plan cache: pushdown-eligible expressions execute as a single raw
+// token scan; everything else falls back to the streaming Doc evaluator.
 func QueryIDsCtx(ctx context.Context, s *core.Store, src string) ([]core.NodeID, error) {
-	d, err := FromStoreCtx(ctx, s)
+	p, err := CompileStore(s, src)
 	if err != nil {
 		return nil, err
 	}
-	nodes, err := Query(d, src)
-	if err != nil {
-		return nil, err
-	}
-	ids := make([]core.NodeID, 0, len(nodes))
-	for _, n := range nodes {
-		if n.Kind != Root {
-			ids = append(ids, n.ID)
-		}
-	}
-	return ids, nil
+	return p.ids(ctx, s, core.InvalidNode)
 }
 
 func kindName(k valueKind) string {
@@ -488,57 +514,29 @@ func evalFunc(e *funcExpr, ctx evalCtx) (Value, error) {
 	}
 }
 
+// evalPath evaluates a location path through the streaming iterator chain
+// (see stream.go) and materializes the final result for the Value model.
 func evalPath(e *pathExpr, ctx evalCtx) ([]*Node, error) {
-	var cur []*Node
-	switch {
-	case e.base != nil:
-		v, err := evalExpr(e.base, ctx)
-		if err != nil {
-			return nil, err
-		}
-		if !v.IsNodeSet() {
-			return nil, fmt.Errorf("xpath: path step applied to a non-node value")
-		}
-		cur = v.nodes
-	case e.absolute:
-		cur = []*Node{ctx.doc.RootNode}
-	default:
-		cur = []*Node{ctx.node}
+	it, err := pathIter(e, ctx)
+	if err != nil {
+		return nil, err
 	}
-	for _, st := range e.steps {
-		next, err := evalStep(st, cur, ctx.doc, ctx.vars)
-		if err != nil {
-			return nil, err
-		}
-		cur = next
-	}
-	return cur, nil
+	return drain(it)
 }
 
-func evalStep(st step, input []*Node, doc *Doc, vars Vars) ([]*Node, error) {
+// evalStep is the materializing step evaluation used at iterator-chain
+// boundaries (reverse axes, non-disjoint inputs): per input node it applies
+// axis, node test and predicates, then dedups and sorts the union.
+func evalStep(st step, input []*Node, ctx evalCtx) ([]*Node, error) {
 	var out []*Node
 	seen := map[*Node]bool{}
 	for _, n := range input {
-		cands := axisNodes(st.axis, n)
-		cands = filterTest(cands, st.test)
-		// Predicates apply per input node with positional context.
-		for _, pred := range st.preds {
-			var kept []*Node
-			for i, c := range cands {
-				v, err := evalExpr(pred, evalCtx{doc: doc, node: c, pos: i + 1, size: len(cands), vars: vars})
-				if err != nil {
-					return nil, err
-				}
-				// A bare number predicate means position()=N.
-				if v.kind == vNumber {
-					if int(v.n) == i+1 {
-						kept = append(kept, c)
-					}
-				} else if v.toBool() {
-					kept = append(kept, c)
-				}
-			}
-			cands = kept
+		if err := ctx.st.tick(); err != nil {
+			return nil, err
+		}
+		cands, err := stepCandidates(st, n, ctx)
+		if err != nil {
+			return nil, err
 		}
 		for _, c := range cands {
 			if !seen[c] {

@@ -1,0 +1,329 @@
+package xpath
+
+// The pushdown executor: runs a scanProgram directly over the store's raw
+// token stream (ScanRawCtx / ScanNodeRawCtx). One pass, no navigational
+// view, no intermediate node sets; names and values are compared in place
+// with token.View, so the steady-state execution allocates nothing beyond
+// the pooled frame stack.
+//
+// The machine is a stack automaton mirroring the token nesting. Each open
+// element holds a frame whose mask is the set of achieved NFA states (see
+// scanProgram). Because attributes are stored immediately after their
+// element's begin token — before any content — a frame's predicates are
+// fully decided by the end of its attribute block ("resolution"), which is
+// always reached before the first child: children therefore always see a
+// finalized parent mask, and positional counters increment in document
+// order. Emissions happen at resolution, which is monotone in document
+// order, so results stream out sorted with no sort step.
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/token"
+)
+
+// stepRef locates the step owning a (non-accepting) state bit.
+type stepRef struct {
+	br, j int
+}
+
+// attrCapture is a final attribute step: capture attributes named name on
+// frames whose mask reaches acceptMask.
+type attrCapture struct {
+	name       string
+	acceptMask uint64
+}
+
+// attrPredDef is one [@attr='v'] predicate to test against attribute tokens.
+type attrPredDef struct {
+	name string
+	val  string
+	bit  int
+}
+
+// Derived execution tables, built once per program by finishProgram.
+type progTables struct {
+	stepOf        [maxStateBits]stepRef
+	initMask      uint64 // start states (bit base of every branch)
+	propMask      uint64 // states that propagate to child frames (desc steps, attrDesc accepts)
+	acceptAllMask uint64 // all accepting states
+	acceptElem    uint64 // accepting states of element-result branches
+	attrCaptures  []attrCapture
+	attrPreds     []attrPredDef
+}
+
+// finishProgram fills the derived tables. Called once at plan time.
+func (p *scanProgram) finish() {
+	t := &p.tab
+	for bi := range p.branches {
+		br := &p.branches[bi]
+		t.initMask |= 1 << br.base
+		accept := uint64(1) << (br.base + len(br.steps))
+		t.acceptAllMask |= accept
+		if br.attr == "" {
+			t.acceptElem |= accept
+		} else {
+			t.attrCaptures = append(t.attrCaptures, attrCapture{name: br.attr, acceptMask: accept})
+			if br.attrDesc {
+				t.propMask |= accept
+			}
+		}
+		for j := range br.steps {
+			st := &br.steps[j]
+			t.stepOf[br.base+j] = stepRef{br: bi, j: j}
+			if st.desc {
+				t.propMask |= 1 << (br.base + j)
+			}
+			for pi := range st.preds {
+				sp := &st.preds[pi]
+				if sp.attrName != "" {
+					t.attrPreds = append(t.attrPreds, attrPredDef{name: sp.attrName, val: sp.attrVal, bit: sp.satBit})
+				}
+			}
+		}
+	}
+}
+
+type attrHit struct {
+	acceptMask uint64
+	id         core.NodeID
+}
+
+// xframe is the per-open-element automaton state.
+type xframe struct {
+	id   core.NodeID
+	mask uint64 // achieved states (valid once resolved)
+	sure uint64 // achieved unconditionally (inheritance + predicate-free matches)
+	pend uint64 // achieved iff the owning step's predicates pass
+	// predSat collects satisfied [@attr='v'] bits seen in the attr block.
+	predSat  uint64
+	resolved bool
+	// ctrParent indexes the frame whose counters this frame's positional
+	// predicates use; ctrSelf the frame owning this frame's children's
+	// counters (self, or the enclosing element for transparent frames).
+	ctrParent int
+	ctrSelf   int
+	counters  [maxPosCounters]int32
+	attrBuf   []attrHit
+}
+
+type scanExec struct {
+	prog    *scanProgram
+	emit    func(core.NodeID) bool
+	frames  []xframe
+	inAttr  int
+	stopped bool
+}
+
+var execPool = sync.Pool{New: func() any { return new(scanExec) }}
+
+func newScanExec(prog *scanProgram, emit func(core.NodeID) bool) *scanExec {
+	e := execPool.Get().(*scanExec)
+	e.prog = prog
+	e.emit = emit
+	e.inAttr = 0
+	e.stopped = false
+	e.frames = e.frames[:0]
+	// Frame 0 is the virtual root: resolved, holding every branch's start
+	// state. For anchored scans the anchor's begin token is processed as the
+	// root's first child — the same shape BuildDoc gives a subtree.
+	e.push(xframe{mask: prog.tab.initMask, sure: prog.tab.initMask, resolved: true})
+	return e
+}
+
+func (e *scanExec) release() {
+	e.prog = nil
+	e.emit = nil
+	execPool.Put(e)
+}
+
+func (e *scanExec) push(f xframe) {
+	if n := len(e.frames); n < cap(e.frames) {
+		// Reuse the slot's attrBuf capacity.
+		e.frames = e.frames[:n+1]
+		buf := e.frames[n].attrBuf[:0]
+		f.attrBuf = buf
+		e.frames[n] = f
+	} else {
+		e.frames = append(e.frames, f)
+	}
+}
+
+func (e *scanExec) onToken(id core.NodeID, raw []byte) bool {
+	k := token.Kind(raw[0])
+	if e.inAttr > 0 {
+		// Attribute values are carried on the begin token; anything nested
+		// inside the attribute region is skipped.
+		switch {
+		case k.IsBegin():
+			e.inAttr++
+		case k.IsEnd():
+			e.inAttr--
+		}
+		return true
+	}
+	switch k {
+	case token.BeginAttribute:
+		e.onAttribute(id, raw)
+		e.inAttr++
+	case token.BeginElement:
+		e.resolveTop()
+		if e.stopped {
+			return false
+		}
+		_, name, _, _, err := token.View(raw)
+		if err != nil {
+			return true
+		}
+		e.pushElement(id, name)
+	case token.EndElement:
+		e.resolveTop()
+		e.frames = e.frames[:len(e.frames)-1]
+	case token.BeginDocument:
+		// Document nodes are transparent: children count and match as if
+		// attached to the enclosing frame (matching the Doc view).
+		e.resolveTop()
+		if e.stopped {
+			return false
+		}
+		parent := &e.frames[len(e.frames)-1]
+		e.push(xframe{id: id, mask: parent.mask, sure: parent.mask, resolved: true,
+			ctrParent: parent.ctrParent, ctrSelf: parent.ctrSelf})
+	case token.EndDocument:
+		e.frames = e.frames[:len(e.frames)-1]
+	default:
+		// Text, Comment, PI: leaf content — ends the parent's attribute
+		// block but never matches an element step.
+		e.resolveTop()
+	}
+	return !e.stopped
+}
+
+func (e *scanExec) pushElement(id core.NodeID, name []byte) {
+	tab := &e.prog.tab
+	pi := len(e.frames) - 1
+	parent := &e.frames[pi]
+	sure := parent.mask & tab.propMask
+	var pend uint64
+	for m := parent.mask &^ tab.acceptAllMask; m != 0; m &= m - 1 {
+		s := bits.TrailingZeros64(m)
+		ref := tab.stepOf[s]
+		st := &e.prog.branches[ref.br].steps[ref.j]
+		if st.name != "" && string(name) != st.name {
+			continue
+		}
+		t := uint64(1) << (s + 1)
+		if len(st.preds) == 0 {
+			sure |= t
+		} else {
+			pend |= t
+		}
+	}
+	ctrParent := parent.ctrSelf
+	e.push(xframe{id: id, sure: sure, pend: pend, ctrParent: ctrParent, ctrSelf: len(e.frames)})
+}
+
+func (e *scanExec) onAttribute(id core.NodeID, raw []byte) {
+	tab := &e.prog.tab
+	f := &e.frames[len(e.frames)-1]
+	if f.pend == 0 && len(tab.attrCaptures) == 0 {
+		return
+	}
+	_, name, val, _, err := token.View(raw)
+	if err != nil {
+		return
+	}
+	if f.pend != 0 {
+		for i := range tab.attrPreds {
+			ap := &tab.attrPreds[i]
+			if string(name) == ap.name && string(val) == ap.val {
+				f.predSat |= 1 << ap.bit
+			}
+		}
+	}
+	tent := f.sure | f.pend
+	for i := range tab.attrCaptures {
+		ac := &tab.attrCaptures[i]
+		if tent&ac.acceptMask != 0 && string(name) == ac.name {
+			f.attrBuf = append(f.attrBuf, attrHit{acceptMask: ac.acceptMask, id: id})
+		}
+	}
+}
+
+// resolveTop finalizes the top frame's predicate-gated states and performs
+// its emissions. Idempotent; called before any child content is processed.
+func (e *scanExec) resolveTop() {
+	fi := len(e.frames) - 1
+	f := &e.frames[fi]
+	if f.resolved {
+		return
+	}
+	final := f.sure
+	for m := f.pend; m != 0; m &= m - 1 {
+		t := bits.TrailingZeros64(m)
+		ref := e.prog.tab.stepOf[t-1]
+		st := &e.prog.branches[ref.br].steps[ref.j]
+		pass := true
+		for pi := range st.preds {
+			p := &st.preds[pi]
+			if p.attrName != "" {
+				if f.predSat&(1<<p.satBit) == 0 {
+					pass = false
+					break
+				}
+			} else {
+				// Positional predicates count per parent, in document order:
+				// siblings resolve strictly before any later sibling begins.
+				ctr := &e.frames[f.ctrParent].counters[p.ctr]
+				*ctr++
+				if int(*ctr) != p.pos {
+					pass = false
+					break
+				}
+			}
+		}
+		if pass {
+			final |= 1 << t
+		}
+	}
+	f.mask = final
+	f.sure = final
+	f.pend = 0
+	f.resolved = true
+	if final&e.prog.tab.acceptElem != 0 {
+		if !e.emit(f.id) {
+			e.stopped = true
+			return
+		}
+	}
+	if len(f.attrBuf) > 0 {
+		var last core.NodeID
+		for _, h := range f.attrBuf {
+			if final&h.acceptMask != 0 && h.id != last {
+				last = h.id
+				if !e.emit(h.id) {
+					e.stopped = true
+					return
+				}
+			}
+		}
+		f.attrBuf = f.attrBuf[:0]
+	}
+}
+
+// runProgram executes prog against the store, emitting matching node ids in
+// document order. anchor == InvalidNode scans the whole store; otherwise the
+// scan covers only the anchor's subtree (the anchor acting as the context
+// node, exactly like evaluating against BuildDoc(ReadNode(anchor))). emit
+// returning false stops the scan early.
+func runProgram(ctx context.Context, s *core.Store, prog *scanProgram, anchor core.NodeID, emit func(core.NodeID) bool) error {
+	e := newScanExec(prog, emit)
+	defer e.release()
+	if anchor == core.InvalidNode {
+		return s.ScanRawCtx(ctx, e.onToken)
+	}
+	return s.ScanNodeRawCtx(ctx, anchor, e.onToken)
+}

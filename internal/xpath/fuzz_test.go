@@ -1,0 +1,84 @@
+package xpath
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmltok"
+)
+
+// FuzzXPathParser feeds arbitrary strings to the XPath compiler: Parse must
+// never panic, and every accepted expression must plan (pushdown or
+// fallback) and evaluate without panicking. For expressions that yield a
+// node-set, the store-level executor — which routes through the planner and
+// may run as a pushdown scan — must agree with the navigational evaluator
+// node for node, so fuzzing doubles as a differential test between the two
+// execution paths.
+func FuzzXPathParser(f *testing.F) {
+	seeds := []string{
+		`/catalog/book`,
+		`//book`,
+		`//book[@id='bk102']/title`,
+		`//book[1]`,
+		`//line[@no='2'][1]/item`,
+		`//a | //b`,
+		`//@id`,
+		`//book//author`,
+		`count(//book)`,
+		`string(//book[1]/title)`,
+		`//book[price > 10.5]/title`,
+		`//book[position()=2]`,
+		`//book[last()]`,
+		`//*[ancestor::catalog]`,
+		`//a[b='x' and @c]`,
+		`1 + 2 * 3`,
+		`concat('a', "b")`,
+		`//book[`, `//[1]`, `]]`, `@`, `//`, ``, `$x/y`,
+		`//book[@id="bk101" or @id='bk102']`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Close()
+	toks, err := xmltok.ParseString(
+		`<catalog><book id="bk101"><title>A</title><price>9</price></book>`+
+			`<book id="bk102"><title>B</title><price>19</price></book></catalog>`,
+		xmltok.ParseOptions{StripWhitespace: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Append(toks); err != nil {
+		f.Fatal(err)
+	}
+	d, err := FromStore(s)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine
+		}
+		PlanQuery(c) // planning must not panic either way it classifies
+		v, err := c.EvalWithCtx(ctx, d, d.RootNode, nil)
+		if err != nil || v.kind != vNodeSet {
+			return // evaluation errors and scalar results need no cross-check
+		}
+		want := nodeIDs(v.nodes)
+		got, err := QueryIDsCtx(ctx, s, src)
+		if err != nil {
+			t.Fatalf("doc eval accepted %q but store executor rejected it: %v", src, err)
+		}
+		if !idsEqual(got, want) {
+			t.Fatalf("executors disagree on %q: store %v, doc %v", src, got, want)
+		}
+	})
+}

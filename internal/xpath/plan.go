@@ -1,0 +1,283 @@
+package xpath
+
+// The query planner. A compiled expression is analyzed once and the result —
+// a Plan — is what the store-level query API caches and executes. Planning
+// classifies the expression into one of three execution strategies, from
+// cheapest to most general:
+//
+//  1. Pushdown: the whole expression (a location path, a union of location
+//     paths, or count() of one) compiles to a scanProgram — a small NFA the
+//     executor runs directly over the store's raw token stream. No
+//     navigational view is built, no intermediate node set is materialized,
+//     and a union of N branches is fused into ONE scan. Eligible steps are
+//     the child and `//` axes with element name tests, predicates of the
+//     forms [@attr='literal'] and [N], and a final attribute step.
+//  2. Parallel fallback: a union whose branches are all location paths but
+//     are not pushdown-eligible is evaluated branch-per-goroutine over one
+//     shared immutable Doc, with bounded fan-out.
+//  3. Serial fallback: everything else runs on the streaming Doc evaluator.
+type Plan struct {
+	c    *Compiled
+	prog *scanProgram // non-nil: strategy 1
+	// count is set when the expression is count(path): the program counts
+	// matches instead of collecting ids, and the result is a number.
+	count bool
+	// unionPaths holds the branch paths of a top-level union for strategy 2
+	// (nil when the expression is not a pure union of paths).
+	unionPaths []*pathExpr
+	// cost is the cache charge estimate in bytes.
+	cost int64
+}
+
+// Compiled returns the underlying compiled expression.
+func (p *Plan) Compiled() *Compiled { return p.c }
+
+// Pushdown reports whether the plan executes as a raw-token scan program.
+func (p *Plan) Pushdown() bool { return p.prog != nil }
+
+// Predicates returns the number of predicates the pushed-down program
+// evaluates inside the scan (0 for fallback plans) — the observability hook
+// behind the PushdownPredicates counter.
+func (p *Plan) Predicates() int {
+	if p.prog == nil {
+		return 0
+	}
+	return p.prog.npreds
+}
+
+// scanProgram is the compiled form of a pushdown-eligible expression: a set
+// of branches sharing one token scan. Branch b's element steps are assigned
+// the contiguous NFA state bits [base, base+len(steps)]; bit base+j set on an
+// element's frame means "the first j steps match on the path from the scan
+// root to this element", so the element's children are candidates for step j.
+// State base+len(steps) is the accepting state.
+type scanProgram struct {
+	branches  []scanBranch
+	nBits     int // total allocated state bits (≤ 64)
+	nCounters int // total positional-predicate counters (≤ maxPosCounters)
+	nSatBits  int // total attribute-predicate satisfaction bits (≤ 64)
+	npreds    int // total predicates, for stats
+	tab       progTables
+}
+
+type scanBranch struct {
+	steps []scanStep
+	base  int // first state bit
+	// attr, when non-empty, is a final attribute step: the program emits the
+	// ids of attributes with this name on elements in the accepting state.
+	// attrDesc marks `//@attr`: the accepting state propagates to all
+	// descendants, capturing the attribute anywhere below a match.
+	attr     string
+	attrDesc bool
+}
+
+type scanStep struct {
+	desc  bool   // true: `//name` (match at any depth); false: child step
+	name  string // element name test; "" matches any element (`*`)
+	preds []scanPred
+}
+
+// scanPred is one predicate of a step, in source order. Exactly one of the
+// two forms is set: attrName/attrVal for [@attr='v'] (satBit indexes the
+// frame's satisfaction mask), pos for a positional [N] (ctr indexes the
+// parent frame's counter array).
+type scanPred struct {
+	attrName string
+	attrVal  string
+	satBit   int
+	pos      int
+	ctr      int
+}
+
+const (
+	maxStateBits   = 64
+	maxSatBits     = 64
+	maxPosCounters = 8
+)
+
+// PlanQuery analyzes a compiled expression. It never fails: ineligible
+// expressions simply get a fallback plan.
+func PlanQuery(c *Compiled) *Plan {
+	p := &Plan{c: c, cost: planCost(c)}
+	root := c.root
+
+	// count(path) pushes the count into the scan.
+	if f, ok := root.(*funcExpr); ok && f.name == "count" && len(f.args) == 1 {
+		if path, ok := f.args[0].(*pathExpr); ok {
+			if prog, ok := compileProgram([]*pathExpr{path}); ok {
+				p.prog = prog
+				p.count = true
+			}
+		}
+		return p
+	}
+
+	paths, isUnion := unionBranches(root)
+	if paths == nil {
+		return p
+	}
+	if prog, ok := compileProgram(paths); ok {
+		p.prog = prog
+		return p
+	}
+	if isUnion {
+		// Not pushdown-eligible, but a pure union of paths: the branches are
+		// independent sub-expressions and run in parallel over a shared Doc.
+		p.unionPaths = paths
+	}
+	return p
+}
+
+// unionBranches flattens a `|` tree whose leaves are all location paths.
+// Returns (nil, false) when any leaf is something else; isUnion reports
+// whether there was at least one `|`.
+func unionBranches(e expr) (paths []*pathExpr, isUnion bool) {
+	switch e := e.(type) {
+	case *binaryExpr:
+		if e.op != "|" {
+			return nil, false
+		}
+		l, _ := unionBranches(e.l)
+		if l == nil {
+			return nil, false
+		}
+		r, _ := unionBranches(e.r)
+		if r == nil {
+			return nil, false
+		}
+		return append(l, r...), true
+	case *pathExpr:
+		return []*pathExpr{e}, false
+	default:
+		return nil, false
+	}
+}
+
+// compileProgram translates location paths into one fused scan program, or
+// reports ineligibility.
+func compileProgram(paths []*pathExpr) (*scanProgram, bool) {
+	prog := &scanProgram{}
+	for _, path := range paths {
+		br, ok := compileBranch(path, prog)
+		if !ok {
+			return nil, false
+		}
+		br.base = prog.nBits
+		prog.nBits += len(br.steps) + 1
+		if prog.nBits > maxStateBits {
+			return nil, false
+		}
+		prog.branches = append(prog.branches, br)
+	}
+	prog.finish()
+	return prog, true
+}
+
+func compileBranch(path *pathExpr, prog *scanProgram) (scanBranch, bool) {
+	var br scanBranch
+	if path.base != nil {
+		return br, false // $var/... paths need the variable environment
+	}
+	// Note: relative and absolute paths are equivalent here because the
+	// store-level executor always anchors at the (virtual) root.
+	pendingDesc := false
+	for i, st := range path.steps {
+		switch {
+		case st.axis == axDescendantOrSelf && st.test.any && len(st.preds) == 0:
+			// The expansion of `//`: fold into the next step's desc flag.
+			pendingDesc = true
+			continue
+		case st.axis == axChild && st.test.kind == Element && !st.test.any:
+			name := st.test.name
+			if name == "*" {
+				name = ""
+			}
+			ss := scanStep{desc: pendingDesc, name: name}
+			pendingDesc = false
+			for _, pe := range st.preds {
+				sp, ok := compilePred(pe, prog)
+				if !ok {
+					return br, false
+				}
+				ss.preds = append(ss.preds, sp)
+			}
+			br.steps = append(br.steps, ss)
+		case st.axis == axAttribute && st.test.kind == Attribute && !st.test.any &&
+			st.test.name != "" && st.test.name != "*" && len(st.preds) == 0 &&
+			i == len(path.steps)-1:
+			br.attr = st.test.name
+			br.attrDesc = pendingDesc
+			pendingDesc = false
+		default:
+			return br, false
+		}
+	}
+	if pendingDesc {
+		// A trailing bare `//` (can't happen syntactically, but be safe).
+		return br, false
+	}
+	if len(br.steps) == 0 && br.attr == "" {
+		return br, false // bare `/` selects the root; leave it to the fallback
+	}
+	return br, true
+}
+
+func compilePred(pe expr, prog *scanProgram) (scanPred, bool) {
+	switch pe := pe.(type) {
+	case *numberExpr:
+		n := int(pe.v)
+		if float64(n) != pe.v || n < 1 {
+			return scanPred{}, false
+		}
+		if prog.nCounters >= maxPosCounters {
+			return scanPred{}, false
+		}
+		sp := scanPred{pos: n, ctr: prog.nCounters}
+		prog.nCounters++
+		prog.npreds++
+		return sp, true
+	case *binaryExpr:
+		if pe.op != "=" {
+			return scanPred{}, false
+		}
+		name, ok := attrStepName(pe.l)
+		lit, lok := pe.r.(*literalExpr)
+		if !ok || !lok {
+			// Also accept the reversed form 'v'=@a.
+			name, ok = attrStepName(pe.r)
+			lit, lok = pe.l.(*literalExpr)
+			if !ok || !lok {
+				return scanPred{}, false
+			}
+		}
+		if prog.nSatBits >= maxSatBits {
+			return scanPred{}, false
+		}
+		sp := scanPred{attrName: name, attrVal: lit.s, satBit: prog.nSatBits}
+		prog.nSatBits++
+		prog.npreds++
+		return sp, true
+	}
+	return scanPred{}, false
+}
+
+// attrStepName matches a relative single-step attribute path (@name) and
+// returns the attribute name.
+func attrStepName(e expr) (string, bool) {
+	p, ok := e.(*pathExpr)
+	if !ok || p.absolute || p.base != nil || len(p.steps) != 1 {
+		return "", false
+	}
+	st := p.steps[0]
+	if st.axis != axAttribute || st.test.any || st.test.kind != Attribute ||
+		st.test.name == "" || st.test.name == "*" || len(st.preds) != 0 {
+		return "", false
+	}
+	return st.test.name, true
+}
+
+// planCost estimates the bytes a cached plan holds live: the source string,
+// the AST (roughly proportional to it), and the program tables.
+func planCost(c *Compiled) int64 {
+	return int64(len(c.src))*48 + 384
+}

@@ -1,0 +1,378 @@
+package xpath
+
+// Differential tests: the streaming evaluator and the pushdown scan program
+// are pinned, id for id and in document order, against an oracle that
+// replicates the old materializing evaluator (dedup map + sort at every
+// step). Any divergence in step algebra, predicate positions, dedup or
+// ordering shows up here.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmltok"
+)
+
+// ---- oracle: the pre-streaming materializing pipeline ----
+
+func oracleStep(st step, input []*Node, d *Doc) ([]*Node, error) {
+	var out []*Node
+	seen := map[*Node]bool{}
+	for _, n := range input {
+		cands := axisNodes(st.axis, n)
+		cands = filterTest(cands, st.test)
+		for _, pred := range st.preds {
+			var kept []*Node
+			for i, c := range cands {
+				v, err := evalExpr(pred, evalCtx{doc: d, node: c, pos: i + 1, size: len(cands)})
+				if err != nil {
+					return nil, err
+				}
+				if v.kind == vNumber {
+					if int(v.n) == i+1 {
+						kept = append(kept, c)
+					}
+				} else if v.toBool() {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		for _, c := range cands {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out, nil
+}
+
+func oraclePath(e *pathExpr, d *Doc) ([]*Node, error) {
+	if e.base != nil {
+		return nil, fmt.Errorf("oracle: variable base unsupported")
+	}
+	cur := []*Node{d.RootNode}
+	for _, st := range e.steps {
+		next, err := oracleStep(st, cur, d)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func oracleNodes(e expr, d *Doc) ([]*Node, error) {
+	switch e := e.(type) {
+	case *pathExpr:
+		return oraclePath(e, d)
+	case *binaryExpr:
+		if e.op != "|" {
+			return nil, fmt.Errorf("oracle: unsupported operator %q", e.op)
+		}
+		l, err := oracleNodes(e.l, d)
+		if err != nil {
+			return nil, err
+		}
+		r, err := oracleNodes(e.r, d)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[*Node]bool{}
+		var merged []*Node
+		for _, n := range append(append([]*Node{}, l...), r...) {
+			if !seen[n] {
+				seen[n] = true
+				merged = append(merged, n)
+			}
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].order < merged[j].order })
+		return merged, nil
+	default:
+		return nil, fmt.Errorf("oracle: unsupported expression %T", e)
+	}
+}
+
+func oracleIDs(t *testing.T, d *Doc, src string) []core.NodeID {
+	t.Helper()
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", src, err)
+	}
+	ns, err := oracleNodes(c.root, d)
+	if err != nil {
+		t.Fatalf("oracle %s: %v", src, err)
+	}
+	return nodeIDs(ns)
+}
+
+func nodeIDs(ns []*Node) []core.NodeID {
+	out := make([]core.NodeID, 0, len(ns))
+	for _, n := range ns {
+		if n.Kind != Root {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+func idsEqual(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- corpus ----
+
+const nestedXML = `<r>
+  <a id="1" k="v"><a id="2"><b n="x"/></a><b n="y"/><c/></a>
+  <a id="3"><b n="z"/><b n="z2"/></a>
+  <b n="top"/>
+  <mixed>text<b n="m"/>tail</mixed>
+  <!--note--><?pi data?>
+</r>`
+
+var diffExprs = []string{
+	// pushdown-eligible shapes
+	"/r", "/r/a", "//a", "//b", "//a/b", "//a//b", "/r/a/a/b", "//a/@id",
+	"//@id", "//@n", "/r/*", "//*", "//a[@id='1']", "//a[@id='1']/b",
+	"//a[@id='2']//b", "//a[1]", "//a[2]", "//a[1]/a[1]", "//b[1]", "//b[2]",
+	"//a[@id='1'][1]", "//a[1][@id='1']", "//a[1][@id='3']", "//a[@k='v']/b/@n",
+	"/r/a[2]/b", "//a/b | //a/c", "//b | //a", "//a/@id | //b/@n",
+	"//missing", "//a[@id='9']", "/r/mixed/b", "/r/a/c | /r/b",
+	// fallback shapes over the same documents
+	"//b/..", "//b/parent::a", "//a/descendant::b", "//b/self::b",
+	"//a[last()]", "//a[position()=2]", "//b[@n]", "//mixed/text()",
+	"//a[b]", "//a[count(b)=2]", "//*/ancestor-or-self::*",
+	"//b/preceding-sibling::*", "//a[1]/following-sibling::b",
+}
+
+func diffStore(t *testing.T, xml string) (*core.Store, *Doc) {
+	t.Helper()
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	toks, err := xmltok.ParseString(xml, xmltok.ParseOptions{StripWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(toks); err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestDifferentialStreamingVsOracle(t *testing.T) {
+	for _, xml := range []string{catalogXML, nestedXML} {
+		_, d := diffStore(t, xml)
+		for _, src := range diffExprs {
+			want := oracleIDs(t, d, src)
+			c, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse %s: %v", src, err)
+			}
+			ns, err := c.Eval(d)
+			if err != nil {
+				t.Fatalf("eval %s: %v", src, err)
+			}
+			if got := nodeIDs(ns); !idsEqual(got, want) {
+				t.Errorf("streaming %s: got %v, want %v", src, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialStoreVsOracle(t *testing.T) {
+	for _, xml := range []string{catalogXML, nestedXML} {
+		s, d := diffStore(t, xml)
+		for _, src := range diffExprs {
+			want := oracleIDs(t, d, src)
+			got, err := QueryIDsCtx(context.Background(), s, src)
+			if err != nil {
+				t.Fatalf("store %s: %v", src, err)
+			}
+			if !idsEqual(got, want) {
+				t.Errorf("store %s: got %v, want %v", src, got, want)
+			}
+			// First/Exists agree with the head of the full result.
+			first, ok, err := QueryFirstCtx(context.Background(), s, src)
+			if err != nil {
+				t.Fatalf("first %s: %v", src, err)
+			}
+			if ok != (len(want) > 0) || (ok && first != want[0]) {
+				t.Errorf("first %s: got %v/%v, want head of %v", src, first, ok, want)
+			}
+			n, err := QueryCountCtx(context.Background(), s, src)
+			if err != nil || n != len(want) {
+				t.Errorf("count %s: got %d (%v), want %d", src, n, err, len(want))
+			}
+		}
+	}
+}
+
+func TestDifferentialAnchored(t *testing.T) {
+	s, d := diffStore(t, nestedXML)
+	// Anchor at each <a> element and run relative queries against the
+	// subtree, comparing with the oracle over BuildDoc(ReadNode(anchor)).
+	anchors, err := QueryIDsCtx(context.Background(), s, "//a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := []string{"a", "b", "a/b", "//b", "b[@n='y']", "@id", "//@n", "b[2]"}
+	for _, anchor := range anchors {
+		items, err := s.ReadNode(anchor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := BuildDoc(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range rel {
+			want := oracleIDs(t, sub, src)
+			got, err := QueryNodeIDsCtx(context.Background(), s, anchor, src)
+			if err != nil {
+				t.Fatalf("anchored %s@%d: %v", src, anchor, err)
+			}
+			if !idsEqual(got, want) {
+				t.Errorf("anchored %s@%d: got %v, want %v", src, anchor, got, want)
+			}
+		}
+	}
+	_ = d
+}
+
+func TestPlannerClassification(t *testing.T) {
+	pushdown := []string{
+		"/r/a", "//a", "//a/b", "//a/@id", "//@id", "//a[@id='1']",
+		"//a[1]", "//a/b | //a/c", "count(//a)", "//a[@k='v']/b/@n", "//*",
+	}
+	fallback := []string{
+		"//b/..", "//a[last()]", "//a[b]", "//a[price>1]", "//mixed/text()",
+		"//a/descendant::b", "count(//a[b])", "//a[1] | //b/..",
+	}
+	for _, src := range pushdown {
+		c, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !PlanQuery(c).Pushdown() {
+			t.Errorf("%s: expected pushdown plan", src)
+		}
+	}
+	for _, src := range fallback {
+		c, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if PlanQuery(c).Pushdown() {
+			t.Errorf("%s: expected fallback plan", src)
+		}
+	}
+	// A non-union fallback with parallel branches.
+	c, _ := Parse("//a[b] | //b/..")
+	p := PlanQuery(c)
+	if p.Pushdown() || len(p.unionPaths) != 2 {
+		t.Errorf("union fallback: pushdown=%v branches=%d", p.Pushdown(), len(p.unionPaths))
+	}
+}
+
+func TestPlanCacheCounters(t *testing.T) {
+	s, _ := diffStore(t, catalogXML)
+	const q = "//book/@id"
+	for i := 0; i < 10; i++ {
+		if _, err := QueryIDsCtx(context.Background(), s, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.PlanCacheHits < 9 {
+		t.Errorf("plan cache hits = %d, want >= 9", st.PlanCacheHits)
+	}
+	if st.PlanCacheEntries == 0 || st.PlanCacheBytes == 0 {
+		t.Errorf("plan cache empty: %+v", st)
+	}
+	if st.PushdownQueries < 10 {
+		t.Errorf("pushdown queries = %d", st.PushdownQueries)
+	}
+	if _, err := QueryIDsCtx(context.Background(), s, "//book/.."); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.FallbackQueries == 0 {
+		t.Error("fallback counter not bumped")
+	}
+}
+
+func TestPlanCacheEvictionUnderBudget(t *testing.T) {
+	// A tiny memory budget forces the plan cache to evict while queries keep
+	// answering correctly.
+	s, err := core.Open(core.Config{Mode: core.RangePartial, MemoryBudget: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	toks, _ := xmltok.ParseString(catalogXML, xmltok.ParseOptions{StripWhitespace: true})
+	if _, err := s.Append(toks); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		q := fmt.Sprintf("//book[@id='b%d']", i)
+		if _, err := QueryIDsCtx(context.Background(), s, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.PlanCacheEvictions == 0 {
+		t.Errorf("no plan-cache evictions under a %d-byte budget: %+v", 64<<10, st)
+	}
+	if st.PlanCacheBytes > 64<<10 {
+		t.Errorf("plan cache holds %d bytes, budget is %d", st.PlanCacheBytes, 64<<10)
+	}
+	// Cached plans still answer after eviction churn.
+	ids, err := QueryIDsCtx(context.Background(), s, "//book[@id='b2']")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("post-eviction query: %v %v", ids, err)
+	}
+}
+
+func TestQueryCancellation(t *testing.T) {
+	s, _ := diffStore(t, catalogXML)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := QueryIDsCtx(ctx, s, "//book"); err == nil {
+		t.Error("cancelled pushdown query must fail")
+	}
+	if _, err := QueryIDsCtx(ctx, s, "//book/.."); err == nil {
+		t.Error("cancelled fallback query must fail")
+	}
+}
+
+func TestQueryValuePushdownCount(t *testing.T) {
+	s, _ := diffStore(t, catalogXML)
+	v, err := QueryValueCtx(context.Background(), s, "count(//book)")
+	if err != nil || v != "3" {
+		t.Fatalf("count pushdown: %q %v", v, err)
+	}
+	v, err = QueryValueCtx(context.Background(), s, "string(//book[1]/title)")
+	if err != nil || !strings.Contains(v, "TCP/IP") {
+		t.Fatalf("value fallback: %q %v", v, err)
+	}
+}

@@ -1,0 +1,275 @@
+package xpath
+
+// Store-level query execution: the keyed plan cache, the pushdown dispatch,
+// and the bounded-fan-out parallel fallback. These entry points are what the
+// public API (axml), the server and XQuery route through.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CompileStore returns the store's cached plan for src, parsing and planning
+// on a miss. Plans are immutable and safe for concurrent execution; the
+// cache is keyed by the expression source (plans do not depend on variable
+// values) and charged to the store's shared memory budget.
+func CompileStore(s *core.Store, src string) (*Plan, error) {
+	key := "xp:" + src
+	pc := s.PlanCache()
+	if v, ok := pc.Get(key); ok {
+		return v.(*Plan), nil
+	}
+	c, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p := PlanQuery(c)
+	pc.Put(key, p, p.cost)
+	return p, nil
+}
+
+// docFor materializes the navigational view for fallback evaluation: the
+// whole store, or one anchored subtree.
+func docFor(ctx context.Context, s *core.Store, anchor core.NodeID) (*Doc, error) {
+	if anchor == core.InvalidNode {
+		return FromStoreCtx(ctx, s)
+	}
+	items, err := s.ReadNodeCtx(ctx, anchor)
+	if err != nil {
+		return nil, err
+	}
+	return BuildDoc(items)
+}
+
+// ids executes the plan and returns matching node ids in document order.
+func (p *Plan) ids(ctx context.Context, s *core.Store, anchor core.NodeID) ([]core.NodeID, error) {
+	if p.count {
+		return nil, fmt.Errorf("xpath: %q evaluates to a number, not a node set", p.c.src)
+	}
+	if p.prog != nil {
+		s.QueryCounters().NotePushdown(p.Predicates())
+		var out []core.NodeID
+		err := runProgram(ctx, s, p.prog, anchor, func(id core.NodeID) bool {
+			out = append(out, id)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	s.QueryCounters().NoteFallback()
+	d, err := docFor(ctx, s, anchor)
+	if err != nil {
+		return nil, err
+	}
+	var nodes []*Node
+	if len(p.unionPaths) >= 2 {
+		nodes, err = evalUnionParallel(ctx, d, p.unionPaths)
+	} else {
+		nodes, err = p.c.EvalCtx(ctx, d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]core.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Kind != Root {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids, nil
+}
+
+// first executes the plan and returns the first match in document order,
+// pulling lazily so both the pushdown scan and the streaming fallback stop
+// at the first hit.
+func (p *Plan) first(ctx context.Context, s *core.Store, anchor core.NodeID) (core.NodeID, bool, error) {
+	if p.count {
+		return core.InvalidNode, false, fmt.Errorf("xpath: %q evaluates to a number, not a node set", p.c.src)
+	}
+	if p.prog != nil {
+		s.QueryCounters().NotePushdown(p.Predicates())
+		var hit core.NodeID
+		found := false
+		err := runProgram(ctx, s, p.prog, anchor, func(id core.NodeID) bool {
+			hit, found = id, true
+			return false
+		})
+		if err != nil {
+			return core.InvalidNode, false, err
+		}
+		return hit, found, nil
+	}
+	s.QueryCounters().NoteFallback()
+	d, err := docFor(ctx, s, anchor)
+	if err != nil {
+		return core.InvalidNode, false, err
+	}
+	if pe, ok := p.c.root.(*pathExpr); ok {
+		it, err := pathIter(pe, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1, st: &evalState{ctx: ctx}})
+		if err != nil {
+			return core.InvalidNode, false, err
+		}
+		for {
+			n, err := it.next()
+			if err != nil {
+				return core.InvalidNode, false, err
+			}
+			if n == nil {
+				return core.InvalidNode, false, nil
+			}
+			if n.Kind != Root {
+				return n.ID, true, nil
+			}
+		}
+	}
+	nodes, err := p.c.EvalCtx(ctx, d)
+	if err != nil {
+		return core.InvalidNode, false, err
+	}
+	for _, n := range nodes {
+		if n.Kind != Root {
+			return n.ID, true, nil
+		}
+	}
+	return core.InvalidNode, false, nil
+}
+
+// unionFanOut bounds the number of union branches evaluated concurrently in
+// the parallel fallback.
+const unionFanOut = 4
+
+// evalUnionParallel evaluates independent union branches concurrently over
+// one shared immutable Doc and merges the results with the union operator's
+// dedup + document-order semantics.
+func evalUnionParallel(ctx context.Context, d *Doc, paths []*pathExpr) ([]*Node, error) {
+	results := make([][]*Node, len(paths))
+	errs := make([]error, len(paths))
+	sem := make(chan struct{}, unionFanOut)
+	var wg sync.WaitGroup
+	for i, pe := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pe *pathExpr) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = evalPath(pe, evalCtx{doc: d, node: d.RootNode, pos: 1, size: 1, st: &evalState{ctx: ctx}})
+		}(i, pe)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	seen := map[*Node]bool{}
+	var merged []*Node
+	for _, ns := range results {
+		for _, n := range ns {
+			if !seen[n] {
+				seen[n] = true
+				merged = append(merged, n)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].order < merged[j].order })
+	return merged, nil
+}
+
+// QueryFirstCtx returns the first node matching src in document order,
+// short-circuiting the scan at the first hit.
+func QueryFirstCtx(ctx context.Context, s *core.Store, src string) (core.NodeID, bool, error) {
+	p, err := CompileStore(s, src)
+	if err != nil {
+		return core.InvalidNode, false, err
+	}
+	return p.first(ctx, s, core.InvalidNode)
+}
+
+// QueryExistsCtx reports whether any node matches src, stopping the scan at
+// the first match.
+func QueryExistsCtx(ctx context.Context, s *core.Store, src string) (bool, error) {
+	_, ok, err := QueryFirstCtx(ctx, s, src)
+	return ok, err
+}
+
+// QueryCountCtx returns the number of nodes matching src. Accepts either a
+// node-set expression or count(path) directly; the pushdown path counts
+// inside the scan without collecting ids.
+func QueryCountCtx(ctx context.Context, s *core.Store, src string) (int, error) {
+	p, err := CompileStore(s, src)
+	if err != nil {
+		return 0, err
+	}
+	if p.prog != nil {
+		s.QueryCounters().NotePushdown(p.Predicates())
+		n := 0
+		err := runProgram(ctx, s, p.prog, core.InvalidNode, func(core.NodeID) bool {
+			n++
+			return true
+		})
+		return n, err
+	}
+	if p.count {
+		s.QueryCounters().NoteFallback()
+		d, err := FromStoreCtx(ctx, s)
+		if err != nil {
+			return 0, err
+		}
+		v, err := p.c.EvalValueCtx(ctx, d)
+		if err != nil {
+			return 0, err
+		}
+		return strconv.Atoi(v)
+	}
+	ids, err := p.ids(ctx, s, core.InvalidNode)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// QueryValueCtx evaluates src and returns the XPath string-value of the
+// result. count(path) of a pushdown-eligible path is computed inside the
+// scan; everything else goes through the fallback evaluator.
+func QueryValueCtx(ctx context.Context, s *core.Store, src string) (string, error) {
+	p, err := CompileStore(s, src)
+	if err != nil {
+		return "", err
+	}
+	if p.prog != nil && p.count {
+		s.QueryCounters().NotePushdown(p.Predicates())
+		n := 0
+		err := runProgram(ctx, s, p.prog, core.InvalidNode, func(core.NodeID) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			return "", err
+		}
+		return strconv.Itoa(n), nil
+	}
+	s.QueryCounters().NoteFallback()
+	d, err := FromStoreCtx(ctx, s)
+	if err != nil {
+		return "", err
+	}
+	return p.c.EvalValueCtx(ctx, d)
+}
+
+// QueryNodeIDsCtx evaluates src against the subtree rooted at anchor (the
+// anchor acting as the context node, as if the subtree were its own
+// document) and returns matching ids in document order.
+func QueryNodeIDsCtx(ctx context.Context, s *core.Store, anchor core.NodeID, src string) ([]core.NodeID, error) {
+	p, err := CompileStore(s, src)
+	if err != nil {
+		return nil, err
+	}
+	return p.ids(ctx, s, anchor)
+}

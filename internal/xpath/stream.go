@@ -1,0 +1,263 @@
+package xpath
+
+// Streaming path evaluation over the Doc view. A location path becomes a
+// chain of pull-based iterators — one per step — so nodes flow through the
+// chain one at a time and no intermediate node set is materialized unless
+// the step algebra forces it. The old evaluator's per-step dedup map + sort
+// is provably unnecessary when every step preserves two static properties:
+//
+//   sorted:   the sequence is in document order
+//   disjoint: no node in the sequence is an ancestor of another
+//
+// From a sorted+disjoint input, child/attribute/self/descendant steps emit
+// sorted output with no duplicates (descendant loses disjointness; attribute
+// restores it, since attributes have no element descendants). Steps where
+// the properties do not hold — reverse axes, parent/ancestor, or any step
+// fed by a non-disjoint sequence — fall back to the materializing evalStep,
+// which dedups and sorts exactly as the old evaluator did. The result is
+// bit-for-bit the old semantics with materialization only at the provable
+// boundaries.
+//
+// Adjacent `//`-expansion pairs (descendant-or-self::node() then child::T)
+// are fused into a single descendant::T step when T's predicates are
+// position-free, eliminating the full node-set enumeration the expansion
+// otherwise implies. Positional predicates inhibit the fusion because their
+// counting context is the immediate parent.
+
+import "fmt"
+
+type seqProps struct {
+	sorted   bool
+	disjoint bool
+}
+
+// nodeIter is a pull-based node sequence; next returns nil when exhausted.
+type nodeIter interface {
+	next() (*Node, error)
+}
+
+type sliceIter struct {
+	ns []*Node
+	i  int
+}
+
+func (it *sliceIter) next() (*Node, error) {
+	if it.i >= len(it.ns) {
+		return nil, nil
+	}
+	n := it.ns[it.i]
+	it.i++
+	return n, nil
+}
+
+// stepIter lazily applies one step to its input: per input node it computes
+// the candidate list (axis + node test + predicates, with the same
+// positional semantics as the materializing evaluator) and hands the
+// survivors out one at a time.
+type stepIter struct {
+	st    step
+	input nodeIter
+	ec    evalCtx
+	buf   []*Node
+	bi    int
+}
+
+func (it *stepIter) next() (*Node, error) {
+	for {
+		if it.bi < len(it.buf) {
+			n := it.buf[it.bi]
+			it.bi++
+			return n, nil
+		}
+		in, err := it.input.next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		if err := it.ec.st.tick(); err != nil {
+			return nil, err
+		}
+		cands, err := stepCandidates(it.st, in, it.ec)
+		if err != nil {
+			return nil, err
+		}
+		it.buf = cands
+		it.bi = 0
+	}
+}
+
+// stepCandidates computes one input node's survivors of a step — the shared
+// inner loop of both the streaming and the materializing evaluation.
+func stepCandidates(st step, n *Node, ctx evalCtx) ([]*Node, error) {
+	cands := axisNodes(st.axis, n)
+	cands = filterTest(cands, st.test)
+	for _, pred := range st.preds {
+		var kept []*Node
+		for i, c := range cands {
+			if err := ctx.st.tick(); err != nil {
+				return nil, err
+			}
+			v, err := evalExpr(pred, evalCtx{doc: ctx.doc, node: c, pos: i + 1, size: len(cands), vars: ctx.vars, st: ctx.st})
+			if err != nil {
+				return nil, err
+			}
+			// A bare number predicate means position()=N.
+			if v.kind == vNumber {
+				if int(v.n) == i+1 {
+					kept = append(kept, c)
+					break // positions are unique; no later candidate matches
+				}
+			} else if v.toBool() {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	return cands, nil
+}
+
+// canStream reports whether applying st to an input with the given
+// properties emits sorted, duplicate-free output without a sort barrier.
+func canStream(st step, p seqProps) bool {
+	switch st.axis {
+	case axSelf:
+		return true
+	case axAttribute:
+		return p.sorted
+	case axChild:
+		return p.sorted && p.disjoint
+	case axDescendant, axDescendantOrSelf:
+		return p.sorted && p.disjoint
+	}
+	return false
+}
+
+func outProps(st step, p seqProps) seqProps {
+	switch st.axis {
+	case axSelf:
+		return p
+	case axAttribute:
+		return seqProps{sorted: true, disjoint: true}
+	case axChild:
+		return seqProps{sorted: true, disjoint: true}
+	default: // descendant axes
+		return seqProps{sorted: true, disjoint: false}
+	}
+}
+
+// mergeSteps fuses `//` expansion pairs into descendant steps where the
+// following step is an eligible child step with position-free predicates.
+func mergeSteps(steps []step) []step {
+	out := make([]step, 0, len(steps))
+	for i := 0; i < len(steps); i++ {
+		st := steps[i]
+		if st.axis == axDescendantOrSelf && st.test.any && len(st.preds) == 0 && i+1 < len(steps) {
+			nx := steps[i+1]
+			if nx.axis == axChild && predsPositionFree(nx.preds) {
+				nx.axis = axDescendant
+				out = append(out, nx)
+				i++
+				continue
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func predsPositionFree(preds []expr) bool {
+	for _, p := range preds {
+		if _, bare := p.(*numberExpr); bare {
+			return false
+		}
+		if usesPosition(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// usesPosition reports whether e references position()/last() in the
+// current predicate's context (nested paths' own predicates establish a new
+// context and are excluded).
+func usesPosition(e expr) bool {
+	switch e := e.(type) {
+	case *funcExpr:
+		if e.name == "position" || e.name == "last" {
+			return true
+		}
+		for _, a := range e.args {
+			if usesPosition(a) {
+				return true
+			}
+		}
+	case *binaryExpr:
+		return usesPosition(e.l) || usesPosition(e.r)
+	case *negExpr:
+		return usesPosition(e.e)
+	case *pathExpr:
+		return e.base != nil && usesPosition(e.base)
+	}
+	return false
+}
+
+// pathIter builds the iterator chain for a path expression.
+func pathIter(e *pathExpr, ctx evalCtx) (nodeIter, error) {
+	var input nodeIter
+	props := seqProps{sorted: true, disjoint: true}
+	switch {
+	case e.base != nil:
+		v, err := evalExpr(e.base, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNodeSet() {
+			return nil, fmt.Errorf("xpath: path step applied to a non-node value")
+		}
+		input = &sliceIter{ns: v.nodes}
+		if len(v.nodes) > 1 {
+			// Bound node sets are sorted (all producers sort) but may nest.
+			props = seqProps{sorted: true, disjoint: false}
+		}
+	case e.absolute:
+		input = &sliceIter{ns: []*Node{ctx.doc.RootNode}}
+	default:
+		input = &sliceIter{ns: []*Node{ctx.node}}
+	}
+	for _, st := range mergeSteps(e.steps) {
+		if canStream(st, props) {
+			input = &stepIter{st: st, input: input, ec: ctx}
+			props = outProps(st, props)
+		} else {
+			ns, err := drain(input)
+			if err != nil {
+				return nil, err
+			}
+			out, err := evalStep(st, ns, ctx)
+			if err != nil {
+				return nil, err
+			}
+			input = &sliceIter{ns: out}
+			// evalStep output is sorted and deduped; disjointness survives
+			// only for attributes (no element descendants).
+			props = seqProps{sorted: true, disjoint: st.axis == axAttribute}
+		}
+	}
+	return input, nil
+}
+
+func drain(it nodeIter) ([]*Node, error) {
+	if s, ok := it.(*sliceIter); ok && s.i == 0 {
+		return s.ns, nil
+	}
+	var out []*Node
+	for {
+		n, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if n == nil {
+			return out, nil
+		}
+		out = append(out, n)
+	}
+}

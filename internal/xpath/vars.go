@@ -1,6 +1,9 @@
 package xpath
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Variable support. XPath expressions may reference $variables; bindings
 // are supplied at evaluation time. This is the hook the XQuery FLWOR layer
@@ -52,6 +55,50 @@ func (c *Compiled) EvalWith(d *Doc, vars Vars) (Value, error) {
 // (relative paths start there).
 func (c *Compiled) EvalWithContext(d *Doc, ctx *Node, vars Vars) (Value, error) {
 	return evalExpr(c.root, evalCtx{doc: d, node: ctx, pos: 1, size: 1, vars: vars})
+}
+
+// EvalWithCtx is EvalWithContext under an operation context: evaluation
+// loops poll ctx so deadlines and cancellation cut long evaluations short.
+func (c *Compiled) EvalWithCtx(octx context.Context, d *Doc, ctx *Node, vars Vars) (Value, error) {
+	return evalExpr(c.root, evalCtx{doc: d, node: ctx, pos: 1, size: 1, vars: vars, st: &evalState{ctx: octx}})
+}
+
+// FreeVars returns the names of the $variables the expression references,
+// in first-occurrence order. The XQuery layer uses this to detect FLWOR
+// clauses whose domains are tuple-independent and can be hoisted out of the
+// tuple loop (and evaluated in parallel).
+func (c *Compiled) FreeVars() []string {
+	var out []string
+	collectVars(c.root, map[string]bool{}, &out)
+	return out
+}
+
+func collectVars(e expr, seen map[string]bool, out *[]string) {
+	switch e := e.(type) {
+	case *varExpr:
+		if !seen[e.name] {
+			seen[e.name] = true
+			*out = append(*out, e.name)
+		}
+	case *binaryExpr:
+		collectVars(e.l, seen, out)
+		collectVars(e.r, seen, out)
+	case *negExpr:
+		collectVars(e.e, seen, out)
+	case *funcExpr:
+		for _, a := range e.args {
+			collectVars(a, seen, out)
+		}
+	case *pathExpr:
+		if e.base != nil {
+			collectVars(e.base, seen, out)
+		}
+		for _, st := range e.steps {
+			for _, p := range st.preds {
+				collectVars(p, seen, out)
+			}
+		}
+	}
 }
 
 func evalVar(e *varExpr, ctx evalCtx) (Value, error) {

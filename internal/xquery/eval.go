@@ -1,10 +1,12 @@
 package xquery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/token"
@@ -14,28 +16,81 @@ import (
 
 // Evaluation: FLWOR tuples, constructor materialization, node copying.
 
+// qenv is the evaluation environment: the operation context (polled between
+// FLWOR tuples so cancellation and deadlines cut long queries short) and the
+// shared navigational view.
+type qenv struct {
+	ctx context.Context
+	d   *xpath.Doc
+}
+
+func (q qenv) check() error {
+	if q.ctx == nil {
+		return nil
+	}
+	return q.ctx.Err()
+}
+
+func (q qenv) evalXPath(c *xpath.Compiled, vars xpath.Vars) (xpath.Value, error) {
+	return c.EvalWithCtx(q.ctx, q.d, q.d.RootNode, vars)
+}
+
 // Eval runs the query against a navigational document view and returns the
 // result sequence as a token fragment.
 func (q *Query) Eval(d *xpath.Doc) ([]token.Token, error) {
-	return evalNode(q.root, d, xpath.Vars{})
+	return q.EvalCtx(context.Background(), d)
 }
 
-// EvalStore runs the query against a store.
-func EvalStore(s *core.Store, src string) ([]token.Token, error) {
+// EvalCtx is Eval under an operation context.
+func (q *Query) EvalCtx(ctx context.Context, d *xpath.Doc) ([]token.Token, error) {
+	return evalNode(q.root, qenv{ctx: ctx, d: d}, xpath.Vars{})
+}
+
+// CompileStore returns the store's cached parsed query for src, parsing on a
+// miss. Parsed queries are immutable and safe for concurrent evaluation; the
+// cache is shared with XPath plans (keys are namespaced) and charged to the
+// store's memory budget.
+func CompileStore(s *core.Store, src string) (*Query, error) {
+	key := "xq:" + src
+	pc := s.PlanCache()
+	if v, ok := pc.Get(key); ok {
+		return v.(*Query), nil
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	d, err := xpath.FromStore(s)
+	pc.Put(key, q, int64(len(src))*64+512)
+	return q, nil
+}
+
+// EvalStore runs the query against a store.
+func EvalStore(s *core.Store, src string) ([]token.Token, error) {
+	return EvalStoreCtx(context.Background(), s, src)
+}
+
+// EvalStoreCtx runs the query against a store under an operation context,
+// fetching the parsed form from the store's plan cache.
+func EvalStoreCtx(ctx context.Context, s *core.Store, src string) ([]token.Token, error) {
+	q, err := CompileStore(s, src)
 	if err != nil {
 		return nil, err
 	}
-	return q.Eval(d)
+	d, err := xpath.FromStoreCtx(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return q.EvalCtx(ctx, d)
 }
 
 // EvalString runs the query against a store and serializes the result.
 func EvalString(s *core.Store, src string) (string, error) {
-	toks, err := EvalStore(s, src)
+	return EvalStringCtx(context.Background(), s, src)
+}
+
+// EvalStringCtx is EvalString under an operation context.
+func EvalStringCtx(ctx context.Context, s *core.Store, src string) (string, error) {
+	toks, err := EvalStoreCtx(ctx, s, src)
 	if err != nil {
 		return "", err
 	}
@@ -71,14 +126,14 @@ func serializeSequence(toks []token.Token) (string, error) {
 	return sb.String(), nil
 }
 
-func evalNode(n node, d *xpath.Doc, vars xpath.Vars) ([]token.Token, error) {
+func evalNode(n node, q qenv, vars xpath.Vars) ([]token.Token, error) {
 	switch n := n.(type) {
 	case *flwor:
-		return evalFLWOR(n, d, vars)
+		return evalFLWOR(n, q, vars)
 	case *elem:
-		return evalConstructor(n, d, vars)
+		return evalConstructor(n, q, vars)
 	case *exprNode:
-		v, err := n.expr.EvalWith(d, vars)
+		v, err := q.evalXPath(n.expr, vars)
 		if err != nil {
 			return nil, err
 		}
@@ -86,29 +141,81 @@ func evalNode(n node, d *xpath.Doc, vars xpath.Vars) ([]token.Token, error) {
 	case *textNode:
 		return []token.Token{token.TextTok(n.text)}, nil
 	case *condNode:
-		v, err := n.cond.EvalWith(d, vars)
+		v, err := q.evalXPath(n.cond, vars)
 		if err != nil {
 			return nil, err
 		}
 		if v.Bool() {
-			return evalNode(n.thenBranch, d, vars)
+			return evalNode(n.thenBranch, q, vars)
 		}
-		return evalNode(n.elseBranch, d, vars)
+		return evalNode(n.elseBranch, q, vars)
 	default:
 		return nil, fmt.Errorf("xquery: unknown node %T", n)
 	}
 }
 
+// flworFanOut bounds the goroutines pre-evaluating independent for-clause
+// domains concurrently.
+const flworFanOut = 4
+
 // evalFLWOR builds the tuple stream clause by clause, filters, orders, and
-// concatenates the return results.
-func evalFLWOR(f *flwor, d *xpath.Doc, outer xpath.Vars) ([]token.Token, error) {
-	envs := []xpath.Vars{cloneVars(outer)}
-	for _, c := range f.clauses {
-		var next []xpath.Vars
-		for _, env := range envs {
-			v, err := c.expr.EvalWith(d, env)
+// concatenates the return results. Before the tuple loop it hoists
+// tuple-independent for-clause domains: a clause whose expression references
+// no variable bound earlier in this FLWOR produces the same domain for every
+// tuple, so it is evaluated once — and independent domains are evaluated
+// concurrently over the shared immutable Doc with bounded fan-out.
+func evalFLWOR(f *flwor, q qenv, outer xpath.Vars) ([]token.Token, error) {
+	pre := make([]*xpath.Value, len(f.clauses))
+	preErr := make([]error, len(f.clauses))
+	{
+		bound := map[string]bool{}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, flworFanOut)
+		for i, c := range f.clauses {
+			indep := !c.isLet
+			if indep {
+				for _, v := range c.expr.FreeVars() {
+					if bound[v] {
+						indep = false
+						break
+					}
+				}
+			}
+			if indep {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int, c clause) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					v, err := q.evalXPath(c.expr, outer)
+					pre[i], preErr[i] = &v, err
+				}(i, c)
+			}
+			bound[c.varName] = true
+		}
+		wg.Wait()
+		for _, err := range preErr {
 			if err != nil {
 				return nil, err
+			}
+		}
+	}
+	envs := []xpath.Vars{cloneVars(outer)}
+	for ci, c := range f.clauses {
+		var next []xpath.Vars
+		for _, env := range envs {
+			if err := q.check(); err != nil {
+				return nil, err
+			}
+			var v xpath.Value
+			if pre[ci] != nil {
+				v = *pre[ci]
+			} else {
+				var err error
+				v, err = q.evalXPath(c.expr, env)
+				if err != nil {
+					return nil, err
+				}
 			}
 			if c.isLet {
 				env2 := cloneVars(env)
@@ -130,7 +237,10 @@ func evalFLWOR(f *flwor, d *xpath.Doc, outer xpath.Vars) ([]token.Token, error) 
 	if f.where != nil {
 		var kept []xpath.Vars
 		for _, env := range envs {
-			v, err := f.where.EvalWith(d, env)
+			if err := q.check(); err != nil {
+				return nil, err
+			}
+			v, err := q.evalXPath(f.where, env)
 			if err != nil {
 				return nil, err
 			}
@@ -149,7 +259,7 @@ func evalFLWOR(f *flwor, d *xpath.Doc, outer xpath.Vars) ([]token.Token, error) 
 		}
 		ks := make([]keyed, len(envs))
 		for i, env := range envs {
-			v, err := f.orderBy.EvalWith(d, env)
+			v, err := q.evalXPath(f.orderBy, env)
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +297,10 @@ func evalFLWOR(f *flwor, d *xpath.Doc, outer xpath.Vars) ([]token.Token, error) 
 	}
 	var out []token.Token
 	for _, env := range envs {
-		toks, err := evalNode(f.ret, d, env)
+		if err := q.check(); err != nil {
+			return nil, err
+		}
+		toks, err := evalNode(f.ret, q, env)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +318,7 @@ func cloneVars(v xpath.Vars) xpath.Vars {
 }
 
 // evalConstructor materializes a direct element constructor.
-func evalConstructor(e *elem, d *xpath.Doc, vars xpath.Vars) ([]token.Token, error) {
+func evalConstructor(e *elem, q qenv, vars xpath.Vars) ([]token.Token, error) {
 	out := []token.Token{token.Elem(e.name)}
 	for _, at := range e.attrs {
 		var val strings.Builder
@@ -214,7 +327,7 @@ func evalConstructor(e *elem, d *xpath.Doc, vars xpath.Vars) ([]token.Token, err
 			case *textNode:
 				val.WriteString(part.text)
 			case *exprNode:
-				v, err := part.expr.EvalWith(d, vars)
+				v, err := q.evalXPath(part.expr, vars)
 				if err != nil {
 					return nil, err
 				}
@@ -227,7 +340,7 @@ func evalConstructor(e *elem, d *xpath.Doc, vars xpath.Vars) ([]token.Token, err
 	}
 	contentStarted := false
 	for _, c := range e.content {
-		toks, err := evalNode(c, d, vars)
+		toks, err := evalNode(c, q, vars)
 		if err != nil {
 			return nil, err
 		}

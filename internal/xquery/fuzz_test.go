@@ -1,0 +1,67 @@
+package xquery
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/token"
+	"repro/internal/xmltok"
+)
+
+// FuzzXQueryParser feeds arbitrary strings to the XQuery compiler: Parse
+// must never panic, and every accepted query must evaluate against a small
+// store without panicking. Whatever evaluation produces must be a valid
+// token fragment — the constructor path may not emit malformed sequences no
+// matter how contorted the query.
+func FuzzXQueryParser(f *testing.F) {
+	seeds := []string{
+		`//book/title`,
+		`for $b in //book return $b/title`,
+		`for $b in //book where $b/price > 10 return <cheap>{$b/title}</cheap>`,
+		`for $b in //book order by $b/title return $b`,
+		`for $b in //book order by $b/price descending return <r id="{$b/@id}">{$b/title}</r>`,
+		`let $n := count(//book) return <total>{$n}</total>`,
+		`for $a in //book for $b in //book where $a/@id != $b/@id return <pair/>`,
+		`if (count(//book) > 1) then <many/> else <few/>`,
+		`<root>{//book[1]}</root>`,
+		`for $b in //book`, `for $b in`, `let $x :=`, `<a>{`, `}`, ``,
+		`for $b in //book return <x a="{$b/@id}" b="lit">{$b/title}text</x>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	s, err := core.Open(core.Config{Mode: core.RangePartial})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Close()
+	toks, err := xmltok.ParseString(
+		`<catalog><book id="bk101"><title>A</title><price>9</price></book>`+
+			`<book id="bk102"><title>B</title><price>19</price></book></catalog>`,
+		xmltok.ParseOptions{StripWhitespace: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Append(toks); err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine
+		}
+		out, err := EvalStoreCtx(ctx, s, src)
+		if err != nil {
+			return // runtime errors (unknown vars, type mismatches) are fine
+		}
+		if len(out) > 0 {
+			if err := token.ValidateFragment(out); err != nil {
+				t.Fatalf("accepted %q but produced invalid tokens: %v", q.String(), err)
+			}
+		}
+	})
+}

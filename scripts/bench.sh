@@ -6,12 +6,24 @@
 # (override the path with $1), so nightly runs leave a machine-readable
 # scaling trajectory to regress against. AXML_BENCHTIME overrides the
 # per-benchmark measuring time (default 1s).
+#
+# If a previous BENCH_parallel.json exists it becomes the baseline: any
+# benchmark present in both runs that regresses more than 15% in ns/op fails
+# the script (after the new file is written, so the numbers are inspectable).
+# Set AXML_BENCH_NOGATE=1 to record a new baseline without the comparison —
+# e.g. when moving to different hardware.
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_parallel.json}"
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+base=$(mktemp)
+trap 'rm -f "$raw" "$base"' EXIT
+have_base=0
+if [ -f "$out" ] && [ -z "${AXML_BENCH_NOGATE:-}" ]; then
+    cp "$out" "$base"
+    have_base=1
+fi
 
 go test -run '^$' -bench 'Parallel|ColdCoarse' -benchmem \
     -cpu 1,2,4,8 -benchtime "${AXML_BENCHTIME:-1s}" . | tee "$raw"
@@ -47,3 +59,30 @@ END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ "$have_base" = 1 ]; then
+    echo "== regression gate (baseline: previous $out, tolerance 15%)"
+    awk '
+    # Both files are our own one-entry-per-line JSON; pull name/cpus/ns with
+    # match() so the gate needs no JSON tooling.
+    function parse(line) {
+        if (match(line, /"name": "[^"]+"/) == 0) return 0
+        name = substr(line, RSTART + 9, RLENGTH - 10)
+        match(line, /"cpus": [0-9]+/);      cpus = substr(line, RSTART + 8, RLENGTH - 8)
+        match(line, /"ns_per_op": [0-9.]+/); ns  = substr(line, RSTART + 13, RLENGTH - 13)
+        key = name "-" cpus
+        return 1
+    }
+    NR == FNR { if (parse($0)) old[key] = ns; next }
+    { if (parse($0) && (key in old) && ns + 0 > old[key] * 1.15) {
+        printf "REGRESSION %s: %s -> %s ns/op (+%.1f%%)\n", key, old[key], ns,
+            (ns / old[key] - 1) * 100
+        bad = 1
+    } }
+    END { exit bad }
+    ' "$base" "$out" || {
+        echo "bench regression beyond 15%; see above (AXML_BENCH_NOGATE=1 to rebaseline)" >&2
+        exit 1
+    }
+    echo "gate: no benchmark regressed beyond 15%"
+fi

@@ -24,8 +24,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget, replica, server, retryx)"
-go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget ./internal/replica ./internal/server ./internal/retryx
+echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget, replica, server, retryx, xpath, xquery)"
+go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget ./internal/replica ./internal/server ./internal/retryx ./internal/xpath ./internal/xquery
 
 echo "== go test -race (root-package stress, chaos soak, overload paths)"
 go test -race -run 'Stress|Concurrent|Chaos|Overload|Deadline' .
