@@ -39,6 +39,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -62,6 +63,12 @@ type config struct {
 	readTO, writeTO, idleTO    time.Duration
 	opTimeout, drainTO, pollIv time.Duration
 	memBudget                  int64
+
+	// Automatic failover (DESIGN.md §15): this node's identity, the
+	// fleet's membership, lease timings, and the auth token coordinator
+	// RPCs present to peers.
+	nodeID, fleet, fleetToken string
+	leaseIv, leaseTO          time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
@@ -87,6 +94,11 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&c.drainTO, "drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 	fs.DurationVar(&c.pollIv, "poll-interval", time.Second, "replica: source poll interval")
 	fs.Int64Var(&c.memBudget, "mem-budget", 0, "store memory budget in bytes (0: unlimited)")
+	fs.StringVar(&c.nodeID, "node-id", "", "failover: this node's id (must appear in -fleet)")
+	fs.StringVar(&c.fleet, "fleet", "", `failover: full fleet membership "id=addr,id=addr,..." including this node; empty disables automatic failover`)
+	fs.StringVar(&c.fleetToken, "fleet-token", "", "failover: auth token coordinator RPCs present to peers")
+	fs.DurationVar(&c.leaseIv, "lease-interval", 500*time.Millisecond, "failover: primary lease heartbeat interval")
+	fs.DurationVar(&c.leaseTO, "lease-timeout", 2*time.Second, "failover: lease expiry before followers suspect the primary")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -106,6 +118,26 @@ func parseMode(s string) (axml.IndexMode, error) {
 		return axml.FullIndex, nil
 	}
 	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// parseFleet decodes "id=addr,id=addr,..." membership specs.
+func parseFleet(spec string) ([]axml.FailoverPeer, error) {
+	var peers []axml.FailoverPeer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("fleet member %q: want id=addr", part)
+		}
+		peers = append(peers, axml.FailoverPeer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("fleet spec names no members")
+	}
+	return peers, nil
 }
 
 // parseTenants decodes "token=name:maxops[:maxqueue],..." specs.
@@ -166,6 +198,7 @@ func run(args []string, stdout *os.File) error {
 	cfg := axml.Config{Mode: mode, OpTimeout: c.opTimeout, MemoryBudget: c.memBudget}
 
 	opt := axml.ServerOptions{
+		NodeID:         c.nodeID,
 		Tenants:        tenants,
 		MaxConns:       c.maxConns,
 		MaxAcceptQueue: c.acceptQueue,
@@ -173,6 +206,22 @@ func run(args []string, stdout *os.File) error {
 		ReadTimeout:    c.readTO,
 		WriteTimeout:   c.writeTO,
 		IdleTimeout:    c.idleTO,
+	}
+	if c.fleet != "" && c.nodeID == "" {
+		return errors.New("-fleet requires -node-id")
+	}
+
+	// The replica's segment transport stamps the coordinator's epoch on
+	// every fetch once the server exists; until then it reads zero
+	// (unstamped), which servers accept.
+	var srvForEpoch atomic.Pointer[axml.Server]
+	epochFn := func() uint64 {
+		if s := srvForEpoch.Load(); s != nil {
+			if co := s.Failover(); co != nil {
+				return co.Epoch()
+			}
+		}
+		return 0
 	}
 
 	// Backend: replica when -source/-source-addr is set, primary
@@ -186,7 +235,7 @@ func run(args []string, stdout *os.File) error {
 		var tr axml.ReplicaTransport
 		if c.sourceAddr != "" {
 			tr = axml.NewNetTransport(c.sourceAddr,
-				axml.NetTransportOptions{Client: axml.ClientOptions{Token: c.sourceToken}})
+				axml.NetTransportOptions{Client: axml.ClientOptions{Token: c.sourceToken}, Epoch: epochFn})
 		} else {
 			tr = axml.NewDirTransport(c.source, axml.DirTransportOptions{})
 		}
@@ -215,6 +264,35 @@ func run(args []string, stdout *os.File) error {
 	if err != nil {
 		return err
 	}
+	srvForEpoch.Store(srv)
+	if c.fleet != "" {
+		peers, err := parseFleet(c.fleet)
+		if err != nil {
+			return err
+		}
+		fcfg := axml.FailoverConfig{
+			NodeID:        c.nodeID,
+			Peers:         peers,
+			TermPath:      c.db + ".term",
+			LeaseInterval: c.leaseIv,
+			LeaseTimeout:  c.leaseTO,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, "axmlserved: failover: "+format+"\n", args...)
+			},
+		}
+		if _, err := srv.AttachFailover(fcfg, axml.NewFleetPeers(axml.ClientOptions{Token: c.fleetToken})); err != nil {
+			return fmt.Errorf("attach failover: %w", err)
+		}
+		defer srv.CloseFailover()
+		fmt.Fprintf(stdout, "axmlserved: failover coordinator up (node %s, %d-member fleet)\n", c.nodeID, len(peers))
+	}
+	// A store installed by automatic promotion is owned here: close it on
+	// the way out, after the server has drained.
+	defer func() {
+		if st := srv.PromotedStore(); st != nil {
+			st.Close()
+		}
+	}()
 	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		return err

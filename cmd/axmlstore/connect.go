@@ -24,6 +24,9 @@ import (
 // and are refused here with exit 2.
 func cmdConnect(ctx context.Context, opts cliOpts, args []string) error {
 	cmd := args[0]
+	if cmd == "fleet" {
+		return cmdFleet(ctx, opts, args[1:])
+	}
 	if strings.Contains(opts.connect, ",") {
 		return cmdConnectFleet(ctx, opts, args)
 	}
@@ -187,6 +190,113 @@ func cmdConnect(ctx context.Context, opts cliOpts, args []string) error {
 	default:
 		return exitWith(2, fmt.Errorf("%s: not available over -connect (local-file command)", cmd))
 	}
+}
+
+// fleetNodeStatus is one endpoint's row in `fleet status` (-json shape).
+type fleetNodeStatus struct {
+	Addr       string `json:"addr"`
+	Reachable  bool   `json:"reachable"`
+	Error      string `json:"error,omitempty"`
+	NodeID     string `json:"node_id,omitempty"`
+	Role       string `json:"role,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
+	Fenced     bool   `json:"fenced,omitempty"`
+	AppliedLSN uint64 `json:"applied_lsn,omitempty"`
+	Lag        int    `json:"lag_segments,omitempty"`
+	Ready      bool   `json:"ready"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// cmdFleet serves the `fleet` command group. `fleet status` probes every
+// -connect endpoint individually (no fleet-client routing — the point is
+// to see each node, not the best one) and prints per-node role, epoch,
+// applied LSN, lag and readiness. Exit 0 when every node answered, none
+// is fenced or unready, and exactly one claims the primary role; exit 1
+// when the fleet is degraded (unreachable, fenced, unready, zero or
+// multiple primaries); exit 2 for misuse.
+func cmdFleet(ctx context.Context, opts cliOpts, args []string) error {
+	if len(args) != 1 || args[0] != "status" {
+		return exitWith(2, fmt.Errorf("usage: fleet status (with -connect addr[,addr...])"))
+	}
+	eps := strings.Split(opts.connect, ",")
+	for i := range eps {
+		eps[i] = strings.TrimSpace(eps[i])
+	}
+	out := opts.stdout()
+
+	rows := make([]fleetNodeStatus, 0, len(eps))
+	for _, ep := range eps {
+		row := fleetNodeStatus{Addr: ep}
+		c, err := axml.DialServer(ep, axml.ClientOptions{Token: opts.token})
+		if err == nil {
+			var rep axml.ServerHealthReport
+			rep, err = c.Health(ctx)
+			if err == nil {
+				row.Reachable = true
+				row.NodeID = rep.NodeID
+				row.Role = rep.Role
+				row.Epoch = rep.Epoch
+				row.Fenced = rep.Fenced
+				row.AppliedLSN = rep.AppliedLSN
+				row.Lag = rep.LagSegments
+				row.Ready = rep.Ready
+				row.Reason = rep.Reason
+			}
+			c.Close()
+		}
+		if err != nil {
+			row.Error = err.Error()
+		}
+		rows = append(rows, row)
+	}
+
+	primaries := 0
+	degraded := ""
+	for _, r := range rows {
+		switch {
+		case !r.Reachable:
+			degraded = fmt.Sprintf("node %s unreachable: %s", r.Addr, r.Error)
+		case r.Fenced:
+			degraded = fmt.Sprintf("node %s fenced", r.Addr)
+		case !r.Ready:
+			degraded = fmt.Sprintf("node %s not ready: %s", r.Addr, r.Reason)
+		}
+		if r.Reachable && r.Role == "primary" && !r.Fenced {
+			primaries++
+		}
+	}
+	if degraded == "" && primaries != 1 {
+		degraded = fmt.Sprintf("%d nodes claim the primary role, want exactly 1", primaries)
+	}
+
+	if opts.jsonOut {
+		if err := printJSON(out, rows); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "%-24s %-10s %-8s %-7s %-12s %-4s %s\n",
+			"NODE", "ROLE", "EPOCH", "FENCED", "APPLIED-LSN", "LAG", "READY")
+		for _, r := range rows {
+			name := r.Addr
+			if r.NodeID != "" {
+				name = fmt.Sprintf("%s (%s)", r.NodeID, r.Addr)
+			}
+			if !r.Reachable {
+				fmt.Fprintf(out, "%-24s %-10s %s\n", name, "-", "UNREACHABLE: "+r.Error)
+				continue
+			}
+			ready := "yes"
+			if !r.Ready {
+				ready = "no: " + r.Reason
+			}
+			fmt.Fprintf(out, "%-24s %-10s %-8d %-7v %-12d %-4d %s\n",
+				name, r.Role, r.Epoch, r.Fenced, r.AppliedLSN, r.Lag, ready)
+		}
+	}
+	if degraded != "" {
+		return exitWith(1, fmt.Errorf("fleet degraded: %s", degraded))
+	}
+	return nil
 }
 
 // healthCauseSuffix renders the read-only cause, when there is one, for

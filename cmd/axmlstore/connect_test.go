@@ -284,3 +284,69 @@ func TestCLIConnectFleet(t *testing.T) {
 		t.Fatalf("fleet ping: got %v, want exit 2", err)
 	}
 }
+
+// TestCLIFleetStatus: the per-node fleet report and its exit-code
+// contract. Exit 0 is "one primary, everyone healthy"; exit 1 is any
+// degradation an operator must look at; exit 2 is misuse.
+func TestCLIFleetStatus(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "p.db")
+	addr := startServed(t, db, nil)
+
+	// Healthy single-primary fleet: exit 0, row shows the primary role.
+	var buf bytes.Buffer
+	if err := runOpts("u.db", "partial", cliOpts{connect: addr, out: &buf}, []string{"fleet", "status"}); err != nil {
+		t.Fatalf("fleet status: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "primary") {
+		t.Fatalf("fleet status output missing primary row:\n%s", buf.String())
+	}
+
+	// -json: a parseable array with the operator-facing fields.
+	buf.Reset()
+	if err := runOpts("u.db", "partial", cliOpts{connect: addr, jsonOut: true, out: &buf}, []string{"fleet", "status"}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("fleet status -json: %v\n%s", err, buf.String())
+	}
+	if len(rows) != 1 || rows[0]["role"] != "primary" || rows[0]["reachable"] != true {
+		t.Fatalf("fleet status -json rows = %v", rows)
+	}
+
+	// An unreachable member degrades the fleet: exit 1, and the report
+	// still prints every row.
+	buf.Reset()
+	err := runOpts("u.db", "partial", cliOpts{connect: addr + ",127.0.0.1:1", out: &buf}, []string{"fleet", "status"})
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("degraded fleet: exit %d (%v), want 1", got, err)
+	}
+	if !strings.Contains(buf.String(), "UNREACHABLE") {
+		t.Fatalf("degraded report missing UNREACHABLE row:\n%s", buf.String())
+	}
+
+	// Two nodes both claiming primary: split brain from the operator's
+	// seat — exit 1.
+	db2 := filepath.Join(t.TempDir(), "p2.db")
+	addr2 := startServed(t, db2, nil)
+	buf.Reset()
+	err = runOpts("u.db", "partial", cliOpts{connect: addr + "," + addr2, out: &buf}, []string{"fleet", "status"})
+	if got := exitCode(err); got != 1 {
+		t.Fatalf("two-primary fleet: exit %d (%v), want 1", got, err)
+	}
+	if !strings.Contains(err.Error(), "primary") {
+		t.Fatalf("two-primary error should name the primary count: %v", err)
+	}
+
+	// Misuse: wrong subcommand, missing subcommand, and no -connect all
+	// exit 2.
+	if got := exitCode(runOpts("u.db", "partial", cliOpts{connect: addr, out: &buf}, []string{"fleet", "bogus"})); got != 2 {
+		t.Fatalf("fleet bogus: exit %d, want 2", got)
+	}
+	if got := exitCode(runOpts("u.db", "partial", cliOpts{connect: addr, out: &buf}, []string{"fleet"})); got != 2 {
+		t.Fatalf("bare fleet: exit %d, want 2", got)
+	}
+	if got := exitCode(runOpts("u.db", "partial", cliOpts{out: &buf}, []string{"fleet", "status"})); got != 2 {
+		t.Fatalf("fleet status without -connect: exit %d, want 2", got)
+	}
+}

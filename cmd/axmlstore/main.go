@@ -285,6 +285,9 @@ func runCmd(ctx context.Context, db, modeName string, opts cliOpts, args []strin
 		return nil
 	}
 
+	if cmd == "fleet" {
+		return exitWith(2, fmt.Errorf("fleet status needs -connect with the fleet's addresses"))
+	}
 	if cmd == "verify" {
 		return cmdVerify(db, cfg, opts)
 	}

@@ -79,6 +79,18 @@ const (
 	// directory read would — "gone" vs "failed to read" decides stall vs
 	// retry. Registered by the server package, which owns the wire.
 	CodeSegmentGone ErrCode = 66
+	// CodeIdemAmbiguous: an idempotency token replayed after it fell out of
+	// the server's dedup window. The original outcome is unknowable, so the
+	// server refuses instead of risking a silent double-apply. Registered by
+	// the server package. Not retryable: re-running the same token cannot
+	// resolve the ambiguity — the caller must reconcile by reading.
+	CodeIdemAmbiguous ErrCode = 67
+
+	// failover
+	// CodeFenced: the request (or the node serving it) carries a stale
+	// leadership epoch. Registered by the failover package. Not retryable
+	// against the same node; fleet clients rediscover the current primary.
+	CodeFenced ErrCode = 70
 )
 
 // errEntry is one registered sentinel plus its machine-readable

@@ -147,6 +147,9 @@ type Stats struct {
 	StallCause string `json:"stall_cause,omitempty"`
 	// Promoted reports that this follower has left the follower role.
 	Promoted bool `json:"promoted,omitempty"`
+	// Epoch is the leadership epoch the follower last observed (1 before
+	// any failover ever happened).
+	Epoch uint64 `json:"epoch"`
 	// LastError is the most recent catch-up failure ("" after a clean
 	// pass) — transient transport trouble shows up here without stalling.
 	LastError string `json:"last_error,omitempty"`
@@ -689,6 +692,7 @@ func (f *Follower) Stats() Stats {
 		Staleness:       time.Since(f.freshAsOf),
 		Stalled:         f.stallCause != nil,
 		Promoted:        f.promoted || f.state.Promoted,
+		Epoch:           epochOrOne(f.state.Epoch),
 	}
 	if f.stallCause != nil {
 		st.StallCause = f.stallCause.Error()
@@ -745,6 +749,41 @@ func (f *Follower) stopLoop() {
 	}
 }
 
+// epochOrOne maps the zero value of a pre-failover sidecar to epoch 1.
+func epochOrOne(e uint64) uint64 {
+	if e == 0 {
+		return 1
+	}
+	return e
+}
+
+// Epoch returns the leadership epoch the follower last observed.
+func (f *Follower) Epoch() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return epochOrOne(f.state.Epoch)
+}
+
+// AdvanceEpoch durably mirrors a newly established leadership epoch into
+// the sidecar. Regressions are ignored — epochs only move forward.
+func (f *Follower) AdvanceEpoch(epoch uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if epoch <= f.state.Epoch {
+		return nil
+	}
+	st := f.state
+	st.Epoch = epoch
+	if err := writeState(f.path, st, f.opt.Wrap); err != nil {
+		return err
+	}
+	f.state = st
+	return nil
+}
+
 // Promote ends the follower role and returns the store reopened
 // read-write, continuing the replicated history. The promotion fences the
 // old generation first — the sidecar is durably marked Promoted at the
@@ -757,7 +796,20 @@ func (f *Follower) stopLoop() {
 // The follower is closed afterwards whether or not the reopen succeeds; on
 // error the store file is valid at the fence LSN and can be opened
 // manually.
+//
+// Promote keeps the follower's current epoch — the manual operator path.
+// Automatic failover promotes under the election's new epoch via
+// PromoteAt.
 func (f *Follower) Promote() (*core.Store, error) {
+	return f.PromoteAt(0)
+}
+
+// PromoteAt is Promote under a new leadership epoch: the epoch is durably
+// recorded in the sidecar before the reopen, and the archive's epoch
+// manifest gains an entry marking every segment from AppliedLSN+1 on as
+// written under the new primacy. epoch 0 means "keep the current epoch"
+// (manual promotion).
+func (f *Follower) PromoteAt(epoch uint64) (*core.Store, error) {
 	f.stopLoop()
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -775,8 +827,18 @@ func (f *Follower) Promote() (*core.Store, error) {
 	st := f.state
 	st.Promoted = true
 	st.FencedLSN = st.AppliedLSN
+	if epoch > st.Epoch {
+		st.Epoch = epoch
+	}
 	if err := writeState(f.path, st, f.opt.Wrap); err != nil {
 		return nil, err
+	}
+	if epoch > 1 {
+		// Stamp the new primacy into the archive: segments from the fence
+		// on belong to this epoch. Idempotent across promotion retries.
+		if err := wal.AppendEpoch(f.archiveDir, epoch, st.AppliedLSN+1); err != nil {
+			return nil, err
+		}
 	}
 	f.state = st
 	f.promoted = true

@@ -32,6 +32,12 @@ type replicaState struct {
 	Promoted bool `json:"promoted,omitempty"`
 	// FencedLSN records where the promotion cut the shipped history.
 	FencedLSN uint64 `json:"fenced_lsn,omitempty"`
+	// Epoch is the leadership epoch this follower last observed (or was
+	// promoted under). Zero means pre-failover state and reads as epoch 1.
+	// The failover coordinator's term file is authoritative; the sidecar
+	// mirror makes the epoch visible to apply-side fencing and to anyone
+	// inspecting the store offline.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // stateSuffix names the follower's durable-position sidecar.

@@ -159,3 +159,57 @@ func TestConnErrorClassifier(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffCapsAtNearlyExpiredDeadline: the backoff sleep must cap at
+// the context's remaining deadline, not the policy's. A caller with 30ms
+// left and a 5s-backoff policy gets its answer when the deadline fires —
+// never 5s later — and the error chain carries both the cutoff and the
+// last cause.
+func TestBackoffCapsAtNearlyExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	p := Policy{MaxAttempts: 3, Initial: 5 * time.Second, Max: 5 * time.Second}
+	start := time.Now()
+	err := Do(ctx, p, nil, func(context.Context) error { return errBoom })
+	took := time.Since(start)
+	if took > time.Second {
+		t.Fatalf("backoff outlived the deadline: took %v with 30ms remaining", took)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v, want both DeadlineExceeded and the cause", err)
+	}
+}
+
+// TestNearlyExpiredDeadlineStillRunsFirstAttempt: near-expiry must not
+// preempt work that would succeed — as long as the context is alive when
+// the loop starts, the op gets its first attempt.
+func TestNearlyExpiredDeadlineStillRunsFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := Do(ctx, Policy{Initial: time.Second, Max: time.Second}, nil, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want success on the single pre-deadline attempt", err, calls)
+	}
+}
+
+// TestBackoffTotalBoundedByDeadlineAcrossAttempts: many attempts with
+// per-attempt backoff comparable to the whole deadline must still finish
+// at the deadline — the sleeps do not stack past it.
+func TestBackoffTotalBoundedByDeadlineAcrossAttempts(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	p := Policy{MaxAttempts: -1, Initial: 80 * time.Millisecond, Max: 80 * time.Millisecond}
+	start := time.Now()
+	err := Do(ctx, p, nil, func(context.Context) error { return errBoom })
+	took := time.Since(start)
+	if took > time.Second {
+		t.Fatalf("stacked backoffs outlived the deadline: took %v", took)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, errBoom) {
+		t.Fatalf("err=%v, want both DeadlineExceeded and the cause", err)
+	}
+}

@@ -44,7 +44,7 @@ func rawFrame(typ byte, payload []byte) []byte {
 }
 
 func rawHelloPayload(token string) []byte {
-	b := binary.AppendUvarint(nil, 2) // protocol version
+	b := binary.AppendUvarint(nil, 3) // protocol version
 	b = binary.AppendUvarint(b, uint64(len(token)))
 	return append(b, token...)
 }

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/replica"
 	"repro/internal/wal"
 )
@@ -55,6 +57,12 @@ type Row struct {
 type Client struct {
 	opt ClientOptions
 
+	// epoch is the leadership epoch this session stamps on mutations and
+	// segment-ship requests (wire v3). Zero means unstamped: the server
+	// accepts it but cannot fence the caller against a deposed primary.
+	// Fleet-aware callers set it from health reports.
+	epoch atomic.Uint64
+
 	mu        sync.Mutex
 	nc        net.Conn
 	br        *bufio.Reader
@@ -62,6 +70,21 @@ type Client struct {
 	replica   bool
 	closed    bool
 }
+
+// SetEpoch records the leadership epoch to stamp on subsequent mutations
+// and segment fetches. Forward-only: a lower value never overwrites a
+// higher one, so concurrent health probes cannot regress the fence.
+func (c *Client) SetEpoch(epoch uint64) {
+	for {
+		cur := c.epoch.Load()
+		if epoch <= cur || c.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// EpochHint returns the session's current epoch stamp.
+func (c *Client) EpochHint() uint64 { return c.epoch.Load() }
 
 // Dial connects, handshakes, and returns a live session.
 func Dial(addr string, opt ClientOptions) (*Client, error) {
@@ -321,6 +344,7 @@ func (c *Client) InsertIdem(ctx context.Context, op InsertOp, target core.NodeID
 		return 0, err
 	}
 	hdr.str(idemToken)
+	hdr.u64(c.epoch.Load())
 	hdr.byt(byte(op))
 	hdr.u64(uint64(target))
 	hdr.str(frag)
@@ -345,6 +369,7 @@ func (c *Client) DeleteIdem(ctx context.Context, id core.NodeID, idemToken strin
 		return err
 	}
 	hdr.str(idemToken)
+	hdr.u64(c.epoch.Load())
 	hdr.u64(uint64(id))
 	_, err = c.expect(ctx, msgDelete, hdr.payload(), msgOK)
 	return err
@@ -363,6 +388,7 @@ func (c *Client) LoadIdem(ctx context.Context, frag, idemToken string) (core.Nod
 		return 0, err
 	}
 	hdr.str(idemToken)
+	hdr.u64(c.epoch.Load())
 	hdr.str(frag)
 	payload, err := c.expect(ctx, msgLoad, hdr.payload(), msgNodeID)
 	if err != nil {
@@ -381,6 +407,7 @@ func (c *Client) Segments(ctx context.Context, after uint64) ([]wal.SegmentInfo,
 		return nil, err
 	}
 	hdr.u64(after)
+	hdr.u64(c.epoch.Load())
 	payload, err := c.expect(ctx, msgSegments, hdr.payload(), msgSegList)
 	if err != nil {
 		return nil, err
@@ -418,6 +445,7 @@ func (c *Client) FetchSegment(ctx context.Context, lsn uint64) ([]byte, error) {
 		return nil, err
 	}
 	hdr.u64(lsn)
+	hdr.u64(c.epoch.Load())
 	var buf []byte
 	err = c.roundTrip(ctx, msgFetchSegment, hdr.payload(), func(rtyp byte, rpayload []byte) (bool, error) {
 		switch rtyp {
@@ -442,6 +470,69 @@ func (c *Client) FetchSegment(ctx context.Context, lsn uint64) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// Lease delivers one failover lease heartbeat (wire v3). Coordinators use
+// this through FleetPeers; it is exported so drills and tooling can speak
+// the failover plane directly.
+func (c *Client) Lease(ctx context.Context, req failover.LeaseRequest) (failover.LeaseReply, error) {
+	var rep failover.LeaseReply
+	hdr, err := c.header(ctx)
+	if err != nil {
+		return rep, err
+	}
+	hdr.u64(req.Epoch)
+	hdr.str(req.LeaderID)
+	hdr.u64(req.LSN)
+	payload, err := c.expect(ctx, msgLease, hdr.payload(), msgLeaseAck)
+	if err != nil {
+		return rep, err
+	}
+	d := dec{payload}
+	if rep.Epoch, err = d.u64(); err != nil {
+		return rep, err
+	}
+	ok, err := d.byt()
+	if err != nil {
+		return rep, err
+	}
+	rep.OK = ok == 1
+	return rep, nil
+}
+
+// RequestVote solicits one failover election vote (wire v3).
+func (c *Client) RequestVote(ctx context.Context, req failover.VoteRequest) (failover.VoteReply, error) {
+	var rep failover.VoteReply
+	hdr, err := c.header(ctx)
+	if err != nil {
+		return rep, err
+	}
+	hdr.u64(req.Epoch)
+	hdr.str(req.CandidateID)
+	hdr.u64(req.LSN)
+	payload, err := c.expect(ctx, msgVote, hdr.payload(), msgVoteRes)
+	if err != nil {
+		return rep, err
+	}
+	d := dec{payload}
+	granted, err := d.byt()
+	if err != nil {
+		return rep, err
+	}
+	rep.Granted = granted == 1
+	if rep.Epoch, err = d.u64(); err != nil {
+		return rep, err
+	}
+	if rep.VotedEpoch, err = d.u64(); err != nil {
+		return rep, err
+	}
+	if rep.VoterID, err = d.str(); err != nil {
+		return rep, err
+	}
+	if rep.VoterLSN, err = d.u64(); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }
 
 // Stats fetches the server's full stats report.

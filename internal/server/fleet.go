@@ -6,12 +6,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/replica"
 	"repro/internal/retryx"
 )
@@ -50,6 +52,12 @@ type FleetClient struct {
 	// write failure invalidates it so the next write re-discovers, which
 	// is how failover to a promoted replica happens.
 	primaryIdx atomic.Int64
+
+	// epoch is the highest leadership epoch any health probe has reported.
+	// Writes stamp it (wire v3), so a deposed primary that still answers
+	// the dial fences the request with ErrFenced instead of committing to
+	// an abandoned timeline.
+	epoch atomic.Uint64
 }
 
 // FleetOptions configures DialFleet.
@@ -84,6 +92,7 @@ type member struct {
 	health    HealthReport
 	healthErr error
 	healthAt  time.Time
+	healthTTL time.Duration // this probe's jittered lifetime
 }
 
 func (m *member) session(opt ClientOptions) (*Client, error) {
@@ -152,13 +161,20 @@ func (f *FleetClient) newToken() string {
 	return fmt.Sprintf("%s-%d", f.tokPrefix, f.tokSeq.Add(1))
 }
 
-// probe returns the endpoint's health, cached within HealthTTL. A probe
-// failure is cached too — a dead endpoint is not re-dialed on every
+// probe returns the endpoint's health, cached under a jittered TTL. A
+// probe failure is cached too — a dead endpoint is not re-dialed on every
 // routing decision.
+//
+// The TTL is re-drawn uniformly from [HealthTTL/2, HealthTTL] on every
+// probe. Without jitter, every fleet handle created in the same instant
+// (a redeployed service tier, say) expires its caches in lockstep forever
+// after, and each expiry is a synchronized probe volley at every endpoint
+// — a thundering herd exactly when a failover has the fleet nervous.
+// Jitter decorrelates the handles within a few cycles.
 func (f *FleetClient) probe(ctx context.Context, m *member) (HealthReport, error) {
 	m.hmu.Lock()
 	defer m.hmu.Unlock()
-	if !m.healthAt.IsZero() && time.Since(m.healthAt) < f.opt.HealthTTL {
+	if !m.healthAt.IsZero() && time.Since(m.healthAt) < m.healthTTL {
 		return m.health, m.healthErr
 	}
 	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
@@ -171,8 +187,22 @@ func (f *FleetClient) probe(ctx context.Context, m *member) (HealthReport, error
 			m.drop(c)
 		}
 	}
+	if err == nil {
+		f.observeEpoch(h.Epoch)
+	}
 	m.health, m.healthErr, m.healthAt = h, err, time.Now()
+	m.healthTTL = f.opt.HealthTTL/2 + time.Duration(mrand.Int64N(int64(f.opt.HealthTTL/2)+1))
 	return h, err
+}
+
+// observeEpoch raises the fleet's epoch stamp; it never regresses.
+func (f *FleetClient) observeEpoch(epoch uint64) {
+	for {
+		cur := f.epoch.Load()
+		if epoch <= cur || f.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
 }
 
 // invalidateHealth forgets a member's cached probe (after a failure that
@@ -227,7 +257,8 @@ func routeElsewhere(err error) bool {
 		errors.Is(err, replica.ErrTooStale) ||
 		errors.Is(err, replica.ErrReplicaStalled) ||
 		errors.Is(err, replica.ErrNotBootstrapped) ||
-		errors.Is(err, core.ErrReadOnly)
+		errors.Is(err, core.ErrReadOnly) ||
+		errors.Is(err, failover.ErrFenced)
 }
 
 // tryOn runs one read attempt against one member. The ctx is threaded
@@ -344,17 +375,32 @@ func (f *FleetClient) primary(ctx context.Context) (*member, error) {
 	if i := f.primaryIdx.Load(); i >= 0 {
 		return f.members[i], nil
 	}
-	var lastErr error
+	// Prefer the primary claiming the highest epoch: during the handover
+	// window both the deposed primary and its successor can report role
+	// "primary", and the epoch is the tiebreak that always picks the
+	// successor. Fenced nodes are never candidates.
+	var (
+		best      *member
+		bestIdx   int
+		bestEpoch uint64
+		lastErr   error
+	)
 	for i, m := range f.members {
 		h, err := f.probe(ctx, m)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if h.Role == "primary" && !h.Draining {
-			f.primaryIdx.Store(int64(i))
-			return m, nil
+		if h.Role != "primary" || h.Draining || h.Fenced {
+			continue
 		}
+		if best == nil || h.Epoch > bestEpoch {
+			best, bestIdx, bestEpoch = m, i, h.Epoch
+		}
+	}
+	if best != nil {
+		f.primaryIdx.Store(int64(bestIdx))
+		return best, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("server: no endpoint reports role primary")
@@ -372,8 +418,12 @@ func (f *FleetClient) primary(ctx context.Context) (*member, error) {
 func (f *FleetClient) write(ctx context.Context, do func(c *Client, tok string) (any, error)) (any, error) {
 	tok := f.newToken()
 	var out any
+	// ErrFenced joins the retryable set: it means "that node is a deposed
+	// primary", and rediscovery — forced below by invalidating its cached
+	// health — finds the successor.
 	retryable := func(err error) bool {
-		return retryx.ConnError(err) || core.Retryable(err) || errors.Is(err, core.ErrReadOnly)
+		return retryx.ConnError(err) || core.Retryable(err) ||
+			errors.Is(err, core.ErrReadOnly) || errors.Is(err, failover.ErrFenced)
 	}
 	err := retryx.Do(ctx, f.opt.Retry, retryable, func(ctx context.Context) error {
 		m, err := f.primary(ctx)
@@ -388,13 +438,18 @@ func (f *FleetClient) write(ctx context.Context, do func(c *Client, tok string) 
 			f.forgetPrimary()
 			return err
 		}
+		c.SetEpoch(f.epoch.Load())
 		v, err := do(c, tok)
 		if err != nil {
 			if retryx.ConnError(err) {
 				m.drop(c)
 				m.invalidateHealth()
 			}
-			if retryx.ConnError(err) || errors.Is(err, core.ErrReadOnly) || errors.Is(err, ErrDraining) {
+			if errors.Is(err, failover.ErrFenced) {
+				m.invalidateHealth()
+			}
+			if retryx.ConnError(err) || errors.Is(err, core.ErrReadOnly) ||
+				errors.Is(err, ErrDraining) || errors.Is(err, failover.ErrFenced) {
 				f.forgetPrimary()
 			}
 			return err

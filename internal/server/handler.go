@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/replica"
 	"repro/internal/token"
 	"repro/internal/wal"
@@ -22,6 +23,10 @@ type StatsReport struct {
 	Role    string         `json:"role"` // "primary" | "replica"
 	Store   *core.Stats    `json:"store,omitempty"`
 	Replica *replica.Stats `json:"replica,omitempty"`
+
+	// Failover is the coordinator's view (epoch, suspicion, election
+	// counters) when this node runs in a fleet.
+	Failover *failover.Status `json:"failover,omitempty"`
 }
 
 // HealthReport is the msgHealth / HTTP /readyz payload. Ready reflects
@@ -35,6 +40,14 @@ type HealthReport struct {
 	Reason   string             `json:"reason,omitempty"`
 	Health   core.HealthSummary `json:"health"`
 	Replica  *replica.Stats     `json:"replica,omitempty"`
+
+	// Failover identity: which node this is, the leadership epoch it has
+	// established, and whether it is fenced (deposed — permanently
+	// refusing writes and segment ships). Zero-valued on standalone
+	// servers.
+	NodeID string `json:"node_id,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Fenced bool   `json:"fenced,omitempty"`
 
 	// Replication position, surfaced top-level so load balancers and the
 	// fleet client's freshest-replica routing read it without digging into
@@ -89,6 +102,10 @@ func (s *Server) statsReport() StatsReport {
 		st := s.opt.Store.Stats()
 		rep.Store = &st
 	}
+	if co := s.fo.Load(); co != nil {
+		fs := co.Status()
+		rep.Failover = &fs
+	}
 	return rep
 }
 
@@ -127,6 +144,15 @@ func (s *Server) healthReport() HealthReport {
 	if h.Health.Degraded && h.Ready {
 		h.Ready = false
 		h.Reason = "store degraded: " + h.Health.ReadOnlyCause
+	}
+	h.NodeID = s.opt.NodeID
+	if co := s.fo.Load(); co != nil {
+		h.Epoch = co.Epoch()
+		if co.Fenced() {
+			h.Fenced = true
+			h.Ready = false
+			h.Reason = "fenced: deposed under a newer leadership epoch"
+		}
 	}
 	return h
 }
@@ -182,10 +208,24 @@ func (s *Server) dispatch(c *conn, ctx context.Context, typ byte, d *dec, gate r
 		if err != nil {
 			return err
 		}
+		epoch, err := d.u64()
+		if err != nil {
+			return err
+		}
+		if err := s.checkShipEpoch(epoch); err != nil {
+			return err
+		}
 		return s.handleSegments(c, after)
 	case msgFetchSegment:
 		lsn, err := d.u64()
 		if err != nil {
+			return err
+		}
+		epoch, err := d.u64()
+		if err != nil {
+			return err
+		}
+		if err := s.checkShipEpoch(epoch); err != nil {
 			return err
 		}
 		return s.handleFetchSegment(c, ctx, lsn)
@@ -376,21 +416,40 @@ func (s *Server) handleReadNode(c *conn, ctx context.Context, id core.NodeID, ga
 }
 
 // runMutation wraps every mutating op with the idempotency-token protocol
-// (wire v2): each mutation payload leads with a token string — empty for
-// "no dedup". A token that matches a cached committed ack replays that ack
-// verbatim without touching the store; otherwise the mutation runs, and on
-// success its ack is cached before it is written, so even an ack lost on
-// the wire is replayable. Failures are never cached — a retry after a shed
-// or deadline must re-execute.
+// (wire v2) and the leadership-epoch fence (wire v3): each mutation
+// payload leads with a token string — empty for "no dedup" — then the
+// client's observed epoch (0 = unstamped). The fence runs first, before
+// even the idempotency lookup: a fenced node must not replay cached acks,
+// or a partitioned client could mistake them for live leadership.
+//
+// A token that matches a cached committed ack replays that ack verbatim
+// without touching the store; a token whose sequence number fell below
+// the cache's eviction horizon is refused with ErrIdemAmbiguous — the
+// original outcome is unknowable and silently re-executing could
+// double-apply. Otherwise the mutation runs, and on success its ack is
+// cached before it is written, so even an ack lost on the wire is
+// replayable. Failures are never cached — a retry after a shed or
+// deadline must re-execute.
 func (s *Server) runMutation(c *conn, d *dec, build func(d *dec) (byte, []byte, error)) error {
 	tok, err := d.str()
 	if err != nil {
 		return err
 	}
+	epoch, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if err := s.checkWriteEpoch(epoch); err != nil {
+		return err
+	}
 	key := idemKey{gate: c.gate, token: tok}
 	if tok != "" {
-		if e, ok := s.idem.get(key); ok {
+		e, found, evicted := s.idem.get(key)
+		if found {
 			return c.writeFrame(e.typ, e.payload)
+		}
+		if evicted {
+			return fmt.Errorf("%w: token %q fell out of a %d-entry window", ErrIdemAmbiguous, tok, s.opt.IdemCacheSize)
 		}
 	}
 	typ, payload, err := build(d)

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -43,20 +45,73 @@ type idemCache struct {
 	fifo []idemKey
 	head int
 	hits atomic.Int64
+	// horizon records, per (gate, token prefix), the highest sequence
+	// number evicted from the ring. FleetClient tokens are
+	// "<prefix>-<seq>" with seq strictly increasing per client; a miss
+	// whose seq is at or below the horizon is a token that *was* cached
+	// and fell out — the outcome is ambiguous and re-executing could
+	// double-apply, so the lookup reports evicted=true and the handler
+	// refuses with ErrIdemAmbiguous instead of running the mutation
+	// again. Tokens that never parse (no "-<digits>" tail) skip the
+	// horizon: for those the cache keeps its historical best-effort
+	// semantics. The horizon map is itself FIFO-bounded so a hostile
+	// client minting prefixes cannot grow it without bound.
+	horizon     map[idemPrefix]uint64
+	horizonFIFO []idemPrefix
+	horizonHead int
+}
+
+// idemPrefix scopes an eviction horizon to one tenant gate and one
+// client's token prefix.
+type idemPrefix struct {
+	gate   *tenantGate
+	prefix string
+}
+
+// maxHorizons bounds the eviction-horizon map independently of the entry
+// ring; each horizon is one uint64 per distinct (gate, prefix).
+const maxHorizons = 4096
+
+// splitIdemToken parses "<prefix>-<decimal seq>". ok is false for tokens
+// that do not follow the fleet's minting scheme.
+func splitIdemToken(tok string) (prefix string, seq uint64, ok bool) {
+	i := strings.LastIndexByte(tok, '-')
+	if i <= 0 || i == len(tok)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.ParseUint(tok[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return tok[:i], n, true
 }
 
 func newIdemCache(max int) *idemCache {
-	return &idemCache{max: max, m: make(map[idemKey]idemEntry, max)}
+	return &idemCache{
+		max:     max,
+		m:       make(map[idemKey]idemEntry, max),
+		horizon: make(map[idemPrefix]uint64),
+	}
 }
 
-func (ic *idemCache) get(k idemKey) (idemEntry, bool) {
+// get looks a token up. evicted=true (only meaningful when found=false)
+// means the token's sequence number is at or below the recorded eviction
+// horizon for its prefix: it was once cached and has been forgotten, so
+// the original outcome is unknowable.
+func (ic *idemCache) get(k idemKey) (e idemEntry, found, evicted bool) {
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
-	e, ok := ic.m[k]
-	if ok {
+	e, found = ic.m[k]
+	if found {
 		ic.hits.Add(1)
+		return e, true, false
 	}
-	return e, ok
+	if prefix, seq, ok := splitIdemToken(k.token); ok {
+		if h, ok := ic.horizon[idemPrefix{k.gate, prefix}]; ok && seq <= h {
+			evicted = true
+		}
+	}
+	return e, false, evicted
 }
 
 func (ic *idemCache) put(k idemKey, e idemEntry) {
@@ -69,7 +124,9 @@ func (ic *idemCache) put(k idemKey, e idemEntry) {
 		// The ring is full: the slot at head holds the oldest key. Evict
 		// it, store the newest in its place, advance head to the next
 		// oldest.
-		delete(ic.m, ic.fifo[ic.head])
+		old := ic.fifo[ic.head]
+		delete(ic.m, old)
+		ic.recordEvictionLocked(old)
 		ic.fifo[ic.head] = k
 		ic.head = (ic.head + 1) % len(ic.fifo)
 		ic.m[k] = e
@@ -77,4 +134,30 @@ func (ic *idemCache) put(k idemKey, e idemEntry) {
 	}
 	ic.m[k] = e
 	ic.fifo = append(ic.fifo, k)
+}
+
+// recordEvictionLocked advances the eviction horizon for the evicted
+// token's prefix. Horizons only move forward: eviction order can differ
+// from sequence order when a client's retries interleave.
+func (ic *idemCache) recordEvictionLocked(k idemKey) {
+	prefix, seq, ok := splitIdemToken(k.token)
+	if !ok {
+		return
+	}
+	hk := idemPrefix{k.gate, prefix}
+	if cur, exists := ic.horizon[hk]; exists {
+		if seq > cur {
+			ic.horizon[hk] = seq
+		}
+		return
+	}
+	if len(ic.horizon) >= maxHorizons {
+		old := ic.horizonFIFO[ic.horizonHead]
+		delete(ic.horizon, old)
+		ic.horizonFIFO[ic.horizonHead] = hk
+		ic.horizonHead = (ic.horizonHead + 1) % len(ic.horizonFIFO)
+	} else {
+		ic.horizonFIFO = append(ic.horizonFIFO, hk)
+	}
+	ic.horizon[hk] = seq
 }

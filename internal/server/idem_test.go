@@ -148,7 +148,12 @@ func TestIdemFailureNotCached(t *testing.T) {
 }
 
 // TestIdemCacheBounded: the FIFO cap holds — old tokens fall out, new ones
-// keep landing, memory stays bounded.
+// keep landing, memory stays bounded — and a sequenced token replayed
+// *after* eviction is refused with the typed ambiguous-outcome error, not
+// silently re-executed. Silent re-execution was the old eviction-boundary
+// bug: the client's retry contract says "same token → at most one apply",
+// and the server breaking it exactly when the cache is busiest was the
+// worst possible failure mode.
 func TestIdemCacheBounded(t *testing.T) {
 	e := start(t, memCfg(), server.Options{IdemCacheSize: 8})
 	c := e.dial(server.ClientOptions{})
@@ -163,20 +168,29 @@ func TestIdemCacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// tok-0 has been evicted: replaying it re-executes (a real insert).
-	if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "tok-0"); err != nil {
-		t.Fatal(err)
+	// tok-0 has been evicted. The replay must come back as the typed
+	// ambiguous-outcome refusal — never a second apply.
+	_, err = c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "tok-0")
+	if !errors.Is(err, server.ErrIdemAmbiguous) {
+		t.Fatalf("evicted-token replay: got %v, want ErrIdemAmbiguous", err)
+	}
+	if core.Retryable(err) {
+		t.Fatal("ErrIdemAmbiguous must not classify retryable: blind re-sends cannot resolve ambiguity")
 	}
 	rows, err := c.Query(ctx, `/log/e`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 33 {
-		t.Fatalf("%d elements, want 33 (32 + one re-executed evicted token)", len(rows))
+	if len(rows) != 32 {
+		t.Fatalf("%d elements, want 32 — the ambiguous replay must not re-execute", len(rows))
 	}
-	// The freshest token is still inside the 8-entry horizon: replay, not
-	// re-execution.
-	if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "tok-0"); err != nil {
+	// The freshest tokens are still cached: replay, not re-execution and
+	// not a refusal.
+	if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "tok-31"); err != nil {
+		t.Fatal(err)
+	}
+	// A brand-new token beyond the horizon executes normally.
+	if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "tok-100"); err != nil {
 		t.Fatal(err)
 	}
 	rows, err = c.Query(ctx, `/log/e`)
@@ -184,6 +198,41 @@ func TestIdemCacheBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(rows) != 33 {
-		t.Fatalf("%d elements after replaying a cached token, want still 33", len(rows))
+		t.Fatalf("%d elements, want 33 (32 + one new token; cached replay adds none)", len(rows))
+	}
+}
+
+// TestIdemUnsequencedTokenKeepsLegacySemantics: tokens outside the
+// "<prefix>-<seq>" minting scheme cannot be tracked by the eviction
+// horizon; for them the cache keeps its historical best-effort behavior
+// (an evicted token re-executes) rather than refusing everything.
+func TestIdemUnsequencedTokenKeepsLegacySemantics(t *testing.T) {
+	e := start(t, memCfg(), server.Options{IdemCacheSize: 4})
+	c := e.dial(server.ClientOptions{})
+	ctx := context.Background()
+	root, err := c.Load(ctx, `<log/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "opaque"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tok := fmt.Sprintf("fill-%d", i)
+		if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "opaque" has been evicted but carries no sequence: best-effort
+	// re-execution, as before wire v3.
+	if _, err := c.InsertIdem(ctx, server.InsertLast, root, `<e/>`, "opaque"); err != nil {
+		t.Fatalf("unsequenced evicted token: %v, want re-execution", err)
+	}
+	rows, err := c.Query(ctx, `/log/e`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d elements, want 10", len(rows))
 	}
 }

@@ -34,6 +34,12 @@ type NetTransportOptions struct {
 	Client ClientOptions
 	// Retry shapes the per-call retry loop. Zero value = retryx defaults.
 	Retry retryx.Policy
+	// Epoch, when set, supplies the leadership epoch stamped on every
+	// segment request (wire v3 fencing): a follower wires its
+	// coordinator's Epoch here, so a deposed old primary answering the
+	// dial cannot feed it stale-timeline segments — it gets ErrFenced
+	// instead.
+	Epoch func() uint64
 }
 
 // NewNetTransport returns a transport tailing the segment archive served
@@ -89,6 +95,9 @@ func (t *NetTransport) do(ctx context.Context, call func(c *Client) error) error
 		c, err := t.session()
 		if err != nil {
 			return err
+		}
+		if t.opt.Epoch != nil {
+			c.SetEpoch(t.opt.Epoch())
 		}
 		if err := call(c); err != nil {
 			if retryx.ConnError(err) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/replica"
 )
 
@@ -29,6 +30,10 @@ type Options struct {
 	// directory — the primary's own archive, or a follower's local copy
 	// when cascading. Empty disables the two ops.
 	ArchiveDir string
+
+	// NodeID names this node in a failover fleet (AttachFailover). Empty
+	// for standalone servers.
+	NodeID string
 
 	// Tenants maps auth tokens to tenant quotas. An empty map disables
 	// authentication: every session lands in one shared unlimited tenant.
@@ -119,6 +124,11 @@ type Server struct {
 	// the same listener keeps serving, but reads and writes switch to the
 	// promoted store and health reports role "primary".
 	promoted atomic.Pointer[core.Store]
+
+	// fo is the failover coordinator, when this node runs in a fleet
+	// (AttachFailover). It answers LEASE / VOTE frames and fences
+	// stale-epoch writes and segment ships.
+	fo atomic.Pointer[failover.Coordinator]
 
 	opMu sync.Mutex // serializes op begin vs drain cutoff
 	ops  sync.WaitGroup
@@ -218,17 +228,27 @@ func (s *Server) CloseClientConns() {
 // fleet client discovers the failover. The store is returned so the
 // caller owns its lifecycle; it must outlive the server. Promoting a
 // store-backed server is an error.
-func (s *Server) Promote() (*core.Store, error) {
+func (s *Server) Promote() (*core.Store, error) { return s.PromoteAt(0) }
+
+// PromoteAt is Promote under a leadership epoch: the promotion is recorded
+// in the replica sidecar and the WAL epoch manifest, fencing the new
+// timeline against the old primary's. Epoch 0 keeps the legacy manual
+// promotion semantics (no epoch recorded).
+func (s *Server) PromoteAt(epoch uint64) (*core.Store, error) {
 	if s.opt.Follower == nil {
 		return nil, errors.New("server: not a replica; nothing to promote")
 	}
-	st, err := s.opt.Follower.Promote()
+	st, err := s.opt.Follower.PromoteAt(epoch)
 	if err != nil {
 		return nil, err
 	}
 	s.promoted.Store(st)
 	return st, nil
 }
+
+// PromotedStore returns the store a PromoteAt installed, or nil. The
+// caller owns its lifecycle (Close on shutdown).
+func (s *Server) PromotedStore() *core.Store { return s.promoted.Load() }
 
 // Stats snapshots the service-layer counters.
 func (s *Server) Stats() ServedStats {
@@ -494,6 +514,21 @@ func (c *conn) serveRequest() (closeAfter bool, err error) {
 
 	if typ == msgPing {
 		return false, c.writeFrame(msgPong, nil)
+	}
+	// Failover-plane frames bypass tenant quotas and the drain cutoff,
+	// like ping: an overloaded or draining node must still answer the
+	// failure detector, or load alone would read as death and trigger a
+	// spurious election.
+	if typ == msgLease || typ == msgVote {
+		if err := c.handleFailover(typ, payload); err != nil {
+			if errors.Is(err, ErrProtocol) {
+				s.frameViolations.Add(1)
+				c.writeErr(err)
+				return false, err
+			}
+			return false, c.writeErr(err)
+		}
+		return false, nil
 	}
 
 	finish, err := s.beginServerOp()

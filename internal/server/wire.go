@@ -38,8 +38,10 @@ import (
 // ProtocolVersion is sent in both hello frames; the server refuses a
 // client whose major version it does not speak. Version 2 added the
 // replication stream (SEGMENTS / FETCH_SEGMENT) and the idempotency token
-// every mutation payload now carries.
-const ProtocolVersion = 2
+// every mutation payload now carries. Version 3 added the failover plane
+// (LEASE / VOTE) and the leadership-epoch stamp on every mutation and
+// segment-ship request — the fencing half of automatic failover.
+const ProtocolVersion = 3
 
 // DefaultMaxFrame caps one frame's wire size (length field) unless
 // Options/ClientOptions override it.
@@ -65,6 +67,14 @@ const (
 	msgSegments     byte = 0x30
 	msgFetchSegment byte = 0x31
 
+	// Failover plane (wire v3): the primary's epoch-stamped lease
+	// heartbeat and a candidate's vote solicitation. Handled ahead of
+	// tenant quotas and the drain cutoff, like ping — an overloaded or
+	// draining node must still answer the failure detector, or load alone
+	// would read as death and trigger spurious elections.
+	msgLease byte = 0x40
+	msgVote  byte = 0x41
+
 	msgHelloOK  byte = 0x80
 	msgErr      byte = 0x81
 	msgPong     byte = 0x82
@@ -76,6 +86,8 @@ const (
 	msgOK       byte = 0x88
 	msgSegList  byte = 0x89
 	msgSegData  byte = 0x8A
+	msgLeaseAck byte = 0x8B
+	msgVoteRes  byte = 0x8C
 )
 
 // InsertOp selects which XUpdate primitive an insert request runs.
@@ -114,6 +126,11 @@ var (
 	// sense (bad insert op, unparsable fragment target...). The connection
 	// stays open.
 	ErrBadRequest = errors.New("server: malformed request")
+	// ErrIdemAmbiguous refuses an idempotency token that fell out of the
+	// dedup window: the original outcome is unknowable, and silently
+	// re-executing could double-apply. The caller must reconcile by
+	// reading — re-sending the same token cannot resolve the ambiguity.
+	ErrIdemAmbiguous = errors.New("server: idempotency token expired from the dedup window; outcome ambiguous")
 )
 
 // Quota sheds and drain refusals are retryable — the quota clears as the
@@ -127,6 +144,7 @@ func init() {
 	core.RegisterErrCode(core.CodeDraining, ErrDraining, true)
 	core.RegisterErrCode(core.CodeQuotaExceeded, ErrQuotaExceeded, true)
 	core.RegisterErrCode(core.CodeBadRequest, ErrBadRequest, false)
+	core.RegisterErrCode(core.CodeIdemAmbiguous, ErrIdemAmbiguous, false)
 	// fs.ErrNotExist rides code 66 so a network follower's missing-segment
 	// check (errors.Is against fs.ErrNotExist) answers exactly as a local
 	// directory read's would. Not retryable by policy: the follower itself

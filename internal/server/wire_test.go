@@ -176,6 +176,11 @@ func TestRetryabilityRegistryCoverage(t *testing.T) {
 		core.CodeQuotaExceeded: true,
 		core.CodeBadRequest:    false,
 		core.CodeSegmentGone:   false,
+
+		// Ambiguous idempotency outcomes need reconciliation, not a blind
+		// retry; a fenced epoch never heals on the same node.
+		core.CodeIdemAmbiguous: false,
+		core.CodeFenced:        false,
 	}
 	codes := core.RegisteredErrCodes()
 	if len(codes) != len(want) {

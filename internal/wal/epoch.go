@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Epoch metadata for the segment archive.
+//
+// Failover stamps every leadership change into the archive so a segment's
+// provenance is decidable after the fact: which primacy wrote LSN n? The
+// binary segment format is untouched — segments are content-addressed by
+// LSN and their CRC already guards integrity — so the epoch mapping lives
+// beside them in a tiny JSON manifest, `epochs.json`, maintained with the
+// same tmp+fsync+rename discipline as every other sidecar. Each entry
+// says "from this LSN on, segments were written under this epoch"; the
+// list is append-only and both columns are strictly increasing.
+
+// EpochManifestName is the manifest's filename inside the archive dir.
+const EpochManifestName = "epochs.json"
+
+// EpochEntry marks the first LSN written under an epoch.
+type EpochEntry struct {
+	Epoch   uint64 `json:"epoch"`
+	FromLSN uint64 `json:"from_lsn"`
+}
+
+// ReadEpochs loads the archive's epoch manifest. A missing manifest is a
+// pre-failover archive: implicitly all epoch 1 from LSN 1.
+func ReadEpochs(archiveDir string) ([]EpochEntry, error) {
+	b, err := os.ReadFile(filepath.Join(archiveDir, EpochManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return []EpochEntry{{Epoch: 1, FromLSN: 1}}, nil
+		}
+		return nil, err
+	}
+	var entries []EpochEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("wal: epoch manifest: %w", err)
+	}
+	if len(entries) == 0 {
+		return []EpochEntry{{Epoch: 1, FromLSN: 1}}, nil
+	}
+	if !sort.SliceIsSorted(entries, func(i, j int) bool {
+		return entries[i].Epoch < entries[j].Epoch && entries[i].FromLSN < entries[j].FromLSN
+	}) {
+		return nil, fmt.Errorf("wal: epoch manifest: entries not strictly increasing: %+v", entries)
+	}
+	return entries, nil
+}
+
+// AppendEpoch records a leadership change: segments from fromLSN on are
+// written under epoch. The write is durable before return. Appending an
+// entry equal to the current tail is a no-op (promotion retries are
+// idempotent); anything non-increasing is an error.
+func AppendEpoch(archiveDir string, epoch, fromLSN uint64) error {
+	entries, err := ReadEpochs(archiveDir)
+	if err != nil {
+		return err
+	}
+	tail := entries[len(entries)-1]
+	if epoch == tail.Epoch && fromLSN == tail.FromLSN {
+		return nil
+	}
+	if epoch <= tail.Epoch || fromLSN < tail.FromLSN {
+		return fmt.Errorf("wal: epoch manifest: appending {%d,%d} after {%d,%d}", epoch, fromLSN, tail.Epoch, tail.FromLSN)
+	}
+	entries = append(entries, EpochEntry{Epoch: epoch, FromLSN: fromLSN})
+	b, err := json.Marshal(entries)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(archiveDir, EpochManifestName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// CurrentEpoch returns the archive's latest recorded epoch.
+func CurrentEpoch(archiveDir string) (uint64, error) {
+	entries, err := ReadEpochs(archiveDir)
+	if err != nil {
+		return 0, err
+	}
+	return entries[len(entries)-1].Epoch, nil
+}
+
+// SegmentEpoch answers which epoch the segment holding lsn was written
+// under: the last entry whose FromLSN is <= lsn. An lsn below every entry
+// predates the manifest and reports epoch 1.
+func SegmentEpoch(archiveDir string, lsn uint64) (uint64, error) {
+	entries, err := ReadEpochs(archiveDir)
+	if err != nil {
+		return 0, err
+	}
+	epoch := uint64(1)
+	for _, e := range entries {
+		if e.FromLSN > lsn {
+			break
+		}
+		epoch = e.Epoch
+	}
+	return epoch, nil
+}

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEpochManifestMissingDefaultsToEpochOne(t *testing.T) {
+	dir := t.TempDir()
+	entries, err := ReadEpochs(dir)
+	if err != nil {
+		t.Fatalf("ReadEpochs: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Epoch != 1 || entries[0].FromLSN != 1 {
+		t.Fatalf("default manifest = %+v, want [{1 1}]", entries)
+	}
+	e, err := CurrentEpoch(dir)
+	if err != nil || e != 1 {
+		t.Fatalf("CurrentEpoch = %d, %v; want 1", e, err)
+	}
+	e, err = SegmentEpoch(dir, 42)
+	if err != nil || e != 1 {
+		t.Fatalf("SegmentEpoch(42) = %d, %v; want 1", e, err)
+	}
+}
+
+func TestEpochManifestAppendAndLookup(t *testing.T) {
+	dir := t.TempDir()
+	// Promotion at epoch 2 starting from LSN 10, epoch 5 from LSN 25.
+	if err := AppendEpoch(dir, 2, 10); err != nil {
+		t.Fatalf("AppendEpoch(2,10): %v", err)
+	}
+	if err := AppendEpoch(dir, 5, 25); err != nil {
+		t.Fatalf("AppendEpoch(5,25): %v", err)
+	}
+	e, err := CurrentEpoch(dir)
+	if err != nil || e != 5 {
+		t.Fatalf("CurrentEpoch = %d, %v; want 5", e, err)
+	}
+	for _, tc := range []struct{ lsn, want uint64 }{
+		{1, 1}, {9, 1}, {10, 2}, {24, 2}, {25, 5}, {1000, 5},
+	} {
+		got, err := SegmentEpoch(dir, tc.lsn)
+		if err != nil {
+			t.Fatalf("SegmentEpoch(%d): %v", tc.lsn, err)
+		}
+		if got != tc.want {
+			t.Errorf("SegmentEpoch(%d) = %d, want %d", tc.lsn, got, tc.want)
+		}
+	}
+}
+
+func TestEpochManifestAppendIdempotentAndMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	if err := AppendEpoch(dir, 3, 7); err != nil {
+		t.Fatalf("AppendEpoch: %v", err)
+	}
+	// Exact duplicate of the tail: promotion retry, no-op.
+	if err := AppendEpoch(dir, 3, 7); err != nil {
+		t.Fatalf("idempotent AppendEpoch: %v", err)
+	}
+	entries, err := ReadEpochs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("manifest = %+v, want 2 entries", entries)
+	}
+	// Non-increasing epoch or regressing LSN: refused.
+	if err := AppendEpoch(dir, 3, 9); err == nil {
+		t.Fatal("want error appending same epoch with different LSN")
+	}
+	if err := AppendEpoch(dir, 2, 9); err == nil {
+		t.Fatal("want error appending lower epoch")
+	}
+	if err := AppendEpoch(dir, 9, 3); err == nil {
+		t.Fatal("want error appending regressing LSN")
+	}
+}
+
+func TestEpochManifestRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, EpochManifestName)
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpochs(dir); err == nil {
+		t.Fatal("want error for corrupt manifest")
+	}
+	// Out-of-order entries are rejected too.
+	if err := os.WriteFile(path, []byte(`[{"epoch":5,"from_lsn":9},{"epoch":2,"from_lsn":3}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpochs(dir); err == nil {
+		t.Fatal("want error for out-of-order manifest")
+	}
+}

@@ -24,13 +24,13 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget, replica, server, retryx, xpath, xquery)"
-go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget ./internal/replica ./internal/server ./internal/retryx ./internal/xpath ./internal/xquery
+echo "== go test -race (lock, core, txn, fault, wal, pagestore, recover, budget, replica, server, failover, retryx, xpath, xquery)"
+go test -race ./internal/lock ./internal/core ./internal/txn ./internal/fault ./internal/wal ./internal/pagestore ./internal/recover ./internal/budget ./internal/replica ./internal/server ./internal/failover ./internal/retryx ./internal/xpath ./internal/xquery
 
 echo "== go test -race (root-package stress, chaos soak, overload paths)"
 go test -race -run 'Stress|Concurrent|Chaos|Overload|Deadline' .
 
-echo "== go test -race (partition chaos: net faults, kill -9 primary, fleet failover)"
-go test -race -run 'TestPartitionChaos|TestNetChaos|TestFleet' ./internal/server ./internal/fault
+echo "== go test -race (partition chaos: net faults, kill -9 primary, fleet + automatic failover)"
+go test -race -run 'TestPartitionChaos|TestNetChaos|TestFleet|TestFailover' ./internal/server ./internal/fault
 
 echo "ok: all checks passed"

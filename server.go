@@ -2,6 +2,7 @@ package axml
 
 import (
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/server"
 )
 
@@ -47,6 +48,18 @@ type (
 	HealthSummary = core.HealthSummary
 	// ErrCode is the stable wire code an exported typed error maps to.
 	ErrCode = core.ErrCode
+
+	// FailoverConfig configures a node's failover coordinator: identity,
+	// fleet membership, term-file path, lease timings, quorum override.
+	FailoverConfig = failover.Config
+	// FailoverPeer names one fleet member (node id + wire address).
+	FailoverPeer = failover.Peer
+	// FailoverStatus is the coordinator's introspection snapshot (also
+	// inside ServerStatsReport.Failover).
+	FailoverStatus = failover.Status
+	// FleetPeers carries lease and vote RPCs between coordinators over
+	// the wire protocol.
+	FleetPeers = server.FleetPeers
 )
 
 // Insert operations for Client.Insert.
@@ -73,6 +86,13 @@ var (
 	ErrQuotaExceeded = server.ErrQuotaExceeded
 	// ErrBadRequest rejects a request that decoded but made no sense.
 	ErrBadRequest = server.ErrBadRequest
+	// ErrIdemAmbiguous refuses an idempotency token that fell out of the
+	// dedup window: the original outcome is unknowable, so the caller must
+	// reconcile by reading instead of blindly re-sending.
+	ErrIdemAmbiguous = server.ErrIdemAmbiguous
+	// ErrFenced refuses a write or segment ship presented under a stale
+	// leadership epoch — the split-brain fence.
+	ErrFenced = failover.ErrFenced
 )
 
 // NewServer validates opt and builds a Server.
@@ -86,6 +106,10 @@ func DialServer(addr string, opt ClientOptions) (*Client, error) { return server
 func DialFleet(endpoints []string, opt FleetOptions) (*FleetClient, error) {
 	return server.DialFleet(endpoints, opt)
 }
+
+// NewFleetPeers builds the coordinator-to-coordinator transport used by
+// Server.AttachFailover.
+func NewFleetPeers(opt ClientOptions) *FleetPeers { return server.NewFleetPeers(opt) }
 
 // ErrCodesOf maps an error chain onto its stable wire codes; ErrCodeOf
 // returns the primary (lowest) one.
