@@ -96,7 +96,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&c.memBudget, "mem-budget", 0, "store memory budget in bytes (0: unlimited)")
 	fs.StringVar(&c.nodeID, "node-id", "", "failover: this node's id (must appear in -fleet)")
 	fs.StringVar(&c.fleet, "fleet", "", `failover: full fleet membership "id=addr,id=addr,..." including this node; empty disables automatic failover`)
-	fs.StringVar(&c.fleetToken, "fleet-token", "", "failover: auth token coordinator RPCs present to peers")
+	fs.StringVar(&c.fleetToken, "fleet-token", "", "failover: dedicated fleet credential — the only token that may send LEASE/VOTE; required with -tenants, distinct from every tenant token")
 	fs.DurationVar(&c.leaseIv, "lease-interval", 500*time.Millisecond, "failover: primary lease heartbeat interval")
 	fs.DurationVar(&c.leaseTO, "lease-timeout", 2*time.Second, "failover: lease expiry before followers suspect the primary")
 	if err := fs.Parse(args); err != nil {
@@ -200,6 +200,7 @@ func run(args []string, stdout *os.File) error {
 	opt := axml.ServerOptions{
 		NodeID:         c.nodeID,
 		Tenants:        tenants,
+		FleetToken:     c.fleetToken,
 		MaxConns:       c.maxConns,
 		MaxAcceptQueue: c.acceptQueue,
 		MaxFrame:       c.maxFrame,
@@ -209,6 +210,13 @@ func run(args []string, stdout *os.File) error {
 	}
 	if c.fleet != "" && c.nodeID == "" {
 		return errors.New("-fleet requires -node-id")
+	}
+	if c.fleet != "" && c.tenants != "" && c.fleetToken == "" {
+		// A tenant token must never grant the failover plane, so an
+		// authenticated fleet needs its own credential — without one every
+		// LEASE / VOTE this node receives would be refused and the fleet
+		// could never hold a lease or elect anything.
+		return errors.New("-fleet with -tenants requires -fleet-token")
 	}
 
 	// The replica's segment transport stamps the coordinator's epoch on

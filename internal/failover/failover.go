@@ -56,6 +56,25 @@ func init() {
 	core.RegisterErrCode(core.CodeFenced, ErrFenced, false)
 }
 
+// MaxEpochJump bounds how far a single remote message may advance this
+// node's view of the established (or promised) epoch. Epochs move by one
+// per leadership change, and even a fleet thrashing through contested
+// elections advances a handful per round — so a jump of tens of
+// thousands is not a fleet state, it is corruption or a hostile frame.
+// Without the bound, one LEASE frame carrying epoch 2^64-1 would durably
+// latch Fenced on a healthy primary (adoptLocked), and one VOTE frame
+// could inflate VotedEpoch so a later candidacy's VotedEpoch+1 overflows
+// to zero and wedges the fleet. Implausible jumps are refused without
+// adopting anything; the sender, if honest, retries and converges.
+const MaxEpochJump = 1 << 16
+
+// plausibleJumpLocked reports whether adopting epoch is a sane move from
+// the current term. Callers hold c.mu and have established
+// epoch > c.term.Epoch.
+func (c *Coordinator) plausibleJumpLocked(epoch uint64) bool {
+	return epoch-c.term.Epoch <= MaxEpochJump
+}
+
 // Peer is one fleet member. The fleet list, including the local node,
 // must be identical on every member — quorum arithmetic depends on it.
 type Peer struct {
@@ -383,6 +402,13 @@ func (c *Coordinator) leaseRound() {
 	c.mu.Unlock()
 	lsn := c.node.AppliedLSN()
 
+	// The validity window must be anchored at the round's START: voters
+	// record lastLease at receipt, which is up to one RPC timeout before
+	// wg.Wait() returns. Anchoring after the wait would start the leader's
+	// self-enforced clock later than every voter's timeout clock and eat
+	// the one-interval safety margin — a partitioned primary could still
+	// pass CheckWrite while its successor is being elected.
+	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), c.rpcTimeout())
 	defer cancel()
 	var (
@@ -414,11 +440,17 @@ func (c *Coordinator) leaseRound() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if maxSeen > c.term.Epoch {
+		if !c.plausibleJumpLocked(maxSeen) {
+			c.logf("ignoring implausible epoch %d in lease ack (at %d)", maxSeen, c.term.Epoch)
+			return
+		}
 		c.adoptLocked(maxSeen) // superseded: this latches Fenced for a leader
 		return
 	}
 	if acks >= c.quorum() {
-		c.lastQuorum = time.Now()
+		if start.After(c.lastQuorum) {
+			c.lastQuorum = start
+		}
 		c.haveQuorum = true
 	}
 }
@@ -467,6 +499,10 @@ func (c *Coordinator) detect() {
 func (c *Coordinator) runElection(proposed uint64) {
 	lsn := c.node.AppliedLSN()
 	c.logf("election: proposing epoch %d at LSN %d", proposed, lsn)
+	// Same anchoring rule as leaseRound: a won election doubles as the
+	// first lease quorum, and voters started their timeout clocks at
+	// grant receipt — before the RPC fan-out returned.
+	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), c.rpcTimeout())
 	var (
 		tally    sync.Mutex
@@ -501,6 +537,11 @@ func (c *Coordinator) runElection(proposed uint64) {
 
 	c.mu.Lock()
 	if maxSeen > c.term.Epoch {
+		if !c.plausibleJumpLocked(maxSeen) {
+			c.logf("ignoring implausible epoch %d in vote reply (at %d)", maxSeen, c.term.Epoch)
+			c.mu.Unlock()
+			return
+		}
 		// Someone is ahead of us; adopt and stand down for a grace period.
 		c.adoptLocked(maxSeen)
 		c.lastLease = time.Now()
@@ -510,12 +551,14 @@ func (c *Coordinator) runElection(proposed uint64) {
 	}
 	if granted < c.quorum() {
 		c.logf("election: epoch %d got %d/%d votes", proposed, granted, c.quorum())
-		if maxVoted > c.term.VotedEpoch {
+		if maxVoted > c.term.VotedEpoch && maxVoted-c.term.Epoch <= MaxEpochJump {
 			// A voter already promised a higher epoch (likely to a rival
 			// candidate). Raise our own floor so the next proposal jumps
 			// past it instead of leapfrogging one epoch per round. Not a
 			// grant to anyone, so raising VotedEpoch is safe — it can only
-			// make us refuse more.
+			// make us refuse more. The same plausibility bound as adoption
+			// applies: a corrupt or hostile VotedEpoch must not poison our
+			// own next proposal into overflow territory.
 			c.term.VotedEpoch = maxVoted
 			if err := saveTerm(c.cfg.TermPath, c.term); err != nil {
 				c.logf("cannot persist raised vote floor %d: %v", maxVoted, err)
@@ -555,7 +598,12 @@ func (c *Coordinator) runElection(proposed uint64) {
 	c.leaderID = c.cfg.NodeID
 	// The vote quorum doubles as the first lease quorum: writes are
 	// accepted immediately, and the heartbeat loop takes over next tick.
-	c.lastQuorum = time.Now()
+	// Anchored at the vote fan-out's start — if promotion ate the whole
+	// validity window, writes stay fenced until the broadcast below
+	// re-establishes a fresh quorum, which is the conservative outcome.
+	if start.After(c.lastQuorum) {
+		c.lastQuorum = start
+	}
 	c.haveQuorum = true
 	c.suspicion = 0
 	c.mu.Unlock()
@@ -597,6 +645,10 @@ func (c *Coordinator) OnLease(req LeaseRequest) LeaseReply {
 		return LeaseReply{Epoch: c.term.Epoch, OK: false}
 	}
 	if req.Epoch > c.term.Epoch {
+		if !c.plausibleJumpLocked(req.Epoch) {
+			c.logf("refusing implausible lease epoch %d from %s (at %d)", req.Epoch, req.LeaderID, c.term.Epoch)
+			return LeaseReply{Epoch: c.term.Epoch, OK: false}
+		}
 		c.adoptLocked(req.Epoch)
 	}
 	if c.term.Fenced {
@@ -620,6 +672,13 @@ func (c *Coordinator) OnVote(req VoteRequest) VoteReply {
 	rep := VoteReply{Epoch: c.term.Epoch, VotedEpoch: c.term.VotedEpoch, VoterID: c.cfg.NodeID, VoterLSN: c.node.AppliedLSN()}
 	if req.Epoch <= c.term.Epoch || req.Epoch <= c.term.VotedEpoch {
 		return rep // already established or already promised this epoch
+	}
+	if !c.plausibleJumpLocked(req.Epoch) {
+		// Granting would durably set VotedEpoch to an absurd value —
+		// a later candidacy's VotedEpoch+1 could overflow to zero and
+		// wedge the fleet. Refuse without recording anything.
+		c.logf("refusing implausible vote epoch %d from %s (at %d)", req.Epoch, req.CandidateID, c.term.Epoch)
+		return rep
 	}
 	if !c.term.Fenced {
 		// Protect a live leader: refuse while its lease is fresh.

@@ -3,6 +3,7 @@ package failover
 import (
 	"context"
 	"errors"
+	"math"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -440,6 +441,97 @@ func TestCheckShipEpochMismatch(t *testing.T) {
 	}
 	if err := c.CheckShip(c.Epoch() + 3); !errors.Is(err, ErrFenced) {
 		t.Fatalf("CheckShip(wrong) = %v, want ErrFenced", err)
+	}
+}
+
+// TestImplausibleEpochJumpRefused: a hostile or corrupt frame carrying an
+// absurd epoch must not durably fence a healthy primary (via OnLease →
+// adopt) or inflate a voter's promise so a later proposal's VotedEpoch+1
+// overflows. Plausible jumps keep adopting normally.
+func TestImplausibleEpochJumpRefused(t *testing.T) {
+	_, cs, _ := threeNode(t) // not started: drive the handlers directly
+	huge := uint64(math.MaxUint64)
+
+	// Primary: the review scenario — one LEASE at 2^64-1 must not latch
+	// Fenced (which would mean permanent write refusal and a manual
+	// rebuild).
+	rep := cs["n1"].OnLease(LeaseRequest{Epoch: huge, LeaderID: "evil"})
+	if rep.OK {
+		t.Fatal("implausible lease epoch was acked")
+	}
+	if cs["n1"].Fenced() {
+		t.Fatal("implausible lease epoch fenced the primary")
+	}
+	if e := cs["n1"].Epoch(); e != 1 {
+		t.Fatalf("primary adopted implausible epoch: %d", e)
+	}
+
+	// Follower: same refusal, nothing adopted.
+	rep = cs["n2"].OnLease(LeaseRequest{Epoch: huge, LeaderID: "evil"})
+	if rep.OK || cs["n2"].Epoch() != 1 {
+		t.Fatalf("follower accepted implausible lease: ok=%v epoch=%d", rep.OK, cs["n2"].Epoch())
+	}
+
+	// Vote: must not be granted, and VotedEpoch must not move — otherwise
+	// this node's own next candidacy proposes VotedEpoch+1 == 0.
+	vrep := cs["n2"].OnVote(VoteRequest{Epoch: huge, CandidateID: "evil", LSN: 1 << 40})
+	if vrep.Granted {
+		t.Fatal("implausible vote epoch was granted")
+	}
+	if got := cs["n2"].Status().VotedEpoch; got != 1 {
+		t.Fatalf("VotedEpoch inflated to %d by refused vote", got)
+	}
+
+	// A sane jump (real fleets move by ones) still adopts.
+	rep = cs["n2"].OnLease(LeaseRequest{Epoch: 5, LeaderID: "n1"})
+	if !rep.OK || cs["n2"].Epoch() != 5 {
+		t.Fatalf("plausible epoch jump refused: ok=%v epoch=%d", rep.OK, cs["n2"].Epoch())
+	}
+}
+
+// slowAckPeers acks every lease after a fixed delay — a stand-in for RPC
+// latency inside the coordinator's timeout.
+type slowAckPeers struct{ delay time.Duration }
+
+func (s slowAckPeers) Lease(_ context.Context, _ string, req LeaseRequest) (LeaseReply, error) {
+	time.Sleep(s.delay)
+	return LeaseReply{Epoch: req.Epoch, OK: true}, nil
+}
+
+func (s slowAckPeers) RequestVote(_ context.Context, _ string, req VoteRequest) (VoteReply, error) {
+	time.Sleep(s.delay)
+	return VoteReply{Granted: true, Epoch: req.Epoch - 1, VotedEpoch: req.Epoch}, nil
+}
+
+// TestLeaseValidityAnchoredAtRoundStart: voters record lastLease at
+// receipt, up to one RPC round before the leader tallies acks — so the
+// leader's self-enforced validity window must be measured from the
+// round's START. Anchoring after the wait would let a partitioned primary
+// pass CheckWrite while a successor is being elected.
+func TestLeaseValidityAnchoredAtRoundStart(t *testing.T) {
+	peers := []Peer{{ID: "n1", Addr: "a1"}, {ID: "n2", Addr: "a2"}}
+	cfg := Config{
+		NodeID:        "n1",
+		Peers:         peers,
+		TermPath:      filepath.Join(t.TempDir(), "n1.term"),
+		LeaseInterval: 20 * time.Millisecond,
+		LeaseTimeout:  400 * time.Millisecond, // rpcTimeout 200ms > the 120ms delay
+		Logf:          t.Logf,
+	}
+	delay := 120 * time.Millisecond
+	c, err := New(cfg, &fakeNode{role: "primary"}, slowAckPeers{delay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.leaseRound() // one synchronous round, no background loop
+	s := c.Status()
+	if s.LeaseAgeMs < delay.Milliseconds()-10 {
+		t.Fatalf("lease age %dms right after a %v-slow round: validity anchored at tally time, not round start", s.LeaseAgeMs, delay)
+	}
+	// The round still establishes a usable lease: age is inside validity.
+	if err := c.CheckWrite(0); err != nil {
+		t.Fatalf("CheckWrite after slow-but-acked round: %v", err)
 	}
 }
 

@@ -1,0 +1,111 @@
+// Failover-plane authorization: LEASE / VOTE frames are fleet-internal
+// control traffic. A tenant token — or any session at all, once a fleet
+// credential exists — must not be able to speak them: one hostile LEASE
+// at a huge epoch would otherwise durably fence the primary, and a
+// hostile VOTE could inflate promises until an election wraps to zero.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/failover"
+	"repro/internal/server"
+)
+
+// attachFO wires a single-node failover coordinator into a test server.
+func attachFO(t *testing.T, e *env) {
+	t.Helper()
+	_, err := e.srv.AttachFailover(failover.Config{
+		NodeID:   "p",
+		Peers:    []failover.Peer{{ID: "p", Addr: e.addr}},
+		TermPath: filepath.Join(t.TempDir(), "p.term"),
+		Logf:     t.Logf,
+	}, server.NewFleetPeers(server.ClientOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.srv.CloseFailover)
+}
+
+func TestFleetPlaneRequiresFleetCredential(t *testing.T) {
+	e := start(t, memCfg(), server.Options{
+		Tenants:    map[string]server.Tenant{"tok-a": {Name: "a"}},
+		FleetToken: "fleet-secret",
+		NodeID:     "p",
+	})
+	attachFO(t, e)
+	ctx := context.Background()
+
+	// A tenant session keeps its data plane but is refused the failover
+	// plane — both frame types.
+	tc := e.dial(server.ClientOptions{Token: "tok-a"})
+	if err := tc.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Lease(ctx, failover.LeaseRequest{Epoch: 1, LeaderID: "evil"}); !errors.Is(err, server.ErrAuth) {
+		t.Fatalf("tenant lease = %v, want ErrAuth", err)
+	}
+	if _, err := tc.RequestVote(ctx, failover.VoteRequest{Epoch: 2, CandidateID: "evil"}); !errors.Is(err, server.ErrAuth) {
+		t.Fatalf("tenant vote = %v, want ErrAuth", err)
+	}
+
+	// The dedicated fleet credential speaks it.
+	fc := e.dial(server.ClientOptions{Token: "fleet-secret"})
+	rep, err := fc.Lease(ctx, failover.LeaseRequest{Epoch: 1, LeaderID: "p"})
+	if err != nil {
+		t.Fatalf("fleet lease: %v", err)
+	}
+
+	// Even an authorized sender cannot jump the epoch absurdly: the
+	// review scenario — LEASE at 2^64-1 — must neither fence the node nor
+	// move its epoch, and writes keep flowing.
+	hostile, err := fc.Lease(ctx, failover.LeaseRequest{Epoch: math.MaxUint64, LeaderID: "evil"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostile.OK || hostile.Epoch != rep.Epoch {
+		t.Fatalf("hostile max-epoch lease: %+v (epoch was %d)", hostile, rep.Epoch)
+	}
+	if _, err := tc.Load(ctx, `<r/>`); err != nil {
+		t.Fatalf("write after hostile lease: %v — node must not be fenced", err)
+	}
+}
+
+func TestFleetPlaneClosedWhenTenantsWithoutFleetToken(t *testing.T) {
+	e := start(t, memCfg(), server.Options{
+		Tenants: map[string]server.Tenant{"tok-a": {Name: "a"}},
+		NodeID:  "p",
+	})
+	attachFO(t, e)
+	tc := e.dial(server.ClientOptions{Token: "tok-a"})
+	if _, err := tc.Lease(context.Background(), failover.LeaseRequest{Epoch: 1, LeaderID: "x"}); !errors.Is(err, server.ErrAuth) {
+		t.Fatalf("lease on tokenless authenticated fleet = %v, want ErrAuth", err)
+	}
+}
+
+func TestFleetPlaneOpenOnUnauthenticatedServer(t *testing.T) {
+	// No credentials configured anywhere: the plane stays open (dev and
+	// test fleets); setting a FleetToken is what locks it down.
+	e := start(t, memCfg(), server.Options{NodeID: "p"})
+	attachFO(t, e)
+	c := e.dial(server.ClientOptions{})
+	if _, err := c.Lease(context.Background(), failover.LeaseRequest{Epoch: 1, LeaderID: "p"}); err != nil {
+		t.Fatalf("lease on open server: %v", err)
+	}
+}
+
+func TestFleetTokenMustNotCollideWithTenantToken(t *testing.T) {
+	e := start(t, memCfg(), server.Options{})
+	_, err := server.New(server.Options{
+		Store:      e.st,
+		Tenants:    map[string]server.Tenant{"shared": {Name: "a"}},
+		FleetToken: "shared",
+	})
+	if err == nil {
+		t.Fatal("want error for FleetToken equal to a tenant token")
+	}
+}

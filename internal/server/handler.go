@@ -208,7 +208,7 @@ func (s *Server) dispatch(c *conn, ctx context.Context, typ byte, d *dec, gate r
 		if err != nil {
 			return err
 		}
-		epoch, err := d.u64()
+		epoch, err := c.reqEpoch(d)
 		if err != nil {
 			return err
 		}
@@ -221,7 +221,7 @@ func (s *Server) dispatch(c *conn, ctx context.Context, typ byte, d *dec, gate r
 		if err != nil {
 			return err
 		}
-		epoch, err := d.u64()
+		epoch, err := c.reqEpoch(d)
 		if err != nil {
 			return err
 		}
@@ -435,7 +435,7 @@ func (s *Server) runMutation(c *conn, d *dec, build func(d *dec) (byte, []byte, 
 	if err != nil {
 		return err
 	}
-	epoch, err := d.u64()
+	epoch, err := c.reqEpoch(d)
 	if err != nil {
 		return err
 	}

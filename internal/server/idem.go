@@ -56,6 +56,19 @@ type idemCache struct {
 	// horizon: for those the cache keeps its historical best-effort
 	// semantics. The horizon map is itself FIFO-bounded so a hostile
 	// client minting prefixes cannot grow it without bound.
+	//
+	// Known trade-off: the horizon is one scalar per prefix, so it cannot
+	// distinguish "this seq was cached and fell out" from "this seq never
+	// arrived but a NEWER one was already evicted". With concurrent
+	// in-flight writes from one client, a delayed first-ever request can
+	// land below the horizon and be refused with ErrIdemAmbiguous even
+	// though it never executed — a false ambiguity, never a false
+	// re-execution. That is the safe direction (the caller reconciles by
+	// reading, exactly as for a true eviction), and it requires the cache
+	// to cycle through IdemCacheSize entries (default 4096) while a
+	// request is still in flight — far beyond any sane client concurrency.
+	// Eliminating it would need per-seq tracking, i.e. a second cache as
+	// big as the first.
 	horizon     map[idemPrefix]uint64
 	horizonFIFO []idemPrefix
 	horizonHead int

@@ -39,6 +39,15 @@ type Options struct {
 	// authentication: every session lands in one shared unlimited tenant.
 	Tenants map[string]Tenant
 
+	// FleetToken is the failover-plane credential: only sessions that
+	// authenticate with it may send LEASE / VOTE frames. Tenant tokens
+	// never grant the plane — a tenant must not be able to fence a
+	// primary or inflate vote promises. When empty, the plane is open
+	// only on an unauthenticated server (no credentials configured at
+	// all, e.g. a dev fleet on localhost); a server running with Tenants
+	// and no FleetToken refuses every failover frame.
+	FleetToken string
+
 	// MaxConns bounds concurrently served connections. Default 256.
 	MaxConns int
 	// MaxAcceptQueue bounds accepted connections waiting FIFO for a slot;
@@ -107,9 +116,10 @@ type ServedStats struct {
 
 // Server serves the wire protocol over one store or one replica.
 type Server struct {
-	opt     Options
-	tenants map[string]*tenantGate // auth token -> gate
-	open    *tenantGate            // auth-disabled shared gate, nil otherwise
+	opt       Options
+	tenants   map[string]*tenantGate // auth token -> gate
+	open      *tenantGate            // auth-disabled shared gate, nil otherwise
+	fleetGate *tenantGate            // gate for FleetToken sessions, nil when unset
 
 	connSlots    chan struct{}
 	slotWaiters  atomic.Int64
@@ -169,6 +179,12 @@ func New(opt Options) (*Server, error) {
 	}
 	if len(s.tenants) == 0 {
 		s.open = newTenantGate(Tenant{Name: "default"})
+	}
+	if opt.FleetToken != "" {
+		if _, clash := s.tenants[opt.FleetToken]; clash {
+			return nil, errors.New("server: FleetToken must not equal a tenant token")
+		}
+		s.fleetGate = newTenantGate(Tenant{Name: "fleet"})
 	}
 	return s, nil
 }
@@ -364,7 +380,15 @@ type conn struct {
 	bw   *bufio.Writer
 	gate *tenantGate
 	sid  uint64
-	inOp atomic.Bool
+	// ver is the protocol version the hello negotiated. v2 sessions carry
+	// no epoch field in mutation and segment-ship payloads; the decoders
+	// treat them as unstamped (epoch 0).
+	ver uint64
+	// fleet marks a session authorized for the failover plane (LEASE /
+	// VOTE): it presented Options.FleetToken, or the server runs with no
+	// credentials at all.
+	fleet bool
+	inOp  atomic.Bool
 }
 
 // serveConn runs a connection's whole life: slot admission, handshake,
@@ -468,16 +492,26 @@ func (c *conn) handshake() error {
 	if err != nil {
 		return err
 	}
-	if ver != ProtocolVersion {
-		return fmt.Errorf("%w: protocol version %d, server speaks %d", ErrProtocol, ver, ProtocolVersion)
+	if ver < MinProtocolVersion || ver > ProtocolVersion {
+		return fmt.Errorf("%w: protocol version %d, server speaks %d-%d", ErrProtocol, ver, MinProtocolVersion, ProtocolVersion)
 	}
+	c.ver = ver
 	token, err := d.str()
 	if err != nil {
 		return err
 	}
-	if s.open != nil {
+	switch {
+	case s.fleetGate != nil && token == s.opt.FleetToken:
+		// The dedicated fleet credential; this is the ONLY token that
+		// grants the failover plane on a server with a FleetToken set.
+		c.fleet = true
+		c.gate = s.fleetGate
+	case s.open != nil:
 		c.gate = s.open
-	} else {
+		// With no credentials configured anywhere the plane is open; the
+		// moment a FleetToken exists, anonymous sessions lose it.
+		c.fleet = s.fleetGate == nil
+	default:
 		g, ok := s.tenants[token]
 		if !ok {
 			return fmt.Errorf("%w: unknown token", ErrAuth)
@@ -518,8 +552,13 @@ func (c *conn) serveRequest() (closeAfter bool, err error) {
 	// Failover-plane frames bypass tenant quotas and the drain cutoff,
 	// like ping: an overloaded or draining node must still answer the
 	// failure detector, or load alone would read as death and trigger a
-	// spurious election.
+	// spurious election. They do NOT bypass the fleet credential — a
+	// tenant that could inject LEASE / VOTE frames could durably fence
+	// the primary or wedge elections.
 	if typ == msgLease || typ == msgVote {
+		if !c.fleet {
+			return false, c.writeErr(fmt.Errorf("%w: failover plane requires the fleet credential", ErrAuth))
+		}
 		if err := c.handleFailover(typ, payload); err != nil {
 			if errors.Is(err, ErrProtocol) {
 				s.frameViolations.Add(1)
@@ -605,4 +644,14 @@ func (c *conn) writeFrame(typ byte, payload []byte) error {
 
 func (c *conn) writeErr(err error) error {
 	return c.writeFrame(msgErr, encodeErr(err))
+}
+
+// reqEpoch decodes the leadership-epoch stamp (wire v3). A v2 session's
+// payloads carry no epoch field; those requests are unstamped (epoch 0),
+// the same as a v3 client that has not learned an epoch yet.
+func (c *conn) reqEpoch(d *dec) (uint64, error) {
+	if c.ver < 3 {
+		return 0, nil
+	}
+	return d.u64()
 }

@@ -35,13 +35,23 @@ import (
 	"repro/internal/core"
 )
 
-// ProtocolVersion is sent in both hello frames; the server refuses a
-// client whose major version it does not speak. Version 2 added the
-// replication stream (SEGMENTS / FETCH_SEGMENT) and the idempotency token
-// every mutation payload now carries. Version 3 added the failover plane
-// (LEASE / VOTE) and the leadership-epoch stamp on every mutation and
-// segment-ship request — the fencing half of automatic failover.
-const ProtocolVersion = 3
+// ProtocolVersion is what this code speaks and sends in hello frames.
+// Version 2 added the replication stream (SEGMENTS / FETCH_SEGMENT) and
+// the idempotency token every mutation payload now carries. Version 3
+// added the failover plane (LEASE / VOTE) and the leadership-epoch stamp
+// on every mutation and segment-ship request — the fencing half of
+// automatic failover.
+//
+// The server accepts [MinProtocolVersion, ProtocolVersion] so a fleet
+// upgrades rolling, not flag-day: v2 clients and replicas keep working
+// against v3 servers, their payloads decoded without the epoch field and
+// treated as unstamped (epoch 0) — exactly how a v3 server treats a v3
+// client that has not learned an epoch yet. Upgrade servers first, then
+// clients; a v3 client against a v2 server is refused by the old server.
+const (
+	ProtocolVersion    = 3
+	MinProtocolVersion = 2
+)
 
 // DefaultMaxFrame caps one frame's wire size (length field) unless
 // Options/ClientOptions override it.

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 )
 
 // Epoch metadata for the segment archive.
@@ -45,10 +44,14 @@ func ReadEpochs(archiveDir string) ([]EpochEntry, error) {
 	if len(entries) == 0 {
 		return []EpochEntry{{Epoch: 1, FromLSN: 1}}, nil
 	}
-	if !sort.SliceIsSorted(entries, func(i, j int) bool {
-		return entries[i].Epoch < entries[j].Epoch && entries[i].FromLSN < entries[j].FromLSN
-	}) {
-		return nil, fmt.Errorf("wal: epoch manifest: entries not strictly increasing: %+v", entries)
+	// Both columns must be strictly increasing, checked pairwise and
+	// explicitly: a sortedness predicate over a conjunctive less would
+	// only reject entries where BOTH columns decrease, waving through
+	// duplicates and single-column regressions.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Epoch <= entries[i-1].Epoch || entries[i].FromLSN <= entries[i-1].FromLSN {
+			return nil, fmt.Errorf("wal: epoch manifest: entries not strictly increasing: %+v", entries)
+		}
 	}
 	return entries, nil
 }
@@ -66,7 +69,10 @@ func AppendEpoch(archiveDir string, epoch, fromLSN uint64) error {
 	if epoch == tail.Epoch && fromLSN == tail.FromLSN {
 		return nil
 	}
-	if epoch <= tail.Epoch || fromLSN < tail.FromLSN {
+	// Both columns must strictly advance (the exact-duplicate retry case
+	// returned above) — the same invariant ReadEpochs enforces, so this
+	// writer can never produce a manifest the reader refuses.
+	if epoch <= tail.Epoch || fromLSN <= tail.FromLSN {
 		return fmt.Errorf("wal: epoch manifest: appending {%d,%d} after {%d,%d}", epoch, fromLSN, tail.Epoch, tail.FromLSN)
 	}
 	entries = append(entries, EpochEntry{Epoch: epoch, FromLSN: fromLSN})

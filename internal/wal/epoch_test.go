@@ -95,4 +95,20 @@ func TestEpochManifestRejectsCorrupt(t *testing.T) {
 	if _, err := ReadEpochs(dir); err == nil {
 		t.Fatal("want error for out-of-order manifest")
 	}
+	// Single-column regressions and duplicates must be rejected as well —
+	// a corruption where only one column decreases (or repeats) would make
+	// SegmentEpoch report wrong provenance if waved through.
+	for _, bad := range []string{
+		`[{"epoch":2,"from_lsn":10},{"epoch":1,"from_lsn":20}]`, // epoch regresses, LSN advances
+		`[{"epoch":1,"from_lsn":20},{"epoch":2,"from_lsn":10}]`, // LSN regresses, epoch advances
+		`[{"epoch":2,"from_lsn":10},{"epoch":2,"from_lsn":20}]`, // duplicate epoch
+		`[{"epoch":2,"from_lsn":10},{"epoch":3,"from_lsn":10}]`, // duplicate LSN
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadEpochs(dir); err == nil {
+			t.Fatalf("want error for manifest %s", bad)
+		}
+	}
 }
